@@ -1,0 +1,31 @@
+//! # mnemonic-baselines
+//!
+//! Comparator systems re-implemented from their published descriptions so the
+//! Mnemonic evaluation can be reproduced end to end without proprietary
+//! binaries:
+//!
+//! * [`recompute`] — a naive from-scratch matcher used both as the
+//!   correctness oracle for differential testing and as the "recompute per
+//!   snapshot" baseline,
+//! * [`turboflux`] — a TurboFlux-style data-centric, strictly sequential
+//!   incremental matcher,
+//! * [`ceci`] — a CECI-style static compact embedding cluster index rebuilt
+//!   per snapshot,
+//! * [`bigjoin`] — a BigJoin-style worst-case-optimal, vertex-at-a-time join
+//!   matcher for homomorphisms,
+//! * [`matchstore`] — a Li-et-al.-style match-store tree of partially
+//!   materialised embeddings for time-constrained matching.
+
+#![warn(missing_docs)]
+
+pub mod bigjoin;
+pub mod ceci;
+pub mod matchstore;
+pub mod recompute;
+pub mod turboflux;
+
+pub use bigjoin::{BigJoinLike, BigJoinStats};
+pub use ceci::{CeciIndex, CeciLike};
+pub use matchstore::{MatchStoreStats, MatchStoreTree};
+pub use recompute::{NaiveMatcher, OracleEmbedding, OracleSemantics};
+pub use turboflux::{TurboFluxDelta, TurboFluxLike};

@@ -1,0 +1,347 @@
+//! Naive from-scratch matcher: the correctness oracle.
+//!
+//! This matcher shares *no* machinery with the incremental engine: it is a
+//! plain backtracking search over query vertices followed by explicit
+//! enumeration of edge assignments. It is deliberately simple and slow — its
+//! job is to define ground truth for the differential tests and to serve as
+//! the "recompute everything per snapshot" baseline.
+
+use mnemonic_graph::ids::{EdgeId, QueryEdgeId, QueryVertexId, VertexId};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_query::query_graph::QueryGraph;
+use std::collections::HashSet;
+
+/// Which matching semantics the oracle applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleSemantics {
+    /// Injective vertex mapping, distinct data edge per query edge.
+    Isomorphism,
+    /// Unrestricted vertex mapping; data edges may be shared.
+    Homomorphism,
+    /// Isomorphism plus the temporal order encoded on the query edges.
+    TemporalIsomorphism,
+}
+
+/// One complete match: data vertices per query vertex and data edges per
+/// query edge, in query-id order. Identical layout to
+/// [`mnemonic_core::embedding::CompleteEmbedding`], so results can be compared
+/// directly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OracleEmbedding {
+    /// Data vertex matched to each query vertex.
+    pub vertices: Vec<VertexId>,
+    /// Data edge matched to each query edge.
+    pub edges: Vec<EdgeId>,
+}
+
+/// The naive matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveMatcher {
+    /// Semantics applied by this matcher.
+    pub semantics: OracleSemantics,
+}
+
+impl NaiveMatcher {
+    /// Create a matcher with the given semantics.
+    pub fn new(semantics: OracleSemantics) -> Self {
+        NaiveMatcher { semantics }
+    }
+
+    /// Enumerate every embedding of `query` in `graph`.
+    pub fn enumerate(&self, graph: &StreamingGraph, query: &QueryGraph) -> Vec<OracleEmbedding> {
+        let n = query.vertex_count();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Order query vertices so each (after the first) touches an earlier
+        // one — a simple connected expansion order.
+        let order = Self::expansion_order(query);
+        let mut assignment: Vec<Option<VertexId>> = vec![None; n];
+        let mut results = Vec::new();
+        self.extend_vertices(graph, query, &order, 0, &mut assignment, &mut results);
+        results
+    }
+
+    /// Count embeddings without materialising them all (still exhaustive).
+    pub fn count(&self, graph: &StreamingGraph, query: &QueryGraph) -> usize {
+        self.enumerate(graph, query).len()
+    }
+
+    fn expansion_order(query: &QueryGraph) -> Vec<QueryVertexId> {
+        let n = query.vertex_count();
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        // Start from vertex 0, BFS over the undirected structure, then append
+        // any disconnected leftovers (the engine rejects those, the oracle
+        // tolerates them).
+        let mut queue = std::collections::VecDeque::from([QueryVertexId(0)]);
+        seen[0] = true;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for entry in query.neighbors(u) {
+                if !seen[entry.neighbor.index()] {
+                    seen[entry.neighbor.index()] = true;
+                    queue.push_back(entry.neighbor);
+                }
+            }
+        }
+        for u in query.vertices() {
+            if !seen[u.index()] {
+                order.push(u);
+            }
+        }
+        order
+    }
+
+    fn injective(&self) -> bool {
+        matches!(
+            self.semantics,
+            OracleSemantics::Isomorphism | OracleSemantics::TemporalIsomorphism
+        )
+    }
+
+    fn vertex_candidates(
+        &self,
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+        u: QueryVertexId,
+        assignment: &[Option<VertexId>],
+    ) -> Vec<VertexId> {
+        let label = query.vertex_label(u);
+        // If u has an already-assigned neighbour, only vertices adjacent to
+        // that assignment can work — scan its adjacency instead of the whole
+        // graph.
+        let anchored = query.neighbors(u).into_iter().find_map(|entry| {
+            assignment[entry.neighbor.index()].map(|v| (entry, v))
+        });
+        let mut candidates: Vec<VertexId> = match anchored {
+            Some((entry, anchor)) => {
+                let qe = query.edge(entry.edge);
+                let u_is_dst = qe.dst == u;
+                let scan = if u_is_dst {
+                    graph.out_edges(anchor).map(|e| e.dst).collect::<Vec<_>>()
+                } else {
+                    graph.in_edges(anchor).map(|e| e.src).collect::<Vec<_>>()
+                };
+                scan
+            }
+            None => graph.active_vertices().collect(),
+        };
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+            .into_iter()
+            .filter(|&v| label.matches(graph.vertex_label(v)))
+            .collect()
+    }
+
+    /// Whether the (partial) vertex assignment is consistent: every query
+    /// edge with both endpoints assigned has at least one matching data edge.
+    fn edges_available(
+        &self,
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+        assignment: &[Option<VertexId>],
+        just_assigned: QueryVertexId,
+    ) -> bool {
+        for (qid, qe) in query.edges().iter().enumerate() {
+            if !qe.touches(just_assigned) {
+                continue;
+            }
+            let (Some(vs), Some(vd)) = (
+                assignment[qe.src.index()],
+                assignment[qe.dst.index()],
+            ) else {
+                continue;
+            };
+            let any = graph
+                .edges_between(vs, vd)
+                .into_iter()
+                .any(|e| qe.label.matches(e.label));
+            if !any {
+                return false;
+            }
+            let _ = qid;
+        }
+        true
+    }
+
+    fn extend_vertices(
+        &self,
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+        order: &[QueryVertexId],
+        depth: usize,
+        assignment: &mut Vec<Option<VertexId>>,
+        results: &mut Vec<OracleEmbedding>,
+    ) {
+        if depth == order.len() {
+            let vertices: Vec<VertexId> = assignment.iter().map(|a| a.unwrap()).collect();
+            let mut edge_choice: Vec<Option<EdgeId>> = vec![None; query.edge_count()];
+            self.extend_edges(graph, query, &vertices, 0, &mut edge_choice, results);
+            return;
+        }
+        let u = order[depth];
+        for v in self.vertex_candidates(graph, query, u, assignment) {
+            if self.injective() && assignment.iter().any(|&a| a == Some(v)) {
+                continue;
+            }
+            assignment[u.index()] = Some(v);
+            if self.edges_available(graph, query, assignment, u) {
+                self.extend_vertices(graph, query, order, depth + 1, assignment, results);
+            }
+            assignment[u.index()] = None;
+        }
+    }
+
+    fn extend_edges(
+        &self,
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+        vertices: &[VertexId],
+        q_index: usize,
+        edge_choice: &mut Vec<Option<EdgeId>>,
+        results: &mut Vec<OracleEmbedding>,
+    ) {
+        if q_index == query.edge_count() {
+            if self.semantics == OracleSemantics::TemporalIsomorphism
+                && !self.temporal_consistent(graph, query, edge_choice)
+            {
+                return;
+            }
+            results.push(OracleEmbedding {
+                vertices: vertices.to_vec(),
+                edges: edge_choice.iter().map(|e| e.unwrap()).collect(),
+            });
+            return;
+        }
+        let qe = query.edge(QueryEdgeId(q_index as u16));
+        let vs = vertices[qe.src.index()];
+        let vd = vertices[qe.dst.index()];
+        let share_allowed = self.semantics == OracleSemantics::Homomorphism;
+        for edge in graph.edges_between(vs, vd) {
+            if !qe.label.matches(edge.label) {
+                continue;
+            }
+            if !share_allowed && edge_choice.iter().any(|&c| c == Some(edge.id)) {
+                continue;
+            }
+            edge_choice[q_index] = Some(edge.id);
+            self.extend_edges(graph, query, vertices, q_index + 1, edge_choice, results);
+            edge_choice[q_index] = None;
+        }
+    }
+
+    fn temporal_consistent(
+        &self,
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+        edge_choice: &[Option<EdgeId>],
+    ) -> bool {
+        let ranked: Vec<(u32, EdgeId)> = query
+            .edges()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, qe)| qe.temporal_rank.map(|r| (r, edge_choice[i].unwrap())))
+            .collect();
+        for (i, &(ra, ea)) in ranked.iter().enumerate() {
+            for &(rb, eb) in ranked.iter().skip(i + 1) {
+                let ta = graph.edge_record(ea).map(|r| r.timestamp).unwrap_or_default();
+                let tb = graph.edge_record(eb).map(|r| r.timestamp).unwrap_or_default();
+                if ra < rb && ta >= tb {
+                    return false;
+                }
+                if ra > rb && ta <= tb {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerate embeddings as a hash set (convenient for differential
+    /// comparisons).
+    pub fn enumerate_set(
+        &self,
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+    ) -> HashSet<OracleEmbedding> {
+        self.enumerate(graph, query).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemonic_graph::builder::{paper_example_graph, GraphBuilder};
+    use mnemonic_query::patterns;
+    use mnemonic_query::query_tree::paper_example_query;
+
+    #[test]
+    fn triangle_counting_with_rotations() {
+        let graph = GraphBuilder::new()
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 0, 0)
+            .build();
+        let iso = NaiveMatcher::new(OracleSemantics::Isomorphism);
+        assert_eq!(iso.count(&graph, &patterns::triangle()), 3);
+    }
+
+    #[test]
+    fn paper_example_has_two_embeddings() {
+        let graph = paper_example_graph();
+        let (query, _) = paper_example_query();
+        let iso = NaiveMatcher::new(OracleSemantics::Isomorphism);
+        let found = iso.enumerate(&graph, &query);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn homomorphism_is_a_superset_of_isomorphism() {
+        let graph = GraphBuilder::new()
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 0, 0)
+            .edge(1, 0, 0)
+            .build();
+        let query = patterns::path(3);
+        let iso = NaiveMatcher::new(OracleSemantics::Isomorphism).count(&graph, &query);
+        let hom = NaiveMatcher::new(OracleSemantics::Homomorphism).count(&graph, &query);
+        assert!(hom >= iso);
+        assert!(iso > 0);
+    }
+
+    #[test]
+    fn parallel_edges_produce_distinct_embeddings() {
+        let graph = GraphBuilder::new().edge(0, 1, 0).edge(0, 1, 0).build();
+        let query = patterns::path(2);
+        let iso = NaiveMatcher::new(OracleSemantics::Isomorphism);
+        assert_eq!(iso.count(&graph, &query), 2);
+    }
+
+    #[test]
+    fn temporal_semantics_filters_out_of_order_paths() {
+        let graph = GraphBuilder::new()
+            .timed_edge(0, 1, 0, 10)
+            .timed_edge(1, 2, 0, 5)
+            .timed_edge(1, 3, 0, 20)
+            .build();
+        let query = patterns::temporal_path(3);
+        let temporal = NaiveMatcher::new(OracleSemantics::TemporalIsomorphism);
+        let found = temporal.enumerate(&graph, &query);
+        // Only 0 -> 1 -> 3 respects the increasing-timestamp constraint.
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].vertices, vec![VertexId(0), VertexId(1), VertexId(3)]);
+        // Plain isomorphism finds both paths.
+        let iso = NaiveMatcher::new(OracleSemantics::Isomorphism);
+        assert_eq!(iso.count(&graph, &query), 2);
+    }
+
+    #[test]
+    fn empty_graph_has_no_embeddings() {
+        let graph = StreamingGraph::new();
+        let iso = NaiveMatcher::new(OracleSemantics::Isomorphism);
+        assert_eq!(iso.count(&graph, &patterns::triangle()), 0);
+    }
+}

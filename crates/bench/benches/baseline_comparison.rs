@@ -1,0 +1,45 @@
+//! Head-to-head: Mnemonic vs the TurboFlux-style and CECI-style baselines on
+//! an identical triangle workload (the Criterion companion of Figs 6/11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemonic_bench::runners::{run_ceci_snapshots, run_mnemonic_stream, run_turboflux_stream, Variant};
+use mnemonic_bench::workloads::{scaled_netflow, WorkloadScale};
+use mnemonic_query::patterns;
+use mnemonic_stream::config::StreamConfig;
+
+fn engines(c: &mut Criterion) {
+    let scale = WorkloadScale::tiny();
+    let events = scaled_netflow(&scale);
+    let split = events.len() * 3 / 4;
+    let (bootstrap, delta) = events.split_at(split);
+    let query = patterns::triangle();
+
+    let mut group = c.benchmark_group("engine_comparison");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("mnemonic", |b| {
+        b.iter(|| {
+            run_mnemonic_stream(
+                &query,
+                bootstrap,
+                delta.to_vec(),
+                StreamConfig::batches(1_024),
+                Variant::Isomorphism,
+                0,
+                true,
+                true,
+            )
+        });
+    });
+    group.bench_function("turboflux_style", |b| {
+        b.iter(|| run_turboflux_stream(&query, bootstrap, delta));
+    });
+    group.bench_function("ceci_style_recompute", |b| {
+        b.iter(|| run_ceci_snapshots(&query, bootstrap, delta, delta.len() / 4));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

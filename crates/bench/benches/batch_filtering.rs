@@ -1,0 +1,42 @@
+//! Batch filtering cost: shared-frontier traversal vs per-edge processing
+//! (the mechanism behind Figures 8 and 12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnemonic_bench::runners::{run_mnemonic_stream, Variant};
+use mnemonic_bench::workloads::{paper_queries, scaled_netflow, WorkloadScale};
+use mnemonic_stream::config::StreamConfig;
+
+fn batch_sizes(c: &mut Criterion) {
+    let scale = WorkloadScale::tiny();
+    let events = scaled_netflow(&scale);
+    let classes = paper_queries(&events, &scale, false);
+    let query = classes[0].1[0].clone();
+    let split = events.len() / 2;
+    let (bootstrap, delta) = events.split_at(split);
+    let delta: Vec<_> = delta.iter().take(400).copied().collect();
+
+    let mut group = c.benchmark_group("batch_filtering");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for batch in [4usize, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                run_mnemonic_stream(
+                    &query,
+                    bootstrap,
+                    delta.clone(),
+                    StreamConfig::batches(batch),
+                    Variant::Isomorphism,
+                    1,
+                    false,
+                    true,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_sizes);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmark: DEBI update/read cost vs a CECI-style key-value candidate
+//! store update (Observation #1 of the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemonic_core::debi::Debi;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn debi_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_update");
+    let edges = 100_000usize;
+
+    group.bench_function("debi_set_clear", |b| {
+        let mut debi = Debi::new(8);
+        debi.ensure_rows(edges);
+        b.iter(|| {
+            for e in 0..1_000usize {
+                debi.set(black_box(e * 97 % edges), 3, true);
+                debi.set(black_box(e * 97 % edges), 3, false);
+            }
+        });
+    });
+
+    group.bench_function("ceci_style_map_update", |b| {
+        // A CECI-style per-parent candidate list: updating one entry requires
+        // a hash lookup plus a linear scan of the value vector.
+        let mut store: HashMap<u32, Vec<u32>> = HashMap::new();
+        for v in 0..10_000u32 {
+            store.insert(v, (0..20).map(|i| v.wrapping_add(i)).collect());
+        }
+        b.iter(|| {
+            for e in 0..1_000u32 {
+                let key = e * 97 % 10_000;
+                let list = store.entry(key).or_default();
+                if let Some(pos) = list.iter().position(|&x| x == key + 5) {
+                    list.swap_remove(pos);
+                }
+                list.push(key + 5);
+            }
+        });
+    });
+
+    group.bench_function("debi_row_read", |b| {
+        let mut debi = Debi::new(12);
+        debi.ensure_rows(edges);
+        for e in (0..edges).step_by(3) {
+            debi.set(e, (e % 11) as u16, true);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for e in 0..10_000usize {
+                acc += debi.row(black_box(e));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, debi_updates);
+criterion_main!(benches);

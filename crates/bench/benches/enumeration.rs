@@ -1,0 +1,45 @@
+//! Enumeration throughput for the built-in matching variants on the same
+//! stream (ablation of the semantics cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemonic_bench::runners::{run_mnemonic_stream, Variant};
+use mnemonic_bench::workloads::{scaled_netflow, WorkloadScale};
+use mnemonic_query::patterns;
+use mnemonic_stream::config::StreamConfig;
+
+fn variants(c: &mut Criterion) {
+    let scale = WorkloadScale::tiny();
+    let events = scaled_netflow(&scale);
+    let split = events.len() * 3 / 4;
+    let (bootstrap, delta) = events.split_at(split);
+    let query = patterns::triangle();
+
+    let mut group = c.benchmark_group("enumeration_variants");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, variant) in [
+        ("isomorphism", Variant::Isomorphism),
+        ("homomorphism", Variant::Homomorphism),
+        ("temporal", Variant::Temporal),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_mnemonic_stream(
+                    &query,
+                    bootstrap,
+                    delta.to_vec(),
+                    StreamConfig::batches(1_024),
+                    variant,
+                    1,
+                    false,
+                    true,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, variants);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! edge-id recycling on/off, parallel filtering on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemonic_bench::runners::{run_mnemonic_stream, Variant};
+use mnemonic_bench::workloads::{scaled_lsbench, WorkloadScale};
+use mnemonic_query::patterns;
+use mnemonic_stream::config::StreamConfig;
+
+fn ablations(c: &mut Criterion) {
+    let scale = WorkloadScale::tiny();
+    let events = scaled_lsbench(&scale);
+    let split = events.len() / 2;
+    let (bootstrap, delta) = events.split_at(split);
+    let query = patterns::path(3);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, recycle, parallel) in [
+        ("recycling_on_sequential", true, false),
+        ("recycling_off_sequential", false, false),
+        ("recycling_on_parallel", true, true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_mnemonic_stream(
+                    &query,
+                    bootstrap,
+                    delta.to_vec(),
+                    StreamConfig::batches(1_024),
+                    Variant::Isomorphism,
+                    if parallel { 0 } else { 1 },
+                    parallel,
+                    recycle,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # mnemonic-bench
+//!
+//! Shared harness code for the benchmark suite: scaled-down workload
+//! construction and runner helpers used both by the `figures` binary (which
+//! regenerates every table and figure of the paper's evaluation) and by the
+//! Criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod runners;
+pub mod workloads;
+
+pub use runners::{
+    run_ceci_snapshots, run_mnemonic_stream, run_turboflux_stream, MnemonicRun, Variant,
+};
+pub use workloads::{paper_queries, scaled_lanl, scaled_lsbench, scaled_netflow, WorkloadScale};

@@ -1,0 +1,204 @@
+//! Runner helpers: execute one (engine, query, stream) combination and report
+//! wall-clock time plus the counters the figures need.
+
+use mnemonic_baselines::ceci::CeciLike;
+use mnemonic_baselines::turboflux::TurboFluxLike;
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::embedding::CountingSink;
+use mnemonic_core::engine::{EngineConfig, Mnemonic};
+use mnemonic_core::stats::CounterSnapshot;
+use mnemonic_core::variants::{Homomorphism, Isomorphism, TemporalIsomorphism};
+use mnemonic_graph::edge::EdgeTriple;
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_stream::config::StreamConfig;
+use mnemonic_stream::event::StreamEvent;
+use mnemonic_stream::generator::SnapshotGenerator;
+use mnemonic_stream::source::VecSource;
+use std::time::{Duration, Instant};
+
+/// Which matching variant a Mnemonic run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Subgraph isomorphism.
+    Isomorphism,
+    /// Graph homomorphism.
+    Homomorphism,
+    /// Time-constrained isomorphism.
+    Temporal,
+}
+
+/// Outcome of one Mnemonic run.
+#[derive(Debug, Clone, Copy)]
+pub struct MnemonicRun {
+    /// Wall-clock time spent processing the stream (bootstrap excluded).
+    pub elapsed: Duration,
+    /// Positive embeddings reported.
+    pub positive: u64,
+    /// Negative embeddings reported.
+    pub negative: u64,
+    /// Number of snapshots processed.
+    pub snapshots: usize,
+    /// Counter snapshot accumulated over the stream.
+    pub counters: CounterSnapshot,
+    /// Final number of edge placeholders (for the memory figures).
+    pub placeholders: u64,
+    /// Final number of live edges.
+    pub live_edges: u64,
+    /// Placeholders a non-reclaiming system would need.
+    pub placeholders_without_reclaiming: u64,
+}
+
+/// Run Mnemonic over a stream: `bootstrap` edges are loaded silently, then
+/// `stream` is cut according to `config` and processed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mnemonic_stream(
+    query: &QueryGraph,
+    bootstrap: &[StreamEvent],
+    stream: Vec<StreamEvent>,
+    stream_config: StreamConfig,
+    variant: Variant,
+    threads: usize,
+    parallel: bool,
+    recycle: bool,
+) -> MnemonicRun {
+    let semantics: Box<dyn mnemonic_core::api::MatchSemantics> = match variant {
+        Variant::Isomorphism => Box::new(Isomorphism),
+        Variant::Homomorphism => Box::new(Homomorphism),
+        Variant::Temporal => Box::new(TemporalIsomorphism),
+    };
+    let config = EngineConfig {
+        num_threads: threads,
+        parallel,
+        recycle_edge_ids: recycle,
+        spill: None,
+    };
+    let mut engine = Mnemonic::new(query.clone(), Box::new(LabelEdgeMatcher), semantics, config);
+    engine.bootstrap(bootstrap);
+
+    let sink = CountingSink::new();
+    let generator = SnapshotGenerator::new(VecSource::new(stream), stream_config);
+    let start = Instant::now();
+    let results = engine.run_stream(generator, &sink);
+    let elapsed = start.elapsed();
+
+    let stats = engine.graph().stats();
+    MnemonicRun {
+        elapsed,
+        positive: sink.positive(),
+        negative: sink.negative(),
+        snapshots: results.len(),
+        counters: engine.counters(),
+        placeholders: stats.edge_placeholders,
+        live_edges: stats.live_edges,
+        placeholders_without_reclaiming: stats.placeholders_without_reclaiming(),
+    }
+}
+
+/// Run the TurboFlux-style baseline over the same stream (strictly
+/// sequential, one event at a time).
+pub fn run_turboflux_stream(
+    query: &QueryGraph,
+    bootstrap: &[StreamEvent],
+    stream: &[StreamEvent],
+) -> (Duration, u64, u64) {
+    let mut tf = TurboFluxLike::new(query.clone());
+    tf.bootstrap(bootstrap);
+    let start = Instant::now();
+    let delta = tf.process_batch(stream);
+    (start.elapsed(), delta.new_embeddings, delta.removed_embeddings)
+}
+
+/// Run the CECI-style baseline: rebuild the index and recount from scratch on
+/// every snapshot boundary of the stream. Returns total time and the average
+/// per-snapshot time.
+pub fn run_ceci_snapshots(
+    query: &QueryGraph,
+    bootstrap: &[StreamEvent],
+    stream: &[StreamEvent],
+    snapshot_size: usize,
+) -> (Duration, Duration, usize) {
+    let mut graph = StreamingGraph::new();
+    let mut apply = |graph: &mut StreamingGraph, e: &StreamEvent| {
+        if e.is_insert() {
+            graph.insert_edge(EdgeTriple::with_timestamp(e.src, e.dst, e.label, e.timestamp));
+        } else {
+            let _ = graph.delete_matching(e.src, e.dst, e.label);
+        }
+    };
+    for e in bootstrap {
+        apply(&mut graph, e);
+    }
+    let mut total = Duration::ZERO;
+    let mut snapshots = 0usize;
+    for chunk in stream.chunks(snapshot_size.max(1)) {
+        for e in chunk {
+            apply(&mut graph, e);
+        }
+        let start = Instant::now();
+        let _ = CeciLike::count_snapshot(&graph, query);
+        total += start.elapsed();
+        snapshots += 1;
+    }
+    let avg = if snapshots == 0 {
+        Duration::ZERO
+    } else {
+        total / snapshots as u32
+    };
+    (total, avg, snapshots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemonic_query::patterns;
+
+    fn tiny_stream(n: usize) -> Vec<StreamEvent> {
+        (0..n as u32)
+            .map(|i| StreamEvent::insert(i % 20, (i * 7 + 1) % 20, 0).at(i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn mnemonic_runner_reports_counts() {
+        let run = run_mnemonic_stream(
+            &patterns::triangle(),
+            &[],
+            tiny_stream(200),
+            StreamConfig::batches(64),
+            Variant::Isomorphism,
+            1,
+            false,
+            true,
+        );
+        assert!(run.snapshots >= 3);
+        assert!(run.counters.insertions_applied == 200);
+        assert_eq!(run.live_edges, 200);
+    }
+
+    #[test]
+    fn turboflux_and_mnemonic_agree_on_counts() {
+        let stream = tiny_stream(150);
+        let query = patterns::triangle();
+        let m = run_mnemonic_stream(
+            &query,
+            &[],
+            stream.clone(),
+            StreamConfig::batches(32),
+            Variant::Isomorphism,
+            1,
+            false,
+            true,
+        );
+        let (_t, tf_new, _) = run_turboflux_stream(&query, &[], &stream);
+        assert_eq!(m.positive, tf_new, "both engines must find the same triangles");
+    }
+
+    #[test]
+    fn ceci_runner_counts_snapshots() {
+        let stream = tiny_stream(120);
+        let (_total, _avg, snapshots) =
+            run_ceci_snapshots(&patterns::triangle(), &[], &stream, 40);
+        assert_eq!(snapshots, 3);
+    }
+}

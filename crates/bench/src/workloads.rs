@@ -1,0 +1,134 @@
+//! Workload construction for the benchmark harness.
+//!
+//! The paper's datasets are 18M–540M events; the harness scales them down
+//! (default ~50–100× smaller) so every experiment finishes on a laptop while
+//! preserving the structural properties the comparisons rely on. The scale
+//! can be raised through [`WorkloadScale`] for longer runs.
+
+use mnemonic_datagen::{
+    lanl_like, lsbench_like, netflow_like, LanlConfig, LsbenchConfig, NetflowConfig, QueryClass,
+    QueryWorkloadGenerator,
+};
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_stream::event::StreamEvent;
+
+/// How large the synthetic datasets should be.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadScale {
+    /// Total NetFlow-like events (paper: 18.5M).
+    pub netflow_events: usize,
+    /// Total LSBench-like events (paper: 23.3M).
+    pub lsbench_events: usize,
+    /// Total LANL-like events (paper: 540M over 3 days).
+    pub lanl_events: usize,
+    /// Queries generated per class (paper: 100).
+    pub queries_per_class: usize,
+    /// RNG seed shared by all generators.
+    pub seed: u64,
+}
+
+impl Default for WorkloadScale {
+    fn default() -> Self {
+        WorkloadScale {
+            netflow_events: 60_000,
+            lsbench_events: 60_000,
+            lanl_events: 60_000,
+            queries_per_class: 5,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadScale {
+    /// A very small scale for smoke tests and Criterion micro-benchmarks.
+    pub fn tiny() -> Self {
+        WorkloadScale {
+            netflow_events: 6_000,
+            lsbench_events: 6_000,
+            lanl_events: 6_000,
+            queries_per_class: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// The scaled NetFlow-like insert-only stream.
+pub fn scaled_netflow(scale: &WorkloadScale) -> Vec<StreamEvent> {
+    netflow_like(NetflowConfig {
+        vertices: (scale.netflow_events / 5).max(200) as u32,
+        events: scale.netflow_events,
+        edge_labels: 8,
+        seed: scale.seed,
+    })
+}
+
+/// The scaled LSBench-like insert/delete stream.
+pub fn scaled_lsbench(scale: &WorkloadScale) -> Vec<StreamEvent> {
+    let insertions = scale.lsbench_events * 9 / 10;
+    lsbench_like(LsbenchConfig {
+        vertices: (scale.lsbench_events / 6).max(200) as u32,
+        insertions,
+        updates: scale.lsbench_events - insertions,
+        deletion_fraction: 0.1,
+        edge_labels: 45,
+        seed: scale.seed,
+    })
+}
+
+/// The scaled LANL-like timestamped stream (3 simulated days).
+pub fn scaled_lanl(scale: &WorkloadScale) -> Vec<StreamEvent> {
+    lanl_like(LanlConfig {
+        vertices: (scale.lanl_events / 8).max(200) as u32,
+        events: scale.lanl_events,
+        days: 3,
+        vertex_labels: 6,
+        edge_labels: 3,
+        seed: scale.seed,
+    })
+}
+
+/// Extract the paper's query workload (T_3 … G_12) from a prefix of the
+/// given stream. Returns `(class name, queries)` pairs; classes whose
+/// extraction fails on very small inputs are simply skipped.
+pub fn paper_queries(
+    events: &[StreamEvent],
+    scale: &WorkloadScale,
+    temporal: bool,
+) -> Vec<(String, Vec<QueryGraph>)> {
+    let prefix_len = (events.len() / 4).max(1_000).min(events.len());
+    let mut generator = QueryWorkloadGenerator::from_events(&events[..prefix_len], scale.seed);
+    QueryClass::paper_workload()
+        .into_iter()
+        .map(|class| {
+            (
+                class.name(),
+                generator.workload(class, scale.queries_per_class, temporal),
+            )
+        })
+        .filter(|(_, qs)| !qs.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_builds_all_three_datasets() {
+        let scale = WorkloadScale::tiny();
+        assert_eq!(scaled_netflow(&scale).len(), 6_000);
+        assert_eq!(scaled_lsbench(&scale).len(), 6_000);
+        assert_eq!(scaled_lanl(&scale).len(), 6_000);
+    }
+
+    #[test]
+    fn paper_queries_cover_multiple_classes() {
+        let scale = WorkloadScale::tiny();
+        let events = scaled_netflow(&scale);
+        let queries = paper_queries(&events, &scale, false);
+        assert!(queries.len() >= 4, "expected several query classes, got {}", queries.len());
+        for (name, qs) in &queries {
+            assert!(!qs.is_empty(), "class {name} is empty");
+        }
+    }
+}

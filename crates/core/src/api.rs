@@ -1,0 +1,180 @@
+//! The programmable API: the two extension points a user implements to get a
+//! custom subgraph matching variant (Section III, Figure 3/4).
+//!
+//! * [`EdgeMatcher`] corresponds to the paper's `edgeMatcher()` — it decides
+//!   whether a data edge can match a query edge based on vertex and edge
+//!   attributes, and thereby controls the contents of DEBI.
+//! * [`MatchSemantics`] corresponds to the constraint-bearing part of the
+//!   paper's `enumerator()` — it decides which vertex and edge bindings a
+//!   partially materialised embedding may take (injectivity for isomorphism,
+//!   nothing for homomorphism, temporal ordering for time-constrained
+//!   matching, ...). The backtracking loop itself, candidate retrieval from
+//!   DEBI (`getCandidates`) and non-tree verification (`verifyNte`) are
+//!   provided by the engine, exactly like the system functions of Figure 3.
+//!
+//! Built-in implementations live in [`crate::variants`].
+
+use crate::embedding::PartialEmbedding;
+use mnemonic_graph::edge::Edge;
+use mnemonic_graph::ids::{QueryEdgeId, QueryVertexId, VertexId};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_query::query_graph::QueryGraph;
+
+/// Read-only view handed to matcher callbacks: the data graph and the query.
+#[derive(Clone, Copy)]
+pub struct MatcherContext<'a> {
+    /// The current data graph.
+    pub graph: &'a StreamingGraph,
+    /// The query graph being matched.
+    pub query: &'a QueryGraph,
+}
+
+impl<'a> MatcherContext<'a> {
+    /// Create a context.
+    pub fn new(graph: &'a StreamingGraph, query: &'a QueryGraph) -> Self {
+        MatcherContext { graph, query }
+    }
+}
+
+/// User-defined edge-level matching condition (`edgeMatcher()`).
+///
+/// Implementations must be cheap: the engine calls this for every
+/// (data edge, query edge) pair it considers during filtering.
+pub trait EdgeMatcher: Send + Sync {
+    /// Whether data edge `edge` can match query edge `q`.
+    fn edge_matches(&self, ctx: &MatcherContext<'_>, q: QueryEdgeId, edge: &Edge) -> bool;
+}
+
+/// The default edge matcher of Figure 4: the endpoint vertex labels and the
+/// edge label must match (wildcards match anything).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LabelEdgeMatcher;
+
+impl EdgeMatcher for LabelEdgeMatcher {
+    fn edge_matches(&self, ctx: &MatcherContext<'_>, q: QueryEdgeId, edge: &Edge) -> bool {
+        let qe = ctx.query.edge(q);
+        ctx.query
+            .vertex_label(qe.src)
+            .matches(ctx.graph.vertex_label(edge.src))
+            && ctx
+                .query
+                .vertex_label(qe.dst)
+                .matches(ctx.graph.vertex_label(edge.dst))
+            && qe.label.matches(edge.label)
+    }
+}
+
+/// An edge matcher defined by a closure, for quick experimentation — the
+/// "democratised" path where a user writes a few lines instead of a new
+/// system.
+pub struct FnEdgeMatcher<F>(pub F);
+
+impl<F> EdgeMatcher for FnEdgeMatcher<F>
+where
+    F: Fn(&MatcherContext<'_>, QueryEdgeId, &Edge) -> bool + Send + Sync,
+{
+    fn edge_matches(&self, ctx: &MatcherContext<'_>, q: QueryEdgeId, edge: &Edge) -> bool {
+        (self.0)(ctx, q, edge)
+    }
+}
+
+/// User-defined structural constraints applied during backtracking
+/// (the constraint-bearing half of `enumerator()`).
+pub trait MatchSemantics: Send + Sync {
+    /// Short name used in logs and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Whether query vertex `u` may be bound to data vertex `v` given the
+    /// current partial embedding. Isomorphism rejects data vertices that are
+    /// already in use (the injectivity check of Figure 4 line 23);
+    /// homomorphism accepts everything.
+    fn vertex_binding_allowed(
+        &self,
+        _embedding: &PartialEmbedding,
+        _u: QueryVertexId,
+        _v: VertexId,
+    ) -> bool {
+        true
+    }
+
+    /// Whether query edge `q` may be bound to data edge `edge` given the
+    /// current partial embedding. Time-constrained isomorphism uses this to
+    /// enforce the temporal order encoded on the query edges.
+    fn edge_binding_allowed(
+        &self,
+        _ctx: &MatcherContext<'_>,
+        _embedding: &PartialEmbedding,
+        _q: QueryEdgeId,
+        _edge: &Edge,
+    ) -> bool {
+        true
+    }
+
+    /// Whether a single data edge may be bound to more than one query edge in
+    /// the same embedding. Isomorphism and homomorphism both forbid this
+    /// (each query edge needs its own event); variants that allow edge reuse
+    /// can override it.
+    fn allow_shared_data_edges(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemonic_graph::builder::GraphBuilder;
+    use mnemonic_graph::ids::{EdgeId, EdgeLabel, VertexLabel};
+
+    fn setup() -> (StreamingGraph, QueryGraph) {
+        let graph = GraphBuilder::new()
+            .vertex(0, 1)
+            .vertex(1, 2)
+            .vertex(2, 2)
+            .edge(0, 1, 7)
+            .edge(0, 2, 8)
+            .build();
+        let mut query = QueryGraph::new();
+        let a = query.add_vertex(VertexLabel(1));
+        let b = query.add_vertex(VertexLabel(2));
+        query.add_edge(a, b, EdgeLabel(7));
+        (graph, query)
+    }
+
+    #[test]
+    fn label_matcher_requires_all_three_labels() {
+        let (graph, query) = setup();
+        let ctx = MatcherContext::new(&graph, &query);
+        let matcher = LabelEdgeMatcher;
+        let e0 = graph.edge(EdgeId(0)).unwrap();
+        let e1 = graph.edge(EdgeId(1)).unwrap();
+        assert!(matcher.edge_matches(&ctx, QueryEdgeId(0), &e0));
+        // Edge label 8 does not match the required 7.
+        assert!(!matcher.edge_matches(&ctx, QueryEdgeId(0), &e1));
+    }
+
+    #[test]
+    fn fn_matcher_wraps_closures() {
+        let (graph, query) = setup();
+        let ctx = MatcherContext::new(&graph, &query);
+        // Match only edges whose data timestamp is zero AND label is odd.
+        let matcher = FnEdgeMatcher(|_ctx: &MatcherContext<'_>, _q, e: &Edge| e.label.0 % 2 == 1);
+        let e0 = graph.edge(EdgeId(0)).unwrap();
+        let e1 = graph.edge(EdgeId(1)).unwrap();
+        assert!(matcher.edge_matches(&ctx, QueryEdgeId(0), &e0));
+        assert!(!matcher.edge_matches(&ctx, QueryEdgeId(0), &e1));
+    }
+
+    #[test]
+    fn default_semantics_allow_everything() {
+        struct Permissive;
+        impl MatchSemantics for Permissive {
+            fn name(&self) -> &'static str {
+                "permissive"
+            }
+        }
+        let s = Permissive;
+        let emb = PartialEmbedding::new(2, 1);
+        assert!(s.vertex_binding_allowed(&emb, QueryVertexId(0), VertexId(0)));
+        assert!(!s.allow_shared_data_edges());
+    }
+}

@@ -1,0 +1,329 @@
+//! DEBI — the Data-graph Edge-centric Binary Index (Section IV-A).
+//!
+//! DEBI keeps, for every data-graph edge, a bitmap with one bit per query
+//! *tree edge* (equivalently, per non-root query vertex): bit `u` says
+//! whether the data edge is currently a candidate match of the tree edge
+//! `(u_p, u)`. A separate bit vector `roots` marks the data vertices that are
+//! candidate matches of the root query node. Reads, writes and clears are
+//! O(1) and addressed purely by `edgeId`, which is what makes the index cheap
+//! to maintain under streaming updates and lets its memory be recycled
+//! together with the edge slots.
+//!
+//! Rows are stored as atomics so the batched filtering passes can update
+//! disjoint edges from multiple threads without locking; the paper makes the
+//! same observation ("both read and write are thread-safe, as two threads
+//! never process the same edge concurrently").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum number of query-tree columns a single DEBI row can hold. Queries
+/// in the paper's evaluation have at most 12 vertices; 64 leaves plenty of
+/// headroom while keeping a row a single machine word.
+pub const MAX_DEBI_COLUMNS: usize = 64;
+
+/// Occupancy statistics of the index, used by the memory experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DebiStats {
+    /// Number of rows currently allocated (== edge placeholders).
+    pub rows: usize,
+    /// Number of set bits across all rows.
+    pub set_bits: u64,
+    /// Number of vertices currently marked as root candidates.
+    pub root_candidates: u64,
+    /// Size of the index in bytes (rows * 8 + roots bitmap).
+    pub bytes: usize,
+}
+
+/// The DEBI index.
+#[derive(Debug)]
+pub struct Debi {
+    /// One bitmap row per edge placeholder, indexed by `EdgeId`.
+    rows: Vec<AtomicU64>,
+    /// Bit vector over data vertices: candidate matches of the root query
+    /// node. Packed 64 vertices per word.
+    roots: Vec<AtomicU64>,
+    /// Number of valid columns (`|V_Q| - 1`).
+    width: usize,
+}
+
+impl Debi {
+    /// Create an index with `width` columns (one per non-root query vertex).
+    ///
+    /// # Panics
+    /// Panics if `width` exceeds [`MAX_DEBI_COLUMNS`].
+    pub fn new(width: usize) -> Self {
+        assert!(
+            width <= MAX_DEBI_COLUMNS,
+            "query too large: {width} tree edges > {MAX_DEBI_COLUMNS}"
+        );
+        Debi {
+            rows: Vec::new(),
+            roots: Vec::new(),
+            width,
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of allocated rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Mask with a one for every valid column.
+    #[inline]
+    fn column_mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Make sure rows exist for every edge id below `bound`.
+    pub fn ensure_rows(&mut self, bound: usize) {
+        while self.rows.len() < bound {
+            self.rows.push(AtomicU64::new(0));
+        }
+    }
+
+    /// Make sure the roots bitmap covers vertex ids below `bound`.
+    pub fn ensure_roots(&mut self, bound: usize) {
+        let words = bound.div_ceil(64);
+        while self.roots.len() < words {
+            self.roots.push(AtomicU64::new(0));
+        }
+    }
+
+    /// Read bit `column` of row `edge`.
+    #[inline]
+    pub fn get(&self, edge: usize, column: u16) -> bool {
+        debug_assert!((column as usize) < self.width);
+        match self.rows.get(edge) {
+            Some(row) => row.load(Ordering::Relaxed) & (1u64 << column) != 0,
+            None => false,
+        }
+    }
+
+    /// Set or clear bit `column` of row `edge`. The row must exist
+    /// (see [`Debi::ensure_rows`]).
+    #[inline]
+    pub fn set(&self, edge: usize, column: u16, value: bool) {
+        debug_assert!((column as usize) < self.width);
+        let row = &self.rows[edge];
+        if value {
+            row.fetch_or(1u64 << column, Ordering::Relaxed);
+        } else {
+            row.fetch_and(!(1u64 << column), Ordering::Relaxed);
+        }
+    }
+
+    /// Read the whole row of an edge (only valid columns).
+    #[inline]
+    pub fn row(&self, edge: usize) -> u64 {
+        self.rows
+            .get(edge)
+            .map(|r| r.load(Ordering::Relaxed) & self.column_mask())
+            .unwrap_or(0)
+    }
+
+    /// Overwrite the whole row of an edge.
+    #[inline]
+    pub fn write_row(&self, edge: usize, value: u64) {
+        self.rows[edge].store(value & self.column_mask(), Ordering::Relaxed);
+    }
+
+    /// Clear the whole row of an edge — called when the edge is deleted so
+    /// the recycled slot starts clean.
+    #[inline]
+    pub fn clear_row(&self, edge: usize) {
+        if let Some(row) = self.rows.get(edge) {
+            row.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether any column of the row is set.
+    #[inline]
+    pub fn any(&self, edge: usize) -> bool {
+        self.row(edge) != 0
+    }
+
+    /// Mark / unmark vertex `v` as a root candidate. The roots bitmap must
+    /// cover `v` (see [`Debi::ensure_roots`]).
+    #[inline]
+    pub fn set_root(&self, v: usize, value: bool) {
+        let word = &self.roots[v / 64];
+        let bit = 1u64 << (v % 64);
+        if value {
+            word.fetch_or(bit, Ordering::Relaxed);
+        } else {
+            word.fetch_and(!bit, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether vertex `v` is currently a root candidate.
+    #[inline]
+    pub fn is_root(&self, v: usize) -> bool {
+        self.roots
+            .get(v / 64)
+            .map(|w| w.load(Ordering::Relaxed) & (1u64 << (v % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Iterate over the vertex ids currently marked as root candidates.
+    pub fn root_candidates(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, word) in self.roots.iter().enumerate() {
+            let mut bits = word.load(Ordering::Relaxed);
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                out.push(wi * 64 + tz);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Reset the whole index (periodic reset support).
+    pub fn reset(&mut self) {
+        self.rows.clear();
+        self.roots.clear();
+    }
+
+    /// Compute occupancy statistics.
+    pub fn stats(&self) -> DebiStats {
+        let set_bits = self
+            .rows
+            .iter()
+            .map(|r| (r.load(Ordering::Relaxed) & self.column_mask()).count_ones() as u64)
+            .sum();
+        let root_candidates = self
+            .roots
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as u64)
+            .sum();
+        DebiStats {
+            rows: self.rows.len(),
+            set_bits,
+            root_candidates,
+            bytes: self.rows.len() * 8 + self.roots.len() * 8,
+        }
+    }
+}
+
+impl Clone for Debi {
+    fn clone(&self) -> Self {
+        Debi {
+            rows: self
+                .rows
+                .iter()
+                .map(|r| AtomicU64::new(r.load(Ordering::Relaxed)))
+                .collect(),
+            roots: self
+                .roots
+                .iter()
+                .map(|r| AtomicU64::new(r.load(Ordering::Relaxed)))
+                .collect(),
+            width: self.width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_single_bits() {
+        let mut debi = Debi::new(6);
+        debi.ensure_rows(4);
+        assert!(!debi.get(2, 3));
+        debi.set(2, 3, true);
+        debi.set(2, 5, true);
+        assert!(debi.get(2, 3));
+        assert!(debi.get(2, 5));
+        assert_eq!(debi.row(2), (1 << 3) | (1 << 5));
+        debi.set(2, 3, false);
+        assert!(!debi.get(2, 3));
+        debi.clear_row(2);
+        assert_eq!(debi.row(2), 0);
+        assert!(!debi.any(2));
+    }
+
+    #[test]
+    fn out_of_range_rows_read_as_unset() {
+        let debi = Debi::new(4);
+        assert!(!debi.get(100, 0));
+        assert_eq!(debi.row(100), 0);
+    }
+
+    #[test]
+    fn roots_bitmap_across_word_boundaries() {
+        let mut debi = Debi::new(3);
+        debi.ensure_roots(200);
+        debi.set_root(0, true);
+        debi.set_root(63, true);
+        debi.set_root(64, true);
+        debi.set_root(130, true);
+        assert!(debi.is_root(0));
+        assert!(debi.is_root(63));
+        assert!(debi.is_root(64));
+        assert!(!debi.is_root(65));
+        assert_eq!(debi.root_candidates(), vec![0, 63, 64, 130]);
+        debi.set_root(64, false);
+        assert!(!debi.is_root(64));
+    }
+
+    #[test]
+    fn stats_count_rows_bits_and_roots() {
+        let mut debi = Debi::new(8);
+        debi.ensure_rows(3);
+        debi.ensure_roots(10);
+        debi.set(0, 0, true);
+        debi.set(1, 7, true);
+        debi.set(1, 2, true);
+        debi.set_root(4, true);
+        let stats = debi.stats();
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.set_bits, 3);
+        assert_eq!(stats.root_candidates, 1);
+        assert_eq!(stats.bytes, 3 * 8 + 8);
+    }
+
+    #[test]
+    fn full_width_row_mask() {
+        let mut debi = Debi::new(64);
+        debi.ensure_rows(1);
+        debi.set(0, 63, true);
+        assert!(debi.get(0, 63));
+        assert_eq!(debi.row(0), 1u64 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "query too large")]
+    fn too_many_columns_panics() {
+        Debi::new(65);
+    }
+
+    #[test]
+    fn write_row_masks_invalid_columns() {
+        let mut debi = Debi::new(4);
+        debi.ensure_rows(1);
+        debi.write_row(0, u64::MAX);
+        assert_eq!(debi.row(0), 0b1111);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut debi = Debi::new(4);
+        debi.ensure_rows(1);
+        debi.set(0, 1, true);
+        let copy = debi.clone();
+        debi.set(0, 2, true);
+        assert_eq!(copy.row(0), 0b10);
+        assert_eq!(debi.row(0), 0b110);
+    }
+}

@@ -1,0 +1,342 @@
+//! Embeddings: the results of subgraph matching.
+//!
+//! An embedding maps every query vertex to a data vertex and every query
+//! edge to a concrete data edge id (the paper's worked example in Figure 1
+//! lists edge ids for all seven query edges, including the non-tree edge, so
+//! parallel edges produce distinct embeddings). A [`PartialEmbedding`] is the
+//! backtracking state; a [`CompleteEmbedding`] is an immutable, hashable
+//! result used by result sets and by the differential tests.
+
+use mnemonic_graph::ids::{EdgeId, QueryEdgeId, QueryVertexId, VertexId};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Whether an embedding was created (insertions) or destroyed (deletions) by
+/// the batch that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// A newly formed embedding.
+    Positive,
+    /// An embedding removed by a deletion batch (a "negative embedding" in
+    /// the paper's terminology).
+    Negative,
+}
+
+/// Mutable backtracking state: partial assignment of query vertices and query
+/// edges to the data graph.
+#[derive(Debug, Clone)]
+pub struct PartialEmbedding {
+    vertices: Vec<Option<VertexId>>,
+    edges: Vec<Option<EdgeId>>,
+    bound_vertices: usize,
+    bound_edges: usize,
+}
+
+impl PartialEmbedding {
+    /// An empty embedding for a query with the given vertex and edge counts.
+    pub fn new(vertex_count: usize, edge_count: usize) -> Self {
+        PartialEmbedding {
+            vertices: vec![None; vertex_count],
+            edges: vec![None; edge_count],
+            bound_vertices: 0,
+            bound_edges: 0,
+        }
+    }
+
+    /// Bind query vertex `u` to data vertex `v`. Re-binding to the same value
+    /// is a no-op; binding to a different value panics in debug builds.
+    pub fn bind_vertex(&mut self, u: QueryVertexId, v: VertexId) {
+        let slot = &mut self.vertices[u.index()];
+        match slot {
+            Some(existing) => debug_assert_eq!(*existing, v, "conflicting vertex binding"),
+            None => {
+                *slot = Some(v);
+                self.bound_vertices += 1;
+            }
+        }
+    }
+
+    /// Remove the binding of query vertex `u`.
+    pub fn unbind_vertex(&mut self, u: QueryVertexId) {
+        if self.vertices[u.index()].take().is_some() {
+            self.bound_vertices -= 1;
+        }
+    }
+
+    /// Bind query edge `q` to data edge `e`.
+    pub fn bind_edge(&mut self, q: QueryEdgeId, e: EdgeId) {
+        let slot = &mut self.edges[q.index()];
+        if slot.is_none() {
+            self.bound_edges += 1;
+        }
+        *slot = Some(e);
+    }
+
+    /// Remove the binding of query edge `q`.
+    pub fn unbind_edge(&mut self, q: QueryEdgeId) {
+        if self.edges[q.index()].take().is_some() {
+            self.bound_edges -= 1;
+        }
+    }
+
+    /// The data vertex bound to `u`, if any.
+    #[inline]
+    pub fn vertex(&self, u: QueryVertexId) -> Option<VertexId> {
+        self.vertices[u.index()]
+    }
+
+    /// The data edge bound to `q`, if any.
+    #[inline]
+    pub fn edge(&self, q: QueryEdgeId) -> Option<EdgeId> {
+        self.edges[q.index()]
+    }
+
+    /// Whether some query vertex is already bound to data vertex `v`
+    /// (the isomorphism injectivity check of Figure 4, line 23).
+    pub fn uses_data_vertex(&self, v: VertexId) -> bool {
+        self.vertices.iter().any(|&b| b == Some(v))
+    }
+
+    /// Whether some query edge is already bound to data edge `e`.
+    pub fn uses_data_edge(&self, e: EdgeId) -> bool {
+        self.edges.iter().any(|&b| b == Some(e))
+    }
+
+    /// Number of bound query vertices.
+    pub fn bound_vertex_count(&self) -> usize {
+        self.bound_vertices
+    }
+
+    /// Whether every query vertex and every query edge is bound.
+    pub fn is_complete(&self) -> bool {
+        self.bound_vertices == self.vertices.len() && self.bound_edges == self.edges.len()
+    }
+
+    /// Freeze into an immutable result.
+    ///
+    /// # Panics
+    /// Panics if the embedding is not complete.
+    pub fn freeze(&self) -> CompleteEmbedding {
+        CompleteEmbedding {
+            vertices: self
+                .vertices
+                .iter()
+                .map(|b| b.expect("incomplete embedding: unbound vertex"))
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|b| b.expect("incomplete embedding: unbound edge"))
+                .collect(),
+        }
+    }
+}
+
+/// An immutable, complete embedding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompleteEmbedding {
+    /// Data vertex matched to each query vertex (indexed by query vertex id).
+    pub vertices: Vec<VertexId>,
+    /// Data edge matched to each query edge (indexed by query edge id).
+    pub edges: Vec<EdgeId>,
+}
+
+impl CompleteEmbedding {
+    /// The data vertex matched to query vertex `u`.
+    pub fn vertex(&self, u: QueryVertexId) -> VertexId {
+        self.vertices[u.index()]
+    }
+
+    /// The data edge matched to query edge `q`.
+    pub fn edge(&self, q: QueryEdgeId) -> EdgeId {
+        self.edges[q.index()]
+    }
+
+    /// Whether the embedding uses any of the given data edges.
+    pub fn uses_any_edge(&self, edges: &HashSet<EdgeId>) -> bool {
+        self.edges.iter().any(|e| edges.contains(e))
+    }
+}
+
+/// Where completed embeddings go. Implementations must be thread-safe: the
+/// enumeration phase feeds sinks from many rayon workers.
+pub trait EmbeddingSink: Send + Sync {
+    /// Accept one embedding.
+    fn accept(&self, embedding: CompleteEmbedding, sign: Sign);
+
+    /// Number of embeddings accepted so far.
+    fn count(&self) -> u64;
+}
+
+/// A sink that only counts embeddings — the configuration used for the
+/// throughput experiments, where materialising every match would dominate
+/// the measurement.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    positive: AtomicU64,
+    negative: AtomicU64,
+}
+
+impl CountingSink {
+    /// Create a counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of positive embeddings seen.
+    pub fn positive(&self) -> u64 {
+        self.positive.load(Ordering::Relaxed)
+    }
+
+    /// Number of negative embeddings seen.
+    pub fn negative(&self) -> u64 {
+        self.negative.load(Ordering::Relaxed)
+    }
+}
+
+impl EmbeddingSink for CountingSink {
+    fn accept(&self, _embedding: CompleteEmbedding, sign: Sign) {
+        match sign {
+            Sign::Positive => self.positive.fetch_add(1, Ordering::Relaxed),
+            Sign::Negative => self.negative.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    fn count(&self) -> u64 {
+        self.positive() + self.negative()
+    }
+}
+
+/// A sink that materialises every embedding (the `saveEmbedding` path).
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    positive: Mutex<Vec<CompleteEmbedding>>,
+    negative: Mutex<Vec<CompleteEmbedding>>,
+}
+
+impl CollectingSink {
+    /// Create a collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain the positive embeddings collected so far.
+    pub fn take_positive(&self) -> Vec<CompleteEmbedding> {
+        std::mem::take(&mut self.positive.lock())
+    }
+
+    /// Drain the negative embeddings collected so far.
+    pub fn take_negative(&self) -> Vec<CompleteEmbedding> {
+        std::mem::take(&mut self.negative.lock())
+    }
+
+    /// Snapshot of the positive embeddings (without draining).
+    pub fn positive(&self) -> Vec<CompleteEmbedding> {
+        self.positive.lock().clone()
+    }
+
+    /// Snapshot of the negative embeddings (without draining).
+    pub fn negative(&self) -> Vec<CompleteEmbedding> {
+        self.negative.lock().clone()
+    }
+}
+
+impl EmbeddingSink for CollectingSink {
+    fn accept(&self, embedding: CompleteEmbedding, sign: Sign) {
+        match sign {
+            Sign::Positive => self.positive.lock().push(embedding),
+            Sign::Negative => self.negative.lock().push(embedding),
+        }
+    }
+
+    fn count(&self) -> u64 {
+        (self.positive.lock().len() + self.negative.lock().len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_unbind_roundtrip() {
+        let mut e = PartialEmbedding::new(3, 2);
+        assert!(!e.is_complete());
+        e.bind_vertex(QueryVertexId(0), VertexId(5));
+        e.bind_vertex(QueryVertexId(1), VertexId(6));
+        e.bind_vertex(QueryVertexId(2), VertexId(7));
+        e.bind_edge(QueryEdgeId(0), EdgeId(10));
+        e.bind_edge(QueryEdgeId(1), EdgeId(11));
+        assert!(e.is_complete());
+        assert!(e.uses_data_vertex(VertexId(6)));
+        assert!(!e.uses_data_vertex(VertexId(9)));
+        assert!(e.uses_data_edge(EdgeId(11)));
+        let frozen = e.freeze();
+        assert_eq!(frozen.vertex(QueryVertexId(2)), VertexId(7));
+        assert_eq!(frozen.edge(QueryEdgeId(0)), EdgeId(10));
+        e.unbind_vertex(QueryVertexId(2));
+        e.unbind_edge(QueryEdgeId(1));
+        assert!(!e.is_complete());
+        assert_eq!(e.bound_vertex_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete embedding")]
+    fn freezing_incomplete_embedding_panics() {
+        let mut e = PartialEmbedding::new(2, 1);
+        e.bind_vertex(QueryVertexId(0), VertexId(1));
+        e.freeze();
+    }
+
+    #[test]
+    fn complete_embedding_set_semantics() {
+        let a = CompleteEmbedding {
+            vertices: vec![VertexId(1), VertexId(2)],
+            edges: vec![EdgeId(0)],
+        };
+        let b = CompleteEmbedding {
+            vertices: vec![VertexId(1), VertexId(2)],
+            edges: vec![EdgeId(0)],
+        };
+        let c = CompleteEmbedding {
+            vertices: vec![VertexId(1), VertexId(2)],
+            edges: vec![EdgeId(3)],
+        };
+        let set: HashSet<_> = [a.clone(), b.clone(), c.clone()].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        let batch: HashSet<EdgeId> = [EdgeId(3)].into_iter().collect();
+        assert!(!a.uses_any_edge(&batch));
+        assert!(c.uses_any_edge(&batch));
+    }
+
+    #[test]
+    fn counting_sink_separates_signs() {
+        let sink = CountingSink::new();
+        let emb = CompleteEmbedding {
+            vertices: vec![VertexId(0)],
+            edges: vec![],
+        };
+        sink.accept(emb.clone(), Sign::Positive);
+        sink.accept(emb.clone(), Sign::Positive);
+        sink.accept(emb, Sign::Negative);
+        assert_eq!(sink.positive(), 2);
+        assert_eq!(sink.negative(), 1);
+        assert_eq!(sink.count(), 3);
+    }
+
+    #[test]
+    fn collecting_sink_materialises() {
+        let sink = CollectingSink::new();
+        let emb = CompleteEmbedding {
+            vertices: vec![VertexId(4)],
+            edges: vec![EdgeId(2)],
+        };
+        sink.accept(emb.clone(), Sign::Positive);
+        assert_eq!(sink.count(), 1);
+        assert_eq!(sink.positive(), vec![emb.clone()]);
+        let drained = sink.take_positive();
+        assert_eq!(drained.len(), 1);
+        assert!(sink.take_positive().is_empty());
+    }
+}

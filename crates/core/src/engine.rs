@@ -1,0 +1,687 @@
+//! The Mnemonic engine: Algorithm 1 of the paper.
+//!
+//! [`Mnemonic`] owns the streaming data graph, the DEBI index and the query
+//! metadata (query tree, matching orders, mask table). Snapshots produced by
+//! the [`SnapshotGenerator`](mnemonic_stream::generator::SnapshotGenerator)
+//! are applied with [`Mnemonic::apply_snapshot`], which runs the
+//! `batchInserts` / `batchDeletes` pipelines of Algorithm 2 and reports
+//! newly formed / removed embeddings through an [`EmbeddingSink`].
+
+use crate::api::{EdgeMatcher, MatchSemantics};
+use crate::debi::{Debi, DebiStats};
+use crate::embedding::{EmbeddingSink, Sign};
+use crate::enumerate::Enumerator;
+use crate::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
+use crate::frontier::UnifiedFrontier;
+use crate::parallel;
+use crate::stats::{CounterSnapshot, EngineCounters, PhaseTimings};
+use mnemonic_graph::edge::{Edge, EdgeTriple};
+use mnemonic_graph::ids::{EdgeId, Timestamp, WILDCARD_VERTEX_LABEL};
+use mnemonic_graph::multigraph::{GraphConfig, StreamingGraph};
+use mnemonic_graph::spill::{SpillConfig, SpillManager, SpillStats};
+use mnemonic_query::masking::MaskTable;
+use mnemonic_query::matching_order::MatchingOrderSet;
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_query::query_tree::QueryTree;
+use mnemonic_query::root::{select_root, LabelFrequencies};
+use mnemonic_stream::event::StreamEvent;
+use mnemonic_stream::generator::SnapshotGenerator;
+use mnemonic_stream::snapshot::Snapshot;
+use mnemonic_stream::source::EventSource;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Engine configuration (the `config` argument of Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads; 0 uses every logical CPU.
+    pub num_threads: usize,
+    /// Whether the filtering and enumeration phases run in parallel at all.
+    /// Disabling this (together with `num_threads = 1`) isolates the benefit
+    /// of batching from thread-level parallelism, as in Figure 12.
+    pub parallel: bool,
+    /// Reuse edge slots of deleted edges (Figure 17's "with reclaiming").
+    pub recycle_edge_ids: bool,
+    /// Optional external-memory tier (Section IV-A, Table III).
+    pub spill: Option<SpillConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_threads: 0,
+            parallel: true,
+            recycle_edge_ids: true,
+            spill: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Single-threaded configuration (used by scalability baselines).
+    pub fn sequential() -> Self {
+        EngineConfig {
+            num_threads: 1,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    /// Parallel configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig {
+            num_threads: threads,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-snapshot outcome.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchResult {
+    /// Snapshot sequence number.
+    pub snapshot_id: u64,
+    /// Edges inserted by this snapshot.
+    pub insertions: usize,
+    /// Edges deleted by this snapshot (explicit plus evicted).
+    pub deletions: usize,
+    /// Newly formed embeddings reported.
+    pub new_embeddings: u64,
+    /// Removed embeddings reported.
+    pub removed_embeddings: u64,
+    /// Wall-clock phase breakdown.
+    pub timings: PhaseTimings,
+    /// Counter deltas for this snapshot.
+    pub counters: CounterSnapshot,
+}
+
+/// The Mnemonic subgraph matching engine.
+pub struct Mnemonic {
+    graph: StreamingGraph,
+    query: QueryGraph,
+    tree: QueryTree,
+    orders: MatchingOrderSet,
+    requirements: QueryRequirements,
+    mask: MaskTable,
+    debi: Debi,
+    candidacy: VertexCandidacy,
+    matcher: Box<dyn EdgeMatcher>,
+    semantics: Box<dyn MatchSemantics>,
+    config: EngineConfig,
+    counters: EngineCounters,
+    pool: Option<rayon::ThreadPool>,
+    spill: Option<SpillManager>,
+    total_timings: PhaseTimings,
+    snapshots_processed: u64,
+}
+
+impl Mnemonic {
+    /// Create an engine for `query` using the default root-selection
+    /// heuristic (`initializeIndex` of Figure 3).
+    pub fn new(
+        query: QueryGraph,
+        matcher: Box<dyn EdgeMatcher>,
+        semantics: Box<dyn MatchSemantics>,
+        config: EngineConfig,
+    ) -> Self {
+        let root = select_root(&query, &LabelFrequencies::new());
+        Self::with_root(query, root, matcher, semantics, config)
+    }
+
+    /// Create an engine with an explicitly chosen root query vertex
+    /// (the "experienced user" path of Section III).
+    pub fn with_root(
+        query: QueryGraph,
+        root: mnemonic_graph::ids::QueryVertexId,
+        matcher: Box<dyn EdgeMatcher>,
+        semantics: Box<dyn MatchSemantics>,
+        config: EngineConfig,
+    ) -> Self {
+        assert!(query.is_connected(), "query graph must be connected");
+        let tree = QueryTree::build(&query, root);
+        let orders = MatchingOrderSet::build(&query, &tree);
+        let requirements = QueryRequirements::build(&query);
+        let mask = MaskTable::new(query.edge_count());
+        let debi = Debi::new(tree.debi_width());
+        let pool = if config.parallel {
+            Some(parallel::build_pool(config.num_threads))
+        } else {
+            None
+        };
+        let spill = config.spill.map(|cfg| {
+            SpillManager::new_temp(cfg, "engine").expect("failed to create spill manager")
+        });
+        let graph = StreamingGraph::with_config(GraphConfig {
+            recycle_edge_ids: config.recycle_edge_ids,
+        });
+        Mnemonic {
+            graph,
+            query,
+            tree,
+            orders,
+            requirements,
+            mask,
+            debi,
+            candidacy: VertexCandidacy::new(),
+            matcher,
+            semantics,
+            config,
+            counters: EngineCounters::new(),
+            pool,
+            spill,
+            total_timings: PhaseTimings::default(),
+            snapshots_processed: 0,
+        }
+    }
+
+    /// The current data graph.
+    pub fn graph(&self) -> &StreamingGraph {
+        &self.graph
+    }
+
+    /// The query graph.
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+
+    /// The query tree.
+    pub fn tree(&self) -> &QueryTree {
+        &self.tree
+    }
+
+    /// DEBI occupancy statistics.
+    pub fn debi_stats(&self) -> DebiStats {
+        self.debi.stats()
+    }
+
+    /// Spill-tier statistics, when the external-memory tier is enabled.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.spill.as_ref().map(|s| s.stats())
+    }
+
+    /// Cumulative engine counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Cumulative phase timings.
+    pub fn timings(&self) -> PhaseTimings {
+        self.total_timings
+    }
+
+    /// Number of snapshots processed so far.
+    pub fn snapshots_processed(&self) -> u64 {
+        self.snapshots_processed
+    }
+
+    fn ensure_index_capacity(&mut self) {
+        self.debi.ensure_rows(self.graph.edge_id_bound());
+        self.debi.ensure_roots(self.graph.vertex_count());
+        self.candidacy.ensure(self.graph.vertex_count());
+    }
+
+    fn apply_insert_events(&mut self, events: &[StreamEvent]) -> Vec<Edge> {
+        let mut inserted = Vec::with_capacity(events.len());
+        for event in events {
+            if event.src_label != WILDCARD_VERTEX_LABEL {
+                self.graph.set_vertex_label(event.src, event.src_label);
+            }
+            if event.dst_label != WILDCARD_VERTEX_LABEL {
+                self.graph.set_vertex_label(event.dst, event.dst_label);
+            }
+            let id = self.graph.insert_edge(EdgeTriple::with_timestamp(
+                event.src,
+                event.dst,
+                event.label,
+                event.timestamp,
+            ));
+            let edge = self.graph.edge(id).expect("freshly inserted edge is alive");
+            if let Some(spill) = self.spill.as_mut() {
+                let debi = &self.debi;
+                let _ = spill.on_insert(edge, |eid| debi.row(eid.index()));
+            }
+            inserted.push(edge);
+        }
+        EngineCounters::add(&self.counters.insertions_applied, inserted.len() as u64);
+        inserted
+    }
+
+    /// Resolve explicit deletion events and the eviction cutoff to concrete
+    /// edge ids, without mutating the graph yet (negative embeddings must be
+    /// enumerated against the pre-deletion state).
+    fn resolve_deletions(&self, snapshot: &Snapshot) -> Vec<EdgeId> {
+        let mut chosen: HashSet<EdgeId> = HashSet::new();
+        let mut out = Vec::new();
+        for event in &snapshot.deletions {
+            // Pick the most recently inserted live instance not already
+            // chosen by an earlier deletion in the same batch.
+            let candidate = self
+                .graph
+                .outgoing(event.src)
+                .iter()
+                .filter(|entry| entry.neighbor == event.dst)
+                .map(|entry| entry.edge)
+                .filter(|&eid| {
+                    self.graph
+                        .edge(eid)
+                        .map(|e| e.label.matches(event.label))
+                        .unwrap_or(false)
+                        && !chosen.contains(&eid)
+                })
+                .max_by_key(|&eid| (self.graph.edge(eid).map(|e| e.timestamp), eid));
+            if let Some(eid) = candidate {
+                chosen.insert(eid);
+                out.push(eid);
+            }
+        }
+        if let Some(cutoff) = snapshot.evict_before {
+            for eid in self.graph.edges_older_than(Timestamp(cutoff.0)) {
+                if chosen.insert(eid) {
+                    out.push(eid);
+                }
+            }
+        }
+        out
+    }
+
+    fn run_filtering(&mut self, frontier: &UnifiedFrontier) {
+        self.ensure_index_capacity();
+        let pass = TopDownPass {
+            graph: &self.graph,
+            query: &self.query,
+            tree: &self.tree,
+            matcher: self.matcher.as_ref(),
+            requirements: &self.requirements,
+        };
+        let parallel_enabled = self.config.parallel;
+        parallel::install(self.pool.as_ref(), || {
+            pass.run(
+                frontier,
+                &self.candidacy,
+                &self.debi,
+                &self.counters,
+                parallel_enabled,
+            );
+        });
+    }
+
+    fn run_enumeration(
+        &self,
+        batch_edges: &[Edge],
+        batch_ids: &HashSet<EdgeId>,
+        sign: Sign,
+        sink: &dyn EmbeddingSink,
+    ) {
+        let enumerator = Enumerator {
+            graph: &self.graph,
+            query: &self.query,
+            tree: &self.tree,
+            orders: &self.orders,
+            debi: &self.debi,
+            matcher: self.matcher.as_ref(),
+            semantics: self.semantics.as_ref(),
+            mask: &self.mask,
+            batch: batch_ids,
+            sign,
+            sink,
+            counters: &self.counters,
+        };
+        let units = enumerator.decompose(batch_edges);
+        if self.config.parallel {
+            parallel::install(self.pool.as_ref(), || {
+                units.par_iter().for_each(|unit| enumerator.run_work_unit(*unit));
+            });
+        } else {
+            for unit in units {
+                enumerator.run_work_unit(unit);
+            }
+        }
+    }
+
+    /// Load an initial graph without reporting embeddings: the DEBI is
+    /// brought up to date but no enumeration work units are generated. This
+    /// mirrors the evaluation setup where "the remaining edges ... are loaded
+    /// in the initial graph".
+    pub fn bootstrap(&mut self, events: &[StreamEvent]) {
+        let inserted = self.apply_insert_events(events);
+        let frontier = UnifiedFrontier::build(&self.graph, inserted, true);
+        self.run_filtering(&frontier);
+    }
+
+    /// Process one snapshot: `batchInserts` followed by `batchDeletes`
+    /// (Algorithm 1), reporting newly formed and removed embeddings to
+    /// `sink`.
+    pub fn apply_snapshot(&mut self, snapshot: &Snapshot, sink: &dyn EmbeddingSink) -> BatchResult {
+        let before_counters = self.counters.snapshot();
+        let mut timings = PhaseTimings::default();
+        let mut new_embeddings = 0u64;
+        let mut removed_embeddings = 0u64;
+        let mut deletions_applied = 0usize;
+
+        // ---- batchInserts (Algorithm 2, lines 1-6) ----
+        if !snapshot.insertions.is_empty() {
+            let t0 = Instant::now();
+            let inserted = self.apply_insert_events(&snapshot.insertions);
+            timings.graph_update += t0.elapsed();
+
+            let t1 = Instant::now();
+            let frontier = UnifiedFrontier::build(&self.graph, inserted.clone(), true);
+            timings.frontier += t1.elapsed();
+
+            let t2 = Instant::now();
+            self.run_filtering(&frontier);
+            timings.top_down += t2.elapsed();
+
+            let t3 = Instant::now();
+            let before = self.counters.embeddings_emitted.load(std::sync::atomic::Ordering::Relaxed);
+            self.run_enumeration(&inserted, &frontier.batch_edge_ids, Sign::Positive, sink);
+            new_embeddings = self
+                .counters
+                .embeddings_emitted
+                .load(std::sync::atomic::Ordering::Relaxed)
+                - before;
+            timings.enumeration += t3.elapsed();
+        }
+
+        // ---- batchDeletes (Algorithm 2, lines 7-12) ----
+        if snapshot.has_deletions() {
+            let t0 = Instant::now();
+            let doomed_ids = self.resolve_deletions(snapshot);
+            let doomed_edges: Vec<Edge> = doomed_ids
+                .iter()
+                .filter_map(|&id| self.graph.edge(id))
+                .collect();
+            // The frontier is built before the graph is updated so the
+            // deleted edges and their neighbourhood are captured.
+            let frontier = UnifiedFrontier::build(&self.graph, doomed_edges.clone(), true);
+            timings.frontier += t0.elapsed();
+
+            if !doomed_edges.is_empty() {
+                // Enumerate the disappearing embeddings against the
+                // pre-deletion state.
+                let t1 = Instant::now();
+                let before = self
+                    .counters
+                    .embeddings_emitted
+                    .load(std::sync::atomic::Ordering::Relaxed);
+                self.run_enumeration(&doomed_edges, &frontier.batch_edge_ids, Sign::Negative, sink);
+                removed_embeddings = self
+                    .counters
+                    .embeddings_emitted
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    - before;
+                timings.enumeration += t1.elapsed();
+
+                // Apply the deletions.
+                let t2 = Instant::now();
+                for &id in &doomed_ids {
+                    if self.graph.delete_edge(id).is_ok() {
+                        deletions_applied += 1;
+                    }
+                }
+                EngineCounters::add(&self.counters.deletions_applied, deletions_applied as u64);
+                timings.graph_update += t2.elapsed();
+
+                // Refresh the index (bottom-up then top-down in the paper;
+                // our single refresh pass covers the same affected region).
+                let t3 = Instant::now();
+                self.run_filtering(&frontier);
+                timings.bottom_up += t3.elapsed();
+            }
+        }
+
+        self.snapshots_processed += 1;
+        self.total_timings.accumulate(&timings);
+        BatchResult {
+            snapshot_id: snapshot.id,
+            insertions: snapshot.insertions.len(),
+            deletions: deletions_applied,
+            new_embeddings,
+            removed_embeddings,
+            timings,
+            counters: self.counters.snapshot().since(&before_counters),
+        }
+    }
+
+    /// Drive an entire stream to completion (the `while getSnapshot()` loop
+    /// of Algorithm 1).
+    pub fn run_stream<S: EventSource>(
+        &mut self,
+        mut generator: SnapshotGenerator<S>,
+        sink: &dyn EmbeddingSink,
+    ) -> Vec<BatchResult> {
+        let mut results = Vec::new();
+        while let Some(snapshot) = generator.next_snapshot() {
+            results.push(self.apply_snapshot(&snapshot, sink));
+        }
+        results
+    }
+
+    /// Enumerate every embedding of the *current* graph from scratch. Used by
+    /// tests and by index-rebuild paths; not part of the incremental fast
+    /// path.
+    pub fn enumerate_current(&self, sink: &dyn EmbeddingSink) {
+        let empty = HashSet::new();
+        let enumerator = Enumerator {
+            graph: &self.graph,
+            query: &self.query,
+            tree: &self.tree,
+            orders: &self.orders,
+            debi: &self.debi,
+            matcher: self.matcher.as_ref(),
+            semantics: self.semantics.as_ref(),
+            mask: &self.mask,
+            batch: &empty,
+            sign: Sign::Positive,
+            sink,
+            counters: &self.counters,
+        };
+        enumerator.run_from_scratch();
+    }
+
+    /// Periodic reset (Section VII-D): drop the cumulative index and edge
+    /// placeholders, keeping only vertex labels, and rebuild from an empty
+    /// edge set.
+    pub fn periodic_reset(&mut self) {
+        self.graph.reset_edges();
+        self.debi.reset();
+        self.candidacy.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::LabelEdgeMatcher;
+    use crate::embedding::{CollectingSink, CountingSink};
+    use crate::variants::Isomorphism;
+    use mnemonic_query::patterns;
+    use mnemonic_stream::config::StreamConfig;
+    use mnemonic_stream::source::VecSource;
+
+    fn engine(query: QueryGraph) -> Mnemonic {
+        Mnemonic::new(
+            query,
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            EngineConfig::sequential(),
+        )
+    }
+
+    #[test]
+    fn incremental_triangle_detection() {
+        let mut m = engine(patterns::triangle());
+        let sink = CollectingSink::new();
+        // Insert 0->1, 1->2: no triangle yet.
+        let r = m.apply_snapshot(
+            &Snapshot {
+                id: 0,
+                insertions: vec![StreamEvent::insert(0, 1, 0), StreamEvent::insert(1, 2, 0)],
+                ..Default::default()
+            },
+            &sink,
+        );
+        assert_eq!(r.new_embeddings, 0);
+        // Closing edge 2->0 creates one data triangle. The directed triangle
+        // query has three rotational automorphisms, so three distinct
+        // vertex mappings are reported — but each exactly once (masking).
+        let r = m.apply_snapshot(
+            &Snapshot {
+                id: 1,
+                insertions: vec![StreamEvent::insert(2, 0, 0)],
+                ..Default::default()
+            },
+            &sink,
+        );
+        assert_eq!(r.new_embeddings, 3);
+        let found = sink.positive();
+        assert_eq!(found.len(), 3);
+        let unique: std::collections::HashSet<_> = found.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn deletion_reports_negative_embeddings() {
+        let mut m = engine(patterns::triangle());
+        let sink = CollectingSink::new();
+        m.apply_snapshot(
+            &Snapshot {
+                id: 0,
+                insertions: vec![
+                    StreamEvent::insert(0, 1, 0),
+                    StreamEvent::insert(1, 2, 0),
+                    StreamEvent::insert(2, 0, 0),
+                ],
+                ..Default::default()
+            },
+            &sink,
+        );
+        assert_eq!(sink.positive().len(), 3);
+        let r = m.apply_snapshot(
+            &Snapshot {
+                id: 1,
+                deletions: vec![StreamEvent::delete(1, 2, 0)],
+                ..Default::default()
+            },
+            &sink,
+        );
+        assert_eq!(r.removed_embeddings, 3);
+        assert_eq!(r.deletions, 1);
+        assert_eq!(sink.negative().len(), 3);
+        assert_eq!(m.graph().live_edge_count(), 2);
+    }
+
+    #[test]
+    fn run_stream_over_generator() {
+        let events: Vec<StreamEvent> = vec![
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(2, 0, 0),
+            StreamEvent::insert(2, 3, 0),
+            StreamEvent::insert(3, 4, 0),
+            StreamEvent::insert(4, 2, 0),
+        ];
+        let mut m = engine(patterns::triangle());
+        let sink = CountingSink::new();
+        let generator =
+            SnapshotGenerator::new(VecSource::new(events), StreamConfig::batches(2));
+        let results = m.run_stream(generator, &sink);
+        assert_eq!(results.len(), 3);
+        // Two data triangles, three rotational mappings each.
+        assert_eq!(sink.positive(), 6, "two triangles, three rotations each");
+        assert_eq!(m.snapshots_processed(), 3);
+    }
+
+    #[test]
+    fn bootstrap_skips_enumeration_but_primes_index() {
+        let mut m = engine(patterns::triangle());
+        let sink = CountingSink::new();
+        m.bootstrap(&[
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(2, 0, 0),
+        ]);
+        assert_eq!(sink.count(), 0);
+        // The triangle is already in the graph; a later unrelated insertion
+        // must not re-report it.
+        let r = m.apply_snapshot(
+            &Snapshot {
+                id: 0,
+                insertions: vec![StreamEvent::insert(5, 6, 0)],
+                ..Default::default()
+            },
+            &sink,
+        );
+        assert_eq!(r.new_embeddings, 0);
+        // But enumerate_current sees it (three rotational mappings).
+        let all = CollectingSink::new();
+        m.enumerate_current(&all);
+        assert_eq!(all.positive().len(), 3);
+    }
+
+    #[test]
+    fn sliding_window_eviction_removes_embeddings() {
+        let mut m = engine(patterns::triangle());
+        let sink = CollectingSink::new();
+        m.apply_snapshot(
+            &Snapshot {
+                id: 0,
+                insertions: vec![
+                    StreamEvent::insert(0, 1, 0).at(10),
+                    StreamEvent::insert(1, 2, 0).at(11),
+                    StreamEvent::insert(2, 0, 0).at(12),
+                ],
+                ..Default::default()
+            },
+            &sink,
+        );
+        assert_eq!(sink.positive().len(), 3);
+        // A window snapshot whose eviction cutoff removes the first edge.
+        let r = m.apply_snapshot(
+            &Snapshot {
+                id: 1,
+                evict_before: Some(Timestamp(11)),
+                ..Default::default()
+            },
+            &sink,
+        );
+        assert_eq!(r.removed_embeddings, 3);
+        assert_eq!(m.graph().live_edge_count(), 2);
+    }
+
+    #[test]
+    fn periodic_reset_clears_state() {
+        let mut m = engine(patterns::triangle());
+        let sink = CountingSink::new();
+        m.apply_snapshot(
+            &Snapshot {
+                id: 0,
+                insertions: vec![
+                    StreamEvent::insert(0, 1, 0),
+                    StreamEvent::insert(1, 2, 0),
+                    StreamEvent::insert(2, 0, 0),
+                ],
+                ..Default::default()
+            },
+            &sink,
+        );
+        m.periodic_reset();
+        assert_eq!(m.graph().live_edge_count(), 0);
+        assert_eq!(m.debi_stats().set_bits, 0);
+        // The engine keeps working after a reset.
+        let r = m.apply_snapshot(
+            &Snapshot {
+                id: 1,
+                insertions: vec![
+                    StreamEvent::insert(7, 8, 0),
+                    StreamEvent::insert(8, 9, 0),
+                    StreamEvent::insert(9, 7, 0),
+                ],
+                ..Default::default()
+            },
+            &sink,
+        );
+        assert_eq!(r.new_embeddings, 3);
+    }
+}

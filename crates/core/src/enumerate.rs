@@ -1,0 +1,535 @@
+//! Embedding enumeration (Section VI).
+//!
+//! A batch of updates is decomposed into fine-grained work units — one per
+//! (batch data edge, matching query edge) pair. Every work unit carries its
+//! own matching order (starting at the matched query edge), is pruned by the
+//! bottom-up support check, and is then explored by a backtracking search
+//! that pulls candidates from DEBI (`getCandidates`), verifies non-tree
+//! edges (`verifyNte`), applies the user's [`MatchSemantics`] and the
+//! masking rule for duplicate elimination, and hands completed embeddings to
+//! an [`EmbeddingSink`] (`saveEmbedding`).
+
+use crate::api::{EdgeMatcher, MatchSemantics, MatcherContext};
+use crate::debi::Debi;
+use crate::embedding::{EmbeddingSink, PartialEmbedding, Sign};
+use crate::filter::BottomUpPass;
+use crate::stats::EngineCounters;
+use mnemonic_graph::edge::Edge;
+use mnemonic_graph::ids::{EdgeId, QueryEdgeId};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_query::masking::MaskTable;
+use mnemonic_query::matching_order::{MatchingOrder, MatchingOrderSet};
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_query::query_tree::QueryTree;
+use std::collections::HashSet;
+
+/// One work unit: a batch data edge paired with the query edge it matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// The batch data edge anchoring the enumeration.
+    pub edge: Edge,
+    /// The query edge the data edge is matched to.
+    pub start: QueryEdgeId,
+}
+
+/// Shared context of the enumeration phase for one batch.
+pub struct Enumerator<'a> {
+    /// The data graph at enumeration time (for deletions this is the graph
+    /// *before* the batch is applied).
+    pub graph: &'a StreamingGraph,
+    /// The query graph.
+    pub query: &'a QueryGraph,
+    /// The query tree.
+    pub tree: &'a QueryTree,
+    /// Precomputed matching orders (one per start query edge).
+    pub orders: &'a MatchingOrderSet,
+    /// The DEBI index.
+    pub debi: &'a Debi,
+    /// The user's edge matcher.
+    pub matcher: &'a dyn EdgeMatcher,
+    /// The user's structural semantics.
+    pub semantics: &'a dyn MatchSemantics,
+    /// The masking table.
+    pub mask: &'a MaskTable,
+    /// The ids of the edges in the current batch (for masking). Empty when
+    /// masking is disabled (e.g. from-scratch enumeration).
+    pub batch: &'a HashSet<EdgeId>,
+    /// Whether emitted embeddings are newly formed or removed.
+    pub sign: Sign,
+    /// Where completed embeddings go.
+    pub sink: &'a dyn EmbeddingSink,
+    /// Instrumentation counters.
+    pub counters: &'a EngineCounters,
+}
+
+impl<'a> Enumerator<'a> {
+    fn ctx(&self) -> MatcherContext<'a> {
+        MatcherContext::new(self.graph, self.query)
+    }
+
+    /// Generate the work units for a batch of data edges: one unit per
+    /// (edge, query edge) pair accepted by the edge matcher and surviving the
+    /// bottom-up support pruning.
+    pub fn decompose(&self, batch_edges: &[Edge]) -> Vec<WorkUnit> {
+        let ctx = self.ctx();
+        let bottom_up = BottomUpPass {
+            graph: self.graph,
+            tree: self.tree,
+            debi: self.debi,
+        };
+        let mut units = Vec::new();
+        for &edge in batch_edges {
+            for q in self.query.edge_ids() {
+                if !self.matcher.edge_matches(&ctx, q, &edge) {
+                    continue;
+                }
+                let supported = match self.tree.tree_edge_of(q) {
+                    Some(te) => bottom_up.tree_start_supported(
+                        &edge,
+                        te.parent,
+                        te.child,
+                        te.child_is_dst,
+                        self.counters,
+                    ),
+                    None => {
+                        let qe = self.query.edge(q);
+                        bottom_up.non_tree_start_supported(&edge, qe.src, qe.dst, self.counters)
+                    }
+                };
+                if supported {
+                    units.push(WorkUnit { edge, start: q });
+                }
+            }
+        }
+        EngineCounters::add(&self.counters.work_units, units.len() as u64);
+        units
+    }
+
+    /// Run the backtracking search for one work unit.
+    pub fn run_work_unit(&self, unit: WorkUnit) {
+        let order = self.orders.for_start(unit.start);
+        let qe = self.query.edge(unit.start);
+        let mut embedding =
+            PartialEmbedding::new(self.query.vertex_count(), self.query.edge_count());
+
+        // Bind the start edge and its endpoints, honouring the semantics.
+        if !self
+            .semantics
+            .edge_binding_allowed(&self.ctx(), &embedding, unit.start, &unit.edge)
+        {
+            return;
+        }
+        if !self
+            .semantics
+            .vertex_binding_allowed(&embedding, qe.src, unit.edge.src)
+        {
+            return;
+        }
+        embedding.bind_vertex(qe.src, unit.edge.src);
+        if qe.src != qe.dst {
+            if !self
+                .semantics
+                .vertex_binding_allowed(&embedding, qe.dst, unit.edge.dst)
+            {
+                return;
+            }
+            embedding.bind_vertex(qe.dst, unit.edge.dst);
+        } else if unit.edge.src != unit.edge.dst {
+            // A query self-loop can only match a data self-loop.
+            return;
+        }
+        embedding.bind_edge(unit.start, unit.edge.id);
+
+        // Verify the non-tree edges already fully bound by the start, then
+        // recurse over the steps.
+        self.verify_non_tree_list(order, &mut embedding, &order.initial_non_tree_checks, 0, 0);
+    }
+
+    /// From-scratch enumeration: bind every root candidate in turn and follow
+    /// the full BFS matching order. Used for bootstrap verification and by
+    /// index-rebuild paths; masking does not apply (the batch set should be
+    /// empty).
+    pub fn run_from_scratch(&self) {
+        let order = self.orders.full();
+        for v in self.debi.root_candidates() {
+            let v = mnemonic_graph::ids::VertexId(v as u32);
+            let mut embedding =
+                PartialEmbedding::new(self.query.vertex_count(), self.query.edge_count());
+            if !self
+                .semantics
+                .vertex_binding_allowed(&embedding, self.tree.root(), v)
+            {
+                continue;
+            }
+            embedding.bind_vertex(self.tree.root(), v);
+            self.verify_non_tree_list(order, &mut embedding, &order.initial_non_tree_checks, 0, 0);
+        }
+    }
+
+    /// Verify the `pending` non-tree edges starting at `index`; once the list
+    /// is exhausted, continue with step `next_step` of the matching order.
+    fn verify_non_tree_list(
+        &self,
+        order: &MatchingOrder,
+        embedding: &mut PartialEmbedding,
+        pending: &[QueryEdgeId],
+        index: usize,
+        next_step: usize,
+    ) {
+        if index == pending.len() {
+            self.extend(order, embedding, next_step);
+            return;
+        }
+        let q = pending[index];
+        let qe = self.query.edge(q);
+        let (Some(vs), Some(vd)) = (embedding.vertex(qe.src), embedding.vertex(qe.dst)) else {
+            // Scheduling guarantees both endpoints are bound.
+            debug_assert!(false, "non-tree verification scheduled too early");
+            return;
+        };
+        let ctx = self.ctx();
+        let candidates = self.graph.edges_between(vs, vd);
+        EngineCounters::add(&self.counters.candidates_scanned, candidates.len() as u64);
+        for cand in candidates {
+            if !self.matcher.edge_matches(&ctx, q, &cand) {
+                continue;
+            }
+            if self.is_masked_edge(order, q, cand.id) {
+                continue;
+            }
+            if !self.semantics.allow_shared_data_edges() && embedding.uses_data_edge(cand.id) {
+                continue;
+            }
+            if !self
+                .semantics
+                .edge_binding_allowed(&ctx, embedding, q, &cand)
+            {
+                continue;
+            }
+            embedding.bind_edge(q, cand.id);
+            self.verify_non_tree_list(order, embedding, pending, index + 1, next_step);
+            embedding.unbind_edge(q);
+        }
+    }
+
+    /// Extend the embedding with step `step_idx` of the matching order.
+    fn extend(&self, order: &MatchingOrder, embedding: &mut PartialEmbedding, step_idx: usize) {
+        if step_idx == order.steps.len() {
+            if embedding.is_complete() {
+                self.sink.accept(embedding.freeze(), self.sign);
+                EngineCounters::add(&self.counters.embeddings_emitted, 1);
+            }
+            return;
+        }
+        let step = &order.steps[step_idx];
+        let te = step.tree_edge;
+        let column = self
+            .tree
+            .debi_column(te.child)
+            .expect("non-root child always has a column");
+        let anchor = embedding
+            .vertex(step.anchor_vertex)
+            .expect("anchor is bound by construction of the matching order");
+        let new_is_bound = embedding.vertex(step.new_vertex).is_some();
+        let ctx = self.ctx();
+
+        // getCandidates: scan the adjacency of the anchor in the direction
+        // dictated by the tree edge and keep the edges whose DEBI bit for the
+        // child column is set.
+        let anchor_is_parent = step.anchor_vertex == te.parent;
+        let scan_outgoing = anchor_is_parent == te.child_is_dst;
+        let entries = if scan_outgoing {
+            self.graph.outgoing(anchor)
+        } else {
+            self.graph.incoming(anchor)
+        };
+        EngineCounters::add(&self.counters.candidates_scanned, entries.len() as u64);
+
+        for entry in entries {
+            if !self.debi.get(entry.edge.index(), column) {
+                continue;
+            }
+            let Some(edge) = self.graph.edge(entry.edge) else {
+                continue;
+            };
+            // The data vertex that would be bound to the step's new vertex.
+            let new_data_vertex = if step.new_vertex == te.child {
+                if te.child_is_dst {
+                    edge.dst
+                } else {
+                    edge.src
+                }
+            } else if te.child_is_dst {
+                edge.src
+            } else {
+                edge.dst
+            };
+            if new_is_bound {
+                // Degenerate step: both endpoints already bound, the edge
+                // only has to connect them.
+                if embedding.vertex(step.new_vertex) != Some(new_data_vertex) {
+                    continue;
+                }
+            } else if !self
+                .semantics
+                .vertex_binding_allowed(embedding, step.new_vertex, new_data_vertex)
+            {
+                continue;
+            }
+            if self.is_masked_edge(order, te.query_edge, edge.id) {
+                continue;
+            }
+            if !self.semantics.allow_shared_data_edges() && embedding.uses_data_edge(edge.id) {
+                continue;
+            }
+            if !self
+                .semantics
+                .edge_binding_allowed(&ctx, embedding, te.query_edge, &edge)
+            {
+                continue;
+            }
+
+            let newly_bound = !new_is_bound;
+            if newly_bound {
+                embedding.bind_vertex(step.new_vertex, new_data_vertex);
+            }
+            embedding.bind_edge(te.query_edge, edge.id);
+            self.verify_non_tree_list(order, embedding, &step.verify_non_tree, 0, step_idx + 1);
+            embedding.unbind_edge(te.query_edge);
+            if newly_bound {
+                embedding.unbind_vertex(step.new_vertex);
+            }
+        }
+    }
+
+    /// The masking rule of Section VI: during an enumeration started at query
+    /// edge `start`, query edges with a smaller canonical index must not be
+    /// matched to edges of the current batch.
+    fn is_masked_edge(&self, order: &MatchingOrder, q: QueryEdgeId, edge: EdgeId) -> bool {
+        let Some(start) = order.start_edge() else {
+            return false;
+        };
+        self.mask.is_masked(start, q) && self.batch.contains(&edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::LabelEdgeMatcher;
+    use crate::embedding::CollectingSink;
+    use crate::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
+    use crate::frontier::UnifiedFrontier;
+    use crate::variants::Isomorphism;
+    use mnemonic_graph::builder::paper_example_graph;
+    use mnemonic_graph::ids::{QueryVertexId, VertexId};
+    use mnemonic_query::query_tree::paper_example_query;
+
+    struct Fixture {
+        graph: StreamingGraph,
+        query: QueryGraph,
+        tree: QueryTree,
+        orders: MatchingOrderSet,
+        debi: Debi,
+        mask: MaskTable,
+    }
+
+    fn fixture() -> Fixture {
+        let graph = paper_example_graph();
+        let (query, tree) = paper_example_query();
+        let orders = MatchingOrderSet::build(&query, &tree);
+        let requirements = QueryRequirements::build(&query);
+        let mut debi = Debi::new(tree.debi_width());
+        debi.ensure_rows(graph.edge_id_bound());
+        debi.ensure_roots(graph.vertex_count());
+        let mut candidacy = VertexCandidacy::new();
+        candidacy.ensure(graph.vertex_count());
+        let counters = EngineCounters::new();
+        let frontier = UnifiedFrontier::build(&graph, graph.live_edges().collect(), false);
+        TopDownPass {
+            graph: &graph,
+            query: &query,
+            tree: &tree,
+            matcher: &LabelEdgeMatcher,
+            requirements: &requirements,
+        }
+        .run(&frontier, &candidacy, &debi, &counters, false);
+        let mask = MaskTable::new(query.edge_count());
+        Fixture {
+            graph,
+            query,
+            tree,
+            orders,
+            debi,
+            mask,
+        }
+    }
+
+    #[test]
+    fn from_scratch_enumeration_finds_the_two_paper_embeddings() {
+        let f = fixture();
+        let sink = CollectingSink::new();
+        let counters = EngineCounters::new();
+        let batch = HashSet::new();
+        let enumerator = Enumerator {
+            graph: &f.graph,
+            query: &f.query,
+            tree: &f.tree,
+            orders: &f.orders,
+            debi: &f.debi,
+            matcher: &LabelEdgeMatcher,
+            semantics: &Isomorphism,
+            mask: &f.mask,
+            batch: &batch,
+            sign: Sign::Positive,
+            sink: &sink,
+            counters: &counters,
+        };
+        enumerator.run_from_scratch();
+        let embeddings = sink.take_positive();
+        // Section II-B: the snapshot G contains exactly two isomorphic
+        // embeddings of the query, differing in the match of (u2, u6):
+        // (v4, v8) vs (v4, v0).
+        assert_eq!(embeddings.len(), 2);
+        for e in &embeddings {
+            assert_eq!(e.vertex(QueryVertexId(0)), VertexId(1));
+            assert_eq!(e.vertex(QueryVertexId(1)), VertexId(3));
+            assert_eq!(e.vertex(QueryVertexId(2)), VertexId(4));
+            assert_eq!(e.vertex(QueryVertexId(5)), VertexId(5));
+        }
+        let mut u6_matches: Vec<VertexId> =
+            embeddings.iter().map(|e| e.vertex(QueryVertexId(6))).collect();
+        u6_matches.sort();
+        assert_eq!(u6_matches, vec![VertexId(0), VertexId(8)]);
+    }
+
+    #[test]
+    fn work_unit_enumeration_matches_from_scratch() {
+        // Treat every edge of the example graph as a batch inserted into an
+        // empty graph: the per-work-unit enumeration with masking must find
+        // exactly the same embeddings as the from-scratch enumeration.
+        let f = fixture();
+        let counters = EngineCounters::new();
+
+        let scratch_sink = CollectingSink::new();
+        let empty_batch = HashSet::new();
+        Enumerator {
+            graph: &f.graph,
+            query: &f.query,
+            tree: &f.tree,
+            orders: &f.orders,
+            debi: &f.debi,
+            matcher: &LabelEdgeMatcher,
+            semantics: &Isomorphism,
+            mask: &f.mask,
+            batch: &empty_batch,
+            sign: Sign::Positive,
+            sink: &scratch_sink,
+            counters: &counters,
+        }
+        .run_from_scratch();
+
+        let batch_edges: Vec<Edge> = f.graph.live_edges().collect();
+        let batch_ids: HashSet<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
+        let unit_sink = CollectingSink::new();
+        let enumerator = Enumerator {
+            graph: &f.graph,
+            query: &f.query,
+            tree: &f.tree,
+            orders: &f.orders,
+            debi: &f.debi,
+            matcher: &LabelEdgeMatcher,
+            semantics: &Isomorphism,
+            mask: &f.mask,
+            batch: &batch_ids,
+            sign: Sign::Positive,
+            sink: &unit_sink,
+            counters: &counters,
+        };
+        for unit in enumerator.decompose(&batch_edges) {
+            enumerator.run_work_unit(unit);
+        }
+
+        let mut a = scratch_sink.take_positive();
+        let mut b = unit_sink.take_positive();
+        a.sort();
+        b.sort();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a, b, "masking must emit every embedding exactly once");
+    }
+
+    #[test]
+    fn masking_prevents_duplicates_for_overlapping_batch() {
+        // Insert the three edges of the paper's t1 snapshot on top of G and
+        // check the two new embeddings are emitted exactly once each.
+        let mut graph = paper_example_graph();
+        let (query, tree) = paper_example_query();
+        let orders = MatchingOrderSet::build(&query, &tree);
+        let requirements = QueryRequirements::build(&query);
+        let counters = EngineCounters::new();
+
+        // ΔG1 insertions: (v2, v6), (v0, v2), (v0, v5) — ids 13, 14, 15.
+        let new_edges: Vec<Edge> = [
+            (2u32, 6u32),
+            (0, 2),
+            (0, 5),
+        ]
+        .iter()
+        .map(|&(s, d)| {
+            let id = graph.insert_edge(mnemonic_graph::edge::EdgeTriple::new(
+                VertexId(s),
+                VertexId(d),
+                mnemonic_graph::ids::EdgeLabel(1),
+            ));
+            graph.edge(id).unwrap()
+        })
+        .collect();
+
+        let mut debi = Debi::new(tree.debi_width());
+        debi.ensure_rows(graph.edge_id_bound());
+        debi.ensure_roots(graph.vertex_count());
+        let mut candidacy = VertexCandidacy::new();
+        candidacy.ensure(graph.vertex_count());
+        let frontier = UnifiedFrontier::build(&graph, graph.live_edges().collect(), false);
+        TopDownPass {
+            graph: &graph,
+            query: &query,
+            tree: &tree,
+            matcher: &LabelEdgeMatcher,
+            requirements: &requirements,
+        }
+        .run(&frontier, &candidacy, &debi, &counters, false);
+
+        let mask = MaskTable::new(query.edge_count());
+        let batch_ids: HashSet<EdgeId> = new_edges.iter().map(|e| e.id).collect();
+        let sink = CollectingSink::new();
+        let enumerator = Enumerator {
+            graph: &graph,
+            query: &query,
+            tree: &tree,
+            orders: &orders,
+            debi: &debi,
+            matcher: &LabelEdgeMatcher,
+            semantics: &Isomorphism,
+            mask: &mask,
+            batch: &batch_ids,
+            sign: Sign::Positive,
+            sink: &sink,
+            counters: &counters,
+        };
+        for unit in enumerator.decompose(&new_edges) {
+            enumerator.run_work_unit(unit);
+        }
+        let embeddings = sink.take_positive();
+        let unique: HashSet<_> = embeddings.iter().cloned().collect();
+        assert_eq!(
+            embeddings.len(),
+            unique.len(),
+            "no embedding may be emitted twice"
+        );
+        // Every emitted embedding must use at least one batch edge.
+        for e in &embeddings {
+            assert!(e.uses_any_edge(&batch_ids));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Per-query-vertex neighbourhood requirements — the query-side constants of
+//! the filtering rules f2 and f3 (Section V).
+//!
+//! For a query vertex `u`:
+//! * **f2**: if `u` has `n_l` incoming (outgoing) query edges with label `l`,
+//!   a data vertex matched to `u` must have at least `n_l` incoming
+//!   (outgoing) edges of label `l`;
+//! * **f3**: if `u` has `n_l` in-neighbours (out-neighbours) with vertex
+//!   label `l`, the data vertex must have at least `n_l` in-neighbours
+//!   (out-neighbours) of that label.
+//!
+//! These requirements only depend on the query, so they are computed once at
+//! `initializeIndex` time and reused for every batch.
+
+use mnemonic_graph::ids::{EdgeLabel, QueryVertexId, VertexLabel};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_graph::VertexId;
+use mnemonic_query::query_graph::QueryGraph;
+use std::collections::HashMap;
+
+/// Requirements of one query vertex.
+#[derive(Debug, Clone)]
+pub struct VertexRequirements {
+    /// Required vertex label (possibly the wildcard).
+    pub label: VertexLabel,
+    /// Minimum number of outgoing data edges per edge label (f2, outgoing).
+    pub out_edge_labels: Vec<(EdgeLabel, usize)>,
+    /// Minimum number of incoming data edges per edge label (f2, incoming).
+    pub in_edge_labels: Vec<(EdgeLabel, usize)>,
+    /// Minimum number of distinct out-neighbours per vertex label (f3).
+    pub out_neighbor_labels: Vec<(VertexLabel, usize)>,
+    /// Minimum number of distinct in-neighbours per vertex label (f3).
+    pub in_neighbor_labels: Vec<(VertexLabel, usize)>,
+}
+
+impl VertexRequirements {
+    /// Whether data vertex `v` of `graph` satisfies every requirement.
+    pub fn satisfied_by(&self, graph: &StreamingGraph, v: VertexId) -> bool {
+        if !self.label.matches(graph.vertex_label(v)) {
+            return false;
+        }
+        for &(label, need) in &self.out_edge_labels {
+            if graph.out_label_count(v, label) < need {
+                return false;
+            }
+        }
+        for &(label, need) in &self.in_edge_labels {
+            if graph.in_label_count(v, label) < need {
+                return false;
+            }
+        }
+        for &(label, need) in &self.out_neighbor_labels {
+            if graph.out_neighbor_label_count(v, label) < need {
+                return false;
+            }
+        }
+        for &(label, need) in &self.in_neighbor_labels {
+            if graph.in_neighbor_label_count(v, label) < need {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Requirements for every query vertex, indexed by query vertex id.
+#[derive(Debug, Default, Clone)]
+pub struct QueryRequirements {
+    per_vertex: Vec<VertexRequirements>,
+}
+
+impl QueryRequirements {
+    /// Precompute the requirements of every query vertex.
+    pub fn build(query: &QueryGraph) -> Self {
+        let per_vertex = query
+            .vertices()
+            .map(|u| Self::build_vertex(query, u))
+            .collect();
+        QueryRequirements { per_vertex }
+    }
+
+    fn build_vertex(query: &QueryGraph, u: QueryVertexId) -> VertexRequirements {
+        let mut out_edge_labels: HashMap<u16, usize> = HashMap::new();
+        let mut in_edge_labels: HashMap<u16, usize> = HashMap::new();
+        let mut out_neighbor_labels: HashMap<u16, usize> = HashMap::new();
+        let mut in_neighbor_labels: HashMap<u16, usize> = HashMap::new();
+
+        for entry in query.outgoing(u) {
+            let e = query.edge(entry.edge);
+            *out_edge_labels.entry(e.label.0).or_insert(0) += 1;
+            *out_neighbor_labels
+                .entry(query.vertex_label(entry.neighbor).0)
+                .or_insert(0) += 1;
+        }
+        for entry in query.incoming(u) {
+            let e = query.edge(entry.edge);
+            *in_edge_labels.entry(e.label.0).or_insert(0) += 1;
+            *in_neighbor_labels
+                .entry(query.vertex_label(entry.neighbor).0)
+                .or_insert(0) += 1;
+        }
+
+        VertexRequirements {
+            label: query.vertex_label(u),
+            out_edge_labels: out_edge_labels
+                .into_iter()
+                .map(|(l, n)| (EdgeLabel(l), n))
+                .collect(),
+            in_edge_labels: in_edge_labels
+                .into_iter()
+                .map(|(l, n)| (EdgeLabel(l), n))
+                .collect(),
+            out_neighbor_labels: out_neighbor_labels
+                .into_iter()
+                .map(|(l, n)| (VertexLabel(l), n))
+                .collect(),
+            in_neighbor_labels: in_neighbor_labels
+                .into_iter()
+                .map(|(l, n)| (VertexLabel(l), n))
+                .collect(),
+        }
+    }
+
+    /// Requirements of query vertex `u`.
+    pub fn for_vertex(&self, u: QueryVertexId) -> &VertexRequirements {
+        &self.per_vertex[u.index()]
+    }
+
+    /// Number of query vertices covered.
+    pub fn len(&self) -> usize {
+        self.per_vertex.len()
+    }
+
+    /// Whether the query had no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.per_vertex.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemonic_graph::builder::GraphBuilder;
+    use mnemonic_graph::ids::WILDCARD_EDGE_LABEL;
+
+    #[test]
+    fn requirements_count_labels_per_direction() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VertexLabel(1));
+        let b = q.add_vertex(VertexLabel(2));
+        let c = q.add_vertex(VertexLabel(2));
+        q.add_edge(a, b, EdgeLabel(5));
+        q.add_edge(a, c, EdgeLabel(5));
+        q.add_edge(b, a, EdgeLabel(6));
+        let reqs = QueryRequirements::build(&q);
+        let ra = reqs.for_vertex(a);
+        assert_eq!(ra.label, VertexLabel(1));
+        assert_eq!(ra.out_edge_labels, vec![(EdgeLabel(5), 2)]);
+        assert_eq!(ra.in_edge_labels, vec![(EdgeLabel(6), 1)]);
+        assert_eq!(ra.out_neighbor_labels, vec![(VertexLabel(2), 2)]);
+        assert_eq!(reqs.len(), 3);
+    }
+
+    #[test]
+    fn satisfied_by_checks_degree_profile() {
+        // Query: u0 -[5]-> u1, u0 -[5]-> u2 — a data match for u0 needs two
+        // outgoing label-5 edges to label-2 vertices.
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VertexLabel(1));
+        let b = q.add_vertex(VertexLabel(2));
+        let c = q.add_vertex(VertexLabel(2));
+        q.add_edge(a, b, EdgeLabel(5));
+        q.add_edge(a, c, EdgeLabel(5));
+        let reqs = QueryRequirements::build(&q);
+
+        let graph = GraphBuilder::new()
+            .vertex(0, 1)
+            .vertex(1, 2)
+            .vertex(2, 2)
+            .vertex(3, 1)
+            .vertex(4, 2)
+            .edge(0, 1, 5)
+            .edge(0, 2, 5)
+            .edge(3, 4, 5)
+            .build();
+        // v0 has two label-5 out-edges to label-2 vertices: satisfied.
+        assert!(reqs.for_vertex(a).satisfied_by(&graph, VertexId(0)));
+        // v3 has only one: not satisfied.
+        assert!(!reqs.for_vertex(a).satisfied_by(&graph, VertexId(3)));
+        // v1 has the wrong vertex label for u0.
+        assert!(!reqs.for_vertex(a).satisfied_by(&graph, VertexId(1)));
+        // v1 satisfies u1 (label 2, needs one incoming label-5 edge from a label-1 vertex).
+        assert!(reqs.for_vertex(b).satisfied_by(&graph, VertexId(1)));
+    }
+
+    #[test]
+    fn wildcard_query_requires_only_degree() {
+        let mut q = QueryGraph::new();
+        let a = q.add_wildcard_vertex();
+        let b = q.add_wildcard_vertex();
+        let c = q.add_wildcard_vertex();
+        q.add_edge(a, b, WILDCARD_EDGE_LABEL);
+        q.add_edge(a, c, WILDCARD_EDGE_LABEL);
+        let reqs = QueryRequirements::build(&q);
+        let graph = GraphBuilder::new()
+            .edge(0, 1, 3)
+            .edge(0, 2, 9)
+            .edge(5, 6, 0)
+            .build();
+        // v0 has out-degree 2 (any labels) — satisfies u0's two wildcard edges.
+        assert!(reqs.for_vertex(a).satisfied_by(&graph, VertexId(0)));
+        // v5 has out-degree 1 — does not.
+        assert!(!reqs.for_vertex(a).satisfied_by(&graph, VertexId(5)));
+        // Leaves only need one incoming edge.
+        assert!(reqs.for_vertex(b).satisfied_by(&graph, VertexId(1)));
+        assert!(!reqs.for_vertex(b).satisfied_by(&graph, VertexId(0)));
+    }
+}

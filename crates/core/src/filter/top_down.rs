@@ -1,0 +1,267 @@
+//! Top-down filtering (Section V, rules f1–f3).
+//!
+//! The pass walks the unified traversal frontier and refreshes the index
+//! state that depends on it:
+//!
+//! 1. the candidacy masks of the affected vertices are recomputed (rules
+//!    f2/f3: label and local degree profile),
+//! 2. the DEBI row of every affected edge is recomputed in the BFS order of
+//!    the query tree: bit `u` is set iff the edge matches the tree edge
+//!    `(u_p, u)` under the user's `edgeMatcher()` *and* both endpoints are
+//!    candidates of the respective query vertices,
+//! 3. the `roots` bit vector is refreshed for the affected vertices.
+//!
+//! The resulting DEBI contents are a superset of the edges that can
+//! participate in an embedding, which is the invariant enumeration relies
+//! on; the deeper subtree condition (rule f4) is applied separately as
+//! bottom-up pruning of the enumeration work units.
+
+use crate::api::{EdgeMatcher, MatcherContext};
+use crate::debi::Debi;
+use crate::filter::candidacy::VertexCandidacy;
+use crate::filter::requirements::QueryRequirements;
+use crate::frontier::UnifiedFrontier;
+use crate::stats::EngineCounters;
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_query::query_tree::QueryTree;
+use rayon::prelude::*;
+
+/// Immutable inputs of the top-down pass.
+pub struct TopDownPass<'a> {
+    /// The current data graph.
+    pub graph: &'a StreamingGraph,
+    /// The query graph.
+    pub query: &'a QueryGraph,
+    /// The query tree.
+    pub tree: &'a QueryTree,
+    /// The user's edge matcher.
+    pub matcher: &'a dyn EdgeMatcher,
+    /// Precomputed per-query-vertex requirements.
+    pub requirements: &'a QueryRequirements,
+}
+
+impl<'a> TopDownPass<'a> {
+    /// Run the pass over `frontier`, refreshing `candidacy` and `debi`.
+    ///
+    /// `parallel` selects whether the per-vertex and per-edge work is spread
+    /// over the rayon pool; the sequential path exists for the batch-size
+    /// scalability experiment (Figure 12), which isolates the benefit of
+    /// shared traversal from thread-level parallelism.
+    pub fn run(
+        &self,
+        frontier: &UnifiedFrontier,
+        candidacy: &VertexCandidacy,
+        debi: &Debi,
+        counters: &EngineCounters,
+        parallel: bool,
+    ) {
+        let ctx = MatcherContext::new(self.graph, self.query);
+
+        // Phase 1: refresh vertex candidacy (f2/f3) for affected vertices.
+        if parallel {
+            frontier.affected_vertices.par_iter().for_each(|&v| {
+                candidacy.recompute(self.graph, self.requirements, v);
+            });
+        } else {
+            for &v in &frontier.affected_vertices {
+                candidacy.recompute(self.graph, self.requirements, v);
+            }
+        }
+
+        // Phase 2: refresh the roots bit vector for affected vertices.
+        let root = self.tree.root();
+        for &v in &frontier.affected_vertices {
+            debi.set_root(v.index(), candidacy.is_candidate(v, root));
+        }
+
+        // Phase 3: recompute DEBI rows of affected edges in BFS column order.
+        let tree_edges = self.tree.tree_edges();
+        let recompute_row = |edge_id: &mnemonic_graph::ids::EdgeId| {
+            let Some(edge) = self.graph.edge(*edge_id) else {
+                // The edge died earlier in this batch; clear its row.
+                debi.clear_row(edge_id.index());
+                return;
+            };
+            let mut row = 0u64;
+            for te in tree_edges {
+                let column = self
+                    .tree
+                    .debi_column(te.child)
+                    .expect("non-root child always has a column");
+                let (vp, vc) = if te.child_is_dst {
+                    (edge.src, edge.dst)
+                } else {
+                    (edge.dst, edge.src)
+                };
+                let bit = self.matcher.edge_matches(&ctx, te.query_edge, &edge)
+                    && candidacy.is_candidate(vp, te.parent)
+                    && candidacy.is_candidate(vc, te.child);
+                if bit {
+                    row |= 1u64 << column;
+                }
+            }
+            debi.write_row(edge_id.index(), row);
+        };
+
+        if parallel {
+            frontier.affected_edges.par_iter().for_each(recompute_row);
+        } else {
+            frontier.affected_edges.iter().for_each(recompute_row);
+        }
+
+        EngineCounters::add(
+            &counters.edges_traversed_top_down,
+            frontier.affected_edges.len() as u64,
+        );
+        EngineCounters::add(
+            &counters.debi_writes,
+            (frontier.affected_edges.len() * self.tree.debi_width()) as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::LabelEdgeMatcher;
+    use mnemonic_graph::builder::paper_example_graph;
+    use mnemonic_graph::ids::{EdgeId, QueryVertexId};
+    use mnemonic_query::query_tree::paper_example_query;
+
+    fn full_frontier(graph: &StreamingGraph) -> UnifiedFrontier {
+        UnifiedFrontier::build(graph, graph.live_edges().collect(), false)
+    }
+
+    fn run_full_pass(
+        graph: &StreamingGraph,
+    ) -> (QueryGraph, QueryTree, Debi, VertexCandidacy, EngineCounters) {
+        let (query, tree) = paper_example_query();
+        let requirements = QueryRequirements::build(&query);
+        let mut debi = Debi::new(tree.debi_width());
+        debi.ensure_rows(graph.edge_id_bound());
+        debi.ensure_roots(graph.vertex_count());
+        let mut candidacy = VertexCandidacy::new();
+        candidacy.ensure(graph.vertex_count());
+        let counters = EngineCounters::new();
+        let frontier = UnifiedFrontier::build(
+            graph,
+            graph.live_edges().collect(),
+            false,
+        );
+        // All vertices are endpoints of some edge here, so the frontier's
+        // affected vertices cover the graph.
+        let pass = TopDownPass {
+            graph,
+            query: &query,
+            tree: &tree,
+            matcher: &LabelEdgeMatcher,
+            requirements: &requirements,
+        };
+        pass.run(&frontier, &candidacy, &debi, &counters, false);
+        (query, tree, debi, candidacy, counters)
+    }
+
+    #[test]
+    fn paper_example_debi_at_time_t() {
+        // Figure 5(b): at time t, edge 0 = (v4,v1) matches u1's tree edge
+        // (actually (u0,u1)) etc. Our vertex labels are uniform and the query
+        // is wildcard-labelled, so the bits reflect the degree profile (f2)
+        // only; we check a few structurally forced entries.
+        let graph = paper_example_graph();
+        let (_query, tree, debi, candidacy, counters) = run_full_pass(&graph);
+
+        // v1 is the root match of the paper's first embedding (u0 -> v1): it
+        // has the required two outgoing and one incoming wildcard edges.
+        assert!(candidacy.is_candidate(mnemonic_graph::VertexId(1), QueryVertexId(0)));
+        assert!(debi.is_root(1));
+        // v4 maps to u2 in that embedding but cannot match u0 (it has no
+        // incoming edge for (u2, u0)); leaves cannot match u0 either.
+        assert!(!debi.is_root(4));
+        assert!(!debi.is_root(6));
+        assert!(!debi.is_root(7));
+
+        // Edge (v1, v3) (id 1) must be a candidate of the tree edge (u0, u1):
+        // column of u1.
+        let col_u1 = tree.debi_column(QueryVertexId(1)).unwrap();
+        assert!(debi.get(EdgeId(1).index(), col_u1));
+        // Edge (v3, v6) (id 6) is a candidate of (u1, u3) — v6 carries label F
+        // like u3 — while edge (v3, v7) (id 4) is the candidate of (u1, u4).
+        let col_u3 = tree.debi_column(QueryVertexId(3)).unwrap();
+        let col_u4 = tree.debi_column(QueryVertexId(4)).unwrap();
+        assert!(debi.get(EdgeId(6).index(), col_u3));
+        assert!(!debi.get(EdgeId(6).index(), col_u4));
+        assert!(debi.get(EdgeId(4).index(), col_u4));
+        // Edge (v4, v9) (id 9): v9 has no outgoing edges, so it cannot match
+        // u1 (which needs two children); the u1 column must be clear.
+        assert!(!debi.get(EdgeId(9).index(), col_u1));
+        assert_eq!(counters.snapshot().edges_traversed_top_down, 13);
+    }
+
+    #[test]
+    fn dead_edges_get_cleared_rows() {
+        let mut graph = paper_example_graph();
+        let (query, tree) = paper_example_query();
+        let requirements = QueryRequirements::build(&query);
+        let mut debi = Debi::new(tree.debi_width());
+        debi.ensure_rows(graph.edge_id_bound());
+        debi.ensure_roots(graph.vertex_count());
+        let mut candidacy = VertexCandidacy::new();
+        candidacy.ensure(graph.vertex_count());
+        let counters = EngineCounters::new();
+
+        // Prime the index.
+        let frontier = full_frontier(&graph);
+        TopDownPass {
+            graph: &graph,
+            query: &query,
+            tree: &tree,
+            matcher: &LabelEdgeMatcher,
+            requirements: &requirements,
+        }
+        .run(&frontier, &candidacy, &debi, &counters, false);
+        assert!(debi.any(EdgeId(1).index()));
+
+        // Delete edge 1 and re-run the pass over a frontier that references it.
+        let deleted = graph.delete_edge(EdgeId(1)).unwrap();
+        let frontier = UnifiedFrontier::build(&graph, vec![deleted], true);
+        TopDownPass {
+            graph: &graph,
+            query: &query,
+            tree: &tree,
+            matcher: &LabelEdgeMatcher,
+            requirements: &requirements,
+        }
+        .run(&frontier, &candidacy, &debi, &counters, false);
+        assert!(!debi.any(EdgeId(1).index()), "row of the dead edge is cleared");
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let graph = paper_example_graph();
+        let (query, tree) = paper_example_query();
+        let requirements = QueryRequirements::build(&query);
+        let counters = EngineCounters::new();
+        let frontier = full_frontier(&graph);
+
+        let mut run = |parallel: bool| {
+            let mut debi = Debi::new(tree.debi_width());
+            debi.ensure_rows(graph.edge_id_bound());
+            debi.ensure_roots(graph.vertex_count());
+            let mut candidacy = VertexCandidacy::new();
+            candidacy.ensure(graph.vertex_count());
+            TopDownPass {
+                graph: &graph,
+                query: &query,
+                tree: &tree,
+                matcher: &LabelEdgeMatcher,
+                requirements: &requirements,
+            }
+            .run(&frontier, &candidacy, &debi, &counters, parallel);
+            (0..graph.edge_id_bound())
+                .map(|e| debi.row(e))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

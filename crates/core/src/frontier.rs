@@ -1,0 +1,149 @@
+//! The unified traversal frontier (Section V-A).
+//!
+//! Rather than exploring the graph once per inserted or deleted edge — which
+//! repeats work whenever the traversal regions of two batch edges overlap —
+//! Mnemonic collects the *union* of the affected region for the whole batch
+//! and traverses every affected edge exactly once. The frontier records:
+//!
+//! * the batch edges themselves (each annotated with its edge id),
+//! * the set of data vertices whose local candidacy has to be re-evaluated
+//!   (the endpoints of batch edges),
+//! * the deduplicated set of data edges whose DEBI rows have to be
+//!   re-evaluated (the batch edges plus every edge incident to an affected
+//!   vertex),
+//! * a per-tree-edge (per DEBI column) view of which batch edges match which
+//!   query edge, which seeds both the filtering order and the work units of
+//!   the enumeration phase.
+
+use mnemonic_graph::edge::Edge;
+use mnemonic_graph::ids::{EdgeId, VertexId};
+use mnemonic_graph::multigraph::StreamingGraph;
+use std::collections::HashSet;
+
+/// The unified traversal frontier of one batch.
+#[derive(Debug, Default, Clone)]
+pub struct UnifiedFrontier {
+    /// The batch edges (already materialised with their assigned ids).
+    pub batch_edges: Vec<Edge>,
+    /// Ids of the batch edges, for O(1) membership tests during masking.
+    pub batch_edge_ids: HashSet<EdgeId>,
+    /// Vertices whose candidacy must be recomputed (endpoints of batch
+    /// edges), deduplicated.
+    pub affected_vertices: Vec<VertexId>,
+    /// Edges whose DEBI rows must be recomputed: the batch edges plus every
+    /// edge incident to an affected vertex, deduplicated.
+    pub affected_edges: Vec<EdgeId>,
+}
+
+impl UnifiedFrontier {
+    /// Build the frontier for a batch of edges against the current graph.
+    ///
+    /// `include_neighbors` controls whether edges incident to the affected
+    /// vertices are pulled into the frontier. Insertions and deletions both
+    /// need it (their endpoints' degree profile changes); the initial bulk
+    /// load can skip it because every edge of the graph is in the batch
+    /// anyway.
+    pub fn build(graph: &StreamingGraph, batch_edges: Vec<Edge>, include_neighbors: bool) -> Self {
+        let batch_edge_ids: HashSet<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
+
+        let mut vertex_seen: HashSet<VertexId> = HashSet::with_capacity(batch_edges.len() * 2);
+        let mut affected_vertices = Vec::new();
+        for edge in &batch_edges {
+            for v in [edge.src, edge.dst] {
+                if vertex_seen.insert(v) {
+                    affected_vertices.push(v);
+                }
+            }
+        }
+
+        let mut edge_seen: HashSet<EdgeId> = batch_edge_ids.clone();
+        let mut affected_edges: Vec<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
+        if include_neighbors {
+            for &v in &affected_vertices {
+                for entry in graph.outgoing(v).iter().chain(graph.incoming(v)) {
+                    if graph.is_alive(entry.edge) && edge_seen.insert(entry.edge) {
+                        affected_edges.push(entry.edge);
+                    }
+                }
+            }
+        }
+
+        UnifiedFrontier {
+            batch_edges,
+            batch_edge_ids,
+            affected_vertices,
+            affected_edges,
+        }
+    }
+
+    /// Number of distinct edges the filtering passes will touch.
+    pub fn traversal_size(&self) -> usize {
+        self.affected_edges.len()
+    }
+
+    /// Whether the frontier carries no work.
+    pub fn is_empty(&self) -> bool {
+        self.batch_edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemonic_graph::builder::GraphBuilder;
+
+    fn chain_graph() -> StreamingGraph {
+        // 0 -> 1 -> 2 -> 3, plus 1 -> 3
+        GraphBuilder::new()
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 3, 0)
+            .edge(1, 3, 0)
+            .build()
+    }
+
+    #[test]
+    fn frontier_includes_batch_and_incident_edges() {
+        let graph = chain_graph();
+        let batch = vec![graph.edge(EdgeId(1)).unwrap()]; // (1 -> 2)
+        let frontier = UnifiedFrontier::build(&graph, batch, true);
+        assert_eq!(frontier.affected_vertices.len(), 2); // v1, v2
+        // Edges incident to v1: 0,1,3; incident to v2: 1,2 — dedup to {0,1,2,3}.
+        let mut ids: Vec<u32> = frontier.affected_edges.iter().map(|e| e.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert!(frontier.batch_edge_ids.contains(&EdgeId(1)));
+        assert_eq!(frontier.traversal_size(), 4);
+    }
+
+    #[test]
+    fn shared_endpoints_are_traversed_once() {
+        // Two batch edges sharing vertex 1: the overlap is deduplicated,
+        // which is exactly the batching benefit of Section V-A.
+        let graph = chain_graph();
+        let batch = vec![
+            graph.edge(EdgeId(0)).unwrap(), // (0 -> 1)
+            graph.edge(EdgeId(3)).unwrap(), // (1 -> 3)
+        ];
+        let frontier = UnifiedFrontier::build(&graph, batch, true);
+        assert_eq!(frontier.affected_vertices.len(), 3); // 0, 1, 3
+        let unique: HashSet<_> = frontier.affected_edges.iter().collect();
+        assert_eq!(unique.len(), frontier.affected_edges.len(), "no duplicates");
+    }
+
+    #[test]
+    fn without_neighbors_only_batch_edges() {
+        let graph = chain_graph();
+        let batch: Vec<Edge> = graph.live_edges().collect();
+        let frontier = UnifiedFrontier::build(&graph, batch, false);
+        assert_eq!(frontier.traversal_size(), 4);
+    }
+
+    #[test]
+    fn empty_batch_empty_frontier() {
+        let graph = chain_graph();
+        let frontier = UnifiedFrontier::build(&graph, vec![], true);
+        assert!(frontier.is_empty());
+        assert_eq!(frontier.traversal_size(), 0);
+    }
+}

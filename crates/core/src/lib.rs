@@ -1,0 +1,71 @@
+//! # mnemonic-core
+//!
+//! The core of the Mnemonic subgraph matching system (Bhattarai & Huang,
+//! IPDPS 2022): the DEBI index, batched incremental filtering over a unified
+//! traversal frontier, parallel embedding enumeration with masking-based
+//! duplicate elimination, and the programmable [`EdgeMatcher`](api::EdgeMatcher)
+//! / [`MatchSemantics`](api::MatchSemantics) API together with the built-in
+//! matching variants (isomorphism, homomorphism, dual/strong simulation,
+//! time-constrained isomorphism).
+//!
+//! The typical entry point is [`Mnemonic`](engine::Mnemonic):
+//!
+//! ```
+//! use mnemonic_core::api::LabelEdgeMatcher;
+//! use mnemonic_core::embedding::CollectingSink;
+//! use mnemonic_core::engine::{EngineConfig, Mnemonic};
+//! use mnemonic_core::variants::Isomorphism;
+//! use mnemonic_query::patterns;
+//! use mnemonic_stream::event::StreamEvent;
+//! use mnemonic_stream::snapshot::Snapshot;
+//!
+//! let mut engine = Mnemonic::new(
+//!     patterns::triangle(),
+//!     Box::new(LabelEdgeMatcher),
+//!     Box::new(Isomorphism),
+//!     EngineConfig::sequential(),
+//! );
+//! let sink = CollectingSink::new();
+//! engine.apply_snapshot(
+//!     &Snapshot {
+//!         id: 0,
+//!         insertions: vec![
+//!             StreamEvent::insert(0, 1, 0),
+//!             StreamEvent::insert(1, 2, 0),
+//!             StreamEvent::insert(2, 0, 0),
+//!         ],
+//!         ..Default::default()
+//!     },
+//!     &sink,
+//! );
+//! // One data triangle; the directed triangle query has three rotational
+//! // automorphisms, so three distinct vertex mappings are reported.
+//! assert_eq!(sink.positive().len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod debi;
+pub mod embedding;
+pub mod engine;
+pub mod enumerate;
+pub mod filter;
+pub mod frontier;
+pub mod parallel;
+pub mod stats;
+pub mod variants;
+
+pub use api::{EdgeMatcher, FnEdgeMatcher, LabelEdgeMatcher, MatchSemantics, MatcherContext};
+pub use debi::{Debi, DebiStats};
+pub use embedding::{
+    CollectingSink, CompleteEmbedding, CountingSink, EmbeddingSink, PartialEmbedding, Sign,
+};
+pub use engine::{BatchResult, EngineConfig, Mnemonic};
+pub use enumerate::{Enumerator, WorkUnit};
+pub use frontier::UnifiedFrontier;
+pub use stats::{CounterSnapshot, EngineCounters, PhaseTimings, UtilizationProfile};
+pub use variants::{
+    DualSimulation, Homomorphism, Isomorphism, SimulationRelation, StrongSimulation,
+    TemporalIsomorphism,
+};

@@ -1,0 +1,54 @@
+//! Thread-pool management.
+//!
+//! The paper parallelises frontier computation, the filtering passes and
+//! embedding enumeration with OpenMP; this crate uses a dedicated rayon pool
+//! so the degree of parallelism is an explicit engine parameter (needed for
+//! the thread-scalability experiment of Figure 13) instead of whatever the
+//! global pool happens to be.
+
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+/// Build a rayon thread pool with `num_threads` workers; `0` means "use the
+/// rayon default" (one worker per logical CPU).
+pub fn build_pool(num_threads: usize) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(num_threads)
+        .thread_name(|i| format!("mnemonic-worker-{i}"))
+        .build()
+        .expect("failed to build rayon thread pool")
+}
+
+/// Run `f` inside `pool` when one is given, otherwise on the calling thread's
+/// (global) pool.
+pub fn install<R: Send>(pool: Option<&ThreadPool>, f: impl FnOnce() -> R + Send) -> R {
+    match pool {
+        Some(pool) => pool.install(f),
+        None => f(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_respects_thread_count() {
+        let pool = build_pool(3);
+        assert_eq!(pool.current_num_threads(), 3);
+        let sum: u64 = install(Some(&pool), || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn install_without_pool_runs_inline() {
+        let out = install(None, || 7 + 35);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn zero_means_default_parallelism() {
+        let pool = build_pool(0);
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

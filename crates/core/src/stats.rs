@@ -1,0 +1,255 @@
+//! Engine instrumentation: traversal counters, per-phase timings and worker
+//! utilisation sampling.
+//!
+//! These counters feed Figure 7 (CPU usage per core over time), Figure 8
+//! (edges traversed per update for different batch sizes) and the phase
+//! breakdowns reported in EXPERIMENTS.md.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters accumulated while processing one batch (or one whole run).
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Edges visited during top-down filtering / frontier expansion.
+    pub edges_traversed_top_down: AtomicU64,
+    /// Edges visited during bottom-up filtering / work-unit pruning.
+    pub edges_traversed_bottom_up: AtomicU64,
+    /// DEBI bits written (set or cleared).
+    pub debi_writes: AtomicU64,
+    /// Candidate edges scanned during enumeration.
+    pub candidates_scanned: AtomicU64,
+    /// Work units (initial embeddings) generated.
+    pub work_units: AtomicU64,
+    /// Completed embeddings emitted.
+    pub embeddings_emitted: AtomicU64,
+    /// Edge insertions applied.
+    pub insertions_applied: AtomicU64,
+    /// Edge deletions applied.
+    pub deletions_applied: AtomicU64,
+}
+
+impl EngineCounters {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total edges traversed by the filtering passes — the quantity plotted
+    /// in Figure 8.
+    pub fn total_traversals(&self) -> u64 {
+        self.edges_traversed_top_down.load(Ordering::Relaxed)
+            + self.edges_traversed_bottom_up.load(Ordering::Relaxed)
+    }
+
+    /// Take a plain-data snapshot of the counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            edges_traversed_top_down: self.edges_traversed_top_down.load(Ordering::Relaxed),
+            edges_traversed_bottom_up: self.edges_traversed_bottom_up.load(Ordering::Relaxed),
+            debi_writes: self.debi_writes.load(Ordering::Relaxed),
+            candidates_scanned: self.candidates_scanned.load(Ordering::Relaxed),
+            work_units: self.work_units.load(Ordering::Relaxed),
+            embeddings_emitted: self.embeddings_emitted.load(Ordering::Relaxed),
+            insertions_applied: self.insertions_applied.load(Ordering::Relaxed),
+            deletions_applied: self.deletions_applied.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.edges_traversed_top_down.store(0, Ordering::Relaxed);
+        self.edges_traversed_bottom_up.store(0, Ordering::Relaxed);
+        self.debi_writes.store(0, Ordering::Relaxed);
+        self.candidates_scanned.store(0, Ordering::Relaxed);
+        self.work_units.store(0, Ordering::Relaxed);
+        self.embeddings_emitted.store(0, Ordering::Relaxed);
+        self.insertions_applied.store(0, Ordering::Relaxed);
+        self.deletions_applied.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data view of [`EngineCounters`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Edges visited during top-down filtering.
+    pub edges_traversed_top_down: u64,
+    /// Edges visited during bottom-up filtering.
+    pub edges_traversed_bottom_up: u64,
+    /// DEBI bits written.
+    pub debi_writes: u64,
+    /// Candidate edges scanned during enumeration.
+    pub candidates_scanned: u64,
+    /// Work units generated.
+    pub work_units: u64,
+    /// Embeddings emitted.
+    pub embeddings_emitted: u64,
+    /// Insertions applied.
+    pub insertions_applied: u64,
+    /// Deletions applied.
+    pub deletions_applied: u64,
+}
+
+impl CounterSnapshot {
+    /// Total filtering traversals.
+    pub fn total_traversals(&self) -> u64 {
+        self.edges_traversed_top_down + self.edges_traversed_bottom_up
+    }
+
+    /// Traversals per applied update (insertion or deletion); the y-axis of
+    /// Figure 8. Returns 0 when no update was applied.
+    pub fn traversals_per_update(&self) -> f64 {
+        let updates = self.insertions_applied + self.deletions_applied;
+        if updates == 0 {
+            0.0
+        } else {
+            self.total_traversals() as f64 / updates as f64
+        }
+    }
+
+    /// Element-wise difference (`self - earlier`), used to report per-batch
+    /// numbers out of cumulative counters.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            edges_traversed_top_down: self.edges_traversed_top_down
+                - earlier.edges_traversed_top_down,
+            edges_traversed_bottom_up: self.edges_traversed_bottom_up
+                - earlier.edges_traversed_bottom_up,
+            debi_writes: self.debi_writes - earlier.debi_writes,
+            candidates_scanned: self.candidates_scanned - earlier.candidates_scanned,
+            work_units: self.work_units - earlier.work_units,
+            embeddings_emitted: self.embeddings_emitted - earlier.embeddings_emitted,
+            insertions_applied: self.insertions_applied - earlier.insertions_applied,
+            deletions_applied: self.deletions_applied - earlier.deletions_applied,
+        }
+    }
+}
+
+/// Wall-clock breakdown of one batch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseTimings {
+    /// Time spent applying graph updates.
+    pub graph_update: Duration,
+    /// Time spent building the unified traversal frontier.
+    pub frontier: Duration,
+    /// Time spent in top-down filtering.
+    pub top_down: Duration,
+    /// Time spent in bottom-up filtering.
+    pub bottom_up: Duration,
+    /// Time spent enumerating embeddings.
+    pub enumeration: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.graph_update + self.frontier + self.top_down + self.bottom_up + self.enumeration
+    }
+
+    /// Accumulate another batch's timings into this one.
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.graph_update += other.graph_update;
+        self.frontier += other.frontier;
+        self.top_down += other.top_down;
+        self.bottom_up += other.bottom_up;
+        self.enumeration += other.enumeration;
+    }
+}
+
+/// Worker utilisation samples for Figure 7: the fraction of busy worker time
+/// in consecutive wall-clock buckets.
+#[derive(Debug, Clone)]
+pub struct UtilizationProfile {
+    /// Bucket length.
+    pub bucket: Duration,
+    /// Busy fraction (0..=1) per bucket, averaged over the worker pool.
+    pub samples: Vec<f64>,
+}
+
+impl UtilizationProfile {
+    /// Average utilisation over the run.
+    pub fn average(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = EngineCounters::new();
+        EngineCounters::add(&c.edges_traversed_top_down, 10);
+        EngineCounters::add(&c.edges_traversed_bottom_up, 5);
+        EngineCounters::add(&c.insertions_applied, 3);
+        assert_eq!(c.total_traversals(), 15);
+        let snap = c.snapshot();
+        assert_eq!(snap.traversals_per_update(), 5.0);
+        c.reset();
+        assert_eq!(c.snapshot().total_traversals(), 0);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let a = CounterSnapshot {
+            edges_traversed_top_down: 100,
+            insertions_applied: 10,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            edges_traversed_top_down: 150,
+            insertions_applied: 20,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.edges_traversed_top_down, 50);
+        assert_eq!(d.insertions_applied, 10);
+        assert_eq!(d.traversals_per_update(), 5.0);
+    }
+
+    #[test]
+    fn traversals_per_update_zero_updates() {
+        let snap = CounterSnapshot::default();
+        assert_eq!(snap.traversals_per_update(), 0.0);
+    }
+
+    #[test]
+    fn phase_timings_accumulate() {
+        let mut a = PhaseTimings {
+            graph_update: Duration::from_millis(1),
+            frontier: Duration::from_millis(2),
+            top_down: Duration::from_millis(3),
+            bottom_up: Duration::from_millis(4),
+            enumeration: Duration::from_millis(5),
+        };
+        let total = a.total();
+        assert_eq!(total, Duration::from_millis(15));
+        a.accumulate(&a.clone());
+        assert_eq!(a.total(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn utilization_average() {
+        let p = UtilizationProfile {
+            bucket: Duration::from_millis(100),
+            samples: vec![0.5, 1.0, 0.75],
+        };
+        assert!((p.average() - 0.75).abs() < 1e-9);
+        let empty = UtilizationProfile {
+            bucket: Duration::from_millis(100),
+            samples: vec![],
+        };
+        assert_eq!(empty.average(), 0.0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Built-in matching variants (Section III and VII-C).
+//!
+//! Each variant is a small implementation of the programmable API — exactly
+//! the point the paper makes: isomorphism, homomorphism, time-constrained
+//! isomorphism and (dual/strong) simulation all reuse the same index
+//! management and enumeration machinery and only differ in a few lines of
+//! constraint code.
+
+pub mod semantics;
+pub mod simulation;
+pub mod temporal;
+
+pub use semantics::{Homomorphism, Isomorphism};
+pub use simulation::{DualSimulation, SimulationRelation, StrongSimulation};
+pub use temporal::TemporalIsomorphism;

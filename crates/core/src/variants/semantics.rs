@@ -1,0 +1,79 @@
+//! Isomorphism and homomorphism semantics.
+//!
+//! The isomorphism enumerator of Figure 4 differs from the homomorphism one
+//! by a single injectivity check (line 23); the two types below encode
+//! exactly that difference on top of the engine's generic backtracking.
+
+use crate::api::MatchSemantics;
+use crate::embedding::PartialEmbedding;
+use mnemonic_graph::ids::{QueryVertexId, VertexId};
+
+/// Subgraph isomorphism: the mapping from query vertices to data vertices
+/// must be injective, and every query edge needs its own data edge.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Isomorphism;
+
+impl MatchSemantics for Isomorphism {
+    fn name(&self) -> &'static str {
+        "isomorphism"
+    }
+
+    fn vertex_binding_allowed(
+        &self,
+        embedding: &PartialEmbedding,
+        u: QueryVertexId,
+        v: VertexId,
+    ) -> bool {
+        // Injectivity: v may only be reused if it is already bound to this
+        // same query vertex (which happens on degenerate re-binding checks).
+        match embedding.vertex(u) {
+            Some(existing) => existing == v,
+            None => !embedding.uses_data_vertex(v),
+        }
+    }
+}
+
+/// Graph homomorphism: data vertices may be reused across query vertices and
+/// — following the paper's description — a single data edge may serve as the
+/// match of multiple query edges.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Homomorphism;
+
+impl MatchSemantics for Homomorphism {
+    fn name(&self) -> &'static str {
+        "homomorphism"
+    }
+
+    fn allow_shared_data_edges(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::MatchSemantics;
+
+    #[test]
+    fn isomorphism_rejects_reused_vertices() {
+        let mut emb = PartialEmbedding::new(3, 2);
+        emb.bind_vertex(QueryVertexId(0), VertexId(7));
+        let iso = Isomorphism;
+        assert!(!iso.vertex_binding_allowed(&emb, QueryVertexId(1), VertexId(7)));
+        assert!(iso.vertex_binding_allowed(&emb, QueryVertexId(1), VertexId(8)));
+        // Re-binding the same query vertex to the same data vertex is fine.
+        assert!(iso.vertex_binding_allowed(&emb, QueryVertexId(0), VertexId(7)));
+        assert!(!iso.vertex_binding_allowed(&emb, QueryVertexId(0), VertexId(9)));
+        assert!(!iso.allow_shared_data_edges());
+    }
+
+    #[test]
+    fn homomorphism_allows_everything() {
+        let mut emb = PartialEmbedding::new(3, 2);
+        emb.bind_vertex(QueryVertexId(0), VertexId(7));
+        let hom = Homomorphism;
+        assert!(hom.vertex_binding_allowed(&emb, QueryVertexId(1), VertexId(7)));
+        assert!(hom.allow_shared_data_edges());
+        assert_eq!(hom.name(), "homomorphism");
+    }
+}

@@ -1,0 +1,292 @@
+//! Graph-simulation variants: dual simulation and strong simulation
+//! (Section III / VII-C; Ma et al. [18]).
+//!
+//! Unlike (iso/homo)morphism, simulation does not enumerate embeddings: its
+//! result is a *binary relation* between query vertices and data vertices.
+//! Dual simulation requires every related data vertex to have related
+//! neighbours along every incoming and outgoing query edge; strong simulation
+//! additionally restricts the relation to a ball of radius `d_Q` (the query
+//! diameter) around each candidate match, which restores locality.
+//!
+//! The paper's incremental variant recomputes the relation from the updated
+//! DEBI after every snapshot; [`DualSimulation::compute_with_candidates`]
+//! accepts such a pre-filtered candidate set.
+
+use mnemonic_graph::ids::{QueryVertexId, VertexId};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_query::query_graph::QueryGraph;
+use std::collections::{HashSet, VecDeque};
+
+/// The result of a simulation computation: for every query vertex, the set of
+/// data vertices related to it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimulationRelation {
+    per_query_vertex: Vec<HashSet<VertexId>>,
+}
+
+impl SimulationRelation {
+    /// Create a relation over `n` query vertices with empty match sets.
+    pub fn empty(n: usize) -> Self {
+        SimulationRelation {
+            per_query_vertex: vec![HashSet::new(); n],
+        }
+    }
+
+    /// The match set of query vertex `u`.
+    pub fn matches(&self, u: QueryVertexId) -> &HashSet<VertexId> {
+        &self.per_query_vertex[u.index()]
+    }
+
+    /// Whether `(u, v)` is in the relation.
+    pub fn contains(&self, u: QueryVertexId, v: VertexId) -> bool {
+        self.per_query_vertex[u.index()].contains(&v)
+    }
+
+    /// Whether every query vertex has at least one match (a non-empty dual
+    /// simulation exists).
+    pub fn is_total(&self) -> bool {
+        !self.per_query_vertex.is_empty()
+            && self.per_query_vertex.iter().all(|s| !s.is_empty())
+    }
+
+    /// Total number of (query vertex, data vertex) pairs.
+    pub fn size(&self) -> usize {
+        self.per_query_vertex.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Dual simulation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DualSimulation;
+
+impl DualSimulation {
+    /// Compute the maximal dual simulation between `query` and `graph`,
+    /// starting from the label-based candidate sets.
+    pub fn compute(&self, graph: &StreamingGraph, query: &QueryGraph) -> SimulationRelation {
+        let initial = Self::label_candidates(graph, query, None);
+        self.compute_with_candidates(graph, query, initial)
+    }
+
+    /// Compute the maximal dual simulation restricted to the given initial
+    /// candidate sets (e.g. derived from DEBI after an incremental update).
+    pub fn compute_with_candidates(
+        &self,
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+        mut candidates: Vec<HashSet<VertexId>>,
+    ) -> SimulationRelation {
+        assert_eq!(candidates.len(), query.vertex_count());
+        // Iterate to a fixpoint: remove any (u, v) pair violating a forward
+        // or backward query edge.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in query.vertices() {
+                let mut to_remove: Vec<VertexId> = Vec::new();
+                for &v in &candidates[u.index()] {
+                    if !Self::pair_supported(graph, query, &candidates, u, v) {
+                        to_remove.push(v);
+                    }
+                }
+                if !to_remove.is_empty() {
+                    changed = true;
+                    for v in to_remove {
+                        candidates[u.index()].remove(&v);
+                    }
+                }
+            }
+            // If any query vertex has an empty match set, the simulation is
+            // empty altogether.
+            if candidates.iter().any(|s| s.is_empty()) {
+                return SimulationRelation::empty(query.vertex_count());
+            }
+        }
+        SimulationRelation {
+            per_query_vertex: candidates,
+        }
+    }
+
+    /// Whether the pair `(u, v)` is supported by the current candidate sets:
+    /// every outgoing and incoming query edge of `u` has a matching data edge
+    /// from/to a vertex that is still a candidate of the neighbouring query
+    /// vertex.
+    fn pair_supported(
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+        candidates: &[HashSet<VertexId>],
+        u: QueryVertexId,
+        v: VertexId,
+    ) -> bool {
+        for entry in query.outgoing(u) {
+            let qe = query.edge(entry.edge);
+            let ok = graph.out_edges(v).any(|e| {
+                qe.label.matches(e.label) && candidates[entry.neighbor.index()].contains(&e.dst)
+            });
+            if !ok {
+                return false;
+            }
+        }
+        for entry in query.incoming(u) {
+            let qe = query.edge(entry.edge);
+            let ok = graph.in_edges(v).any(|e| {
+                qe.label.matches(e.label) && candidates[entry.neighbor.index()].contains(&e.src)
+            });
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Label-based initial candidate sets; when `restrict_to` is given, only
+    /// those data vertices are considered (used by the ball restriction of
+    /// strong simulation).
+    pub fn label_candidates(
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+        restrict_to: Option<&HashSet<VertexId>>,
+    ) -> Vec<HashSet<VertexId>> {
+        query
+            .vertices()
+            .map(|u| {
+                let label = query.vertex_label(u);
+                graph
+                    .active_vertices()
+                    .filter(|&v| label.matches(graph.vertex_label(v)))
+                    .filter(|v| restrict_to.map(|set| set.contains(v)).unwrap_or(true))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Strong simulation: dual simulation plus the locality (ball) constraint.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StrongSimulation;
+
+impl StrongSimulation {
+    /// Compute, for every data vertex `w` that is a dual-simulation match of
+    /// the designated `pivot` query vertex, whether the dual simulation
+    /// restricted to the ball of radius `d_Q` around `w` still relates `w`
+    /// to `pivot`. Returns the set of surviving pivot matches together with
+    /// the global dual-simulation relation.
+    pub fn compute(
+        &self,
+        graph: &StreamingGraph,
+        query: &QueryGraph,
+        pivot: QueryVertexId,
+    ) -> (HashSet<VertexId>, SimulationRelation) {
+        let dual = DualSimulation.compute(graph, query);
+        if !dual.is_total() {
+            return (HashSet::new(), dual);
+        }
+        let radius = query.undirected_diameter().max(1);
+        let mut surviving = HashSet::new();
+        for &w in dual.matches(pivot) {
+            let ball = Self::ball(graph, w, radius);
+            let initial = DualSimulation::label_candidates(graph, query, Some(&ball));
+            let local = DualSimulation.compute_with_candidates(graph, query, initial);
+            if local.contains(pivot, w) {
+                surviving.insert(w);
+            }
+        }
+        (surviving, dual)
+    }
+
+    /// Undirected ball of radius `radius` around `center`.
+    fn ball(graph: &StreamingGraph, center: VertexId, radius: usize) -> HashSet<VertexId> {
+        let mut seen: HashSet<VertexId> = HashSet::from([center]);
+        let mut queue = VecDeque::from([(center, 0usize)]);
+        while let Some((v, d)) = queue.pop_front() {
+            if d == radius {
+                continue;
+            }
+            for entry in graph.outgoing(v).iter().chain(graph.incoming(v)) {
+                if graph.is_alive(entry.edge) && seen.insert(entry.neighbor) {
+                    queue.push_back((entry.neighbor, d + 1));
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemonic_graph::builder::GraphBuilder;
+    use mnemonic_query::patterns;
+
+    #[test]
+    fn dual_simulation_on_matching_path() {
+        // Data: 0 -> 1 -> 2 and 3 -> 4 (a shorter path).
+        let graph = GraphBuilder::new()
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(3, 4, 0)
+            .build();
+        let query = patterns::path(3);
+        let rel = DualSimulation.compute(&graph, &query);
+        assert!(rel.is_total());
+        // u0 can only be matched by v0 (needs an out-neighbour that itself has
+        // an out-neighbour); v3's successor v4 has no successor.
+        assert!(rel.contains(QueryVertexId(0), VertexId(0)));
+        assert!(!rel.contains(QueryVertexId(0), VertexId(3)));
+        assert!(rel.contains(QueryVertexId(1), VertexId(1)));
+        assert!(rel.contains(QueryVertexId(2), VertexId(2)));
+    }
+
+    #[test]
+    fn dual_simulation_empty_when_pattern_absent() {
+        let graph = GraphBuilder::new().edge(0, 1, 0).edge(1, 2, 0).build();
+        let query = patterns::triangle();
+        let rel = DualSimulation.compute(&graph, &query);
+        assert!(!rel.is_total());
+        assert_eq!(rel.size(), 0);
+    }
+
+    #[test]
+    fn dual_simulation_relates_cycles_of_any_length() {
+        // A 6-cycle dual-simulates a triangle query (simulation is coarser
+        // than isomorphism) — this is the classic example separating the two.
+        let graph = GraphBuilder::new()
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 3, 0)
+            .edge(3, 4, 0)
+            .edge(4, 5, 0)
+            .edge(5, 0, 0)
+            .build();
+        let query = patterns::triangle();
+        let rel = DualSimulation.compute(&graph, &query);
+        assert!(rel.is_total());
+        assert_eq!(rel.matches(QueryVertexId(0)).len(), 6);
+    }
+
+    #[test]
+    fn strong_simulation_rejects_distant_support() {
+        // Same 6-cycle: strong simulation's ball restriction (radius = query
+        // diameter = 1) kills the fake triangle matches, while a genuine
+        // triangle survives.
+        let graph = GraphBuilder::new()
+            .edge(0, 1, 0)
+            .edge(1, 2, 0)
+            .edge(2, 3, 0)
+            .edge(3, 4, 0)
+            .edge(4, 5, 0)
+            .edge(5, 0, 0)
+            // A real triangle on 10, 11, 12.
+            .edge(10, 11, 0)
+            .edge(11, 12, 0)
+            .edge(12, 10, 0)
+            .build();
+        let query = patterns::triangle();
+        let (pivot_matches, dual) = StrongSimulation.compute(&graph, &query, QueryVertexId(0));
+        assert!(dual.is_total());
+        assert!(pivot_matches.contains(&VertexId(10)));
+        assert!(pivot_matches.contains(&VertexId(11)));
+        assert!(pivot_matches.contains(&VertexId(12)));
+        assert!(!pivot_matches.contains(&VertexId(0)));
+        assert!(!pivot_matches.contains(&VertexId(3)));
+    }
+}

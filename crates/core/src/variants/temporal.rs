@@ -1,0 +1,141 @@
+//! Time-constrained (temporal) isomorphism (Section VII-C, compared against
+//! Li et al. [20]).
+//!
+//! The query encodes a temporal order on its edges via
+//! [`QueryEdge::temporal_rank`](mnemonic_query::query_graph::QueryEdge):
+//! if query edge `a` has a strictly smaller rank than query edge `b`, the
+//! data edge matched to `a` must carry a strictly smaller timestamp than the
+//! one matched to `b`. Edges without a rank are unconstrained. On top of the
+//! ordering, the variant keeps the injectivity of plain isomorphism.
+
+use crate::api::{MatchSemantics, MatcherContext};
+use crate::embedding::PartialEmbedding;
+use mnemonic_graph::edge::Edge;
+use mnemonic_graph::ids::{QueryEdgeId, QueryVertexId, VertexId};
+
+/// Time-constrained subgraph isomorphism.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TemporalIsomorphism;
+
+impl MatchSemantics for TemporalIsomorphism {
+    fn name(&self) -> &'static str {
+        "temporal-isomorphism"
+    }
+
+    fn vertex_binding_allowed(
+        &self,
+        embedding: &PartialEmbedding,
+        u: QueryVertexId,
+        v: VertexId,
+    ) -> bool {
+        match embedding.vertex(u) {
+            Some(existing) => existing == v,
+            None => !embedding.uses_data_vertex(v),
+        }
+    }
+
+    fn edge_binding_allowed(
+        &self,
+        ctx: &MatcherContext<'_>,
+        embedding: &PartialEmbedding,
+        q: QueryEdgeId,
+        edge: &Edge,
+    ) -> bool {
+        let Some(rank) = ctx.query.edge(q).temporal_rank else {
+            return true;
+        };
+        for other in ctx.query.edge_ids() {
+            if other == q {
+                continue;
+            }
+            let Some(other_rank) = ctx.query.edge(other).temporal_rank else {
+                continue;
+            };
+            let Some(bound_id) = embedding.edge(other) else {
+                continue;
+            };
+            // The bound edge may have been deleted from the graph when
+            // enumerating negative embeddings; fall back to its record.
+            let Some(bound_ts) = ctx
+                .graph
+                .edge(bound_id)
+                .map(|e| e.timestamp)
+                .or_else(|| ctx.graph.edge_record(bound_id).map(|r| r.timestamp))
+            else {
+                continue;
+            };
+            if other_rank < rank && bound_ts >= edge.timestamp {
+                return false;
+            }
+            if other_rank > rank && bound_ts <= edge.timestamp {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemonic_graph::builder::GraphBuilder;
+    use mnemonic_graph::ids::EdgeId;
+    use mnemonic_query::patterns::temporal_path;
+
+    #[test]
+    fn temporal_order_enforced_between_ranked_edges() {
+        // Data: 0 -> 1 at ts 10, 1 -> 2 at ts 5 and another 1 -> 2 at ts 20.
+        let graph = GraphBuilder::new()
+            .timed_edge(0, 1, 0, 10)
+            .timed_edge(1, 2, 0, 5)
+            .timed_edge(1, 2, 0, 20)
+            .build();
+        let query = temporal_path(3); // ranks 0 then 1
+        let ctx = MatcherContext::new(&graph, &query);
+        let sem = TemporalIsomorphism;
+
+        let mut emb = PartialEmbedding::new(3, 2);
+        emb.bind_edge(QueryEdgeId(0), EdgeId(0)); // ts 10 bound to rank 0
+
+        let early = graph.edge(EdgeId(1)).unwrap(); // ts 5
+        let late = graph.edge(EdgeId(2)).unwrap(); // ts 20
+        assert!(!sem.edge_binding_allowed(&ctx, &emb, QueryEdgeId(1), &early));
+        assert!(sem.edge_binding_allowed(&ctx, &emb, QueryEdgeId(1), &late));
+    }
+
+    #[test]
+    fn reverse_direction_also_checked() {
+        let graph = GraphBuilder::new()
+            .timed_edge(0, 1, 0, 10)
+            .timed_edge(1, 2, 0, 20)
+            .build();
+        let query = temporal_path(3);
+        let ctx = MatcherContext::new(&graph, &query);
+        let sem = TemporalIsomorphism;
+        // Bind the *second* (rank 1) edge first, then try the first.
+        let mut emb = PartialEmbedding::new(3, 2);
+        emb.bind_edge(QueryEdgeId(1), EdgeId(0)); // ts 10 at rank 1
+        let e_late = graph.edge(EdgeId(1)).unwrap(); // ts 20 for rank 0 — must be rejected
+        assert!(!sem.edge_binding_allowed(&ctx, &emb, QueryEdgeId(0), &e_late));
+    }
+
+    #[test]
+    fn unranked_edges_are_unconstrained() {
+        let graph = GraphBuilder::new()
+            .timed_edge(0, 1, 0, 10)
+            .timed_edge(1, 2, 0, 5)
+            .build();
+        let mut query = mnemonic_query::query_graph::QueryGraph::new();
+        let a = query.add_wildcard_vertex();
+        let b = query.add_wildcard_vertex();
+        let c = query.add_wildcard_vertex();
+        query.add_wildcard_edge(a, b);
+        query.add_wildcard_edge(b, c);
+        let ctx = MatcherContext::new(&graph, &query);
+        let sem = TemporalIsomorphism;
+        let mut emb = PartialEmbedding::new(3, 2);
+        emb.bind_edge(QueryEdgeId(0), EdgeId(0));
+        let e = graph.edge(EdgeId(1)).unwrap();
+        assert!(sem.edge_binding_allowed(&ctx, &emb, QueryEdgeId(1), &e));
+    }
+}

@@ -1,0 +1,17 @@
+//! # mnemonic-datagen
+//!
+//! Synthetic dataset and query-workload generators for the Mnemonic
+//! evaluation: NetFlow-like, LSBench-like and LANL-like event streams plus
+//! TurboFlux-style query extraction (tree and graph queries of sizes 3–12,
+//! optionally with temporal ranks).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod queries;
+
+pub use datasets::{
+    lanl_like, lsbench_like, netflow_like, LanlConfig, LsbenchConfig, NetflowConfig,
+    SECONDS_PER_DAY,
+};
+pub use queries::{QueryClass, QueryWorkloadGenerator};

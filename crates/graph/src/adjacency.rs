@@ -1,0 +1,247 @@
+//! Per-vertex adjacency lists with O(1) swap-remove deletion.
+//!
+//! Mnemonic stores the data graph "in the adjacency list format ... where
+//! each vertex has a list that stores all its outgoing and incoming edges"
+//! (Section II-A). Deleting an edge locates its entry in the owning vertex's
+//! list, swaps it with the last entry and shrinks the list (Section IV-A),
+//! which keeps deletion constant-time and keeps candidate scans cache
+//! friendly because live entries stay densely packed.
+
+use crate::ids::{EdgeId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// One entry in an adjacency list: the neighbouring vertex plus the id of the
+/// connecting edge. Multiple entries with the same neighbour represent
+/// parallel edges and are kept distinct through their edge ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AdjEntry {
+    /// The vertex on the other side of the edge.
+    pub neighbor: VertexId,
+    /// The id of the edge connecting the owner to `neighbor`.
+    pub edge: EdgeId,
+}
+
+/// The adjacency state of a single vertex: its outgoing and incoming entries.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct VertexAdjacency {
+    out: Vec<AdjEntry>,
+    inc: Vec<AdjEntry>,
+}
+
+impl VertexAdjacency {
+    /// Outgoing entries (this vertex is the source).
+    #[inline]
+    pub fn outgoing(&self) -> &[AdjEntry] {
+        &self.out
+    }
+
+    /// Incoming entries (this vertex is the destination).
+    #[inline]
+    pub fn incoming(&self) -> &[AdjEntry] {
+        &self.inc
+    }
+
+    /// Out-degree (counting parallel edges).
+    #[inline]
+    pub fn out_degree(&self) -> usize {
+        self.out.len()
+    }
+
+    /// In-degree (counting parallel edges).
+    #[inline]
+    pub fn in_degree(&self) -> usize {
+        self.inc.len()
+    }
+
+    /// Total degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.out.len() + self.inc.len()
+    }
+
+    fn push_out(&mut self, entry: AdjEntry) {
+        self.out.push(entry);
+    }
+
+    fn push_in(&mut self, entry: AdjEntry) {
+        self.inc.push(entry);
+    }
+
+    fn swap_remove_out(&mut self, edge: EdgeId) -> bool {
+        if let Some(pos) = self.out.iter().position(|e| e.edge == edge) {
+            self.out.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn swap_remove_in(&mut self, edge: EdgeId) -> bool {
+        if let Some(pos) = self.inc.iter().position(|e| e.edge == edge) {
+            self.inc.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The adjacency table of the whole graph, indexed by dense vertex ids.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct AdjacencyTable {
+    vertices: Vec<VertexAdjacency>,
+}
+
+impl AdjacencyTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertex slots (touched vertices).
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether no vertex has been touched yet.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Make sure vertex `v` has an adjacency slot, growing the table if
+    /// needed, and return it mutably.
+    pub fn ensure_vertex(&mut self, v: VertexId) -> &mut VertexAdjacency {
+        if v.index() >= self.vertices.len() {
+            self.vertices.resize_with(v.index() + 1, VertexAdjacency::default);
+        }
+        &mut self.vertices[v.index()]
+    }
+
+    /// The adjacency of `v` if it has ever been touched.
+    pub fn vertex(&self, v: VertexId) -> Option<&VertexAdjacency> {
+        self.vertices.get(v.index())
+    }
+
+    /// Outgoing entries of `v` (empty slice for unknown vertices).
+    pub fn outgoing(&self, v: VertexId) -> &[AdjEntry] {
+        self.vertex(v).map(|a| a.outgoing()).unwrap_or(&[])
+    }
+
+    /// Incoming entries of `v` (empty slice for unknown vertices).
+    pub fn incoming(&self, v: VertexId) -> &[AdjEntry] {
+        self.vertex(v).map(|a| a.incoming()).unwrap_or(&[])
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.vertex(v).map(|a| a.out_degree()).unwrap_or(0)
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.vertex(v).map(|a| a.in_degree()).unwrap_or(0)
+    }
+
+    /// Record the insertion of edge `edge` from `src` to `dst`.
+    pub fn insert_edge(&mut self, edge: EdgeId, src: VertexId, dst: VertexId) {
+        self.ensure_vertex(src).push_out(AdjEntry {
+            neighbor: dst,
+            edge,
+        });
+        self.ensure_vertex(dst).push_in(AdjEntry {
+            neighbor: src,
+            edge,
+        });
+    }
+
+    /// Remove edge `edge` running from `src` to `dst` using swap-remove on
+    /// both endpoint lists. Returns true when both entries were found.
+    pub fn remove_edge(&mut self, edge: EdgeId, src: VertexId, dst: VertexId) -> bool {
+        let out_ok = self
+            .vertices
+            .get_mut(src.index())
+            .map(|a| a.swap_remove_out(edge))
+            .unwrap_or(false);
+        let in_ok = self
+            .vertices
+            .get_mut(dst.index())
+            .map(|a| a.swap_remove_in(edge))
+            .unwrap_or(false);
+        out_ok && in_ok
+    }
+
+    /// Iterate over every (vertex, adjacency) pair that has been touched.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &VertexAdjacency)> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, adj)| (VertexId(i as u32), adj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_populates_both_endpoints() {
+        let mut table = AdjacencyTable::new();
+        table.insert_edge(EdgeId(0), VertexId(1), VertexId(2));
+        table.insert_edge(EdgeId(1), VertexId(1), VertexId(3));
+        assert_eq!(table.out_degree(VertexId(1)), 2);
+        assert_eq!(table.in_degree(VertexId(2)), 1);
+        assert_eq!(table.in_degree(VertexId(3)), 1);
+        assert_eq!(table.outgoing(VertexId(1))[0].neighbor, VertexId(2));
+        assert_eq!(table.incoming(VertexId(3))[0].edge, EdgeId(1));
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct_entries() {
+        let mut table = AdjacencyTable::new();
+        table.insert_edge(EdgeId(0), VertexId(0), VertexId(1));
+        table.insert_edge(EdgeId(1), VertexId(0), VertexId(1));
+        assert_eq!(table.out_degree(VertexId(0)), 2);
+        let edges: Vec<EdgeId> = table.outgoing(VertexId(0)).iter().map(|e| e.edge).collect();
+        assert!(edges.contains(&EdgeId(0)) && edges.contains(&EdgeId(1)));
+    }
+
+    #[test]
+    fn remove_uses_swap_remove_semantics() {
+        let mut table = AdjacencyTable::new();
+        table.insert_edge(EdgeId(0), VertexId(0), VertexId(1));
+        table.insert_edge(EdgeId(1), VertexId(0), VertexId(2));
+        table.insert_edge(EdgeId(2), VertexId(0), VertexId(3));
+        assert!(table.remove_edge(EdgeId(0), VertexId(0), VertexId(1)));
+        assert_eq!(table.out_degree(VertexId(0)), 2);
+        // The former last entry moved into slot 0.
+        assert_eq!(table.outgoing(VertexId(0))[0].edge, EdgeId(2));
+        assert_eq!(table.in_degree(VertexId(1)), 0);
+    }
+
+    #[test]
+    fn remove_missing_edge_returns_false() {
+        let mut table = AdjacencyTable::new();
+        table.insert_edge(EdgeId(0), VertexId(0), VertexId(1));
+        assert!(!table.remove_edge(EdgeId(5), VertexId(0), VertexId(1)));
+        assert!(!table.remove_edge(EdgeId(0), VertexId(7), VertexId(8)));
+        assert_eq!(table.out_degree(VertexId(0)), 1);
+    }
+
+    #[test]
+    fn unknown_vertex_has_zero_degree() {
+        let table = AdjacencyTable::new();
+        assert_eq!(table.out_degree(VertexId(99)), 0);
+        assert_eq!(table.in_degree(VertexId(99)), 0);
+        assert!(table.outgoing(VertexId(99)).is_empty());
+    }
+
+    #[test]
+    fn self_loop_appears_in_both_lists() {
+        let mut table = AdjacencyTable::new();
+        table.insert_edge(EdgeId(0), VertexId(4), VertexId(4));
+        assert_eq!(table.out_degree(VertexId(4)), 1);
+        assert_eq!(table.in_degree(VertexId(4)), 1);
+        assert!(table.remove_edge(EdgeId(0), VertexId(4), VertexId(4)));
+        assert_eq!(table.vertex(VertexId(4)).unwrap().degree(), 0);
+    }
+}

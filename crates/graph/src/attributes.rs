@@ -1,0 +1,200 @@
+//! Id-indexed attribute stores for vertices and edges.
+//!
+//! The paper keeps the graph topology (adjacency lists) separate from the
+//! attribute payloads: "The vertex and edge attributes are stored in another
+//! data structure indexed by their id" (Section II-A). Labels are the
+//! attributes every matcher needs, so they get dedicated dense vectors; any
+//! extra per-entity attributes (bytes transferred, port numbers, user names,
+//! ...) go into a sparse side table keyed by the same id.
+
+use crate::ids::{EdgeId, VertexId, VertexLabel, WILDCARD_VERTEX_LABEL};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single attribute value. Kept deliberately small: the matching variants
+/// in the paper only ever compare attributes for (in)equality or order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Signed integer payload (ports, byte counts, ...).
+    Int(i64),
+    /// Floating point payload (scores, rates, ...).
+    Float(f64),
+    /// Free-form text payload (user names, process names, ...).
+    Text(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The integer payload, if this value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The text payload, if this value is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this value is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A named bag of attributes attached to one vertex or edge.
+pub type AttrMap = HashMap<String, AttrValue>;
+
+/// Dense vertex-label store plus sparse extra attributes.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct VertexAttributeStore {
+    labels: Vec<VertexLabel>,
+    extra: HashMap<u32, AttrMap>,
+}
+
+impl VertexAttributeStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices with a recorded label.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no vertex has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Set the label of `v`, growing the store with wildcard labels if `v` is
+    /// beyond the current bound.
+    pub fn set_label(&mut self, v: VertexId, label: VertexLabel) {
+        if v.index() >= self.labels.len() {
+            self.labels.resize(v.index() + 1, WILDCARD_VERTEX_LABEL);
+        }
+        self.labels[v.index()] = label;
+    }
+
+    /// The label of `v`; vertices never seen get the wildcard label.
+    pub fn label(&self, v: VertexId) -> VertexLabel {
+        self.labels
+            .get(v.index())
+            .copied()
+            .unwrap_or(WILDCARD_VERTEX_LABEL)
+    }
+
+    /// Attach an extra named attribute to `v`.
+    pub fn set_attr(&mut self, v: VertexId, key: impl Into<String>, value: AttrValue) {
+        self.extra.entry(v.0).or_default().insert(key.into(), value);
+    }
+
+    /// Read an extra attribute of `v`.
+    pub fn attr(&self, v: VertexId, key: &str) -> Option<&AttrValue> {
+        self.extra.get(&v.0).and_then(|m| m.get(key))
+    }
+}
+
+/// Sparse extra-attribute store for edges. Edge labels themselves live inside
+/// [`crate::edge::EdgeRecord`] because every matcher touches them on the hot
+/// path; this table only holds the optional long-tail attributes.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct EdgeAttributeStore {
+    extra: HashMap<u32, AttrMap>,
+}
+
+impl EdgeAttributeStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of edges carrying extra attributes.
+    pub fn len(&self) -> usize {
+        self.extra.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.extra.is_empty()
+    }
+
+    /// Attach an extra named attribute to edge `e`.
+    pub fn set_attr(&mut self, e: EdgeId, key: impl Into<String>, value: AttrValue) {
+        self.extra.entry(e.0).or_default().insert(key.into(), value);
+    }
+
+    /// Read an extra attribute of edge `e`.
+    pub fn attr(&self, e: EdgeId, key: &str) -> Option<&AttrValue> {
+        self.extra.get(&e.0).and_then(|m| m.get(key))
+    }
+
+    /// Drop every extra attribute of edge `e`. Called when an edge slot is
+    /// recycled so the next occupant does not inherit stale attributes.
+    pub fn clear_edge(&mut self, e: EdgeId) {
+        self.extra.remove(&e.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_labels_grow_with_wildcard_default() {
+        let mut store = VertexAttributeStore::new();
+        store.set_label(VertexId(3), VertexLabel(7));
+        assert_eq!(store.label(VertexId(3)), VertexLabel(7));
+        assert_eq!(store.label(VertexId(1)), WILDCARD_VERTEX_LABEL);
+        assert_eq!(store.label(VertexId(100)), WILDCARD_VERTEX_LABEL);
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn vertex_extra_attributes() {
+        let mut store = VertexAttributeStore::new();
+        store.set_attr(VertexId(2), "hostname", AttrValue::Text("alpha".into()));
+        store.set_attr(VertexId(2), "compromised", AttrValue::Bool(true));
+        assert_eq!(
+            store.attr(VertexId(2), "hostname").and_then(|a| a.as_text()),
+            Some("alpha")
+        );
+        assert_eq!(
+            store.attr(VertexId(2), "compromised").and_then(|a| a.as_bool()),
+            Some(true)
+        );
+        assert!(store.attr(VertexId(2), "missing").is_none());
+        assert!(store.attr(VertexId(9), "hostname").is_none());
+    }
+
+    #[test]
+    fn edge_attributes_cleared_on_recycle() {
+        let mut store = EdgeAttributeStore::new();
+        store.set_attr(EdgeId(5), "bytes", AttrValue::Int(1024));
+        assert_eq!(
+            store.attr(EdgeId(5), "bytes").and_then(|a| a.as_int()),
+            Some(1024)
+        );
+        store.clear_edge(EdgeId(5));
+        assert!(store.attr(EdgeId(5), "bytes").is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn attr_value_accessors() {
+        assert_eq!(AttrValue::Int(3).as_int(), Some(3));
+        assert_eq!(AttrValue::Float(1.5).as_int(), None);
+        assert_eq!(AttrValue::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(AttrValue::Bool(false).as_bool(), Some(false));
+    }
+}

@@ -1,0 +1,154 @@
+//! Bulk loading helpers for constructing graphs from edge lists.
+
+use crate::edge::EdgeTriple;
+use crate::ids::{EdgeId, EdgeLabel, Timestamp, VertexId, VertexLabel};
+use crate::multigraph::{GraphConfig, StreamingGraph};
+
+/// Fluent builder that assembles a [`StreamingGraph`] from vertex labels and
+/// edge triples. Primarily used by tests, examples and the dataset
+/// generators.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    config: GraphConfig,
+    vertex_labels: Vec<(VertexId, VertexLabel)>,
+    edges: Vec<EdgeTriple>,
+}
+
+impl GraphBuilder {
+    /// Start an empty builder with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the graph configuration.
+    pub fn config(mut self, config: GraphConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Assign a label to a vertex.
+    pub fn vertex(mut self, v: u32, label: u16) -> Self {
+        self.vertex_labels.push((VertexId(v), VertexLabel(label)));
+        self
+    }
+
+    /// Add an edge with label and implicit timestamp 0.
+    pub fn edge(mut self, src: u32, dst: u32, label: u16) -> Self {
+        self.edges
+            .push(EdgeTriple::new(VertexId(src), VertexId(dst), EdgeLabel(label)));
+        self
+    }
+
+    /// Add an edge with an explicit timestamp.
+    pub fn timed_edge(mut self, src: u32, dst: u32, label: u16, ts: u64) -> Self {
+        self.edges.push(EdgeTriple::with_timestamp(
+            VertexId(src),
+            VertexId(dst),
+            EdgeLabel(label),
+            Timestamp(ts),
+        ));
+        self
+    }
+
+    /// Materialise the graph. Edge ids are assigned in insertion order, so
+    /// the i-th `edge()` call receives `EdgeId(i)`.
+    pub fn build(self) -> StreamingGraph {
+        let mut graph = StreamingGraph::with_config(self.config);
+        for (v, label) in self.vertex_labels {
+            graph.set_vertex_label(v, label);
+        }
+        for triple in self.edges {
+            graph.insert_edge(triple);
+        }
+        graph
+    }
+
+    /// Materialise the graph and also return the assigned edge ids in
+    /// insertion order.
+    pub fn build_with_ids(self) -> (StreamingGraph, Vec<EdgeId>) {
+        let mut graph = StreamingGraph::with_config(self.config);
+        for (v, label) in self.vertex_labels {
+            graph.set_vertex_label(v, label);
+        }
+        let ids = self
+            .edges
+            .into_iter()
+            .map(|triple| graph.insert_edge(triple))
+            .collect();
+        (graph, ids)
+    }
+}
+
+/// Build the running example of Figure 1: the data-graph snapshot `G` at time
+/// `t` with ten vertices (`v0`..`v9`) and the thirteen initial edges listed
+/// in Figure 1(a). Vertex labels follow the letters in the figure
+/// (A=0, B=1, C=2, D=3, E=4, F=5), assigned so that the snapshot contains
+/// exactly the two isomorphic embeddings of the example query that Section
+/// II-B walks through (they differ only in the match of `(u2, u6)`:
+/// `(v4, v8)` vs `(v4, v0)`).
+///
+/// The returned edge ids match the `eId` column of Figure 1(a), which makes
+/// the paper's worked examples directly checkable in tests.
+pub fn paper_example_graph() -> StreamingGraph {
+    GraphBuilder::new()
+        .vertex(0, 0) // A
+        .vertex(1, 0) // A
+        .vertex(2, 1) // B
+        .vertex(3, 1) // B
+        .vertex(4, 2) // C
+        .vertex(5, 4) // E
+        .vertex(6, 5) // F
+        .vertex(7, 3) // D
+        .vertex(8, 0) // A
+        .vertex(9, 5) // F
+        // eId 0..12 — the "existing edges" of Figure 1(a).
+        .edge(4, 1, 0) // 0
+        .edge(1, 3, 0) // 1
+        .edge(4, 0, 0) // 2
+        .edge(1, 5, 0) // 3
+        .edge(3, 7, 1) // 4  (v3, v7, 1) — also appears as id 6 in the figure; one instance here
+        .edge(0, 5, 0) // 5
+        .edge(3, 6, 1) // 6
+        .edge(2, 7, 1) // 7
+        .edge(2, 6, 1) // 8
+        .edge(4, 9, 3) // 9
+        .edge(4, 5, 2) // 10
+        .edge(4, 8, 0) // 11
+        .edge(1, 9, 0) // 12
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_ids_in_insertion_order() {
+        let (graph, ids) = GraphBuilder::new()
+            .vertex(0, 1)
+            .vertex(1, 2)
+            .edge(0, 1, 5)
+            .edge(1, 0, 6)
+            .build_with_ids();
+        assert_eq!(ids, vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(graph.vertex_label(VertexId(0)), VertexLabel(1));
+        assert_eq!(graph.edge(EdgeId(1)).unwrap().label, EdgeLabel(6));
+    }
+
+    #[test]
+    fn paper_example_graph_has_expected_shape() {
+        let g = paper_example_graph();
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.live_edge_count(), 13);
+        // v4 has out-edges to v1, v0, v9, v5, v8 -> out degree 5.
+        assert_eq!(g.out_degree(VertexId(4)), 5);
+        // v5 receives edges from v1, v0, v4.
+        assert_eq!(g.in_degree(VertexId(5)), 3);
+    }
+
+    #[test]
+    fn timed_edges_keep_timestamps() {
+        let g = GraphBuilder::new().timed_edge(0, 1, 0, 42).build();
+        assert_eq!(g.edge(EdgeId(0)).unwrap().timestamp, Timestamp(42));
+    }
+}

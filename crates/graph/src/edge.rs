@@ -1,0 +1,211 @@
+//! Edge records and direction helpers.
+//!
+//! Every streamed event becomes an [`EdgeRecord`] addressed by its
+//! [`EdgeId`]. A record keeps the endpoints, the edge label and the event
+//! timestamp; attribute payloads beyond the label live in the
+//! [`crate::attributes`] store so that the hot record stays small.
+
+use crate::ids::{EdgeId, EdgeLabel, Timestamp, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Direction of an adjacency entry relative to the owning vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The owning vertex is the source of the edge.
+    Outgoing,
+    /// The owning vertex is the destination of the edge.
+    Incoming,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Outgoing => Direction::Incoming,
+            Direction::Incoming => Direction::Outgoing,
+        }
+    }
+}
+
+/// A lightweight (source, destination, label) triple as it appears on the
+/// wire, before an id is assigned. Timestamps default to zero for datasets
+/// without temporal information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeTriple {
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Destination endpoint.
+    pub dst: VertexId,
+    /// Edge label (relationship type / protocol / activity).
+    pub label: EdgeLabel,
+    /// Event timestamp.
+    pub timestamp: Timestamp,
+}
+
+impl EdgeTriple {
+    /// Construct a triple with timestamp zero.
+    pub fn new(src: VertexId, dst: VertexId, label: EdgeLabel) -> Self {
+        EdgeTriple {
+            src,
+            dst,
+            label,
+            timestamp: Timestamp(0),
+        }
+    }
+
+    /// Construct a triple with an explicit timestamp.
+    pub fn with_timestamp(
+        src: VertexId,
+        dst: VertexId,
+        label: EdgeLabel,
+        timestamp: Timestamp,
+    ) -> Self {
+        EdgeTriple {
+            src,
+            dst,
+            label,
+            timestamp,
+        }
+    }
+}
+
+/// The materialised record of a live (or recycled) data-graph edge.
+///
+/// `alive` is false while the slot sits on the free list waiting to be
+/// recycled; the rest of the fields then describe the *previous* occupant and
+/// must not be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeRecord {
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Destination endpoint.
+    pub dst: VertexId,
+    /// Edge label.
+    pub label: EdgeLabel,
+    /// Event timestamp of the insertion that created this occupancy.
+    pub timestamp: Timestamp,
+    /// Whether the slot currently holds a live edge.
+    pub alive: bool,
+}
+
+impl EdgeRecord {
+    /// Create a live record from a triple.
+    pub fn from_triple(triple: EdgeTriple) -> Self {
+        EdgeRecord {
+            src: triple.src,
+            dst: triple.dst,
+            label: triple.label,
+            timestamp: triple.timestamp,
+            alive: true,
+        }
+    }
+
+    /// View the record back as a triple (ignores `alive`).
+    pub fn as_triple(&self) -> EdgeTriple {
+        EdgeTriple {
+            src: self.src,
+            dst: self.dst,
+            label: self.label,
+            timestamp: self.timestamp,
+        }
+    }
+
+    /// The endpoint of the edge on the given side.
+    #[inline]
+    pub fn endpoint(&self, direction: Direction) -> VertexId {
+        match direction {
+            Direction::Outgoing => self.src,
+            Direction::Incoming => self.dst,
+        }
+    }
+}
+
+/// A fully identified data-graph edge: id plus record. This is the unit the
+/// matcher passes around as "(v_p, v) with id edgeId" in the paper's prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Unique edge identifier.
+    pub id: EdgeId,
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Destination endpoint.
+    pub dst: VertexId,
+    /// Edge label.
+    pub label: EdgeLabel,
+    /// Event timestamp.
+    pub timestamp: Timestamp,
+}
+
+impl Edge {
+    /// Assemble an [`Edge`] from an id and its record.
+    pub fn from_record(id: EdgeId, record: &EdgeRecord) -> Self {
+        Edge {
+            id,
+            src: record.src,
+            dst: record.dst,
+            label: record.label,
+            timestamp: record.timestamp,
+        }
+    }
+
+    /// The endpoint opposite to `v`; `None` if `v` is not an endpoint.
+    pub fn other_endpoint(&self, v: VertexId) -> Option<VertexId> {
+        if self.src == v {
+            Some(self.dst)
+        } else if self.dst == v {
+            Some(self.src)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the edge is a self loop.
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triple(s: u32, d: u32, l: u16) -> EdgeTriple {
+        EdgeTriple::new(VertexId(s), VertexId(d), EdgeLabel(l))
+    }
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        assert_eq!(Direction::Outgoing.reverse(), Direction::Incoming);
+        assert_eq!(Direction::Incoming.reverse().reverse(), Direction::Incoming);
+    }
+
+    #[test]
+    fn record_roundtrips_triple() {
+        let t = EdgeTriple::with_timestamp(VertexId(1), VertexId(2), EdgeLabel(3), Timestamp(99));
+        let r = EdgeRecord::from_triple(t);
+        assert!(r.alive);
+        assert_eq!(r.as_triple(), t);
+        assert_eq!(r.endpoint(Direction::Outgoing), VertexId(1));
+        assert_eq!(r.endpoint(Direction::Incoming), VertexId(2));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let r = EdgeRecord::from_triple(triple(4, 7, 0));
+        let e = Edge::from_record(EdgeId(12), &r);
+        assert_eq!(e.other_endpoint(VertexId(4)), Some(VertexId(7)));
+        assert_eq!(e.other_endpoint(VertexId(7)), Some(VertexId(4)));
+        assert_eq!(e.other_endpoint(VertexId(9)), None);
+        assert!(!e.is_loop());
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        let r = EdgeRecord::from_triple(triple(5, 5, 1));
+        let e = Edge::from_record(EdgeId(0), &r);
+        assert!(e.is_loop());
+        assert_eq!(e.other_endpoint(VertexId(5)), Some(VertexId(5)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Append-only transactional edge log — the disk tier of the substrate.
+//!
+//! Section IV-A ("External memory support") backs up edges and their DEBI
+//! rows to disk using transactional edge logs in the style of LiveGraph, so
+//! that "the adjacency list of a given node can be fetched in a single
+//! transaction". We reproduce the property that matters to Mnemonic: each
+//! spilled edge is written once as a fixed-size binary record, and a per
+//! vertex offset index lets the matcher fetch all spilled edges of a vertex
+//! with one sequential scan over the log segment list for that vertex.
+//!
+//! The log is deliberately simple — no compaction, no concurrency control —
+//! because the spill path is FIFO (old edges only) and read-mostly.
+
+use crate::edge::Edge;
+use crate::ids::{EdgeId, EdgeLabel, Timestamp, VertexId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Size in bytes of one serialised edge record in the log.
+pub const LOG_RECORD_BYTES: usize = 4 /*edge id*/ + 4 /*src*/ + 4 /*dst*/ + 2 /*label*/ + 8 /*ts*/ + 8 /*debi row*/;
+
+/// One record as stored in the log: the edge plus its DEBI row at spill time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The spilled edge.
+    pub edge: Edge,
+    /// The DEBI bitmap row of the edge at the time it was spilled (up to 64
+    /// query-tree edges; the in-memory DEBI uses the same width).
+    pub debi_row: u64,
+}
+
+impl LogRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.edge.id.0);
+        buf.put_u32_le(self.edge.src.0);
+        buf.put_u32_le(self.edge.dst.0);
+        buf.put_u16_le(self.edge.label.0);
+        buf.put_u64_le(self.edge.timestamp.0);
+        buf.put_u64_le(self.debi_row);
+    }
+
+    fn decode(mut buf: &[u8]) -> LogRecord {
+        let id = EdgeId(buf.get_u32_le());
+        let src = VertexId(buf.get_u32_le());
+        let dst = VertexId(buf.get_u32_le());
+        let label = EdgeLabel(buf.get_u16_le());
+        let timestamp = Timestamp(buf.get_u64_le());
+        let debi_row = buf.get_u64_le();
+        LogRecord {
+            edge: Edge {
+                id,
+                src,
+                dst,
+                label,
+                timestamp,
+            },
+            debi_row,
+        }
+    }
+}
+
+/// Statistics describing the on-disk footprint of the log.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeLogStats {
+    /// Records appended over the lifetime of the log.
+    pub records_written: u64,
+    /// Records fetched back from disk.
+    pub records_read: u64,
+    /// Bytes currently occupied by the log file.
+    pub bytes_on_disk: u64,
+    /// Number of fetch transactions (per-vertex reads).
+    pub fetch_transactions: u64,
+}
+
+/// Append-only edge log with a per-source-vertex offset index.
+#[derive(Debug)]
+pub struct EdgeLog {
+    path: PathBuf,
+    file: File,
+    /// Byte offsets of every record whose *source* vertex is the key.
+    by_src: HashMap<u32, Vec<u64>>,
+    /// Byte offsets of every record whose *destination* vertex is the key.
+    by_dst: HashMap<u32, Vec<u64>>,
+    next_offset: u64,
+    stats: EdgeLogStats,
+}
+
+impl EdgeLog {
+    /// Create (or truncate) a log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .read(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(EdgeLog {
+            path,
+            file,
+            by_src: HashMap::new(),
+            by_dst: HashMap::new(),
+            next_offset: 0,
+            stats: EdgeLogStats::default(),
+        })
+    }
+
+    /// Create a log file in a fresh temporary location under the system temp
+    /// directory. Useful for tests and benches.
+    pub fn create_temp(tag: &str) -> std::io::Result<Self> {
+        let mut path = std::env::temp_dir();
+        let unique = format!(
+            "mnemonic-edgelog-{}-{}-{}.bin",
+            tag,
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        );
+        path.push(unique);
+        Self::create(path)
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> EdgeLogStats {
+        self.stats
+    }
+
+    /// Number of records ever appended.
+    pub fn len(&self) -> u64 {
+        self.stats.records_written
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.stats.records_written == 0
+    }
+
+    /// Append a batch of records in one write transaction. Returns the number
+    /// of records written.
+    pub fn append_batch(&mut self, records: &[LogRecord]) -> std::io::Result<usize> {
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = BytesMut::with_capacity(records.len() * LOG_RECORD_BYTES);
+        for record in records {
+            self.by_src
+                .entry(record.edge.src.0)
+                .or_default()
+                .push(self.next_offset);
+            self.by_dst
+                .entry(record.edge.dst.0)
+                .or_default()
+                .push(self.next_offset);
+            record.encode(&mut buf);
+            self.next_offset += LOG_RECORD_BYTES as u64;
+        }
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(&buf)?;
+        self.stats.records_written += records.len() as u64;
+        self.stats.bytes_on_disk = self.next_offset;
+        Ok(records.len())
+    }
+
+    fn read_at(&mut self, offset: u64) -> std::io::Result<LogRecord> {
+        let mut raw = vec![0u8; LOG_RECORD_BYTES];
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(&mut raw)?;
+        self.stats.records_read += 1;
+        Ok(LogRecord::decode(&raw))
+    }
+
+    /// Fetch every spilled record whose source vertex is `v` — the
+    /// "adjacency list in a single transaction" operation of the paper.
+    pub fn fetch_outgoing(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
+        self.stats.fetch_transactions += 1;
+        let offsets = self.by_src.get(&v.0).cloned().unwrap_or_default();
+        offsets.into_iter().map(|o| self.read_at(o)).collect()
+    }
+
+    /// Fetch every spilled record whose destination vertex is `v`.
+    pub fn fetch_incoming(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
+        self.stats.fetch_transactions += 1;
+        let offsets = self.by_dst.get(&v.0).cloned().unwrap_or_default();
+        offsets.into_iter().map(|o| self.read_at(o)).collect()
+    }
+
+    /// Read back the whole log in append order.
+    pub fn scan_all(&mut self) -> std::io::Result<Vec<LogRecord>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut raw = Vec::new();
+        self.file.read_to_end(&mut raw)?;
+        let bytes = Bytes::from(raw);
+        let mut out = Vec::with_capacity(bytes.len() / LOG_RECORD_BYTES);
+        for chunk in bytes.chunks_exact(LOG_RECORD_BYTES) {
+            out.push(LogRecord::decode(chunk));
+        }
+        self.stats.records_read += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Delete the backing file. The log must not be used afterwards.
+    pub fn destroy(self) -> std::io::Result<()> {
+        let path = self.path.clone();
+        drop(self);
+        std::fs::remove_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32, s: u32, d: u32, l: u16, ts: u64, row: u64) -> LogRecord {
+        LogRecord {
+            edge: Edge {
+                id: EdgeId(id),
+                src: VertexId(s),
+                dst: VertexId(d),
+                label: EdgeLabel(l),
+                timestamp: Timestamp(ts),
+            },
+            debi_row: row,
+        }
+    }
+
+    #[test]
+    fn record_encoding_roundtrips() {
+        let r = rec(7, 1, 2, 3, 99, 0b1011);
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), LOG_RECORD_BYTES);
+        assert_eq!(LogRecord::decode(&buf), r);
+    }
+
+    #[test]
+    fn append_and_fetch_by_vertex() {
+        let mut log = EdgeLog::create_temp("fetch").unwrap();
+        log.append_batch(&[
+            rec(0, 1, 2, 0, 10, 1),
+            rec(1, 1, 3, 0, 11, 2),
+            rec(2, 4, 1, 1, 12, 4),
+        ])
+        .unwrap();
+        let out = log.fetch_outgoing(VertexId(1)).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].edge.dst, VertexId(2));
+        assert_eq!(out[1].edge.dst, VertexId(3));
+        let inc = log.fetch_incoming(VertexId(1)).unwrap();
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc[0].edge.src, VertexId(4));
+        assert!(log.fetch_outgoing(VertexId(9)).unwrap().is_empty());
+        assert_eq!(log.stats().records_written, 3);
+        log.destroy().unwrap();
+    }
+
+    #[test]
+    fn scan_all_preserves_append_order() {
+        let mut log = EdgeLog::create_temp("scan").unwrap();
+        let records = vec![rec(0, 0, 1, 0, 1, 0), rec(1, 1, 2, 1, 2, 7), rec(2, 2, 0, 2, 3, 9)];
+        log.append_batch(&records[..2]).unwrap();
+        log.append_batch(&records[2..]).unwrap();
+        assert_eq!(log.scan_all().unwrap(), records);
+        assert_eq!(log.stats().bytes_on_disk, 3 * LOG_RECORD_BYTES as u64);
+        log.destroy().unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut log = EdgeLog::create_temp("empty").unwrap();
+        assert_eq!(log.append_batch(&[]).unwrap(), 0);
+        assert!(log.is_empty());
+        log.destroy().unwrap();
+    }
+}

@@ -1,0 +1,209 @@
+//! Strongly-typed identifiers used throughout the Mnemonic workspace.
+//!
+//! The paper identifies every data-graph edge with a unique `edgeId` so that
+//! multiple parallel edges between the same endpoints stay distinguishable
+//! (Section IV). Vertices, labels and timestamps get the same newtype
+//! treatment so that the different id spaces can never be mixed up by
+//! accident.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data-graph vertex.
+///
+/// Vertex ids are dense: the substrate allocates them contiguously starting
+/// at zero so they can double as indices into side arrays (attribute store,
+/// `roots` bit vector, adjacency table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+/// Identifier of a data-graph edge (the paper's `edgeId`).
+///
+/// Edge ids are dense as well and are *recycled*: when an edge is deleted its
+/// id (and the DEBI row indexed by it) becomes available for a later
+/// insertion, which is what keeps the index size non-monotonic (Section IV-A,
+/// "Memory recycling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// Label (type) of a vertex, e.g. host / user / process in the LANL data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexLabel(pub u16);
+
+/// Label (type) of an edge, e.g. the transport protocol of a NetFlow event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeLabel(pub u16);
+
+/// Event timestamp carried by streamed edges, used by windowed streams and by
+/// time-constrained matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Timestamp(pub u64);
+
+/// Identifier of a *query-graph* vertex (`u0`, `u1`, ... in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryVertexId(pub u16);
+
+/// Identifier of a *query-graph* edge, dense over the query edge set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryEdgeId(pub u16);
+
+/// A label that matches anything. The example query in Figure 1(e) uses empty
+/// labels on every edge; we reserve the maximum raw value for that wildcard.
+pub const WILDCARD_EDGE_LABEL: EdgeLabel = EdgeLabel(u16::MAX);
+/// Wildcard vertex label: matches any data-vertex label.
+pub const WILDCARD_VERTEX_LABEL: VertexLabel = VertexLabel(u16::MAX);
+
+impl VertexId {
+    /// The vertex id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The edge id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl QueryVertexId {
+    /// The query vertex id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl QueryEdgeId {
+    /// The query edge id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VertexLabel {
+    /// Whether this label matches `other` taking the wildcard into account.
+    #[inline]
+    pub fn matches(self, other: VertexLabel) -> bool {
+        self == WILDCARD_VERTEX_LABEL || other == WILDCARD_VERTEX_LABEL || self == other
+    }
+}
+
+impl EdgeLabel {
+    /// Whether this label matches `other` taking the wildcard into account.
+    #[inline]
+    pub fn matches(self, other: EdgeLabel) -> bool {
+        self == WILDCARD_EDGE_LABEL || other == WILDCARD_EDGE_LABEL || self == other
+    }
+}
+
+impl Timestamp {
+    /// Difference to an earlier timestamp, saturating at zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for QueryVertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for QueryEdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(raw: u32) -> Self {
+        VertexId(raw)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(raw: u32) -> Self {
+        EdgeId(raw)
+    }
+}
+
+impl From<u16> for QueryVertexId {
+    fn from(raw: u16) -> Self {
+        QueryVertexId(raw)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(raw: u64) -> Self {
+        Timestamp(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_index_roundtrip() {
+        let v = VertexId(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(VertexId::from(42u32), v);
+        assert_eq!(format!("{v}"), "v42");
+    }
+
+    #[test]
+    fn edge_id_ordering_is_numeric() {
+        assert!(EdgeId(3) < EdgeId(10));
+        assert_eq!(format!("{}", EdgeId(7)), "e7");
+    }
+
+    #[test]
+    fn wildcard_vertex_label_matches_everything() {
+        let a = VertexLabel(1);
+        let b = VertexLabel(2);
+        assert!(!a.matches(b));
+        assert!(a.matches(a));
+        assert!(WILDCARD_VERTEX_LABEL.matches(a));
+        assert!(a.matches(WILDCARD_VERTEX_LABEL));
+    }
+
+    #[test]
+    fn wildcard_edge_label_matches_everything() {
+        let a = EdgeLabel(4);
+        let b = EdgeLabel(9);
+        assert!(!a.matches(b));
+        assert!(b.matches(b));
+        assert!(WILDCARD_EDGE_LABEL.matches(b));
+        assert!(b.matches(WILDCARD_EDGE_LABEL));
+    }
+
+    #[test]
+    fn timestamp_saturating_since() {
+        assert_eq!(Timestamp(10).saturating_since(Timestamp(4)), 6);
+        assert_eq!(Timestamp(4).saturating_since(Timestamp(10)), 0);
+    }
+
+    #[test]
+    fn query_ids_display() {
+        assert_eq!(format!("{}", QueryVertexId(3)), "u3");
+        assert_eq!(format!("{}", QueryEdgeId(5)), "q5");
+    }
+}

@@ -1,0 +1,44 @@
+//! # mnemonic-graph
+//!
+//! Streaming multigraph substrate for the Mnemonic subgraph matching system
+//! (Bhattarai & Huang, IPDPS 2022).
+//!
+//! The crate provides the data-management layer the paper's matcher sits on:
+//!
+//! * [`StreamingGraph`](multigraph::StreamingGraph) — an adjacency-list
+//!   directed multigraph where every edge instance carries a unique
+//!   [`EdgeId`](ids::EdgeId), with O(1) insertion/deletion and edge-id
+//!   recycling so the placeholder count stays non-monotonic,
+//! * id-indexed [attribute stores](attributes) for vertex/edge labels and
+//!   long-tail attributes,
+//! * an append-only [transactional edge log](edge_log) plus a FIFO
+//!   [spill manager](spill) implementing the paper's external-memory tier,
+//! * [builders](builder) for assembling graphs in tests, examples and the
+//!   synthetic dataset generators.
+
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod attributes;
+pub mod builder;
+pub mod edge;
+pub mod edge_log;
+pub mod ids;
+pub mod multigraph;
+pub mod recycle;
+pub mod spill;
+pub mod stats;
+
+pub use adjacency::{AdjEntry, AdjacencyTable, VertexAdjacency};
+pub use attributes::{AttrValue, EdgeAttributeStore, VertexAttributeStore};
+pub use builder::{paper_example_graph, GraphBuilder};
+pub use edge::{Direction, Edge, EdgeRecord, EdgeTriple};
+pub use edge_log::{EdgeLog, EdgeLogStats, LogRecord};
+pub use ids::{
+    EdgeId, EdgeLabel, QueryEdgeId, QueryVertexId, Timestamp, VertexId, VertexLabel,
+    WILDCARD_EDGE_LABEL, WILDCARD_VERTEX_LABEL,
+};
+pub use multigraph::{GraphConfig, GraphError, StreamingGraph};
+pub use recycle::EdgeRecycler;
+pub use spill::{SpillConfig, SpillManager, SpillStats};
+pub use stats::GraphStats;

@@ -1,0 +1,559 @@
+//! The streaming multigraph: the substrate every matcher in this workspace
+//! runs on.
+//!
+//! [`StreamingGraph`] combines the adjacency table, the id-indexed edge
+//! records, the attribute stores and the edge-id recycler into the data
+//! structure described in Sections II-A and IV-A of the paper:
+//!
+//! * every edge instance gets its own `edgeId`, so parallel edges (e.g.
+//!   repeated NetFlow events between the same hosts) stay distinguishable,
+//! * insertion, deletion and record lookup are O(1) amortised,
+//! * deleted slots are recycled for later insertions out of the same source
+//!   vertex, keeping the placeholder count (and with it the DEBI size)
+//!   non-monotonic,
+//! * a periodic reset can drop the cumulative structure entirely and restart
+//!   from an empty graph.
+
+use crate::adjacency::{AdjEntry, AdjacencyTable};
+use crate::attributes::{AttrValue, EdgeAttributeStore, VertexAttributeStore};
+use crate::edge::{Edge, EdgeRecord, EdgeTriple};
+use crate::ids::{EdgeId, EdgeLabel, Timestamp, VertexId, VertexLabel};
+use crate::recycle::EdgeRecycler;
+use crate::stats::GraphStats;
+use serde::{Deserialize, Serialize};
+
+/// Construction-time options of the streaming graph.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GraphConfig {
+    /// Reuse the slots of deleted edges (paper default: on).
+    pub recycle_edge_ids: bool,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            recycle_edge_ids: true,
+        }
+    }
+}
+
+/// Error returned by graph mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The referenced edge id has never been allocated.
+    UnknownEdge(EdgeId),
+    /// The referenced edge id exists but its slot is currently free.
+    DeadEdge(EdgeId),
+    /// No live edge matches the requested (src, dst, label) triple.
+    NoMatchingEdge(VertexId, VertexId, EdgeLabel),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownEdge(e) => write!(f, "unknown edge id {e}"),
+            GraphError::DeadEdge(e) => write!(f, "edge id {e} is not alive"),
+            GraphError::NoMatchingEdge(s, d, l) => {
+                write!(f, "no live edge {s}->{d} with label {}", l.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A mutable, streaming, directed multigraph with labelled vertices and
+/// edges.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingGraph {
+    adjacency: AdjacencyTable,
+    edges: Vec<EdgeRecord>,
+    vertex_attrs: VertexAttributeStore,
+    edge_attrs: EdgeAttributeStore,
+    recycler: EdgeRecycler,
+    stats: GraphStats,
+    config: GraphConfig,
+}
+
+impl StreamingGraph {
+    /// Create an empty graph with the default configuration (recycling on).
+    pub fn new() -> Self {
+        Self::with_config(GraphConfig::default())
+    }
+
+    /// Create an empty graph with an explicit configuration.
+    pub fn with_config(config: GraphConfig) -> Self {
+        StreamingGraph {
+            adjacency: AdjacencyTable::new(),
+            edges: Vec::new(),
+            vertex_attrs: VertexAttributeStore::new(),
+            edge_attrs: EdgeAttributeStore::new(),
+            recycler: EdgeRecycler::new(config.recycle_edge_ids),
+            stats: GraphStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration the graph was built with.
+    pub fn config(&self) -> GraphConfig {
+        self.config
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> GraphStats {
+        self.stats
+    }
+
+    /// Number of live edges.
+    pub fn live_edge_count(&self) -> usize {
+        self.stats.live_edges as usize
+    }
+
+    /// Number of edge placeholders (length of the edge table — includes dead
+    /// slots awaiting reuse).
+    pub fn placeholder_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices ever touched.
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Upper bound (exclusive) on allocated edge ids; useful for sizing
+    /// id-indexed side structures such as DEBI.
+    pub fn edge_id_bound(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Set the label of a vertex, creating the vertex if necessary.
+    pub fn set_vertex_label(&mut self, v: VertexId, label: VertexLabel) {
+        self.adjacency.ensure_vertex(v);
+        self.stats.vertices = self.adjacency.len() as u64;
+        self.vertex_attrs.set_label(v, label);
+    }
+
+    /// The label of a vertex (wildcard for unknown vertices).
+    pub fn vertex_label(&self, v: VertexId) -> VertexLabel {
+        self.vertex_attrs.label(v)
+    }
+
+    /// Attach an extra attribute to a vertex.
+    pub fn set_vertex_attr(&mut self, v: VertexId, key: impl Into<String>, value: AttrValue) {
+        self.vertex_attrs.set_attr(v, key, value);
+    }
+
+    /// Read an extra attribute of a vertex.
+    pub fn vertex_attr(&self, v: VertexId, key: &str) -> Option<&AttrValue> {
+        self.vertex_attrs.attr(v, key)
+    }
+
+    /// Attach an extra attribute to an edge.
+    pub fn set_edge_attr(&mut self, e: EdgeId, key: impl Into<String>, value: AttrValue) {
+        self.edge_attrs.set_attr(e, key, value);
+    }
+
+    /// Read an extra attribute of an edge.
+    pub fn edge_attr(&self, e: EdgeId, key: &str) -> Option<&AttrValue> {
+        self.edge_attrs.attr(e, key)
+    }
+
+    /// Insert an edge described by `triple`; returns the id assigned to it.
+    ///
+    /// The id is recycled from the source vertex's free list when possible,
+    /// otherwise a fresh placeholder is appended.
+    pub fn insert_edge(&mut self, triple: EdgeTriple) -> EdgeId {
+        self.adjacency.ensure_vertex(triple.src);
+        self.adjacency.ensure_vertex(triple.dst);
+        self.stats.vertices = self.adjacency.len() as u64;
+
+        let record = EdgeRecord::from_triple(triple);
+        let id = match self.recycler.acquire(triple.src) {
+            Some(id) => {
+                debug_assert!(!self.edges[id.index()].alive, "recycled a live slot");
+                self.edge_attrs.clear_edge(id);
+                self.edges[id.index()] = record;
+                self.stats.recycled_insertions += 1;
+                id
+            }
+            None => {
+                let id = EdgeId(self.edges.len() as u32);
+                self.edges.push(record);
+                id
+            }
+        };
+        self.adjacency.insert_edge(id, triple.src, triple.dst);
+        self.stats.live_edges += 1;
+        self.stats.total_insertions += 1;
+        self.stats.edge_placeholders = self.edges.len() as u64;
+        id
+    }
+
+    /// Delete the edge with id `id`. The slot is parked for reuse.
+    pub fn delete_edge(&mut self, id: EdgeId) -> Result<Edge, GraphError> {
+        let record = *self
+            .edges
+            .get(id.index())
+            .ok_or(GraphError::UnknownEdge(id))?;
+        if !record.alive {
+            return Err(GraphError::DeadEdge(id));
+        }
+        self.adjacency.remove_edge(id, record.src, record.dst);
+        self.edges[id.index()].alive = false;
+        self.recycler.release(record.src, id);
+        self.stats.live_edges -= 1;
+        self.stats.total_deletions += 1;
+        Ok(Edge::from_record(id, &record))
+    }
+
+    /// Delete one live edge matching `(src, dst, label)`. When several
+    /// parallel instances exist the most recently inserted one is removed,
+    /// mirroring how the LSBench stream negates a previously streamed triple.
+    pub fn delete_matching(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        label: EdgeLabel,
+    ) -> Result<Edge, GraphError> {
+        let found = self
+            .adjacency
+            .outgoing(src)
+            .iter()
+            .filter(|entry| entry.neighbor == dst)
+            .map(|entry| entry.edge)
+            .filter(|&eid| {
+                let rec = &self.edges[eid.index()];
+                rec.alive && rec.label.matches(label)
+            })
+            .max_by_key(|&eid| (self.edges[eid.index()].timestamp, eid));
+        match found {
+            Some(eid) => self.delete_edge(eid),
+            None => Err(GraphError::NoMatchingEdge(src, dst, label)),
+        }
+    }
+
+    /// The record of an edge id if the slot is currently alive.
+    pub fn edge(&self, id: EdgeId) -> Option<Edge> {
+        self.edges
+            .get(id.index())
+            .filter(|r| r.alive)
+            .map(|r| Edge::from_record(id, r))
+    }
+
+    /// The record of an edge id regardless of liveness (used by deletion
+    /// pipelines that must inspect an edge after it was removed).
+    pub fn edge_record(&self, id: EdgeId) -> Option<&EdgeRecord> {
+        self.edges.get(id.index())
+    }
+
+    /// Whether the edge id refers to a live edge.
+    pub fn is_alive(&self, id: EdgeId) -> bool {
+        self.edges.get(id.index()).map(|r| r.alive).unwrap_or(false)
+    }
+
+    /// Outgoing adjacency entries of `v`.
+    pub fn outgoing(&self, v: VertexId) -> &[AdjEntry] {
+        self.adjacency.outgoing(v)
+    }
+
+    /// Incoming adjacency entries of `v`.
+    pub fn incoming(&self, v: VertexId) -> &[AdjEntry] {
+        self.adjacency.incoming(v)
+    }
+
+    /// Outgoing edges of `v` as fully materialised [`Edge`] values.
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = Edge> + '_ {
+        self.adjacency
+            .outgoing(v)
+            .iter()
+            .filter_map(move |entry| self.edge(entry.edge))
+    }
+
+    /// Incoming edges of `v` as fully materialised [`Edge`] values.
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = Edge> + '_ {
+        self.adjacency
+            .incoming(v)
+            .iter()
+            .filter_map(move |entry| self.edge(entry.edge))
+    }
+
+    /// All live edges between `src` and `dst` (parallel edges preserved).
+    pub fn edges_between(&self, src: VertexId, dst: VertexId) -> Vec<Edge> {
+        self.adjacency
+            .outgoing(src)
+            .iter()
+            .filter(|entry| entry.neighbor == dst)
+            .filter_map(|entry| self.edge(entry.edge))
+            .collect()
+    }
+
+    /// Out-degree of `v` (live parallel edges counted individually).
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.adjacency.out_degree(v)
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.adjacency.in_degree(v)
+    }
+
+    /// Count of outgoing live edges of `v` carrying `label` (rule f2).
+    pub fn out_label_count(&self, v: VertexId, label: EdgeLabel) -> usize {
+        self.out_edges(v).filter(|e| e.label.matches(label)).count()
+    }
+
+    /// Count of incoming live edges of `v` carrying `label` (rule f2).
+    pub fn in_label_count(&self, v: VertexId, label: EdgeLabel) -> usize {
+        self.in_edges(v).filter(|e| e.label.matches(label)).count()
+    }
+
+    /// Count of distinct out-neighbours of `v` whose vertex label is
+    /// `neighbor_label` (rule f3).
+    pub fn out_neighbor_label_count(&self, v: VertexId, neighbor_label: VertexLabel) -> usize {
+        let mut seen: Vec<VertexId> = self
+            .out_edges(v)
+            .map(|e| e.dst)
+            .filter(|&n| self.vertex_label(n).matches(neighbor_label))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Count of distinct in-neighbours of `v` whose vertex label is
+    /// `neighbor_label` (rule f3).
+    pub fn in_neighbor_label_count(&self, v: VertexId, neighbor_label: VertexLabel) -> usize {
+        let mut seen: Vec<VertexId> = self
+            .in_edges(v)
+            .map(|e| e.src)
+            .filter(|&n| self.vertex_label(n).matches(neighbor_label))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Iterate over every live edge in the graph.
+    pub fn live_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().enumerate().filter_map(|(i, record)| {
+            if record.alive {
+                Some(Edge::from_record(EdgeId(i as u32), record))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Iterate over every vertex id ever touched.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.adjacency.len() as u32).map(VertexId)
+    }
+
+    /// Vertices that currently have at least one live incident edge.
+    pub fn active_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.adjacency
+            .iter()
+            .filter(|(_, adj)| adj.degree() > 0)
+            .map(|(v, _)| v)
+    }
+
+    /// Drop every edge, placeholder and parked slot while keeping vertex
+    /// labels. This is the "periodic reset" of Section VII-D that discards the
+    /// cumulative index and restarts from the current point in the stream.
+    pub fn reset_edges(&mut self) {
+        let vertex_count = self.adjacency.len();
+        self.adjacency = AdjacencyTable::new();
+        if vertex_count > 0 {
+            self.adjacency.ensure_vertex(VertexId(vertex_count as u32 - 1));
+        }
+        self.edges.clear();
+        self.edge_attrs = EdgeAttributeStore::new();
+        self.recycler.clear();
+        self.stats.live_edges = 0;
+        self.stats.edge_placeholders = 0;
+    }
+
+    /// Timestamp of the oldest live edge, if any. Used by sliding-window
+    /// eviction.
+    pub fn oldest_live_timestamp(&self) -> Option<Timestamp> {
+        self.live_edges().map(|e| e.timestamp).min()
+    }
+
+    /// Collect ids of live edges whose timestamp is strictly older than
+    /// `cutoff`. Used by the sliding-window stream to build deletion batches.
+    pub fn edges_older_than(&self, cutoff: Timestamp) -> Vec<EdgeId> {
+        self.live_edges()
+            .filter(|e| e.timestamp < cutoff)
+            .map(|e| e.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, d: u32, l: u16) -> EdgeTriple {
+        EdgeTriple::new(VertexId(s), VertexId(d), EdgeLabel(l))
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut g = StreamingGraph::new();
+        assert_eq!(g.insert_edge(t(0, 1, 0)), EdgeId(0));
+        assert_eq!(g.insert_edge(t(1, 2, 0)), EdgeId(1));
+        assert_eq!(g.insert_edge(t(0, 1, 5)), EdgeId(2));
+        assert_eq!(g.live_edge_count(), 3);
+        assert_eq!(g.placeholder_count(), 3);
+        assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn parallel_edges_have_distinct_ids() {
+        let mut g = StreamingGraph::new();
+        let a = g.insert_edge(t(0, 1, 0));
+        let b = g.insert_edge(t(0, 1, 0));
+        assert_ne!(a, b);
+        assert_eq!(g.edges_between(VertexId(0), VertexId(1)).len(), 2);
+    }
+
+    #[test]
+    fn delete_then_insert_recycles_slot() {
+        // Mirrors the paper's example: after (v1, v5) id=3 is deleted, a later
+        // insertion (v1, v9) reuses id 3.
+        let mut g = StreamingGraph::new();
+        for _ in 0..3 {
+            g.insert_edge(t(1, 5, 0));
+        }
+        let deleted = g.delete_edge(EdgeId(1)).unwrap();
+        assert_eq!(deleted.src, VertexId(1));
+        let reused = g.insert_edge(t(1, 9, 0));
+        assert_eq!(reused, EdgeId(1));
+        assert_eq!(g.placeholder_count(), 3);
+        assert_eq!(g.stats().recycled_insertions, 1);
+        assert_eq!(g.edge(EdgeId(1)).unwrap().dst, VertexId(9));
+    }
+
+    #[test]
+    fn recycling_disabled_grows_placeholders() {
+        let mut g = StreamingGraph::with_config(GraphConfig {
+            recycle_edge_ids: false,
+        });
+        let a = g.insert_edge(t(0, 1, 0));
+        g.delete_edge(a).unwrap();
+        let b = g.insert_edge(t(0, 2, 0));
+        assert_ne!(a, b);
+        assert_eq!(g.placeholder_count(), 2);
+        assert_eq!(g.stats().recycled_insertions, 0);
+    }
+
+    #[test]
+    fn delete_matching_removes_latest_instance() {
+        let mut g = StreamingGraph::new();
+        let e0 = g.insert_edge(EdgeTriple::with_timestamp(
+            VertexId(0),
+            VertexId(1),
+            EdgeLabel(0),
+            Timestamp(10),
+        ));
+        let e1 = g.insert_edge(EdgeTriple::with_timestamp(
+            VertexId(0),
+            VertexId(1),
+            EdgeLabel(0),
+            Timestamp(20),
+        ));
+        let removed = g
+            .delete_matching(VertexId(0), VertexId(1), EdgeLabel(0))
+            .unwrap();
+        assert_eq!(removed.id, e1);
+        assert!(g.is_alive(e0));
+        assert!(!g.is_alive(e1));
+    }
+
+    #[test]
+    fn delete_matching_missing_edge_errors() {
+        let mut g = StreamingGraph::new();
+        g.insert_edge(t(0, 1, 0));
+        let err = g.delete_matching(VertexId(0), VertexId(1), EdgeLabel(7));
+        assert!(matches!(err, Err(GraphError::NoMatchingEdge(..))));
+        let err = g.delete_matching(VertexId(5), VertexId(6), EdgeLabel(0));
+        assert!(matches!(err, Err(GraphError::NoMatchingEdge(..))));
+    }
+
+    #[test]
+    fn double_delete_errors() {
+        let mut g = StreamingGraph::new();
+        let e = g.insert_edge(t(0, 1, 0));
+        g.delete_edge(e).unwrap();
+        assert_eq!(g.delete_edge(e), Err(GraphError::DeadEdge(e)));
+        assert_eq!(
+            g.delete_edge(EdgeId(99)),
+            Err(GraphError::UnknownEdge(EdgeId(99)))
+        );
+    }
+
+    #[test]
+    fn label_counts_for_filtering_rules() {
+        let mut g = StreamingGraph::new();
+        g.set_vertex_label(VertexId(1), VertexLabel(1));
+        g.set_vertex_label(VertexId(2), VertexLabel(1));
+        g.set_vertex_label(VertexId(3), VertexLabel(2));
+        g.insert_edge(t(0, 1, 0));
+        g.insert_edge(t(0, 2, 0));
+        g.insert_edge(t(0, 3, 1));
+        g.insert_edge(t(0, 1, 0)); // parallel edge
+        assert_eq!(g.out_label_count(VertexId(0), EdgeLabel(0)), 3);
+        assert_eq!(g.out_label_count(VertexId(0), EdgeLabel(1)), 1);
+        assert_eq!(g.out_neighbor_label_count(VertexId(0), VertexLabel(1)), 2);
+        assert_eq!(g.out_neighbor_label_count(VertexId(0), VertexLabel(2)), 1);
+        assert_eq!(g.in_label_count(VertexId(1), EdgeLabel(0)), 2);
+        assert_eq!(
+            g.in_neighbor_label_count(VertexId(1), crate::ids::WILDCARD_VERTEX_LABEL),
+            1
+        );
+    }
+
+    #[test]
+    fn live_edges_skips_deleted_slots() {
+        let mut g = StreamingGraph::new();
+        let a = g.insert_edge(t(0, 1, 0));
+        let b = g.insert_edge(t(1, 2, 0));
+        g.delete_edge(a).unwrap();
+        let live: Vec<EdgeId> = g.live_edges().map(|e| e.id).collect();
+        assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn reset_clears_edges_but_not_vertex_labels() {
+        let mut g = StreamingGraph::new();
+        g.set_vertex_label(VertexId(0), VertexLabel(3));
+        g.insert_edge(t(0, 1, 0));
+        g.reset_edges();
+        assert_eq!(g.live_edge_count(), 0);
+        assert_eq!(g.placeholder_count(), 0);
+        assert_eq!(g.vertex_label(VertexId(0)), VertexLabel(3));
+        // Graph remains usable after the reset.
+        let e = g.insert_edge(t(0, 1, 0));
+        assert_eq!(e, EdgeId(0));
+    }
+
+    #[test]
+    fn window_eviction_helpers() {
+        let mut g = StreamingGraph::new();
+        for ts in [5u64, 10, 15, 20] {
+            g.insert_edge(EdgeTriple::with_timestamp(
+                VertexId(0),
+                VertexId(1),
+                EdgeLabel(0),
+                Timestamp(ts),
+            ));
+        }
+        assert_eq!(g.oldest_live_timestamp(), Some(Timestamp(5)));
+        let old = g.edges_older_than(Timestamp(15));
+        assert_eq!(old.len(), 2);
+        for id in old {
+            g.delete_edge(id).unwrap();
+        }
+        assert_eq!(g.oldest_live_timestamp(), Some(Timestamp(15)));
+    }
+}

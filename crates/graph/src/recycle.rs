@@ -1,0 +1,144 @@
+//! Edge-id recycling (Section IV-A, "Memory recycling").
+//!
+//! When an edge is deleted Mnemonic remembers its id on a per-source-vertex
+//! free list. The next insertion out of the same vertex reuses that id — and
+//! with it the DEBI row and attribute slot — instead of growing the edge
+//! table. This is what makes the index size *non-monotonic*: placeholders
+//! grow only when a vertex inserts more concurrent edges than it ever had
+//! before. The recycler can be disabled to reproduce the "without
+//! reclaiming" curve of Figure 17.
+
+use crate::ids::{EdgeId, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Free-list based edge-id recycler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeRecycler {
+    /// Per-source-vertex free lists of ids whose previous occupant was
+    /// deleted. LIFO so the most recently freed slot is reused first, which
+    /// keeps the touched id range compact.
+    per_vertex: HashMap<u32, Vec<EdgeId>>,
+    /// Whether recycling is enabled at all.
+    enabled: bool,
+    /// Number of ids currently parked on free lists.
+    free_count: usize,
+    /// Total number of successful reuses over the lifetime of the graph.
+    reuse_count: u64,
+}
+
+impl Default for EdgeRecycler {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl EdgeRecycler {
+    /// Create a recycler; `enabled = false` turns every `acquire` into a miss
+    /// so the caller always allocates fresh slots.
+    pub fn new(enabled: bool) -> Self {
+        EdgeRecycler {
+            per_vertex: HashMap::new(),
+            enabled,
+            free_count: 0,
+            reuse_count: 0,
+        }
+    }
+
+    /// Whether recycling is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Park the id of a deleted edge whose source vertex was `src`.
+    pub fn release(&mut self, src: VertexId, id: EdgeId) {
+        if !self.enabled {
+            return;
+        }
+        self.per_vertex.entry(src.0).or_default().push(id);
+        self.free_count += 1;
+    }
+
+    /// Try to obtain a recycled id for a new edge out of `src`. Falls back to
+    /// `None` when the vertex has no parked ids (or recycling is disabled),
+    /// in which case the caller must allocate a fresh slot.
+    pub fn acquire(&mut self, src: VertexId) -> Option<EdgeId> {
+        if !self.enabled {
+            return None;
+        }
+        let list = self.per_vertex.get_mut(&src.0)?;
+        let id = list.pop()?;
+        if list.is_empty() {
+            self.per_vertex.remove(&src.0);
+        }
+        self.free_count -= 1;
+        self.reuse_count += 1;
+        Some(id)
+    }
+
+    /// Number of ids currently waiting for reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free_count
+    }
+
+    /// Lifetime count of successful reuses.
+    pub fn reuses(&self) -> u64 {
+        self.reuse_count
+    }
+
+    /// Drop all parked ids (used by the periodic-reset path: after a reset the
+    /// edge table is rebuilt from scratch, so stale ids must not leak in).
+    pub fn clear(&mut self) {
+        self.per_vertex.clear();
+        self.free_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_most_recent_free_id_per_vertex() {
+        let mut r = EdgeRecycler::new(true);
+        r.release(VertexId(1), EdgeId(3));
+        r.release(VertexId(1), EdgeId(9));
+        r.release(VertexId(2), EdgeId(5));
+        assert_eq!(r.free_slots(), 3);
+        assert_eq!(r.acquire(VertexId(1)), Some(EdgeId(9)));
+        assert_eq!(r.acquire(VertexId(1)), Some(EdgeId(3)));
+        assert_eq!(r.acquire(VertexId(1)), None);
+        assert_eq!(r.acquire(VertexId(2)), Some(EdgeId(5)));
+        assert_eq!(r.free_slots(), 0);
+        assert_eq!(r.reuses(), 3);
+    }
+
+    #[test]
+    fn disabled_recycler_never_returns_ids() {
+        let mut r = EdgeRecycler::new(false);
+        r.release(VertexId(1), EdgeId(3));
+        assert_eq!(r.free_slots(), 0);
+        assert_eq!(r.acquire(VertexId(1)), None);
+        assert_eq!(r.reuses(), 0);
+    }
+
+    #[test]
+    fn ids_are_per_source_vertex() {
+        // The paper reuses the id of "the last deleted edge of v1" only for a
+        // later edge out of v1; another vertex must not steal it.
+        let mut r = EdgeRecycler::new(true);
+        r.release(VertexId(1), EdgeId(3));
+        assert_eq!(r.acquire(VertexId(4)), None);
+        assert_eq!(r.acquire(VertexId(1)), Some(EdgeId(3)));
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut r = EdgeRecycler::new(true);
+        r.release(VertexId(1), EdgeId(0));
+        r.release(VertexId(2), EdgeId(1));
+        r.clear();
+        assert_eq!(r.free_slots(), 0);
+        assert_eq!(r.acquire(VertexId(1)), None);
+    }
+}

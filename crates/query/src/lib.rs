@@ -1,0 +1,26 @@
+//! # mnemonic-query
+//!
+//! Query-side data structures for the Mnemonic subgraph matching system:
+//!
+//! * [`QueryGraph`](query_graph::QueryGraph) — the labelled pattern graph,
+//! * [`QueryTree`](query_tree::QueryTree) — its BFS spanning tree (tree /
+//!   non-tree edge split, DEBI column assignment),
+//! * [root selection](root) heuristics,
+//! * per-start-edge [matching orders](matching_order),
+//! * the duplicate-elimination [mask table](masking),
+//! * pre-canned [query patterns](patterns) used by the evaluation.
+
+#![warn(missing_docs)]
+
+pub mod masking;
+pub mod matching_order;
+pub mod patterns;
+pub mod query_graph;
+pub mod query_tree;
+pub mod root;
+
+pub use masking::MaskTable;
+pub use matching_order::{MatchingOrder, MatchingOrderSet, OrderStep, StartKind};
+pub use query_graph::{QueryAdjEntry, QueryEdge, QueryGraph};
+pub use query_tree::{paper_example_query, QueryTree, TreeEdge};
+pub use root::{select_root, select_root_by_degree, LabelFrequencies};

@@ -1,0 +1,134 @@
+//! Duplicate elimination by masking (Section VI, "Duplicates Removal" and
+//! Table I).
+//!
+//! When a whole batch of insertions is applied to DEBI before enumeration, an
+//! embedding that uses `k >= 2` edges of the batch would be produced once for
+//! each of those `k` edges (the paper's example at time `t1` lists the same
+//! two embeddings for each of the three inserted edges). Mnemonic assigns
+//! every query edge a canonical index and enforces that an embedding is only
+//! emitted from the work unit whose start query edge has the *smallest*
+//! canonical index among the query edges matched to batch edges: during an
+//! enumeration started at query edge `q_s`, query edges with a smaller
+//! canonical index are *masked* — they must not be matched to edges of the
+//! current batch (prose of Section VI: the enumeration for `(v2,v3)` starting
+//! at `(u1,u3)` cannot use `(v0,v2)` as a match for `(u0,u1)`).
+//!
+//! The same rule removes duplicates from deletion batches, where an
+//! embedding disappearing because of several simultaneously deleted edges
+//! would otherwise be reported multiple times.
+
+use mnemonic_graph::ids::QueryEdgeId;
+use serde::{Deserialize, Serialize};
+
+/// Mask table over the query edges. The canonical index of a query edge is
+/// simply its dense id, which is stable across the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaskTable {
+    edge_count: u16,
+}
+
+impl MaskTable {
+    /// Create a mask table for a query with `edge_count` edges.
+    pub fn new(edge_count: usize) -> Self {
+        MaskTable {
+            edge_count: edge_count as u16,
+        }
+    }
+
+    /// Number of query edges covered.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count as usize
+    }
+
+    /// Whether query edge `q` is masked (must not use a current-batch edge)
+    /// during an enumeration started at query edge `start`.
+    #[inline]
+    pub fn is_masked(&self, start: QueryEdgeId, q: QueryEdgeId) -> bool {
+        q.0 < start.0
+    }
+
+    /// The mask row for a given start edge, rendered like Table I of the
+    /// paper: `'*'` marks the start edge, `'1'` a masked edge (cannot use
+    /// batch edges), `'0'` an unmasked edge.
+    pub fn row(&self, start: QueryEdgeId) -> String {
+        (0..self.edge_count)
+            .map(|i| {
+                if i == start.0 {
+                    '*'
+                } else if self.is_masked(start, QueryEdgeId(i)) {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+
+    /// Render the whole table (one row per start edge).
+    pub fn render(&self) -> Vec<String> {
+        (0..self.edge_count).map(|i| self.row(QueryEdgeId(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_index_start_is_never_masked() {
+        let table = MaskTable::new(7);
+        let start = QueryEdgeId(0);
+        for q in 0..7u16 {
+            assert!(!table.is_masked(start, QueryEdgeId(q)));
+        }
+    }
+
+    #[test]
+    fn higher_index_start_masks_lower_edges() {
+        // Mirrors the Section VI prose: starting at (u1,u3) — canonical index
+        // 3 — the edges (u0,u1)=0 and (u0,u5)=2 are masked.
+        let table = MaskTable::new(7);
+        let start = QueryEdgeId(3);
+        assert!(table.is_masked(start, QueryEdgeId(0)));
+        assert!(table.is_masked(start, QueryEdgeId(2)));
+        assert!(!table.is_masked(start, QueryEdgeId(3)));
+        assert!(!table.is_masked(start, QueryEdgeId(5)));
+    }
+
+    #[test]
+    fn exactly_one_start_accepts_any_batch_subset() {
+        // For any non-empty subset S of query edges matched to batch edges,
+        // exactly one start edge in S passes the masking rule: the one with
+        // the minimal canonical index. This is the exactly-once guarantee.
+        let table = MaskTable::new(5);
+        let subsets: Vec<Vec<u16>> = vec![
+            vec![0],
+            vec![3],
+            vec![1, 4],
+            vec![0, 2, 3],
+            vec![2, 3, 4],
+            vec![0, 1, 2, 3, 4],
+        ];
+        for subset in subsets {
+            let accepted: Vec<u16> = subset
+                .iter()
+                .copied()
+                .filter(|&start| {
+                    subset
+                        .iter()
+                        .all(|&q| q == start || !table.is_masked(QueryEdgeId(start), QueryEdgeId(q)))
+                })
+                .collect();
+            assert_eq!(accepted.len(), 1, "subset {subset:?}");
+            assert_eq!(accepted[0], *subset.iter().min().unwrap());
+        }
+    }
+
+    #[test]
+    fn rendering_matches_expected_shape() {
+        let table = MaskTable::new(4);
+        assert_eq!(table.row(QueryEdgeId(0)), "*000");
+        assert_eq!(table.row(QueryEdgeId(2)), "11*0");
+        assert_eq!(table.render().len(), 4);
+    }
+}

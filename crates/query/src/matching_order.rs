@@ -1,0 +1,440 @@
+//! Matching-order computation (Section VI, "Matching order computation").
+//!
+//! Filtering always follows the BFS order of the query tree, but enumeration
+//! of an initial embedding can start at *any* query edge: the work unit is a
+//! (data edge, query edge) pair created by the current batch. A different
+//! matching order is therefore computed per starting query edge:
+//!
+//! * for a tree edge `(u_p, u)`: the path from `u` to the root comes first,
+//!   the remaining tree edges follow in BFS order;
+//! * for a non-tree edge `(u_x, u_y)`: the tree edges of `u_y` and `u_x`
+//!   come first, then the path from `u_x` to the root, then the remaining
+//!   tree edges in BFS order;
+//! * for full (from-scratch) enumeration: the plain BFS order rooted at the
+//!   root query node.
+//!
+//! Each step also lists the non-tree edges that become fully bound at that
+//! step so the enumerator can verify them as early as possible.
+
+use crate::query_graph::QueryGraph;
+use crate::query_tree::{QueryTree, TreeEdge};
+use mnemonic_graph::ids::{QueryEdgeId, QueryVertexId};
+use serde::{Deserialize, Serialize};
+
+/// What kind of query edge the enumeration starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StartKind {
+    /// The initial data edge matches this tree edge; both its endpoints are
+    /// bound before the first step runs.
+    TreeEdge(TreeEdge),
+    /// The initial data edge matches this non-tree query edge; both its
+    /// endpoints are bound before the first step runs.
+    NonTreeEdge(QueryEdgeId),
+    /// From-scratch enumeration: only the root query vertex is chosen per
+    /// candidate root match before the first step runs.
+    Root,
+}
+
+/// One extension step of a matching order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderStep {
+    /// The tree edge matched at this step.
+    pub tree_edge: TreeEdge,
+    /// The query vertex newly bound by this step (normally the endpoint of
+    /// `tree_edge` that was still unbound; when both were already bound the
+    /// step degenerates to an edge-existence check and `new_vertex` repeats a
+    /// bound vertex).
+    pub new_vertex: QueryVertexId,
+    /// The already-bound endpoint used to look up candidates.
+    pub anchor_vertex: QueryVertexId,
+    /// Non-tree query edges whose endpoints are all bound once this step
+    /// completes and that have not been scheduled for verification earlier.
+    pub verify_non_tree: Vec<QueryEdgeId>,
+}
+
+/// A complete matching order for one enumeration start.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchingOrder {
+    /// How the enumeration starts.
+    pub start: StartKind,
+    /// Query vertices bound before the first step (by the start data edge or
+    /// the chosen root match).
+    pub initially_bound: Vec<QueryVertexId>,
+    /// The extension steps, covering every tree edge not consumed by the
+    /// start exactly once.
+    pub steps: Vec<OrderStep>,
+    /// Non-tree edges already fully bound by the start bindings (excluding a
+    /// non-tree start edge itself, which is matched rather than verified).
+    pub initial_non_tree_checks: Vec<QueryEdgeId>,
+}
+
+impl MatchingOrder {
+    /// Matching order for an enumeration starting at tree edge `start`.
+    pub fn for_tree_start(query: &QueryGraph, tree: &QueryTree, start: TreeEdge) -> Self {
+        let initially_bound = vec![start.parent, start.child];
+        let mut sequence: Vec<TreeEdge> = Vec::new();
+        // Path from the child's parent (i.e. `u_p`) upwards to the root.
+        sequence.extend(tree.path_to_root(start.parent));
+        // Remaining tree edges in BFS order.
+        sequence.extend(tree.tree_edges().iter().copied());
+        Self::assemble(
+            query,
+            tree,
+            StartKind::TreeEdge(start),
+            initially_bound,
+            sequence,
+            Some(start.query_edge),
+            None,
+        )
+    }
+
+    /// Matching order for an enumeration starting at non-tree query edge
+    /// `start` (which must not be a tree edge).
+    pub fn for_non_tree_start(query: &QueryGraph, tree: &QueryTree, start: QueryEdgeId) -> Self {
+        debug_assert!(!tree.is_tree_edge(start), "start must be a non-tree edge");
+        let edge = query.edge(start);
+        let (ux, uy) = (edge.src, edge.dst);
+        let initially_bound = vec![ux, uy];
+        let mut sequence: Vec<TreeEdge> = Vec::new();
+        // (u'_y, u_y) then (u'_x, u_x) as prescribed by the paper.
+        if let Some(te) = tree.parent_edge(uy) {
+            sequence.push(te);
+        }
+        if let Some(te) = tree.parent_edge(ux) {
+            sequence.push(te);
+        }
+        // Path from u_x (through its parent) to the root.
+        if let Some(parent) = tree.parent(ux) {
+            sequence.extend(tree.path_to_root(parent));
+        }
+        // Everything else in BFS order.
+        sequence.extend(tree.tree_edges().iter().copied());
+        Self::assemble(
+            query,
+            tree,
+            StartKind::NonTreeEdge(start),
+            initially_bound,
+            sequence,
+            None,
+            Some(start),
+        )
+    }
+
+    /// Matching order for from-scratch enumeration: bind a root candidate,
+    /// then follow the BFS order of the query tree.
+    pub fn for_full_enumeration(query: &QueryGraph, tree: &QueryTree) -> Self {
+        let initially_bound = vec![tree.root()];
+        let sequence: Vec<TreeEdge> = tree.tree_edges().to_vec();
+        Self::assemble(
+            query,
+            tree,
+            StartKind::Root,
+            initially_bound,
+            sequence,
+            None,
+            None,
+        )
+    }
+
+    /// Deduplicate the proposed `sequence`, drop the start tree edge (already
+    /// matched), determine new/anchor vertices per step and schedule non-tree
+    /// verification as early as possible.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        query: &QueryGraph,
+        tree: &QueryTree,
+        start: StartKind,
+        initially_bound: Vec<QueryVertexId>,
+        sequence: Vec<TreeEdge>,
+        skip_tree_edge: Option<QueryEdgeId>,
+        start_non_tree: Option<QueryEdgeId>,
+    ) -> Self {
+        let n = query.vertex_count();
+        let mut bound = vec![false; n];
+        for &u in &initially_bound {
+            bound[u.index()] = true;
+        }
+
+        let mut verified = vec![false; query.edge_count()];
+        if let Some(q) = start_non_tree {
+            verified[q.index()] = true; // matched by the start data edge itself
+        }
+        // Non-tree edges already bound by the initial bindings.
+        let mut initial_non_tree_checks = Vec::new();
+        for &q in tree.non_tree_edges() {
+            if verified[q.index()] {
+                continue;
+            }
+            let e = query.edge(q);
+            if bound[e.src.index()] && bound[e.dst.index()] {
+                initial_non_tree_checks.push(q);
+                verified[q.index()] = true;
+            }
+        }
+
+        let mut used = vec![false; query.edge_count()];
+        if let Some(skip) = skip_tree_edge {
+            used[skip.index()] = true;
+        }
+        let mut steps = Vec::with_capacity(tree.tree_edges().len());
+        for te in sequence {
+            if used[te.query_edge.index()] {
+                continue;
+            }
+            used[te.query_edge.index()] = true;
+            let (new_vertex, anchor_vertex) = if !bound[te.child.index()] {
+                (te.child, te.parent)
+            } else if !bound[te.parent.index()] {
+                (te.parent, te.child)
+            } else {
+                (te.child, te.parent)
+            };
+            bound[new_vertex.index()] = true;
+            let mut verify_non_tree = Vec::new();
+            for &q in tree.non_tree_edges() {
+                if verified[q.index()] {
+                    continue;
+                }
+                let e = query.edge(q);
+                if bound[e.src.index()] && bound[e.dst.index()] {
+                    verify_non_tree.push(q);
+                    verified[q.index()] = true;
+                }
+            }
+            steps.push(OrderStep {
+                tree_edge: te,
+                new_vertex,
+                anchor_vertex,
+                verify_non_tree,
+            });
+        }
+
+        MatchingOrder {
+            start,
+            initially_bound,
+            steps,
+            initial_non_tree_checks,
+        }
+    }
+
+    /// Number of extension steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the order has no steps (single-vertex or single-edge query).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The canonical query-edge index of the start, used by the masking rule.
+    /// `None` for from-scratch enumeration (masking does not apply).
+    pub fn start_edge(&self) -> Option<QueryEdgeId> {
+        match self.start {
+            StartKind::TreeEdge(te) => Some(te.query_edge),
+            StartKind::NonTreeEdge(q) => Some(q),
+            StartKind::Root => None,
+        }
+    }
+
+    /// Assert internal consistency: every tree edge covered exactly once,
+    /// every step anchored at a previously bound vertex, every non-tree edge
+    /// verified exactly once. Intended for tests and debug assertions.
+    pub fn validate(&self, query: &QueryGraph, tree: &QueryTree) -> Result<(), String> {
+        let mut covered = vec![0usize; query.edge_count()];
+        if let StartKind::TreeEdge(te) = self.start {
+            covered[te.query_edge.index()] += 1;
+        }
+        for step in &self.steps {
+            covered[step.tree_edge.query_edge.index()] += 1;
+        }
+        for te in tree.tree_edges() {
+            if covered[te.query_edge.index()] != 1 {
+                return Err(format!(
+                    "tree edge {:?} covered {} times",
+                    te.query_edge, covered[te.query_edge.index()]
+                ));
+            }
+        }
+        let mut bound = vec![false; query.vertex_count()];
+        for &u in &self.initially_bound {
+            bound[u.index()] = true;
+        }
+        for step in &self.steps {
+            if !bound[step.anchor_vertex.index()] {
+                return Err(format!("anchor {:?} not bound yet", step.anchor_vertex));
+            }
+            bound[step.new_vertex.index()] = true;
+        }
+        let mut verified = vec![0usize; query.edge_count()];
+        if let StartKind::NonTreeEdge(q) = self.start {
+            verified[q.index()] += 1;
+        }
+        for &q in &self.initial_non_tree_checks {
+            verified[q.index()] += 1;
+        }
+        for step in &self.steps {
+            for &q in &step.verify_non_tree {
+                verified[q.index()] += 1;
+            }
+        }
+        for &q in tree.non_tree_edges() {
+            if verified[q.index()] != 1 {
+                return Err(format!(
+                    "non-tree edge {q:?} verified {} times",
+                    verified[q.index()]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Precompute a matching order for every possible start query edge plus the
+/// from-scratch order. Indexed by query edge id; the last entry is the
+/// from-scratch order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchingOrderSet {
+    per_edge: Vec<MatchingOrder>,
+    full: MatchingOrder,
+}
+
+impl MatchingOrderSet {
+    /// Build matching orders for every query edge.
+    pub fn build(query: &QueryGraph, tree: &QueryTree) -> Self {
+        let per_edge = query
+            .edge_ids()
+            .map(|q| match tree.tree_edge_of(q) {
+                Some(te) => MatchingOrder::for_tree_start(query, tree, te),
+                None => MatchingOrder::for_non_tree_start(query, tree, q),
+            })
+            .collect();
+        MatchingOrderSet {
+            per_edge,
+            full: MatchingOrder::for_full_enumeration(query, tree),
+        }
+    }
+
+    /// The matching order for enumeration starting at query edge `q`.
+    pub fn for_start(&self, q: QueryEdgeId) -> &MatchingOrder {
+        &self.per_edge[q.index()]
+    }
+
+    /// The from-scratch matching order.
+    pub fn full(&self) -> &MatchingOrder {
+        &self.full
+    }
+
+    /// Number of per-edge orders.
+    pub fn len(&self) -> usize {
+        self.per_edge.len()
+    }
+
+    /// Whether the query has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.per_edge.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_tree::paper_example_query;
+
+    #[test]
+    fn tree_start_matches_paper_example() {
+        // "the inserted edge (v2,v6) matches (u1,u3), thus the matching order
+        // is {(u1,u3), (u0,u1), (u2,u0), (u0,u5), (u1,u4), (u2,u6)}".
+        let (q, tree) = paper_example_query();
+        let te = tree.parent_edge(QueryVertexId(3)).unwrap(); // (u1, u3)
+        let order = MatchingOrder::for_tree_start(&q, &tree, te);
+        order.validate(&q, &tree).unwrap();
+        assert_eq!(order.initially_bound, vec![QueryVertexId(1), QueryVertexId(3)]);
+        // First step must be the path-to-root edge (u0, u1).
+        assert_eq!(order.steps[0].tree_edge.child, QueryVertexId(1));
+        assert_eq!(order.steps[0].tree_edge.parent, QueryVertexId(0));
+        // The new vertex of that step is u0 (walking upward).
+        assert_eq!(order.steps[0].new_vertex, QueryVertexId(0));
+        assert_eq!(order.steps[0].anchor_vertex, QueryVertexId(1));
+        // All five remaining tree edges are covered.
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn root_incident_start_has_bfs_rest() {
+        // "for edge (v0,v2) [matching (u0,u1)], the matching order is
+        // {(u0,u1), (u2,u0), (u0,u5), (u1,u3), (u1,u4), (u2,u6)}".
+        let (q, tree) = paper_example_query();
+        let te = tree.parent_edge(QueryVertexId(1)).unwrap(); // (u0, u1)
+        let order = MatchingOrder::for_tree_start(&q, &tree, te);
+        order.validate(&q, &tree).unwrap();
+        // Path from u0 to root is empty, so all steps are BFS-order edges and
+        // each new vertex is a child.
+        assert_eq!(order.len(), 5);
+        for step in &order.steps {
+            assert_eq!(step.new_vertex, step.tree_edge.child);
+        }
+    }
+
+    #[test]
+    fn non_tree_start_binds_endpoints_first() {
+        let (q, tree) = paper_example_query();
+        // The only non-tree edge is (u2, u5) with id 6.
+        let order = MatchingOrder::for_non_tree_start(&q, &tree, QueryEdgeId(6));
+        order.validate(&q, &tree).unwrap();
+        assert_eq!(order.initially_bound, vec![QueryVertexId(2), QueryVertexId(5)]);
+        // First two steps are the tree edges of u5 (child u5) and u2 (child u2).
+        assert_eq!(order.steps[0].tree_edge.child, QueryVertexId(5));
+        assert_eq!(order.steps[1].tree_edge.child, QueryVertexId(2));
+        // Their new vertices walk upward to u0.
+        assert_eq!(order.steps[0].new_vertex, QueryVertexId(0));
+        // All 6 tree edges appear as steps (none consumed by the start).
+        assert_eq!(order.len(), 6);
+        // No non-tree edge left to verify (the start was the only one).
+        assert!(order.initial_non_tree_checks.is_empty());
+        assert!(order.steps.iter().all(|s| s.verify_non_tree.is_empty()));
+    }
+
+    #[test]
+    fn non_tree_verification_scheduled_once() {
+        let (q, tree) = paper_example_query();
+        for start in tree.tree_edges() {
+            let order = MatchingOrder::for_tree_start(&q, &tree, *start);
+            order.validate(&q, &tree).unwrap();
+            let scheduled: usize = order.initial_non_tree_checks.len()
+                + order
+                    .steps
+                    .iter()
+                    .map(|s| s.verify_non_tree.len())
+                    .sum::<usize>();
+            assert_eq!(scheduled, 1, "exactly the single non-tree edge (u2,u5)");
+        }
+    }
+
+    #[test]
+    fn full_enumeration_order_is_bfs() {
+        let (q, tree) = paper_example_query();
+        let order = MatchingOrder::for_full_enumeration(&q, &tree);
+        order.validate(&q, &tree).unwrap();
+        assert_eq!(order.initially_bound, vec![QueryVertexId(0)]);
+        assert_eq!(order.len(), 6);
+        let children: Vec<_> = order.steps.iter().map(|s| s.tree_edge.child).collect();
+        assert_eq!(
+            children,
+            tree.tree_edges().iter().map(|t| t.child).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn order_set_covers_every_edge() {
+        let (q, tree) = paper_example_query();
+        let set = MatchingOrderSet::build(&q, &tree);
+        assert_eq!(set.len(), 7);
+        for qe in q.edge_ids() {
+            let order = set.for_start(qe);
+            order.validate(&q, &tree).unwrap();
+            assert_eq!(order.start_edge(), Some(qe));
+        }
+        assert_eq!(set.full().start_edge(), None);
+    }
+}

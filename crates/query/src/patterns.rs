@@ -1,0 +1,198 @@
+//! Pre-canned query patterns used throughout the evaluation.
+//!
+//! Table II of the paper measures triangle, 4-clique, 5-clique, rectangle
+//! (4-cycle) and dual-triangle (two triangles sharing an edge) queries; the
+//! scalability figures use tree and graph queries of various sizes. These
+//! constructors build the corresponding wildcard-labelled query graphs.
+
+use crate::query_graph::QueryGraph;
+use mnemonic_graph::ids::{EdgeLabel, QueryVertexId, VertexLabel};
+
+/// A directed path query `u0 -> u1 -> ... -> u_{n-1}` with wildcard labels.
+pub fn path(n: usize) -> QueryGraph {
+    assert!(n >= 2, "a path needs at least two vertices");
+    let mut q = QueryGraph::new();
+    let vs: Vec<QueryVertexId> = (0..n).map(|_| q.add_wildcard_vertex()).collect();
+    for w in vs.windows(2) {
+        q.add_wildcard_edge(w[0], w[1]);
+    }
+    q
+}
+
+/// A star query: the centre `u0` points at `n - 1` leaves.
+pub fn star(n: usize) -> QueryGraph {
+    assert!(n >= 2, "a star needs at least two vertices");
+    let mut q = QueryGraph::new();
+    let centre = q.add_wildcard_vertex();
+    for _ in 1..n {
+        let leaf = q.add_wildcard_vertex();
+        q.add_wildcard_edge(centre, leaf);
+    }
+    q
+}
+
+/// A directed triangle `u0 -> u1 -> u2 -> u0`.
+pub fn triangle() -> QueryGraph {
+    cycle(3)
+}
+
+/// A rectangle (directed 4-cycle) `u0 -> u1 -> u2 -> u3 -> u0`.
+pub fn rectangle() -> QueryGraph {
+    cycle(4)
+}
+
+/// A directed cycle on `n` vertices.
+pub fn cycle(n: usize) -> QueryGraph {
+    assert!(n >= 3, "a cycle needs at least three vertices");
+    let mut q = QueryGraph::new();
+    let vs: Vec<QueryVertexId> = (0..n).map(|_| q.add_wildcard_vertex()).collect();
+    for i in 0..n {
+        q.add_wildcard_edge(vs[i], vs[(i + 1) % n]);
+    }
+    q
+}
+
+/// A k-clique: every ordered pair `(u_i, u_j)` with `i < j` gets one directed
+/// edge `u_i -> u_j`.
+pub fn clique(k: usize) -> QueryGraph {
+    assert!(k >= 2, "a clique needs at least two vertices");
+    let mut q = QueryGraph::new();
+    let vs: Vec<QueryVertexId> = (0..k).map(|_| q.add_wildcard_vertex()).collect();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            q.add_wildcard_edge(vs[i], vs[j]);
+        }
+    }
+    q
+}
+
+/// A dual triangle: two triangles sharing the edge `u0 -> u1`
+/// (vertices `u0, u1, u2, u3`; triangles `u0 u1 u2` and `u0 u1 u3`).
+pub fn dual_triangle() -> QueryGraph {
+    let mut q = QueryGraph::new();
+    let u0 = q.add_wildcard_vertex();
+    let u1 = q.add_wildcard_vertex();
+    let u2 = q.add_wildcard_vertex();
+    let u3 = q.add_wildcard_vertex();
+    q.add_wildcard_edge(u0, u1);
+    q.add_wildcard_edge(u1, u2);
+    q.add_wildcard_edge(u2, u0);
+    q.add_wildcard_edge(u1, u3);
+    q.add_wildcard_edge(u3, u0);
+    q
+}
+
+/// A balanced binary-ish tree query with `n` vertices: vertex `i` points at
+/// vertex `(i - 1) / 2` — i.e. children point to parents, exercising the
+/// direction-agnostic query tree construction.
+pub fn up_tree(n: usize) -> QueryGraph {
+    assert!(n >= 2);
+    let mut q = QueryGraph::new();
+    let vs: Vec<QueryVertexId> = (0..n).map(|_| q.add_wildcard_vertex()).collect();
+    for i in 1..n {
+        q.add_wildcard_edge(vs[i], vs[(i - 1) / 2]);
+    }
+    q
+}
+
+/// A labelled path where vertex `i` requires label `vertex_labels[i]` and the
+/// edge `i -> i+1` requires `edge_labels[i]`. Used by tests that need
+/// selective queries.
+pub fn labelled_path(vertex_labels: &[u16], edge_labels: &[u16]) -> QueryGraph {
+    assert!(vertex_labels.len() >= 2);
+    assert_eq!(edge_labels.len(), vertex_labels.len() - 1);
+    let mut q = QueryGraph::new();
+    let vs: Vec<QueryVertexId> = vertex_labels
+        .iter()
+        .map(|&l| q.add_vertex(VertexLabel(l)))
+        .collect();
+    for (i, &el) in edge_labels.iter().enumerate() {
+        q.add_edge(vs[i], vs[i + 1], EdgeLabel(el));
+    }
+    q
+}
+
+/// A temporal path: like [`path`] but edge `i` carries temporal rank `i`, so
+/// a time-constrained match must observe strictly increasing timestamps along
+/// the path.
+pub fn temporal_path(n: usize) -> QueryGraph {
+    assert!(n >= 2);
+    let mut q = QueryGraph::new();
+    let vs: Vec<QueryVertexId> = (0..n).map(|_| q.add_wildcard_vertex()).collect();
+    for i in 0..n - 1 {
+        q.add_edge_full(
+            vs[i],
+            vs[i + 1],
+            mnemonic_graph::ids::WILDCARD_EDGE_LABEL,
+            Some(i as u32),
+        );
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_tree::QueryTree;
+    use crate::root::select_root_by_degree;
+
+    #[test]
+    fn shapes_have_expected_sizes() {
+        assert_eq!(path(4).vertex_count(), 4);
+        assert_eq!(path(4).edge_count(), 3);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(triangle().edge_count(), 3);
+        assert_eq!(rectangle().edge_count(), 4);
+        assert_eq!(clique(4).edge_count(), 6);
+        assert_eq!(clique(5).edge_count(), 10);
+        assert_eq!(dual_triangle().vertex_count(), 4);
+        assert_eq!(dual_triangle().edge_count(), 5);
+        assert_eq!(up_tree(7).edge_count(), 6);
+    }
+
+    #[test]
+    fn every_pattern_is_connected_and_treeable() {
+        let patterns: Vec<QueryGraph> = vec![
+            path(5),
+            star(6),
+            triangle(),
+            rectangle(),
+            clique(4),
+            dual_triangle(),
+            up_tree(9),
+            temporal_path(4),
+        ];
+        for q in patterns {
+            assert!(q.is_connected());
+            let root = select_root_by_degree(&q);
+            let tree = QueryTree::build(&q, root);
+            assert_eq!(tree.tree_edges().len(), q.vertex_count() - 1);
+            assert_eq!(
+                tree.non_tree_edges().len(),
+                q.edge_count() - (q.vertex_count() - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn labelled_path_carries_labels() {
+        let q = labelled_path(&[1, 2, 3], &[7, 8]);
+        assert_eq!(q.vertex_label(QueryVertexId(1)), VertexLabel(2));
+        assert_eq!(q.edge(mnemonic_graph::ids::QueryEdgeId(1)).label, EdgeLabel(8));
+    }
+
+    #[test]
+    fn temporal_path_has_increasing_ranks() {
+        let q = temporal_path(4);
+        assert!(q.is_temporal());
+        let ranks: Vec<u32> = q.edges().iter().map(|e| e.temporal_rank.unwrap()).collect();
+        assert_eq!(ranks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cycles_have_one_non_tree_edge() {
+        let q = cycle(5);
+        let tree = QueryTree::build(&q, QueryVertexId(0));
+        assert_eq!(tree.non_tree_edges().len(), 1);
+    }
+}

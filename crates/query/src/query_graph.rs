@@ -1,0 +1,342 @@
+//! Query graph representation.
+//!
+//! A query graph `G_Q = (V_Q, E_Q, L^v_Q, L^e_Q)` is the pattern the user is
+//! searching for (Section II-A). Vertices and edges carry labels that may be
+//! wildcards (the example query in Figure 1(e) has wildcard edge labels), and
+//! edges may optionally carry a *temporal order* used by time-constrained
+//! isomorphism (Section VII-C).
+
+use mnemonic_graph::ids::{
+    EdgeLabel, QueryEdgeId, QueryVertexId, VertexLabel, WILDCARD_EDGE_LABEL,
+    WILDCARD_VERTEX_LABEL,
+};
+use serde::{Deserialize, Serialize};
+
+/// One edge of the query graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryEdge {
+    /// Source query vertex.
+    pub src: QueryVertexId,
+    /// Destination query vertex.
+    pub dst: QueryVertexId,
+    /// Edge label constraint (wildcard allowed).
+    pub label: EdgeLabel,
+    /// Optional temporal rank: in time-constrained matching, data edges
+    /// matched to query edges with smaller ranks must carry strictly smaller
+    /// timestamps than those matched to larger ranks.
+    pub temporal_rank: Option<u32>,
+}
+
+impl QueryEdge {
+    /// The endpoint opposite to `u`; `None` if `u` is not an endpoint.
+    pub fn other_endpoint(&self, u: QueryVertexId) -> Option<QueryVertexId> {
+        if self.src == u {
+            Some(self.dst)
+        } else if self.dst == u {
+            Some(self.src)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `u` is one of the endpoints.
+    pub fn touches(&self, u: QueryVertexId) -> bool {
+        self.src == u || self.dst == u
+    }
+}
+
+/// An adjacency entry of the query graph: the neighbouring query vertex and
+/// the connecting query edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryAdjEntry {
+    /// Neighbouring query vertex.
+    pub neighbor: QueryVertexId,
+    /// Connecting query edge.
+    pub edge: QueryEdgeId,
+}
+
+/// The query graph: labelled vertices, labelled directed edges, adjacency in
+/// both directions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryGraph {
+    vertex_labels: Vec<VertexLabel>,
+    edges: Vec<QueryEdge>,
+    out_adj: Vec<Vec<QueryAdjEntry>>,
+    in_adj: Vec<Vec<QueryAdjEntry>>,
+}
+
+impl QueryGraph {
+    /// Create an empty query graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a vertex with the given label; returns its id.
+    pub fn add_vertex(&mut self, label: VertexLabel) -> QueryVertexId {
+        let id = QueryVertexId(self.vertex_labels.len() as u16);
+        self.vertex_labels.push(label);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Add a vertex whose label matches any data-vertex label.
+    pub fn add_wildcard_vertex(&mut self) -> QueryVertexId {
+        self.add_vertex(WILDCARD_VERTEX_LABEL)
+    }
+
+    /// Add a directed edge with a label constraint; returns its id.
+    pub fn add_edge(
+        &mut self,
+        src: QueryVertexId,
+        dst: QueryVertexId,
+        label: EdgeLabel,
+    ) -> QueryEdgeId {
+        self.add_edge_full(src, dst, label, None)
+    }
+
+    /// Add a directed wildcard-labelled edge.
+    pub fn add_wildcard_edge(&mut self, src: QueryVertexId, dst: QueryVertexId) -> QueryEdgeId {
+        self.add_edge(src, dst, WILDCARD_EDGE_LABEL)
+    }
+
+    /// Add a directed edge with label and temporal rank.
+    pub fn add_edge_full(
+        &mut self,
+        src: QueryVertexId,
+        dst: QueryVertexId,
+        label: EdgeLabel,
+        temporal_rank: Option<u32>,
+    ) -> QueryEdgeId {
+        assert!(src.index() < self.vertex_labels.len(), "unknown src vertex");
+        assert!(dst.index() < self.vertex_labels.len(), "unknown dst vertex");
+        let id = QueryEdgeId(self.edges.len() as u16);
+        self.edges.push(QueryEdge {
+            src,
+            dst,
+            label,
+            temporal_rank,
+        });
+        self.out_adj[src.index()].push(QueryAdjEntry {
+            neighbor: dst,
+            edge: id,
+        });
+        self.in_adj[dst.index()].push(QueryAdjEntry {
+            neighbor: src,
+            edge: id,
+        });
+        id
+    }
+
+    /// Number of query vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of query edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All query vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = QueryVertexId> {
+        (0..self.vertex_labels.len() as u16).map(QueryVertexId)
+    }
+
+    /// All query edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = QueryEdgeId> {
+        (0..self.edges.len() as u16).map(QueryEdgeId)
+    }
+
+    /// The label of query vertex `u`.
+    pub fn vertex_label(&self, u: QueryVertexId) -> VertexLabel {
+        self.vertex_labels[u.index()]
+    }
+
+    /// The edge with id `q`.
+    pub fn edge(&self, q: QueryEdgeId) -> &QueryEdge {
+        &self.edges[q.index()]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[QueryEdge] {
+        &self.edges
+    }
+
+    /// Outgoing adjacency of `u`.
+    pub fn outgoing(&self, u: QueryVertexId) -> &[QueryAdjEntry] {
+        &self.out_adj[u.index()]
+    }
+
+    /// Incoming adjacency of `u`.
+    pub fn incoming(&self, u: QueryVertexId) -> &[QueryAdjEntry] {
+        &self.in_adj[u.index()]
+    }
+
+    /// Total degree of `u`.
+    pub fn degree(&self, u: QueryVertexId) -> usize {
+        self.out_adj[u.index()].len() + self.in_adj[u.index()].len()
+    }
+
+    /// Undirected neighbours of `u` (with the connecting edge), combining
+    /// both directions.
+    pub fn neighbors(&self, u: QueryVertexId) -> Vec<QueryAdjEntry> {
+        let mut out: Vec<QueryAdjEntry> = self.out_adj[u.index()].clone();
+        out.extend(self.in_adj[u.index()].iter().copied());
+        out
+    }
+
+    /// Number of outgoing query edges of `u` carrying `label` (taking the
+    /// wildcard into account) — the query-side quantity of rule f2.
+    pub fn out_label_count(&self, u: QueryVertexId, label: EdgeLabel) -> usize {
+        self.out_adj[u.index()]
+            .iter()
+            .filter(|a| self.edges[a.edge.index()].label.matches(label))
+            .count()
+    }
+
+    /// Number of incoming query edges of `u` carrying `label`.
+    pub fn in_label_count(&self, u: QueryVertexId, label: EdgeLabel) -> usize {
+        self.in_adj[u.index()]
+            .iter()
+            .filter(|a| self.edges[a.edge.index()].label.matches(label))
+            .count()
+    }
+
+    /// Whether the query graph is connected when edge directions are ignored.
+    /// Matching orders and query trees require connectivity.
+    pub fn is_connected(&self) -> bool {
+        let n = self.vertex_count();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![QueryVertexId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for entry in self.neighbors(u) {
+                if !seen[entry.neighbor.index()] {
+                    seen[entry.neighbor.index()] = true;
+                    count += 1;
+                    stack.push(entry.neighbor);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Whether any edge carries a temporal rank (i.e. the query is a
+    /// time-constrained query).
+    pub fn is_temporal(&self) -> bool {
+        self.edges.iter().any(|e| e.temporal_rank.is_some())
+    }
+
+    /// The diameter of the query graph ignoring edge directions (longest
+    /// shortest path). Used to reason about how far update effects propagate
+    /// (Section V). Returns 0 for empty or single-vertex queries.
+    pub fn undirected_diameter(&self) -> usize {
+        let n = self.vertex_count();
+        let mut best = 0usize;
+        for start in self.vertices() {
+            let mut dist = vec![usize::MAX; n];
+            dist[start.index()] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for entry in self.neighbors(u) {
+                    if dist[entry.neighbor.index()] == usize::MAX {
+                        dist[entry.neighbor.index()] = dist[u.index()] + 1;
+                        queue.push_back(entry.neighbor);
+                    }
+                }
+            }
+            for &d in &dist {
+                if d != usize::MAX {
+                    best = best.max(d);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> QueryGraph {
+        let mut q = QueryGraph::new();
+        let a = q.add_wildcard_vertex();
+        let b = q.add_wildcard_vertex();
+        let c = q.add_wildcard_vertex();
+        q.add_wildcard_edge(a, b);
+        q.add_wildcard_edge(b, c);
+        q.add_wildcard_edge(c, a);
+        q
+    }
+
+    #[test]
+    fn add_vertices_and_edges() {
+        let q = triangle();
+        assert_eq!(q.vertex_count(), 3);
+        assert_eq!(q.edge_count(), 3);
+        assert_eq!(q.degree(QueryVertexId(0)), 2);
+        assert_eq!(q.outgoing(QueryVertexId(0)).len(), 1);
+        assert_eq!(q.incoming(QueryVertexId(0)).len(), 1);
+        assert!(q.is_connected());
+        assert!(!q.is_temporal());
+    }
+
+    #[test]
+    fn label_counts_respect_wildcards() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VertexLabel(1));
+        let b = q.add_vertex(VertexLabel(2));
+        let c = q.add_vertex(VertexLabel(2));
+        q.add_edge(a, b, EdgeLabel(7));
+        q.add_edge(a, c, EdgeLabel(8));
+        q.add_wildcard_edge(a, c);
+        assert_eq!(q.out_label_count(a, EdgeLabel(7)), 2); // labelled 7 + wildcard
+        assert_eq!(q.out_label_count(a, EdgeLabel(9)), 1); // only the wildcard
+        assert_eq!(q.in_label_count(c, EdgeLabel(8)), 2);
+    }
+
+    #[test]
+    fn disconnected_query_detected() {
+        let mut q = QueryGraph::new();
+        let a = q.add_wildcard_vertex();
+        let b = q.add_wildcard_vertex();
+        q.add_wildcard_vertex(); // isolated
+        q.add_wildcard_edge(a, b);
+        assert!(!q.is_connected());
+    }
+
+    #[test]
+    fn diameter_of_path_and_triangle() {
+        let mut path = QueryGraph::new();
+        let v: Vec<_> = (0..4).map(|_| path.add_wildcard_vertex()).collect();
+        for w in v.windows(2) {
+            path.add_wildcard_edge(w[0], w[1]);
+        }
+        assert_eq!(path.undirected_diameter(), 3);
+        assert_eq!(triangle().undirected_diameter(), 1);
+    }
+
+    #[test]
+    fn temporal_flag() {
+        let mut q = QueryGraph::new();
+        let a = q.add_wildcard_vertex();
+        let b = q.add_wildcard_vertex();
+        q.add_edge_full(a, b, WILDCARD_EDGE_LABEL, Some(1));
+        assert!(q.is_temporal());
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let q = triangle();
+        let e = q.edge(QueryEdgeId(0));
+        assert_eq!(e.other_endpoint(QueryVertexId(0)), Some(QueryVertexId(1)));
+        assert_eq!(e.other_endpoint(QueryVertexId(2)), None);
+        assert!(e.touches(QueryVertexId(1)));
+    }
+}

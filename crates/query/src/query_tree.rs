@@ -1,0 +1,343 @@
+//! BFS query tree (spanning tree of the query graph).
+//!
+//! The query tree (Figure 1(f)) is the BFS spanning tree rooted at the root
+//! query node. Every non-root query vertex `u` has exactly one *tree edge*
+//! `(u_p, u)` connecting it to its parent — note that the parent/child
+//! relation ignores the direction of the underlying query edge (`u0` is the
+//! parent of `u2` even though the edge is directed `u2 -> u0`). Query edges
+//! not in the tree are *non-tree edges* and are verified during enumeration.
+//!
+//! DEBI devotes one bitmap column per non-root query vertex, i.e. per tree
+//! edge; this module owns the mapping from query vertices to those columns.
+
+use crate::query_graph::QueryGraph;
+use mnemonic_graph::ids::{QueryEdgeId, QueryVertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A tree edge: the unique edge connecting a non-root query vertex to its
+/// parent in the BFS tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeEdge {
+    /// The underlying query edge.
+    pub query_edge: QueryEdgeId,
+    /// The parent query vertex (`u_p`).
+    pub parent: QueryVertexId,
+    /// The child query vertex (`u`). DEBI column of this tree edge is the
+    /// child's column.
+    pub child: QueryVertexId,
+    /// True when the underlying query edge is directed `parent -> child`
+    /// (i.e. the child is the edge's destination); false when it is directed
+    /// `child -> parent`.
+    pub child_is_dst: bool,
+}
+
+/// The BFS query tree of a connected query graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryTree {
+    root: QueryVertexId,
+    /// Tree edge of each vertex (None for the root), indexed by vertex.
+    parent_edge: Vec<Option<TreeEdge>>,
+    /// Children of each vertex in BFS discovery order.
+    children: Vec<Vec<QueryVertexId>>,
+    /// Vertices in BFS order (root first).
+    bfs_vertices: Vec<QueryVertexId>,
+    /// Tree edges in BFS order of their child vertex.
+    tree_edges: Vec<TreeEdge>,
+    /// Query edges not in the tree.
+    non_tree_edges: Vec<QueryEdgeId>,
+    /// Depth of each vertex (root = 0).
+    depth: Vec<u32>,
+    /// DEBI column assigned to each vertex (root gets none).
+    debi_column: Vec<Option<u16>>,
+}
+
+impl QueryTree {
+    /// Build the BFS tree of `query` rooted at `root`.
+    ///
+    /// # Panics
+    /// Panics if the query graph is not connected (every vertex must be
+    /// reachable from the root ignoring edge direction).
+    pub fn build(query: &QueryGraph, root: QueryVertexId) -> Self {
+        let n = query.vertex_count();
+        assert!(root.index() < n, "root vertex out of range");
+        let mut parent_edge: Vec<Option<TreeEdge>> = vec![None; n];
+        let mut children: Vec<Vec<QueryVertexId>> = vec![Vec::new(); n];
+        let mut depth = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut bfs_vertices = Vec::with_capacity(n);
+        let mut tree_edges = Vec::with_capacity(n.saturating_sub(1));
+        let mut tree_edge_ids = vec![false; query.edge_count()];
+
+        visited[root.index()] = true;
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            bfs_vertices.push(u);
+            // Deterministic neighbour order: outgoing entries first, then
+            // incoming, both in insertion order — mirrors how the paper's BFS
+            // tree in Figure 1(f) is drawn.
+            for entry in query.neighbors(u) {
+                let v = entry.neighbor;
+                if visited[v.index()] {
+                    continue;
+                }
+                visited[v.index()] = true;
+                depth[v.index()] = depth[u.index()] + 1;
+                let edge = query.edge(entry.edge);
+                let tree_edge = TreeEdge {
+                    query_edge: entry.edge,
+                    parent: u,
+                    child: v,
+                    child_is_dst: edge.dst == v,
+                };
+                parent_edge[v.index()] = Some(tree_edge);
+                children[u.index()].push(v);
+                tree_edges.push(tree_edge);
+                tree_edge_ids[entry.edge.index()] = true;
+                queue.push_back(v);
+            }
+        }
+        assert_eq!(
+            bfs_vertices.len(),
+            n,
+            "query graph must be connected to build a query tree"
+        );
+
+        let non_tree_edges: Vec<QueryEdgeId> = query
+            .edge_ids()
+            .filter(|q| !tree_edge_ids[q.index()])
+            .collect();
+
+        // Assign DEBI columns: BFS position minus one (root has no column).
+        let mut debi_column = vec![None; n];
+        for (pos, &u) in bfs_vertices.iter().enumerate() {
+            if u != root {
+                debi_column[u.index()] = Some((pos - 1) as u16);
+            }
+        }
+
+        QueryTree {
+            root,
+            parent_edge,
+            children,
+            bfs_vertices,
+            tree_edges,
+            non_tree_edges,
+            depth,
+            debi_column,
+        }
+    }
+
+    /// The root query vertex.
+    pub fn root(&self) -> QueryVertexId {
+        self.root
+    }
+
+    /// Number of query vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.bfs_vertices.len()
+    }
+
+    /// The tree edge whose child is `u`, or `None` for the root.
+    pub fn parent_edge(&self, u: QueryVertexId) -> Option<TreeEdge> {
+        self.parent_edge[u.index()]
+    }
+
+    /// The parent of `u`, or `None` for the root.
+    pub fn parent(&self, u: QueryVertexId) -> Option<QueryVertexId> {
+        self.parent_edge[u.index()].map(|e| e.parent)
+    }
+
+    /// Children of `u` in BFS discovery order.
+    pub fn children(&self, u: QueryVertexId) -> &[QueryVertexId] {
+        &self.children[u.index()]
+    }
+
+    /// Whether `u` is a leaf of the tree.
+    pub fn is_leaf(&self, u: QueryVertexId) -> bool {
+        self.children[u.index()].is_empty()
+    }
+
+    /// Vertices in BFS order, root first.
+    pub fn bfs_vertices(&self) -> &[QueryVertexId] {
+        &self.bfs_vertices
+    }
+
+    /// Tree edges in BFS order of their child vertex.
+    pub fn tree_edges(&self) -> &[TreeEdge] {
+        &self.tree_edges
+    }
+
+    /// Tree edges in *reverse* BFS order (used by bottom-up filtering).
+    pub fn tree_edges_reverse(&self) -> impl Iterator<Item = &TreeEdge> {
+        self.tree_edges.iter().rev()
+    }
+
+    /// Query edges that are not part of the tree.
+    pub fn non_tree_edges(&self) -> &[QueryEdgeId] {
+        &self.non_tree_edges
+    }
+
+    /// Depth of `u` in the tree.
+    pub fn depth(&self, u: QueryVertexId) -> u32 {
+        self.depth[u.index()]
+    }
+
+    /// DEBI bitmap column assigned to `u` (None for the root). Columns are
+    /// dense in `0..vertex_count()-1`.
+    pub fn debi_column(&self, u: QueryVertexId) -> Option<u16> {
+        self.debi_column[u.index()]
+    }
+
+    /// Number of DEBI columns, i.e. `|V_Q| - 1`.
+    pub fn debi_width(&self) -> usize {
+        self.vertex_count().saturating_sub(1)
+    }
+
+    /// The path of tree edges from `u` up to the root: the tree edge of `u`,
+    /// then of its parent, and so on. Empty for the root.
+    pub fn path_to_root(&self, u: QueryVertexId) -> Vec<TreeEdge> {
+        let mut path = Vec::new();
+        let mut cur = u;
+        while let Some(edge) = self.parent_edge[cur.index()] {
+            path.push(edge);
+            cur = edge.parent;
+        }
+        path
+    }
+
+    /// Whether the query edge `q` is a tree edge.
+    pub fn is_tree_edge(&self, q: QueryEdgeId) -> bool {
+        !self.non_tree_edges.contains(&q)
+    }
+
+    /// Find the tree edge corresponding to query edge `q`, if it is one.
+    pub fn tree_edge_of(&self, q: QueryEdgeId) -> Option<TreeEdge> {
+        self.tree_edges.iter().copied().find(|t| t.query_edge == q)
+    }
+}
+
+/// Build the paper's example query (Figure 1(e)) and its BFS query tree
+/// (Figure 1(f)). Seven vertices `u0..u6` carrying the vertex labels of the
+/// figure (A=0, B=1, C=2, D=3, E=4, F=5; `u6` is a second `A`), wildcard
+/// *edge* labels ("they match any label"), and seven edges of which
+/// `(u2, u5)` is the only non-tree edge.
+pub fn paper_example_query() -> (QueryGraph, QueryTree) {
+    use mnemonic_graph::ids::VertexLabel;
+    let mut q = QueryGraph::new();
+    let labels = [0u16, 1, 2, 5, 3, 4, 0]; // u0=A u1=B u2=C u3=F u4=D u5=E u6=A
+    let u: Vec<QueryVertexId> = labels
+        .iter()
+        .map(|&l| q.add_vertex(VertexLabel(l)))
+        .collect();
+    // Edges as listed in the duplicate-removal example (Section VI):
+    // (u0,u1), (u2,u0), (u0,u5), (u1,u3), (u1,u4), (u2,u6), (u2,u5)
+    q.add_wildcard_edge(u[0], u[1]);
+    q.add_wildcard_edge(u[2], u[0]);
+    q.add_wildcard_edge(u[0], u[5]);
+    q.add_wildcard_edge(u[1], u[3]);
+    q.add_wildcard_edge(u[1], u[4]);
+    q.add_wildcard_edge(u[2], u[6]);
+    q.add_wildcard_edge(u[2], u[5]);
+    let tree = QueryTree::build(&q, u[0]);
+    (q, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_tree_structure() {
+        let (q, tree) = paper_example_query();
+        assert_eq!(q.vertex_count(), 7);
+        assert_eq!(q.edge_count(), 7);
+        assert_eq!(tree.root(), QueryVertexId(0));
+        // u0's children are u1, u2, u5 (order: out-neighbours first).
+        let children: Vec<_> = tree.children(QueryVertexId(0)).to_vec();
+        assert_eq!(children.len(), 3);
+        assert!(children.contains(&QueryVertexId(1)));
+        assert!(children.contains(&QueryVertexId(2)));
+        assert!(children.contains(&QueryVertexId(5)));
+        // u2 is a child of u0 even though the edge is directed u2 -> u0.
+        let te = tree.parent_edge(QueryVertexId(2)).unwrap();
+        assert_eq!(te.parent, QueryVertexId(0));
+        assert!(!te.child_is_dst, "edge is u2->u0, so child u2 is the source");
+        // Exactly one non-tree edge: (u2, u5), id 6.
+        assert_eq!(tree.non_tree_edges(), &[QueryEdgeId(6)]);
+        assert_eq!(tree.debi_width(), 6);
+    }
+
+    #[test]
+    fn depths_and_paths() {
+        let (_, tree) = paper_example_query();
+        assert_eq!(tree.depth(QueryVertexId(0)), 0);
+        assert_eq!(tree.depth(QueryVertexId(1)), 1);
+        assert_eq!(tree.depth(QueryVertexId(3)), 2);
+        let path = tree.path_to_root(QueryVertexId(3));
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].child, QueryVertexId(3));
+        assert_eq!(path[0].parent, QueryVertexId(1));
+        assert_eq!(path[1].child, QueryVertexId(1));
+        assert_eq!(path[1].parent, QueryVertexId(0));
+        assert!(tree.path_to_root(QueryVertexId(0)).is_empty());
+    }
+
+    #[test]
+    fn debi_columns_are_dense_and_exclude_root() {
+        let (_, tree) = paper_example_query();
+        assert_eq!(tree.debi_column(QueryVertexId(0)), None);
+        let mut cols: Vec<u16> = (1..7u16)
+            .map(|i| tree.debi_column(QueryVertexId(i)).unwrap())
+            .collect();
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_order_parents_precede_children() {
+        let (_, tree) = paper_example_query();
+        let order = tree.bfs_vertices();
+        let pos = |u: QueryVertexId| order.iter().position(|&x| x == u).unwrap();
+        for &u in order {
+            if let Some(p) = tree.parent(u) {
+                assert!(pos(p) < pos(u));
+            }
+        }
+        // Tree edges follow the same property.
+        let edges = tree.tree_edges();
+        assert_eq!(edges.len(), 6);
+        for window in edges.windows(2) {
+            assert!(tree.depth(window[0].child) <= tree.depth(window[1].child));
+        }
+    }
+
+    #[test]
+    fn leaves_detected() {
+        let (_, tree) = paper_example_query();
+        assert!(tree.is_leaf(QueryVertexId(3)));
+        assert!(tree.is_leaf(QueryVertexId(6)));
+        assert!(!tree.is_leaf(QueryVertexId(1)));
+    }
+
+    #[test]
+    fn tree_edge_lookup() {
+        let (_, tree) = paper_example_query();
+        assert!(tree.is_tree_edge(QueryEdgeId(0)));
+        assert!(!tree.is_tree_edge(QueryEdgeId(6)));
+        let te = tree.tree_edge_of(QueryEdgeId(3)).unwrap();
+        assert_eq!(te.child, QueryVertexId(3));
+        assert!(tree.tree_edge_of(QueryEdgeId(6)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_query_panics() {
+        let mut q = QueryGraph::new();
+        let a = q.add_wildcard_vertex();
+        let b = q.add_wildcard_vertex();
+        q.add_wildcard_vertex();
+        q.add_wildcard_edge(a, b);
+        QueryTree::build(&q, a);
+    }
+}

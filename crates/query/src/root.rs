@@ -1,0 +1,136 @@
+//! Root query node selection.
+//!
+//! "A root query node is normally the most selective node in the query
+//! graph, which is the starting point of the matching process" (Section
+//! II-A). Mnemonic's default heuristic picks the vertex whose label is
+//! rarest in the data graph and, among those, the one with the highest query
+//! degree; experienced users can override the choice (the engine accepts an
+//! explicit root).
+
+use crate::query_graph::QueryGraph;
+use mnemonic_graph::ids::{QueryVertexId, VertexLabel, WILDCARD_VERTEX_LABEL};
+use std::collections::HashMap;
+
+/// Frequency of each vertex label in the data graph, used to estimate
+/// selectivity. Missing labels are treated as frequency zero (maximally
+/// selective); the wildcard label is treated as maximally frequent.
+#[derive(Debug, Default, Clone)]
+pub struct LabelFrequencies {
+    counts: HashMap<u16, u64>,
+    total: u64,
+}
+
+impl LabelFrequencies {
+    /// Create an empty (uninformative) frequency table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of data-vertex labels.
+    pub fn from_labels(labels: impl IntoIterator<Item = VertexLabel>) -> Self {
+        let mut counts: HashMap<u16, u64> = HashMap::new();
+        let mut total = 0;
+        for label in labels {
+            *counts.entry(label.0).or_insert(0) += 1;
+            total += 1;
+        }
+        LabelFrequencies { counts, total }
+    }
+
+    /// Record one occurrence of `label`.
+    pub fn record(&mut self, label: VertexLabel) {
+        *self.counts.entry(label.0).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Frequency of `label`; the wildcard matches everything so it reports
+    /// the total count.
+    pub fn frequency(&self, label: VertexLabel) -> u64 {
+        if label == WILDCARD_VERTEX_LABEL {
+            self.total.max(1)
+        } else {
+            self.counts.get(&label.0).copied().unwrap_or(0)
+        }
+    }
+
+    /// Total number of recorded labels.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Pick the root query vertex: rarest label first, then highest degree, then
+/// lowest id for determinism.
+pub fn select_root(query: &QueryGraph, frequencies: &LabelFrequencies) -> QueryVertexId {
+    assert!(query.vertex_count() > 0, "cannot pick a root of an empty query");
+    query
+        .vertices()
+        .min_by_key(|&u| {
+            (
+                frequencies.frequency(query.vertex_label(u)),
+                std::cmp::Reverse(query.degree(u)),
+                u.0,
+            )
+        })
+        .expect("non-empty query")
+}
+
+/// Pick the root with no data-graph statistics available: highest degree,
+/// lowest id tiebreak.
+pub fn select_root_by_degree(query: &QueryGraph) -> QueryVertexId {
+    select_root(query, &LabelFrequencies::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_tree::paper_example_query;
+
+    #[test]
+    fn degree_heuristic_prefers_hub() {
+        let (q, _) = paper_example_query();
+        // u0 (degree 3), u1 (degree 3), u2 (degree 3) tie on degree with
+        // uninformative frequencies; lowest id wins: u0, matching the paper.
+        assert_eq!(select_root_by_degree(&q), QueryVertexId(0));
+    }
+
+    #[test]
+    fn rare_label_wins_over_degree() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VertexLabel(1)); // frequent label
+        let b = q.add_vertex(VertexLabel(2)); // rare label
+        let c = q.add_vertex(VertexLabel(1));
+        q.add_wildcard_edge(a, b);
+        q.add_wildcard_edge(a, c);
+        let freqs = LabelFrequencies::from_labels(vec![
+            VertexLabel(1),
+            VertexLabel(1),
+            VertexLabel(1),
+            VertexLabel(2),
+        ]);
+        // a has degree 2 but a frequent label; b has the rare label.
+        assert_eq!(select_root(&q, &freqs), b);
+    }
+
+    #[test]
+    fn unseen_label_is_maximally_selective() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VertexLabel(9)); // never seen in the data
+        let b = q.add_vertex(VertexLabel(1));
+        q.add_wildcard_edge(a, b);
+        let freqs = LabelFrequencies::from_labels(vec![VertexLabel(1); 5]);
+        assert_eq!(select_root(&q, &freqs), a);
+        assert_eq!(freqs.frequency(VertexLabel(9)), 0);
+        assert_eq!(freqs.frequency(WILDCARD_VERTEX_LABEL), 5);
+    }
+
+    #[test]
+    fn record_updates_frequencies() {
+        let mut f = LabelFrequencies::new();
+        f.record(VertexLabel(3));
+        f.record(VertexLabel(3));
+        f.record(VertexLabel(4));
+        assert_eq!(f.frequency(VertexLabel(3)), 2);
+        assert_eq!(f.total(), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Stream configuration: the user-controlled knobs of the snapshot generator
+//! ("stream type, window size, and stride", Section I / III).
+
+use serde::{Deserialize, Serialize};
+
+/// How the stream is cut into snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamMode {
+    /// Fixed-size batches of events: every snapshot carries up to
+    /// `batch_size` events regardless of their timestamps. This is the mode
+    /// used for the NetFlow and LSBench experiments (batch size 16K).
+    Batch,
+    /// Time-based sliding window: each snapshot advances the window by
+    /// `stride` time units, inserts the events whose timestamps fall inside
+    /// the new stride and evicts every edge older than `window_size`. This is
+    /// the mode used for the LANL experiments (24 h window, 10/15 min stride).
+    SlidingWindow,
+}
+
+/// User-facing stream configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Snapshotting mode.
+    pub mode: StreamMode,
+    /// Maximum number of events per snapshot in [`StreamMode::Batch`]. The
+    /// paper's default for throughput experiments is 16 384.
+    pub batch_size: usize,
+    /// Window length in timestamp units for [`StreamMode::SlidingWindow`].
+    pub window_size: u64,
+    /// Stride (window advance) in timestamp units for
+    /// [`StreamMode::SlidingWindow`].
+    pub stride: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            mode: StreamMode::Batch,
+            batch_size: 16 * 1024,
+            window_size: 0,
+            stride: 0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Batch-mode configuration with the given batch size.
+    pub fn batches(batch_size: usize) -> Self {
+        StreamConfig {
+            mode: StreamMode::Batch,
+            batch_size: batch_size.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Sliding-window configuration with the given window and stride (both in
+    /// timestamp units).
+    pub fn sliding_window(window_size: u64, stride: u64) -> Self {
+        assert!(window_size > 0, "window size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        StreamConfig {
+            mode: StreamMode::SlidingWindow,
+            batch_size: usize::MAX,
+            window_size,
+            stride,
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.mode {
+            StreamMode::Batch => {
+                if self.batch_size == 0 {
+                    return Err("batch size must be at least 1".into());
+                }
+            }
+            StreamMode::SlidingWindow => {
+                if self.window_size == 0 || self.stride == 0 {
+                    return Err("window size and stride must be positive".into());
+                }
+                if self.stride > self.window_size {
+                    return Err("stride larger than the window leaves gaps".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_16k_batches() {
+        let c = StreamConfig::default();
+        assert_eq!(c.mode, StreamMode::Batch);
+        assert_eq!(c.batch_size, 16 * 1024);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn batch_size_is_clamped_to_one() {
+        let c = StreamConfig::batches(0);
+        assert_eq!(c.batch_size, 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn sliding_window_validation() {
+        let c = StreamConfig::sliding_window(24 * 3600, 600);
+        assert!(c.validate().is_ok());
+        let bad = StreamConfig {
+            mode: StreamMode::SlidingWindow,
+            batch_size: usize::MAX,
+            window_size: 10,
+            stride: 20,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_panics() {
+        StreamConfig::sliding_window(0, 5);
+    }
+}

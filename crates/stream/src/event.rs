@@ -1,0 +1,113 @@
+//! Stream events: the unit of input to the snapshot generator.
+
+use mnemonic_graph::edge::EdgeTriple;
+use mnemonic_graph::ids::{EdgeLabel, Timestamp, VertexId, VertexLabel, WILDCARD_VERTEX_LABEL};
+use serde::{Deserialize, Serialize};
+
+/// Whether an event inserts or deletes an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The edge is added to the data graph.
+    Insert,
+    /// One live instance of the edge (same endpoints and label) is removed,
+    /// as in the LSBench stream where a deletion negates both endpoints of a
+    /// previously streamed triple.
+    Delete,
+}
+
+/// One event of a multi-relational graph stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamEvent {
+    /// Insert or delete.
+    pub kind: EventKind,
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Destination endpoint.
+    pub dst: VertexId,
+    /// Edge label.
+    pub label: EdgeLabel,
+    /// Event timestamp (0 for untimed streams).
+    pub timestamp: Timestamp,
+    /// Label of the source vertex, recorded the first time the vertex is
+    /// seen. Wildcard when the dataset has a single vertex type.
+    pub src_label: VertexLabel,
+    /// Label of the destination vertex.
+    pub dst_label: VertexLabel,
+}
+
+impl StreamEvent {
+    /// An insertion with wildcard vertex labels and timestamp 0.
+    pub fn insert(src: u32, dst: u32, label: u16) -> Self {
+        StreamEvent {
+            kind: EventKind::Insert,
+            src: VertexId(src),
+            dst: VertexId(dst),
+            label: EdgeLabel(label),
+            timestamp: Timestamp(0),
+            src_label: WILDCARD_VERTEX_LABEL,
+            dst_label: WILDCARD_VERTEX_LABEL,
+        }
+    }
+
+    /// A deletion with wildcard vertex labels and timestamp 0.
+    pub fn delete(src: u32, dst: u32, label: u16) -> Self {
+        StreamEvent {
+            kind: EventKind::Delete,
+            ..Self::insert(src, dst, label)
+        }
+    }
+
+    /// Set the timestamp (builder style).
+    pub fn at(mut self, ts: u64) -> Self {
+        self.timestamp = Timestamp(ts);
+        self
+    }
+
+    /// Set the vertex labels (builder style).
+    pub fn with_vertex_labels(mut self, src_label: u16, dst_label: u16) -> Self {
+        self.src_label = VertexLabel(src_label);
+        self.dst_label = VertexLabel(dst_label);
+        self
+    }
+
+    /// View the event as an edge triple (ignoring the kind).
+    pub fn as_triple(&self) -> EdgeTriple {
+        EdgeTriple::with_timestamp(self.src, self.dst, self.label, self.timestamp)
+    }
+
+    /// Whether this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        self.kind == EventKind::Insert
+    }
+
+    /// Whether this is a deletion.
+    pub fn is_delete(&self) -> bool {
+        self.kind == EventKind::Delete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_construction() {
+        let e = StreamEvent::insert(1, 2, 3).at(42).with_vertex_labels(5, 6);
+        assert!(e.is_insert());
+        assert!(!e.is_delete());
+        assert_eq!(e.timestamp, Timestamp(42));
+        assert_eq!(e.src_label, VertexLabel(5));
+        assert_eq!(e.dst_label, VertexLabel(6));
+        let t = e.as_triple();
+        assert_eq!(t.src, VertexId(1));
+        assert_eq!(t.dst, VertexId(2));
+        assert_eq!(t.label, EdgeLabel(3));
+    }
+
+    #[test]
+    fn delete_event_kind() {
+        let e = StreamEvent::delete(7, 8, 0);
+        assert!(e.is_delete());
+        assert_eq!(e.kind, EventKind::Delete);
+    }
+}

@@ -1,0 +1,261 @@
+//! The snapshot generator (Section III, `initializeStream` / `getSnapshot`).
+//!
+//! Wraps an [`EventSource`] and cuts it into [`Snapshot`]s according to the
+//! [`StreamConfig`]: fixed-size batches, or time-based sliding windows whose
+//! snapshots also carry an eviction cutoff.
+
+use crate::config::{StreamConfig, StreamMode};
+use crate::event::StreamEvent;
+use crate::snapshot::Snapshot;
+use crate::source::EventSource;
+use mnemonic_graph::ids::Timestamp;
+
+/// Streaming snapshot generator.
+pub struct SnapshotGenerator<S> {
+    source: S,
+    config: StreamConfig,
+    next_id: u64,
+    /// Event pulled from the source but not yet assigned to a snapshot
+    /// (sliding-window mode looks one event ahead to detect stride
+    /// boundaries).
+    pending: Option<StreamEvent>,
+    /// Start of the stride currently being assembled (sliding-window mode).
+    window_head: Option<u64>,
+    /// Largest timestamp seen so far.
+    watermark: u64,
+    exhausted: bool,
+}
+
+impl<S: EventSource> SnapshotGenerator<S> {
+    /// Create a generator over `source` with the given configuration.
+    pub fn new(source: S, config: StreamConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid stream configuration");
+        SnapshotGenerator {
+            source,
+            config,
+            next_id: 0,
+            pending: None,
+            window_head: None,
+            watermark: 0,
+            exhausted: false,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
+    /// Produce the next snapshot, or `None` when the stream is exhausted.
+    pub fn next_snapshot(&mut self) -> Option<Snapshot> {
+        match self.config.mode {
+            StreamMode::Batch => self.next_batch_snapshot(),
+            StreamMode::SlidingWindow => self.next_window_snapshot(),
+        }
+    }
+
+    fn pull(&mut self) -> Option<StreamEvent> {
+        if let Some(e) = self.pending.take() {
+            return Some(e);
+        }
+        if self.exhausted {
+            return None;
+        }
+        match self.source.next_event() {
+            Some(e) => Some(e),
+            None => {
+                self.exhausted = true;
+                None
+            }
+        }
+    }
+
+    fn next_batch_snapshot(&mut self) -> Option<Snapshot> {
+        let mut insertions = Vec::new();
+        let mut deletions = Vec::new();
+        while insertions.len() + deletions.len() < self.config.batch_size {
+            match self.pull() {
+                Some(event) => {
+                    self.watermark = self.watermark.max(event.timestamp.0);
+                    if event.is_insert() {
+                        insertions.push(event);
+                    } else {
+                        deletions.push(event);
+                    }
+                }
+                None => break,
+            }
+        }
+        if insertions.is_empty() && deletions.is_empty() {
+            return None;
+        }
+        let snapshot = Snapshot {
+            id: self.next_id,
+            insertions,
+            deletions,
+            evict_before: None,
+            watermark: Timestamp(self.watermark),
+        };
+        self.next_id += 1;
+        Some(snapshot)
+    }
+
+    fn next_window_snapshot(&mut self) -> Option<Snapshot> {
+        let stride = self.config.stride;
+        let window = self.config.window_size;
+        let mut insertions = Vec::new();
+        let mut deletions = Vec::new();
+
+        // Establish the stride boundaries from the first available event.
+        let first = self.pull()?;
+        let head = match self.window_head {
+            Some(h) => h,
+            None => {
+                let h = first.timestamp.0;
+                self.window_head = Some(h);
+                h
+            }
+        };
+        let stride_end = head.saturating_add(stride);
+
+        let mut event = Some(first);
+        while let Some(e) = event {
+            if e.timestamp.0 >= stride_end {
+                // Belongs to a later stride: stash and stop.
+                self.pending = Some(e);
+                break;
+            }
+            self.watermark = self.watermark.max(e.timestamp.0);
+            if e.is_insert() {
+                insertions.push(e);
+            } else {
+                deletions.push(e);
+            }
+            event = self.pull();
+        }
+
+        // Advance the window head for the next snapshot.
+        self.window_head = Some(stride_end);
+        let evict_before = stride_end.saturating_sub(window);
+        let snapshot = Snapshot {
+            id: self.next_id,
+            insertions,
+            deletions,
+            evict_before: if evict_before > 0 {
+                Some(Timestamp(evict_before))
+            } else {
+                None
+            },
+            watermark: Timestamp(self.watermark.max(stride_end.saturating_sub(1))),
+        };
+        self.next_id += 1;
+        if snapshot.is_empty() && self.pending.is_none() && self.exhausted {
+            return None;
+        }
+        Some(snapshot)
+    }
+
+    /// Drain the remaining stream into a vector of snapshots.
+    pub fn collect_all(mut self) -> Vec<Snapshot> {
+        let mut out = Vec::new();
+        while let Some(s) = self.next_snapshot() {
+            out.push(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+
+    #[test]
+    fn batch_mode_splits_by_size_and_kind() {
+        let events = vec![
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::delete(0, 1, 0),
+            StreamEvent::insert(2, 3, 0),
+            StreamEvent::insert(3, 4, 0),
+        ];
+        let mut gen = SnapshotGenerator::new(VecSource::new(events), StreamConfig::batches(3));
+        let s0 = gen.next_snapshot().unwrap();
+        assert_eq!(s0.id, 0);
+        assert_eq!(s0.insertions.len(), 2);
+        assert_eq!(s0.deletions.len(), 1);
+        let s1 = gen.next_snapshot().unwrap();
+        assert_eq!(s1.id, 1);
+        assert_eq!(s1.insertions.len(), 2);
+        assert!(gen.next_snapshot().is_none());
+    }
+
+    #[test]
+    fn batch_mode_on_empty_stream() {
+        let mut gen =
+            SnapshotGenerator::new(VecSource::new(vec![]), StreamConfig::batches(8));
+        assert!(gen.next_snapshot().is_none());
+    }
+
+    #[test]
+    fn window_mode_cuts_on_stride_and_sets_eviction() {
+        let events = vec![
+            StreamEvent::insert(0, 1, 0).at(0),
+            StreamEvent::insert(1, 2, 0).at(5),
+            StreamEvent::insert(2, 3, 0).at(12),
+            StreamEvent::insert(3, 4, 0).at(25),
+            StreamEvent::insert(4, 5, 0).at(26),
+        ];
+        // Window 20, stride 10.
+        let mut gen = SnapshotGenerator::new(
+            VecSource::new(events),
+            StreamConfig::sliding_window(20, 10),
+        );
+        let s0 = gen.next_snapshot().unwrap();
+        assert_eq!(s0.insertions.len(), 2); // ts 0 and 5
+        assert!(s0.evict_before.is_none()); // 10 - 20 saturates to 0
+        let s1 = gen.next_snapshot().unwrap();
+        assert_eq!(s1.insertions.len(), 1); // ts 12
+        assert!(s1.evict_before.is_none()); // 20 - 20 = 0
+        let s2 = gen.next_snapshot().unwrap();
+        assert_eq!(s2.insertions.len(), 2); // ts 25, 26
+        assert_eq!(s2.evict_before, Some(Timestamp(10)));
+        assert!(gen.next_snapshot().is_none());
+    }
+
+    #[test]
+    fn window_mode_emits_empty_strides_between_bursts() {
+        let events = vec![
+            StreamEvent::insert(0, 1, 0).at(0),
+            StreamEvent::insert(1, 2, 0).at(35),
+        ];
+        let mut gen = SnapshotGenerator::new(
+            VecSource::new(events),
+            StreamConfig::sliding_window(100, 10),
+        );
+        let mut total_insertions = 0;
+        let mut snapshots = 0;
+        while let Some(s) = gen.next_snapshot() {
+            total_insertions += s.insertions.len();
+            snapshots += 1;
+            assert!(snapshots < 100, "runaway generator");
+        }
+        assert_eq!(total_insertions, 2);
+        // Stride 0 gets ts 0; the event at 35 is only reached after empty
+        // strides [10,20) and [20,30).
+        assert!(snapshots >= 3);
+    }
+
+    #[test]
+    fn collect_all_numbers_snapshots_sequentially() {
+        let events: Vec<StreamEvent> =
+            (0..10).map(|i| StreamEvent::insert(i, i + 1, 0)).collect();
+        let snaps =
+            SnapshotGenerator::new(VecSource::new(events), StreamConfig::batches(4)).collect_all();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps.iter().map(|s| s.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(snaps.iter().map(|s| s.event_count()).sum::<usize>(), 10);
+    }
+}

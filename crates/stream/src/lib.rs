@@ -1,0 +1,19 @@
+//! # mnemonic-stream
+//!
+//! Stream handling for the Mnemonic subgraph matching system: stream events,
+//! user-facing stream configuration (batch size, window, stride), snapshot
+//! generation and event sources.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod event;
+pub mod generator;
+pub mod snapshot;
+pub mod source;
+
+pub use config::{StreamConfig, StreamMode};
+pub use event::{EventKind, StreamEvent};
+pub use generator::SnapshotGenerator;
+pub use snapshot::Snapshot;
+pub use source::{EventSource, FileSource, VecSource};

@@ -1,0 +1,81 @@
+//! Snapshots: the unit of work handed to the matching engine.
+//!
+//! "Each snapshot includes the last instance of the data graph and the
+//! changes made since then" (Section I). In this implementation the data
+//! graph itself lives inside the engine; a [`Snapshot`] therefore carries
+//! only the *changes*: an insertion list, an explicit deletion list and — for
+//! sliding-window streams — an eviction cutoff that the engine expands into
+//! deletions of all edges older than the cutoff.
+
+use crate::event::StreamEvent;
+use mnemonic_graph::ids::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A batch of changes to apply on top of the previous graph state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Sequence number of the snapshot (0-based).
+    pub id: u64,
+    /// Edges inserted in this snapshot.
+    pub insertions: Vec<StreamEvent>,
+    /// Edges explicitly deleted in this snapshot (LSBench-style negated
+    /// triples).
+    pub deletions: Vec<StreamEvent>,
+    /// For sliding-window streams: evict every live edge whose timestamp is
+    /// strictly older than this cutoff.
+    pub evict_before: Option<Timestamp>,
+    /// Logical time at the end of the snapshot (largest event timestamp seen,
+    /// or the window head for sliding windows).
+    pub watermark: Timestamp,
+}
+
+impl Snapshot {
+    /// Total number of explicit events carried by the snapshot.
+    pub fn event_count(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// Whether the snapshot carries no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty() && self.evict_before.is_none()
+    }
+
+    /// Whether the snapshot contains insertions.
+    pub fn has_insertions(&self) -> bool {
+        !self.insertions.is_empty()
+    }
+
+    /// Whether the snapshot contains deletions (explicit or via eviction).
+    pub fn has_deletions(&self) -> bool {
+        !self.deletions.is_empty() || self.evict_before.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Snapshot::default();
+        assert!(s.is_empty());
+        assert_eq!(s.event_count(), 0);
+        assert!(!s.has_insertions());
+        assert!(!s.has_deletions());
+    }
+
+    #[test]
+    fn eviction_counts_as_deletion_work() {
+        let s = Snapshot {
+            id: 3,
+            insertions: vec![StreamEvent::insert(0, 1, 0)],
+            deletions: vec![],
+            evict_before: Some(Timestamp(100)),
+            watermark: Timestamp(200),
+        };
+        assert!(!s.is_empty());
+        assert!(s.has_insertions());
+        assert!(s.has_deletions());
+        assert_eq!(s.event_count(), 1);
+    }
+}

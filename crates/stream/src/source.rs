@@ -1,0 +1,202 @@
+//! Stream sources: where events come from.
+//!
+//! The snapshot generator consumes any [`EventSource`]. The workspace ships
+//! an in-memory vector source (used by the synthetic dataset generators and
+//! by tests) and a simple line-oriented text source compatible with the
+//! LSBench convention of negating both endpoints to signal a deletion.
+
+use crate::event::{EventKind, StreamEvent};
+use mnemonic_graph::ids::{EdgeLabel, Timestamp, VertexId, WILDCARD_VERTEX_LABEL};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// A pull-based source of stream events.
+pub trait EventSource {
+    /// The next event, or `None` when the stream is exhausted.
+    fn next_event(&mut self) -> Option<StreamEvent>;
+
+    /// A hint of how many events remain (used only for progress reporting).
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// An in-memory event source backed by a queue.
+#[derive(Debug, Default, Clone)]
+pub struct VecSource {
+    events: VecDeque<StreamEvent>,
+}
+
+impl VecSource {
+    /// Wrap a vector of events.
+    pub fn new(events: Vec<StreamEvent>) -> Self {
+        VecSource {
+            events: events.into(),
+        }
+    }
+
+    /// Remaining number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the source is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl EventSource for VecSource {
+    fn next_event(&mut self) -> Option<StreamEvent> {
+        self.events.pop_front()
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.events.len())
+    }
+}
+
+impl<I> EventSource for I
+where
+    I: Iterator<Item = StreamEvent>,
+{
+    fn next_event(&mut self) -> Option<StreamEvent> {
+        self.next()
+    }
+}
+
+/// A text-file event source.
+///
+/// Each non-empty, non-comment line is `src dst label [timestamp]` with
+/// whitespace separation. Following the LSBench convention, a line whose
+/// `src` and `dst` are both negative denotes the deletion of the
+/// corresponding positive triple: `(-1, -3, l)` deletes `(1, 3, l)`.
+#[derive(Debug)]
+pub struct FileSource {
+    reader: BufReader<File>,
+    line: String,
+    lines_read: u64,
+}
+
+impl FileSource {
+    /// Open a stream file.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(FileSource {
+            reader: BufReader::new(File::open(path)?),
+            line: String::new(),
+            lines_read: 0,
+        })
+    }
+
+    /// Parse one line into an event; `None` for blank/comment lines.
+    fn parse_line(line: &str) -> Option<StreamEvent> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return None;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let src: i64 = parts.next()?.parse().ok()?;
+        let dst: i64 = parts.next()?.parse().ok()?;
+        let label: u16 = parts.next()?.parse().ok()?;
+        let timestamp: u64 = parts.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+        let kind = if src < 0 && dst < 0 {
+            EventKind::Delete
+        } else {
+            EventKind::Insert
+        };
+        Some(StreamEvent {
+            kind,
+            src: VertexId(src.unsigned_abs() as u32),
+            dst: VertexId(dst.unsigned_abs() as u32),
+            label: EdgeLabel(label),
+            timestamp: Timestamp(timestamp),
+            src_label: WILDCARD_VERTEX_LABEL,
+            dst_label: WILDCARD_VERTEX_LABEL,
+        })
+    }
+
+    /// Number of lines consumed so far (including skipped ones).
+    pub fn lines_read(&self) -> u64 {
+        self.lines_read
+    }
+}
+
+impl EventSource for FileSource {
+    fn next_event(&mut self) -> Option<StreamEvent> {
+        loop {
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line).ok()?;
+            if n == 0 {
+                return None;
+            }
+            self.lines_read += 1;
+            if let Some(event) = Self::parse_line(&self.line) {
+                return Some(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn vec_source_preserves_order() {
+        let mut src = VecSource::new(vec![
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+        ]);
+        assert_eq!(src.size_hint(), Some(2));
+        assert_eq!(src.next_event().unwrap().src, VertexId(0));
+        assert_eq!(src.next_event().unwrap().src, VertexId(1));
+        assert!(src.next_event().is_none());
+        assert!(src.is_empty());
+    }
+
+    #[test]
+    fn iterator_source_adapter() {
+        let mut it = (0..3u32).map(|i| StreamEvent::insert(i, i + 1, 0));
+        let mut got = Vec::new();
+        while let Some(e) = EventSource::next_event(&mut it) {
+            got.push(e.src.0);
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn file_source_parses_inserts_deletes_and_comments() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mnemonic-stream-test-{}.txt", std::process::id()));
+        {
+            let mut f = File::create(&path).unwrap();
+            writeln!(f, "# comment").unwrap();
+            writeln!(f, "1 3 0 10").unwrap();
+            writeln!(f, "").unwrap();
+            writeln!(f, "-1 -3 0 20").unwrap();
+            writeln!(f, "4 5 2").unwrap();
+        }
+        let mut src = FileSource::open(&path).unwrap();
+        let e1 = src.next_event().unwrap();
+        assert!(e1.is_insert());
+        assert_eq!((e1.src, e1.dst, e1.label.0, e1.timestamp.0), (VertexId(1), VertexId(3), 0, 10));
+        let e2 = src.next_event().unwrap();
+        assert!(e2.is_delete());
+        assert_eq!((e2.src, e2.dst), (VertexId(1), VertexId(3)));
+        let e3 = src.next_event().unwrap();
+        assert_eq!(e3.timestamp, Timestamp(0));
+        assert!(src.next_event().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        assert!(FileSource::parse_line("not numbers").is_none());
+        assert!(FileSource::parse_line("1 2").is_none());
+        assert!(FileSource::parse_line("# 1 2 3").is_none());
+        assert!(FileSource::parse_line("1 2 3").is_some());
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: find triangles in a small edge stream, incrementally.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mnemonic::core::api::LabelEdgeMatcher;
+use mnemonic::core::embedding::CollectingSink;
+use mnemonic::core::engine::{EngineConfig, Mnemonic};
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::query::patterns;
+use mnemonic::stream::config::StreamConfig;
+use mnemonic::stream::event::StreamEvent;
+use mnemonic::stream::generator::SnapshotGenerator;
+use mnemonic::stream::source::VecSource;
+
+fn main() {
+    // 1. The pattern we are looking for: a directed triangle.
+    let query = patterns::triangle();
+
+    // 2. The engine: default edge matcher (label equality) + isomorphism
+    //    semantics. This is the "two small functions" a user provides in the
+    //    paper's programmable API.
+    let mut engine = Mnemonic::new(
+        query,
+        Box::new(LabelEdgeMatcher),
+        Box::new(Isomorphism),
+        EngineConfig::default(),
+    );
+
+    // 3. A small event stream, cut into snapshots of 4 events each.
+    let events = vec![
+        StreamEvent::insert(0, 1, 0),
+        StreamEvent::insert(1, 2, 0),
+        StreamEvent::insert(2, 0, 0), // closes the first triangle
+        StreamEvent::insert(2, 3, 0),
+        StreamEvent::insert(3, 4, 0),
+        StreamEvent::insert(4, 2, 0), // closes the second triangle
+        StreamEvent::delete(1, 2, 0), // breaks the first one again
+    ];
+    let generator = SnapshotGenerator::new(VecSource::new(events), StreamConfig::batches(4));
+
+    // 4. Run the stream; the sink materialises every reported embedding.
+    let sink = CollectingSink::new();
+    let results = engine.run_stream(generator, &sink);
+
+    for r in &results {
+        println!(
+            "snapshot {}: +{} edges, -{} edges, {} new / {} removed embeddings",
+            r.snapshot_id, r.insertions, r.deletions, r.new_embeddings, r.removed_embeddings
+        );
+    }
+    println!(
+        "total: {} positive, {} negative embeddings",
+        sink.positive().len(),
+        sink.negative().len()
+    );
+    println!("graph now holds {} live edges", engine.graph().live_edge_count());
+}

@@ -1,0 +1,13 @@
+//! Facade crate re-exporting the Mnemonic workspace.
+//!
+//! See the individual crates for details:
+//! [`mnemonic_core`] (DEBI + matcher), [`mnemonic_graph`] (substrate),
+//! [`mnemonic_query`], [`mnemonic_stream`], [`mnemonic_baselines`],
+//! [`mnemonic_datagen`].
+
+pub use mnemonic_baselines as baselines;
+pub use mnemonic_core as core;
+pub use mnemonic_datagen as datagen;
+pub use mnemonic_graph as graph;
+pub use mnemonic_query as query;
+pub use mnemonic_stream as stream;

