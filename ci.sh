@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate for the Mnemonic workspace. Run from the repo root.
+#
+#   ./ci.sh         # full gate: fmt, clippy, release build, tests, bench compile, docs
+#   ./ci.sh quick   # skip the release build and bench compile (inner dev loop)
+#
+# Every step must pass for the script to exit 0.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick="${1:-}"
+
+step() {
+    printf '\n==> %s\n' "$*"
+    "$@"
+}
+
+step cargo fmt --all --check
+
+step cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$quick" != "quick" ]; then
+    step cargo build --release
+fi
+
+step cargo test -q --workspace
+
+if [ "$quick" != "quick" ]; then
+    step cargo bench --workspace --no-run
+fi
+
+step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+printf '\nci.sh: all checks passed\n'

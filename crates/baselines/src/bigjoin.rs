@@ -163,7 +163,11 @@ mod tests {
     #[test]
     fn homomorphism_counts_match_the_oracle() {
         let graph = diamond();
-        for query in [patterns::triangle(), patterns::path(3), patterns::rectangle()] {
+        for query in [
+            patterns::triangle(),
+            patterns::path(3),
+            patterns::rectangle(),
+        ] {
             let oracle = NaiveMatcher::new(OracleSemantics::Homomorphism);
             // The oracle counts (vertex, edge) mappings; with no parallel
             // edges in this graph the per-vertex-mapping edge choice is

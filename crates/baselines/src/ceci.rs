@@ -60,7 +60,8 @@ impl CeciIndex {
                 let mut entries = Vec::new();
                 if te.child_is_dst {
                     for e in graph.out_edges(vp) {
-                        if qe.label.matches(e.label) && candidates[te.child.index()].contains(&e.dst)
+                        if qe.label.matches(e.label)
+                            && candidates[te.child.index()].contains(&e.dst)
                         {
                             entries.push((e.dst, e.id));
                             child_set.insert(e.dst);
@@ -68,7 +69,8 @@ impl CeciIndex {
                     }
                 } else {
                     for e in graph.in_edges(vp) {
-                        if qe.label.matches(e.label) && candidates[te.child.index()].contains(&e.src)
+                        if qe.label.matches(e.label)
+                            && candidates[te.child.index()].contains(&e.src)
                         {
                             entries.push((e.src, e.id));
                             child_set.insert(e.src);
@@ -169,7 +171,7 @@ impl CeciLike {
         };
         let mut count = 0;
         for &(child_match, _edge) in entries {
-            if assignment.iter().any(|&a| a == Some(child_match)) {
+            if assignment.contains(&Some(child_match)) {
                 continue; // injectivity
             }
             assignment[te.child.index()] = Some(child_match);
@@ -208,7 +210,10 @@ mod tests {
             .edge(1, 2, 0)
             .edge(2, 0, 0)
             .build();
-        assert_eq!(CeciLike::count_snapshot(&tri_graph, &patterns::triangle()), 3);
+        assert_eq!(
+            CeciLike::count_snapshot(&tri_graph, &patterns::triangle()),
+            3
+        );
     }
 
     #[test]

@@ -60,12 +60,7 @@ impl MatchStoreTree {
     /// order (edges without a rank are appended in id order).
     pub fn new(query: QueryGraph) -> Self {
         let mut order: Vec<QueryEdgeId> = query.edge_ids().collect();
-        order.sort_by_key(|&q| {
-            (
-                query.edge(q).temporal_rank.unwrap_or(u32::MAX),
-                q.0,
-            )
-        });
+        order.sort_by_key(|&q| (query.edge(q).temporal_rank.unwrap_or(u32::MAX), q.0));
         let levels = order.len();
         MatchStoreTree {
             query,
@@ -91,14 +86,8 @@ impl MatchStoreTree {
         if !qe.label.matches(event.label) {
             return false;
         }
-        if !self
-            .query
-            .vertex_label(qe.src)
-            .matches(event.src_label)
-            || !self
-                .query
-                .vertex_label(qe.dst)
-                .matches(event.dst_label)
+        if !self.query.vertex_label(qe.src).matches(event.src_label)
+            || !self.query.vertex_label(qe.dst).matches(event.dst_label)
         {
             return false;
         }
@@ -121,7 +110,13 @@ impl MatchStoreTree {
         event.timestamp.0 > partial.last_timestamp || partial.edges.is_empty()
     }
 
-    fn extended(&self, partial: &Partial, q: QueryEdgeId, event: &StreamEvent, id: EdgeId) -> Partial {
+    fn extended(
+        &self,
+        partial: &Partial,
+        q: QueryEdgeId,
+        event: &StreamEvent,
+        id: EdgeId,
+    ) -> Partial {
         let qe = self.query.edge(q);
         let mut next = partial.clone();
         next.edges.push(id);
@@ -223,7 +218,10 @@ mod tests {
         // Three partials: {e0}, {e0,e1} and the freshly seeded {e1}.
         assert_eq!(store.stats().stored_partials, 3);
         let purged = store.evict_edge(EdgeId(0));
-        assert_eq!(purged, 2, "both partials referencing the first hop are dropped");
+        assert_eq!(
+            purged, 2,
+            "both partials referencing the first hop are dropped"
+        );
         assert_eq!(store.stats().stored_partials, 1);
         // The chain can no longer be completed.
         assert_eq!(store.insert_edge(&ev(2, 3, 30), EdgeId(2)), 0);

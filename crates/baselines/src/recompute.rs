@@ -111,9 +111,10 @@ impl NaiveMatcher {
         // If u has an already-assigned neighbour, only vertices adjacent to
         // that assignment can work — scan its adjacency instead of the whole
         // graph.
-        let anchored = query.neighbors(u).into_iter().find_map(|entry| {
-            assignment[entry.neighbor.index()].map(|v| (entry, v))
-        });
+        let anchored = query
+            .neighbors(u)
+            .into_iter()
+            .find_map(|entry| assignment[entry.neighbor.index()].map(|v| (entry, v)));
         let mut candidates: Vec<VertexId> = match anchored {
             Some((entry, anchor)) => {
                 let qe = query.edge(entry.edge);
@@ -148,10 +149,8 @@ impl NaiveMatcher {
             if !qe.touches(just_assigned) {
                 continue;
             }
-            let (Some(vs), Some(vd)) = (
-                assignment[qe.src.index()],
-                assignment[qe.dst.index()],
-            ) else {
+            let (Some(vs), Some(vd)) = (assignment[qe.src.index()], assignment[qe.dst.index()])
+            else {
                 continue;
             };
             let any = graph
@@ -183,7 +182,7 @@ impl NaiveMatcher {
         }
         let u = order[depth];
         for v in self.vertex_candidates(graph, query, u, assignment) {
-            if self.injective() && assignment.iter().any(|&a| a == Some(v)) {
+            if self.injective() && assignment.contains(&Some(v)) {
                 continue;
             }
             assignment[u.index()] = Some(v);
@@ -223,7 +222,7 @@ impl NaiveMatcher {
             if !qe.label.matches(edge.label) {
                 continue;
             }
-            if !share_allowed && edge_choice.iter().any(|&c| c == Some(edge.id)) {
+            if !share_allowed && edge_choice.contains(&Some(edge.id)) {
                 continue;
             }
             edge_choice[q_index] = Some(edge.id);
@@ -246,8 +245,14 @@ impl NaiveMatcher {
             .collect();
         for (i, &(ra, ea)) in ranked.iter().enumerate() {
             for &(rb, eb) in ranked.iter().skip(i + 1) {
-                let ta = graph.edge_record(ea).map(|r| r.timestamp).unwrap_or_default();
-                let tb = graph.edge_record(eb).map(|r| r.timestamp).unwrap_or_default();
+                let ta = graph
+                    .edge_record(ea)
+                    .map(|r| r.timestamp)
+                    .unwrap_or_default();
+                let tb = graph
+                    .edge_record(eb)
+                    .map(|r| r.timestamp)
+                    .unwrap_or_default();
                 if ra < rb && ta >= tb {
                     return false;
                 }
@@ -332,7 +337,10 @@ mod tests {
         let found = temporal.enumerate(&graph, &query);
         // Only 0 -> 1 -> 3 respects the increasing-timestamp constraint.
         assert_eq!(found.len(), 1);
-        assert_eq!(found[0].vertices, vec![VertexId(0), VertexId(1), VertexId(3)]);
+        assert_eq!(
+            found[0].vertices,
+            vec![VertexId(0), VertexId(1), VertexId(3)]
+        );
         // Plain isomorphism finds both paths.
         let iso = NaiveMatcher::new(OracleSemantics::Isomorphism);
         assert_eq!(iso.count(&graph, &query), 2);

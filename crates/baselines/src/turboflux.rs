@@ -340,7 +340,7 @@ impl TurboFluxLike {
             if !self.dcg_ok(v, u) {
                 continue;
             }
-            if assignment.iter().any(|&a| a == Some(v)) {
+            if assignment.contains(&Some(v)) {
                 continue;
             }
             assignment[u.index()] = Some(v);
@@ -487,7 +487,9 @@ mod tests {
         let mut tf = TurboFluxLike::new(patterns::path(2));
         let mut touched = 0;
         for i in 1..=5u32 {
-            touched += tf.process_event(&StreamEvent::insert(0, i, 0)).vertices_touched;
+            touched += tf
+                .process_event(&StreamEvent::insert(0, i, 0))
+                .vertices_touched;
         }
         assert!(touched >= 10, "vertex 0 is refreshed for every insertion");
     }

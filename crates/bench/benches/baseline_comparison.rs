@@ -2,7 +2,9 @@
 //! an identical triangle workload (the Criterion companion of Figs 6/11).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mnemonic_bench::runners::{run_ceci_snapshots, run_mnemonic_stream, run_turboflux_stream, Variant};
+use mnemonic_bench::runners::{
+    run_ceci_snapshots, run_mnemonic_stream, run_turboflux_stream, Variant,
+};
 use mnemonic_bench::workloads::{scaled_netflow, WorkloadScale};
 use mnemonic_query::patterns;
 use mnemonic_stream::config::StreamConfig;

@@ -548,7 +548,10 @@ fn fig15(scale: &WorkloadScale) {
     let events = scaled_lanl(scale);
     let classes = paper_queries(&events, scale, false);
     println!("== fig15: dual simulation per window snapshot on LANL-like ==");
-    println!("{:<8} {:>14} {:>14}", "query", "runtime(s)", "relation size");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "query", "runtime(s)", "relation size"
+    );
     let mut rows = Vec::new();
     for (class, queries) in &classes {
         let q = &queries[0];
@@ -684,7 +687,11 @@ fn fig17(scale: &WorkloadScale) {
         for (snap, stats) in &samples {
             rows.push(format!(
                 "{},{snap},{},{}",
-                if recycle { "reclaiming" } else { "no_reclaiming" },
+                if recycle {
+                    "reclaiming"
+                } else {
+                    "no_reclaiming"
+                },
                 stats.edge_placeholders,
                 stats.live_edges
             ));
@@ -803,9 +810,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!(
-                "usage: figures <fig6..fig17|table2|table3|all> [--scale tiny|default]"
-            );
+            eprintln!("usage: figures <fig6..fig17|table2|table3|all> [--scale tiny|default]");
             std::process::exit(2);
         }
     }

@@ -106,7 +106,11 @@ pub fn run_turboflux_stream(
     tf.bootstrap(bootstrap);
     let start = Instant::now();
     let delta = tf.process_batch(stream);
-    (start.elapsed(), delta.new_embeddings, delta.removed_embeddings)
+    (
+        start.elapsed(),
+        delta.new_embeddings,
+        delta.removed_embeddings,
+    )
 }
 
 /// Run the CECI-style baseline: rebuild the index and recount from scratch on
@@ -119,9 +123,14 @@ pub fn run_ceci_snapshots(
     snapshot_size: usize,
 ) -> (Duration, Duration, usize) {
     let mut graph = StreamingGraph::new();
-    let mut apply = |graph: &mut StreamingGraph, e: &StreamEvent| {
+    let apply = |graph: &mut StreamingGraph, e: &StreamEvent| {
         if e.is_insert() {
-            graph.insert_edge(EdgeTriple::with_timestamp(e.src, e.dst, e.label, e.timestamp));
+            graph.insert_edge(EdgeTriple::with_timestamp(
+                e.src,
+                e.dst,
+                e.label,
+                e.timestamp,
+            ));
         } else {
             let _ = graph.delete_matching(e.src, e.dst, e.label);
         }
@@ -191,14 +200,16 @@ mod tests {
             true,
         );
         let (_t, tf_new, _) = run_turboflux_stream(&query, &[], &stream);
-        assert_eq!(m.positive, tf_new, "both engines must find the same triangles");
+        assert_eq!(
+            m.positive, tf_new,
+            "both engines must find the same triangles"
+        );
     }
 
     #[test]
     fn ceci_runner_counts_snapshots() {
         let stream = tiny_stream(120);
-        let (_total, _avg, snapshots) =
-            run_ceci_snapshots(&patterns::triangle(), &[], &stream, 40);
+        let (_total, _avg, snapshots) = run_ceci_snapshots(&patterns::triangle(), &[], &stream, 40);
         assert_eq!(snapshots, 3);
     }
 }

@@ -126,7 +126,11 @@ mod tests {
         let scale = WorkloadScale::tiny();
         let events = scaled_netflow(&scale);
         let queries = paper_queries(&events, &scale, false);
-        assert!(queries.len() >= 4, "expected several query classes, got {}", queries.len());
+        assert!(
+            queries.len() >= 4,
+            "expected several query classes, got {}",
+            queries.len()
+        );
         for (name, qs) in &queries {
             assert!(!qs.is_empty(), "class {name} is empty");
         }

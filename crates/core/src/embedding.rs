@@ -95,12 +95,12 @@ impl PartialEmbedding {
     /// Whether some query vertex is already bound to data vertex `v`
     /// (the isomorphism injectivity check of Figure 4, line 23).
     pub fn uses_data_vertex(&self, v: VertexId) -> bool {
-        self.vertices.iter().any(|&b| b == Some(v))
+        self.vertices.contains(&Some(v))
     }
 
     /// Whether some query edge is already bound to data edge `e`.
     pub fn uses_data_edge(&self, e: EdgeId) -> bool {
-        self.edges.iter().any(|&b| b == Some(e))
+        self.edges.contains(&Some(e))
     }
 
     /// Number of bound query vertices.

@@ -2,7 +2,7 @@
 //!
 //! [`Mnemonic`] owns the streaming data graph, the DEBI index and the query
 //! metadata (query tree, matching orders, mask table). Snapshots produced by
-//! the [`SnapshotGenerator`](mnemonic_stream::generator::SnapshotGenerator)
+//! the [`SnapshotGenerator`]
 //! are applied with [`Mnemonic::apply_snapshot`], which runs the
 //! `batchInserts` / `batchDeletes` pipelines of Algorithm 2 and reports
 //! newly formed / removed embeddings through an [`EmbeddingSink`].
@@ -330,7 +330,9 @@ impl Mnemonic {
         let units = enumerator.decompose(batch_edges);
         if self.config.parallel {
             parallel::install(self.pool.as_ref(), || {
-                units.par_iter().for_each(|unit| enumerator.run_work_unit(*unit));
+                units
+                    .par_iter()
+                    .for_each(|unit| enumerator.run_work_unit(*unit));
             });
         } else {
             for unit in units {
@@ -374,7 +376,10 @@ impl Mnemonic {
             timings.top_down += t2.elapsed();
 
             let t3 = Instant::now();
-            let before = self.counters.embeddings_emitted.load(std::sync::atomic::Ordering::Relaxed);
+            let before = self
+                .counters
+                .embeddings_emitted
+                .load(std::sync::atomic::Ordering::Relaxed);
             self.run_enumeration(&inserted, &frontier.batch_edge_ids, Sign::Positive, sink);
             new_embeddings = self
                 .counters
@@ -405,7 +410,12 @@ impl Mnemonic {
                     .counters
                     .embeddings_emitted
                     .load(std::sync::atomic::Ordering::Relaxed);
-                self.run_enumeration(&doomed_edges, &frontier.batch_edge_ids, Sign::Negative, sink);
+                self.run_enumeration(
+                    &doomed_edges,
+                    &frontier.batch_edge_ids,
+                    Sign::Negative,
+                    sink,
+                );
                 removed_embeddings = self
                     .counters
                     .embeddings_emitted
@@ -584,8 +594,7 @@ mod tests {
         ];
         let mut m = engine(patterns::triangle());
         let sink = CountingSink::new();
-        let generator =
-            SnapshotGenerator::new(VecSource::new(events), StreamConfig::batches(2));
+        let generator = SnapshotGenerator::new(VecSource::new(events), StreamConfig::batches(2));
         let results = m.run_stream(generator, &sink);
         assert_eq!(results.len(), 3);
         // Two data triangles, three rotational mappings each.

@@ -270,10 +270,11 @@ impl<'a> Enumerator<'a> {
                 if embedding.vertex(step.new_vertex) != Some(new_data_vertex) {
                     continue;
                 }
-            } else if !self
-                .semantics
-                .vertex_binding_allowed(embedding, step.new_vertex, new_data_vertex)
-            {
+            } else if !self.semantics.vertex_binding_allowed(
+                embedding,
+                step.new_vertex,
+                new_data_vertex,
+            ) {
                 continue;
             }
             if self.is_masked_edge(order, te.query_edge, edge.id) {
@@ -397,8 +398,10 @@ mod tests {
             assert_eq!(e.vertex(QueryVertexId(2)), VertexId(4));
             assert_eq!(e.vertex(QueryVertexId(5)), VertexId(5));
         }
-        let mut u6_matches: Vec<VertexId> =
-            embeddings.iter().map(|e| e.vertex(QueryVertexId(6))).collect();
+        let mut u6_matches: Vec<VertexId> = embeddings
+            .iter()
+            .map(|e| e.vertex(QueryVertexId(6)))
+            .collect();
         u6_matches.sort();
         assert_eq!(u6_matches, vec![VertexId(0), VertexId(8)]);
     }
@@ -469,21 +472,17 @@ mod tests {
         let counters = EngineCounters::new();
 
         // ΔG1 insertions: (v2, v6), (v0, v2), (v0, v5) — ids 13, 14, 15.
-        let new_edges: Vec<Edge> = [
-            (2u32, 6u32),
-            (0, 2),
-            (0, 5),
-        ]
-        .iter()
-        .map(|&(s, d)| {
-            let id = graph.insert_edge(mnemonic_graph::edge::EdgeTriple::new(
-                VertexId(s),
-                VertexId(d),
-                mnemonic_graph::ids::EdgeLabel(1),
-            ));
-            graph.edge(id).unwrap()
-        })
-        .collect();
+        let new_edges: Vec<Edge> = [(2u32, 6u32), (0, 2), (0, 5)]
+            .iter()
+            .map(|&(s, d)| {
+                let id = graph.insert_edge(mnemonic_graph::edge::EdgeTriple::new(
+                    VertexId(s),
+                    VertexId(d),
+                    mnemonic_graph::ids::EdgeLabel(1),
+                ));
+                graph.edge(id).unwrap()
+            })
+            .collect();
 
         let mut debi = Debi::new(tree.debi_width());
         debi.ensure_rows(graph.edge_id_bound());

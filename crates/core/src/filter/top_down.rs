@@ -144,11 +144,7 @@ mod tests {
         let mut candidacy = VertexCandidacy::new();
         candidacy.ensure(graph.vertex_count());
         let counters = EngineCounters::new();
-        let frontier = UnifiedFrontier::build(
-            graph,
-            graph.live_edges().collect(),
-            false,
-        );
+        let frontier = UnifiedFrontier::build(graph, graph.live_edges().collect(), false);
         // All vertices are endpoints of some edge here, so the frontier's
         // affected vertices cover the graph.
         let pass = TopDownPass {
@@ -233,7 +229,10 @@ mod tests {
             requirements: &requirements,
         }
         .run(&frontier, &candidacy, &debi, &counters, false);
-        assert!(!debi.any(EdgeId(1).index()), "row of the dead edge is cleared");
+        assert!(
+            !debi.any(EdgeId(1).index()),
+            "row of the dead edge is cleared"
+        );
     }
 
     #[test]
@@ -244,7 +243,7 @@ mod tests {
         let counters = EngineCounters::new();
         let frontier = full_frontier(&graph);
 
-        let mut run = |parallel: bool| {
+        let run = |parallel: bool| {
             let mut debi = Debi::new(tree.debi_width());
             debi.ensure_rows(graph.edge_id_bound());
             debi.ensure_roots(graph.vertex_count());

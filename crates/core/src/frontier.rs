@@ -108,7 +108,7 @@ mod tests {
         let batch = vec![graph.edge(EdgeId(1)).unwrap()]; // (1 -> 2)
         let frontier = UnifiedFrontier::build(&graph, batch, true);
         assert_eq!(frontier.affected_vertices.len(), 2); // v1, v2
-        // Edges incident to v1: 0,1,3; incident to v2: 1,2 — dedup to {0,1,2,3}.
+                                                         // Edges incident to v1: 0,1,3; incident to v2: 1,2 — dedup to {0,1,2,3}.
         let mut ids: Vec<u32> = frontier.affected_edges.iter().map(|e| e.0).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 2, 3]);

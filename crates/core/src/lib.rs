@@ -3,12 +3,12 @@
 //! The core of the Mnemonic subgraph matching system (Bhattarai & Huang,
 //! IPDPS 2022): the DEBI index, batched incremental filtering over a unified
 //! traversal frontier, parallel embedding enumeration with masking-based
-//! duplicate elimination, and the programmable [`EdgeMatcher`](api::EdgeMatcher)
-//! / [`MatchSemantics`](api::MatchSemantics) API together with the built-in
+//! duplicate elimination, and the programmable [`EdgeMatcher`]
+//! / [`MatchSemantics`] API together with the built-in
 //! matching variants (isomorphism, homomorphism, dual/strong simulation,
 //! time-constrained isomorphism).
 //!
-//! The typical entry point is [`Mnemonic`](engine::Mnemonic):
+//! The typical entry point is [`Mnemonic`]:
 //!
 //! ```
 //! use mnemonic_core::api::LabelEdgeMatcher;

@@ -1,5 +1,5 @@
 //! Graph-simulation variants: dual simulation and strong simulation
-//! (Section III / VII-C; Ma et al. [18]).
+//! (Section III / VII-C; Ma et al. \[18\]).
 //!
 //! Unlike (iso/homo)morphism, simulation does not enumerate embeddings: its
 //! result is a *binary relation* between query vertices and data vertices.
@@ -45,8 +45,7 @@ impl SimulationRelation {
     /// Whether every query vertex has at least one match (a non-empty dual
     /// simulation exists).
     pub fn is_total(&self) -> bool {
-        !self.per_query_vertex.is_empty()
-            && self.per_query_vertex.iter().all(|s| !s.is_empty())
+        !self.per_query_vertex.is_empty() && self.per_query_vertex.iter().all(|s| !s.is_empty())
     }
 
     /// Total number of (query vertex, data vertex) pairs.

@@ -1,5 +1,5 @@
 //! Time-constrained (temporal) isomorphism (Section VII-C, compared against
-//! Li et al. [20]).
+//! Li et al. \[20\]).
 //!
 //! The query encodes a temporal order on its edges via
 //! [`QueryEdge::temporal_rank`](mnemonic_query::query_graph::QueryEdge):

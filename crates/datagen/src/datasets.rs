@@ -266,7 +266,8 @@ mod tests {
         let events = lsbench_like(cfg);
         assert_eq!(events.len(), 7_000);
         assert!(events[..5_000].iter().all(|e| e.is_insert()));
-        let deletions: Vec<&StreamEvent> = events[5_000..].iter().filter(|e| e.is_delete()).collect();
+        let deletions: Vec<&StreamEvent> =
+            events[5_000..].iter().filter(|e| e.is_delete()).collect();
         let frac = deletions.len() as f64 / 2_000.0;
         assert!(frac > 0.05 && frac < 0.2, "deletion fraction {frac}");
         // Every deletion negates an edge that was inserted earlier.
@@ -287,10 +288,10 @@ mod tests {
         });
         assert_eq!(events.len(), 3_000);
         assert!(events.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(events.iter().all(|e| e.timestamp.0 < 3 * SECONDS_PER_DAY));
         assert!(events
             .iter()
-            .all(|e| e.timestamp.0 < 3 * SECONDS_PER_DAY));
-        assert!(events.iter().all(|e| e.src_label.0 < 6 && e.dst_label.0 < 6));
+            .all(|e| e.src_label.0 < 6 && e.dst_label.0 < 6));
         assert!(events.iter().all(|e| e.label.0 < 3));
     }
 }

@@ -273,7 +273,7 @@ mod tests {
                     .filter(|&v| query.vertex_label(u).matches(graph.vertex_label(v)))
                     .collect();
                 for v in candidates {
-                    if assignment.iter().any(|&a| a == Some(v)) {
+                    if assignment.contains(&Some(v)) {
                         continue;
                     }
                     assignment[u.index()] = Some(v);
@@ -324,7 +324,9 @@ mod tests {
         let queries = gen.workload(QueryClass::Graph(6), 5, false);
         assert!(!queries.is_empty());
         assert!(
-            queries.iter().any(|q| q.edge_count() > q.vertex_count() - 1),
+            queries
+                .iter()
+                .any(|q| q.edge_count() > q.vertex_count() - 1),
             "at least some graph-class queries must have non-tree edges"
         );
     }
@@ -335,7 +337,10 @@ mod tests {
         let queries = gen.workload(QueryClass::Tree(3), 5, false);
         assert!(!queries.is_empty());
         for q in &queries {
-            assert!(has_match(gen.graph(), q), "extracted query must have a match");
+            assert!(
+                has_match(gen.graph(), q),
+                "extracted query must have a match"
+            );
         }
     }
 
@@ -346,8 +351,7 @@ mod tests {
         assert!(!queries.is_empty());
         for q in &queries {
             assert!(q.is_temporal());
-            let mut ranks: Vec<u32> =
-                q.edges().iter().filter_map(|e| e.temporal_rank).collect();
+            let mut ranks: Vec<u32> = q.edges().iter().filter_map(|e| e.temporal_rank).collect();
             ranks.sort_unstable();
             ranks.dedup();
             assert_eq!(ranks.len(), q.edge_count(), "ranks are distinct");

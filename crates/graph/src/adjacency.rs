@@ -112,7 +112,8 @@ impl AdjacencyTable {
     /// needed, and return it mutably.
     pub fn ensure_vertex(&mut self, v: VertexId) -> &mut VertexAdjacency {
         if v.index() >= self.vertices.len() {
-            self.vertices.resize_with(v.index() + 1, VertexAdjacency::default);
+            self.vertices
+                .resize_with(v.index() + 1, VertexAdjacency::default);
         }
         &mut self.vertices[v.index()]
     }

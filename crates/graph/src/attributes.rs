@@ -166,11 +166,15 @@ mod tests {
         store.set_attr(VertexId(2), "hostname", AttrValue::Text("alpha".into()));
         store.set_attr(VertexId(2), "compromised", AttrValue::Bool(true));
         assert_eq!(
-            store.attr(VertexId(2), "hostname").and_then(|a| a.as_text()),
+            store
+                .attr(VertexId(2), "hostname")
+                .and_then(|a| a.as_text()),
             Some("alpha")
         );
         assert_eq!(
-            store.attr(VertexId(2), "compromised").and_then(|a| a.as_bool()),
+            store
+                .attr(VertexId(2), "compromised")
+                .and_then(|a| a.as_bool()),
             Some(true)
         );
         assert!(store.attr(VertexId(2), "missing").is_none());

@@ -34,8 +34,11 @@ impl GraphBuilder {
 
     /// Add an edge with label and implicit timestamp 0.
     pub fn edge(mut self, src: u32, dst: u32, label: u16) -> Self {
-        self.edges
-            .push(EdgeTriple::new(VertexId(src), VertexId(dst), EdgeLabel(label)));
+        self.edges.push(EdgeTriple::new(
+            VertexId(src),
+            VertexId(dst),
+            EdgeLabel(label),
+        ));
         self
     }
 

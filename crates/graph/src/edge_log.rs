@@ -266,7 +266,11 @@ mod tests {
     #[test]
     fn scan_all_preserves_append_order() {
         let mut log = EdgeLog::create_temp("scan").unwrap();
-        let records = vec![rec(0, 0, 1, 0, 1, 0), rec(1, 1, 2, 1, 2, 7), rec(2, 2, 0, 2, 3, 9)];
+        let records = vec![
+            rec(0, 0, 1, 0, 1, 0),
+            rec(1, 1, 2, 1, 2, 7),
+            rec(2, 2, 0, 2, 3, 9),
+        ];
         log.append_batch(&records[..2]).unwrap();
         log.append_batch(&records[2..]).unwrap();
         assert_eq!(log.scan_all().unwrap(), records);

@@ -36,7 +36,9 @@ pub struct EdgeLabel(pub u16);
 
 /// Event timestamp carried by streamed edges, used by windowed streams and by
 /// time-constrained matching.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(pub u64);
 
 /// Identifier of a *query-graph* vertex (`u0`, `u1`, ... in the paper).

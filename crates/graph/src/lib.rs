@@ -5,9 +5,9 @@
 //!
 //! The crate provides the data-management layer the paper's matcher sits on:
 //!
-//! * [`StreamingGraph`](multigraph::StreamingGraph) — an adjacency-list
+//! * [`StreamingGraph`] — an adjacency-list
 //!   directed multigraph where every edge instance carries a unique
-//!   [`EdgeId`](ids::EdgeId), with O(1) insertion/deletion and edge-id
+//!   [`EdgeId`], with O(1) insertion/deletion and edge-id
 //!   recycling so the placeholder count stays non-monotonic,
 //! * id-indexed [attribute stores](attributes) for vertex/edge labels and
 //!   long-tail attributes,

@@ -364,7 +364,8 @@ impl StreamingGraph {
         let vertex_count = self.adjacency.len();
         self.adjacency = AdjacencyTable::new();
         if vertex_count > 0 {
-            self.adjacency.ensure_vertex(VertexId(vertex_count as u32 - 1));
+            self.adjacency
+                .ensure_vertex(VertexId(vertex_count as u32 - 1));
         }
         self.edges.clear();
         self.edge_attrs = EdgeAttributeStore::new();

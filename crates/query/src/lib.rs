@@ -2,8 +2,8 @@
 //!
 //! Query-side data structures for the Mnemonic subgraph matching system:
 //!
-//! * [`QueryGraph`](query_graph::QueryGraph) — the labelled pattern graph,
-//! * [`QueryTree`](query_tree::QueryTree) — its BFS spanning tree (tree /
+//! * [`QueryGraph`] — the labelled pattern graph,
+//! * [`QueryTree`] — its BFS spanning tree (tree /
 //!   non-tree edge split, DEBI column assignment),
 //! * [root selection](root) heuristics,
 //! * per-start-edge [matching orders](matching_order),

@@ -66,7 +66,9 @@ impl MaskTable {
 
     /// Render the whole table (one row per start edge).
     pub fn render(&self) -> Vec<String> {
-        (0..self.edge_count).map(|i| self.row(QueryEdgeId(i))).collect()
+        (0..self.edge_count)
+            .map(|i| self.row(QueryEdgeId(i)))
+            .collect()
     }
 }
 
@@ -114,9 +116,9 @@ mod tests {
                 .iter()
                 .copied()
                 .filter(|&start| {
-                    subset
-                        .iter()
-                        .all(|&q| q == start || !table.is_masked(QueryEdgeId(start), QueryEdgeId(q)))
+                    subset.iter().all(|&q| {
+                        q == start || !table.is_masked(QueryEdgeId(start), QueryEdgeId(q))
+                    })
                 })
                 .collect();
             assert_eq!(accepted.len(), 1, "subset {subset:?}");

@@ -252,7 +252,8 @@ impl MatchingOrder {
             if covered[te.query_edge.index()] != 1 {
                 return Err(format!(
                     "tree edge {:?} covered {} times",
-                    te.query_edge, covered[te.query_edge.index()]
+                    te.query_edge,
+                    covered[te.query_edge.index()]
                 ));
             }
         }
@@ -349,7 +350,10 @@ mod tests {
         let te = tree.parent_edge(QueryVertexId(3)).unwrap(); // (u1, u3)
         let order = MatchingOrder::for_tree_start(&q, &tree, te);
         order.validate(&q, &tree).unwrap();
-        assert_eq!(order.initially_bound, vec![QueryVertexId(1), QueryVertexId(3)]);
+        assert_eq!(
+            order.initially_bound,
+            vec![QueryVertexId(1), QueryVertexId(3)]
+        );
         // First step must be the path-to-root edge (u0, u1).
         assert_eq!(order.steps[0].tree_edge.child, QueryVertexId(1));
         assert_eq!(order.steps[0].tree_edge.parent, QueryVertexId(0));
@@ -382,7 +386,10 @@ mod tests {
         // The only non-tree edge is (u2, u5) with id 6.
         let order = MatchingOrder::for_non_tree_start(&q, &tree, QueryEdgeId(6));
         order.validate(&q, &tree).unwrap();
-        assert_eq!(order.initially_bound, vec![QueryVertexId(2), QueryVertexId(5)]);
+        assert_eq!(
+            order.initially_bound,
+            vec![QueryVertexId(2), QueryVertexId(5)]
+        );
         // First two steps are the tree edges of u5 (child u5) and u2 (child u2).
         assert_eq!(order.steps[0].tree_edge.child, QueryVertexId(5));
         assert_eq!(order.steps[1].tree_edge.child, QueryVertexId(2));
@@ -421,7 +428,10 @@ mod tests {
         let children: Vec<_> = order.steps.iter().map(|s| s.tree_edge.child).collect();
         assert_eq!(
             children,
-            tree.tree_edges().iter().map(|t| t.child).collect::<Vec<_>>()
+            tree.tree_edges()
+                .iter()
+                .map(|t| t.child)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -178,7 +178,10 @@ mod tests {
     fn labelled_path_carries_labels() {
         let q = labelled_path(&[1, 2, 3], &[7, 8]);
         assert_eq!(q.vertex_label(QueryVertexId(1)), VertexLabel(2));
-        assert_eq!(q.edge(mnemonic_graph::ids::QueryEdgeId(1)).label, EdgeLabel(8));
+        assert_eq!(
+            q.edge(mnemonic_graph::ids::QueryEdgeId(1)).label,
+            EdgeLabel(8)
+        );
     }
 
     #[test]

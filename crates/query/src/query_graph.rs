@@ -7,8 +7,7 @@
 //! isomorphism (Section VII-C).
 
 use mnemonic_graph::ids::{
-    EdgeLabel, QueryEdgeId, QueryVertexId, VertexLabel, WILDCARD_EDGE_LABEL,
-    WILDCARD_VERTEX_LABEL,
+    EdgeLabel, QueryEdgeId, QueryVertexId, VertexLabel, WILDCARD_EDGE_LABEL, WILDCARD_VERTEX_LABEL,
 };
 use serde::{Deserialize, Serialize};
 

@@ -262,7 +262,10 @@ mod tests {
         // u2 is a child of u0 even though the edge is directed u2 -> u0.
         let te = tree.parent_edge(QueryVertexId(2)).unwrap();
         assert_eq!(te.parent, QueryVertexId(0));
-        assert!(!te.child_is_dst, "edge is u2->u0, so child u2 is the source");
+        assert!(
+            !te.child_is_dst,
+            "edge is u2->u0, so child u2 is the source"
+        );
         // Exactly one non-tree edge: (u2, u5), id 6.
         assert_eq!(tree.non_tree_edges(), &[QueryEdgeId(6)]);
         assert_eq!(tree.debi_width(), 6);

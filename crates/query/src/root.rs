@@ -62,7 +62,10 @@ impl LabelFrequencies {
 /// Pick the root query vertex: rarest label first, then highest degree, then
 /// lowest id for determinism.
 pub fn select_root(query: &QueryGraph, frequencies: &LabelFrequencies) -> QueryVertexId {
-    assert!(query.vertex_count() > 0, "cannot pick a root of an empty query");
+    assert!(
+        query.vertex_count() > 0,
+        "cannot pick a root of an empty query"
+    );
     query
         .vertices()
         .min_by_key(|&u| {

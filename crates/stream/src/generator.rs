@@ -29,9 +29,7 @@ pub struct SnapshotGenerator<S> {
 impl<S: EventSource> SnapshotGenerator<S> {
     /// Create a generator over `source` with the given configuration.
     pub fn new(source: S, config: StreamConfig) -> Self {
-        config
-            .validate()
-            .expect("invalid stream configuration");
+        config.validate().expect("invalid stream configuration");
         SnapshotGenerator {
             source,
             config,
@@ -194,8 +192,7 @@ mod tests {
 
     #[test]
     fn batch_mode_on_empty_stream() {
-        let mut gen =
-            SnapshotGenerator::new(VecSource::new(vec![]), StreamConfig::batches(8));
+        let mut gen = SnapshotGenerator::new(VecSource::new(vec![]), StreamConfig::batches(8));
         assert!(gen.next_snapshot().is_none());
     }
 
@@ -209,10 +206,8 @@ mod tests {
             StreamEvent::insert(4, 5, 0).at(26),
         ];
         // Window 20, stride 10.
-        let mut gen = SnapshotGenerator::new(
-            VecSource::new(events),
-            StreamConfig::sliding_window(20, 10),
-        );
+        let mut gen =
+            SnapshotGenerator::new(VecSource::new(events), StreamConfig::sliding_window(20, 10));
         let s0 = gen.next_snapshot().unwrap();
         assert_eq!(s0.insertions.len(), 2); // ts 0 and 5
         assert!(s0.evict_before.is_none()); // 10 - 20 saturates to 0
@@ -250,12 +245,14 @@ mod tests {
 
     #[test]
     fn collect_all_numbers_snapshots_sequentially() {
-        let events: Vec<StreamEvent> =
-            (0..10).map(|i| StreamEvent::insert(i, i + 1, 0)).collect();
+        let events: Vec<StreamEvent> = (0..10).map(|i| StreamEvent::insert(i, i + 1, 0)).collect();
         let snaps =
             SnapshotGenerator::new(VecSource::new(events), StreamConfig::batches(4)).collect_all();
         assert_eq!(snaps.len(), 3);
-        assert_eq!(snaps.iter().map(|s| s.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            snaps.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(snaps.iter().map(|s| s.event_count()).sum::<usize>(), 10);
     }
 }

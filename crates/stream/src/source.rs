@@ -175,14 +175,17 @@ mod tests {
             let mut f = File::create(&path).unwrap();
             writeln!(f, "# comment").unwrap();
             writeln!(f, "1 3 0 10").unwrap();
-            writeln!(f, "").unwrap();
+            writeln!(f).unwrap();
             writeln!(f, "-1 -3 0 20").unwrap();
             writeln!(f, "4 5 2").unwrap();
         }
         let mut src = FileSource::open(&path).unwrap();
         let e1 = src.next_event().unwrap();
         assert!(e1.is_insert());
-        assert_eq!((e1.src, e1.dst, e1.label.0, e1.timestamp.0), (VertexId(1), VertexId(3), 0, 10));
+        assert_eq!(
+            (e1.src, e1.dst, e1.label.0, e1.timestamp.0),
+            (VertexId(1), VertexId(3), 0, 10)
+        );
         let e2 = src.next_event().unwrap();
         assert!(e2.is_delete());
         assert_eq!((e2.src, e2.dst), (VertexId(1), VertexId(3)));

@@ -61,8 +61,7 @@ fn main() {
     // Variant 3: a custom edgeMatcher — only "protocol 0" flow events are
     // allowed to participate (the attribute-based filtering a cyber analyst
     // would write).
-    let protocol_zero =
-        FnEdgeMatcher(|_ctx: &MatcherContext<'_>, _q, e: &Edge| e.label.0 == 0);
+    let protocol_zero = FnEdgeMatcher(|_ctx: &MatcherContext<'_>, _q, e: &Edge| e.label.0 == 0);
     let mut custom = Mnemonic::new(
         query.clone(),
         Box::new(protocol_zero),
@@ -81,7 +80,11 @@ fn main() {
     let relation = DualSimulation.compute(iso.graph(), &query);
     println!(
         "dual simulation: {} (query vertex, data vertex) pairs, total relation size {}",
-        if relation.is_total() { "non-empty" } else { "empty" },
+        if relation.is_total() {
+            "non-empty"
+        } else {
+            "empty"
+        },
         relation.size()
     );
 }

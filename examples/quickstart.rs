@@ -55,5 +55,8 @@ fn main() {
         sink.positive().len(),
         sink.negative().len()
     );
-    println!("graph now holds {} live edges", engine.graph().live_edge_count());
+    println!(
+        "graph now holds {} live edges",
+        engine.graph().live_edge_count()
+    );
 }

@@ -9,7 +9,9 @@ use mnemonic::core::api::LabelEdgeMatcher;
 use mnemonic::core::embedding::CountingSink;
 use mnemonic::core::engine::{EngineConfig, Mnemonic};
 use mnemonic::core::variants::Isomorphism;
-use mnemonic::datagen::{lanl_like, LanlConfig, QueryClass, QueryWorkloadGenerator, SECONDS_PER_DAY};
+use mnemonic::datagen::{
+    lanl_like, LanlConfig, QueryClass, QueryWorkloadGenerator, SECONDS_PER_DAY,
+};
 use mnemonic::stream::config::StreamConfig;
 use mnemonic::stream::generator::SnapshotGenerator;
 use mnemonic::stream::source::VecSource;

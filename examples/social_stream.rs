@@ -15,7 +15,6 @@ use mnemonic::core::embedding::CountingSink;
 use mnemonic::core::engine::{EngineConfig, Mnemonic};
 use mnemonic::core::variants::Homomorphism;
 use mnemonic::datagen::{lsbench_like, LsbenchConfig};
-use mnemonic::query::patterns;
 use mnemonic::stream::config::StreamConfig;
 use mnemonic::stream::generator::SnapshotGenerator;
 use mnemonic::stream::source::VecSource;
@@ -36,16 +35,14 @@ fn main() {
 
     // A wedge: u1 -> u0 <- u2 (two activities pointing at the same target).
     let query = {
-        let mut q = patterns::star(3);
-        // star(3) is centre -> leaves; reverse by rebuilding for in-star.
+        // patterns::star(3) is centre -> leaves; build the in-star by hand.
         let mut wedge = mnemonic::query::query_graph::QueryGraph::new();
         let target = wedge.add_wildcard_vertex();
         let a = wedge.add_wildcard_vertex();
         let b = wedge.add_wildcard_vertex();
         wedge.add_wildcard_edge(a, target);
         wedge.add_wildcard_edge(b, target);
-        q = wedge;
-        q
+        wedge
     };
 
     let mut engine = Mnemonic::new(
@@ -57,8 +54,7 @@ fn main() {
 
     // The paper's default batch size is 16K; this stream is smaller, so use
     // 2K batches to get a few snapshots.
-    let generator =
-        SnapshotGenerator::new(VecSource::new(events), StreamConfig::batches(2_048));
+    let generator = SnapshotGenerator::new(VecSource::new(events), StreamConfig::batches(2_048));
     let sink = CountingSink::new();
     let results = engine.run_stream(generator, &sink);
 

@@ -1,9 +1,8 @@
-//! Facade crate re-exporting the Mnemonic workspace.
-//!
-//! See the individual crates for details:
-//! [`mnemonic_core`] (DEBI + matcher), [`mnemonic_graph`] (substrate),
-//! [`mnemonic_query`], [`mnemonic_stream`], [`mnemonic_baselines`],
-//! [`mnemonic_datagen`].
+//! Facade crate re-exporting the Mnemonic workspace. The crate-level
+//! documentation below is the repository README, so its quickstart example
+//! is compiled and run as a doc-test.
+#![doc = include_str!("../README.md")]
+#![warn(missing_docs)]
 
 pub use mnemonic_baselines as baselines;
 pub use mnemonic_core as core;

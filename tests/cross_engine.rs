@@ -42,7 +42,10 @@ fn mnemonic_total(query: &QueryGraph, events: &[StreamEvent], batch: usize, thre
     );
     let sink = CountingSink::new();
     engine.run_stream(
-        SnapshotGenerator::new(VecSource::new(events.to_vec()), StreamConfig::batches(batch)),
+        SnapshotGenerator::new(
+            VecSource::new(events.to_vec()),
+            StreamConfig::batches(batch),
+        ),
         &sink,
     );
     sink.positive() - sink.negative()

@@ -58,7 +58,8 @@ fn run_differential(query: QueryGraph, batches: Vec<Vec<StreamEvent>>, isomorphi
     let mut accumulated: HashSet<(Vec<u32>, Vec<u32>)> = HashSet::new();
 
     for (i, batch) in batches.into_iter().enumerate() {
-        let insertions: Vec<StreamEvent> = batch.iter().filter(|e| e.is_insert()).copied().collect();
+        let insertions: Vec<StreamEvent> =
+            batch.iter().filter(|e| e.is_insert()).copied().collect();
         let deletions: Vec<StreamEvent> = batch.iter().filter(|e| e.is_delete()).copied().collect();
 
         // Engine: insertions first (Algorithm 1), then deletions — mirror the
@@ -75,7 +76,12 @@ fn run_differential(query: QueryGraph, batches: Vec<Vec<StreamEvent>>, isomorphi
         );
 
         for e in &insertions {
-            shadow.insert_edge(EdgeTriple::with_timestamp(e.src, e.dst, e.label, e.timestamp));
+            shadow.insert_edge(EdgeTriple::with_timestamp(
+                e.src,
+                e.dst,
+                e.label,
+                e.timestamp,
+            ));
         }
         for e in &deletions {
             let _ = shadow.delete_matching(e.src, e.dst, e.label);

@@ -1,0 +1,57 @@
+//! Smoke test: every shipped example builds and runs to completion.
+//!
+//! `cargo test` already compiles the examples; these tests additionally
+//! *execute* each binary via the same `cargo` that is running the test
+//! suite, so a panic, a non-zero exit or an API drift inside an example
+//! fails tier-1 instead of rotting silently. The dev-profile example
+//! binaries are already built by the enclosing `cargo test` invocation, so
+//! each case is a cache hit plus the example's own (seconds-long) runtime.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "-q", "--example", name])
+        .current_dir(Path::new(manifest_dir))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example `{name}` printed nothing; expected a summary on stdout"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn social_stream_runs() {
+    run_example("social_stream");
+}
+
+#[test]
+fn sliding_window_lanl_runs() {
+    run_example("sliding_window_lanl");
+}
+
+#[test]
+fn cyber_forensics_runs() {
+    run_example("cyber_forensics");
+}
+
+#[test]
+fn programmable_variants_runs() {
+    run_example("programmable_variants");
+}

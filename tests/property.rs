@@ -22,10 +22,7 @@ use std::collections::HashSet;
 /// A random edit script over a small vertex universe: true = insert a random
 /// edge, false = delete a random live edge (if any).
 fn edit_script() -> impl Strategy<Value = Vec<(bool, u32, u32, u16)>> {
-    prop::collection::vec(
-        (any::<bool>(), 0u32..8, 0u32..8, 0u16..2),
-        1..60,
-    )
+    prop::collection::vec((any::<bool>(), 0u32..8, 0u32..8, 0u16..2), 1..60)
 }
 
 proptest! {

@@ -1,0 +1,147 @@
+//! Offline shim for the `bytes` crate: the [`Buf`]/[`BufMut`] little-endian
+//! accessors and the [`Bytes`]/[`BytesMut`] containers used by the edge log.
+//! `Bytes` is a plain owned buffer — no reference-counted slicing — which is
+//! all the append-only log needs.
+
+/// Read-side cursor operations over a byte source.
+pub trait Buf {
+    /// Bytes remaining to be read.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return the next little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Consume and return the next little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Consume and return the next little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Write-side append operations over a growable byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable owned byte buffer mirroring `bytes::BytesMut`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Immutable owned byte buffer mirroring `bytes::Bytes`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut buf = BytesMut::with_capacity(14);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u16_le(0x1234);
+        buf.put_u64_le(u64::MAX - 1);
+        assert_eq!(buf.len(), 14);
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u16_le(), 0x1234);
+        assert_eq!(cursor.get_u64_le(), u64::MAX - 1);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_from_vec_derefs_to_slice() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.chunks_exact(2).count(), 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline shim for `criterion`: the [`criterion_group!`]/[`criterion_main!`]
+//! macros, benchmark groups and a timed [`Bencher::iter`].
+//!
+//! Each benchmark is warmed up for the configured warm-up time, then run for
+//! `sample_size` samples (each sample iterates until ~1/sample of the
+//! measurement time has elapsed), and a single line with min / median / max
+//! time per iteration is printed. There are no HTML reports, no outlier
+//! analysis, and no saved baselines — enough to compare orders of magnitude
+//! and to keep `cargo bench` runnable offline.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark — `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types accepted as benchmark identifiers by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Convert into the printable benchmark id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly, recording wall-clock time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, measuring the
+        // rough cost of one iteration as we go.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || iters == 0 {
+            hint::black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / iters.max(1) as u32;
+
+        // Size each sample so the whole measurement fits the budget.
+        let budget = self.measurement_time / self.sample_size.max(1) as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters_per_sample);
+        }
+    }
+}
+
+/// The first positional CLI argument, used as a substring filter on full
+/// benchmark names — the `cargo bench -- <filter>` convention.
+fn filter_arg() -> Option<&'static str> {
+    static FILTER: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+fn full_name(group: &str, id: &str) -> String {
+    if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    samples.sort_unstable();
+    let (min, med, max) = (
+        samples.first().copied().unwrap_or_default(),
+        samples.get(samples.len() / 2).copied().unwrap_or_default(),
+        samples.last().copied().unwrap_or_default(),
+    );
+    let name = full_name(group, id);
+    println!(
+        "{name:<40} time: [{min:>10.3?} {med:>10.3?} {max:>10.3?}]  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Shared group/benchmark settings.
+#[derive(Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Throughput annotation — accepted and ignored by the shim's reporter.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named set of related benchmarks — `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Record the per-iteration throughput (ignored by the shim's reporter).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_benchmark_id();
+        if let Some(filter) = filter_arg() {
+            if !full_name(&self.name, &id).contains(filter) {
+                return self;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            warm_up_time: self.settings.warm_up_time,
+            measurement_time: self.settings.measurement_time,
+            sample_size: self.settings.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &id, &mut samples);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point — `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let settings = self.settings.clone();
+        let mut group = BenchmarkGroup {
+            _criterion: self,
+            name: String::new(),
+            settings,
+        };
+        group.bench_function(id, f);
+        self
+    }
+
+    /// Hook for CLI-argument handling; the shim accepts and ignores them
+    /// (so `cargo bench -- <filter>` does not error out).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final summary hook; a no-op in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundle benchmark functions into a group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(runs > 5, "routine should have run at least once per sample");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).into_benchmark_id(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).into_benchmark_id(), "8");
+    }
+}

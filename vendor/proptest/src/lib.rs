@@ -1,0 +1,250 @@
+//! Offline shim for `proptest`: enough of the strategy combinators and the
+//! [`proptest!`] macro to run the workspace's property tests as plain
+//! randomised tests.
+//!
+//! Differences from the real crate, in decreasing order of importance:
+//!
+//! * **no shrinking** — a failing case is reported with its generated inputs
+//!   (via the panic message of the failing `prop_assert!`) but not minimised;
+//! * seeds are derived deterministically from the test name, so runs are
+//!   reproducible but there is no failure persistence file;
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of returning
+//!   `TestCaseError`.
+
+use std::ops::Range;
+
+pub use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration: the `with_cases` subset of `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Derive a deterministic per-test seed from the test's name (FNV-1a).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A recipe for generating random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value the strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy; see [`any`].
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen_range(0u32..2) == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty => $max:expr),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen_range(0..$max)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u16 => u16::MAX, u32 => u32::MAX, u64 => u64::MAX, usize => usize::MAX);
+
+/// Strategy producing arbitrary values of `A` — `proptest::arbitrary::any`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The strategy type returned by [`any`].
+pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut StdRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies — `proptest::collection`.
+pub mod collection {
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy type returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Assert a condition inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` body is run
+/// [`ProptestConfig::cases`] times against freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategies = ($($strategy,)*);
+            let mut rng = <$crate::StdRng as $crate::prelude::SeedableRng>::seed_from_u64(
+                $crate::seed_for(stringify!($name)),
+            );
+            for case in 0..config.cases {
+                #[allow(non_snake_case, unused_variables, unused_parens)]
+                let ($($arg,)*) = $crate::Strategy::generate(&strategies, &mut rng);
+                let inputs = format!("{:?}", ($(&$arg),*));
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest shim: case {case}/{} of `{}` failed with inputs {inputs}",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+    pub use rand::SeedableRng;
+
+    /// Alias of the crate root, so `prop::collection::vec(...)` resolves.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_respect_ranges(
+            xs in prop::collection::vec((any::<bool>(), 0u32..8, 0u16..2), 1..60),
+            n in 2usize..7,
+        ) {
+            prop_assert!((1..60).contains(&xs.len()));
+            prop_assert!((2..7).contains(&n));
+            for (_, a, b) in xs {
+                prop_assert!(a < 8);
+                prop_assert!(b < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name_and_are_stable() {
+        assert_eq!(crate::seed_for("foo"), crate::seed_for("foo"));
+        assert_ne!(crate::seed_for("foo"), crate::seed_for("bar"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline shim for `rayon` (the subset the Mnemonic engine uses).
+//!
+//! [`ThreadPool`] carries a *degree of parallelism*, not a set of persistent
+//! worker threads: [`ThreadPool::install`] publishes that degree in a
+//! thread-local, and slice [`prelude::IntoParallelRefIterator::par_iter`] +
+//! `for_each` split the slice into per-thread chunks executed on
+//! `std::thread::scope` threads. This keeps the engine's `Send`/`Sync`
+//! obligations identical to real rayon (closures really do cross threads)
+//! while staying dependency-free; there is no work stealing, so very skewed
+//! work units balance worse than under real rayon.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Degree of parallelism installed by the innermost `ThreadPool::install`.
+    static CURRENT_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_width() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The degree of parallelism in effect on the calling thread.
+pub fn current_num_threads() -> usize {
+    let width = CURRENT_WIDTH.with(|w| w.get());
+    if width == 0 {
+        default_width()
+    } else {
+        width
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; the shim never fails.
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Debug for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ThreadPoolBuildError")
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count; `0` means one worker per logical CPU.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim spawns anonymous scoped
+    /// threads, so the name function is dropped.
+    pub fn thread_name<F>(self, _name: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Finish the build. Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            default_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A degree-of-parallelism token mirroring `rayon::ThreadPool`.
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Number of workers parallel operations inside this pool will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    /// Run `f` with this pool's parallelism installed on the calling thread.
+    /// The previous width is restored even if `f` panics, so a caught panic
+    /// (e.g. under `catch_unwind` in a test harness) cannot leak this pool's
+    /// width into unrelated work on the same thread.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_WIDTH.with(|w| w.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT_WIDTH.with(|w| w.replace(self.width)));
+        f()
+    }
+}
+
+/// Parallel iteration traits and adapters.
+pub mod iter {
+    /// A pending parallel iteration over the elements of a slice.
+    pub struct SlicePar<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> SlicePar<'a, T> {
+        /// Apply `op` to every element, splitting the slice into one
+        /// contiguous chunk per available worker.
+        pub fn for_each<F>(self, op: F)
+        where
+            F: Fn(&'a T) + Sync + Send,
+        {
+            let width = super::current_num_threads().clamp(1, self.slice.len().max(1));
+            if width <= 1 || self.slice.len() <= 1 {
+                self.slice.iter().for_each(op);
+                return;
+            }
+            let chunk = self.slice.len().div_ceil(width);
+            std::thread::scope(|scope| {
+                for part in self.slice.chunks(chunk) {
+                    let op = &op;
+                    scope.spawn(move || part.iter().for_each(op));
+                }
+            });
+        }
+
+        /// Sum the elements. Sequential: the workspace only folds tiny
+        /// ranges, and `Sum` gives no parallel-friendly identity.
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<&'a T>,
+        {
+            self.slice.iter().sum()
+        }
+    }
+
+    /// `.par_iter()` on borrowed collections (slices, `Vec`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type yielded by the iteration.
+        type Item: 'a;
+        /// Borrowing parallel iterator over the collection.
+        fn par_iter(&'a self) -> SlicePar<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> SlicePar<'a, T> {
+            SlicePar { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> SlicePar<'a, T> {
+            SlicePar { slice: self }
+        }
+    }
+
+    /// A pending parallel iteration over an integer range.
+    pub struct RangePar<I> {
+        range: std::ops::Range<I>,
+    }
+
+    impl<I> RangePar<I>
+    where
+        std::ops::Range<I>: Iterator<Item = I>,
+    {
+        /// Sum the range. Sequential; see [`SlicePar::sum`].
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<I>,
+        {
+            self.range.sum()
+        }
+
+        /// Apply `op` to every element of the range.
+        pub fn for_each<F>(self, op: F)
+        where
+            F: Fn(I) + Sync + Send,
+        {
+            self.range.for_each(op);
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// Element type yielded by the iteration.
+        type Item;
+        /// The pending parallel iterator type.
+        type Iter;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I> IntoParallelIterator for std::ops::Range<I>
+    where
+        std::ops::Range<I>: Iterator<Item = I>,
+    {
+        type Item = I;
+        type Iter = RangePar<I>;
+        fn into_par_iter(self) -> RangePar<I> {
+            RangePar { range: self }
+        }
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn install_scopes_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), default_width());
+    }
+
+    #[test]
+    fn for_each_visits_every_element_once() {
+        let data: Vec<usize> = (0..1000).collect();
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            data.par_iter().for_each(|&i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_actually_crosses_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let data: Vec<usize> = (0..64).collect();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            data.par_iter().for_each(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected work on multiple threads"
+        );
+    }
+
+    #[test]
+    fn install_restores_width_after_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"));
+        }));
+        assert_eq!(
+            current_num_threads(),
+            default_width(),
+            "pool width must not leak past a caught panic"
+        );
+    }
+
+    #[test]
+    fn range_sum_matches_sequential() {
+        let s: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+    }
+}

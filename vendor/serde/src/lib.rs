@@ -1,0 +1,16 @@
+//! Offline shim for `serde` with the `derive` feature.
+//!
+//! Exposes the two trait names and the matching derive macros so that
+//! `use serde::{Serialize, Deserialize};` plus `#[derive(Serialize,
+//! Deserialize)]` compile unchanged. The traits are deliberately empty: no
+//! code in this workspace serialises anything yet, and the no-op derives
+//! (see [`serde_derive`]) implement nothing. Replace with crates.io `serde`
+//! for real (de)serialisation.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

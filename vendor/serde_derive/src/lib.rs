@@ -1,0 +1,21 @@
+//! Offline shim for the `serde_derive` proc-macro crate.
+//!
+//! The derives expand to nothing: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations and
+//! never requires a `T: Serialize` bound, so empty expansions keep every
+//! annotated type compiling without pulling in the real serde machinery.
+//! Swap this crate for crates.io `serde_derive` to get real impls.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
