@@ -28,6 +28,11 @@ step cargo test -q --workspace
 
 if [ "$quick" != "quick" ]; then
     step cargo bench --workspace --no-run
+    # Skew-balancing smoke check: on a skewed enumeration workload the
+    # work-stealing pool must not regress wall-clock vs the legacy static
+    # chunking policy and must balance the load >= 1.3x better (projected
+    # makespan on 4 cores; see crates/bench/src/bin/skew_smoke.rs).
+    step cargo run --release -q -p mnemonic-bench --bin skew_smoke
 fi
 
 step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -1,0 +1,53 @@
+//! Throughput of the engine's batched update path ([`Mnemonic::push_event`])
+//! across delta-batch sizes: per-edge flushing pays the full frontier +
+//! filtering pipeline per event, larger batches amortise it (Figure 12's
+//! batching lever, exercised through the engine-level knob instead of the
+//! snapshot generator).
+//!
+//! [`Mnemonic::push_event`]: mnemonic_core::engine::Mnemonic::push_event
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemonic_bench::workloads::{scaled_netflow, WorkloadScale};
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::embedding::CountingSink;
+use mnemonic_core::engine::{EngineConfig, Mnemonic};
+use mnemonic_core::variants::Isomorphism;
+use mnemonic_query::patterns;
+
+fn batch_size(c: &mut Criterion) {
+    let scale = WorkloadScale::tiny();
+    let events = scaled_netflow(&scale);
+    let query = patterns::triangle();
+
+    let mut group = c.benchmark_group("engine_batch_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for batch in [1usize, 64, 1_024] {
+        group.bench_function(format!("push_event_batch_{batch}"), |b| {
+            b.iter(|| {
+                // Engine construction is the only non-update work inside the
+                // timed closure (a few µs against thousands of pushed
+                // events); the whole stream goes through the update path
+                // under measurement so the batch-size deltas reflect it.
+                let mut engine = Mnemonic::new(
+                    query.clone(),
+                    Box::new(LabelEdgeMatcher),
+                    Box::new(Isomorphism),
+                    EngineConfig {
+                        num_threads: 1,
+                        parallel: false,
+                        ..EngineConfig::with_batch_size(batch)
+                    },
+                );
+                let sink = CountingSink::new();
+                engine.run_events(events.iter().copied(), &sink);
+                sink.positive()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_size);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Enumeration throughput on a hub-skewed batch: the work-stealing pool's
+//! dynamic feeding vs the legacy static chunk-per-thread split, at 1 and 4
+//! threads. On a multi-core box the `stealing/4t` row is where the ≥ 1.3×
+//! gap over `chunked/4t` shows up as wall-clock; on a single core the two
+//! coincide and the balance gap is tracked by `skew_smoke` instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemonic_bench::skew::{Policy, SkewConfig, SkewFixture};
+
+fn skewed_enumeration(c: &mut Criterion) {
+    let fixture = SkewFixture::build(SkewConfig { spokes: 96 });
+    let units = fixture.work_units();
+    let weights = fixture.unit_weights(&units);
+
+    let mut group = c.benchmark_group("skewed_enumeration");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, width, policy) in [
+        ("stealing_1t", 1, Policy::WorkStealing),
+        ("stealing_4t", 4, Policy::WorkStealing),
+        ("chunked_4t", 4, Policy::StaticChunking),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| fixture.enumerate_parallel(&units, &weights, width, policy));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, skewed_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,858 @@
+//! The evaluation experiments (Section VII): every table and figure of the
+//! paper, re-run on the scaled-down synthetic workloads.
+//!
+//! [`Figures`] bundles the workload scale with an output directory; each
+//! experiment prints its series/rows and writes a CSV into that directory.
+//! The `figures` binary is a thin CLI over this module, and the
+//! `tests/figures.rs` regression harness runs the same experiments
+//! in-process against a temporary directory and validates the CSV output.
+
+use crate::runners::{run_ceci_snapshots, run_mnemonic_stream, run_turboflux_stream, Variant};
+use crate::workloads::{paper_queries, scaled_lanl, scaled_lsbench, scaled_netflow, WorkloadScale};
+use mnemonic_baselines::bigjoin::BigJoinLike;
+use mnemonic_baselines::matchstore::MatchStoreTree;
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::embedding::CountingSink;
+use mnemonic_core::engine::{EngineConfig, Mnemonic};
+use mnemonic_core::variants::{DualSimulation, Isomorphism};
+use mnemonic_datagen::SECONDS_PER_DAY;
+use mnemonic_graph::edge::EdgeTriple;
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_graph::spill::SpillConfig;
+use mnemonic_query::patterns;
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_stream::config::StreamConfig;
+use mnemonic_stream::event::StreamEvent;
+use mnemonic_stream::generator::SnapshotGenerator;
+use mnemonic_stream::source::VecSource;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 4_096;
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// The names of every experiment [`Figures::run`] understands.
+pub const EXPERIMENTS: [&str; 14] = [
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "table2", "table3",
+];
+
+/// One configured evaluation run: a workload scale plus the directory the
+/// CSVs go to.
+pub struct Figures {
+    /// Workload scale shared by all experiments.
+    pub scale: WorkloadScale,
+    /// Directory receiving the CSV outputs (created on demand).
+    pub out_dir: PathBuf,
+}
+
+impl Figures {
+    /// An evaluation run writing into `out_dir`.
+    pub fn new(scale: WorkloadScale, out_dir: impl Into<PathBuf>) -> Self {
+        Figures {
+            scale,
+            out_dir: out_dir.into(),
+        }
+    }
+
+    /// Run one experiment by name (`"fig6"` … `"table3"`, or `"all"`).
+    /// Returns `false` for an unknown name.
+    pub fn run(&self, which: &str) -> bool {
+        match which {
+            "fig6" => self.fig6(),
+            "fig7" => self.fig7(),
+            "fig8" => self.fig8(),
+            "fig9" => self.fig9(),
+            "fig10" => self.fig10(),
+            "fig11" => self.fig11(),
+            "fig12" => self.fig12(),
+            "fig13" => self.fig13(),
+            "fig14" => self.fig14(),
+            "fig15" => self.fig15(),
+            "fig16" => self.fig16(),
+            "fig17" => self.fig17(),
+            "table2" => self.table2(),
+            "table3" => self.table3(),
+            "all" => {
+                for name in EXPERIMENTS {
+                    self.run(name);
+                }
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Path of the CSV a given experiment writes (the canonical output name).
+    pub fn csv_path(&self, file_name: &str) -> PathBuf {
+        self.out_dir.join(file_name)
+    }
+
+    fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        let _ = fs::create_dir_all(&self.out_dir);
+        let path = self.out_dir.join(name);
+        let mut f = fs::File::create(&path).expect("create results csv");
+        writeln!(f, "{header}").unwrap();
+        for row in rows {
+            writeln!(f, "{row}").unwrap();
+        }
+        println!("  -> wrote {}", path.display());
+    }
+
+    /// Average Mnemonic vs TurboFlux runtime per query class on a stream; the
+    /// shared shape of Figures 6, 9 and 14.
+    fn compare_per_class(
+        &self,
+        name: &str,
+        events: &[StreamEvent],
+        delta_len: usize,
+        variant: Variant,
+    ) {
+        let scale = &self.scale;
+        let split = events.len().saturating_sub(delta_len);
+        let (bootstrap, delta) = events.split_at(split);
+        let classes = paper_queries(events, scale, false);
+        println!(
+            "== {name}: {} bootstrap + {} streamed events ==",
+            split,
+            delta.len()
+        );
+        println!(
+            "{:<8} {:>14} {:>14} {:>9}",
+            "query", "turboflux(s)", "mnemonic(s)", "speedup"
+        );
+        let mut rows = Vec::new();
+        for (class, queries) in &classes {
+            let mut tf_total = 0.0;
+            let mut mn_total = 0.0;
+            for q in queries {
+                let (tf_time, _, _) = run_turboflux_stream(q, bootstrap, delta);
+                let run = run_mnemonic_stream(
+                    q,
+                    bootstrap,
+                    delta.to_vec(),
+                    StreamConfig::batches(BATCH),
+                    variant,
+                    0,
+                    true,
+                    true,
+                );
+                tf_total += secs(tf_time);
+                mn_total += secs(run.elapsed);
+            }
+            let n = queries.len() as f64;
+            let (tf_avg, mn_avg) = (tf_total / n, mn_total / n);
+            let speedup = if mn_avg > 0.0 { tf_avg / mn_avg } else { 0.0 };
+            println!("{class:<8} {tf_avg:>14.4} {mn_avg:>14.4} {speedup:>8.2}x");
+            rows.push(format!("{class},{tf_avg:.6},{mn_avg:.6},{speedup:.3}"));
+        }
+        self.write_csv(
+            &format!("{}.csv", name.replace(' ', "_").to_lowercase()),
+            "query_class,turboflux_s,mnemonic_s,speedup",
+            &rows,
+        );
+    }
+
+    /// Figure 6: Mnemonic vs TurboFlux on the NetFlow-like insert-only stream
+    /// for three stream (delta) sizes.
+    pub fn fig6(&self) {
+        let events = scaled_netflow(&self.scale);
+        // The paper streams 0.2M / 2M / 10M of the 18.5M edges; we stream the
+        // same ~1% / 10% / 50% fractions of the scaled dataset.
+        for (tag, frac) in [("a_small", 0.01), ("b_medium", 0.1), ("c_large", 0.5)] {
+            let delta = ((events.len() as f64) * frac) as usize;
+            self.compare_per_class(
+                &format!("fig6{tag} netflow"),
+                &events,
+                delta.max(500),
+                Variant::Isomorphism,
+            );
+        }
+    }
+
+    /// Figure 7: effective worker utilisation over the run, Mnemonic vs the
+    /// sequential TurboFlux-style baseline, on one mid-size query.
+    pub fn fig7(&self) {
+        let scale = &self.scale;
+        let events = scaled_netflow(scale);
+        let classes = paper_queries(&events, scale, false);
+        let query = classes
+            .iter()
+            .find(|(name, _)| name == "T_9")
+            .or_else(|| classes.last())
+            .map(|(_, qs)| qs[0].clone())
+            .expect("query workload");
+        let split = events.len() / 2;
+        let (bootstrap, delta) = events.split_at(split);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+
+        let segments = 10usize;
+        let seg_len = (delta.len() / segments).max(1);
+        println!(
+            "== fig7: per-segment effective core utilisation (T_9-like query, {threads} cores) =="
+        );
+        println!("{:>9} {:>14} {:>14}", "progress", "mnemonic", "turboflux");
+        let mut rows = Vec::new();
+        for i in 0..segments {
+            let lo = i * seg_len;
+            let hi = ((i + 1) * seg_len).min(delta.len());
+            if lo >= hi {
+                break;
+            }
+            let seg = &delta[lo..hi];
+            let boot: Vec<StreamEvent> = bootstrap.iter().chain(&delta[..lo]).copied().collect();
+            let seq = run_mnemonic_stream(
+                &query,
+                &boot,
+                seg.to_vec(),
+                StreamConfig::batches(BATCH),
+                Variant::Isomorphism,
+                1,
+                false,
+                true,
+            );
+            let par = run_mnemonic_stream(
+                &query,
+                &boot,
+                seg.to_vec(),
+                StreamConfig::batches(BATCH),
+                Variant::Isomorphism,
+                threads,
+                true,
+                true,
+            );
+            let (tf_time, _, _) = run_turboflux_stream(&query, &boot, seg);
+            // Utilisation estimate: fraction of the N-core budget actually
+            // used, i.e. speedup over the single-thread run divided by the
+            // core count. TurboFlux is single-threaded, so it can use at most
+            // 1/N.
+            let mn_util =
+                (secs(seq.elapsed) / secs(par.elapsed).max(1e-9) / threads as f64).min(1.0);
+            let tf_util = (secs(seq.elapsed) / secs(tf_time).max(1e-9) / threads as f64).min(1.0);
+            println!(
+                "{:>8}% {:>13.1}% {:>13.1}%",
+                (i + 1) * 10,
+                mn_util * 100.0,
+                tf_util * 100.0
+            );
+            rows.push(format!("{},{:.4},{:.4}", (i + 1) * 10, mn_util, tf_util));
+        }
+        self.write_csv(
+            "fig7_cpu_utilisation.csv",
+            "progress_pct,mnemonic_util,turboflux_util",
+            &rows,
+        );
+    }
+
+    /// Figure 8: edges traversed per update for batch sizes 1 / 16 / 16K.
+    pub fn fig8(&self) {
+        let scale = &self.scale;
+        let events = scaled_netflow(scale);
+        let classes = paper_queries(&events, scale, false);
+        let split = events.len() / 2;
+        let (bootstrap, delta) = events.split_at(split);
+        let delta: Vec<StreamEvent> = delta.iter().take(4_000).copied().collect();
+        println!("== fig8: traversals per edge update vs batch size ==");
+        println!(
+            "{:<8} {:>12} {:>12} {:>12}",
+            "query", "batch=1", "batch=16", "batch=16K"
+        );
+        let mut rows = Vec::new();
+        for (class, queries) in &classes {
+            let q = &queries[0];
+            let mut per_batch = Vec::new();
+            for batch in [1usize, 16, 16 * 1024] {
+                let run = run_mnemonic_stream(
+                    q,
+                    bootstrap,
+                    delta.clone(),
+                    StreamConfig::batches(batch),
+                    Variant::Isomorphism,
+                    1,
+                    false,
+                    true,
+                );
+                per_batch.push(run.counters.traversals_per_update());
+            }
+            println!(
+                "{:<8} {:>12.1} {:>12.1} {:>12.1}",
+                class, per_batch[0], per_batch[1], per_batch[2]
+            );
+            rows.push(format!(
+                "{class},{:.2},{:.2},{:.2}",
+                per_batch[0], per_batch[1], per_batch[2]
+            ));
+        }
+        self.write_csv(
+            "fig8_traversals_per_update.csv",
+            "query_class,batch_1,batch_16,batch_16k",
+            &rows,
+        );
+    }
+
+    /// Table II: small fixed queries — BigJoin vs TurboFlux vs Mnemonic.
+    pub fn table2(&self) {
+        let events = scaled_netflow(&self.scale);
+        let split = events.len() * 9 / 10;
+        let (bootstrap, delta) = events.split_at(split);
+        let queries: Vec<(&str, QueryGraph)> = vec![
+            ("triangle", patterns::triangle()),
+            ("4-clique", patterns::clique(4)),
+            ("5-clique", patterns::clique(5)),
+            ("rectangle", patterns::rectangle()),
+            ("dual-triangle", patterns::dual_triangle()),
+        ];
+        println!("== table2: fixed queries on NetFlow-like stream (seconds) ==");
+        println!(
+            "{:<14} {:>12} {:>12} {:>12}",
+            "query", "bigjoin", "turboflux", "mnemonic"
+        );
+        let mut rows = Vec::new();
+        for (name, query) in &queries {
+            // BigJoin evaluates the query as a from-scratch multi-way join
+            // over the final graph (its natural mode).
+            let mut graph = StreamingGraph::new();
+            for e in bootstrap.iter().chain(delta.iter()) {
+                if e.is_insert() {
+                    graph.insert_edge(EdgeTriple::with_timestamp(
+                        e.src,
+                        e.dst,
+                        e.label,
+                        e.timestamp,
+                    ));
+                }
+            }
+            let bj_start = Instant::now();
+            let _ = BigJoinLike::count(&graph, query);
+            let bj = secs(bj_start.elapsed());
+            let (tf_time, _, _) = run_turboflux_stream(query, bootstrap, delta);
+            let run = run_mnemonic_stream(
+                query,
+                bootstrap,
+                delta.to_vec(),
+                StreamConfig::batches(BATCH),
+                Variant::Homomorphism,
+                0,
+                true,
+                true,
+            );
+            println!(
+                "{:<14} {:>12.4} {:>12.4} {:>12.4}",
+                name,
+                bj,
+                secs(tf_time),
+                secs(run.elapsed)
+            );
+            rows.push(format!(
+                "{name},{bj:.6},{:.6},{:.6}",
+                secs(tf_time),
+                secs(run.elapsed)
+            ));
+        }
+        self.write_csv(
+            "table2_fixed_queries.csv",
+            "query,bigjoin_s,turboflux_s,mnemonic_s",
+            &rows,
+        );
+    }
+
+    /// Figure 9: insertion+deletion stream (LSBench-like), Mnemonic vs
+    /// TurboFlux.
+    pub fn fig9(&self) {
+        let events = scaled_lsbench(&self.scale);
+        let delta_len = events.len() / 5;
+        self.compare_per_class("fig9 lsbench", &events, delta_len, Variant::Isomorphism);
+    }
+
+    /// Figure 10: sliding-window isomorphism on the LANL-like stream.
+    pub fn fig10(&self) {
+        let scale = &self.scale;
+        let events = scaled_lanl(scale);
+        let classes = paper_queries(&events, scale, false);
+        println!("== fig10: sliding-window isomorphism on LANL-like (24h window, 10min stride) ==");
+        println!(
+            "{:<8} {:>14} {:>12} {:>12}",
+            "query", "runtime(s)", "positive", "negative"
+        );
+        let mut rows = Vec::new();
+        for (class, queries) in &classes {
+            let mut total = 0.0;
+            let mut pos = 0u64;
+            let mut neg = 0u64;
+            for q in queries {
+                let run = run_mnemonic_stream(
+                    q,
+                    &[],
+                    events.clone(),
+                    StreamConfig::sliding_window(SECONDS_PER_DAY, 600),
+                    Variant::Isomorphism,
+                    0,
+                    true,
+                    true,
+                );
+                total += secs(run.elapsed);
+                pos += run.positive;
+                neg += run.negative;
+            }
+            let avg = total / queries.len() as f64;
+            println!("{class:<8} {avg:>14.4} {pos:>12} {neg:>12}");
+            rows.push(format!("{class},{avg:.6},{pos},{neg}"));
+        }
+        self.write_csv(
+            "fig10_sliding_window.csv",
+            "query_class,avg_runtime_s,positive,negative",
+            &rows,
+        );
+    }
+
+    /// Figure 11: incremental Mnemonic vs CECI recomputation per snapshot.
+    pub fn fig11(&self) {
+        let scale = &self.scale;
+        let events = scaled_lanl(scale);
+        let classes = paper_queries(&events, scale, false);
+        let split = events.len() / 2;
+        let (bootstrap, delta) = events.split_at(split);
+        let snapshot_size = (delta.len() / 16).max(100);
+        println!("== fig11: per-snapshot runtime, CECI recompute vs Mnemonic incremental ==");
+        println!(
+            "{:<8} {:>12} {:>14} {:>9}",
+            "query", "ceci(s)", "mnemonic(s)", "speedup"
+        );
+        let mut rows = Vec::new();
+        for (class, queries) in &classes {
+            let q = &queries[0];
+            let (_, ceci_avg, snapshots) = run_ceci_snapshots(q, bootstrap, delta, snapshot_size);
+            let run = run_mnemonic_stream(
+                q,
+                bootstrap,
+                delta.to_vec(),
+                StreamConfig::batches(snapshot_size),
+                Variant::Isomorphism,
+                0,
+                true,
+                true,
+            );
+            let mn_avg = secs(run.elapsed) / snapshots.max(1) as f64;
+            let speedup = if mn_avg > 0.0 {
+                secs(ceci_avg) / mn_avg
+            } else {
+                0.0
+            };
+            println!(
+                "{class:<8} {:>12.4} {mn_avg:>14.4} {speedup:>8.2}x",
+                secs(ceci_avg)
+            );
+            rows.push(format!(
+                "{class},{:.6},{mn_avg:.6},{speedup:.3}",
+                secs(ceci_avg)
+            ));
+        }
+        self.write_csv(
+            "fig11_vs_ceci.csv",
+            "query_class,ceci_per_snapshot_s,mnemonic_per_snapshot_s,speedup",
+            &rows,
+        );
+    }
+
+    /// Figure 12: speedup over batch size (single thread).
+    pub fn fig12(&self) {
+        let scale = &self.scale;
+        let events = scaled_netflow(scale);
+        let classes = paper_queries(&events, scale, false);
+        let split = events.len() / 2;
+        let (bootstrap, delta) = events.split_at(split);
+        let delta: Vec<StreamEvent> = delta.iter().take(8_000).copied().collect();
+        let batch_sizes = [32usize, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+        println!("== fig12: single-thread speedup over batch size (vs batch=1) ==");
+        let mut rows = Vec::new();
+        for class_name in ["T_6", "G_6"] {
+            let Some((_, queries)) = classes.iter().find(|(n, _)| n == class_name) else {
+                continue;
+            };
+            let q = &queries[0];
+            let base = run_mnemonic_stream(
+                q,
+                bootstrap,
+                delta.clone(),
+                StreamConfig::batches(1),
+                Variant::Isomorphism,
+                1,
+                false,
+                true,
+            );
+            print!("{class_name:<5}");
+            let mut cols = Vec::new();
+            for &batch in &batch_sizes {
+                let run = run_mnemonic_stream(
+                    q,
+                    bootstrap,
+                    delta.clone(),
+                    StreamConfig::batches(batch),
+                    Variant::Isomorphism,
+                    1,
+                    false,
+                    true,
+                );
+                let speedup = secs(base.elapsed) / secs(run.elapsed).max(1e-9);
+                print!(" {batch}:{speedup:.2}x");
+                cols.push(format!("{speedup:.3}"));
+            }
+            println!();
+            rows.push(format!("{class_name},{}", cols.join(",")));
+        }
+        let header = format!(
+            "query_class,{}",
+            batch_sizes
+                .iter()
+                .map(|b| format!("batch_{b}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        self.write_csv("fig12_batch_scalability.csv", &header, &rows);
+    }
+
+    /// Figure 13: speedup over thread count (batch = 16K).
+    pub fn fig13(&self) {
+        let scale = &self.scale;
+        let events = scaled_netflow(scale);
+        let classes = paper_queries(&events, scale, false);
+        let split = events.len() / 2;
+        let (bootstrap, delta) = events.split_at(split);
+        let max_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8);
+        let mut thread_counts = vec![1usize, 2, 4, 8, 16, 32];
+        thread_counts.retain(|&t| t <= max_threads.max(1));
+        println!("== fig13: speedup over thread count (batch = 16K) ==");
+        let mut rows = Vec::new();
+        for class_name in ["T_6", "G_6"] {
+            let Some((_, queries)) = classes.iter().find(|(n, _)| n == class_name) else {
+                continue;
+            };
+            let q = &queries[0];
+            let base = run_mnemonic_stream(
+                q,
+                bootstrap,
+                delta.to_vec(),
+                StreamConfig::batches(16 * 1024),
+                Variant::Isomorphism,
+                1,
+                false,
+                true,
+            );
+            print!("{class_name:<5}");
+            let mut cols = Vec::new();
+            for &threads in &thread_counts {
+                let run = run_mnemonic_stream(
+                    q,
+                    bootstrap,
+                    delta.to_vec(),
+                    StreamConfig::batches(16 * 1024),
+                    Variant::Isomorphism,
+                    threads,
+                    true,
+                    true,
+                );
+                let speedup = secs(base.elapsed) / secs(run.elapsed).max(1e-9);
+                print!(" {threads}t:{speedup:.2}x");
+                cols.push(format!("{speedup:.3}"));
+            }
+            println!();
+            rows.push(format!("{class_name},{}", cols.join(",")));
+        }
+        let header = format!(
+            "query_class,{}",
+            thread_counts
+                .iter()
+                .map(|t| format!("threads_{t}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        self.write_csv("fig13_thread_scalability.csv", &header, &rows);
+    }
+
+    /// Figure 14: homomorphic enumeration, Mnemonic vs TurboFlux.
+    pub fn fig14(&self) {
+        let events = scaled_netflow(&self.scale);
+        let delta_len = events.len() / 10;
+        self.compare_per_class(
+            "fig14 homomorphism",
+            &events,
+            delta_len,
+            Variant::Homomorphism,
+        );
+    }
+
+    /// Figure 15: dual simulation on the LANL-like sliding window.
+    pub fn fig15(&self) {
+        let scale = &self.scale;
+        let events = scaled_lanl(scale);
+        let classes = paper_queries(&events, scale, false);
+        println!("== fig15: dual simulation per window snapshot on LANL-like ==");
+        println!(
+            "{:<8} {:>14} {:>14}",
+            "query", "runtime(s)", "relation size"
+        );
+        let mut rows = Vec::new();
+        for (class, queries) in &classes {
+            let q = &queries[0];
+            let mut graph = StreamingGraph::new();
+            let mut generator = SnapshotGenerator::new(
+                VecSource::new(events.clone()),
+                StreamConfig::sliding_window(SECONDS_PER_DAY, 3_600),
+            );
+            let start = Instant::now();
+            let mut relation_size = 0usize;
+            while let Some(snapshot) = generator.next_snapshot() {
+                for e in &snapshot.insertions {
+                    graph.insert_edge(EdgeTriple::with_timestamp(
+                        e.src,
+                        e.dst,
+                        e.label,
+                        e.timestamp,
+                    ));
+                }
+                if let Some(cutoff) = snapshot.evict_before {
+                    for id in graph.edges_older_than(cutoff) {
+                        let _ = graph.delete_edge(id);
+                    }
+                }
+                let relation = DualSimulation.compute(&graph, q);
+                relation_size = relation.size();
+            }
+            let elapsed = secs(start.elapsed());
+            println!("{class:<8} {elapsed:>14.4} {relation_size:>14}");
+            rows.push(format!("{class},{elapsed:.6},{relation_size}"));
+        }
+        self.write_csv(
+            "fig15_dual_simulation.csv",
+            "query_class,runtime_s,final_relation_size",
+            &rows,
+        );
+    }
+
+    /// Figure 16: time-constrained isomorphism, Mnemonic vs the match-store
+    /// tree.
+    pub fn fig16(&self) {
+        let scale = &self.scale;
+        let events = scaled_lanl(scale);
+        let classes = paper_queries(&events, scale, true);
+        println!("== fig16: time-constrained isomorphism, Mnemonic vs match-store tree ==");
+        println!(
+            "{:<8} {:>14} {:>14} {:>9}",
+            "query", "matchstore(s)", "mnemonic(s)", "speedup"
+        );
+        let mut rows = Vec::new();
+        for (class, queries) in &classes {
+            let q = &queries[0];
+            let start = Instant::now();
+            let mut store = MatchStoreTree::new(q.clone());
+            let mut graph = StreamingGraph::new();
+            for e in &events {
+                if e.is_insert() {
+                    let id = graph.insert_edge(EdgeTriple::with_timestamp(
+                        e.src,
+                        e.dst,
+                        e.label,
+                        e.timestamp,
+                    ));
+                    store.insert_edge(e, id);
+                }
+            }
+            let ms_time = secs(start.elapsed());
+
+            let run = run_mnemonic_stream(
+                q,
+                &[],
+                events.clone(),
+                StreamConfig::batches(BATCH),
+                Variant::Temporal,
+                0,
+                true,
+                true,
+            );
+            let mn = secs(run.elapsed);
+            let speedup = if mn > 0.0 { ms_time / mn } else { 0.0 };
+            println!("{class:<8} {ms_time:>14.4} {mn:>14.4} {speedup:>8.2}x");
+            rows.push(format!("{class},{ms_time:.6},{mn:.6},{speedup:.3}"));
+        }
+        self.write_csv(
+            "fig16_temporal.csv",
+            "query_class,matchstore_s,mnemonic_s,speedup",
+            &rows,
+        );
+    }
+
+    /// Figure 17: edge placeholders with vs without memory reclaiming across
+    /// window snapshots.
+    pub fn fig17(&self) {
+        let events = scaled_lanl(&self.scale);
+        println!(
+            "== fig17: edge placeholders with vs without reclaiming (24h window, 10min stride) =="
+        );
+        let query = patterns::path(3);
+        let mut rows = Vec::new();
+        for recycle in [true, false] {
+            let mut engine = Mnemonic::new(
+                query.clone(),
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+                EngineConfig {
+                    recycle_edge_ids: recycle,
+                    ..EngineConfig::default()
+                },
+            );
+            let sink = CountingSink::new();
+            let mut generator = SnapshotGenerator::new(
+                VecSource::new(events.clone()),
+                StreamConfig::sliding_window(SECONDS_PER_DAY, 600),
+            );
+            let mut samples = Vec::new();
+            let mut snapshot_no = 0u64;
+            while let Some(snapshot) = generator.next_snapshot() {
+                engine.apply_snapshot(&snapshot, &sink);
+                snapshot_no += 1;
+                if snapshot_no % 10 == 0 {
+                    samples.push((snapshot_no, engine.graph().stats()));
+                }
+            }
+            let label = if recycle {
+                "with reclaiming"
+            } else {
+                "without reclaiming"
+            };
+            let last = samples
+                .last()
+                .map(|(_, s)| s.edge_placeholders)
+                .unwrap_or(0);
+            let live = samples.last().map(|(_, s)| s.live_edges).unwrap_or(0);
+            println!("  {label:<22}: final placeholders {last:>10}, live edges {live:>10}");
+            for (snap, stats) in &samples {
+                rows.push(format!(
+                    "{},{snap},{},{}",
+                    if recycle {
+                        "reclaiming"
+                    } else {
+                        "no_reclaiming"
+                    },
+                    stats.edge_placeholders,
+                    stats.live_edges
+                ));
+            }
+        }
+        self.write_csv(
+            "fig17_memory_reclaiming.csv",
+            "mode,snapshot,placeholders,live_edges",
+            &rows,
+        );
+    }
+
+    /// Table III: storage / runtime trade-off of the disk-backed DEBI tier.
+    pub fn table3(&self) {
+        let scale = &self.scale;
+        let events = scaled_lanl(scale);
+        let classes = paper_queries(&events, scale, false);
+        println!("== table3: storage-runtime trade-off for the disk-backed DEBI ==");
+        println!(
+            "{:<8} {:>12} {:>12} {:>12}",
+            "query", "memory(MB)", "disk(MB)", "overhead(%)"
+        );
+        let mut rows = Vec::new();
+        for (class, queries) in &classes {
+            let q = &queries[0];
+            let run_config = |spill: Option<SpillConfig>| {
+                let mut engine = Mnemonic::new(
+                    q.clone(),
+                    Box::new(LabelEdgeMatcher),
+                    Box::new(Isomorphism),
+                    EngineConfig {
+                        spill,
+                        ..EngineConfig::default()
+                    },
+                );
+                let sink = CountingSink::new();
+                let generator = SnapshotGenerator::new(
+                    VecSource::new(events.clone()),
+                    StreamConfig::sliding_window(3 * SECONDS_PER_DAY, 3_600),
+                );
+                let start = Instant::now();
+                engine.run_stream(generator, &sink);
+                (start.elapsed(), engine)
+            };
+            let (base_time, base_engine) = run_config(None);
+            // Keep roughly one simulated day out of three in memory, spill
+            // the rest — the Table III setup.
+            let window = (base_engine.graph().live_edge_count() / 3).max(1_000);
+            let (spill_time, spill_engine) = run_config(Some(SpillConfig {
+                in_memory_window: window,
+                buffer_capacity: 4_096,
+            }));
+            let debi_bytes = spill_engine.debi_stats().bytes as f64;
+            let graph_bytes = spill_engine.graph().placeholder_count() as f64 * 24.0;
+            let memory_mb = (debi_bytes + graph_bytes) / 1e6;
+            let disk_mb = spill_engine
+                .spill_stats()
+                .map(|s| s.log.bytes_on_disk as f64 / 1e6)
+                .unwrap_or(0.0);
+            let overhead =
+                (secs(spill_time) - secs(base_time)).max(0.0) / secs(base_time).max(1e-9) * 100.0;
+            println!("{class:<8} {memory_mb:>12.2} {disk_mb:>12.2} {overhead:>11.1}%");
+            rows.push(format!("{class},{memory_mb:.3},{disk_mb:.3},{overhead:.2}"));
+        }
+        self.write_csv(
+            "table3_disk_debi.csv",
+            "query_class,memory_mb,disk_mb,overhead_pct",
+            &rows,
+        );
+    }
+}
+
+/// Parse a `--scale tiny|micro|default` CLI fragment (also honouring the
+/// `MNEMONIC_SCALE` environment variable), shared by the binaries.
+pub fn scale_from_args(args: &[String]) -> WorkloadScale {
+    let by_name = |name: &str| match name {
+        "tiny" => WorkloadScale::tiny(),
+        "micro" => WorkloadScale::micro(),
+        _ => WorkloadScale::default(),
+    };
+    if let Some(idx) = args.iter().position(|a| a == "--scale") {
+        by_name(args.get(idx + 1).map(|s| s.as_str()).unwrap_or("default"))
+    } else if let Ok(env) = std::env::var("MNEMONIC_SCALE") {
+        by_name(&env)
+    } else {
+        WorkloadScale::default()
+    }
+}
+
+/// Validate a CSV written by an experiment: returns the header and data rows.
+/// Used by the figures regression harness (and handy for ad-hoc checks).
+pub fn read_csv(path: &Path) -> Result<(String, Vec<Vec<String>>), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("{}: empty csv", path.display()))?
+        .to_string();
+    let columns = header.split(',').count();
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let fields: Vec<String> = line.split(',').map(str::to_string).collect();
+        if fields.len() != columns {
+            return Err(format!(
+                "{}: row {} has {} fields, header has {columns}",
+                path.display(),
+                i + 1,
+                fields.len()
+            ));
+        }
+        rows.push(fields);
+    }
+    Ok((header, rows))
+}

@@ -1,16 +1,22 @@
 //! # mnemonic-bench
 //!
 //! Shared harness code for the benchmark suite: scaled-down workload
-//! construction and runner helpers used both by the `figures` binary (which
-//! regenerates every table and figure of the paper's evaluation) and by the
-//! Criterion micro-benchmarks.
+//! construction, runner helpers, the skewed-workload fixture behind the
+//! work-stealing benchmarks and CI smoke check, and the figure/table
+//! experiments themselves (the `figures` binary is a thin CLI over
+//! [`figures::Figures`], so the integration tests can run and validate the
+//! same pipelines in-process).
 
 #![warn(missing_docs)]
 
+pub mod figures;
 pub mod runners;
+pub mod skew;
 pub mod workloads;
 
+pub use figures::Figures;
 pub use runners::{
     run_ceci_snapshots, run_mnemonic_stream, run_turboflux_stream, MnemonicRun, Variant,
 };
+pub use skew::{ParallelRun, Policy, SkewConfig, SkewFixture};
 pub use workloads::{paper_queries, scaled_lanl, scaled_lsbench, scaled_netflow, WorkloadScale};

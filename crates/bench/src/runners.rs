@@ -71,7 +71,7 @@ pub fn run_mnemonic_stream(
         num_threads: threads,
         parallel,
         recycle_edge_ids: recycle,
-        spill: None,
+        ..EngineConfig::default()
     };
     let mut engine = Mnemonic::new(query.clone(), Box::new(LabelEdgeMatcher), semantics, config);
     engine.bootstrap(bootstrap);

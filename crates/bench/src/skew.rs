@@ -1,0 +1,339 @@
+//! Skewed enumeration workloads: the fixture behind the work-stealing
+//! benchmarks and the CI skew-balancing smoke check.
+//!
+//! The data graph is a *fan of triangles through one shared edge*: every
+//! triangle `(0, 1, i)` uses the single edge `0 → 1`, so the work units
+//! anchored at that edge enumerate every triangle in the graph while the
+//! unit of any fan edge finds exactly one. A small cohort of units therefore
+//! carries almost all of the batch's cost — the shape that static
+//! chunk-per-thread scheduling balances worst and work stealing balances
+//! best (the paper's Figure 13 workloads are skewed the same way, via
+//! power-law degree distributions). A ring among the fan vertices adds a
+//! long tail of cheap, triangle-free units.
+//!
+//! Because a single-core CI box timeshares threads (the first worker
+//! scheduled can drain the whole queue before its peers get CPU time —
+//! which is wall-clock optimal there), balance is judged on *projected*
+//! makespans computed from measured per-unit weights: exact for the static
+//! chunk split, greedy list scheduling over the pool's real task granularity
+//! for work stealing. On a machine with `width` free cores those
+//! projections are what the wall-clock times converge to.
+
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::embedding::{CountingSink, Sign};
+use mnemonic_core::enumerate::{Enumerator, WorkUnit};
+use mnemonic_core::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
+use mnemonic_core::frontier::UnifiedFrontier;
+use mnemonic_core::stats::EngineCounters;
+use mnemonic_core::variants::Isomorphism;
+use mnemonic_core::Debi;
+use mnemonic_graph::edge::{Edge, EdgeTriple};
+use mnemonic_graph::ids::{EdgeId, EdgeLabel, VertexId};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_query::masking::MaskTable;
+use mnemonic_query::matching_order::MatchingOrderSet;
+use mnemonic_query::patterns;
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_query::query_tree::QueryTree;
+use mnemonic_query::root::{select_root, LabelFrequencies};
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shape of the skewed data graph.
+#[derive(Debug, Clone, Copy)]
+pub struct SkewConfig {
+    /// Number of fan vertices: one triangle `(0, 1, i)` per fan vertex, all
+    /// sharing the edge `0 → 1`.
+    pub spokes: u32,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        SkewConfig { spokes: 192 }
+    }
+}
+
+/// A fully filtered enumeration fixture over the hub graph: everything the
+/// enumeration phase needs, with the whole edge set treated as one batch.
+pub struct SkewFixture {
+    graph: StreamingGraph,
+    query: QueryGraph,
+    tree: QueryTree,
+    orders: MatchingOrderSet,
+    debi: Debi,
+    mask: MaskTable,
+    batch: HashSet<EdgeId>,
+    batch_edges: Vec<Edge>,
+}
+
+impl SkewFixture {
+    /// Build the hub graph for a triangle query and prime the DEBI index.
+    pub fn build(config: SkewConfig) -> Self {
+        let n = config.spokes.max(3);
+        let label = EdgeLabel(0);
+        let mut graph = StreamingGraph::new();
+        // The shared heavy edge: every triangle of the fan runs through it.
+        graph.insert_edge(EdgeTriple::new(VertexId(0), VertexId(1), label));
+        for i in 2..n + 2 {
+            // Fan triangle (0, 1, i): 0 -> 1 -> i -> 0.
+            graph.insert_edge(EdgeTriple::new(VertexId(1), VertexId(i), label));
+            graph.insert_edge(EdgeTriple::new(VertexId(i), VertexId(0), label));
+        }
+        for i in 2..n + 2 {
+            // A triangle-free ring among the fan vertices: a long tail of
+            // cheap work units.
+            let next = if i == n + 1 { 2 } else { i + 1 };
+            graph.insert_edge(EdgeTriple::new(VertexId(i), VertexId(next), label));
+        }
+
+        let query = patterns::triangle();
+        let root = select_root(&query, &LabelFrequencies::new());
+        let tree = QueryTree::build(&query, root);
+        let orders = MatchingOrderSet::build(&query, &tree);
+        let requirements = QueryRequirements::build(&query);
+        let mut debi = Debi::new(tree.debi_width());
+        debi.ensure_rows(graph.edge_id_bound());
+        debi.ensure_roots(graph.vertex_count());
+        let mut candidacy = VertexCandidacy::new();
+        candidacy.ensure(graph.vertex_count());
+        let counters = EngineCounters::new();
+        let frontier = UnifiedFrontier::build(&graph, graph.live_edges().collect(), false);
+        TopDownPass {
+            graph: &graph,
+            query: &query,
+            tree: &tree,
+            matcher: &LabelEdgeMatcher,
+            requirements: &requirements,
+        }
+        .run(&frontier, &candidacy, &debi, &counters, false);
+
+        let mask = MaskTable::new(query.edge_count());
+        let batch_edges: Vec<Edge> = graph.live_edges().collect();
+        let batch: HashSet<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
+        SkewFixture {
+            graph,
+            query,
+            tree,
+            orders,
+            debi,
+            mask,
+            batch,
+            batch_edges,
+        }
+    }
+
+    fn enumerator<'a>(
+        &'a self,
+        sink: &'a CountingSink,
+        counters: &'a EngineCounters,
+    ) -> Enumerator<'a> {
+        Enumerator {
+            graph: &self.graph,
+            query: &self.query,
+            tree: &self.tree,
+            orders: &self.orders,
+            debi: &self.debi,
+            matcher: &LabelEdgeMatcher,
+            semantics: &Isomorphism,
+            mask: &self.mask,
+            batch: &self.batch,
+            sign: Sign::Positive,
+            sink,
+            counters,
+        }
+    }
+
+    /// The enumeration work units of the whole-graph batch, heaviest first
+    /// (the engine's scheduling order).
+    pub fn work_units(&self) -> Vec<WorkUnit> {
+        let sink = CountingSink::new();
+        let counters = EngineCounters::new();
+        self.enumerator(&sink, &counters)
+            .decompose(&self.batch_edges)
+    }
+
+    /// Run every unit sequentially once and return its solo execution time:
+    /// the per-unit weights used for deterministic makespan accounting.
+    pub fn unit_weights(&self, units: &[WorkUnit]) -> Vec<Duration> {
+        let sink = CountingSink::new();
+        let counters = EngineCounters::new();
+        let enumerator = self.enumerator(&sink, &counters);
+        units
+            .iter()
+            .map(|&unit| {
+                let t = Instant::now();
+                enumerator.run_work_unit(unit);
+                t.elapsed()
+            })
+            .collect()
+    }
+
+    /// Enumerate the batch across `width` threads with the given scheduling
+    /// policy, returning the wall-clock time, the observed per-thread load
+    /// split (as per-unit weights attributed to the executing thread) and
+    /// the number of embeddings found.
+    pub fn enumerate_parallel(
+        &self,
+        units: &[WorkUnit],
+        weights: &[Duration],
+        width: usize,
+        policy: Policy,
+    ) -> ParallelRun {
+        let sink = CountingSink::new();
+        let counters = EngineCounters::new();
+        let enumerator = self.enumerator(&sink, &counters);
+        let indexed: Vec<usize> = (0..units.len()).collect();
+        let loads: Mutex<HashMap<std::thread::ThreadId, Duration>> = Mutex::new(HashMap::new());
+        let pool = mnemonic_core::parallel::build_pool(width);
+        let run = |&i: &usize| {
+            enumerator.run_work_unit(units[i]);
+            *loads
+                .lock()
+                .unwrap()
+                .entry(std::thread::current().id())
+                .or_insert(Duration::ZERO) += weights[i];
+        };
+        let start = Instant::now();
+        pool.install(|| match policy {
+            Policy::WorkStealing => indexed.par_iter().for_each(run),
+            Policy::StaticChunking => indexed.par_iter().for_each_chunked(run),
+        });
+        let wall = start.elapsed();
+        let loads: Vec<Duration> = loads.into_inner().unwrap().into_values().collect();
+        ParallelRun {
+            wall,
+            loads,
+            embeddings: sink.positive(),
+        }
+    }
+}
+
+/// Which scheduling policy feeds the work units to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The work-stealing pool's dynamic feeding (`for_each`).
+    WorkStealing,
+    /// The pre-pool static chunk-per-thread split (`for_each_chunked`).
+    StaticChunking,
+}
+
+/// Outcome of one parallel enumeration run over the skewed batch.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Wall-clock time of the parallel section.
+    pub wall: Duration,
+    /// Per-thread load, in solo-execution-time units of the work units each
+    /// thread actually ran.
+    pub loads: Vec<Duration>,
+    /// Embeddings found (sanity: identical across policies and widths).
+    pub embeddings: u64,
+}
+
+impl ParallelRun {
+    /// The heaviest single thread's observed load. Meaningful on a machine
+    /// with ≥ `width` free cores; on a timeshared single core the observed
+    /// split is arbitrary (and wall-clock optimal whatever it is), which is
+    /// why the smoke gates use the projections below instead.
+    pub fn makespan(&self) -> Duration {
+        self.loads.iter().max().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Total load across threads (== sum of all unit weights).
+    pub fn total_load(&self) -> Duration {
+        self.loads.iter().sum()
+    }
+}
+
+/// Projected makespan of the *static chunking* policy on `width` free cores:
+/// exact — `for_each_chunked` hands each thread one contiguous chunk of
+/// `ceil(len / width)` units, so the slowest thread's time is the heaviest
+/// chunk's weight sum.
+pub fn projected_makespan_chunked(weights: &[Duration], width: usize) -> Duration {
+    let width = width.max(1).min(weights.len().max(1));
+    let chunk = weights.len().div_ceil(width);
+    weights
+        .chunks(chunk.max(1))
+        .map(|c| c.iter().sum())
+        .max()
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Projected makespan of the *work-stealing* policy on `width` free cores:
+/// greedy list scheduling over the pool's real task granularity (`for_each`
+/// cuts `len` units into `min(width * 8, len)` tasks and idle workers always
+/// take the next available one, via the injector or by stealing). Each task
+/// goes to the currently least-loaded worker; the result is the classic
+/// Graham bound the dynamic pool tracks when cores are actually free.
+pub fn projected_makespan_stealing(weights: &[Duration], width: usize) -> Duration {
+    let len = weights.len();
+    let width = width.max(1);
+    if len == 0 {
+        return Duration::ZERO;
+    }
+    let tasks = (width * 8).min(len).max(1);
+    let chunk = len.div_ceil(tasks);
+    let mut workers = vec![Duration::ZERO; width];
+    for task in weights.chunks(chunk) {
+        let min = workers.iter_mut().min().expect("width >= 1 workers");
+        *min += task.iter().sum::<Duration>();
+    }
+    workers.into_iter().max().unwrap_or(Duration::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_fixture_is_skewed_and_chunking_balances_it_worse() {
+        let fixture = SkewFixture::build(SkewConfig { spokes: 128 });
+        let units = fixture.work_units();
+        assert!(!units.is_empty());
+        let weights = fixture.unit_weights(&units);
+        assert_eq!(weights.len(), units.len());
+        // The shared-edge units enumerate all 128 triangles; a ring unit
+        // finds at most one. The heaviest unit must tower over the median.
+        let mut sorted = weights.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        assert!(
+            max > median * 8,
+            "expected a dominant unit: max {max:?} vs median {median:?}"
+        );
+        // And the projections must show chunking trailing stealing.
+        let chunked = projected_makespan_chunked(&weights, 4);
+        let stealing = projected_makespan_stealing(&weights, 4);
+        assert!(
+            chunked > stealing,
+            "chunked {chunked:?} should trail stealing {stealing:?}"
+        );
+    }
+
+    #[test]
+    fn projections_on_uniform_weights_agree() {
+        let weights = vec![Duration::from_micros(10); 64];
+        let chunked = projected_makespan_chunked(&weights, 4);
+        let stealing = projected_makespan_stealing(&weights, 4);
+        assert_eq!(chunked, Duration::from_micros(160));
+        assert_eq!(stealing, Duration::from_micros(160));
+        assert_eq!(
+            projected_makespan_chunked(&weights, 1),
+            Duration::from_micros(640)
+        );
+    }
+
+    #[test]
+    fn policies_find_the_same_embeddings() {
+        let fixture = SkewFixture::build(SkewConfig { spokes: 24 });
+        let units = fixture.work_units();
+        let weights = fixture.unit_weights(&units);
+        let a = fixture.enumerate_parallel(&units, &weights, 2, Policy::WorkStealing);
+        let b = fixture.enumerate_parallel(&units, &weights, 2, Policy::StaticChunking);
+        assert_eq!(a.embeddings, b.embeddings);
+        assert!(a.embeddings > 0);
+        assert_eq!(a.total_load(), b.total_load());
+    }
+}

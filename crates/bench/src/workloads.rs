@@ -50,6 +50,19 @@ impl WorkloadScale {
             seed: 42,
         }
     }
+
+    /// The smallest scale that still exercises every pipeline stage: used by
+    /// the tier-1 figures regression harness, which must stay fast enough to
+    /// run on every `cargo test`.
+    pub fn micro() -> Self {
+        WorkloadScale {
+            netflow_events: 1_500,
+            lsbench_events: 1_500,
+            lanl_events: 1_500,
+            queries_per_class: 1,
+            seed: 42,
+        }
+    }
 }
 
 /// The scaled NetFlow-like insert-only stream.

@@ -20,6 +20,42 @@ use mnemonic_graph::ids::{QueryEdgeId, QueryVertexId, VertexId};
 use mnemonic_graph::multigraph::StreamingGraph;
 use mnemonic_query::query_graph::QueryGraph;
 
+/// How the engine groups per-edge events arriving through
+/// [`crate::engine::Mnemonic::push_event`] into delta batches.
+///
+/// Batching is the paper's central performance lever: the whole batch shares
+/// one traversal frontier, one filtering pass and one parallel enumeration
+/// round, so the per-edge overhead is amortised (Figure 12) and the work
+/// units of the batch can be balanced across the thread pool (Figure 13).
+/// [`UpdateMode::PerEdge`] degenerates to TurboFlux-style edge-at-a-time
+/// processing and exists for ablations and differential tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Flush after every pushed event: a delta batch of size one.
+    PerEdge,
+    /// Accumulate up to this many events, then run candidate filtering and
+    /// delta enumeration once for the whole batch. The paper's throughput
+    /// experiments default to 16 384.
+    Batched(usize),
+}
+
+impl UpdateMode {
+    /// The number of events that triggers an automatic flush (always ≥ 1).
+    pub fn batch_size(&self) -> usize {
+        match *self {
+            UpdateMode::PerEdge => 1,
+            UpdateMode::Batched(n) => n.max(1),
+        }
+    }
+}
+
+impl Default for UpdateMode {
+    /// The paper's default throughput batch size (16 384 events).
+    fn default() -> Self {
+        UpdateMode::Batched(16 * 1024)
+    }
+}
+
 /// Read-only view handed to matcher callbacks: the data graph and the query.
 #[derive(Clone, Copy)]
 pub struct MatcherContext<'a> {
@@ -138,6 +174,14 @@ mod tests {
         let b = query.add_vertex(VertexLabel(2));
         query.add_edge(a, b, EdgeLabel(7));
         (graph, query)
+    }
+
+    #[test]
+    fn update_mode_batch_sizes() {
+        assert_eq!(UpdateMode::PerEdge.batch_size(), 1);
+        assert_eq!(UpdateMode::Batched(0).batch_size(), 1);
+        assert_eq!(UpdateMode::Batched(256).batch_size(), 256);
+        assert_eq!(UpdateMode::default().batch_size(), 16 * 1024);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `batchInserts` / `batchDeletes` pipelines of Algorithm 2 and reports
 //! newly formed / removed embeddings through an [`EmbeddingSink`].
 
-use crate::api::{EdgeMatcher, MatchSemantics};
+use crate::api::{EdgeMatcher, MatchSemantics, UpdateMode};
 use crate::debi::{Debi, DebiStats};
 use crate::embedding::{EmbeddingSink, Sign};
 use crate::enumerate::Enumerator;
@@ -43,6 +43,12 @@ pub struct EngineConfig {
     pub parallel: bool,
     /// Reuse edge slots of deleted edges (Figure 17's "with reclaiming").
     pub recycle_edge_ids: bool,
+    /// How events pushed through [`Mnemonic::push_event`] are grouped into
+    /// delta batches before the filtering + enumeration pipeline runs. The
+    /// batch size is the second engine-level scaling knob next to
+    /// `num_threads`; it does not affect [`Mnemonic::apply_snapshot`], whose
+    /// caller already fixed the batch boundaries.
+    pub update_mode: UpdateMode,
     /// Optional external-memory tier (Section IV-A, Table III).
     pub spill: Option<SpillConfig>,
 }
@@ -53,6 +59,7 @@ impl Default for EngineConfig {
             num_threads: 0,
             parallel: true,
             recycle_edge_ids: true,
+            update_mode: UpdateMode::default(),
             spill: None,
         }
     }
@@ -72,6 +79,19 @@ impl EngineConfig {
     pub fn with_threads(threads: usize) -> Self {
         EngineConfig {
             num_threads: threads,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration with an explicit delta-batch size for the
+    /// [`Mnemonic::push_event`] path (`0` or `1` selects per-edge updates).
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        EngineConfig {
+            update_mode: if batch_size <= 1 {
+                UpdateMode::PerEdge
+            } else {
+                UpdateMode::Batched(batch_size)
+            },
             ..Default::default()
         }
     }
@@ -114,6 +134,9 @@ pub struct Mnemonic {
     spill: Option<SpillManager>,
     total_timings: PhaseTimings,
     snapshots_processed: u64,
+    /// Events buffered by [`Mnemonic::push_event`] until the delta batch
+    /// fills up (the batched update path).
+    pending: Vec<StreamEvent>,
 }
 
 impl Mnemonic {
@@ -172,6 +195,7 @@ impl Mnemonic {
             spill,
             total_timings: PhaseTimings::default(),
             snapshots_processed: 0,
+            pending: Vec::new(),
         }
     }
 
@@ -468,6 +492,62 @@ impl Mnemonic {
         results
     }
 
+    /// Ingest one edge event through the batched update path: the event joins
+    /// the pending delta batch, and once the batch reaches the configured
+    /// [`UpdateMode`] size the whole batch is filtered and enumerated in one
+    /// pipeline run across the thread pool. Returns the batch outcome on the
+    /// pushes that trigger a flush, `None` otherwise.
+    ///
+    /// With [`UpdateMode::PerEdge`] every push flushes — the TurboFlux-style
+    /// edge-at-a-time ablation. Call [`Mnemonic::flush_pending`] at stream
+    /// end (or at any snapshot boundary) to drain a partial batch.
+    pub fn push_event(
+        &mut self,
+        event: StreamEvent,
+        sink: &dyn EmbeddingSink,
+    ) -> Option<BatchResult> {
+        self.pending.push(event);
+        if self.pending.len() >= self.config.update_mode.batch_size() {
+            self.flush_pending(sink)
+        } else {
+            None
+        }
+    }
+
+    /// Flush the pending delta batch, if any: group the buffered events into
+    /// a snapshot and run the `batchInserts` / `batchDeletes` pipeline for
+    /// the whole batch. Returns `None` when nothing was buffered.
+    pub fn flush_pending(&mut self, sink: &dyn EmbeddingSink) -> Option<BatchResult> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let snapshot = Snapshot::from_events(self.snapshots_processed, self.pending.drain(..));
+        Some(self.apply_snapshot(&snapshot, sink))
+    }
+
+    /// Number of events currently buffered by the batched update path.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drive a raw event sequence through the batched update path: every
+    /// event is [`Mnemonic::push_event`]ed and a final flush drains the last
+    /// partial batch. This is the streaming-ingest twin of
+    /// [`Mnemonic::run_stream`], with batch boundaries set by the engine's
+    /// [`UpdateMode`] instead of a snapshot generator.
+    pub fn run_events(
+        &mut self,
+        events: impl IntoIterator<Item = StreamEvent>,
+        sink: &dyn EmbeddingSink,
+    ) -> Vec<BatchResult> {
+        let mut results = Vec::new();
+        for event in events {
+            results.extend(self.push_event(event, sink));
+        }
+        results.extend(self.flush_pending(sink));
+        results
+    }
+
     /// Enumerate every embedding of the *current* graph from scratch. Used by
     /// tests and by index-rebuild paths; not part of the incremental fast
     /// path.
@@ -492,11 +572,14 @@ impl Mnemonic {
 
     /// Periodic reset (Section VII-D): drop the cumulative index and edge
     /// placeholders, keeping only vertex labels, and rebuild from an empty
-    /// edge set.
+    /// edge set. Events still buffered by [`Mnemonic::push_event`] belong to
+    /// the pre-reset epoch and are discarded with it — flush before resetting
+    /// to keep them.
     pub fn periodic_reset(&mut self) {
         self.graph.reset_edges();
         self.debi.reset();
         self.candidacy.reset();
+        self.pending.clear();
     }
 }
 
@@ -660,6 +743,117 @@ mod tests {
     }
 
     #[test]
+    fn push_event_flushes_on_batch_boundary() {
+        let mut m = Mnemonic::new(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            EngineConfig {
+                update_mode: crate::api::UpdateMode::Batched(3),
+                ..EngineConfig::sequential()
+            },
+        );
+        let sink = CollectingSink::new();
+        assert!(m.push_event(StreamEvent::insert(0, 1, 0), &sink).is_none());
+        assert!(m.push_event(StreamEvent::insert(1, 2, 0), &sink).is_none());
+        assert_eq!(m.pending_events(), 2);
+        // The third event fills the batch: one pipeline run for all three.
+        let r = m
+            .push_event(StreamEvent::insert(2, 0, 0), &sink)
+            .expect("third push flushes the batch");
+        assert_eq!(r.insertions, 3);
+        assert_eq!(r.new_embeddings, 3);
+        assert_eq!(m.pending_events(), 0);
+        assert!(m.flush_pending(&sink).is_none(), "nothing left to flush");
+    }
+
+    #[test]
+    fn per_edge_mode_flushes_every_push() {
+        let mut m = Mnemonic::new(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            EngineConfig {
+                update_mode: crate::api::UpdateMode::PerEdge,
+                ..EngineConfig::sequential()
+            },
+        );
+        let sink = CountingSink::new();
+        for (i, e) in [
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(2, 0, 0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let r = m
+                .push_event(e, &sink)
+                .expect("per-edge mode always flushes");
+            assert_eq!(r.snapshot_id, i as u64);
+            assert_eq!(r.insertions, 1);
+        }
+        assert_eq!(sink.positive(), 3);
+    }
+
+    #[test]
+    fn run_events_drains_partial_batches_and_mixed_deletes() {
+        let mut m = Mnemonic::new(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            EngineConfig {
+                update_mode: crate::api::UpdateMode::Batched(4),
+                ..EngineConfig::sequential()
+            },
+        );
+        let sink = CountingSink::new();
+        // 5 events: one full batch of 4 + a final partial flush of 1.
+        let results = m.run_events(
+            [
+                StreamEvent::insert(0, 1, 0),
+                StreamEvent::insert(1, 2, 0),
+                StreamEvent::insert(2, 0, 0),
+                StreamEvent::delete(1, 2, 0),
+                StreamEvent::insert(1, 2, 0),
+            ],
+            &sink,
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(m.pending_events(), 0);
+        // Net state: the triangle exists; every appearance/disappearance was
+        // reported along the way.
+        assert_eq!(sink.positive() - sink.negative(), 3);
+        assert_eq!(m.graph().live_edge_count(), 3);
+    }
+
+    #[test]
+    fn batched_and_snapshot_paths_agree() {
+        let events: Vec<StreamEvent> = (0..30u32)
+            .map(|i| StreamEvent::insert(i % 7, (i * 3 + 1) % 7, 0).at(i as u64))
+            .collect();
+        let sink_a = CountingSink::new();
+        let mut a = engine(patterns::triangle());
+        let generator =
+            SnapshotGenerator::new(VecSource::new(events.clone()), StreamConfig::batches(5));
+        a.run_stream(generator, &sink_a);
+
+        let sink_b = CountingSink::new();
+        let mut b = Mnemonic::new(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            EngineConfig {
+                update_mode: crate::api::UpdateMode::Batched(5),
+                ..EngineConfig::sequential()
+            },
+        );
+        b.run_events(events, &sink_b);
+        assert_eq!(sink_a.positive(), sink_b.positive());
+        assert_eq!(sink_a.negative(), sink_b.negative());
+    }
+
+    #[test]
     fn periodic_reset_clears_state() {
         let mut m = engine(patterns::triangle());
         let sink = CountingSink::new();
@@ -692,5 +886,33 @@ mod tests {
             &sink,
         );
         assert_eq!(r.new_embeddings, 3);
+    }
+
+    #[test]
+    fn periodic_reset_discards_buffered_events() {
+        let mut m = Mnemonic::new(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            EngineConfig {
+                update_mode: crate::api::UpdateMode::Batched(10),
+                ..EngineConfig::sequential()
+            },
+        );
+        let sink = CountingSink::new();
+        m.push_event(StreamEvent::insert(0, 1, 0), &sink);
+        m.push_event(StreamEvent::insert(1, 2, 0), &sink);
+        m.periodic_reset();
+        assert_eq!(
+            m.pending_events(),
+            0,
+            "pre-reset events must not leak into the new epoch"
+        );
+        // Only the post-reset event is applied: no triangle can straddle the
+        // reset boundary.
+        m.push_event(StreamEvent::insert(2, 0, 0), &sink);
+        assert!(m.flush_pending(&sink).is_some());
+        assert_eq!(m.graph().live_edge_count(), 1);
+        assert_eq!(sink.positive(), 0);
     }
 }

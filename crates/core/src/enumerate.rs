@@ -70,6 +70,12 @@ impl<'a> Enumerator<'a> {
     /// Generate the work units for a batch of data edges: one unit per
     /// (edge, query edge) pair accepted by the edge matcher and surviving the
     /// bottom-up support pruning.
+    ///
+    /// Units are ordered heaviest-first by a cheap cost estimate (the
+    /// adjacency size around the anchor edge), so when the batch is fed to
+    /// the work-stealing pool the dominant units start immediately and the
+    /// cheap tail back-fills the other workers. The order is deterministic
+    /// (ties broken by edge id and start edge).
     pub fn decompose(&self, batch_edges: &[Edge]) -> Vec<WorkUnit> {
         let ctx = self.ctx();
         let bottom_up = BottomUpPass {
@@ -101,8 +107,23 @@ impl<'a> Enumerator<'a> {
                 }
             }
         }
+        units.sort_by_cached_key(|unit| {
+            (
+                std::cmp::Reverse(self.unit_cost_estimate(unit)),
+                unit.edge.id,
+                unit.start,
+            )
+        });
         EngineCounters::add(&self.counters.work_units, units.len() as u64);
         units
+    }
+
+    /// Scheduling cost estimate of a work unit: the combined adjacency size
+    /// of the anchor edge's endpoints, a proxy for how many candidates the
+    /// first extension steps will scan.
+    fn unit_cost_estimate(&self, unit: &WorkUnit) -> usize {
+        let deg = |v| self.graph.outgoing(v).len() + self.graph.incoming(v).len();
+        deg(unit.edge.src) + deg(unit.edge.dst)
     }
 
     /// Run the backtracking search for one work unit.

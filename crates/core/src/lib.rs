@@ -56,7 +56,9 @@ pub mod parallel;
 pub mod stats;
 pub mod variants;
 
-pub use api::{EdgeMatcher, FnEdgeMatcher, LabelEdgeMatcher, MatchSemantics, MatcherContext};
+pub use api::{
+    EdgeMatcher, FnEdgeMatcher, LabelEdgeMatcher, MatchSemantics, MatcherContext, UpdateMode,
+};
 pub use debi::{Debi, DebiStats};
 pub use embedding::{
     CollectingSink, CompleteEmbedding, CountingSink, EmbeddingSink, PartialEmbedding, Sign,

@@ -5,8 +5,16 @@
 //! so the degree of parallelism is an explicit engine parameter (needed for
 //! the thread-scalability experiment of Figure 13) instead of whatever the
 //! global pool happens to be.
+//!
+//! The pool is a real work-stealing executor (persistent workers, a global
+//! injector queue, per-worker deques with steal-half): `par_iter().for_each`
+//! feeds work units dynamically, so one disproportionately heavy unit — a
+//! batch edge incident to a hub vertex, say — no longer serialises the whole
+//! enumeration phase the way static chunk-per-thread splitting did.
 
 use rayon::{ThreadPool, ThreadPoolBuilder};
+
+pub use rayon::{join, scope, Scope};
 
 /// Build a rayon thread pool with `num_threads` workers; `0` means "use the
 /// rayon default" (one worker per logical CPU).
@@ -50,5 +58,24 @@ mod tests {
     fn zero_means_default_parallelism() {
         let pool = build_pool(0);
         assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scope_and_join_run_on_the_engine_pool() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = build_pool(2);
+        let counter = AtomicUsize::new(0);
+        install(Some(&pool), || {
+            scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        let (a, b) = install(Some(&pool), || join(|| 1 + 1, || 2 + 2));
+        assert_eq!((a, b), (2, 4));
     }
 }

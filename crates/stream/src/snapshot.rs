@@ -30,6 +30,26 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Build a snapshot from an arbitrary mix of insert/delete events: the
+    /// grouping step of the engine's batched update path. Events are
+    /// partitioned by kind (the engine applies insertions before deletions,
+    /// Algorithm 1) and the watermark is the largest timestamp seen.
+    pub fn from_events(id: u64, events: impl IntoIterator<Item = StreamEvent>) -> Self {
+        let mut snapshot = Snapshot {
+            id,
+            ..Default::default()
+        };
+        for event in events {
+            snapshot.watermark = Timestamp(snapshot.watermark.0.max(event.timestamp.0));
+            if event.is_insert() {
+                snapshot.insertions.push(event);
+            } else {
+                snapshot.deletions.push(event);
+            }
+        }
+        snapshot
+    }
+
     /// Total number of explicit events carried by the snapshot.
     pub fn event_count(&self) -> usize {
         self.insertions.len() + self.deletions.len()
@@ -62,6 +82,23 @@ mod tests {
         assert_eq!(s.event_count(), 0);
         assert!(!s.has_insertions());
         assert!(!s.has_deletions());
+    }
+
+    #[test]
+    fn from_events_partitions_and_watermarks() {
+        let s = Snapshot::from_events(
+            7,
+            [
+                StreamEvent::insert(0, 1, 0).at(5),
+                StreamEvent::delete(2, 3, 0).at(11),
+                StreamEvent::insert(4, 5, 0).at(3),
+            ],
+        );
+        assert_eq!(s.id, 7);
+        assert_eq!(s.insertions.len(), 2);
+        assert_eq!(s.deletions.len(), 1);
+        assert_eq!(s.watermark, Timestamp(11));
+        assert!(s.evict_before.is_none());
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Thread- and batching-determinism: the set of reported embeddings must not
+//! depend on how many workers enumerate a batch (widths 1 / 2 / 8) or on
+//! whether events arrive through the snapshot path, the engine's batched
+//! update path, or the per-edge update path.
+
+use mnemonic::core::api::{LabelEdgeMatcher, UpdateMode};
+use mnemonic::core::embedding::{CollectingSink, CompleteEmbedding};
+use mnemonic::core::engine::{EngineConfig, Mnemonic};
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::datagen::{netflow_like, NetflowConfig};
+use mnemonic::query::patterns;
+use mnemonic::query::query_graph::QueryGraph;
+use mnemonic::stream::config::StreamConfig;
+use mnemonic::stream::event::StreamEvent;
+use mnemonic::stream::generator::SnapshotGenerator;
+use mnemonic::stream::source::VecSource;
+
+fn small_stream(events: usize, seed: u64) -> Vec<StreamEvent> {
+    netflow_like(NetflowConfig {
+        vertices: 40,
+        events,
+        edge_labels: 2,
+        seed,
+    })
+}
+
+fn engine_with(query: &QueryGraph, config: EngineConfig) -> Mnemonic {
+    Mnemonic::new(
+        query.clone(),
+        Box::new(LabelEdgeMatcher),
+        Box::new(Isomorphism),
+        config,
+    )
+}
+
+/// Sorted (positive, negative) embedding lists after replaying `events`
+/// through the snapshot path with the given thread count.
+fn snapshot_run(
+    query: &QueryGraph,
+    events: &[StreamEvent],
+    batch: usize,
+    threads: usize,
+) -> (Vec<CompleteEmbedding>, Vec<CompleteEmbedding>) {
+    let config = if threads <= 1 {
+        EngineConfig::sequential()
+    } else {
+        EngineConfig::with_threads(threads)
+    };
+    let mut engine = engine_with(query, config);
+    let sink = CollectingSink::new();
+    engine.run_stream(
+        SnapshotGenerator::new(
+            VecSource::new(events.to_vec()),
+            StreamConfig::batches(batch),
+        ),
+        &sink,
+    );
+    let mut pos = sink.take_positive();
+    let mut neg = sink.take_negative();
+    pos.sort();
+    neg.sort();
+    (pos, neg)
+}
+
+/// Sorted (positive, negative) embedding lists after replaying `events`
+/// through the engine's push_event path with the given update mode.
+fn push_run(
+    query: &QueryGraph,
+    events: &[StreamEvent],
+    update_mode: UpdateMode,
+) -> (Vec<CompleteEmbedding>, Vec<CompleteEmbedding>) {
+    let mut engine = engine_with(
+        query,
+        EngineConfig {
+            update_mode,
+            ..EngineConfig::sequential()
+        },
+    );
+    let sink = CollectingSink::new();
+    engine.run_events(events.iter().copied(), &sink);
+    let mut pos = sink.take_positive();
+    let mut neg = sink.take_negative();
+    pos.sort();
+    neg.sort();
+    (pos, neg)
+}
+
+#[test]
+fn enumeration_is_identical_across_pool_widths() {
+    let events = small_stream(700, 21);
+    for query in [patterns::triangle(), patterns::dual_triangle()] {
+        let reference = snapshot_run(&query, &events, 128, 1);
+        for threads in [2usize, 8] {
+            let run = snapshot_run(&query, &events, 128, threads);
+            assert_eq!(
+                run, reference,
+                "pool width {threads} changed the reported embeddings"
+            );
+        }
+    }
+}
+
+#[test]
+fn enumeration_is_identical_across_widths_under_skew() {
+    // A hub vertex concentrates almost all the enumeration work in a few
+    // units: the shape where dynamic scheduling reorders most aggressively.
+    let mut events: Vec<StreamEvent> = Vec::new();
+    for i in 1..40u32 {
+        events.push(StreamEvent::insert(0, i, 0).at(i as u64));
+        events.push(StreamEvent::insert(i, 0, 0).at((i + 100) as u64));
+        events.push(StreamEvent::insert(i, (i % 39) + 1, 0).at((i + 200) as u64));
+    }
+    let query = patterns::triangle();
+    let reference = snapshot_run(&query, &events, 64, 1);
+    assert!(
+        !reference.0.is_empty(),
+        "skewed stream must produce matches"
+    );
+    for threads in [2usize, 8] {
+        assert_eq!(
+            snapshot_run(&query, &events, 64, threads),
+            reference,
+            "pool width {threads} changed the embeddings on a skewed batch"
+        );
+    }
+}
+
+#[test]
+fn batched_and_per_edge_paths_agree_on_insert_only_streams() {
+    // On insert-only streams every embedding appears exactly once no matter
+    // where the batch boundaries fall, so the full embedding sets must be
+    // identical across update modes and against the snapshot path.
+    let events: Vec<StreamEvent> = small_stream(500, 33)
+        .into_iter()
+        .filter(|e| e.is_insert())
+        .collect();
+    let query = patterns::triangle();
+    let reference = push_run(&query, &events, UpdateMode::PerEdge);
+    assert!(
+        reference.1.is_empty(),
+        "insert-only stream reported negatives"
+    );
+    for batch in [7usize, 64, 4096] {
+        assert_eq!(
+            push_run(&query, &events, UpdateMode::Batched(batch)),
+            reference,
+            "engine batch size {batch} changed the embeddings"
+        );
+    }
+    assert_eq!(
+        snapshot_run(&query, &events, 64, 1),
+        reference,
+        "snapshot path diverged from the push_event path"
+    );
+}
+
+#[test]
+fn batched_and_per_edge_paths_agree_on_net_counts_with_deletions() {
+    // With deletions the *edge-id* bindings may legitimately differ between
+    // batchings (a delete resolves to the most recent matching instance),
+    // but the net vertex-mapping multiset — appearances minus retractions —
+    // must be identical.
+    let events = small_stream(600, 44);
+    let query = patterns::path(3);
+    let net = |mode: UpdateMode| -> Vec<Vec<u32>> {
+        let (pos, neg) = push_run(&query, &events, mode);
+        let mut net: Vec<Vec<u32>> = Vec::new();
+        let key = |e: &CompleteEmbedding| -> Vec<u32> { e.vertices.iter().map(|v| v.0).collect() };
+        let mut counts: std::collections::HashMap<Vec<u32>, i64> = std::collections::HashMap::new();
+        for e in &pos {
+            *counts.entry(key(e)).or_insert(0) += 1;
+        }
+        for e in &neg {
+            *counts.entry(key(e)).or_insert(0) -= 1;
+        }
+        for (k, c) in counts {
+            assert!(c >= 0, "embedding retracted more often than reported");
+            for _ in 0..c {
+                net.push(k.clone());
+            }
+        }
+        net.sort();
+        net
+    };
+    let reference = net(UpdateMode::PerEdge);
+    for batch in [5usize, 32, 512] {
+        assert_eq!(
+            net(UpdateMode::Batched(batch)),
+            reference,
+            "engine batch size {batch} changed the surviving matches"
+        );
+    }
+}

@@ -6,6 +6,12 @@
 //! verifying, after every snapshot, that
 //! `previous_results + new_embeddings - removed_embeddings` equals the
 //! oracle's result set on the current graph.
+//!
+//! Two replay paths are exercised: the snapshot path (`apply_snapshot`, the
+//! batch boundaries fixed by the caller) and the engine's buffered update
+//! path (`push_event`/`flush_pending`, the boundaries fixed by the engine's
+//! `UpdateMode`), the latter across several engine batch sizes including the
+//! per-edge degenerate case.
 
 use mnemonic::baselines::recompute::{NaiveMatcher, OracleSemantics};
 use mnemonic::core::api::LabelEdgeMatcher;
@@ -117,6 +123,64 @@ fn run_differential(query: QueryGraph, batches: Vec<Vec<StreamEvent>>, isomorphi
     }
 }
 
+/// Replay `batches` through the engine's buffered `push_event` path — once
+/// per engine batch size in `engine_batches` — comparing the accumulated net
+/// match count with the oracle at every snapshot boundary (a
+/// `flush_pending` call, mirroring how an ingest loop drains the buffer at
+/// a consistency point).
+fn run_batched_differential(
+    query: QueryGraph,
+    batches: Vec<Vec<StreamEvent>>,
+    engine_batches: &[usize],
+) {
+    use mnemonic::core::api::UpdateMode;
+    use mnemonic::core::embedding::CountingSink;
+
+    for &engine_batch in engine_batches {
+        let mut engine = Mnemonic::new(
+            query.clone(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            mnemonic::core::engine::EngineConfig {
+                update_mode: if engine_batch <= 1 {
+                    UpdateMode::PerEdge
+                } else {
+                    UpdateMode::Batched(engine_batch)
+                },
+                ..mnemonic::core::engine::EngineConfig::sequential()
+            },
+        );
+        let oracle = NaiveMatcher::new(OracleSemantics::Isomorphism);
+        let mut shadow = StreamingGraph::new();
+        let sink = CountingSink::new();
+
+        for (i, batch) in batches.iter().enumerate() {
+            for e in batch {
+                engine.push_event(*e, &sink);
+                if e.is_insert() {
+                    shadow.insert_edge(EdgeTriple::with_timestamp(
+                        e.src,
+                        e.dst,
+                        e.label,
+                        e.timestamp,
+                    ));
+                } else {
+                    let _ = shadow.delete_matching(e.src, e.dst, e.label);
+                }
+            }
+            engine.flush_pending(&sink);
+            assert_eq!(engine.pending_events(), 0, "flush left events behind");
+
+            let net = sink.positive() - sink.negative();
+            let expected = oracle.count(&shadow, &query) as u64;
+            assert_eq!(
+                net, expected,
+                "engine batch {engine_batch}, snapshot {i}: net match count diverged from the oracle"
+            );
+        }
+    }
+}
+
 fn random_insert_only_batches(
     rng: &mut StdRng,
     vertices: u32,
@@ -225,6 +289,30 @@ fn dual_triangle_matches_oracle() {
     let mut rng = StdRng::seed_from_u64(17);
     let batches = random_insert_only_batches(&mut rng, 8, 1, 5, 8);
     run_differential(patterns::dual_triangle(), batches, true);
+}
+
+#[test]
+fn batched_path_matches_oracle_on_mixed_streams() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let batches = random_mixed_batches(&mut rng, 10, 1, 8, 8, 0.3);
+    // Per-edge, sub-boundary batches (several auto-flushes between
+    // comparison points) and a large batch drained only by the boundary
+    // flush.
+    run_batched_differential(patterns::triangle(), batches, &[1, 3, 8, 64]);
+}
+
+#[test]
+fn batched_path_matches_oracle_on_path_query() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let batches = random_mixed_batches(&mut rng, 10, 2, 6, 10, 0.25);
+    run_batched_differential(patterns::path(3), batches, &[1, 7]);
+}
+
+#[test]
+fn batched_path_matches_oracle_on_parallel_edge_heavy_stream() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let batches = random_mixed_batches(&mut rng, 5, 2, 6, 8, 0.3);
+    run_batched_differential(patterns::star(3), batches, &[1, 4, 16]);
 }
 
 #[test]

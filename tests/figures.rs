@@ -1,0 +1,192 @@
+//! Figures regression harness: runs the `figures` evaluation pipelines
+//! in-process on the micro workload scale and validates the CSV outputs —
+//! schema, row counts and sanity invariants (non-negative latencies,
+//! monotone cumulative counters). This is the tier-1 safety net under every
+//! future perf rewrite of the hot paths the figures measure.
+
+use mnemonic_bench::figures::{read_csv, Figures};
+use mnemonic_bench::workloads::WorkloadScale;
+use std::path::{Path, PathBuf};
+
+/// A scratch output directory, removed when dropped.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("mnemonic-figures-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch results dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn parse_f64(field: &str, context: &str) -> f64 {
+    field
+        .parse::<f64>()
+        .unwrap_or_else(|_| panic!("{context}: field '{field}' is not a number"))
+}
+
+/// Validate a CSV against its expected header; every data field after the
+/// first (label) column must parse as a non-negative finite number.
+fn check_numeric_csv(path: &Path, expected_header: &str, min_rows: usize) -> Vec<Vec<String>> {
+    let (header, rows) = read_csv(path).expect("csv must parse");
+    assert_eq!(
+        header,
+        expected_header,
+        "{}: schema drifted",
+        path.display()
+    );
+    assert!(
+        rows.len() >= min_rows,
+        "{}: expected at least {min_rows} data rows, got {}",
+        path.display(),
+        rows.len()
+    );
+    for (i, row) in rows.iter().enumerate() {
+        for field in &row[1..] {
+            let v = parse_f64(field, &format!("{} row {i}", path.display()));
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{} row {i}: negative or non-finite value {v}",
+                path.display()
+            );
+        }
+    }
+    rows
+}
+
+#[test]
+fn table2_reports_all_fixed_queries_with_sane_latencies() {
+    let scratch = ScratchDir::new("table2");
+    let figures = Figures::new(WorkloadScale::micro(), &scratch.0);
+    assert!(figures.run("table2"));
+    let rows = check_numeric_csv(
+        &figures.csv_path("table2_fixed_queries.csv"),
+        "query,bigjoin_s,turboflux_s,mnemonic_s",
+        5,
+    );
+    let names: Vec<&str> = rows.iter().map(|r| r[0].as_str()).collect();
+    for expected in [
+        "triangle",
+        "4-clique",
+        "5-clique",
+        "rectangle",
+        "dual-triangle",
+    ] {
+        assert!(names.contains(&expected), "missing row for {expected}");
+    }
+    // All three engines really ran: a pipeline that silently did no work
+    // reports exact zeros across the board.
+    assert!(
+        rows.iter()
+            .any(|r| parse_f64(&r[3], "mnemonic_s") > 0.0 || parse_f64(&r[2], "turboflux_s") > 0.0),
+        "all latencies are zero — the experiment did not run"
+    );
+}
+
+#[test]
+fn fig8_traversals_per_update_cover_the_query_classes() {
+    let scratch = ScratchDir::new("fig8");
+    let figures = Figures::new(WorkloadScale::micro(), &scratch.0);
+    assert!(figures.run("fig8"));
+    let rows = check_numeric_csv(
+        &figures.csv_path("fig8_traversals_per_update.csv"),
+        "query_class,batch_1,batch_16,batch_16k",
+        4,
+    );
+    // Batching's raison d'être (Figure 8): across the workload, the shared
+    // frontier must not traverse *more* per update at batch 16K than at
+    // batch 1 in aggregate.
+    let sum = |col: usize| -> f64 { rows.iter().map(|r| parse_f64(&r[col], "fig8")).sum::<f64>() };
+    assert!(
+        sum(3) <= sum(1),
+        "batched traversals per update exceed per-edge traversals"
+    );
+}
+
+#[test]
+fn fig12_and_fig13_scalability_report_positive_speedups() {
+    let scratch = ScratchDir::new("scalability");
+    let figures = Figures::new(WorkloadScale::micro(), &scratch.0);
+    assert!(figures.run("fig12"));
+    assert!(figures.run("fig13"));
+
+    let (header, rows) =
+        read_csv(&figures.csv_path("fig12_batch_scalability.csv")).expect("fig12 csv");
+    assert!(header.starts_with("query_class,batch_32,batch_64"));
+    assert!(!rows.is_empty(), "no query class produced fig12 rows");
+    for row in &rows {
+        for field in &row[1..] {
+            assert!(parse_f64(field, "fig12 speedup") > 0.0);
+        }
+    }
+
+    let (header, rows) =
+        read_csv(&figures.csv_path("fig13_thread_scalability.csv")).expect("fig13 csv");
+    assert!(header.starts_with("query_class,threads_1"));
+    assert!(!rows.is_empty(), "no query class produced fig13 rows");
+    for row in &rows {
+        for field in &row[1..] {
+            assert!(parse_f64(field, "fig13 speedup") > 0.0);
+        }
+    }
+}
+
+#[test]
+fn fig17_placeholder_counters_are_monotone_and_reclaiming_dominates() {
+    let scratch = ScratchDir::new("fig17");
+    let figures = Figures::new(WorkloadScale::micro(), &scratch.0);
+    assert!(figures.run("fig17"));
+    let rows = check_numeric_csv(
+        &figures.csv_path("fig17_memory_reclaiming.csv"),
+        "mode,snapshot,placeholders,live_edges",
+        2,
+    );
+    let series = |mode: &str| -> Vec<(u64, u64, u64)> {
+        rows.iter()
+            .filter(|r| r[0] == mode)
+            .map(|r| {
+                (
+                    r[1].parse().unwrap(),
+                    r[2].parse().unwrap(),
+                    r[3].parse().unwrap(),
+                )
+            })
+            .collect()
+    };
+    for mode in ["reclaiming", "no_reclaiming"] {
+        let samples = series(mode);
+        assert!(!samples.is_empty(), "mode {mode} produced no samples");
+        // Snapshot ids strictly increase and the placeholder pool is a
+        // cumulative counter: slots are never deallocated, only reused.
+        for pair in samples.windows(2) {
+            assert!(pair[1].0 > pair[0].0, "{mode}: snapshot ids not increasing");
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "{mode}: placeholder counter shrank from {} to {}",
+                pair[0].1,
+                pair[1].1
+            );
+        }
+        // Placeholders always cover the live edges.
+        for (snap, placeholders, live) in &samples {
+            assert!(
+                placeholders >= live,
+                "{mode} snapshot {snap}: {placeholders} placeholders < {live} live edges"
+            );
+        }
+    }
+    // Reclaiming must never need more slots than the non-reclaiming run.
+    let last = |mode: &str| series(mode).last().map(|&(_, p, _)| p).unwrap();
+    assert!(
+        last("reclaiming") <= last("no_reclaiming"),
+        "edge-slot reclaiming increased the placeholder count"
+    );
+}

@@ -1,5 +1,6 @@
 //! Property-based tests (proptest) over the core data structures and the
-//! engine's end-to-end invariants.
+//! engine's end-to-end invariants, including the work-stealing scheduler's
+//! injector/deque primitives and the DEBI bitmap index.
 
 use mnemonic::baselines::recompute::{NaiveMatcher, OracleSemantics};
 use mnemonic::core::api::LabelEdgeMatcher;
@@ -175,5 +176,162 @@ proptest! {
         prop_assert_eq!(unique.len(), reported.len(), "duplicate embeddings reported");
         let oracle = NaiveMatcher::new(OracleSemantics::Isomorphism);
         prop_assert_eq!(reported.len(), oracle.count(&shadow, &query));
+    }
+
+    /// Work-stealing queues: tasks pushed into the injector are executed
+    /// exactly once, no matter how concurrent thieves interleave their
+    /// local pops, injector shares and steal-half raids.
+    #[test]
+    fn injector_and_deques_deliver_each_task_exactly_once(
+        tasks in 1usize..300,
+        workers in 2usize..5,
+    ) {
+        use rayon::sched::{Injector, WorkerQueue};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let injector: Injector<u64> = Injector::new();
+        injector.push_batch((0..tasks as u64).collect::<Vec<_>>());
+        let queues: Vec<WorkerQueue<u64>> = (0..workers).map(|_| WorkerQueue::new()).collect();
+        let executed_count = AtomicUsize::new(0);
+        let mut executed_per_worker: Vec<Vec<u64>> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for me in 0..workers {
+                let injector = &injector;
+                let queues = &queues;
+                let executed_count = &executed_count;
+                handles.push(scope.spawn(move || {
+                    let mut ran: Vec<u64> = Vec::new();
+                    while executed_count.load(Ordering::Acquire) < tasks {
+                        // The worker loop's exact discipline: local LIFO pop,
+                        // then a share of the injector, then steal-half.
+                        let task = queues[me].pop().or_else(|| {
+                            let mut share = injector.pop_share(queues.len());
+                            if share.is_empty() {
+                                (1..queues.len())
+                                    .map(|k| (me + k) % queues.len())
+                                    .find_map(|victim| {
+                                        queues[me].steal_half_from(&queues[victim])
+                                    })
+                            } else {
+                                let first = share.remove(0);
+                                queues[me].extend(share);
+                                Some(first)
+                            }
+                        });
+                        match task {
+                            Some(t) => {
+                                ran.push(t);
+                                executed_count.fetch_add(1, Ordering::AcqRel);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    ran
+                }));
+            }
+            for handle in handles {
+                executed_per_worker.push(handle.join().expect("worker panicked"));
+            }
+        });
+
+        let mut all: Vec<u64> = executed_per_worker.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..tasks as u64).collect();
+        prop_assert_eq!(all, expected, "every task exactly once");
+        prop_assert!(injector.is_empty());
+        prop_assert!(queues.iter().all(|q| q.is_empty()));
+    }
+
+    /// Pool-level exactly-once: `par_iter().for_each` through the
+    /// work-stealing pool hits every element exactly once for arbitrary
+    /// lengths and widths.
+    #[test]
+    fn pool_for_each_visits_each_element_exactly_once(
+        len in 0usize..600,
+        width in 1usize..6,
+    ) {
+        use rayon::prelude::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let data: Vec<usize> = (0..len).collect();
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(width)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            data.par_iter().for_each(|&i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// DEBI set/clear/read round-trip: the bitmap agrees with a naive
+    /// shadow set after any interleaving of bit writes, row overwrites and
+    /// row clears, and the occupancy stats count exactly the live bits.
+    #[test]
+    fn debi_round_trips_against_a_shadow_set(
+        width_seed in 1usize..65,
+        ops in prop::collection::vec((0usize..24, 0u16..64, any::<bool>(), 0u32..12), 1..200),
+    ) {
+        use mnemonic::core::debi::Debi;
+        use std::collections::HashSet;
+
+        let width = width_seed; // 1..=64
+        let mut debi = Debi::new(width);
+        debi.ensure_rows(24);
+        debi.ensure_roots(130);
+        let mut shadow: HashSet<(usize, u16)> = HashSet::new();
+
+        for (row, col_seed, value, action) in ops {
+            let col = col_seed % width as u16;
+            match action {
+                // Bias towards single-bit writes; sprinkle row clears,
+                // whole-row writes and root-bit flips in between.
+                0..=7 => {
+                    debi.set(row, col, value);
+                    if value {
+                        shadow.insert((row, col));
+                    } else {
+                        shadow.remove(&(row, col));
+                    }
+                }
+                8 | 9 => {
+                    debi.clear_row(row);
+                    shadow.retain(|&(r, _)| r != row);
+                }
+                10 => {
+                    let bits = (col_seed as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    debi.write_row(row, bits);
+                    shadow.retain(|&(r, _)| r != row);
+                    for c in 0..width as u16 {
+                        if bits & (1u64 << c) != 0 {
+                            shadow.insert((row, c));
+                        }
+                    }
+                }
+                _ => {
+                    let v = (row * 5 + col as usize) % 130;
+                    debi.set_root(v, value);
+                    prop_assert_eq!(debi.is_root(v), value);
+                }
+            }
+            prop_assert_eq!(debi.get(row, col), shadow.contains(&(row, col)));
+        }
+
+        // Full read-back: every row equals the shadow's view bit for bit.
+        for row in 0..24 {
+            let mut expected = 0u64;
+            for &(r, c) in &shadow {
+                if r == row {
+                    expected |= 1u64 << c;
+                }
+            }
+            prop_assert_eq!(debi.row(row), expected, "row {} diverged", row);
+            prop_assert_eq!(debi.any(row), expected != 0);
+        }
+        prop_assert_eq!(debi.stats().set_bits, shadow.len() as u64);
     }
 }

@@ -1,20 +1,48 @@
-//! Offline shim for `rayon` (the subset the Mnemonic engine uses).
+//! Offline shim for `rayon` (the subset the Mnemonic engine uses), built on a
+//! real work-stealing pool.
 //!
-//! [`ThreadPool`] carries a *degree of parallelism*, not a set of persistent
-//! worker threads: [`ThreadPool::install`] publishes that degree in a
-//! thread-local, and slice [`prelude::IntoParallelRefIterator::par_iter`] +
-//! `for_each` split the slice into per-thread chunks executed on
-//! `std::thread::scope` threads. This keeps the engine's `Send`/`Sync`
-//! obligations identical to real rayon (closures really do cross threads)
-//! while staying dependency-free; there is no work stealing, so very skewed
-//! work units balance worse than under real rayon.
+//! [`ThreadPool`] owns *persistent* worker threads fed through the scheduler
+//! of [`sched`]: callers push tasks into a global [`sched::Injector`], each
+//! worker moves a share of it into its own [`sched::WorkerQueue`], executes
+//! locally in LIFO order and — when it runs dry — steals half of a victim's
+//! deque. Slice [`prelude::IntoParallelRefIterator::par_iter`] + `for_each`
+//! feeds fine-grained chunks into that machinery dynamically instead of
+//! pre-splitting one chunk per thread, so very skewed work units rebalance
+//! onto idle workers exactly like under real rayon. [`spawn`], [`scope`] and
+//! [`join`] are provided on the same runtime.
+//!
+//! [`ThreadPool::install`] runs the closure on the *calling* thread with the
+//! pool's registry and width published in thread-locals (real rayon migrates
+//! the closure onto a worker; the shim keeps the caller as the coordinator,
+//! which preserves the same `Send`/`Sync` obligations — task closures really
+//! do cross threads — with much less machinery). The pre-pool static
+//! splitting survives as [`iter::SlicePar::for_each_chunked`], kept as the
+//! load-balancing baseline for benches and the CI skew smoke check.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+pub mod sched;
+
+use sched::{Injector, WorkerQueue};
+
+/// A unit of work owned by the pool. Non-`'static` borrows (parallel
+/// iterators, scope spawns) are transmuted to `'static` at creation; this is
+/// sound because the submitting call blocks until its completion latch trips,
+/// which happens only after every one of its tasks has run.
+type Task = Box<dyn FnOnce() + Send + 'static>;
 
 thread_local! {
     /// Degree of parallelism installed by the innermost `ThreadPool::install`.
     static CURRENT_WIDTH: Cell<usize> = const { Cell::new(0) };
+    /// Registry installed by the innermost `ThreadPool::install`.
+    static CURRENT_REGISTRY: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+    /// Set on pool worker threads: (owning registry, worker index).
+    static WORKER: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
 }
 
 fn default_width() -> usize {
@@ -33,6 +61,269 @@ pub fn current_num_threads() -> usize {
     }
 }
 
+fn current_registry() -> Option<Arc<Registry>> {
+    CURRENT_REGISTRY.with(|r| r.borrow().clone())
+}
+
+/// The process-wide fallback registry used by [`spawn`] and parallel
+/// iterators outside any [`ThreadPool::install`]. Created lazily with one
+/// worker per logical CPU; its threads are detached and live for the process.
+fn global_registry() -> Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let registry = Registry::new(default_width().max(1));
+            for index in 0..registry.width {
+                let reg = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("rayon-global-{index}"))
+                    .spawn(move || worker_loop(reg, index))
+                    .expect("failed to spawn global pool worker");
+            }
+            registry
+        })
+        .clone()
+}
+
+// ---------------------------------------------------------------------------
+// Registry: the shared state of one pool.
+// ---------------------------------------------------------------------------
+
+/// Shared state of a pool: the injector, one deque per worker, and the
+/// sleep/wake machinery.
+struct Registry {
+    injector: Injector<Task>,
+    workers: Vec<WorkerQueue<Task>>,
+    sleep: Mutex<()>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+    width: usize,
+}
+
+impl Registry {
+    fn new(width: usize) -> Arc<Self> {
+        Arc::new(Registry {
+            injector: Injector::new(),
+            workers: (0..width).map(|_| WorkerQueue::new()).collect(),
+            sleep: Mutex::new(()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            width,
+        })
+    }
+
+    /// Whether any queue (approximately) holds a task.
+    fn has_visible_work(&self) -> bool {
+        !self.injector.is_empty() || self.workers.iter().any(|w| !w.is_empty())
+    }
+
+    /// Wake every sleeping worker. Taking the sleep lock orders the wakeup
+    /// after any push observed by a worker that re-checks under the lock, so
+    /// notifications cannot be lost.
+    fn notify_all(&self) {
+        let _guard = self.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        self.wakeup.notify_all();
+    }
+
+    /// Submit a batch of tasks through the injector and wake the workers.
+    fn inject_batch(&self, tasks: Vec<Task>) {
+        self.injector.push_batch(tasks);
+        self.notify_all();
+    }
+
+    /// Submit one task and wake the workers.
+    fn inject(&self, task: Task) {
+        self.injector.push(task);
+        self.notify_all();
+    }
+
+    /// Find a task for worker `index`: local deque first (LIFO), then a share
+    /// of the injector, then steal half of a victim's deque.
+    fn find_task(&self, index: usize) -> Option<Task> {
+        let local = &self.workers[index];
+        if let Some(task) = local.pop() {
+            return Some(task);
+        }
+        let mut share = self.injector.pop_share(self.width);
+        if !share.is_empty() {
+            let first = share.remove(0);
+            if !share.is_empty() {
+                local.extend(share);
+                // The surplus we just parked locally is stealable.
+                self.notify_all();
+            }
+            return Some(first);
+        }
+        for offset in 1..self.width {
+            let victim = (index + offset) % self.width;
+            if self.workers[victim].is_empty() {
+                continue;
+            }
+            if let Some(task) = local.steal_half_from(&self.workers[victim]) {
+                if !local.is_empty() {
+                    self.notify_all();
+                }
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Block until `latch` trips. A worker of this registry keeps executing
+    /// tasks while it waits (so nested parallel calls cannot deadlock); any
+    /// other thread sleeps on the latch.
+    fn wait_on(&self, latch: &Latch) {
+        let worker_index = WORKER.with(|w| {
+            w.borrow()
+                .as_ref()
+                .filter(|(reg, _)| std::ptr::eq(Arc::as_ptr(reg), self as *const _))
+                .map(|&(_, index)| index)
+        });
+        match worker_index {
+            Some(index) => {
+                while !latch.probe() {
+                    match self.find_task(index) {
+                        Some(task) => task(),
+                        None => latch.wait_briefly(),
+                    }
+                }
+            }
+            None => latch.wait(),
+        }
+    }
+}
+
+/// One pool worker: drain local work, pull shares from the injector, steal
+/// from peers, and sleep (with a timeout backstop) when the pool is idle.
+/// On shutdown the worker drains every reachable task before exiting, so
+/// fire-and-forget [`spawn`]s still run.
+fn worker_loop(registry: Arc<Registry>, index: usize) {
+    CURRENT_WIDTH.with(|w| w.set(registry.width));
+    CURRENT_REGISTRY.with(|r| *r.borrow_mut() = Some(Arc::clone(&registry)));
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&registry), index)));
+    loop {
+        if let Some(task) = registry.find_task(index) {
+            task();
+            continue;
+        }
+        if registry.shutdown.load(Ordering::Acquire) {
+            if registry.has_visible_work() {
+                continue;
+            }
+            return;
+        }
+        let guard = registry.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        if registry.has_visible_work() || registry.shutdown.load(Ordering::Acquire) {
+            continue;
+        }
+        // The timeout is a backstop only; notify_all under the same lock is
+        // the primary wake path.
+        let _ = registry
+            .wakeup
+            .wait_timeout(guard, Duration::from_millis(10));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latch + shared job state.
+// ---------------------------------------------------------------------------
+
+/// A one-shot completion latch.
+struct Latch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn set(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        self.cv.notify_all();
+    }
+
+    fn probe(&self) -> bool {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Sleep until the latch trips or a short timeout elapses; used by
+    /// workers that interleave waiting with task execution.
+    fn wait_briefly(&self) {
+        let done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        if !*done {
+            let _ = self.cv.wait_timeout(done, Duration::from_micros(200));
+        }
+    }
+}
+
+/// Completion accounting shared by every task of one parallel call: an
+/// outstanding-task counter, the latch tripped by the last task, and the
+/// first captured panic (re-thrown at the blocked submitter).
+struct JobState {
+    pending: AtomicUsize,
+    latch: Latch,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl JobState {
+    fn new(pending: usize) -> Self {
+        JobState {
+            pending: AtomicUsize::new(pending),
+            latch: Latch::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn add_one(&self) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Record one finished task (optionally with its captured panic); the
+    /// last task trips the latch.
+    fn finish(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(payload) = panic {
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.latch.set();
+        }
+    }
+
+    /// Re-throw the first captured panic, if any.
+    fn propagate_panic(&self) {
+        let payload = self.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Erase a non-`'static` task to the pool's `'static` task type. Callers must
+/// guarantee the task runs (or is dropped) before the borrows it captures
+/// expire — every submitter below blocks on its [`JobState`] latch, which
+/// trips only after all of its tasks have executed.
+unsafe fn erase_task<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
+    std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Task>(task)
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool and builder.
+// ---------------------------------------------------------------------------
+
 /// Error type of [`ThreadPoolBuilder::build`]; the shim never fails.
 pub struct ThreadPoolBuildError(());
 
@@ -46,6 +337,7 @@ impl fmt::Debug for ThreadPoolBuildError {
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
+    thread_name: Option<Box<dyn FnMut(usize) -> String>>,
 }
 
 impl ThreadPoolBuilder {
@@ -60,64 +352,273 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Accepted for API compatibility; the shim spawns anonymous scoped
-    /// threads, so the name function is dropped.
-    pub fn thread_name<F>(self, _name: F) -> Self
+    /// Name the pool's worker threads (`name(i)` for worker `i`).
+    pub fn thread_name<F>(mut self, name: F) -> Self
     where
-        F: FnMut(usize) -> String,
+        F: FnMut(usize) -> String + 'static,
     {
+        self.thread_name = Some(Box::new(name));
         self
     }
 
-    /// Finish the build. Never fails in the shim.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+    /// Finish the build, spawning the persistent workers. Never fails in the
+    /// shim.
+    pub fn build(mut self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let width = if self.num_threads == 0 {
             default_width()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { width })
+        let registry = Registry::new(width);
+        let mut handles = Vec::with_capacity(width);
+        for index in 0..width {
+            let name = match self.thread_name.as_mut() {
+                Some(f) => f(index),
+                None => format!("rayon-worker-{index}"),
+            };
+            let reg = Arc::clone(&registry);
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(reg, index))
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// A degree-of-parallelism token mirroring `rayon::ThreadPool`.
+/// A work-stealing thread pool mirroring `rayon::ThreadPool`.
 pub struct ThreadPool {
-    width: usize,
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
     /// Number of workers parallel operations inside this pool will use.
     pub fn current_num_threads(&self) -> usize {
-        self.width
+        self.registry.width
     }
 
-    /// Run `f` with this pool's parallelism installed on the calling thread.
-    /// The previous width is restored even if `f` panics, so a caught panic
-    /// (e.g. under `catch_unwind` in a test harness) cannot leak this pool's
-    /// width into unrelated work on the same thread.
+    /// Run `f` with this pool installed on the calling thread: parallel
+    /// iterators, [`scope`] and [`spawn`] inside `f` dispatch onto this
+    /// pool's workers. The previous installation is restored even if `f`
+    /// panics, so a caught panic (e.g. under `catch_unwind` in a test
+    /// harness) cannot leak this pool into unrelated work on the same thread.
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
-        struct Restore(usize);
+        struct Restore(usize, Option<Arc<Registry>>);
         impl Drop for Restore {
             fn drop(&mut self) {
                 CURRENT_WIDTH.with(|w| w.set(self.0));
+                CURRENT_REGISTRY.with(|r| *r.borrow_mut() = self.1.take());
             }
         }
-        let _restore = Restore(CURRENT_WIDTH.with(|w| w.replace(self.width)));
+        let prev_width = CURRENT_WIDTH.with(|w| w.replace(self.registry.width));
+        let prev_registry =
+            CURRENT_REGISTRY.with(|r| r.borrow_mut().replace(Arc::clone(&self.registry)));
+        let _restore = Restore(prev_width, prev_registry);
         f()
     }
+
+    /// Create a [`scope`] whose spawns run on this pool.
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        self.install(move || scope(f))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.shutdown.store(true, Ordering::Release);
+        self.registry.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// spawn / scope / join.
+// ---------------------------------------------------------------------------
+
+/// Fire-and-forget: run `f` asynchronously on the installed pool (or the
+/// process-global pool outside any [`ThreadPool::install`]). A panic in `f`
+/// is caught and discarded, mirroring rayon's detached-spawn behaviour
+/// closely enough for the shim.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let registry = current_registry().unwrap_or_else(global_registry);
+    registry.inject(Box::new(move || {
+        let _ = catch_unwind(AssertUnwindSafe(f));
+    }));
+}
+
+/// A structured-concurrency scope: tasks spawned on it may borrow anything
+/// that outlives `'scope`, and [`scope`] does not return until every spawned
+/// task has finished.
+pub struct Scope<'scope> {
+    registry: Option<Arc<Registry>>,
+    /// Pending count starts at 1 (the scope body); each spawn adds one.
+    state: JobState,
+    _marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+/// A pointer to a [`Scope`] that may ride inside a task to another thread.
+/// Safety: the scope outlives every one of its tasks (the creator blocks on
+/// the scope latch) and its shared state is `Sync`.
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> ScopePtr<'scope> {
+    /// Accessor (rather than a field read) so closures capture the whole
+    /// `Send` wrapper, not the raw pointer inside it.
+    fn get(&self) -> *const Scope<'scope> {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task on the scope. Without a pool installed the task runs
+    /// inline immediately.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let Some(registry) = &self.registry else {
+            f(self);
+            return;
+        };
+        self.state.add_one();
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let task = move || {
+            // Safety: see `ScopePtr`.
+            let scope = unsafe { &*scope_ptr.get() };
+            let result = catch_unwind(AssertUnwindSafe(|| f(scope)));
+            scope.state.finish(result.err());
+        };
+        let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(task);
+        // Safety: `scope()` blocks on the scope latch before returning.
+        registry.inject(unsafe { erase_task(boxed) });
+    }
+}
+
+/// Run `f` with a [`Scope`] bound to the installed pool and wait for every
+/// spawned task to finish; panics from the body or any task are propagated.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        registry: current_registry(),
+        state: JobState::new(1),
+        _marker: std::marker::PhantomData,
+    };
+    let body = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    let (out, body_panic) = match body {
+        Ok(value) => (Some(value), None),
+        Err(payload) => (None, Some(payload)),
+    };
+    // Retire the body's pending token, then wait for the spawned tasks.
+    s.state.finish(body_panic);
+    if let Some(registry) = &s.registry {
+        registry.wait_on(&s.state.latch);
+    } else {
+        debug_assert!(s.state.latch.probe(), "inline scope left pending tasks");
+    }
+    s.state.propagate_panic();
+    out.expect("scope body panicked without propagating")
+}
+
+/// Run `a` and `b`, potentially in parallel, and return both results. `b` is
+/// offered to the pool while the caller runs `a` inline.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("join: second closure did not run"))
+}
+
+/// Submit `len` items as dynamically balanced tasks of `run_chunk(start, end)`
+/// and block until all complete. `run_chunk` must be safe to call from any
+/// pool thread; panics are captured and re-thrown here.
+fn parallel_chunks<F>(registry: &Arc<Registry>, len: usize, width: usize, run_chunk: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    // Fine-grained dynamic feeding: aim for several tasks per worker so a
+    // skewed chunk can be compensated by idle workers stealing the rest.
+    let tasks = (width.max(1) * 8).min(len).max(1);
+    let chunk = len.div_ceil(tasks);
+    let task_count = len.div_ceil(chunk);
+    let state = JobState::new(task_count);
+    let mut batch: Vec<Task> = Vec::with_capacity(task_count);
+    let run_chunk = &run_chunk;
+    let state_ref = &state;
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk).min(len);
+        let task = move || {
+            let result = catch_unwind(AssertUnwindSafe(|| run_chunk(start, end)));
+            state_ref.finish(result.err());
+        };
+        let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(task);
+        // Safety: this function blocks on `state.latch` before returning, so
+        // `run_chunk` and `state` outlive every task.
+        batch.push(unsafe { erase_task(boxed) });
+        start = end;
+    }
+    registry.inject_batch(batch);
+    registry.wait_on(&state.latch);
+    state.propagate_panic();
 }
 
 /// Parallel iteration traits and adapters.
 pub mod iter {
+    use super::{global_registry, parallel_chunks};
+
     /// A pending parallel iteration over the elements of a slice.
     pub struct SlicePar<'a, T> {
         slice: &'a [T],
     }
 
     impl<'a, T: Sync> SlicePar<'a, T> {
-        /// Apply `op` to every element, splitting the slice into one
-        /// contiguous chunk per available worker.
+        /// Apply `op` to every element. Elements are fed to the installed
+        /// pool as fine-grained chunk tasks that idle workers steal, so
+        /// skewed per-element costs rebalance dynamically.
         pub fn for_each<F>(self, op: F)
+        where
+            F: Fn(&'a T) + Sync + Send,
+        {
+            let len = self.slice.len();
+            let width = super::current_num_threads().clamp(1, len.max(1));
+            if width <= 1 || len <= 1 {
+                self.slice.iter().for_each(op);
+                return;
+            }
+            let registry = super::current_registry().unwrap_or_else(global_registry);
+            let slice = self.slice;
+            parallel_chunks(&registry, len, width.min(registry.width), |start, end| {
+                slice[start..end].iter().for_each(&op);
+            });
+        }
+
+        /// The pre-work-stealing scheduling policy: split the slice into one
+        /// contiguous chunk per worker on `std::thread::scope` threads, with
+        /// no rebalancing. Kept as the load-balancing baseline for the
+        /// skewed-workload benchmarks and the CI skew smoke check.
+        pub fn for_each_chunked<F>(self, op: F)
         where
             F: Fn(&'a T) + Sync + Send,
         {
@@ -184,7 +685,9 @@ pub mod iter {
             self.range.sum()
         }
 
-        /// Apply `op` to every element of the range.
+        /// Apply `op` to every element of the range. Sequential: the
+        /// workspace only uses ranges for tiny folds; slice iteration is the
+        /// parallel hot path.
         pub fn for_each<F>(self, op: F)
         where
             F: Fn(I) + Sync + Send,
@@ -249,20 +752,68 @@ mod tests {
     }
 
     #[test]
+    fn for_each_chunked_visits_every_element_once() {
+        let data: Vec<usize> = (0..1000).collect();
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            data.par_iter().for_each_chunked(|&i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
     fn for_each_actually_crosses_threads() {
         use std::collections::HashSet;
         use std::sync::Mutex;
-        let data: Vec<usize> = (0..64).collect();
+        let data: Vec<usize> = (0..16).collect();
         let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         pool.install(|| {
             data.par_iter().for_each(|_| {
                 seen.lock().unwrap().insert(std::thread::current().id());
+                // Yield the core so other workers get to pull tasks even on a
+                // single-CPU machine.
+                std::thread::sleep(std::time::Duration::from_millis(5));
             });
         });
         assert!(
             seen.lock().unwrap().len() > 1,
             "expected work on multiple threads"
+        );
+    }
+
+    #[test]
+    fn skewed_work_is_stolen_off_the_loaded_worker() {
+        // One task is ~100x heavier than the rest. Under static chunking the
+        // worker that owns the heavy chunk would also own every task behind
+        // it; with work stealing the cheap tasks must spread to other
+        // threads while the heavy one runs.
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        let mut costs = vec![1u64; 64];
+        costs[0] = 100;
+        let by_thread: Mutex<HashMap<std::thread::ThreadId, u64>> = Mutex::new(HashMap::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            costs.par_iter().for_each(|&c| {
+                std::thread::sleep(std::time::Duration::from_micros(c * 100));
+                *by_thread
+                    .lock()
+                    .unwrap()
+                    .entry(std::thread::current().id())
+                    .or_insert(0) += c;
+            });
+        });
+        let by_thread = by_thread.lock().unwrap();
+        let total: u64 = by_thread.values().sum();
+        assert_eq!(total, 163);
+        let max = by_thread.values().max().copied().unwrap_or(0);
+        assert!(
+            max < total,
+            "expected the cheap tasks to run on other workers"
         );
     }
 
@@ -280,8 +831,117 @@ mod tests {
     }
 
     #[test]
+    fn for_each_propagates_task_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let data: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                data.par_iter().for_each(|&i| {
+                    if i == 33 {
+                        panic!("task 33 exploded");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic inside a task must reach the caller");
+    }
+
+    #[test]
+    fn scope_runs_every_spawn_with_borrows() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..40 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn scope_supports_nested_spawns() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|s| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        s.spawn(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scope_without_pool_runs_inline() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            7
+        });
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 2 + 2, || "ok"));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn spawn_runs_detached_tasks_before_pool_drop() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            pool.install(|| {
+                for _ in 0..16 {
+                    let counter = Arc::clone(&counter);
+                    spawn(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            // Dropping the pool drains the queues before joining the workers.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
     fn range_sum_matches_sequential() {
         let s: u64 = (0..1000u64).into_par_iter().sum();
         assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn nested_for_each_inside_worker_does_not_deadlock() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                s.spawn(|_| {
+                    // This runs on a worker; the nested for_each must
+                    // participate instead of waiting forever.
+                    let inner: Vec<usize> = (0..64).collect();
+                    inner.par_iter().for_each(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
     }
 }

@@ -1,0 +1,225 @@
+//! Work-stealing scheduling primitives: a global [`Injector`] queue and
+//! per-worker [`WorkerQueue`] deques.
+//!
+//! These are the building blocks of the shim's thread pool, kept generic and
+//! public so the workspace's property tests can hammer them directly: the
+//! pool-level invariant ("every task pushed is executed exactly once, no
+//! matter how the thieves interleave") reduces to the exactly-once transfer
+//! discipline of these two queues.
+//!
+//! The implementation is intentionally lock-based (a `Mutex<VecDeque>` per
+//! queue) rather than a lock-free Chase-Lev deque: the policy — FIFO global
+//! injection, LIFO local execution, steal-half from the front of a victim —
+//! is what balances skewed workloads, and a coarse lock keeps the shim small
+//! and obviously correct. Swapping in `crossbeam-deque` when a registry is
+//! available changes nothing above this module.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Lock the mutex, ignoring poisoning: no user code ever runs while a queue
+/// lock is held, so a poisoned lock still guards consistent data.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The global FIFO injection queue: external callers push batches of tasks
+/// here, workers move shares of it into their local deques.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Cached length so idle workers can probe for work without locking.
+    len: AtomicUsize,
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Push a single task at the back.
+    pub fn push(&self, task: T) {
+        let mut q = lock(&self.queue);
+        q.push_back(task);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Push a batch of tasks at the back under one lock acquisition.
+    pub fn push_batch(&self, tasks: impl IntoIterator<Item = T>) {
+        let mut q = lock(&self.queue);
+        q.extend(tasks);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Pop one task from the front (FIFO).
+    pub fn pop(&self) -> Option<T> {
+        let mut q = lock(&self.queue);
+        let task = q.pop_front();
+        self.len.store(q.len(), Ordering::Release);
+        task
+    }
+
+    /// Pop a *share* of the queue from the front: `ceil(len / divisor)` tasks
+    /// (at least one when the queue is non-empty). A worker pulling work out
+    /// of the injector takes its fair share in one lock acquisition and keeps
+    /// the rest for its peers.
+    pub fn pop_share(&self, divisor: usize) -> Vec<T> {
+        let mut q = lock(&self.queue);
+        let n = q.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let take = n.div_ceil(divisor.max(1)).min(n);
+        let share: Vec<T> = q.drain(..take).collect();
+        self.len.store(q.len(), Ordering::Release);
+        share
+    }
+
+    /// Number of queued tasks (approximate outside the lock).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the queue is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A per-worker task deque: the owner pushes and pops at the back (LIFO, for
+/// locality), thieves steal half of the queue from the front (the oldest —
+/// and, under divide-and-conquer splitting, largest — tasks).
+#[derive(Debug, Default)]
+pub struct WorkerQueue<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Cached length so thieves can pick a victim without locking it.
+    len: AtomicUsize,
+}
+
+impl<T> WorkerQueue<T> {
+    /// Create an empty worker deque.
+    pub fn new() -> Self {
+        WorkerQueue {
+            queue: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Owner: push a task at the back.
+    pub fn push(&self, task: T) {
+        let mut q = lock(&self.queue);
+        q.push_back(task);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Owner: push a batch of tasks at the back, preserving their order.
+    pub fn extend(&self, tasks: impl IntoIterator<Item = T>) {
+        let mut q = lock(&self.queue);
+        q.extend(tasks);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Owner: pop the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        let mut q = lock(&self.queue);
+        let task = q.pop_back();
+        self.len.store(q.len(), Ordering::Release);
+        task
+    }
+
+    /// Thief: steal *half* of `victim`'s queue (`ceil(len / 2)`, from the
+    /// front). The first stolen task is returned for immediate execution, the
+    /// remainder is appended to `self`. Returns `None` when the victim was
+    /// empty.
+    ///
+    /// The victim's lock is released before `self` is locked, so two workers
+    /// stealing from each other concurrently cannot deadlock.
+    pub fn steal_half_from(&self, victim: &WorkerQueue<T>) -> Option<T> {
+        let mut stolen = {
+            let mut v = lock(&victim.queue);
+            let n = v.len();
+            if n == 0 {
+                return None;
+            }
+            let take = n.div_ceil(2);
+            let stolen: Vec<T> = v.drain(..take).collect();
+            victim.len.store(v.len(), Ordering::Release);
+            stolen
+        };
+        let first = stolen.remove(0);
+        if !stolen.is_empty() {
+            self.extend(stolen);
+        }
+        Some(first)
+    }
+
+    /// Number of queued tasks (approximate outside the lock).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the deque is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo_and_tracks_len() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push_batch([2, 3, 4]);
+        assert_eq!(inj.len(), 4);
+        assert_eq!(inj.pop(), Some(1));
+        assert_eq!(inj.pop_share(2), vec![2, 3]);
+        assert_eq!(inj.len(), 1);
+        assert_eq!(inj.pop(), Some(4));
+        assert!(inj.is_empty());
+        assert!(inj.pop_share(4).is_empty());
+    }
+
+    #[test]
+    fn worker_queue_is_lifo_for_owner() {
+        let q = WorkerQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn steal_takes_the_front_half() {
+        let victim = WorkerQueue::new();
+        let thief = WorkerQueue::new();
+        victim.extend([1, 2, 3, 4, 5]);
+        // ceil(5/2) = 3 stolen: first returned, 2 and 3 land in the thief.
+        assert_eq!(thief.steal_half_from(&victim), Some(1));
+        assert_eq!(thief.len(), 2);
+        assert_eq!(victim.len(), 2);
+        // Thief keeps its own order (owner pops LIFO: 3 then 2).
+        assert_eq!(thief.pop(), Some(3));
+        assert_eq!(thief.pop(), Some(2));
+        // Victim keeps its back half.
+        assert_eq!(victim.pop(), Some(5));
+        assert_eq!(victim.pop(), Some(4));
+    }
+
+    #[test]
+    fn steal_from_empty_victim() {
+        let victim: WorkerQueue<u32> = WorkerQueue::new();
+        let thief = WorkerQueue::new();
+        assert_eq!(thief.steal_half_from(&victim), None);
+    }
+}
