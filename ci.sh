@@ -33,6 +33,11 @@ if [ "$quick" != "quick" ]; then
     # chunking policy and must balance the load >= 1.3x better (projected
     # makespan on 4 cores; see crates/bench/src/bin/skew_smoke.rs).
     step cargo run --release -q -p mnemonic-bench --bin skew_smoke
+    # Shared-ingest smoke check: a 4-query session must beat 4 sequential
+    # independent engines in total wall-clock on the multi-query workload
+    # and report identical per-query embedding counts (see
+    # crates/bench/src/bin/multi_query_gate.rs).
+    step cargo run --release -q -p mnemonic-bench --bin multi_query_gate
 fi
 
 step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

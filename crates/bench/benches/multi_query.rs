@@ -1,0 +1,80 @@
+//! Multi-query session throughput: K standing queries over one shared
+//! stream, ingested once per batch through [`MnemonicSession`], against the
+//! pre-session cost model of K independent engines each re-ingesting the
+//! stream. K ∈ {1, 4, 16} on a tiny NetFlow-like workload.
+//!
+//! [`MnemonicSession`]: mnemonic_core::session::MnemonicSession
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemonic_bench::workloads::{multi_query_set, scaled_netflow, WorkloadScale};
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::embedding::{CountingSink, EmbeddingSink};
+use mnemonic_core::engine::{EngineConfig, Mnemonic};
+use mnemonic_core::session::MnemonicSession;
+use mnemonic_core::variants::Isomorphism;
+
+const BATCH: usize = 512;
+
+fn sequential_batched() -> EngineConfig {
+    EngineConfig {
+        num_threads: 1,
+        parallel: false,
+        ..EngineConfig::with_batch_size(BATCH)
+    }
+}
+
+fn multi_query(c: &mut Criterion) {
+    let events = scaled_netflow(&WorkloadScale::micro());
+
+    let mut group = c.benchmark_group("multi_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for k in [1usize, 4, 16] {
+        // One session: the batch's graph update, frontier and deletion
+        // resolution run once, only filtering + enumeration scale with K.
+        group.bench_function(format!("session_{k}_queries"), |b| {
+            b.iter(|| {
+                let mut session =
+                    MnemonicSession::new(sequential_batched()).expect("valid bench configuration");
+                let handles: Vec<_> = multi_query_set(k)
+                    .into_iter()
+                    .map(|q| {
+                        let h = session
+                            .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                            .expect("connected query");
+                        h.attach_sink(std::sync::Arc::new(CountingSink::new()));
+                        h
+                    })
+                    .collect();
+                session
+                    .run_events(events.iter().copied())
+                    .expect("bench replay succeeds");
+                handles.iter().map(|h| h.accepted()).sum::<u64>()
+            });
+        });
+        // K independent engines: the pre-session architecture pays the
+        // whole ingest pipeline once per query.
+        group.bench_function(format!("independent_{k}_engines"), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in multi_query_set(k) {
+                    let mut engine = Mnemonic::new(
+                        q,
+                        Box::new(LabelEdgeMatcher),
+                        Box::new(Isomorphism),
+                        sequential_batched(),
+                    );
+                    let sink = CountingSink::new();
+                    engine.run_events(events.iter().copied(), &sink);
+                    total += sink.count();
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, multi_query);
+criterion_main!(benches);

@@ -19,4 +19,6 @@ pub use runners::{
     run_ceci_snapshots, run_mnemonic_stream, run_turboflux_stream, MnemonicRun, Variant,
 };
 pub use skew::{ParallelRun, Policy, SkewConfig, SkewFixture};
-pub use workloads::{paper_queries, scaled_lanl, scaled_lsbench, scaled_netflow, WorkloadScale};
+pub use workloads::{
+    multi_query_set, paper_queries, scaled_lanl, scaled_lsbench, scaled_netflow, WorkloadScale,
+};

@@ -41,10 +41,31 @@ pub enum UpdateMode {
 
 impl UpdateMode {
     /// The number of events that triggers an automatic flush (always ≥ 1).
+    ///
+    /// A directly constructed `Batched(0)` is **clamped to 1** on this
+    /// infallible path — it is kept only so legacy configurations keep
+    /// working. The validated construction paths
+    /// ([`crate::session::SessionBuilder::build`] and
+    /// [`crate::session::MnemonicSession::new`]) reject `Batched(0)` with
+    /// [`crate::MnemonicError::InvalidConfig`] instead; use
+    /// [`UpdateMode::PerEdge`] when you mean a batch of one.
     pub fn batch_size(&self) -> usize {
         match *self {
             UpdateMode::PerEdge => 1,
             UpdateMode::Batched(n) => n.max(1),
+        }
+    }
+
+    /// Check the mode for construction-time validity: `Batched(0)` has no
+    /// meaningful flush boundary and is rejected (the infallible
+    /// [`UpdateMode::batch_size`] path clamps it to 1 instead).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            UpdateMode::Batched(0) => Err(
+                "UpdateMode::Batched(0) has no flush boundary; use UpdateMode::PerEdge or a batch size >= 1"
+                    .to_string(),
+            ),
+            _ => Ok(()),
         }
     }
 }
@@ -182,6 +203,14 @@ mod tests {
         assert_eq!(UpdateMode::Batched(0).batch_size(), 1);
         assert_eq!(UpdateMode::Batched(256).batch_size(), 256);
         assert_eq!(UpdateMode::default().batch_size(), 16 * 1024);
+    }
+
+    #[test]
+    fn update_mode_validation_rejects_only_zero_batches() {
+        assert!(UpdateMode::PerEdge.validate().is_ok());
+        assert!(UpdateMode::Batched(1).validate().is_ok());
+        assert!(UpdateMode::default().validate().is_ok());
+        assert!(UpdateMode::Batched(0).validate().is_err());
     }
 
     #[test]

@@ -1,36 +1,34 @@
-//! The Mnemonic engine: Algorithm 1 of the paper.
+//! The single-query Mnemonic engine: Algorithm 1 of the paper.
 //!
-//! [`Mnemonic`] owns the streaming data graph, the DEBI index and the query
-//! metadata (query tree, matching orders, mask table). Snapshots produced by
-//! the [`SnapshotGenerator`]
-//! are applied with [`Mnemonic::apply_snapshot`], which runs the
-//! `batchInserts` / `batchDeletes` pipelines of Algorithm 2 and reports
-//! newly formed / removed embeddings through an [`EmbeddingSink`].
+//! [`Mnemonic`] is the original one-query-per-engine API, kept for
+//! compatibility with the seed tests, the examples and the benchmark
+//! harness. Since the session redesign it is a thin wrapper over a
+//! [`MnemonicSession`] holding exactly one
+//! standing query: new code that runs more than one query over a stream
+//! should use [`crate::session::MnemonicSession`] directly, which ingests
+//! each batch once and shares graph storage and scheduling across all
+//! registered queries — and returns [`crate::MnemonicError`] instead of
+//! panicking.
+//!
+//! Snapshots produced by the [`SnapshotGenerator`] are applied with
+//! [`Mnemonic::apply_snapshot`], which runs the `batchInserts` /
+//! `batchDeletes` pipelines of Algorithm 2 and reports newly formed /
+//! removed embeddings through an [`EmbeddingSink`].
 
-use crate::api::{EdgeMatcher, MatchSemantics, UpdateMode};
-use crate::debi::{Debi, DebiStats};
-use crate::embedding::{EmbeddingSink, Sign};
-use crate::enumerate::Enumerator;
-use crate::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
-use crate::frontier::UnifiedFrontier;
-use crate::parallel;
-use crate::stats::{CounterSnapshot, EngineCounters, PhaseTimings};
-use mnemonic_graph::edge::{Edge, EdgeTriple};
-use mnemonic_graph::ids::{EdgeId, Timestamp, WILDCARD_VERTEX_LABEL};
-use mnemonic_graph::multigraph::{GraphConfig, StreamingGraph};
-use mnemonic_graph::spill::{SpillConfig, SpillManager, SpillStats};
-use mnemonic_query::masking::MaskTable;
-use mnemonic_query::matching_order::MatchingOrderSet;
+use crate::api::UpdateMode;
+use crate::api::{EdgeMatcher, MatchSemantics};
+use crate::debi::DebiStats;
+use crate::embedding::EmbeddingSink;
+use crate::session::{MnemonicSession, QueryHandle, SessionBatchResult};
+use crate::stats::{CounterSnapshot, PhaseTimings};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_graph::spill::{SpillConfig, SpillStats};
 use mnemonic_query::query_graph::QueryGraph;
 use mnemonic_query::query_tree::QueryTree;
-use mnemonic_query::root::{select_root, LabelFrequencies};
 use mnemonic_stream::event::StreamEvent;
 use mnemonic_stream::generator::SnapshotGenerator;
 use mnemonic_stream::snapshot::Snapshot;
 use mnemonic_stream::source::EventSource;
-use rayon::prelude::*;
-use std::collections::HashSet;
-use std::time::Instant;
 
 /// Engine configuration (the `config` argument of Algorithm 1).
 #[derive(Debug, Clone)]
@@ -84,7 +82,10 @@ impl EngineConfig {
     }
 
     /// Configuration with an explicit delta-batch size for the
-    /// [`Mnemonic::push_event`] path (`0` or `1` selects per-edge updates).
+    /// [`Mnemonic::push_event`] path. This infallible constructor clamps:
+    /// `0` or `1` selects per-edge updates ([`UpdateMode::PerEdge`]). Use
+    /// [`crate::session::SessionBuilder`] for validated construction that
+    /// rejects a zero batch size instead.
     pub fn with_batch_size(batch_size: usize) -> Self {
         EngineConfig {
             update_mode: if batch_size <= 1 {
@@ -116,253 +117,133 @@ pub struct BatchResult {
     pub counters: CounterSnapshot,
 }
 
-/// The Mnemonic subgraph matching engine.
+/// The Mnemonic subgraph matching engine, specialised to one standing query.
+///
+/// A thin wrapper over a one-query [`MnemonicSession`]: every call forwards
+/// to the shared session pipeline with the caller's borrowed
+/// [`EmbeddingSink`] routed directly into enumeration (no buffering), and
+/// the session's typed [`crate::MnemonicError`]s are unwrapped back into the
+/// historical panics so the original infallible signatures keep working.
 pub struct Mnemonic {
-    graph: StreamingGraph,
-    query: QueryGraph,
-    tree: QueryTree,
-    orders: MatchingOrderSet,
-    requirements: QueryRequirements,
-    mask: MaskTable,
-    debi: Debi,
-    candidacy: VertexCandidacy,
-    matcher: Box<dyn EdgeMatcher>,
-    semantics: Box<dyn MatchSemantics>,
-    config: EngineConfig,
-    counters: EngineCounters,
-    pool: Option<rayon::ThreadPool>,
-    spill: Option<SpillManager>,
-    total_timings: PhaseTimings,
-    snapshots_processed: u64,
-    /// Events buffered by [`Mnemonic::push_event`] until the delta batch
-    /// fills up (the batched update path).
-    pending: Vec<StreamEvent>,
+    session: MnemonicSession,
+    handle: QueryHandle,
 }
 
 impl Mnemonic {
     /// Create an engine for `query` using the default root-selection
     /// heuristic (`initializeIndex` of Figure 3).
+    ///
+    /// # Panics
+    /// Panics when `query` is not connected or when the configured spill
+    /// tier cannot be created; the fallible equivalent is
+    /// [`MnemonicSession::register_query`].
     pub fn new(
         query: QueryGraph,
         matcher: Box<dyn EdgeMatcher>,
         semantics: Box<dyn MatchSemantics>,
         config: EngineConfig,
     ) -> Self {
-        let root = select_root(&query, &LabelFrequencies::new());
+        let root = mnemonic_query::root::select_root(
+            &query,
+            &mnemonic_query::root::LabelFrequencies::new(),
+        );
         Self::with_root(query, root, matcher, semantics, config)
     }
 
     /// Create an engine with an explicitly chosen root query vertex
     /// (the "experienced user" path of Section III).
+    ///
+    /// # Panics
+    /// Panics when `query` is not connected or when the configured spill
+    /// tier cannot be created; the fallible equivalent is
+    /// [`MnemonicSession::register_query_with_root`].
     pub fn with_root(
         query: QueryGraph,
         root: mnemonic_graph::ids::QueryVertexId,
         matcher: Box<dyn EdgeMatcher>,
         semantics: Box<dyn MatchSemantics>,
-        config: EngineConfig,
+        mut config: EngineConfig,
     ) -> Self {
         assert!(query.is_connected(), "query graph must be connected");
-        let tree = QueryTree::build(&query, root);
-        let orders = MatchingOrderSet::build(&query, &tree);
-        let requirements = QueryRequirements::build(&query);
-        let mask = MaskTable::new(query.edge_count());
-        let debi = Debi::new(tree.debi_width());
-        let pool = if config.parallel {
-            Some(parallel::build_pool(config.num_threads))
-        } else {
-            None
-        };
-        let spill = config.spill.map(|cfg| {
-            SpillManager::new_temp(cfg, "engine").expect("failed to create spill manager")
-        });
-        let graph = StreamingGraph::with_config(GraphConfig {
-            recycle_edge_ids: config.recycle_edge_ids,
-        });
-        Mnemonic {
-            graph,
-            query,
-            tree,
-            orders,
-            requirements,
-            mask,
-            debi,
-            candidacy: VertexCandidacy::new(),
-            matcher,
-            semantics,
-            config,
-            counters: EngineCounters::new(),
-            pool,
-            spill,
-            total_timings: PhaseTimings::default(),
-            snapshots_processed: 0,
-            pending: Vec::new(),
+        // Historical clamp of this infallible path: a directly constructed
+        // `Batched(0)` behaves as a batch of one. The session builder
+        // rejects it instead.
+        if config.update_mode == UpdateMode::Batched(0) {
+            config.update_mode = UpdateMode::PerEdge;
         }
+        let mut session = MnemonicSession::new(config)
+            .unwrap_or_else(|e| panic!("failed to create spill manager: {e}"));
+        let handle = session
+            .register_query_with_root(query, root, matcher, semantics)
+            .unwrap_or_else(|e| panic!("query graph must be connected: {e}"));
+        Mnemonic { session, handle }
+    }
+
+    /// The underlying one-query session (escape hatch for code migrating to
+    /// the multi-query API).
+    pub fn session(&self) -> &MnemonicSession {
+        &self.session
+    }
+
+    /// The handle of the engine's single standing query.
+    pub fn handle(&self) -> &QueryHandle {
+        &self.handle
     }
 
     /// The current data graph.
     pub fn graph(&self) -> &StreamingGraph {
-        &self.graph
+        self.session.graph()
     }
 
     /// The query graph.
     pub fn query(&self) -> &QueryGraph {
-        &self.query
+        self.session
+            .query_graph(&self.handle)
+            .expect("the wrapper's query is always registered")
     }
 
     /// The query tree.
     pub fn tree(&self) -> &QueryTree {
-        &self.tree
+        self.session
+            .query_tree(&self.handle)
+            .expect("the wrapper's query is always registered")
     }
 
     /// DEBI occupancy statistics.
     pub fn debi_stats(&self) -> DebiStats {
-        self.debi.stats()
+        self.session
+            .debi_stats(&self.handle)
+            .expect("the wrapper's query is always registered")
     }
 
     /// Spill-tier statistics, when the external-memory tier is enabled.
     pub fn spill_stats(&self) -> Option<SpillStats> {
-        self.spill.as_ref().map(|s| s.stats())
+        self.session.spill_stats()
     }
 
     /// Cumulative engine counters.
     pub fn counters(&self) -> CounterSnapshot {
-        self.counters.snapshot()
+        self.session
+            .counters(&self.handle)
+            .expect("the wrapper's query is always registered")
     }
 
     /// Cumulative phase timings.
     pub fn timings(&self) -> PhaseTimings {
-        self.total_timings
+        self.session.timings()
     }
 
     /// Number of snapshots processed so far.
     pub fn snapshots_processed(&self) -> u64 {
-        self.snapshots_processed
+        self.session.snapshots_processed()
     }
 
-    fn ensure_index_capacity(&mut self) {
-        self.debi.ensure_rows(self.graph.edge_id_bound());
-        self.debi.ensure_roots(self.graph.vertex_count());
-        self.candidacy.ensure(self.graph.vertex_count());
-    }
-
-    fn apply_insert_events(&mut self, events: &[StreamEvent]) -> Vec<Edge> {
-        let mut inserted = Vec::with_capacity(events.len());
-        for event in events {
-            if event.src_label != WILDCARD_VERTEX_LABEL {
-                self.graph.set_vertex_label(event.src, event.src_label);
-            }
-            if event.dst_label != WILDCARD_VERTEX_LABEL {
-                self.graph.set_vertex_label(event.dst, event.dst_label);
-            }
-            let id = self.graph.insert_edge(EdgeTriple::with_timestamp(
-                event.src,
-                event.dst,
-                event.label,
-                event.timestamp,
-            ));
-            let edge = self.graph.edge(id).expect("freshly inserted edge is alive");
-            if let Some(spill) = self.spill.as_mut() {
-                let debi = &self.debi;
-                let _ = spill.on_insert(edge, |eid| debi.row(eid.index()));
-            }
-            inserted.push(edge);
-        }
-        EngineCounters::add(&self.counters.insertions_applied, inserted.len() as u64);
-        inserted
-    }
-
-    /// Resolve explicit deletion events and the eviction cutoff to concrete
-    /// edge ids, without mutating the graph yet (negative embeddings must be
-    /// enumerated against the pre-deletion state).
-    fn resolve_deletions(&self, snapshot: &Snapshot) -> Vec<EdgeId> {
-        let mut chosen: HashSet<EdgeId> = HashSet::new();
-        let mut out = Vec::new();
-        for event in &snapshot.deletions {
-            // Pick the most recently inserted live instance not already
-            // chosen by an earlier deletion in the same batch.
-            let candidate = self
-                .graph
-                .outgoing(event.src)
-                .iter()
-                .filter(|entry| entry.neighbor == event.dst)
-                .map(|entry| entry.edge)
-                .filter(|&eid| {
-                    self.graph
-                        .edge(eid)
-                        .map(|e| e.label.matches(event.label))
-                        .unwrap_or(false)
-                        && !chosen.contains(&eid)
-                })
-                .max_by_key(|&eid| (self.graph.edge(eid).map(|e| e.timestamp), eid));
-            if let Some(eid) = candidate {
-                chosen.insert(eid);
-                out.push(eid);
-            }
-        }
-        if let Some(cutoff) = snapshot.evict_before {
-            for eid in self.graph.edges_older_than(Timestamp(cutoff.0)) {
-                if chosen.insert(eid) {
-                    out.push(eid);
-                }
-            }
-        }
-        out
-    }
-
-    fn run_filtering(&mut self, frontier: &UnifiedFrontier) {
-        self.ensure_index_capacity();
-        let pass = TopDownPass {
-            graph: &self.graph,
-            query: &self.query,
-            tree: &self.tree,
-            matcher: self.matcher.as_ref(),
-            requirements: &self.requirements,
-        };
-        let parallel_enabled = self.config.parallel;
-        parallel::install(self.pool.as_ref(), || {
-            pass.run(
-                frontier,
-                &self.candidacy,
-                &self.debi,
-                &self.counters,
-                parallel_enabled,
-            );
-        });
-    }
-
-    fn run_enumeration(
-        &self,
-        batch_edges: &[Edge],
-        batch_ids: &HashSet<EdgeId>,
-        sign: Sign,
-        sink: &dyn EmbeddingSink,
-    ) {
-        let enumerator = Enumerator {
-            graph: &self.graph,
-            query: &self.query,
-            tree: &self.tree,
-            orders: &self.orders,
-            debi: &self.debi,
-            matcher: self.matcher.as_ref(),
-            semantics: self.semantics.as_ref(),
-            mask: &self.mask,
-            batch: batch_ids,
-            sign,
-            sink,
-            counters: &self.counters,
-        };
-        let units = enumerator.decompose(batch_edges);
-        if self.config.parallel {
-            parallel::install(self.pool.as_ref(), || {
-                units
-                    .par_iter()
-                    .for_each(|unit| enumerator.run_work_unit(*unit));
-            });
-        } else {
-            for unit in units {
-                enumerator.run_work_unit(unit);
-            }
-        }
+    /// Extract this engine's [`BatchResult`] from a session outcome.
+    fn own_result(&self, result: &SessionBatchResult) -> BatchResult {
+        result
+            .for_query(self.handle.id())
+            .copied()
+            .expect("the wrapper's query is always registered")
     }
 
     /// Load an initial graph without reporting embeddings: the DEBI is
@@ -370,112 +251,20 @@ impl Mnemonic {
     /// mirrors the evaluation setup where "the remaining edges ... are loaded
     /// in the initial graph".
     pub fn bootstrap(&mut self, events: &[StreamEvent]) {
-        let inserted = self.apply_insert_events(events);
-        let frontier = UnifiedFrontier::build(&self.graph, inserted, true);
-        self.run_filtering(&frontier);
+        self.session
+            .bootstrap(events)
+            .unwrap_or_else(|e| panic!("bootstrap failed: {e}"));
     }
 
     /// Process one snapshot: `batchInserts` followed by `batchDeletes`
     /// (Algorithm 1), reporting newly formed and removed embeddings to
     /// `sink`.
     pub fn apply_snapshot(&mut self, snapshot: &Snapshot, sink: &dyn EmbeddingSink) -> BatchResult {
-        let before_counters = self.counters.snapshot();
-        let mut timings = PhaseTimings::default();
-        let mut new_embeddings = 0u64;
-        let mut removed_embeddings = 0u64;
-        let mut deletions_applied = 0usize;
-
-        // ---- batchInserts (Algorithm 2, lines 1-6) ----
-        if !snapshot.insertions.is_empty() {
-            let t0 = Instant::now();
-            let inserted = self.apply_insert_events(&snapshot.insertions);
-            timings.graph_update += t0.elapsed();
-
-            let t1 = Instant::now();
-            let frontier = UnifiedFrontier::build(&self.graph, inserted.clone(), true);
-            timings.frontier += t1.elapsed();
-
-            let t2 = Instant::now();
-            self.run_filtering(&frontier);
-            timings.top_down += t2.elapsed();
-
-            let t3 = Instant::now();
-            let before = self
-                .counters
-                .embeddings_emitted
-                .load(std::sync::atomic::Ordering::Relaxed);
-            self.run_enumeration(&inserted, &frontier.batch_edge_ids, Sign::Positive, sink);
-            new_embeddings = self
-                .counters
-                .embeddings_emitted
-                .load(std::sync::atomic::Ordering::Relaxed)
-                - before;
-            timings.enumeration += t3.elapsed();
-        }
-
-        // ---- batchDeletes (Algorithm 2, lines 7-12) ----
-        if snapshot.has_deletions() {
-            let t0 = Instant::now();
-            let doomed_ids = self.resolve_deletions(snapshot);
-            let doomed_edges: Vec<Edge> = doomed_ids
-                .iter()
-                .filter_map(|&id| self.graph.edge(id))
-                .collect();
-            // The frontier is built before the graph is updated so the
-            // deleted edges and their neighbourhood are captured.
-            let frontier = UnifiedFrontier::build(&self.graph, doomed_edges.clone(), true);
-            timings.frontier += t0.elapsed();
-
-            if !doomed_edges.is_empty() {
-                // Enumerate the disappearing embeddings against the
-                // pre-deletion state.
-                let t1 = Instant::now();
-                let before = self
-                    .counters
-                    .embeddings_emitted
-                    .load(std::sync::atomic::Ordering::Relaxed);
-                self.run_enumeration(
-                    &doomed_edges,
-                    &frontier.batch_edge_ids,
-                    Sign::Negative,
-                    sink,
-                );
-                removed_embeddings = self
-                    .counters
-                    .embeddings_emitted
-                    .load(std::sync::atomic::Ordering::Relaxed)
-                    - before;
-                timings.enumeration += t1.elapsed();
-
-                // Apply the deletions.
-                let t2 = Instant::now();
-                for &id in &doomed_ids {
-                    if self.graph.delete_edge(id).is_ok() {
-                        deletions_applied += 1;
-                    }
-                }
-                EngineCounters::add(&self.counters.deletions_applied, deletions_applied as u64);
-                timings.graph_update += t2.elapsed();
-
-                // Refresh the index (bottom-up then top-down in the paper;
-                // our single refresh pass covers the same affected region).
-                let t3 = Instant::now();
-                self.run_filtering(&frontier);
-                timings.bottom_up += t3.elapsed();
-            }
-        }
-
-        self.snapshots_processed += 1;
-        self.total_timings.accumulate(&timings);
-        BatchResult {
-            snapshot_id: snapshot.id,
-            insertions: snapshot.insertions.len(),
-            deletions: deletions_applied,
-            new_embeddings,
-            removed_embeddings,
-            timings,
-            counters: self.counters.snapshot().since(&before_counters),
-        }
+        let result = self
+            .session
+            .apply_snapshot_direct(snapshot, sink)
+            .unwrap_or_else(|e| panic!("snapshot application failed: {e}"));
+        self.own_result(&result)
     }
 
     /// Drive an entire stream to completion (the `while getSnapshot()` loop
@@ -500,34 +289,32 @@ impl Mnemonic {
     ///
     /// With [`UpdateMode::PerEdge`] every push flushes — the TurboFlux-style
     /// edge-at-a-time ablation. Call [`Mnemonic::flush_pending`] at stream
-    /// end (or at any snapshot boundary) to drain a partial batch.
+    /// end (or at any snapshot boundary) to drain a partial batch, or use
+    /// [`Mnemonic::finish`] for a lossless shutdown.
     pub fn push_event(
         &mut self,
         event: StreamEvent,
         sink: &dyn EmbeddingSink,
     ) -> Option<BatchResult> {
-        self.pending.push(event);
-        if self.pending.len() >= self.config.update_mode.batch_size() {
-            self.flush_pending(sink)
-        } else {
-            None
-        }
+        self.session
+            .push_event_direct(event, sink)
+            .unwrap_or_else(|e| panic!("event ingestion failed: {e}"))
+            .map(|r| self.own_result(&r))
     }
 
     /// Flush the pending delta batch, if any: group the buffered events into
     /// a snapshot and run the `batchInserts` / `batchDeletes` pipeline for
     /// the whole batch. Returns `None` when nothing was buffered.
     pub fn flush_pending(&mut self, sink: &dyn EmbeddingSink) -> Option<BatchResult> {
-        if self.pending.is_empty() {
-            return None;
-        }
-        let snapshot = Snapshot::from_events(self.snapshots_processed, self.pending.drain(..));
-        Some(self.apply_snapshot(&snapshot, sink))
+        self.session
+            .flush_pending_direct(sink)
+            .unwrap_or_else(|e| panic!("flush failed: {e}"))
+            .map(|r| self.own_result(&r))
     }
 
     /// Number of events currently buffered by the batched update path.
     pub fn pending_events(&self) -> usize {
-        self.pending.len()
+        self.session.pending_events()
     }
 
     /// Drive a raw event sequence through the batched update path: every
@@ -548,26 +335,21 @@ impl Mnemonic {
         results
     }
 
+    /// Flush any pending events and consume the engine, returning the final
+    /// batch outcome (or `None` when nothing was buffered). Dropping an
+    /// engine with [`Mnemonic::pending_events`]` > 0` silently discards the
+    /// buffered events; `finish` is the lossless shutdown path.
+    pub fn finish(mut self, sink: &dyn EmbeddingSink) -> Option<BatchResult> {
+        self.flush_pending(sink)
+    }
+
     /// Enumerate every embedding of the *current* graph from scratch. Used by
     /// tests and by index-rebuild paths; not part of the incremental fast
     /// path.
     pub fn enumerate_current(&self, sink: &dyn EmbeddingSink) {
-        let empty = HashSet::new();
-        let enumerator = Enumerator {
-            graph: &self.graph,
-            query: &self.query,
-            tree: &self.tree,
-            orders: &self.orders,
-            debi: &self.debi,
-            matcher: self.matcher.as_ref(),
-            semantics: self.semantics.as_ref(),
-            mask: &self.mask,
-            batch: &empty,
-            sign: Sign::Positive,
-            sink,
-            counters: &self.counters,
-        };
-        enumerator.run_from_scratch();
+        self.session
+            .enumerate_current_direct(&self.handle, sink)
+            .expect("the wrapper's query is always registered");
     }
 
     /// Periodic reset (Section VII-D): drop the cumulative index and edge
@@ -576,10 +358,7 @@ impl Mnemonic {
     /// the pre-reset epoch and are discarded with it — flush before resetting
     /// to keep them.
     pub fn periodic_reset(&mut self) {
-        self.graph.reset_edges();
-        self.debi.reset();
-        self.candidacy.reset();
-        self.pending.clear();
+        self.session.periodic_reset();
     }
 }
 
@@ -589,6 +368,7 @@ mod tests {
     use crate::api::LabelEdgeMatcher;
     use crate::embedding::{CollectingSink, CountingSink};
     use crate::variants::Isomorphism;
+    use mnemonic_graph::ids::Timestamp;
     use mnemonic_query::patterns;
     use mnemonic_stream::config::StreamConfig;
     use mnemonic_stream::source::VecSource;
@@ -914,5 +694,48 @@ mod tests {
         assert!(m.flush_pending(&sink).is_some());
         assert_eq!(m.graph().live_edge_count(), 1);
         assert_eq!(sink.positive(), 0);
+    }
+
+    #[test]
+    fn finish_flushes_pending_events_losslessly() {
+        let mut m = Mnemonic::new(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            EngineConfig {
+                update_mode: crate::api::UpdateMode::Batched(100),
+                ..EngineConfig::sequential()
+            },
+        );
+        let sink = CountingSink::new();
+        for e in [
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(2, 0, 0),
+        ] {
+            assert!(m.push_event(e, &sink).is_none(), "batch far from full");
+        }
+        assert_eq!(m.pending_events(), 3);
+        let r = m.finish(&sink).expect("pending events were flushed");
+        assert_eq!(r.insertions, 3);
+        assert_eq!(r.new_embeddings, 3);
+        assert_eq!(sink.positive(), 3, "no buffered event was lost");
+    }
+
+    #[test]
+    fn batched_zero_clamps_on_the_legacy_path() {
+        // The documented clamp: `Batched(0)` on the infallible constructor
+        // behaves as a batch of one (every push flushes).
+        let mut m = Mnemonic::new(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+            EngineConfig {
+                update_mode: crate::api::UpdateMode::Batched(0),
+                ..EngineConfig::sequential()
+            },
+        );
+        let sink = CountingSink::new();
+        assert!(m.push_event(StreamEvent::insert(0, 1, 0), &sink).is_some());
     }
 }

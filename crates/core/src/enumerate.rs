@@ -120,8 +120,9 @@ impl<'a> Enumerator<'a> {
 
     /// Scheduling cost estimate of a work unit: the combined adjacency size
     /// of the anchor edge's endpoints, a proxy for how many candidates the
-    /// first extension steps will scan.
-    fn unit_cost_estimate(&self, unit: &WorkUnit) -> usize {
+    /// first extension steps will scan. Shared with the session layer, which
+    /// re-sorts the pooled units of all standing queries by the same key.
+    pub(crate) fn unit_cost_estimate(&self, unit: &WorkUnit) -> usize {
         let deg = |v| self.graph.outgoing(v).len() + self.graph.incoming(v).len();
         deg(unit.edge.src) + deg(unit.edge.dst)
     }

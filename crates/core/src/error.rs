@@ -1,0 +1,106 @@
+//! Typed errors for the fallible session API.
+//!
+//! The original single-query engine surfaced every failure as a panic
+//! (`expect` on spill-manager creation, on dead-edge lookups, an `assert!` on
+//! query connectivity). The session API returns [`MnemonicError`] instead, so
+//! a server embedding the engine can keep serving other queries when one
+//! registration or one batch goes wrong. The legacy [`crate::Mnemonic`]
+//! wrapper keeps the old infallible signatures by unwrapping these errors.
+//!
+//! The `expect`s that remain in the `crates/core` hot paths are *invariant
+//! assertions*, not fallible operations: the matching-order construction
+//! guarantees anchors are bound and non-root children have DEBI columns
+//! (`enumerate.rs`), a completed embedding is fully bound before `freeze`
+//! (`embedding.rs`), and thread-pool construction only fails on resource
+//! exhaustion at startup (`parallel.rs`). Turning those into `Result`s would
+//! spread error plumbing through the per-candidate inner loops for states
+//! that are unreachable without a logic bug.
+
+use crate::session::QueryId;
+use mnemonic_graph::ids::EdgeId;
+use std::fmt;
+
+/// Everything that can go wrong inside a [`crate::session::MnemonicSession`].
+#[derive(Debug)]
+pub enum MnemonicError {
+    /// A configuration value was rejected at construction time (for example
+    /// [`crate::api::UpdateMode::Batched`]`(0)`, which the infallible legacy
+    /// paths silently clamp to a batch size of one).
+    InvalidConfig(String),
+    /// The registered query graph is not connected; the query tree and the
+    /// matching orders require a single connected component.
+    DisconnectedQuery,
+    /// Creating the external-memory spill tier failed at construction time.
+    /// (Spill I/O failures *during* ingest are absorbed instead — they only
+    /// degrade the tier's overhead accounting — and are surfaced through
+    /// [`crate::session::MnemonicSession::spill_io_errors`].)
+    Spill(std::io::Error),
+    /// A freshly inserted edge could not be read back from the graph — the
+    /// edge slot was dead. This indicates index/graph divergence and used to
+    /// be a panic in the engine's insert path.
+    DeadEdge(EdgeId),
+    /// The query handle does not belong to this session, or the query was
+    /// already deregistered.
+    UnknownQuery(QueryId),
+}
+
+impl fmt::Display for MnemonicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MnemonicError::InvalidConfig(reason) => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
+            MnemonicError::DisconnectedQuery => {
+                write!(f, "query graph must be connected")
+            }
+            MnemonicError::Spill(err) => write!(f, "spill tier I/O failure: {err}"),
+            MnemonicError::DeadEdge(id) => {
+                write!(f, "edge {id:?} is dead but was expected to be alive")
+            }
+            MnemonicError::UnknownQuery(id) => {
+                write!(f, "query {id:?} is not registered with this session")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MnemonicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MnemonicError::Spill(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MnemonicError {
+    fn from(err: std::io::Error) -> Self {
+        MnemonicError::Spill(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MnemonicError::InvalidConfig("batch size must be >= 1".into());
+        assert!(e.to_string().contains("batch size"));
+        assert!(MnemonicError::DisconnectedQuery
+            .to_string()
+            .contains("connected"));
+        let e = MnemonicError::DeadEdge(EdgeId(7));
+        assert!(e.to_string().contains("dead"));
+        let e = MnemonicError::UnknownQuery(QueryId(3));
+        assert!(e.to_string().contains("not registered"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::other("disk full");
+        let e: MnemonicError = io.into();
+        assert!(matches!(e, MnemonicError::Spill(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -8,7 +8,13 @@
 //! matching variants (isomorphism, homomorphism, dual/strong simulation,
 //! time-constrained isomorphism).
 //!
-//! The typical entry point is [`Mnemonic`]:
+//! Two entry points are provided: the single-query [`Mnemonic`] engine
+//! below, and the multi-query [`session::MnemonicSession`] — one shared
+//! graph and ingest pipeline serving any number of standing queries through
+//! [`session::QueryHandle`]s, with typed [`MnemonicError`]s instead of
+//! panics (see the [`session`] module documentation for an example).
+//!
+//! The single-query entry point is [`Mnemonic`]:
 //!
 //! ```
 //! use mnemonic_core::api::LabelEdgeMatcher;
@@ -50,9 +56,11 @@ pub mod debi;
 pub mod embedding;
 pub mod engine;
 pub mod enumerate;
+pub mod error;
 pub mod filter;
 pub mod frontier;
 pub mod parallel;
+pub mod session;
 pub mod stats;
 pub mod variants;
 
@@ -65,7 +73,11 @@ pub use embedding::{
 };
 pub use engine::{BatchResult, EngineConfig, Mnemonic};
 pub use enumerate::{Enumerator, WorkUnit};
+pub use error::MnemonicError;
 pub use frontier::UnifiedFrontier;
+pub use session::{
+    MnemonicSession, QueryHandle, QueryId, ResultBatch, SessionBatchResult, SessionBuilder,
+};
 pub use stats::{CounterSnapshot, EngineCounters, PhaseTimings, UtilizationProfile};
 pub use variants::{
     DualSimulation, Homomorphism, Isomorphism, SimulationRelation, StrongSimulation,

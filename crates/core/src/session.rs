@@ -1,0 +1,1404 @@
+//! Multi-query sessions: one shared stream, many standing queries.
+//!
+//! The paper's programmable engine was built so *many* matching variants can
+//! run over the same stream, but [`crate::Mnemonic`] wires exactly one
+//! [`QueryGraph`] + matcher per engine. A [`MnemonicSession`] lifts that
+//! restriction: it owns one [`StreamingGraph`] and the delta-batch ingest
+//! pipeline, and any number of standing queries can be
+//! [`registered`](MnemonicSession::register_query) against it (and
+//! deregistered again under churn). Every batch is then ingested **once** —
+//! one graph update, one unified traversal frontier, one deletion
+//! resolution — and only the per-query filtering and enumeration work fans
+//! out, with the work units of *all* queries pooled and scheduled
+//! heaviest-first across one shared work-stealing pool. K standing queries
+//! share graph storage and scheduling instead of paying for K independent
+//! engines.
+//!
+//! Results are no longer threaded through every call: each
+//! [`QueryHandle`] owns its subscription. Attach an
+//! [`EmbeddingSink`] for streaming delivery, or let the session buffer
+//! embeddings and [`drain`](QueryHandle::drain) a [`ResultBatch`] at your own
+//! pace. The whole surface is fallible: construction and ingest return
+//! [`MnemonicError`] instead of panicking.
+//!
+//! ```
+//! use mnemonic_core::api::LabelEdgeMatcher;
+//! use mnemonic_core::session::MnemonicSession;
+//! use mnemonic_core::variants::Isomorphism;
+//! use mnemonic_query::patterns;
+//! use mnemonic_stream::event::StreamEvent;
+//!
+//! # fn main() -> Result<(), mnemonic_core::MnemonicError> {
+//! let mut session = MnemonicSession::builder().sequential().batch_size(2).build()?;
+//! let triangles = session.register_query(
+//!     patterns::triangle(),
+//!     Box::new(LabelEdgeMatcher),
+//!     Box::new(Isomorphism),
+//! )?;
+//! let paths = session.register_query(
+//!     patterns::path(3),
+//!     Box::new(LabelEdgeMatcher),
+//!     Box::new(Isomorphism),
+//! )?;
+//! session.run_events([
+//!     StreamEvent::insert(0, 1, 0),
+//!     StreamEvent::insert(1, 2, 0),
+//!     StreamEvent::insert(2, 0, 0),
+//! ])?;
+//! assert_eq!(triangles.drain().positive.len(), 3); // 3 rotational mappings
+//! assert!(!paths.drain().positive.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::api::{EdgeMatcher, MatchSemantics, UpdateMode};
+use crate::debi::{Debi, DebiStats};
+use crate::embedding::{CompleteEmbedding, EmbeddingSink, Sign};
+use crate::engine::{BatchResult, EngineConfig};
+use crate::enumerate::{Enumerator, WorkUnit};
+use crate::error::MnemonicError;
+use crate::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
+use crate::frontier::UnifiedFrontier;
+use crate::parallel;
+use crate::stats::{CounterSnapshot, EngineCounters, PhaseTimings};
+use mnemonic_graph::edge::{Edge, EdgeTriple};
+use mnemonic_graph::ids::{EdgeId, Timestamp, WILDCARD_VERTEX_LABEL};
+use mnemonic_graph::multigraph::{GraphConfig, StreamingGraph};
+use mnemonic_graph::spill::{SpillConfig, SpillManager, SpillStats};
+use mnemonic_query::masking::MaskTable;
+use mnemonic_query::matching_order::MatchingOrderSet;
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_query::query_tree::QueryTree;
+use mnemonic_query::root::{select_root, LabelFrequencies};
+use mnemonic_stream::event::StreamEvent;
+use mnemonic_stream::generator::SnapshotGenerator;
+use mnemonic_stream::snapshot::Snapshot;
+use mnemonic_stream::source::EventSource;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier of a standing query within one session. Ids are never reused,
+/// even after [`MnemonicSession::deregister`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// Embeddings buffered for one query since the last
+/// [`QueryHandle::drain`] call.
+#[derive(Debug, Default, Clone)]
+pub struct ResultBatch {
+    /// Newly formed embeddings, in emission order.
+    pub positive: Vec<CompleteEmbedding>,
+    /// Removed ("negative") embeddings, in emission order.
+    pub negative: Vec<CompleteEmbedding>,
+}
+
+impl ResultBatch {
+    /// Total number of embeddings in the batch.
+    pub fn len(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// Whether the batch holds no embeddings at all.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+}
+
+/// The shared result channel behind a [`QueryHandle`]: buffers embeddings
+/// until drained. When a sink is attached, the session resolves it **once
+/// per batch** and routes enumeration straight into it, so the per-embedding
+/// hot path never touches the mutex below.
+#[derive(Default)]
+struct QueryOutput {
+    sink: Mutex<Option<Arc<dyn EmbeddingSink>>>,
+    positive: Mutex<Vec<CompleteEmbedding>>,
+    negative: Mutex<Vec<CompleteEmbedding>>,
+    accepted: AtomicU64,
+}
+
+impl EmbeddingSink for QueryOutput {
+    fn accept(&self, embedding: CompleteEmbedding, sign: Sign) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        match sign {
+            Sign::Positive => self.positive.lock().push(embedding),
+            Sign::Negative => self.negative.lock().push(embedding),
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+}
+
+/// The caller's end of one standing query: a cheap, cloneable handle that
+/// owns the query's result subscription.
+///
+/// Results arrive either through an attached [`EmbeddingSink`]
+/// ([`QueryHandle::attach_sink`]) or, when no sink is attached, in an
+/// internal buffer drained with [`QueryHandle::drain`]. The handle stays
+/// usable for draining after [`MnemonicSession::deregister`]; it simply stops
+/// receiving new embeddings.
+#[derive(Clone)]
+pub struct QueryHandle {
+    id: QueryId,
+    output: Arc<QueryOutput>,
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("id", &self.id)
+            .field("buffered", &self.buffered())
+            .finish()
+    }
+}
+
+impl QueryHandle {
+    /// The session-wide id of this query.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Attach a sink that receives every embedding of this query as it is
+    /// emitted, bypassing the internal buffer from the next batch on.
+    /// Returns the previously attached sink, if any. The caller can keep a
+    /// clone of the [`Arc`] to observe the sink while it stays attached.
+    /// Embeddings already buffered stay buffered; use
+    /// [`QueryHandle::drain`] to collect them.
+    pub fn attach_sink(&self, sink: Arc<dyn EmbeddingSink>) -> Option<Arc<dyn EmbeddingSink>> {
+        self.output.sink.lock().replace(sink)
+    }
+
+    /// Detach the currently attached sink, returning it. Future embeddings
+    /// are buffered again.
+    pub fn detach_sink(&self) -> Option<Arc<dyn EmbeddingSink>> {
+        self.output.sink.lock().take()
+    }
+
+    /// Drain every buffered embedding accumulated since the last drain.
+    pub fn drain(&self) -> ResultBatch {
+        ResultBatch {
+            positive: std::mem::take(&mut *self.output.positive.lock()),
+            negative: std::mem::take(&mut *self.output.negative.lock()),
+        }
+    }
+
+    /// Number of embeddings currently buffered (not yet drained).
+    pub fn buffered(&self) -> usize {
+        self.output.positive.lock().len() + self.output.negative.lock().len()
+    }
+
+    /// Total number of embeddings this query has emitted (buffered or
+    /// forwarded) over its lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.output.accepted.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-batch outcome of a session: the shared graph-level deltas plus one
+/// [`BatchResult`] per standing query.
+#[derive(Debug, Default, Clone)]
+pub struct SessionBatchResult {
+    /// Snapshot sequence number.
+    pub snapshot_id: u64,
+    /// Edges inserted by this batch (shared across all queries).
+    pub insertions: usize,
+    /// Edges deleted by this batch (shared across all queries).
+    pub deletions: usize,
+    /// Wall-clock phase breakdown of the whole batch (all queries).
+    pub timings: PhaseTimings,
+    /// Per-query outcome, in registration order.
+    pub per_query: Vec<(QueryId, BatchResult)>,
+}
+
+impl SessionBatchResult {
+    /// The outcome of one query, if it was registered during this batch.
+    pub fn for_query(&self, id: QueryId) -> Option<&BatchResult> {
+        self.per_query
+            .iter()
+            .find(|(qid, _)| *qid == id)
+            .map(|(_, r)| r)
+    }
+
+    /// Newly formed embeddings summed over all queries.
+    pub fn total_new_embeddings(&self) -> u64 {
+        self.per_query.iter().map(|(_, r)| r.new_embeddings).sum()
+    }
+
+    /// Removed embeddings summed over all queries.
+    pub fn total_removed_embeddings(&self) -> u64 {
+        self.per_query
+            .iter()
+            .map(|(_, r)| r.removed_embeddings)
+            .sum()
+    }
+}
+
+/// Validated constructor for [`MnemonicSession`].
+///
+/// Unlike the infallible [`EngineConfig`] paths (which clamp a zero batch
+/// size to one), the builder rejects invalid configurations with
+/// [`MnemonicError::InvalidConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    config: EngineConfig,
+}
+
+impl SessionBuilder {
+    /// Start from the default engine configuration (parallel, one worker per
+    /// logical CPU, the paper's default delta-batch size).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the whole configuration at once.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the worker thread count (`0` = one per logical CPU).
+    pub fn threads(mut self, num_threads: usize) -> Self {
+        self.config.num_threads = num_threads;
+        self.config.parallel = true;
+        self
+    }
+
+    /// Single-threaded execution with no thread pool at all.
+    pub fn sequential(mut self) -> Self {
+        self.config.num_threads = 1;
+        self.config.parallel = false;
+        self
+    }
+
+    /// Set how pushed events are grouped into delta batches. A
+    /// [`UpdateMode::Batched`]`(0)` is rejected at [`SessionBuilder::build`]
+    /// time.
+    pub fn update_mode(mut self, mode: UpdateMode) -> Self {
+        self.config.update_mode = mode;
+        self
+    }
+
+    /// Set the delta-batch size directly: `1` selects
+    /// [`UpdateMode::PerEdge`]; `0` is rejected at
+    /// [`SessionBuilder::build`] time.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.update_mode = if batch_size == 1 {
+            UpdateMode::PerEdge
+        } else {
+            UpdateMode::Batched(batch_size)
+        };
+        self
+    }
+
+    /// Whether deleted edge slots are reused (Figure 17's "with reclaiming").
+    pub fn recycle_edge_ids(mut self, recycle: bool) -> Self {
+        self.config.recycle_edge_ids = recycle;
+        self
+    }
+
+    /// Enable the external-memory spill tier.
+    pub fn spill(mut self, spill: SpillConfig) -> Self {
+        self.config.spill = Some(spill);
+        self
+    }
+
+    /// Validate the configuration and construct the session.
+    ///
+    /// # Errors
+    /// [`MnemonicError::InvalidConfig`] for a zero delta-batch size;
+    /// [`MnemonicError::Spill`] when the spill tier cannot be created.
+    pub fn build(self) -> Result<MnemonicSession, MnemonicError> {
+        MnemonicSession::new(self.config)
+    }
+}
+
+/// Everything one standing query owns: its tree, matching orders, DEBI
+/// index, matcher/semantics pair, counters and result channel. The data
+/// graph itself is shared by the session.
+struct QueryState {
+    id: QueryId,
+    query: QueryGraph,
+    tree: QueryTree,
+    orders: MatchingOrderSet,
+    requirements: QueryRequirements,
+    mask: MaskTable,
+    debi: Debi,
+    candidacy: VertexCandidacy,
+    matcher: Box<dyn EdgeMatcher>,
+    semantics: Box<dyn MatchSemantics>,
+    counters: EngineCounters,
+    output: Arc<QueryOutput>,
+}
+
+impl QueryState {
+    fn ensure_capacity(&mut self, graph: &StreamingGraph) {
+        self.debi.ensure_rows(graph.edge_id_bound());
+        self.debi.ensure_roots(graph.vertex_count());
+        self.candidacy.ensure(graph.vertex_count());
+    }
+}
+
+/// A multi-query session over one shared streaming graph.
+///
+/// See the [module documentation](crate::session) for the overall model. In
+/// short: [`register_query`](MnemonicSession::register_query) any number of
+/// standing queries, feed events through
+/// [`push_event`](MnemonicSession::push_event) /
+/// [`apply_snapshot`](MnemonicSession::apply_snapshot), and read results
+/// per query through the returned [`QueryHandle`]s.
+pub struct MnemonicSession {
+    /// The shared streaming data graph.
+    graph: StreamingGraph,
+    queries: Vec<QueryState>,
+    config: EngineConfig,
+    pool: Option<rayon::ThreadPool>,
+    spill: Option<SpillManager>,
+    /// Spill-tier I/O failures absorbed during ingest (see
+    /// [`MnemonicSession::spill_io_errors`]).
+    spill_io_errors: u64,
+    last_spill_error: Option<std::io::Error>,
+    total_timings: PhaseTimings,
+    snapshots_processed: u64,
+    next_query_id: u64,
+    /// Events buffered by [`MnemonicSession::push_event`] until the delta
+    /// batch fills up.
+    pending: Vec<StreamEvent>,
+}
+
+impl std::fmt::Debug for MnemonicSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MnemonicSession")
+            .field("queries", &self.queries.len())
+            .field("live_edges", &self.graph.live_edge_count())
+            .field("pending_events", &self.pending.len())
+            .field("snapshots_processed", &self.snapshots_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MnemonicSession {
+    /// Start building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// Create a session with an explicit configuration.
+    ///
+    /// # Errors
+    /// [`MnemonicError::InvalidConfig`] for a zero delta-batch size;
+    /// [`MnemonicError::Spill`] when the spill tier cannot be created.
+    pub fn new(config: EngineConfig) -> Result<Self, MnemonicError> {
+        config
+            .update_mode
+            .validate()
+            .map_err(MnemonicError::InvalidConfig)?;
+        let pool = if config.parallel {
+            Some(parallel::build_pool(config.num_threads))
+        } else {
+            None
+        };
+        let spill = match config.spill {
+            Some(cfg) => {
+                Some(SpillManager::new_temp(cfg, "session").map_err(MnemonicError::Spill)?)
+            }
+            None => None,
+        };
+        let graph = StreamingGraph::with_config(GraphConfig {
+            recycle_edge_ids: config.recycle_edge_ids,
+        });
+        Ok(MnemonicSession {
+            graph,
+            queries: Vec::new(),
+            config,
+            pool,
+            spill,
+            spill_io_errors: 0,
+            last_spill_error: None,
+            total_timings: PhaseTimings::default(),
+            snapshots_processed: 0,
+            next_query_id: 0,
+            pending: Vec::new(),
+        })
+    }
+
+    // ---- query registration -------------------------------------------------
+
+    /// Register a standing query using the default root-selection heuristic
+    /// (`initializeIndex` of Figure 3).
+    ///
+    /// The query's DEBI index is primed against the edges already in the
+    /// graph, so a late registration behaves exactly like one made before
+    /// ingest began — without reporting embeddings for pre-existing matches
+    /// (the [`MnemonicSession::bootstrap`] semantics). Events still buffered
+    /// by [`MnemonicSession::push_event`] are *not* yet part of the graph;
+    /// the new query will see them as fresh deltas at the next flush.
+    ///
+    /// # Errors
+    /// [`MnemonicError::DisconnectedQuery`] when the query graph is not
+    /// connected.
+    pub fn register_query(
+        &mut self,
+        query: QueryGraph,
+        matcher: Box<dyn EdgeMatcher>,
+        semantics: Box<dyn MatchSemantics>,
+    ) -> Result<QueryHandle, MnemonicError> {
+        let root = select_root(&query, &LabelFrequencies::new());
+        self.register_query_with_root(query, root, matcher, semantics)
+    }
+
+    /// Register a standing query with an explicitly chosen root query vertex
+    /// (the "experienced user" path of Section III).
+    ///
+    /// # Errors
+    /// [`MnemonicError::DisconnectedQuery`] when the query graph is not
+    /// connected.
+    pub fn register_query_with_root(
+        &mut self,
+        query: QueryGraph,
+        root: mnemonic_graph::ids::QueryVertexId,
+        matcher: Box<dyn EdgeMatcher>,
+        semantics: Box<dyn MatchSemantics>,
+    ) -> Result<QueryHandle, MnemonicError> {
+        if !query.is_connected() {
+            return Err(MnemonicError::DisconnectedQuery);
+        }
+        let tree = QueryTree::build(&query, root);
+        let orders = MatchingOrderSet::build(&query, &tree);
+        let requirements = QueryRequirements::build(&query);
+        let mask = MaskTable::new(query.edge_count());
+        let debi = Debi::new(tree.debi_width());
+        let id = QueryId(self.next_query_id);
+        self.next_query_id += 1;
+        let output = Arc::new(QueryOutput::default());
+        let mut state = QueryState {
+            id,
+            query,
+            tree,
+            orders,
+            requirements,
+            mask,
+            debi,
+            candidacy: VertexCandidacy::new(),
+            matcher,
+            semantics,
+            counters: EngineCounters::new(),
+            output: Arc::clone(&output),
+        };
+
+        // Prime the new query's index against the already-ingested graph
+        // (every live edge is in the batch, so the frontier can skip the
+        // neighbour expansion).
+        let live: Vec<Edge> = self.graph.live_edges().collect();
+        if !live.is_empty() {
+            let frontier = UnifiedFrontier::build(&self.graph, live, false);
+            state.ensure_capacity(&self.graph);
+            let pass = TopDownPass {
+                graph: &self.graph,
+                query: &state.query,
+                tree: &state.tree,
+                matcher: state.matcher.as_ref(),
+                requirements: &state.requirements,
+            };
+            let parallel_enabled = self.config.parallel;
+            parallel::install(self.pool.as_ref(), || {
+                pass.run(
+                    &frontier,
+                    &state.candidacy,
+                    &state.debi,
+                    &state.counters,
+                    parallel_enabled,
+                );
+            });
+        }
+
+        self.queries.push(state);
+        Ok(QueryHandle { id, output })
+    }
+
+    /// Remove a standing query. Its share of the filtering and enumeration
+    /// work disappears from the next batch on; the handle keeps any buffered
+    /// results and can still be drained.
+    ///
+    /// # Errors
+    /// [`MnemonicError::UnknownQuery`] when the handle does not belong to
+    /// this session or the query was already deregistered.
+    pub fn deregister(&mut self, handle: &QueryHandle) -> Result<(), MnemonicError> {
+        match self.queries.iter().position(|q| q.id == handle.id) {
+            Some(idx) => {
+                self.queries.remove(idx);
+                Ok(())
+            }
+            None => Err(MnemonicError::UnknownQuery(handle.id)),
+        }
+    }
+
+    // ---- accessors ----------------------------------------------------------
+
+    /// The current shared data graph.
+    pub fn graph(&self) -> &StreamingGraph {
+        &self.graph
+    }
+
+    /// Number of standing queries currently registered.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The query graph of a registered query.
+    ///
+    /// # Errors
+    /// [`MnemonicError::UnknownQuery`] for a deregistered/foreign handle.
+    pub fn query_graph(&self, handle: &QueryHandle) -> Result<&QueryGraph, MnemonicError> {
+        self.state(handle.id).map(|s| &s.query)
+    }
+
+    /// The query tree of a registered query.
+    ///
+    /// # Errors
+    /// [`MnemonicError::UnknownQuery`] for a deregistered/foreign handle.
+    pub fn query_tree(&self, handle: &QueryHandle) -> Result<&QueryTree, MnemonicError> {
+        self.state(handle.id).map(|s| &s.tree)
+    }
+
+    /// DEBI occupancy statistics of a registered query.
+    ///
+    /// # Errors
+    /// [`MnemonicError::UnknownQuery`] for a deregistered/foreign handle.
+    pub fn debi_stats(&self, handle: &QueryHandle) -> Result<DebiStats, MnemonicError> {
+        self.state(handle.id).map(|s| s.debi.stats())
+    }
+
+    /// Cumulative engine counters of a registered query.
+    ///
+    /// # Errors
+    /// [`MnemonicError::UnknownQuery`] for a deregistered/foreign handle.
+    pub fn counters(&self, handle: &QueryHandle) -> Result<CounterSnapshot, MnemonicError> {
+        self.state(handle.id).map(|s| s.counters.snapshot())
+    }
+
+    /// Spill-tier statistics, when the external-memory tier is enabled.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.spill.as_ref().map(|s| s.stats())
+    }
+
+    /// Number of spill-tier I/O failures absorbed during ingest. Such
+    /// failures degrade only the spill tier's overhead accounting — the
+    /// graph, every query's index and all results stay exact — so ingest
+    /// continues and the failure is surfaced here instead of as an error.
+    pub fn spill_io_errors(&self) -> u64 {
+        self.spill_io_errors
+    }
+
+    /// The most recently absorbed spill-tier I/O failure, if any.
+    pub fn last_spill_error(&self) -> Option<&std::io::Error> {
+        self.last_spill_error.as_ref()
+    }
+
+    /// Cumulative phase timings over all batches (all queries combined).
+    pub fn timings(&self) -> PhaseTimings {
+        self.total_timings
+    }
+
+    /// Number of snapshots processed so far.
+    pub fn snapshots_processed(&self) -> u64 {
+        self.snapshots_processed
+    }
+
+    /// Number of events currently buffered by the batched update path.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn state(&self, id: QueryId) -> Result<&QueryState, MnemonicError> {
+        self.queries
+            .iter()
+            .find(|q| q.id == id)
+            .ok_or(MnemonicError::UnknownQuery(id))
+    }
+
+    // ---- shared ingest pipeline --------------------------------------------
+
+    /// Apply the graph-level insertions of a batch exactly once, returning
+    /// the materialised edges.
+    ///
+    /// Spill-tier I/O failures do **not** abort the batch: aborting midway
+    /// would leave edges in the graph that no query's DEBI ever filtered,
+    /// silently corrupting every later result. Instead the error is absorbed
+    /// (only the spill tier's overhead accounting degrades), counted, and
+    /// exposed through [`MnemonicSession::spill_io_errors`] /
+    /// [`MnemonicSession::last_spill_error`] — matching the legacy engine,
+    /// which ignored these errors outright.
+    fn apply_insert_events(&mut self, events: &[StreamEvent]) -> Result<Vec<Edge>, MnemonicError> {
+        let mut inserted = Vec::with_capacity(events.len());
+        for event in events {
+            if event.src_label != WILDCARD_VERTEX_LABEL {
+                self.graph.set_vertex_label(event.src, event.src_label);
+            }
+            if event.dst_label != WILDCARD_VERTEX_LABEL {
+                self.graph.set_vertex_label(event.dst, event.dst_label);
+            }
+            let id = self.graph.insert_edge(EdgeTriple::with_timestamp(
+                event.src,
+                event.dst,
+                event.label,
+                event.timestamp,
+            ));
+            let edge = self.graph.edge(id).ok_or(MnemonicError::DeadEdge(id))?;
+            if let Some(spill) = self.spill.as_mut() {
+                // The spill record keeps one DEBI row for overhead
+                // accounting; with several standing queries the first
+                // query's index is the representative one.
+                let debi = self.queries.first().map(|q| &q.debi);
+                let outcome = spill.on_insert(edge, |eid| {
+                    debi.map(|d| d.row(eid.index())).unwrap_or_default()
+                });
+                if let Err(e) = outcome {
+                    self.spill_io_errors += 1;
+                    self.last_spill_error = Some(e);
+                }
+            }
+            inserted.push(edge);
+        }
+        for qs in &self.queries {
+            EngineCounters::add(&qs.counters.insertions_applied, inserted.len() as u64);
+        }
+        Ok(inserted)
+    }
+
+    /// Resolve explicit deletion events and the eviction cutoff to concrete
+    /// edge ids, without mutating the graph yet (negative embeddings must be
+    /// enumerated against the pre-deletion state). Query-independent, so it
+    /// runs once per batch no matter how many queries are registered.
+    fn resolve_deletions(&self, snapshot: &Snapshot) -> Vec<EdgeId> {
+        let mut chosen: HashSet<EdgeId> = HashSet::new();
+        let mut out = Vec::new();
+        for event in &snapshot.deletions {
+            // Pick the most recently inserted live instance not already
+            // chosen by an earlier deletion in the same batch.
+            let candidate = self
+                .graph
+                .outgoing(event.src)
+                .iter()
+                .filter(|entry| entry.neighbor == event.dst)
+                .map(|entry| entry.edge)
+                .filter(|&eid| {
+                    self.graph
+                        .edge(eid)
+                        .map(|e| e.label.matches(event.label))
+                        .unwrap_or(false)
+                        && !chosen.contains(&eid)
+                })
+                .max_by_key(|&eid| (self.graph.edge(eid).map(|e| e.timestamp), eid));
+            if let Some(eid) = candidate {
+                chosen.insert(eid);
+                out.push(eid);
+            }
+        }
+        if let Some(cutoff) = snapshot.evict_before {
+            for eid in self.graph.edges_older_than(Timestamp(cutoff.0)) {
+                if chosen.insert(eid) {
+                    out.push(eid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Refresh candidacy + DEBI for every standing query over one shared
+    /// frontier.
+    fn run_filtering_all(&mut self, frontier: &UnifiedFrontier) {
+        let graph = &self.graph;
+        let pool = self.pool.as_ref();
+        let parallel_enabled = self.config.parallel;
+        for qs in self.queries.iter_mut() {
+            qs.ensure_capacity(graph);
+            let pass = TopDownPass {
+                graph,
+                query: &qs.query,
+                tree: &qs.tree,
+                matcher: qs.matcher.as_ref(),
+                requirements: &qs.requirements,
+            };
+            parallel::install(pool, || {
+                pass.run(
+                    frontier,
+                    &qs.candidacy,
+                    &qs.debi,
+                    &qs.counters,
+                    parallel_enabled,
+                );
+            });
+        }
+    }
+
+    /// Enumerate one batch for every standing query: each query's work units
+    /// are generated independently, then pooled and scheduled heaviest-first
+    /// across the shared pool — a giant unit of one query back-fills behind
+    /// the small units of every other query instead of serialising its own
+    /// engine.
+    ///
+    /// `override_sink`, when given, replaces every query's own result channel
+    /// for this batch (used by the single-query [`crate::Mnemonic`] wrapper
+    /// to keep its borrowed-sink API without buffering).
+    fn run_enumeration_all(
+        &self,
+        batch_edges: &[Edge],
+        batch_ids: &HashSet<EdgeId>,
+        sign: Sign,
+        override_sink: Option<&dyn EmbeddingSink>,
+    ) {
+        if self.queries.is_empty() {
+            return;
+        }
+        // Resolve each query's delivery target once per batch: the wrapper's
+        // override, the attached sink, or the handle's buffer. This keeps
+        // the per-embedding hot path free of locks (a sink attached mid-batch
+        // takes effect from the next batch).
+        let attached: Vec<Option<Arc<dyn EmbeddingSink>>> = if override_sink.is_some() {
+            vec![None; self.queries.len()]
+        } else {
+            self.queries
+                .iter()
+                .map(|qs| qs.output.sink.lock().clone())
+                .collect()
+        };
+        let enumerators: Vec<Enumerator<'_>> = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, qs)| Enumerator {
+                graph: &self.graph,
+                query: &qs.query,
+                tree: &qs.tree,
+                orders: &qs.orders,
+                debi: &qs.debi,
+                matcher: qs.matcher.as_ref(),
+                semantics: qs.semantics.as_ref(),
+                mask: &qs.mask,
+                batch: batch_ids,
+                sign,
+                sink: override_sink.unwrap_or_else(|| {
+                    attached[i]
+                        .as_deref()
+                        .unwrap_or(qs.output.as_ref() as &dyn EmbeddingSink)
+                }),
+                counters: &qs.counters,
+            })
+            .collect();
+        // Embeddings routed into an attached sink bypass `QueryOutput`, so
+        // account for them on the handle's lifetime counter via the emitted
+        // deltas afterwards.
+        let before = if attached.iter().any(Option::is_some) {
+            Some(self.emitted_counts())
+        } else {
+            None
+        };
+
+        let mut pooled: Vec<(usize, WorkUnit)> = Vec::new();
+        for (qi, enumerator) in enumerators.iter().enumerate() {
+            pooled.extend(
+                enumerator
+                    .decompose(batch_edges)
+                    .into_iter()
+                    .map(|u| (qi, u)),
+            );
+        }
+
+        if self.config.parallel {
+            // Heaviest-first across *all* queries, deterministic tie-break:
+            // one query's giant unit back-fills behind every other query's
+            // small units instead of serialising its own engine. Sequential
+            // execution runs every unit anyway, so it skips the re-sort.
+            pooled.sort_by_cached_key(|&(qi, unit)| {
+                (
+                    std::cmp::Reverse(enumerators[qi].unit_cost_estimate(&unit)),
+                    unit.edge.id,
+                    unit.start,
+                    qi,
+                )
+            });
+            parallel::install(self.pool.as_ref(), || {
+                pooled
+                    .par_iter()
+                    .for_each(|&(qi, unit)| enumerators[qi].run_work_unit(unit));
+            });
+        } else {
+            for (qi, unit) in pooled {
+                enumerators[qi].run_work_unit(unit);
+            }
+        }
+
+        if let Some(before) = before {
+            for (i, after) in self.emitted_counts().into_iter().enumerate() {
+                if attached[i].is_some() {
+                    self.queries[i]
+                        .output
+                        .accepted
+                        .fetch_add(after - before[i], Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn emitted_counts(&self) -> Vec<u64> {
+        self.queries
+            .iter()
+            .map(|q| q.counters.embeddings_emitted.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Load an initial graph without reporting embeddings: every query's
+    /// DEBI is brought up to date but no enumeration work units are
+    /// generated. Mirrors the evaluation setup where "the remaining edges
+    /// ... are loaded in the initial graph".
+    ///
+    /// # Errors
+    /// [`MnemonicError::DeadEdge`] when a freshly inserted edge cannot be
+    /// read back — graph corruption; the batch is aborted and the session
+    /// should be discarded. Spill-tier I/O failures do not error: they are
+    /// absorbed and counted (see [`MnemonicSession::spill_io_errors`]).
+    pub fn bootstrap(&mut self, events: &[StreamEvent]) -> Result<(), MnemonicError> {
+        let inserted = self.apply_insert_events(events)?;
+        let frontier = UnifiedFrontier::build(&self.graph, inserted, true);
+        self.run_filtering_all(&frontier);
+        Ok(())
+    }
+
+    /// Process one snapshot for every standing query: the batch's graph
+    /// update, frontier construction and deletion resolution run **once**,
+    /// then filtering and enumeration fan out per query over the shared
+    /// pool. Embeddings are delivered through each query's [`QueryHandle`].
+    ///
+    /// # Errors
+    /// [`MnemonicError::DeadEdge`] when a freshly inserted edge cannot be
+    /// read back — graph corruption; the batch is aborted and the session
+    /// should be discarded. Spill-tier I/O failures do not error: they are
+    /// absorbed and counted (see [`MnemonicSession::spill_io_errors`]).
+    pub fn apply_snapshot(
+        &mut self,
+        snapshot: &Snapshot,
+    ) -> Result<SessionBatchResult, MnemonicError> {
+        self.apply_snapshot_inner(snapshot, None)
+    }
+
+    /// [`MnemonicSession::apply_snapshot`] with every query's results routed
+    /// to `sink` for the duration of the batch (the borrowed-sink path of the
+    /// single-query wrapper).
+    pub(crate) fn apply_snapshot_direct(
+        &mut self,
+        snapshot: &Snapshot,
+        sink: &dyn EmbeddingSink,
+    ) -> Result<SessionBatchResult, MnemonicError> {
+        self.apply_snapshot_inner(snapshot, Some(sink))
+    }
+
+    fn apply_snapshot_inner(
+        &mut self,
+        snapshot: &Snapshot,
+        override_sink: Option<&dyn EmbeddingSink>,
+    ) -> Result<SessionBatchResult, MnemonicError> {
+        let before_counters: Vec<CounterSnapshot> =
+            self.queries.iter().map(|q| q.counters.snapshot()).collect();
+        let mut timings = PhaseTimings::default();
+        let mut new_embeddings = vec![0u64; self.queries.len()];
+        let mut removed_embeddings = vec![0u64; self.queries.len()];
+        let mut deletions_applied = 0usize;
+
+        // ---- batchInserts (Algorithm 2, lines 1-6), shared across queries ----
+        if !snapshot.insertions.is_empty() {
+            let t0 = Instant::now();
+            let inserted = self.apply_insert_events(&snapshot.insertions)?;
+            timings.graph_update += t0.elapsed();
+
+            let t1 = Instant::now();
+            let frontier = UnifiedFrontier::build(&self.graph, inserted.clone(), true);
+            timings.frontier += t1.elapsed();
+
+            let t2 = Instant::now();
+            self.run_filtering_all(&frontier);
+            timings.top_down += t2.elapsed();
+
+            let t3 = Instant::now();
+            let before = self.emitted_counts();
+            self.run_enumeration_all(
+                &inserted,
+                &frontier.batch_edge_ids,
+                Sign::Positive,
+                override_sink,
+            );
+            for (i, after) in self.emitted_counts().into_iter().enumerate() {
+                new_embeddings[i] = after - before[i];
+            }
+            timings.enumeration += t3.elapsed();
+        }
+
+        // ---- batchDeletes (Algorithm 2, lines 7-12), shared resolution ----
+        if snapshot.has_deletions() {
+            let t0 = Instant::now();
+            let doomed_ids = self.resolve_deletions(snapshot);
+            let doomed_edges: Vec<Edge> = doomed_ids
+                .iter()
+                .filter_map(|&id| self.graph.edge(id))
+                .collect();
+            // The frontier is built before the graph is updated so the
+            // deleted edges and their neighbourhood are captured.
+            let frontier = UnifiedFrontier::build(&self.graph, doomed_edges.clone(), true);
+            timings.frontier += t0.elapsed();
+
+            if !doomed_edges.is_empty() {
+                // Enumerate the disappearing embeddings against the
+                // pre-deletion state.
+                let t1 = Instant::now();
+                let before = self.emitted_counts();
+                self.run_enumeration_all(
+                    &doomed_edges,
+                    &frontier.batch_edge_ids,
+                    Sign::Negative,
+                    override_sink,
+                );
+                for (i, after) in self.emitted_counts().into_iter().enumerate() {
+                    removed_embeddings[i] = after - before[i];
+                }
+                timings.enumeration += t1.elapsed();
+
+                // Apply the deletions, once, to the shared graph.
+                let t2 = Instant::now();
+                for &id in &doomed_ids {
+                    if self.graph.delete_edge(id).is_ok() {
+                        deletions_applied += 1;
+                    }
+                }
+                for qs in &self.queries {
+                    EngineCounters::add(&qs.counters.deletions_applied, deletions_applied as u64);
+                }
+                timings.graph_update += t2.elapsed();
+
+                // Refresh the index (bottom-up then top-down in the paper;
+                // our single refresh pass covers the same affected region).
+                let t3 = Instant::now();
+                self.run_filtering_all(&frontier);
+                timings.bottom_up += t3.elapsed();
+            }
+        }
+
+        self.snapshots_processed += 1;
+        self.total_timings.accumulate(&timings);
+        let per_query = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, qs)| {
+                (
+                    qs.id,
+                    BatchResult {
+                        snapshot_id: snapshot.id,
+                        insertions: snapshot.insertions.len(),
+                        deletions: deletions_applied,
+                        new_embeddings: new_embeddings[i],
+                        removed_embeddings: removed_embeddings[i],
+                        timings,
+                        counters: qs.counters.snapshot().since(&before_counters[i]),
+                    },
+                )
+            })
+            .collect();
+        Ok(SessionBatchResult {
+            snapshot_id: snapshot.id,
+            insertions: snapshot.insertions.len(),
+            deletions: deletions_applied,
+            timings,
+            per_query,
+        })
+    }
+
+    // ---- buffered ingest ----------------------------------------------------
+
+    /// Ingest one edge event through the batched update path: the event
+    /// joins the pending delta batch, and once the batch reaches the
+    /// configured [`UpdateMode`] size the whole batch is ingested once and
+    /// filtered + enumerated for every standing query. Returns the batch
+    /// outcome on the pushes that trigger a flush, `Ok(None)` otherwise.
+    ///
+    /// # Errors
+    /// See [`MnemonicSession::apply_snapshot`].
+    pub fn push_event(
+        &mut self,
+        event: StreamEvent,
+    ) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        self.push_event_inner(event, None)
+    }
+
+    pub(crate) fn push_event_direct(
+        &mut self,
+        event: StreamEvent,
+        sink: &dyn EmbeddingSink,
+    ) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        self.push_event_inner(event, Some(sink))
+    }
+
+    fn push_event_inner(
+        &mut self,
+        event: StreamEvent,
+        override_sink: Option<&dyn EmbeddingSink>,
+    ) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        self.pending.push(event);
+        if self.pending.len() >= self.config.update_mode.batch_size() {
+            self.flush_pending_inner(override_sink)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Flush the pending delta batch, if any. Returns `Ok(None)` when
+    /// nothing was buffered.
+    ///
+    /// # Errors
+    /// See [`MnemonicSession::apply_snapshot`].
+    pub fn flush_pending(&mut self) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        self.flush_pending_inner(None)
+    }
+
+    pub(crate) fn flush_pending_direct(
+        &mut self,
+        sink: &dyn EmbeddingSink,
+    ) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        self.flush_pending_inner(Some(sink))
+    }
+
+    fn flush_pending_inner(
+        &mut self,
+        override_sink: Option<&dyn EmbeddingSink>,
+    ) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        let snapshot = Snapshot::from_events(self.snapshots_processed, self.pending.drain(..));
+        self.apply_snapshot_inner(&snapshot, override_sink)
+            .map(Some)
+    }
+
+    /// Drive a raw event sequence through the batched update path: every
+    /// event is [`MnemonicSession::push_event`]ed and a final flush drains
+    /// the last partial batch.
+    ///
+    /// # Errors
+    /// See [`MnemonicSession::apply_snapshot`].
+    pub fn run_events(
+        &mut self,
+        events: impl IntoIterator<Item = StreamEvent>,
+    ) -> Result<Vec<SessionBatchResult>, MnemonicError> {
+        let mut results = Vec::new();
+        for event in events {
+            results.extend(self.push_event(event)?);
+        }
+        results.extend(self.flush_pending()?);
+        Ok(results)
+    }
+
+    /// Drain an [`EventSource`] through the batched update path, with batch
+    /// boundaries set by the session's [`UpdateMode`]. A final flush drains
+    /// the last partial batch.
+    ///
+    /// # Errors
+    /// See [`MnemonicSession::apply_snapshot`].
+    pub fn run_source<S: EventSource>(
+        &mut self,
+        mut source: S,
+    ) -> Result<Vec<SessionBatchResult>, MnemonicError> {
+        let mut results = Vec::new();
+        for event in source.events() {
+            results.extend(self.push_event(event)?);
+        }
+        results.extend(self.flush_pending()?);
+        Ok(results)
+    }
+
+    /// Drive an entire snapshot stream to completion (the `while
+    /// getSnapshot()` loop of Algorithm 1), with batch boundaries fixed by
+    /// the generator.
+    ///
+    /// # Errors
+    /// See [`MnemonicSession::apply_snapshot`].
+    pub fn run_stream<S: EventSource>(
+        &mut self,
+        mut generator: SnapshotGenerator<S>,
+    ) -> Result<Vec<SessionBatchResult>, MnemonicError> {
+        let mut results = Vec::new();
+        while let Some(snapshot) = generator.next_snapshot() {
+            results.push(self.apply_snapshot(&snapshot)?);
+        }
+        Ok(results)
+    }
+
+    /// Flush any pending events and consume the session, returning the final
+    /// batch outcome (or `Ok(None)` when nothing was buffered). Dropping a
+    /// session with [`MnemonicSession::pending_events`]` > 0` silently
+    /// discards the buffered events; `finish` is the lossless shutdown path.
+    ///
+    /// # Errors
+    /// See [`MnemonicSession::apply_snapshot`].
+    pub fn finish(mut self) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        self.flush_pending()
+    }
+
+    // ---- maintenance --------------------------------------------------------
+
+    /// Enumerate every embedding of the *current* graph from scratch for one
+    /// query, delivered through its handle. Used by tests and index-rebuild
+    /// paths; not part of the incremental fast path.
+    ///
+    /// # Errors
+    /// [`MnemonicError::UnknownQuery`] for a deregistered/foreign handle.
+    pub fn enumerate_current(&self, handle: &QueryHandle) -> Result<(), MnemonicError> {
+        self.enumerate_current_inner(handle, None)
+    }
+
+    pub(crate) fn enumerate_current_direct(
+        &self,
+        handle: &QueryHandle,
+        sink: &dyn EmbeddingSink,
+    ) -> Result<(), MnemonicError> {
+        self.enumerate_current_inner(handle, Some(sink))
+    }
+
+    fn enumerate_current_inner(
+        &self,
+        handle: &QueryHandle,
+        override_sink: Option<&dyn EmbeddingSink>,
+    ) -> Result<(), MnemonicError> {
+        let qs = self.state(handle.id)?;
+        // Honour the handle's attached sink, like the incremental path does.
+        let attached = if override_sink.is_some() {
+            None
+        } else {
+            qs.output.sink.lock().clone()
+        };
+        let before = qs.counters.embeddings_emitted.load(Ordering::Relaxed);
+        let empty = HashSet::new();
+        let enumerator = Enumerator {
+            graph: &self.graph,
+            query: &qs.query,
+            tree: &qs.tree,
+            orders: &qs.orders,
+            debi: &qs.debi,
+            matcher: qs.matcher.as_ref(),
+            semantics: qs.semantics.as_ref(),
+            mask: &qs.mask,
+            batch: &empty,
+            sign: Sign::Positive,
+            sink: override_sink.unwrap_or_else(|| {
+                attached
+                    .as_deref()
+                    .unwrap_or(qs.output.as_ref() as &dyn EmbeddingSink)
+            }),
+            counters: &qs.counters,
+        };
+        enumerator.run_from_scratch();
+        if attached.is_some() {
+            let after = qs.counters.embeddings_emitted.load(Ordering::Relaxed);
+            qs.output
+                .accepted
+                .fetch_add(after - before, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Periodic reset (Section VII-D): drop the cumulative indexes and edge
+    /// placeholders of every query, keeping only vertex labels, and rebuild
+    /// from an empty edge set. Events still buffered by
+    /// [`MnemonicSession::push_event`] belong to the pre-reset epoch and are
+    /// discarded with it — flush before resetting to keep them.
+    pub fn periodic_reset(&mut self) {
+        self.graph.reset_edges();
+        for qs in self.queries.iter_mut() {
+            qs.debi.reset();
+            qs.candidacy.reset();
+        }
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::LabelEdgeMatcher;
+    use crate::embedding::CountingSink;
+    use crate::variants::Isomorphism;
+    use mnemonic_query::patterns;
+
+    fn session() -> MnemonicSession {
+        MnemonicSession::builder()
+            .sequential()
+            .batch_size(4)
+            .build()
+            .expect("valid config")
+    }
+
+    fn register_triangle(s: &mut MnemonicSession) -> QueryHandle {
+        s.register_query(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .expect("triangle is connected")
+    }
+
+    #[test]
+    fn builder_rejects_zero_batch_size() {
+        let err = MnemonicSession::builder()
+            .batch_size(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MnemonicError::InvalidConfig(_)));
+        let err = MnemonicSession::builder()
+            .update_mode(UpdateMode::Batched(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MnemonicError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn register_rejects_disconnected_query() {
+        let mut s = session();
+        let mut q = QueryGraph::new();
+        q.add_vertex(mnemonic_graph::ids::WILDCARD_VERTEX_LABEL);
+        q.add_vertex(mnemonic_graph::ids::WILDCARD_VERTEX_LABEL);
+        let err = s
+            .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+            .unwrap_err();
+        assert!(matches!(err, MnemonicError::DisconnectedQuery));
+    }
+
+    #[test]
+    fn two_queries_share_one_ingest() {
+        let mut s = session();
+        let triangles = register_triangle(&mut s);
+        let paths = s
+            .register_query(
+                patterns::path(3),
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .unwrap();
+        let results = s
+            .run_events([
+                StreamEvent::insert(0, 1, 0),
+                StreamEvent::insert(1, 2, 0),
+                StreamEvent::insert(2, 0, 0),
+            ])
+            .unwrap();
+        assert_eq!(results.len(), 1, "3 events, batch size 4, one final flush");
+        let r = &results[0];
+        assert_eq!(r.insertions, 3);
+        assert_eq!(r.per_query.len(), 2);
+        assert_eq!(r.for_query(triangles.id()).unwrap().new_embeddings, 3);
+        assert!(r.for_query(paths.id()).unwrap().new_embeddings > 0);
+        assert_eq!(
+            r.total_new_embeddings(),
+            triangles.accepted() + paths.accepted()
+        );
+        // Exactly one graph, 3 live edges, shared by both queries.
+        assert_eq!(s.graph().live_edge_count(), 3);
+        assert_eq!(triangles.drain().positive.len(), 3);
+    }
+
+    #[test]
+    fn attached_sink_bypasses_buffer() {
+        let mut s = session();
+        let h = register_triangle(&mut s);
+        let counter = Arc::new(CountingSink::new());
+        h.attach_sink(counter.clone());
+        s.run_events([
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(2, 0, 0),
+        ])
+        .unwrap();
+        assert_eq!(h.buffered(), 0, "sink-attached query must not buffer");
+        assert_eq!(h.accepted(), 3, "forwarded embeddings still count");
+        assert_eq!(counter.positive(), 3);
+        // From-scratch enumeration honours the attached sink too.
+        s.enumerate_current(&h).unwrap();
+        assert_eq!(h.buffered(), 0, "enumerate_current must not buffer either");
+        assert_eq!(counter.positive(), 6);
+        assert_eq!(h.accepted(), 6);
+        let sink = h.detach_sink().expect("sink was attached");
+        assert_eq!(sink.count(), 6);
+    }
+
+    #[test]
+    fn deregister_removes_query_and_rejects_stale_handles() {
+        let mut s = session();
+        let h = register_triangle(&mut s);
+        assert_eq!(s.query_count(), 1);
+        s.deregister(&h).unwrap();
+        assert_eq!(s.query_count(), 0);
+        let err = s.deregister(&h).unwrap_err();
+        assert!(matches!(err, MnemonicError::UnknownQuery(_)));
+        assert!(matches!(
+            s.debi_stats(&h),
+            Err(MnemonicError::UnknownQuery(_))
+        ));
+        // The shared graph keeps ingesting with zero queries registered.
+        let r = s.run_events([StreamEvent::insert(0, 1, 0)]).unwrap();
+        assert_eq!(r[0].insertions, 1);
+        assert!(r[0].per_query.is_empty());
+    }
+
+    #[test]
+    fn late_registration_sees_existing_graph_without_reporting_it() {
+        let mut s = session();
+        s.run_events([
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(2, 0, 0),
+        ])
+        .unwrap();
+        // Register after the triangle exists: nothing is reported...
+        let h = register_triangle(&mut s);
+        assert_eq!(h.accepted(), 0);
+        // ...but the primed index both answers from-scratch enumeration and
+        // extends incrementally.
+        s.enumerate_current(&h).unwrap();
+        assert_eq!(h.drain().positive.len(), 3);
+        s.run_events([
+            StreamEvent::insert(2, 3, 0),
+            StreamEvent::insert(3, 4, 0),
+            StreamEvent::insert(4, 2, 0),
+        ])
+        .unwrap();
+        assert_eq!(h.drain().positive.len(), 3, "second triangle reported");
+    }
+
+    #[test]
+    fn finish_flushes_pending_events() {
+        let mut s = MnemonicSession::builder()
+            .sequential()
+            .batch_size(100)
+            .build()
+            .unwrap();
+        let h = register_triangle(&mut s);
+        for e in [
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(2, 0, 0),
+        ] {
+            assert!(s.push_event(e).unwrap().is_none(), "batch far from full");
+        }
+        assert_eq!(s.pending_events(), 3);
+        let last = s.finish().unwrap().expect("pending events were flushed");
+        assert_eq!(last.insertions, 3);
+        assert_eq!(last.for_query(h.id()).unwrap().new_embeddings, 3);
+        assert_eq!(h.drain().positive.len(), 3, "no events were lost");
+    }
+}

@@ -21,6 +21,37 @@ pub trait EventSource {
     fn size_hint(&self) -> Option<usize> {
         None
     }
+
+    /// Borrow the source as a standard [`Iterator`], so any source can drive
+    /// a `for` loop or an ingest path that consumes iterators (the session's
+    /// `run_source`). The source is left where the iteration stopped.
+    fn events(&mut self) -> Events<'_, Self>
+    where
+        Self: Sized,
+    {
+        Events { source: self }
+    }
+}
+
+/// Iterator adapter returned by [`EventSource::events`].
+#[derive(Debug)]
+pub struct Events<'a, S: EventSource> {
+    source: &'a mut S,
+}
+
+impl<S: EventSource> Iterator for Events<'_, S> {
+    type Item = StreamEvent;
+
+    fn next(&mut self) -> Option<StreamEvent> {
+        self.source.next_event()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // The source's hint is approximate ("used only for progress
+        // reporting"), so it is forwarded as an upper bound only — an
+        // over-reported lower bound would break `Iterator`'s contract.
+        (0, EventSource::size_hint(self.source))
+    }
 }
 
 /// An in-memory event source backed by a queue.
@@ -154,6 +185,24 @@ mod tests {
         assert_eq!(src.next_event().unwrap().src, VertexId(0));
         assert_eq!(src.next_event().unwrap().src, VertexId(1));
         assert!(src.next_event().is_none());
+        assert!(src.is_empty());
+    }
+
+    #[test]
+    fn events_bridge_iterates_and_reports_size() {
+        let mut src = VecSource::new(vec![
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(2, 0, 0),
+        ]);
+        {
+            let mut events = src.events();
+            assert_eq!(Iterator::size_hint(&events), (0, Some(3)));
+            assert_eq!(events.next().unwrap().src, VertexId(0));
+        }
+        // The source resumes where the borrowed iteration stopped.
+        let rest: Vec<_> = src.events().collect();
+        assert_eq!(rest.len(), 2);
         assert!(src.is_empty());
     }
 

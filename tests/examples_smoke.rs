@@ -55,3 +55,8 @@ fn cyber_forensics_runs() {
 fn programmable_variants_runs() {
     run_example("programmable_variants");
 }
+
+#[test]
+fn multi_query_session_runs() {
+    run_example("multi_query_session");
+}

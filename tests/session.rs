@@ -1,0 +1,310 @@
+//! Session-level integration tests: a multi-query [`MnemonicSession`] must
+//! be indistinguishable, query by query, from running the same queries in
+//! independent single-query engines — while ingesting the stream only once.
+//!
+//! The central check is a 3-query session (triangle, 3-path, and the
+//! programmable protocol-0 temporal variant from
+//! `examples/programmable_variants.rs`) replayed against 3 independent
+//! [`Mnemonic`] engines over the same mixed insert/delete stream, in both
+//! per-edge and batched update modes, comparing the exact embedding sets
+//! (vertex *and* edge bindings).
+
+use mnemonic::core::api::{
+    EdgeMatcher, FnEdgeMatcher, LabelEdgeMatcher, MatchSemantics, MatcherContext, UpdateMode,
+};
+use mnemonic::core::embedding::{CollectingSink, CompleteEmbedding};
+use mnemonic::core::engine::{EngineConfig, Mnemonic};
+use mnemonic::core::session::MnemonicSession;
+use mnemonic::core::variants::{Isomorphism, TemporalIsomorphism};
+use mnemonic::core::MnemonicError;
+use mnemonic::graph::edge::Edge;
+use mnemonic::query::patterns;
+use mnemonic::query::query_graph::QueryGraph;
+use mnemonic::stream::event::StreamEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One standing query: its pattern plus fresh matcher/semantics trait
+/// objects (boxed trait objects cannot be cloned, so the fixture hands out
+/// factories).
+struct QuerySpec {
+    name: &'static str,
+    query: QueryGraph,
+    matcher: fn() -> Box<dyn EdgeMatcher>,
+    semantics: fn() -> Box<dyn MatchSemantics>,
+}
+
+fn protocol_zero_matcher() -> Box<dyn EdgeMatcher> {
+    // The "democratised" custom edgeMatcher of the programmable_variants
+    // example: only protocol-0 flow events may participate.
+    Box::new(FnEdgeMatcher(|_ctx: &MatcherContext<'_>, _q, e: &Edge| {
+        e.label.0 == 0
+    }))
+}
+
+fn three_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            name: "triangle",
+            query: patterns::triangle(),
+            matcher: || Box::new(LabelEdgeMatcher),
+            semantics: || Box::new(Isomorphism),
+        },
+        QuerySpec {
+            name: "path3",
+            query: patterns::path(3),
+            matcher: || Box::new(LabelEdgeMatcher),
+            semantics: || Box::new(Isomorphism),
+        },
+        QuerySpec {
+            name: "temporal-protocol0",
+            query: patterns::temporal_path(3),
+            matcher: protocol_zero_matcher,
+            semantics: || Box::new(TemporalIsomorphism),
+        },
+    ]
+}
+
+/// A deterministic mixed insert/delete stream with several edge labels and
+/// strictly increasing timestamps (so the temporal variant has real ordering
+/// constraints to enforce).
+fn mixed_stream(seed: u64, vertices: u32, labels: u16, events: usize) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(u32, u32, u16)> = Vec::new();
+    let mut out = Vec::with_capacity(events);
+    for ts in 0..events as u64 {
+        if !live.is_empty() && rng.gen_bool(0.25) {
+            let idx = rng.gen_range(0..live.len());
+            let (s, d, l) = live.swap_remove(idx);
+            out.push(StreamEvent::delete(s, d, l).at(ts));
+        } else {
+            let src = rng.gen_range(0..vertices);
+            let mut dst = rng.gen_range(0..vertices);
+            if dst == src {
+                dst = (dst + 1) % vertices;
+            }
+            let label = rng.gen_range(0..labels);
+            live.push((src, dst, label));
+            out.push(StreamEvent::insert(src, dst, label).at(ts));
+        }
+    }
+    out
+}
+
+fn sorted(mut embeddings: Vec<CompleteEmbedding>) -> Vec<CompleteEmbedding> {
+    embeddings.sort();
+    embeddings
+}
+
+fn config_with(mode: UpdateMode) -> EngineConfig {
+    EngineConfig {
+        update_mode: mode,
+        ..EngineConfig::sequential()
+    }
+}
+
+/// Replay `events` through a session holding all three queries and through
+/// three independent engines, and require identical per-query embedding
+/// sets (positive and negative, including edge bindings).
+fn check_session_matches_independent_engines(mode: UpdateMode) {
+    let events = mixed_stream(23, 12, 2, 140);
+    let specs = three_queries();
+
+    // One session, three standing queries, the stream ingested once.
+    let mut session = MnemonicSession::builder()
+        .config(config_with(mode))
+        .build()
+        .expect("valid session config");
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            session
+                .register_query(spec.query.clone(), (spec.matcher)(), (spec.semantics)())
+                .expect("connected query")
+        })
+        .collect();
+    session
+        .run_events(events.iter().copied())
+        .expect("session replay succeeds");
+
+    // Three independent engines, each ingesting the stream on its own.
+    for (spec, handle) in specs.iter().zip(&handles) {
+        let mut engine = Mnemonic::new(
+            spec.query.clone(),
+            (spec.matcher)(),
+            (spec.semantics)(),
+            config_with(mode),
+        );
+        let sink = CollectingSink::new();
+        engine.run_events(events.iter().copied(), &sink);
+
+        let session_results = handle.drain();
+        assert_eq!(
+            sorted(session_results.positive),
+            sorted(sink.take_positive()),
+            "query `{}`: positive embeddings diverged (mode {mode:?})",
+            spec.name,
+        );
+        assert_eq!(
+            sorted(session_results.negative),
+            sorted(sink.take_negative()),
+            "query `{}`: negative embeddings diverged (mode {mode:?})",
+            spec.name,
+        );
+    }
+}
+
+#[test]
+fn three_query_session_matches_independent_engines_per_edge() {
+    check_session_matches_independent_engines(UpdateMode::PerEdge);
+}
+
+#[test]
+fn three_query_session_matches_independent_engines_batched() {
+    check_session_matches_independent_engines(UpdateMode::Batched(7));
+}
+
+#[test]
+fn no_events_are_lost_across_run_events_then_finish() {
+    let events = mixed_stream(31, 10, 1, 90);
+    let (first, second) = events.split_at(50);
+
+    // Reference: one engine that sees both halves through run_events (which
+    // always flushes its tail, so its batch boundaries match the session
+    // replay below exactly: one flush per half).
+    let mut reference = Mnemonic::new(
+        patterns::triangle(),
+        Box::new(LabelEdgeMatcher),
+        Box::new(Isomorphism),
+        config_with(UpdateMode::Batched(64)),
+    );
+    let reference_sink = CollectingSink::new();
+    reference.run_events(first.iter().copied(), &reference_sink);
+    reference.run_events(second.iter().copied(), &reference_sink);
+
+    // Session: run_events over the first half, then raw pushes that leave a
+    // partial batch pending, then finish() — the lossless shutdown.
+    let mut session = MnemonicSession::builder()
+        .config(config_with(UpdateMode::Batched(64)))
+        .build()
+        .unwrap();
+    let handle = session
+        .register_query(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+    session.run_events(first.iter().copied()).unwrap();
+    for e in second {
+        session.push_event(*e).unwrap();
+    }
+    assert!(
+        session.pending_events() > 0,
+        "the tail pushes must leave a partial batch pending for the test to be meaningful"
+    );
+    let last = session.finish().unwrap();
+    assert!(last.is_some(), "finish flushed the pending batch");
+
+    let got = handle.drain();
+    assert_eq!(
+        sorted(got.positive),
+        sorted(reference_sink.take_positive()),
+        "positive embeddings lost or duplicated across run_events → finish"
+    );
+    assert_eq!(
+        sorted(got.negative),
+        sorted(reference_sink.take_negative()),
+        "negative embeddings lost or duplicated across run_events → finish"
+    );
+}
+
+#[test]
+fn deregistration_mid_stream_leaves_other_queries_exact() {
+    let events = mixed_stream(47, 10, 2, 120);
+    let (first, second) = events.split_at(60);
+
+    let mut session = MnemonicSession::builder()
+        .config(config_with(UpdateMode::Batched(16)))
+        .build()
+        .unwrap();
+    let triangles = session
+        .register_query(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+    let paths = session
+        .register_query(
+            patterns::path(3),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+
+    session.run_events(first.iter().copied()).unwrap();
+    let paths_before = paths.accepted();
+    session.deregister(&paths).unwrap();
+    session.run_events(second.iter().copied()).unwrap();
+    assert_eq!(
+        paths.accepted(),
+        paths_before,
+        "a deregistered query must stop receiving embeddings"
+    );
+    assert!(matches!(
+        session.deregister(&paths),
+        Err(MnemonicError::UnknownQuery(_))
+    ));
+
+    // The surviving query is still exact vs an independent engine replayed
+    // with the same flush boundaries (run_events drains its tail, so the
+    // reference must also split the stream at the deregistration point).
+    let mut engine = Mnemonic::new(
+        patterns::triangle(),
+        Box::new(LabelEdgeMatcher),
+        Box::new(Isomorphism),
+        config_with(UpdateMode::Batched(16)),
+    );
+    let sink = CollectingSink::new();
+    engine.run_events(first.iter().copied(), &sink);
+    engine.run_events(second.iter().copied(), &sink);
+    let got = triangles.drain();
+    assert_eq!(sorted(got.positive), sorted(sink.take_positive()));
+    assert_eq!(sorted(got.negative), sorted(sink.take_negative()));
+}
+
+#[test]
+fn session_shares_one_graph_across_queries() {
+    let events = mixed_stream(59, 8, 2, 60);
+    let mut session = MnemonicSession::builder()
+        .config(config_with(UpdateMode::Batched(8)))
+        .build()
+        .unwrap();
+    for spec in three_queries() {
+        session
+            .register_query(spec.query, (spec.matcher)(), (spec.semantics)())
+            .unwrap();
+    }
+    let results = session.run_events(events.iter().copied()).unwrap();
+
+    // Graph-level work happened once per batch regardless of query count:
+    // the per-query BatchResults of one batch agree on the shared deltas.
+    let mut total_insertions = 0usize;
+    for r in &results {
+        assert_eq!(r.per_query.len(), 3);
+        for (_, q) in &r.per_query {
+            assert_eq!(q.insertions, r.insertions);
+            assert_eq!(q.deletions, r.deletions);
+        }
+        total_insertions += r.insertions;
+    }
+    let live_inserts = events.iter().filter(|e| e.is_insert()).count();
+    assert_eq!(total_insertions, live_inserts);
+    let deletes = events.iter().filter(|e| e.is_delete()).count();
+    assert_eq!(
+        session.graph().live_edge_count(),
+        live_inserts - deletes,
+        "every delete in the fixture targets a live edge"
+    );
+}
