@@ -38,6 +38,12 @@ if [ "$quick" != "quick" ]; then
     # and report identical per-query embedding counts (see
     # crates/bench/src/bin/multi_query_gate.rs).
     step cargo run --release -q -p mnemonic-bench --bin multi_query_gate
+    # Query-sharding smoke check: a 4-shard / 8-query sharded session must
+    # report per-query embedding counts identical to an unsharded session,
+    # project a >= 1.3x better 4-core makespan, and not regress wall-clock
+    # (projection only: thread speedups are unmeasurable on a 1-core CI box;
+    # see crates/bench/src/bin/shard_gate.rs).
+    step cargo run --release -q -p mnemonic-bench --bin shard_gate
 fi
 
 step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

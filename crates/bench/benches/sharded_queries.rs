@@ -1,0 +1,85 @@
+//! Query-sharded executor throughput: 8 standing queries over one stream,
+//! partitioned across N ∈ {1, 2, 4} shards of a [`ShardedSession`]
+//! (sequential shard execution, so the numbers are per-batch *work*, not
+//! concurrency — thread speedups are invisible on a 1-core CI box), against
+//! the unsharded [`MnemonicSession`] baseline. The interesting quantity on
+//! real multi-core hardware is the shard-level makespan, which the
+//! `shard_gate` binary projects from solo shard times.
+//!
+//! [`ShardedSession`]: mnemonic_core::shard::ShardedSession
+//! [`MnemonicSession`]: mnemonic_core::session::MnemonicSession
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemonic_bench::runners::timed_session_replay;
+use mnemonic_bench::workloads::{scaled_netflow, shard_query_set, WorkloadScale};
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::engine::EngineConfig;
+use mnemonic_core::session::MnemonicSession;
+use mnemonic_core::shard::ShardedSession;
+use mnemonic_core::variants::Isomorphism;
+
+const BATCH: usize = 512;
+const QUERIES: usize = 8;
+
+fn sequential_batched() -> EngineConfig {
+    EngineConfig {
+        num_threads: 1,
+        parallel: false,
+        ..EngineConfig::with_batch_size(BATCH)
+    }
+}
+
+fn sharded_queries(c: &mut Criterion) {
+    let events = scaled_netflow(&WorkloadScale::micro());
+
+    let mut group = c.benchmark_group("sharded_queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    group.bench_function(format!("unsharded_{QUERIES}_queries"), |b| {
+        b.iter(|| {
+            let mut session =
+                MnemonicSession::new(sequential_batched()).expect("valid bench configuration");
+            let (_, counts) = timed_session_replay(
+                &mut session,
+                shard_query_set(QUERIES),
+                |s, q| {
+                    s.register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                        .expect("connected query")
+                },
+                |s| {
+                    s.run_events(events.iter().copied())
+                        .expect("bench replay succeeds");
+                },
+            );
+            counts.iter().sum::<u64>()
+        });
+    });
+
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("sharded_{shards}x_{QUERIES}_queries"), |b| {
+            b.iter(|| {
+                let mut session = ShardedSession::new(sequential_batched(), shards)
+                    .expect("valid bench configuration");
+                let (_, counts) = timed_session_replay(
+                    &mut session,
+                    shard_query_set(QUERIES),
+                    |s, q| {
+                        s.register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                            .expect("connected query")
+                    },
+                    |s| {
+                        s.run_events(events.iter().copied())
+                            .expect("bench replay succeeds");
+                    },
+                );
+                counts.iter().sum::<u64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sharded_queries);
+criterion_main!(benches);

@@ -23,7 +23,9 @@ fn main() {
     let start = Instant::now();
     if !figures.run(which) {
         eprintln!("unknown experiment '{which}'");
-        eprintln!("usage: figures <fig6..fig17|table2|table3|all> [--scale tiny|micro|default]");
+        eprintln!(
+            "usage: figures <fig6..fig17|table2|table3|summary|all> [--scale tiny|micro|default]"
+        );
         std::process::exit(2);
     }
     println!("total harness time: {:.1}s", start.elapsed().as_secs_f64());

@@ -1,0 +1,190 @@
+//! CI query-sharding gate: on the 8-query shard workload, a 4-shard
+//! [`ShardedSession`] must (a) report per-query embedding counts identical
+//! to an unsharded session (the differential sanity check), (b) project a
+//! 4-core makespan at least 1.3× better than the single unsharded session,
+//! and (c) not regress wall-clock past a wide margin on this box.
+//!
+//! Thread speedups cannot be observed on a single-core CI box (see the
+//! ROADMAP bench-baseline note), so the balance gate uses *projected*
+//! makespans computed from measured solo times: each shard's workload — its
+//! query subset fed the full event stream, exactly what one shard of a
+//! `ShardedSession` executes — is run alone and timed; on a machine with one
+//! free core per shard the sharded batch's wall-clock converges to the
+//! slowest shard's solo time, while the unsharded session costs its full
+//! measured wall. Everything runs single-threaded with the same delta-batch
+//! size so the comparison isolates the partitioning from scheduling noise.
+//!
+//! Exit status 0 = all gates passed; 1 = a gate failed.
+//!
+//! ```text
+//! cargo run --release -p mnemonic-bench --bin shard_gate
+//! ```
+//!
+//! [`ShardedSession`]: mnemonic_core::shard::ShardedSession
+
+use mnemonic_bench::runners::timed_session_replay;
+use mnemonic_bench::workloads::{scaled_netflow, shard_query_set, WorkloadScale};
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::engine::EngineConfig;
+use mnemonic_core::session::MnemonicSession;
+use mnemonic_core::shard::{ShardPlan, ShardedSession};
+use mnemonic_core::variants::Isomorphism;
+use mnemonic_query::query_graph::QueryGraph;
+use std::time::Duration;
+
+/// Number of shards under test.
+const SHARDS: usize = 4;
+/// Number of standing queries in the gate workload.
+const QUERIES: usize = 8;
+/// Delta-batch size shared by every configuration.
+const BATCH: usize = 512;
+/// Gate: projected `SHARDS`-core makespan of the sharded run must beat the
+/// unsharded session's wall by at least this factor.
+const MIN_PROJECTED_SPEEDUP: f64 = 1.3;
+/// Gate: the sharded run's measured wall (shards executed back-to-back on
+/// this box) must not exceed this factor of the unsharded wall. Sharding
+/// duplicates the graph-update work N times, so some overhead is expected;
+/// this catches a systemic regression, not the architectural cost.
+const MAX_WALL_REGRESSION: f64 = 1.5;
+/// Runs per configuration; the median is compared.
+const RUNS: usize = 5;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        num_threads: 1,
+        parallel: false,
+        ..EngineConfig::with_batch_size(BATCH)
+    }
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// One unsharded run: `queries` in one session. Returns (wall, per-query
+/// embedding counts). Also the solo runner for one shard's query subset —
+/// that subset fed the full stream is exactly what shard `i` of a
+/// `ShardedSession` executes, so its solo wall is the shard's projected
+/// busy time on a free core.
+fn run_unsharded(
+    events: &[mnemonic_stream::event::StreamEvent],
+    queries: Vec<QueryGraph>,
+) -> (Duration, Vec<u64>) {
+    let mut session = MnemonicSession::new(config()).expect("valid gate configuration");
+    timed_session_replay(
+        &mut session,
+        queries,
+        |s, q| {
+            s.register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        },
+        |s| {
+            s.run_events(events.iter().copied())
+                .expect("gate replay succeeds");
+        },
+    )
+}
+
+/// One sharded run through the real executor (shards processed sequentially
+/// on this single-core box). Returns (wall, per-query embedding counts in
+/// registration order).
+fn run_sharded(events: &[mnemonic_stream::event::StreamEvent]) -> (Duration, Vec<u64>) {
+    let mut session = ShardedSession::new(config(), SHARDS).expect("valid gate configuration");
+    timed_session_replay(
+        &mut session,
+        shard_query_set(QUERIES),
+        |s, q| {
+            s.register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        },
+        |s| {
+            s.run_events(events.iter().copied())
+                .expect("gate replay succeeds");
+        },
+    )
+}
+
+fn main() {
+    let events = scaled_netflow(&WorkloadScale::tiny());
+    let queries = shard_query_set(QUERIES);
+
+    // The same placement the ShardedSession computes: least-loaded shard in
+    // registration order (round-robin here).
+    let mut plan = ShardPlan::new(SHARDS);
+    let mut subsets: Vec<Vec<QueryGraph>> = vec![Vec::new(); SHARDS];
+    for (i, q) in queries.iter().enumerate() {
+        let shard = plan.assign(mnemonic_core::session::QueryId(i as u64));
+        subsets[shard].push(q.clone());
+    }
+
+    let mut unsharded_walls = Vec::with_capacity(RUNS);
+    let mut sharded_walls = Vec::with_capacity(RUNS);
+    let mut solo_walls: Vec<Vec<Duration>> =
+        (0..SHARDS).map(|_| Vec::with_capacity(RUNS)).collect();
+    let mut unsharded_counts = Vec::new();
+    let mut sharded_counts = Vec::new();
+    for _ in 0..RUNS {
+        let (wall, counts) = run_unsharded(&events, queries.clone());
+        unsharded_walls.push(wall);
+        unsharded_counts = counts;
+        let (wall, counts) = run_sharded(&events);
+        sharded_walls.push(wall);
+        sharded_counts = counts;
+        for (shard, subset) in subsets.iter().enumerate() {
+            let (wall, _) = run_unsharded(&events, subset.clone());
+            solo_walls[shard].push(wall);
+        }
+    }
+
+    assert_eq!(
+        unsharded_counts, sharded_counts,
+        "sharded and unsharded sessions must report identical per-query embedding counts"
+    );
+
+    let unsharded_wall = median(unsharded_walls);
+    let sharded_wall = median(sharded_walls);
+    let shard_solos: Vec<Duration> = solo_walls.into_iter().map(median).collect();
+    let projected_makespan = shard_solos.iter().max().copied().unwrap_or(Duration::ZERO);
+    let projected_speedup =
+        unsharded_wall.as_secs_f64() / projected_makespan.as_secs_f64().max(1e-9);
+    let wall_ratio = sharded_wall.as_secs_f64() / unsharded_wall.as_secs_f64().max(1e-9);
+
+    println!(
+        "shard_gate: {} events, {QUERIES} standing queries over {SHARDS} shards, batch {BATCH}, per-query embeddings {sharded_counts:?}",
+        events.len(),
+    );
+    println!("  median wall, unsharded session        : {unsharded_wall:>12.3?}");
+    println!("  median wall, sharded (back-to-back)   : {sharded_wall:>12.3?}");
+    for (shard, solo) in shard_solos.iter().enumerate() {
+        println!(
+            "  median solo wall, shard {shard} ({} queries) : {solo:>12.3?}",
+            subsets[shard].len()
+        );
+    }
+    println!("  projected makespan on {SHARDS} free cores   : {projected_makespan:>12.3?}");
+    println!(
+        "  projected speedup (unsharded/makespan): {projected_speedup:>12.2}x  (gate: >= {MIN_PROJECTED_SPEEDUP}x)"
+    );
+    println!(
+        "  wall ratio (sharded/unsharded)        : {wall_ratio:>12.2}  (gate: <= {MAX_WALL_REGRESSION})"
+    );
+
+    let mut failed = false;
+    if projected_speedup < MIN_PROJECTED_SPEEDUP {
+        eprintln!(
+            "GATE FAILED: sharding projects only {projected_speedup:.2}x better {SHARDS}-core makespan (need {MIN_PROJECTED_SPEEDUP}x)"
+        );
+        failed = true;
+    }
+    if wall_ratio > MAX_WALL_REGRESSION {
+        eprintln!(
+            "GATE FAILED: sharded wall regressed {wall_ratio:.2}x vs unsharded (allowed {MAX_WALL_REGRESSION})"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("shard_gate: all gates passed");
+}

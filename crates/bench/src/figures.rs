@@ -78,10 +78,14 @@ impl Figures {
             "fig17" => self.fig17(),
             "table2" => self.table2(),
             "table3" => self.table3(),
+            "summary" => {
+                self.write_summary();
+            }
             "all" => {
                 for name in EXPERIMENTS {
                     self.run(name);
                 }
+                self.write_summary();
             }
             _ => return false,
         }
@@ -812,6 +816,145 @@ impl Figures {
             &rows,
         );
     }
+}
+
+impl Figures {
+    /// Headline counters of the evaluation pipeline at this scale, as
+    /// `(key, value)` pairs: dataset sizes, per-query embedding counts of a
+    /// 4-query session replay (insert-only NetFlow-like and insert/delete
+    /// LSBench-like), and the index/traversal counters behind them.
+    ///
+    /// Every value is a *deterministic count* for a fixed scale + seed —
+    /// latencies are deliberately excluded so successive runs can be
+    /// compared numerically (the `tests/figures.rs` regression case holds
+    /// these against `results/summary_baseline_micro.json`).
+    pub fn summary(&self) -> Vec<(String, f64)> {
+        use mnemonic_core::session::MnemonicSession;
+        let mut out: Vec<(String, f64)> = Vec::new();
+        let netflow = crate::workloads::scaled_netflow(&self.scale);
+        let lsbench = crate::workloads::scaled_lsbench(&self.scale);
+        let lanl = crate::workloads::scaled_lanl(&self.scale);
+        out.push(("netflow_events".into(), netflow.len() as f64));
+        out.push(("lsbench_events".into(), lsbench.len() as f64));
+        out.push(("lanl_events".into(), lanl.len() as f64));
+        out.push((
+            "lsbench_deletions".into(),
+            lsbench.iter().filter(|e| e.is_delete()).count() as f64,
+        ));
+
+        let mut replay = |tag: &str, events: &[StreamEvent]| {
+            let mut session = MnemonicSession::builder()
+                .sequential()
+                .batch_size(512)
+                .build()
+                .expect("valid summary configuration");
+            let handles: Vec<_> = crate::workloads::multi_query_set(4)
+                .into_iter()
+                .map(|q| {
+                    session
+                        .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                        .expect("connected query")
+                })
+                .collect();
+            session
+                .run_events(events.iter().copied())
+                .expect("summary replay succeeds");
+            for (i, h) in handles.iter().enumerate() {
+                let batch = h.drain();
+                out.push((format!("{tag}_q{i}_positive"), batch.positive.len() as f64));
+                out.push((format!("{tag}_q{i}_negative"), batch.negative.len() as f64));
+            }
+            let counters = handles[0].counters();
+            out.push((
+                format!("{tag}_q0_traversals"),
+                counters.total_traversals() as f64,
+            ));
+            out.push((format!("{tag}_q0_debi_writes"), counters.debi_writes as f64));
+            out.push((format!("{tag}_q0_work_units"), counters.work_units as f64));
+            out.push((
+                format!("{tag}_live_edges"),
+                session.graph().live_edge_count() as f64,
+            ));
+        };
+        replay("netflow", &netflow);
+        replay("lsbench", &lsbench);
+        out
+    }
+
+    /// Write [`Figures::summary`] as `summary.json` (a flat string→number
+    /// JSON object) into the output directory and return its path.
+    pub fn write_summary(&self) -> PathBuf {
+        let summary = self.summary();
+        let _ = fs::create_dir_all(&self.out_dir);
+        let path = self.out_dir.join("summary.json");
+        let mut f = fs::File::create(&path).expect("create summary.json");
+        writeln!(f, "{{").unwrap();
+        for (i, (key, value)) in summary.iter().enumerate() {
+            let comma = if i + 1 == summary.len() { "" } else { "," };
+            writeln!(f, "  \"{key}\": {value}{comma}").unwrap();
+        }
+        writeln!(f, "}}").unwrap();
+        println!("  -> wrote {}", path.display());
+        path
+    }
+}
+
+/// Read a flat `{"key": number, ...}` JSON object as written by
+/// [`Figures::write_summary`]. Hand-rolled because the workspace's offline
+/// serde shim has no real serialisation; accepts exactly the subset this
+/// harness writes.
+pub fn read_summary(path: &Path) -> Result<Vec<(String, f64)>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" || line == "}" {
+            continue;
+        }
+        let (key, value) = line.split_once(':').ok_or_else(|| {
+            format!(
+                "{} line {}: expected `\"key\": value`",
+                path.display(),
+                lineno + 1
+            )
+        })?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("{} line {}: {e}", path.display(), lineno + 1))?;
+        out.push((key, value));
+    }
+    if out.is_empty() {
+        return Err(format!("{}: no entries", path.display()));
+    }
+    Ok(out)
+}
+
+/// Compare a current summary against a baseline: every baseline key must be
+/// present and within `rel_tol` relative tolerance (absolute for values
+/// below 1). New keys in `current` are allowed — the summary may grow.
+/// Returns human-readable violations; empty means the regression gate holds.
+pub fn compare_summaries(
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    rel_tol: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (key, expected) in baseline {
+        match current.iter().find(|(k, _)| k == key) {
+            None => violations.push(format!("missing counter `{key}` (baseline {expected})")),
+            Some((_, got)) => {
+                let scale = expected.abs().max(1.0);
+                if (got - expected).abs() > rel_tol * scale {
+                    violations.push(format!(
+                        "counter `{key}` drifted: baseline {expected}, current {got}"
+                    ));
+                }
+            }
+        }
+    }
+    violations
 }
 
 /// Parse a `--scale tiny|micro|default` CLI fragment (also honouring the

@@ -16,9 +16,11 @@ pub mod workloads;
 
 pub use figures::Figures;
 pub use runners::{
-    run_ceci_snapshots, run_mnemonic_stream, run_turboflux_stream, MnemonicRun, Variant,
+    run_ceci_snapshots, run_mnemonic_stream, run_turboflux_stream, timed_session_replay,
+    MnemonicRun, Variant,
 };
 pub use skew::{ParallelRun, Policy, SkewConfig, SkewFixture};
 pub use workloads::{
-    multi_query_set, paper_queries, scaled_lanl, scaled_lsbench, scaled_netflow, WorkloadScale,
+    multi_query_set, paper_queries, scaled_lanl, scaled_lsbench, scaled_netflow, shard_query_set,
+    WorkloadScale,
 };

@@ -157,6 +157,37 @@ pub fn run_ceci_snapshots(
     (total, avg, snapshots)
 }
 
+/// The shared replay harness of the multi-query/sharding gates and benches:
+/// register `queries` isomorphism-matched into a session-like executor
+/// through `register`, attach a counting sink to every handle, replay the
+/// whole run through `run`, and report (wall-clock of `run`, per-query
+/// accepted embedding counts in registration order).
+///
+/// Both the `shard_gate` differential and the `sharded_queries` bench drive
+/// their sharded *and* unsharded sides through this one function, so the
+/// two sides cannot drift apart in how they register, sink or count.
+pub fn timed_session_replay<S>(
+    session: &mut S,
+    queries: Vec<QueryGraph>,
+    mut register: impl FnMut(&mut S, QueryGraph) -> mnemonic_core::session::QueryHandle,
+    run: impl FnOnce(&mut S),
+) -> (Duration, Vec<u64>) {
+    let handles: Vec<_> = queries
+        .into_iter()
+        .map(|q| {
+            let h = register(session, q);
+            h.attach_sink(std::sync::Arc::new(CountingSink::new()));
+            h
+        })
+        .collect();
+    let start = Instant::now();
+    run(session);
+    (
+        start.elapsed(),
+        handles.iter().map(|h| h.accepted()).collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -121,6 +121,30 @@ pub fn multi_query_set(k: usize) -> Vec<QueryGraph> {
     (0..k).map(|i| base[i % base.len()].clone()).collect()
 }
 
+/// A family of standing queries for the query-sharded executor benchmarks
+/// and the `shard_gate` CI check: `k` queries cycling through 8
+/// *structurally distinct* patterns, ordered so that round-robin placement
+/// over 4 shards interleaves the enumeration-heavy wildcard cycles
+/// (triangle, dual triangle, rectangle) with cheap label-selective paths —
+/// the projected-makespan gate measures how well the partition balances, so
+/// the workload must not stack every heavy query onto one shard by
+/// construction. (Weight-aware placement in `ShardPlan` is the follow-up
+/// that would make the ordering irrelevant.)
+pub fn shard_query_set(k: usize) -> Vec<QueryGraph> {
+    let w = mnemonic_graph::ids::WILDCARD_VERTEX_LABEL.0;
+    let base = [
+        patterns::triangle(),
+        patterns::labelled_path(&[w, w, w], &[0, 1]),
+        patterns::dual_triangle(),
+        patterns::labelled_path(&[w, w, w, w], &[2, 3, 4]),
+        patterns::labelled_path(&[w, w, w], &[5, 6]),
+        patterns::rectangle(),
+        patterns::labelled_path(&[w, w, w, w], &[7, 0, 2]),
+        patterns::labelled_path(&[w, w, w], &[1, 3]),
+    ];
+    (0..k).map(|i| base[i % base.len()].clone()).collect()
+}
+
 /// Extract the paper's query workload (T_3 … G_12) from a prefix of the
 /// given stream. Returns `(class name, queries)` pairs; classes whose
 /// extraction fails on very small inputs are simply skipped.

@@ -29,6 +29,27 @@ use mnemonic_query::query_graph::QueryGraph;
 /// units of the batch can be balanced across the thread pool (Figure 13).
 /// [`UpdateMode::PerEdge`] degenerates to TurboFlux-style edge-at-a-time
 /// processing and exists for ablations and differential tests.
+///
+/// # The clamp-vs-error contract for `Batched(0)`
+///
+/// A batch size of zero has no flush boundary, and this type is the single
+/// place that decides what happens to one. Every construction path routes
+/// through the same three methods:
+///
+/// * **Validated paths** ([`crate::session::SessionBuilder::build`],
+///   [`crate::session::MnemonicSession::new`],
+///   [`crate::shard::ShardedSessionBuilder::build`]) call
+///   [`UpdateMode::validate`] and reject `Batched(0)` with
+///   [`crate::MnemonicError::InvalidConfig`].
+/// * **Infallible legacy paths** ([`crate::engine::EngineConfig::with_batch_size`],
+///   [`crate::engine::Mnemonic::with_root`]) call [`UpdateMode::clamped`],
+///   which silently turns `Batched(0)` into [`UpdateMode::PerEdge`] — the
+///   documented historical behaviour that keeps old configurations working.
+/// * Both build the mode from a raw size via [`UpdateMode::from_batch_size`]
+///   (`1` means [`UpdateMode::PerEdge`]); only the zero handling differs.
+///
+/// As a last line of defence, [`UpdateMode::batch_size`] never returns 0
+/// even for a hand-constructed `Batched(0)` that bypassed both paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateMode {
     /// Flush after every pushed event: a delta batch of size one.
@@ -40,15 +61,23 @@ pub enum UpdateMode {
 }
 
 impl UpdateMode {
-    /// The number of events that triggers an automatic flush (always ≥ 1).
-    ///
-    /// A directly constructed `Batched(0)` is **clamped to 1** on this
-    /// infallible path — it is kept only so legacy configurations keep
-    /// working. The validated construction paths
-    /// ([`crate::session::SessionBuilder::build`] and
-    /// [`crate::session::MnemonicSession::new`]) reject `Batched(0)` with
-    /// [`crate::MnemonicError::InvalidConfig`] instead; use
-    /// [`UpdateMode::PerEdge`] when you mean a batch of one.
+    /// Build a mode from a raw batch size: `1` selects
+    /// [`UpdateMode::PerEdge`], anything else [`UpdateMode::Batched`]. A
+    /// zero passes through as the invalid `Batched(0)` so the caller's
+    /// policy — [`UpdateMode::validate`] or [`UpdateMode::clamped`], per the
+    /// [contract](UpdateMode#the-clamp-vs-error-contract-for-batched0) —
+    /// decides its fate.
+    pub fn from_batch_size(batch_size: usize) -> UpdateMode {
+        match batch_size {
+            1 => UpdateMode::PerEdge,
+            n => UpdateMode::Batched(n),
+        }
+    }
+
+    /// The number of events that triggers an automatic flush (always ≥ 1;
+    /// a hand-constructed `Batched(0)` reads as 1 here as a last line of
+    /// defence — see the
+    /// [contract](UpdateMode#the-clamp-vs-error-contract-for-batched0)).
     pub fn batch_size(&self) -> usize {
         match *self {
             UpdateMode::PerEdge => 1,
@@ -56,9 +85,20 @@ impl UpdateMode {
         }
     }
 
-    /// Check the mode for construction-time validity: `Batched(0)` has no
-    /// meaningful flush boundary and is rejected (the infallible
-    /// [`UpdateMode::batch_size`] path clamps it to 1 instead).
+    /// The infallible legacy policy for `Batched(0)`: clamp it to
+    /// [`UpdateMode::PerEdge`]; every other mode passes through unchanged.
+    /// See the [contract](UpdateMode#the-clamp-vs-error-contract-for-batched0).
+    pub fn clamped(self) -> UpdateMode {
+        match self {
+            UpdateMode::Batched(0) => UpdateMode::PerEdge,
+            mode => mode,
+        }
+    }
+
+    /// The validated policy for `Batched(0)`: reject it (the session and
+    /// sharded-session builders turn the message into
+    /// [`crate::MnemonicError::InvalidConfig`]). See the
+    /// [contract](UpdateMode#the-clamp-vs-error-contract-for-batched0).
     pub fn validate(&self) -> Result<(), String> {
         match *self {
             UpdateMode::Batched(0) => Err(

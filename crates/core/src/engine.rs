@@ -83,16 +83,15 @@ impl EngineConfig {
 
     /// Configuration with an explicit delta-batch size for the
     /// [`Mnemonic::push_event`] path. This infallible constructor clamps:
-    /// `0` or `1` selects per-edge updates ([`UpdateMode::PerEdge`]). Use
+    /// `0` or `1` selects per-edge updates ([`UpdateMode::PerEdge`]), per
+    /// the
+    /// [clamp-vs-error contract](UpdateMode#the-clamp-vs-error-contract-for-batched0).
+    /// Use
     /// [`crate::session::SessionBuilder`] for validated construction that
     /// rejects a zero batch size instead.
     pub fn with_batch_size(batch_size: usize) -> Self {
         EngineConfig {
-            update_mode: if batch_size <= 1 {
-                UpdateMode::PerEdge
-            } else {
-                UpdateMode::Batched(batch_size)
-            },
+            update_mode: UpdateMode::from_batch_size(batch_size).clamped(),
             ..Default::default()
         }
     }
@@ -166,11 +165,10 @@ impl Mnemonic {
     ) -> Self {
         assert!(query.is_connected(), "query graph must be connected");
         // Historical clamp of this infallible path: a directly constructed
-        // `Batched(0)` behaves as a batch of one. The session builder
-        // rejects it instead.
-        if config.update_mode == UpdateMode::Batched(0) {
-            config.update_mode = UpdateMode::PerEdge;
-        }
+        // `Batched(0)` behaves as a batch of one (the clamp-vs-error
+        // contract documented on `UpdateMode`). The session builder rejects
+        // it instead.
+        config.update_mode = config.update_mode.clamped();
         let mut session = MnemonicSession::new(config)
             .unwrap_or_else(|e| panic!("failed to create spill manager: {e}"));
         let handle = session

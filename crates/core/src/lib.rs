@@ -60,7 +60,9 @@ pub mod error;
 pub mod filter;
 pub mod frontier;
 pub mod parallel;
+pub mod pipeline;
 pub mod session;
+pub mod shard;
 pub mod stats;
 pub mod variants;
 
@@ -75,10 +77,12 @@ pub use engine::{BatchResult, EngineConfig, Mnemonic};
 pub use enumerate::{Enumerator, WorkUnit};
 pub use error::MnemonicError;
 pub use frontier::UnifiedFrontier;
+pub use pipeline::DeltaBatch;
 pub use session::{
     MnemonicSession, QueryHandle, QueryId, ResultBatch, SessionBatchResult, SessionBuilder,
 };
-pub use stats::{CounterSnapshot, EngineCounters, PhaseTimings, UtilizationProfile};
+pub use shard::{ShardPlan, ShardedSession, ShardedSessionBuilder};
+pub use stats::{CounterSnapshot, EngineCounters, PhaseTimings, QueryStats, UtilizationProfile};
 pub use variants::{
     DualSimulation, Homomorphism, Isomorphism, SimulationRelation, StrongSimulation,
     TemporalIsomorphism,

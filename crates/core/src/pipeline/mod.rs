@@ -1,0 +1,108 @@
+//! The staged update pipeline: the paper's fixed batch-processing sequence —
+//! graph update, frontier construction, incremental filtering, deletion
+//! resolution, enumeration — as explicit, individually testable stages.
+//!
+//! A [`DeltaBatch`] is the value that flows through the stages. It starts as
+//! a plain restatement of one [`Snapshot`]
+//! (the raw insertion/deletion events plus the eviction cutoff) and each
+//! stage fills in its own outputs: the materialised
+//! [`inserted`](DeltaBatch::inserted) edges, the shared
+//! [`UnifiedFrontier`]s, the resolved
+//! deletion set, the per-query embedding deltas, and a [`PhaseTimings`]
+//! breakdown in which every stage records its own slice.
+//!
+//! The stages mirror Algorithm 2 of the paper:
+//!
+//! ```text
+//!             ┌──────────────────── batchInserts ────────────────────┐
+//!  Snapshot → │ GraphUpdate → FrontierBuild → Filtering → Enumerate │
+//!             └──────────────────────────────────────────────────────┘
+//!             ┌──────────────────── batchDeletes ────────────────────┐
+//!           → │ DeletionResolve → FrontierBuild → Enumerate(−)       │
+//!             │   → GraphUpdate(delete) → Filtering(refresh)         │ → SessionBatchResult
+//!             └──────────────────────────────────────────────────────┘
+//! ```
+//!
+//! [`MnemonicSession::apply_snapshot`](crate::session::MnemonicSession::apply_snapshot)
+//! is nothing but this orchestration; driving the stages by hand against a
+//! session produces bit-identical results (the `tests/sharding.rs` pipeline
+//! test does exactly that). Keeping the stages explicit is what lets the
+//! query-sharded executor ([`crate::shard::ShardedSession`]) and future
+//! async-ingest frontends reuse the pipeline without going through the
+//! session's buffering layer.
+
+mod stages;
+
+pub use stages::{DeletionResolve, Enumerate, Filtering, FrontierBuild, GraphUpdate};
+
+use crate::frontier::UnifiedFrontier;
+use crate::stats::PhaseTimings;
+use mnemonic_graph::edge::Edge;
+use mnemonic_graph::ids::{EdgeId, Timestamp};
+use mnemonic_stream::event::StreamEvent;
+use mnemonic_stream::snapshot::Snapshot;
+
+/// One delta batch flowing through the staged update pipeline.
+///
+/// Construction ([`DeltaBatch::from_snapshot`]) captures the raw events;
+/// every other field is an intermediate product owned by the stage that
+/// produces it (named in each field's documentation). Timings accumulate in
+/// [`DeltaBatch::timings`], each stage adding to its own phase slice.
+#[derive(Debug, Default)]
+pub struct DeltaBatch {
+    /// Snapshot sequence number, echoed into the batch outcome.
+    pub snapshot_id: u64,
+    /// The batch's raw insertion events (input).
+    pub insertions: Vec<StreamEvent>,
+    /// The batch's raw deletion events (input).
+    pub deletions: Vec<StreamEvent>,
+    /// Sliding-window eviction cutoff: edges older than this are deleted
+    /// (input).
+    pub evict_before: Option<Timestamp>,
+    /// Edges materialised in the graph by [`GraphUpdate::apply_insertions`].
+    pub inserted: Vec<Edge>,
+    /// The insertion pipeline's shared traversal frontier, built by
+    /// [`FrontierBuild::for_insertions`].
+    pub insert_frontier: Option<UnifiedFrontier>,
+    /// Edge ids chosen for deletion by [`DeletionResolve::run`] (explicit
+    /// deletion events plus the eviction cutoff), in resolution order.
+    pub doomed_ids: Vec<EdgeId>,
+    /// The doomed edges, still alive, looked up by [`DeletionResolve::run`]
+    /// against the pre-deletion graph.
+    pub doomed_edges: Vec<Edge>,
+    /// The deletion pipeline's traversal frontier (built *before* the graph
+    /// is mutated, so the disappearing neighbourhood is captured), by
+    /// [`FrontierBuild::for_deletions`].
+    pub delete_frontier: Option<UnifiedFrontier>,
+    /// Deletions actually applied to the graph by
+    /// [`GraphUpdate::apply_deletions`].
+    pub deletions_applied: usize,
+    /// Newly formed embeddings per standing query (registration order),
+    /// filled by [`Enumerate::positive`]. Empty when the batch had no
+    /// insertions.
+    pub new_embeddings: Vec<u64>,
+    /// Removed embeddings per standing query (registration order), filled by
+    /// [`Enumerate::negative`]. Empty when the batch had no deletions.
+    pub removed_embeddings: Vec<u64>,
+    /// Wall-clock phase breakdown; every stage records its own slice.
+    pub timings: PhaseTimings,
+}
+
+impl DeltaBatch {
+    /// Start a batch from a snapshot's events. Nothing is applied yet; the
+    /// stages do all the work.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        DeltaBatch {
+            snapshot_id: snapshot.id,
+            insertions: snapshot.insertions.clone(),
+            deletions: snapshot.deletions.clone(),
+            evict_before: snapshot.evict_before,
+            ..DeltaBatch::default()
+        }
+    }
+
+    /// Whether the deletion half of the pipeline has anything to do.
+    pub fn has_deletions(&self) -> bool {
+        !self.deletions.is_empty() || self.evict_before.is_some()
+    }
+}

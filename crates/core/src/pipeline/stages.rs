@@ -1,0 +1,462 @@
+//! The five pipeline stages. Each stage is a named unit wrapping one phase
+//! of the batch-update sequence, operating on a
+//! [`MnemonicSession`] and a [`DeltaBatch`], and recording its elapsed time
+//! into the batch's [`PhaseTimings`](crate::stats::PhaseTimings) slice:
+//!
+//! | stage | wraps | timing slice |
+//! |---|---|---|
+//! | [`GraphUpdate`] | edge materialisation / deletion + spill bookkeeping | `graph_update` |
+//! | [`FrontierBuild`] | [`UnifiedFrontier::build`] | `frontier` |
+//! | [`Filtering`] | the per-query top-down DEBI refresh over the shared frontier | `top_down` / `bottom_up` |
+//! | [`DeletionResolve`] | event → edge-id resolution + eviction expansion | `frontier` |
+//! | [`Enumerate`] | pooled heaviest-first work-unit enumeration for all queries | `enumeration` |
+//!
+//! The stages are deliberately free functions-on-unit-structs rather than a
+//! trait: the pipeline's two halves (`batchInserts` / `batchDeletes`) thread
+//! different intermediates through the same stage kinds, and a trait-shaped
+//! `run(&mut Batch)` would bury exactly the data-flow the refactor is meant
+//! to surface.
+
+use super::DeltaBatch;
+use crate::embedding::{EmbeddingSink, Sign};
+use crate::enumerate::{Enumerator, WorkUnit};
+use crate::error::MnemonicError;
+use crate::filter::TopDownPass;
+use crate::frontier::UnifiedFrontier;
+use crate::parallel;
+use crate::session::{MnemonicSession, QueryState};
+use crate::stats::EngineCounters;
+use mnemonic_graph::edge::{Edge, EdgeTriple};
+use mnemonic_graph::ids::{EdgeId, Timestamp, WILDCARD_VERTEX_LABEL};
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Stage: apply the batch's graph-level mutations (edge materialisation on
+/// the insert side, edge deletion on the delete side) exactly once, no
+/// matter how many queries are registered. Records into
+/// `timings.graph_update`.
+pub struct GraphUpdate;
+
+impl GraphUpdate {
+    /// Materialise the batch's insertion events in the shared graph, filling
+    /// [`DeltaBatch::inserted`].
+    ///
+    /// Spill-tier I/O failures do **not** abort the batch: aborting midway
+    /// would leave edges in the graph that no query's DEBI ever filtered,
+    /// silently corrupting every later result. Instead the error is absorbed
+    /// (only the spill tier's overhead accounting degrades), counted, and
+    /// exposed through
+    /// [`MnemonicSession::spill_io_errors`] /
+    /// [`MnemonicSession::last_spill_error`] — matching the legacy engine,
+    /// which ignored these errors outright.
+    ///
+    /// # Errors
+    /// [`MnemonicError::DeadEdge`] when a freshly inserted edge cannot be
+    /// read back — graph corruption.
+    pub fn apply_insertions(
+        session: &mut MnemonicSession,
+        batch: &mut DeltaBatch,
+    ) -> Result<(), MnemonicError> {
+        let start = Instant::now();
+        let mut inserted = Vec::with_capacity(batch.insertions.len());
+        for event in &batch.insertions {
+            if event.src_label != WILDCARD_VERTEX_LABEL {
+                session.graph.set_vertex_label(event.src, event.src_label);
+            }
+            if event.dst_label != WILDCARD_VERTEX_LABEL {
+                session.graph.set_vertex_label(event.dst, event.dst_label);
+            }
+            let id = session.graph.insert_edge(EdgeTriple::with_timestamp(
+                event.src,
+                event.dst,
+                event.label,
+                event.timestamp,
+            ));
+            let edge = session.graph.edge(id).ok_or(MnemonicError::DeadEdge(id))?;
+            if let Some(spill) = session.spill.as_mut() {
+                // The spill record keeps one DEBI row for overhead
+                // accounting; with several standing queries the first
+                // query's index is the representative one.
+                let debi = session.queries.first().map(|q| &q.debi);
+                let outcome = spill.on_insert(edge, |eid| {
+                    debi.map(|d| d.row(eid.index())).unwrap_or_default()
+                });
+                if let Err(e) = outcome {
+                    session.spill_io_errors += 1;
+                    session.last_spill_error = Some(e);
+                }
+            }
+            inserted.push(edge);
+        }
+        for qs in &session.queries {
+            EngineCounters::add(&qs.counters.insertions_applied, inserted.len() as u64);
+        }
+        batch.inserted = inserted;
+        batch.timings.graph_update += start.elapsed();
+        Ok(())
+    }
+
+    /// Apply the resolved deletions ([`DeltaBatch::doomed_ids`]) to the
+    /// shared graph, filling [`DeltaBatch::deletions_applied`]. Runs *after*
+    /// [`Enumerate::negative`]: the disappearing embeddings are enumerated
+    /// against the pre-deletion state.
+    pub fn apply_deletions(session: &mut MnemonicSession, batch: &mut DeltaBatch) {
+        let start = Instant::now();
+        let mut applied = 0usize;
+        for &id in &batch.doomed_ids {
+            if session.graph.delete_edge(id).is_ok() {
+                applied += 1;
+            }
+        }
+        for qs in &session.queries {
+            EngineCounters::add(&qs.counters.deletions_applied, applied as u64);
+        }
+        batch.deletions_applied = applied;
+        batch.timings.graph_update += start.elapsed();
+    }
+}
+
+/// Stage: build the batch's unified traversal frontier (Section V-A) — the
+/// deduplicated union of the affected region of every batch edge, shared by
+/// all standing queries. Records into `timings.frontier`.
+pub struct FrontierBuild;
+
+impl FrontierBuild {
+    /// Build the insertion frontier over [`DeltaBatch::inserted`], filling
+    /// [`DeltaBatch::insert_frontier`].
+    pub fn for_insertions(session: &MnemonicSession, batch: &mut DeltaBatch) {
+        let start = Instant::now();
+        batch.insert_frontier = Some(UnifiedFrontier::build(
+            &session.graph,
+            batch.inserted.clone(),
+            true,
+        ));
+        batch.timings.frontier += start.elapsed();
+    }
+
+    /// Build the deletion frontier over [`DeltaBatch::doomed_edges`], filling
+    /// [`DeltaBatch::delete_frontier`]. Must run before
+    /// [`GraphUpdate::apply_deletions`] so the deleted edges and their
+    /// neighbourhood are still in the graph.
+    pub fn for_deletions(session: &MnemonicSession, batch: &mut DeltaBatch) {
+        let start = Instant::now();
+        batch.delete_frontier = Some(UnifiedFrontier::build(
+            &session.graph,
+            batch.doomed_edges.clone(),
+            true,
+        ));
+        batch.timings.frontier += start.elapsed();
+    }
+}
+
+/// Stage: resolve the batch's deletion events and eviction cutoff to
+/// concrete edge ids against the *pre-deletion* graph, without mutating it
+/// (negative embeddings must be enumerated against that state). The
+/// resolution is query-independent, so it runs once per batch no matter how
+/// many queries are registered. Records into `timings.frontier` (the paper
+/// folds resolution into frontier construction).
+pub struct DeletionResolve;
+
+impl DeletionResolve {
+    /// Fill [`DeltaBatch::doomed_ids`] / [`DeltaBatch::doomed_edges`].
+    pub fn run(session: &MnemonicSession, batch: &mut DeltaBatch) {
+        let start = Instant::now();
+        let graph = &session.graph;
+        let mut chosen: HashSet<EdgeId> = HashSet::new();
+        let mut out = Vec::new();
+        for event in &batch.deletions {
+            // Pick the most recently inserted live instance not already
+            // chosen by an earlier deletion in the same batch.
+            let candidate = graph
+                .outgoing(event.src)
+                .iter()
+                .filter(|entry| entry.neighbor == event.dst)
+                .map(|entry| entry.edge)
+                .filter(|&eid| {
+                    graph
+                        .edge(eid)
+                        .map(|e| e.label.matches(event.label))
+                        .unwrap_or(false)
+                        && !chosen.contains(&eid)
+                })
+                .max_by_key(|&eid| (graph.edge(eid).map(|e| e.timestamp), eid));
+            if let Some(eid) = candidate {
+                chosen.insert(eid);
+                out.push(eid);
+            }
+        }
+        if let Some(cutoff) = batch.evict_before {
+            for eid in graph.edges_older_than(Timestamp(cutoff.0)) {
+                if chosen.insert(eid) {
+                    out.push(eid);
+                }
+            }
+        }
+        batch.doomed_edges = out.iter().filter_map(|&id| graph.edge(id)).collect();
+        batch.doomed_ids = out;
+        batch.timings.frontier += start.elapsed();
+    }
+}
+
+/// Stage: refresh candidacy + DEBI for every standing query over one shared
+/// frontier (the batched top-down pass of Section V). On the insert pipeline
+/// it records into `timings.top_down`; on the post-deletion refresh it
+/// records into `timings.bottom_up` (our single refresh pass covers the same
+/// affected region as the paper's bottom-up-then-top-down pair).
+pub struct Filtering;
+
+impl Filtering {
+    /// Refresh every query's index over the insertion frontier.
+    pub fn insertions(session: &mut MnemonicSession, batch: &mut DeltaBatch) {
+        let start = Instant::now();
+        let frontier = batch
+            .insert_frontier
+            .as_ref()
+            .expect("FrontierBuild::for_insertions must run before Filtering::insertions");
+        Self::run_all(session, frontier);
+        batch.timings.top_down += start.elapsed();
+    }
+
+    /// Refresh every query's index over the deletion frontier, after the
+    /// graph update.
+    pub fn deletions(session: &mut MnemonicSession, batch: &mut DeltaBatch) {
+        let start = Instant::now();
+        let frontier = batch
+            .delete_frontier
+            .as_ref()
+            .expect("FrontierBuild::for_deletions must run before Filtering::deletions");
+        Self::run_all(session, frontier);
+        batch.timings.bottom_up += start.elapsed();
+    }
+
+    /// The shared refresh: one [`TopDownPass`] per standing query over the
+    /// given frontier. Also used by
+    /// [`MnemonicSession::bootstrap`] (untimed) and exposed crate-wide for
+    /// that purpose.
+    pub(crate) fn run_all(session: &mut MnemonicSession, frontier: &UnifiedFrontier) {
+        let graph = &session.graph;
+        let pool = session.pool.as_ref();
+        let parallel_enabled = session.config.parallel;
+        for qs in session.queries.iter_mut() {
+            qs.ensure_capacity(graph);
+            let pass = TopDownPass {
+                graph,
+                query: &qs.query,
+                tree: &qs.tree,
+                matcher: qs.matcher.as_ref(),
+                requirements: &qs.requirements,
+            };
+            parallel::install(pool, || {
+                pass.run(
+                    frontier,
+                    &qs.candidacy,
+                    &qs.debi,
+                    &qs.counters,
+                    parallel_enabled,
+                );
+            });
+        }
+    }
+}
+
+/// Stage: enumerate one batch for every standing query. Each query's work
+/// units are generated independently, then pooled and scheduled
+/// heaviest-first across the shared work-stealing pool — a giant unit of one
+/// query back-fills behind the small units of every other query instead of
+/// serialising its own engine. Records into `timings.enumeration`, and
+/// attributes each work unit's execution time to its query (the per-query
+/// enumeration share surfaced by
+/// [`QueryHandle::enumeration_time`](crate::session::QueryHandle::enumeration_time)).
+pub struct Enumerate;
+
+impl Enumerate {
+    /// Enumerate the newly formed embeddings of the insertion frontier,
+    /// filling [`DeltaBatch::new_embeddings`] (one delta per standing query,
+    /// registration order).
+    pub fn positive(session: &MnemonicSession, batch: &mut DeltaBatch) {
+        Self::positive_with(session, batch, None);
+    }
+
+    /// Enumerate the disappearing embeddings of the deletion frontier
+    /// against the pre-deletion graph, filling
+    /// [`DeltaBatch::removed_embeddings`].
+    pub fn negative(session: &MnemonicSession, batch: &mut DeltaBatch) {
+        Self::negative_with(session, batch, None);
+    }
+
+    pub(crate) fn positive_with(
+        session: &MnemonicSession,
+        batch: &mut DeltaBatch,
+        override_sink: Option<&dyn EmbeddingSink>,
+    ) {
+        let start = Instant::now();
+        let frontier = batch
+            .insert_frontier
+            .as_ref()
+            .expect("FrontierBuild::for_insertions must run before Enumerate::positive");
+        let before = emitted_counts(&session.queries);
+        run_enumeration_all(
+            session,
+            &batch.inserted,
+            &frontier.batch_edge_ids,
+            Sign::Positive,
+            override_sink,
+        );
+        batch.new_embeddings = emitted_counts(&session.queries)
+            .into_iter()
+            .zip(before)
+            .map(|(after, before)| after - before)
+            .collect();
+        batch.timings.enumeration += start.elapsed();
+    }
+
+    pub(crate) fn negative_with(
+        session: &MnemonicSession,
+        batch: &mut DeltaBatch,
+        override_sink: Option<&dyn EmbeddingSink>,
+    ) {
+        let start = Instant::now();
+        let frontier = batch
+            .delete_frontier
+            .as_ref()
+            .expect("FrontierBuild::for_deletions must run before Enumerate::negative");
+        let before = emitted_counts(&session.queries);
+        run_enumeration_all(
+            session,
+            &batch.doomed_edges,
+            &frontier.batch_edge_ids,
+            Sign::Negative,
+            override_sink,
+        );
+        batch.removed_embeddings = emitted_counts(&session.queries)
+            .into_iter()
+            .zip(before)
+            .map(|(after, before)| after - before)
+            .collect();
+        batch.timings.enumeration += start.elapsed();
+    }
+}
+
+fn emitted_counts(queries: &[QueryState]) -> Vec<u64> {
+    queries
+        .iter()
+        .map(|q| q.counters.embeddings_emitted.load(Ordering::Relaxed))
+        .collect()
+}
+
+/// The pooled enumeration core shared by both pipeline halves.
+///
+/// `override_sink`, when given, replaces every query's own result channel
+/// for this batch (used by the single-query [`crate::Mnemonic`] wrapper to
+/// keep its borrowed-sink API without buffering).
+fn run_enumeration_all(
+    session: &MnemonicSession,
+    batch_edges: &[Edge],
+    batch_ids: &HashSet<EdgeId>,
+    sign: Sign,
+    override_sink: Option<&dyn EmbeddingSink>,
+) {
+    let queries = &session.queries;
+    if queries.is_empty() {
+        return;
+    }
+    // Resolve each query's delivery target once per batch: the wrapper's
+    // override, the attached sink, or the handle's buffer. This keeps the
+    // per-embedding hot path free of locks (a sink attached mid-batch takes
+    // effect from the next batch).
+    let attached: Vec<Option<Arc<dyn EmbeddingSink>>> = if override_sink.is_some() {
+        vec![None; queries.len()]
+    } else {
+        queries
+            .iter()
+            .map(|qs| qs.output.sink.lock().clone())
+            .collect()
+    };
+    let enumerators: Vec<Enumerator<'_>> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, qs)| Enumerator {
+            graph: &session.graph,
+            query: &qs.query,
+            tree: &qs.tree,
+            orders: &qs.orders,
+            debi: &qs.debi,
+            matcher: qs.matcher.as_ref(),
+            semantics: qs.semantics.as_ref(),
+            mask: &qs.mask,
+            batch: batch_ids,
+            sign,
+            sink: override_sink.unwrap_or_else(|| {
+                attached[i]
+                    .as_deref()
+                    .unwrap_or(qs.output.as_ref() as &dyn EmbeddingSink)
+            }),
+            counters: &qs.counters,
+        })
+        .collect();
+    // Embeddings routed into an attached sink bypass `QueryOutput`, so
+    // account for them on the handle's lifetime counter via the emitted
+    // deltas afterwards.
+    let before = if attached.iter().any(Option::is_some) {
+        Some(emitted_counts(queries))
+    } else {
+        None
+    };
+
+    let mut pooled: Vec<(usize, WorkUnit)> = Vec::new();
+    for (qi, enumerator) in enumerators.iter().enumerate() {
+        pooled.extend(
+            enumerator
+                .decompose(batch_edges)
+                .into_iter()
+                .map(|u| (qi, u)),
+        );
+    }
+
+    // Per-unit wall time is attributed to the owning query, so handles can
+    // report their enumeration-time share of the batch.
+    let run_unit = |qi: usize, unit: WorkUnit| {
+        let t = Instant::now();
+        enumerators[qi].run_work_unit(unit);
+        queries[qi]
+            .output
+            .enumeration_nanos
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    };
+
+    if session.config.parallel {
+        // Heaviest-first across *all* queries, deterministic tie-break: one
+        // query's giant unit back-fills behind every other query's small
+        // units instead of serialising its own engine. Sequential execution
+        // runs every unit anyway, so it skips the re-sort.
+        pooled.sort_by_cached_key(|&(qi, unit)| {
+            (
+                std::cmp::Reverse(enumerators[qi].unit_cost_estimate(&unit)),
+                unit.edge.id,
+                unit.start,
+                qi,
+            )
+        });
+        parallel::install(session.pool.as_ref(), || {
+            pooled.par_iter().for_each(|&(qi, unit)| run_unit(qi, unit));
+        });
+    } else {
+        for (qi, unit) in pooled {
+            run_unit(qi, unit);
+        }
+    }
+
+    if let Some(before) = before {
+        for (i, after) in emitted_counts(queries).into_iter().enumerate() {
+            if attached[i].is_some() {
+                queries[i]
+                    .output
+                    .accepted
+                    .fetch_add(after - before[i], Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -55,14 +55,16 @@ use crate::api::{EdgeMatcher, MatchSemantics, UpdateMode};
 use crate::debi::{Debi, DebiStats};
 use crate::embedding::{CompleteEmbedding, EmbeddingSink, Sign};
 use crate::engine::{BatchResult, EngineConfig};
-use crate::enumerate::{Enumerator, WorkUnit};
+use crate::enumerate::Enumerator;
 use crate::error::MnemonicError;
 use crate::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
 use crate::frontier::UnifiedFrontier;
 use crate::parallel;
-use crate::stats::{CounterSnapshot, EngineCounters, PhaseTimings};
-use mnemonic_graph::edge::{Edge, EdgeTriple};
-use mnemonic_graph::ids::{EdgeId, Timestamp, WILDCARD_VERTEX_LABEL};
+use crate::pipeline::{
+    DeletionResolve, DeltaBatch, Enumerate, Filtering, FrontierBuild, GraphUpdate,
+};
+use crate::stats::{CounterSnapshot, EngineCounters, PhaseTimings, QueryStats};
+use mnemonic_graph::edge::Edge;
 use mnemonic_graph::multigraph::{GraphConfig, StreamingGraph};
 use mnemonic_graph::spill::{SpillConfig, SpillManager, SpillStats};
 use mnemonic_query::masking::MaskTable;
@@ -75,11 +77,10 @@ use mnemonic_stream::generator::SnapshotGenerator;
 use mnemonic_stream::snapshot::Snapshot;
 use mnemonic_stream::source::EventSource;
 use parking_lot::Mutex;
-use rayon::prelude::*;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Identifier of a standing query within one session. Ids are never reused,
 /// even after [`MnemonicSession::deregister`].
@@ -113,11 +114,14 @@ impl ResultBatch {
 /// per batch** and routes enumeration straight into it, so the per-embedding
 /// hot path never touches the mutex below.
 #[derive(Default)]
-struct QueryOutput {
-    sink: Mutex<Option<Arc<dyn EmbeddingSink>>>,
-    positive: Mutex<Vec<CompleteEmbedding>>,
-    negative: Mutex<Vec<CompleteEmbedding>>,
-    accepted: AtomicU64,
+pub(crate) struct QueryOutput {
+    pub(crate) sink: Mutex<Option<Arc<dyn EmbeddingSink>>>,
+    pub(crate) positive: Mutex<Vec<CompleteEmbedding>>,
+    pub(crate) negative: Mutex<Vec<CompleteEmbedding>>,
+    pub(crate) accepted: AtomicU64,
+    /// Total wall time of this query's enumeration work units, attributed by
+    /// the [`Enumerate`](crate::pipeline::Enumerate) stage.
+    pub(crate) enumeration_nanos: AtomicU64,
 }
 
 impl EmbeddingSink for QueryOutput {
@@ -146,6 +150,7 @@ impl EmbeddingSink for QueryOutput {
 pub struct QueryHandle {
     id: QueryId,
     output: Arc<QueryOutput>,
+    counters: Arc<EngineCounters>,
 }
 
 impl std::fmt::Debug for QueryHandle {
@@ -196,6 +201,33 @@ impl QueryHandle {
     /// forwarded) over its lifetime.
     pub fn accepted(&self) -> u64 {
         self.output.accepted.load(Ordering::Relaxed)
+    }
+
+    /// This query's cumulative engine counters, readable without going
+    /// through the session (and still readable after
+    /// [`MnemonicSession::deregister`]). The same numbers as
+    /// [`MnemonicSession::counters`], shared by reference.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Total wall time spent running this query's enumeration work units
+    /// over its lifetime, summed per unit (so across a parallel pool it can
+    /// exceed the batch wall-clock). Divide by the sum over all handles of a
+    /// session — or use [`QueryStats::enumeration_share`] — to get the
+    /// query's share of the pooled enumeration phase; sharded and unsharded
+    /// runs of the same stream can be compared per query this way.
+    pub fn enumeration_time(&self) -> Duration {
+        Duration::from_nanos(self.output.enumeration_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Bundle of this query's per-query statistics: cumulative counters plus
+    /// attributed enumeration time.
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            counters: self.counters(),
+            enumeration: self.enumeration_time(),
+        }
     }
 }
 
@@ -285,13 +317,10 @@ impl SessionBuilder {
 
     /// Set the delta-batch size directly: `1` selects
     /// [`UpdateMode::PerEdge`]; `0` is rejected at
-    /// [`SessionBuilder::build`] time.
+    /// [`SessionBuilder::build`] time (the clamp-vs-error contract
+    /// documented on [`UpdateMode`]).
     pub fn batch_size(mut self, batch_size: usize) -> Self {
-        self.config.update_mode = if batch_size == 1 {
-            UpdateMode::PerEdge
-        } else {
-            UpdateMode::Batched(batch_size)
-        };
+        self.config.update_mode = UpdateMode::from_batch_size(batch_size);
         self
     }
 
@@ -317,26 +346,69 @@ impl SessionBuilder {
     }
 }
 
+/// The buffered-ingest core shared by [`MnemonicSession`] and
+/// [`crate::shard::ShardedSession`]: events accumulate until the configured
+/// delta-batch size is reached, then drain into one [`Snapshot`] numbered by
+/// the caller's batch counter. Keeping the threshold check and the snapshot
+/// construction in one place is what guarantees the two executors produce
+/// identical batch boundaries for the same [`UpdateMode`] — the property the
+/// sharded/unsharded differential tests rely on.
+#[derive(Debug, Default)]
+pub(crate) struct PendingBuffer {
+    events: Vec<StreamEvent>,
+}
+
+impl PendingBuffer {
+    /// Buffer one event; `true` when the batch reached `batch_size` and must
+    /// be flushed.
+    pub(crate) fn push(&mut self, event: StreamEvent, batch_size: usize) -> bool {
+        self.events.push(event);
+        self.events.len() >= batch_size
+    }
+
+    /// Number of buffered events.
+    pub(crate) fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Discard everything buffered (the periodic-reset semantics: pre-reset
+    /// events belong to the old epoch).
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Drain the buffer into a snapshot with the given sequence number, or
+    /// `None` when nothing is buffered.
+    pub(crate) fn take_snapshot(&mut self, id: u64) -> Option<Snapshot> {
+        if self.events.is_empty() {
+            None
+        } else {
+            Some(Snapshot::from_events(id, self.events.drain(..)))
+        }
+    }
+}
+
 /// Everything one standing query owns: its tree, matching orders, DEBI
 /// index, matcher/semantics pair, counters and result channel. The data
-/// graph itself is shared by the session.
-struct QueryState {
-    id: QueryId,
-    query: QueryGraph,
-    tree: QueryTree,
-    orders: MatchingOrderSet,
-    requirements: QueryRequirements,
-    mask: MaskTable,
-    debi: Debi,
-    candidacy: VertexCandidacy,
-    matcher: Box<dyn EdgeMatcher>,
-    semantics: Box<dyn MatchSemantics>,
-    counters: EngineCounters,
-    output: Arc<QueryOutput>,
+/// graph itself is shared by the session. The pipeline stages
+/// ([`crate::pipeline`]) operate on these states directly.
+pub(crate) struct QueryState {
+    pub(crate) id: QueryId,
+    pub(crate) query: QueryGraph,
+    pub(crate) tree: QueryTree,
+    pub(crate) orders: MatchingOrderSet,
+    pub(crate) requirements: QueryRequirements,
+    pub(crate) mask: MaskTable,
+    pub(crate) debi: Debi,
+    pub(crate) candidacy: VertexCandidacy,
+    pub(crate) matcher: Box<dyn EdgeMatcher>,
+    pub(crate) semantics: Box<dyn MatchSemantics>,
+    pub(crate) counters: Arc<EngineCounters>,
+    pub(crate) output: Arc<QueryOutput>,
 }
 
 impl QueryState {
-    fn ensure_capacity(&mut self, graph: &StreamingGraph) {
+    pub(crate) fn ensure_capacity(&mut self, graph: &StreamingGraph) {
         self.debi.ensure_rows(graph.edge_id_bound());
         self.debi.ensure_roots(graph.vertex_count());
         self.candidacy.ensure(graph.vertex_count());
@@ -353,21 +425,21 @@ impl QueryState {
 /// per query through the returned [`QueryHandle`]s.
 pub struct MnemonicSession {
     /// The shared streaming data graph.
-    graph: StreamingGraph,
-    queries: Vec<QueryState>,
-    config: EngineConfig,
-    pool: Option<rayon::ThreadPool>,
-    spill: Option<SpillManager>,
+    pub(crate) graph: StreamingGraph,
+    pub(crate) queries: Vec<QueryState>,
+    pub(crate) config: EngineConfig,
+    pub(crate) pool: Option<rayon::ThreadPool>,
+    pub(crate) spill: Option<SpillManager>,
     /// Spill-tier I/O failures absorbed during ingest (see
     /// [`MnemonicSession::spill_io_errors`]).
-    spill_io_errors: u64,
-    last_spill_error: Option<std::io::Error>,
+    pub(crate) spill_io_errors: u64,
+    pub(crate) last_spill_error: Option<std::io::Error>,
     total_timings: PhaseTimings,
     snapshots_processed: u64,
     next_query_id: u64,
     /// Events buffered by [`MnemonicSession::push_event`] until the delta
     /// batch fills up.
-    pending: Vec<StreamEvent>,
+    pending: PendingBuffer,
 }
 
 impl std::fmt::Debug for MnemonicSession {
@@ -422,7 +494,7 @@ impl MnemonicSession {
             total_timings: PhaseTimings::default(),
             snapshots_processed: 0,
             next_query_id: 0,
-            pending: Vec::new(),
+            pending: PendingBuffer::default(),
         })
     }
 
@@ -464,6 +536,22 @@ impl MnemonicSession {
         matcher: Box<dyn EdgeMatcher>,
         semantics: Box<dyn MatchSemantics>,
     ) -> Result<QueryHandle, MnemonicError> {
+        self.register_query_full(query, root, matcher, semantics, None)
+    }
+
+    /// The registration core. `forced_id`, used by the query-sharded
+    /// executor ([`crate::shard::ShardedSession`]), overrides the session's
+    /// own id allocation so query ids stay globally unique across shards;
+    /// the allocator is bumped past it so later local registrations cannot
+    /// collide.
+    pub(crate) fn register_query_full(
+        &mut self,
+        query: QueryGraph,
+        root: mnemonic_graph::ids::QueryVertexId,
+        matcher: Box<dyn EdgeMatcher>,
+        semantics: Box<dyn MatchSemantics>,
+        forced_id: Option<QueryId>,
+    ) -> Result<QueryHandle, MnemonicError> {
         if !query.is_connected() {
             return Err(MnemonicError::DisconnectedQuery);
         }
@@ -472,9 +560,10 @@ impl MnemonicSession {
         let requirements = QueryRequirements::build(&query);
         let mask = MaskTable::new(query.edge_count());
         let debi = Debi::new(tree.debi_width());
-        let id = QueryId(self.next_query_id);
-        self.next_query_id += 1;
+        let id = forced_id.unwrap_or(QueryId(self.next_query_id));
+        self.next_query_id = self.next_query_id.max(id.0 + 1);
         let output = Arc::new(QueryOutput::default());
+        let counters = Arc::new(EngineCounters::new());
         let mut state = QueryState {
             id,
             query,
@@ -486,7 +575,7 @@ impl MnemonicSession {
             candidacy: VertexCandidacy::new(),
             matcher,
             semantics,
-            counters: EngineCounters::new(),
+            counters: Arc::clone(&counters),
             output: Arc::clone(&output),
         };
 
@@ -517,7 +606,11 @@ impl MnemonicSession {
         }
 
         self.queries.push(state);
-        Ok(QueryHandle { id, output })
+        Ok(QueryHandle {
+            id,
+            output,
+            counters,
+        })
     }
 
     /// Remove a standing query. Its share of the filtering and enumeration
@@ -609,6 +702,19 @@ impl MnemonicSession {
         self.total_timings
     }
 
+    /// Summed per-unit enumeration wall time over every *registered* query
+    /// (a deregistered handle keeps its own share readable through
+    /// [`QueryHandle::enumeration_time`]). The denominator for
+    /// [`QueryStats::enumeration_share`].
+    pub fn enumeration_time(&self) -> Duration {
+        Duration::from_nanos(
+            self.queries
+                .iter()
+                .map(|q| q.output.enumeration_nanos.load(Ordering::Relaxed))
+                .sum(),
+        )
+    }
+
     /// Number of snapshots processed so far.
     pub fn snapshots_processed(&self) -> u64 {
         self.snapshots_processed
@@ -627,235 +733,10 @@ impl MnemonicSession {
     }
 
     // ---- shared ingest pipeline --------------------------------------------
-
-    /// Apply the graph-level insertions of a batch exactly once, returning
-    /// the materialised edges.
-    ///
-    /// Spill-tier I/O failures do **not** abort the batch: aborting midway
-    /// would leave edges in the graph that no query's DEBI ever filtered,
-    /// silently corrupting every later result. Instead the error is absorbed
-    /// (only the spill tier's overhead accounting degrades), counted, and
-    /// exposed through [`MnemonicSession::spill_io_errors`] /
-    /// [`MnemonicSession::last_spill_error`] — matching the legacy engine,
-    /// which ignored these errors outright.
-    fn apply_insert_events(&mut self, events: &[StreamEvent]) -> Result<Vec<Edge>, MnemonicError> {
-        let mut inserted = Vec::with_capacity(events.len());
-        for event in events {
-            if event.src_label != WILDCARD_VERTEX_LABEL {
-                self.graph.set_vertex_label(event.src, event.src_label);
-            }
-            if event.dst_label != WILDCARD_VERTEX_LABEL {
-                self.graph.set_vertex_label(event.dst, event.dst_label);
-            }
-            let id = self.graph.insert_edge(EdgeTriple::with_timestamp(
-                event.src,
-                event.dst,
-                event.label,
-                event.timestamp,
-            ));
-            let edge = self.graph.edge(id).ok_or(MnemonicError::DeadEdge(id))?;
-            if let Some(spill) = self.spill.as_mut() {
-                // The spill record keeps one DEBI row for overhead
-                // accounting; with several standing queries the first
-                // query's index is the representative one.
-                let debi = self.queries.first().map(|q| &q.debi);
-                let outcome = spill.on_insert(edge, |eid| {
-                    debi.map(|d| d.row(eid.index())).unwrap_or_default()
-                });
-                if let Err(e) = outcome {
-                    self.spill_io_errors += 1;
-                    self.last_spill_error = Some(e);
-                }
-            }
-            inserted.push(edge);
-        }
-        for qs in &self.queries {
-            EngineCounters::add(&qs.counters.insertions_applied, inserted.len() as u64);
-        }
-        Ok(inserted)
-    }
-
-    /// Resolve explicit deletion events and the eviction cutoff to concrete
-    /// edge ids, without mutating the graph yet (negative embeddings must be
-    /// enumerated against the pre-deletion state). Query-independent, so it
-    /// runs once per batch no matter how many queries are registered.
-    fn resolve_deletions(&self, snapshot: &Snapshot) -> Vec<EdgeId> {
-        let mut chosen: HashSet<EdgeId> = HashSet::new();
-        let mut out = Vec::new();
-        for event in &snapshot.deletions {
-            // Pick the most recently inserted live instance not already
-            // chosen by an earlier deletion in the same batch.
-            let candidate = self
-                .graph
-                .outgoing(event.src)
-                .iter()
-                .filter(|entry| entry.neighbor == event.dst)
-                .map(|entry| entry.edge)
-                .filter(|&eid| {
-                    self.graph
-                        .edge(eid)
-                        .map(|e| e.label.matches(event.label))
-                        .unwrap_or(false)
-                        && !chosen.contains(&eid)
-                })
-                .max_by_key(|&eid| (self.graph.edge(eid).map(|e| e.timestamp), eid));
-            if let Some(eid) = candidate {
-                chosen.insert(eid);
-                out.push(eid);
-            }
-        }
-        if let Some(cutoff) = snapshot.evict_before {
-            for eid in self.graph.edges_older_than(Timestamp(cutoff.0)) {
-                if chosen.insert(eid) {
-                    out.push(eid);
-                }
-            }
-        }
-        out
-    }
-
-    /// Refresh candidacy + DEBI for every standing query over one shared
-    /// frontier.
-    fn run_filtering_all(&mut self, frontier: &UnifiedFrontier) {
-        let graph = &self.graph;
-        let pool = self.pool.as_ref();
-        let parallel_enabled = self.config.parallel;
-        for qs in self.queries.iter_mut() {
-            qs.ensure_capacity(graph);
-            let pass = TopDownPass {
-                graph,
-                query: &qs.query,
-                tree: &qs.tree,
-                matcher: qs.matcher.as_ref(),
-                requirements: &qs.requirements,
-            };
-            parallel::install(pool, || {
-                pass.run(
-                    frontier,
-                    &qs.candidacy,
-                    &qs.debi,
-                    &qs.counters,
-                    parallel_enabled,
-                );
-            });
-        }
-    }
-
-    /// Enumerate one batch for every standing query: each query's work units
-    /// are generated independently, then pooled and scheduled heaviest-first
-    /// across the shared pool — a giant unit of one query back-fills behind
-    /// the small units of every other query instead of serialising its own
-    /// engine.
-    ///
-    /// `override_sink`, when given, replaces every query's own result channel
-    /// for this batch (used by the single-query [`crate::Mnemonic`] wrapper
-    /// to keep its borrowed-sink API without buffering).
-    fn run_enumeration_all(
-        &self,
-        batch_edges: &[Edge],
-        batch_ids: &HashSet<EdgeId>,
-        sign: Sign,
-        override_sink: Option<&dyn EmbeddingSink>,
-    ) {
-        if self.queries.is_empty() {
-            return;
-        }
-        // Resolve each query's delivery target once per batch: the wrapper's
-        // override, the attached sink, or the handle's buffer. This keeps
-        // the per-embedding hot path free of locks (a sink attached mid-batch
-        // takes effect from the next batch).
-        let attached: Vec<Option<Arc<dyn EmbeddingSink>>> = if override_sink.is_some() {
-            vec![None; self.queries.len()]
-        } else {
-            self.queries
-                .iter()
-                .map(|qs| qs.output.sink.lock().clone())
-                .collect()
-        };
-        let enumerators: Vec<Enumerator<'_>> = self
-            .queries
-            .iter()
-            .enumerate()
-            .map(|(i, qs)| Enumerator {
-                graph: &self.graph,
-                query: &qs.query,
-                tree: &qs.tree,
-                orders: &qs.orders,
-                debi: &qs.debi,
-                matcher: qs.matcher.as_ref(),
-                semantics: qs.semantics.as_ref(),
-                mask: &qs.mask,
-                batch: batch_ids,
-                sign,
-                sink: override_sink.unwrap_or_else(|| {
-                    attached[i]
-                        .as_deref()
-                        .unwrap_or(qs.output.as_ref() as &dyn EmbeddingSink)
-                }),
-                counters: &qs.counters,
-            })
-            .collect();
-        // Embeddings routed into an attached sink bypass `QueryOutput`, so
-        // account for them on the handle's lifetime counter via the emitted
-        // deltas afterwards.
-        let before = if attached.iter().any(Option::is_some) {
-            Some(self.emitted_counts())
-        } else {
-            None
-        };
-
-        let mut pooled: Vec<(usize, WorkUnit)> = Vec::new();
-        for (qi, enumerator) in enumerators.iter().enumerate() {
-            pooled.extend(
-                enumerator
-                    .decompose(batch_edges)
-                    .into_iter()
-                    .map(|u| (qi, u)),
-            );
-        }
-
-        if self.config.parallel {
-            // Heaviest-first across *all* queries, deterministic tie-break:
-            // one query's giant unit back-fills behind every other query's
-            // small units instead of serialising its own engine. Sequential
-            // execution runs every unit anyway, so it skips the re-sort.
-            pooled.sort_by_cached_key(|&(qi, unit)| {
-                (
-                    std::cmp::Reverse(enumerators[qi].unit_cost_estimate(&unit)),
-                    unit.edge.id,
-                    unit.start,
-                    qi,
-                )
-            });
-            parallel::install(self.pool.as_ref(), || {
-                pooled
-                    .par_iter()
-                    .for_each(|&(qi, unit)| enumerators[qi].run_work_unit(unit));
-            });
-        } else {
-            for (qi, unit) in pooled {
-                enumerators[qi].run_work_unit(unit);
-            }
-        }
-
-        if let Some(before) = before {
-            for (i, after) in self.emitted_counts().into_iter().enumerate() {
-                if attached[i].is_some() {
-                    self.queries[i]
-                        .output
-                        .accepted
-                        .fetch_add(after - before[i], Ordering::Relaxed);
-                }
-            }
-        }
-    }
-
-    fn emitted_counts(&self) -> Vec<u64> {
-        self.queries
-            .iter()
-            .map(|q| q.counters.embeddings_emitted.load(Ordering::Relaxed))
-            .collect()
-    }
+    //
+    // The pipeline itself lives in `crate::pipeline`: a `DeltaBatch` value
+    // flowing through the explicit GraphUpdate → FrontierBuild → Filtering →
+    // DeletionResolve → Enumerate stages. The session only orchestrates.
 
     /// Load an initial graph without reporting embeddings: every query's
     /// DEBI is brought up to date but no enumeration work units are
@@ -868,9 +749,13 @@ impl MnemonicSession {
     /// should be discarded. Spill-tier I/O failures do not error: they are
     /// absorbed and counted (see [`MnemonicSession::spill_io_errors`]).
     pub fn bootstrap(&mut self, events: &[StreamEvent]) -> Result<(), MnemonicError> {
-        let inserted = self.apply_insert_events(events)?;
-        let frontier = UnifiedFrontier::build(&self.graph, inserted, true);
-        self.run_filtering_all(&frontier);
+        let mut batch = DeltaBatch {
+            insertions: events.to_vec(),
+            ..DeltaBatch::default()
+        };
+        GraphUpdate::apply_insertions(self, &mut batch)?;
+        FrontierBuild::for_insertions(self, &mut batch);
+        Filtering::insertions(self, &mut batch);
         Ok(())
     }
 
@@ -909,90 +794,45 @@ impl MnemonicSession {
     ) -> Result<SessionBatchResult, MnemonicError> {
         let before_counters: Vec<CounterSnapshot> =
             self.queries.iter().map(|q| q.counters.snapshot()).collect();
-        let mut timings = PhaseTimings::default();
-        let mut new_embeddings = vec![0u64; self.queries.len()];
-        let mut removed_embeddings = vec![0u64; self.queries.len()];
-        let mut deletions_applied = 0usize;
+        let mut batch = DeltaBatch::from_snapshot(snapshot);
 
         // ---- batchInserts (Algorithm 2, lines 1-6), shared across queries ----
-        if !snapshot.insertions.is_empty() {
-            let t0 = Instant::now();
-            let inserted = self.apply_insert_events(&snapshot.insertions)?;
-            timings.graph_update += t0.elapsed();
-
-            let t1 = Instant::now();
-            let frontier = UnifiedFrontier::build(&self.graph, inserted.clone(), true);
-            timings.frontier += t1.elapsed();
-
-            let t2 = Instant::now();
-            self.run_filtering_all(&frontier);
-            timings.top_down += t2.elapsed();
-
-            let t3 = Instant::now();
-            let before = self.emitted_counts();
-            self.run_enumeration_all(
-                &inserted,
-                &frontier.batch_edge_ids,
-                Sign::Positive,
-                override_sink,
-            );
-            for (i, after) in self.emitted_counts().into_iter().enumerate() {
-                new_embeddings[i] = after - before[i];
-            }
-            timings.enumeration += t3.elapsed();
+        if !batch.insertions.is_empty() {
+            GraphUpdate::apply_insertions(self, &mut batch)?;
+            FrontierBuild::for_insertions(self, &mut batch);
+            Filtering::insertions(self, &mut batch);
+            Enumerate::positive_with(self, &mut batch, override_sink);
         }
 
         // ---- batchDeletes (Algorithm 2, lines 7-12), shared resolution ----
-        if snapshot.has_deletions() {
-            let t0 = Instant::now();
-            let doomed_ids = self.resolve_deletions(snapshot);
-            let doomed_edges: Vec<Edge> = doomed_ids
-                .iter()
-                .filter_map(|&id| self.graph.edge(id))
-                .collect();
+        if batch.has_deletions() {
+            DeletionResolve::run(self, &mut batch);
             // The frontier is built before the graph is updated so the
             // deleted edges and their neighbourhood are captured.
-            let frontier = UnifiedFrontier::build(&self.graph, doomed_edges.clone(), true);
-            timings.frontier += t0.elapsed();
-
-            if !doomed_edges.is_empty() {
+            FrontierBuild::for_deletions(self, &mut batch);
+            if !batch.doomed_edges.is_empty() {
                 // Enumerate the disappearing embeddings against the
-                // pre-deletion state.
-                let t1 = Instant::now();
-                let before = self.emitted_counts();
-                self.run_enumeration_all(
-                    &doomed_edges,
-                    &frontier.batch_edge_ids,
-                    Sign::Negative,
-                    override_sink,
-                );
-                for (i, after) in self.emitted_counts().into_iter().enumerate() {
-                    removed_embeddings[i] = after - before[i];
-                }
-                timings.enumeration += t1.elapsed();
-
-                // Apply the deletions, once, to the shared graph.
-                let t2 = Instant::now();
-                for &id in &doomed_ids {
-                    if self.graph.delete_edge(id).is_ok() {
-                        deletions_applied += 1;
-                    }
-                }
-                for qs in &self.queries {
-                    EngineCounters::add(&qs.counters.deletions_applied, deletions_applied as u64);
-                }
-                timings.graph_update += t2.elapsed();
-
-                // Refresh the index (bottom-up then top-down in the paper;
+                // pre-deletion state, then apply the deletions once and
+                // refresh the index (bottom-up then top-down in the paper;
                 // our single refresh pass covers the same affected region).
-                let t3 = Instant::now();
-                self.run_filtering_all(&frontier);
-                timings.bottom_up += t3.elapsed();
+                Enumerate::negative_with(self, &mut batch, override_sink);
+                GraphUpdate::apply_deletions(self, &mut batch);
+                Filtering::deletions(self, &mut batch);
             }
         }
 
         self.snapshots_processed += 1;
-        self.total_timings.accumulate(&timings);
+        self.total_timings.accumulate(&batch.timings);
+        Ok(self.seal_batch(batch, &before_counters))
+    }
+
+    /// Turn a fully staged [`DeltaBatch`] into the session's per-query
+    /// outcome report.
+    fn seal_batch(
+        &self,
+        batch: DeltaBatch,
+        before_counters: &[CounterSnapshot],
+    ) -> SessionBatchResult {
         let per_query = self
             .queries
             .iter()
@@ -1001,24 +841,24 @@ impl MnemonicSession {
                 (
                     qs.id,
                     BatchResult {
-                        snapshot_id: snapshot.id,
-                        insertions: snapshot.insertions.len(),
-                        deletions: deletions_applied,
-                        new_embeddings: new_embeddings[i],
-                        removed_embeddings: removed_embeddings[i],
-                        timings,
+                        snapshot_id: batch.snapshot_id,
+                        insertions: batch.insertions.len(),
+                        deletions: batch.deletions_applied,
+                        new_embeddings: batch.new_embeddings.get(i).copied().unwrap_or(0),
+                        removed_embeddings: batch.removed_embeddings.get(i).copied().unwrap_or(0),
+                        timings: batch.timings,
                         counters: qs.counters.snapshot().since(&before_counters[i]),
                     },
                 )
             })
             .collect();
-        Ok(SessionBatchResult {
-            snapshot_id: snapshot.id,
-            insertions: snapshot.insertions.len(),
-            deletions: deletions_applied,
-            timings,
+        SessionBatchResult {
+            snapshot_id: batch.snapshot_id,
+            insertions: batch.insertions.len(),
+            deletions: batch.deletions_applied,
+            timings: batch.timings,
             per_query,
-        })
+        }
     }
 
     // ---- buffered ingest ----------------------------------------------------
@@ -1051,8 +891,10 @@ impl MnemonicSession {
         event: StreamEvent,
         override_sink: Option<&dyn EmbeddingSink>,
     ) -> Result<Option<SessionBatchResult>, MnemonicError> {
-        self.pending.push(event);
-        if self.pending.len() >= self.config.update_mode.batch_size() {
+        if self
+            .pending
+            .push(event, self.config.update_mode.batch_size())
+        {
             self.flush_pending_inner(override_sink)
         } else {
             Ok(None)
@@ -1079,12 +921,12 @@ impl MnemonicSession {
         &mut self,
         override_sink: Option<&dyn EmbeddingSink>,
     ) -> Result<Option<SessionBatchResult>, MnemonicError> {
-        if self.pending.is_empty() {
-            return Ok(None);
+        match self.pending.take_snapshot(self.snapshots_processed) {
+            None => Ok(None),
+            Some(snapshot) => self
+                .apply_snapshot_inner(&snapshot, override_sink)
+                .map(Some),
         }
-        let snapshot = Snapshot::from_events(self.snapshots_processed, self.pending.drain(..));
-        self.apply_snapshot_inner(&snapshot, override_sink)
-            .map(Some)
     }
 
     /// Drive a raw event sequence through the batched update path: every
@@ -1203,7 +1045,11 @@ impl MnemonicSession {
             }),
             counters: &qs.counters,
         };
+        let t = Instant::now();
         enumerator.run_from_scratch();
+        qs.output
+            .enumeration_nanos
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         if attached.is_some() {
             let after = qs.counters.embeddings_emitted.load(Ordering::Relaxed);
             qs.output

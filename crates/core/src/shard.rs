@@ -1,0 +1,780 @@
+//! The query-sharded executor: K standing queries partitioned across N
+//! shards, each shard owning a full [`MnemonicSession`] (its own
+//! [`StreamingGraph`](mnemonic_graph::multigraph::StreamingGraph), DEBI
+//! indexes and result channels).
+//!
+//! A [`MnemonicSession`] amortises the *graph-side* phases — one update, one
+//! frontier, one deletion resolution per batch — but the per-query filtering
+//! and enumeration of all K queries still run inside one session, bounded by
+//! the shared pool's ability to interleave their work units.
+//! [`ShardedSession`] is the next scaling step: every delta batch is
+//! **broadcast** to all N shards, the shards process it concurrently (each
+//! running the full staged pipeline of [`crate::pipeline`] sequentially on
+//! its own graph, via [`rayon::scope`] on a work-stealing pool), and the
+//! per-shard outcomes are merged back into one
+//! [`SessionBatchResult`]. Semantics are exact: each query sees every event
+//! of the stream, so a sharded run is embedding-for-embedding identical to
+//! an unsharded one — only the schedule changes. What sharding buys is
+//! coarse-grained parallelism with *zero* cross-shard synchronisation inside
+//! a batch (no shared graph, no shared DEBI, no pooled work-unit queue),
+//! which is what multi-core makespan scales with when K grows past the
+//! point where one session's fine-grained pooling pays off.
+//!
+//! The price is N copies of the graph and of the graph-update work; use
+//! shards for query-heavy sessions (the `shard_gate` CI check pins the
+//! trade-off at ≥ 1.3× projected 4-core makespan for 8 queries on 4
+//! shards). Queries are placed by a [`ShardPlan`] (least-loaded shard,
+//! lowest index on ties); per-shard *rebalancing* of a live session is a
+//! follow-up.
+//!
+//! ```
+//! use mnemonic_core::api::LabelEdgeMatcher;
+//! use mnemonic_core::shard::ShardedSession;
+//! use mnemonic_core::variants::Isomorphism;
+//! use mnemonic_query::patterns;
+//! use mnemonic_stream::event::StreamEvent;
+//!
+//! # fn main() -> Result<(), mnemonic_core::MnemonicError> {
+//! let mut session = ShardedSession::builder()
+//!     .shards(2)
+//!     .sequential() // shard execution: sequential here, pooled by default
+//!     .batch_size(2)
+//!     .build()?;
+//! let triangles = session.register_query(
+//!     patterns::triangle(),
+//!     Box::new(LabelEdgeMatcher),
+//!     Box::new(Isomorphism),
+//! )?;
+//! let paths = session.register_query(
+//!     patterns::path(3),
+//!     Box::new(LabelEdgeMatcher),
+//!     Box::new(Isomorphism),
+//! )?; // lands on the other shard
+//! session.run_events([
+//!     StreamEvent::insert(0, 1, 0),
+//!     StreamEvent::insert(1, 2, 0),
+//!     StreamEvent::insert(2, 0, 0),
+//! ])?;
+//! assert_eq!(triangles.drain().positive.len(), 3);
+//! assert!(!paths.drain().positive.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::api::{EdgeMatcher, MatchSemantics, UpdateMode};
+use crate::engine::{BatchResult, EngineConfig};
+use crate::error::MnemonicError;
+use crate::parallel;
+use crate::session::{MnemonicSession, PendingBuffer, QueryHandle, QueryId, SessionBatchResult};
+use crate::stats::PhaseTimings;
+use mnemonic_graph::spill::SpillConfig;
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_query::root::{select_root, LabelFrequencies};
+use mnemonic_stream::event::StreamEvent;
+use mnemonic_stream::snapshot::Snapshot;
+use mnemonic_stream::source::EventSource;
+use std::time::Duration;
+
+/// The static placement of standing queries onto shards: least-loaded shard
+/// first, lowest shard index on ties. With churn-free round-robin
+/// registration this degenerates to `query k → shard k mod N`; under
+/// deregistration it keeps the *live* load balanced instead of the
+/// historical one.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: usize,
+    assignments: Vec<(QueryId, usize)>,
+}
+
+impl ShardPlan {
+    /// A plan over `shards` shards (clamped to at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            assignments: Vec::new(),
+        }
+    }
+
+    /// Number of shards the plan places onto.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of live queries currently placed.
+    pub fn query_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The live `(query, shard)` placements, in registration order.
+    pub fn assignments(&self) -> &[(QueryId, usize)] {
+        &self.assignments
+    }
+
+    /// The shard a live query is placed on.
+    pub fn shard_of(&self, id: QueryId) -> Option<usize> {
+        self.assignments
+            .iter()
+            .find(|(qid, _)| *qid == id)
+            .map(|&(_, shard)| shard)
+    }
+
+    /// Number of live queries placed on one shard.
+    pub fn load(&self, shard: usize) -> usize {
+        self.assignments
+            .iter()
+            .filter(|&&(_, s)| s == shard)
+            .count()
+    }
+
+    /// Place a new query: the least-loaded shard wins, lowest index on ties.
+    /// Returns the chosen shard.
+    pub fn assign(&mut self, id: QueryId) -> usize {
+        let shard = (0..self.shards)
+            .min_by_key(|&s| self.load(s))
+            .expect("a plan has at least one shard");
+        self.assignments.push((id, shard));
+        shard
+    }
+
+    /// Remove a query from the plan, returning the shard it was placed on.
+    pub fn remove(&mut self, id: QueryId) -> Option<usize> {
+        let idx = self.assignments.iter().position(|(qid, _)| *qid == id)?;
+        Some(self.assignments.remove(idx).1)
+    }
+}
+
+/// Validated constructor for [`ShardedSession`]; mirrors
+/// [`SessionBuilder`](crate::session::SessionBuilder) plus the shard count.
+#[derive(Debug, Clone)]
+pub struct ShardedSessionBuilder {
+    config: EngineConfig,
+    shards: usize,
+}
+
+impl Default for ShardedSessionBuilder {
+    fn default() -> Self {
+        ShardedSessionBuilder {
+            config: EngineConfig::default(),
+            shards: 1,
+        }
+    }
+}
+
+impl ShardedSessionBuilder {
+    /// Start from the default engine configuration and a single shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of shards (each owning a full graph + session). Zero is
+    /// rejected at [`ShardedSessionBuilder::build`] time.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Replace the whole configuration at once. `parallel`/`num_threads`
+    /// govern the *shard-level* pool; the per-shard sessions always run
+    /// their own pipeline sequentially.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Worker threads of the shard-level pool (`0` = one per logical CPU).
+    pub fn threads(mut self, num_threads: usize) -> Self {
+        self.config.num_threads = num_threads;
+        self.config.parallel = true;
+        self
+    }
+
+    /// Process the shards one after another on the calling thread (useful
+    /// for deterministic timing and tests).
+    pub fn sequential(mut self) -> Self {
+        self.config.num_threads = 1;
+        self.config.parallel = false;
+        self
+    }
+
+    /// How pushed events are grouped into broadcast delta batches. A
+    /// [`UpdateMode::Batched`]`(0)` is rejected at build time.
+    pub fn update_mode(mut self, mode: UpdateMode) -> Self {
+        self.config.update_mode = mode;
+        self
+    }
+
+    /// Set the delta-batch size directly (`1` selects
+    /// [`UpdateMode::PerEdge`]; `0` is rejected at build time).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.update_mode = UpdateMode::from_batch_size(batch_size);
+        self
+    }
+
+    /// Whether deleted edge slots are reused, in every shard's graph.
+    pub fn recycle_edge_ids(mut self, recycle: bool) -> Self {
+        self.config.recycle_edge_ids = recycle;
+        self
+    }
+
+    /// Enable the external-memory spill tier; every shard gets its own
+    /// temporary spill directory with this configuration.
+    pub fn spill(mut self, spill: SpillConfig) -> Self {
+        self.config.spill = Some(spill);
+        self
+    }
+
+    /// Validate the configuration and construct the sharded session.
+    ///
+    /// # Errors
+    /// [`MnemonicError::InvalidConfig`] for a zero delta-batch size or a
+    /// zero shard count; [`MnemonicError::Spill`] when a shard's spill tier
+    /// cannot be created.
+    pub fn build(self) -> Result<ShardedSession, MnemonicError> {
+        ShardedSession::new(self.config, self.shards)
+    }
+}
+
+/// A query-sharded multi-session executor: see the [module
+/// documentation](crate::shard) for the execution model.
+pub struct ShardedSession {
+    shards: Vec<MnemonicSession>,
+    plan: ShardPlan,
+    /// Shard-level pool: `None` when the configuration is sequential.
+    pool: Option<rayon::ThreadPool>,
+    config: EngineConfig,
+    /// Registration order of live queries, the merge order of
+    /// [`SessionBatchResult::per_query`].
+    registration_order: Vec<QueryId>,
+    next_query_id: u64,
+    snapshots_processed: u64,
+    pending: PendingBuffer,
+}
+
+impl std::fmt::Debug for ShardedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSession")
+            .field("shards", &self.shards.len())
+            .field("queries", &self.registration_order.len())
+            .field("pending_events", &self.pending.len())
+            .field("snapshots_processed", &self.snapshots_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSession {
+    /// Start building a sharded session.
+    pub fn builder() -> ShardedSessionBuilder {
+        ShardedSessionBuilder::new()
+    }
+
+    /// Create a sharded session with an explicit configuration.
+    ///
+    /// # Errors
+    /// See [`ShardedSessionBuilder::build`].
+    pub fn new(config: EngineConfig, shards: usize) -> Result<Self, MnemonicError> {
+        config
+            .update_mode
+            .validate()
+            .map_err(MnemonicError::InvalidConfig)?;
+        if shards == 0 {
+            return Err(MnemonicError::InvalidConfig(
+                "a sharded session needs at least one shard".to_string(),
+            ));
+        }
+        // The shards themselves run sequentially: parallelism is coarse,
+        // one in-flight batch application per shard on the shard-level pool.
+        let shard_config = EngineConfig {
+            parallel: false,
+            num_threads: 1,
+            ..config.clone()
+        };
+        let sessions = (0..shards)
+            .map(|_| MnemonicSession::new(shard_config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        // At most one in-flight batch application per shard, so a pool wider
+        // than the shard count is pure waste; `num_threads == 0` means "one
+        // per logical CPU" and must not defeat the cap.
+        let pool = if config.parallel && shards > 1 {
+            let width = if config.num_threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(shards)
+            } else {
+                config.num_threads.min(shards)
+            };
+            Some(parallel::build_pool(width))
+        } else {
+            None
+        };
+        Ok(ShardedSession {
+            shards: sessions,
+            plan: ShardPlan::new(shards),
+            pool,
+            config,
+            registration_order: Vec::new(),
+            next_query_id: 0,
+            snapshots_processed: 0,
+            pending: PendingBuffer::default(),
+        })
+    }
+
+    // ---- query registration -------------------------------------------------
+
+    /// Register a standing query on the least-loaded shard, using the
+    /// default root-selection heuristic. Query ids are globally unique
+    /// across shards, so the merged per-batch results and the returned
+    /// [`QueryHandle`] behave exactly as on an unsharded session.
+    ///
+    /// # Errors
+    /// [`MnemonicError::DisconnectedQuery`] when the query graph is not
+    /// connected.
+    pub fn register_query(
+        &mut self,
+        query: QueryGraph,
+        matcher: Box<dyn EdgeMatcher>,
+        semantics: Box<dyn MatchSemantics>,
+    ) -> Result<QueryHandle, MnemonicError> {
+        let root = select_root(&query, &LabelFrequencies::new());
+        self.register_query_with_root(query, root, matcher, semantics)
+    }
+
+    /// Register a standing query with an explicitly chosen root query
+    /// vertex.
+    ///
+    /// # Errors
+    /// [`MnemonicError::DisconnectedQuery`] when the query graph is not
+    /// connected.
+    pub fn register_query_with_root(
+        &mut self,
+        query: QueryGraph,
+        root: mnemonic_graph::ids::QueryVertexId,
+        matcher: Box<dyn EdgeMatcher>,
+        semantics: Box<dyn MatchSemantics>,
+    ) -> Result<QueryHandle, MnemonicError> {
+        let id = QueryId(self.next_query_id);
+        let shard = self.plan.assign(id);
+        match self.shards[shard].register_query_full(query, root, matcher, semantics, Some(id)) {
+            Ok(handle) => {
+                self.next_query_id += 1;
+                self.registration_order.push(id);
+                Ok(handle)
+            }
+            Err(e) => {
+                self.plan.remove(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Remove a standing query from its shard; the handle keeps any
+    /// buffered results and can still be drained.
+    ///
+    /// # Errors
+    /// [`MnemonicError::UnknownQuery`] when the handle does not belong to
+    /// this session or the query was already deregistered.
+    pub fn deregister(&mut self, handle: &QueryHandle) -> Result<(), MnemonicError> {
+        let shard = self
+            .plan
+            .shard_of(handle.id())
+            .ok_or(MnemonicError::UnknownQuery(handle.id()))?;
+        self.shards[shard].deregister(handle)?;
+        self.plan.remove(handle.id());
+        self.registration_order.retain(|&id| id != handle.id());
+        Ok(())
+    }
+
+    // ---- accessors ----------------------------------------------------------
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of live standing queries across all shards.
+    pub fn query_count(&self) -> usize {
+        self.registration_order.len()
+    }
+
+    /// The current query placement.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The shard a live query runs on.
+    pub fn shard_of(&self, handle: &QueryHandle) -> Option<usize> {
+        self.plan.shard_of(handle.id())
+    }
+
+    /// Borrow one shard's session (graph, stats, spill accounting).
+    pub fn shard(&self, index: usize) -> Option<&MnemonicSession> {
+        self.shards.get(index)
+    }
+
+    /// The configuration in effect (shard-level; every shard runs a
+    /// sequential copy of it).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of events currently buffered by the batched update path.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of broadcast snapshots processed so far.
+    pub fn snapshots_processed(&self) -> u64 {
+        self.snapshots_processed
+    }
+
+    /// Cumulative phase timings summed over all shards (aggregate CPU time,
+    /// not wall-clock: shards run concurrently).
+    pub fn timings(&self) -> PhaseTimings {
+        let mut total = PhaseTimings::default();
+        for shard in &self.shards {
+            total.accumulate(&shard.timings());
+        }
+        total
+    }
+
+    /// Summed per-unit enumeration wall time over every live query of every
+    /// shard (the denominator for
+    /// [`QueryStats::enumeration_share`](crate::stats::QueryStats::enumeration_share)).
+    pub fn enumeration_time(&self) -> Duration {
+        self.shards.iter().map(|s| s.enumeration_time()).sum()
+    }
+
+    // ---- broadcast ingest ---------------------------------------------------
+
+    /// Run `f` once per shard, concurrently on the shard-level pool when one
+    /// is configured.
+    fn for_each_shard<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut MnemonicSession) -> R + Sync,
+    {
+        let mut slots: Vec<Option<R>> = self.shards.iter().map(|_| None).collect();
+        match &self.pool {
+            Some(pool) => {
+                let f = &f;
+                pool.scope(|s| {
+                    for (shard, slot) in self.shards.iter_mut().zip(slots.iter_mut()) {
+                        s.spawn(move |_| *slot = Some(f(shard)));
+                    }
+                });
+            }
+            None => {
+                for (shard, slot) in self.shards.iter_mut().zip(slots.iter_mut()) {
+                    *slot = Some(f(shard));
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every shard task ran to completion"))
+            .collect()
+    }
+
+    /// Merge the per-shard outcomes of one broadcast batch: shared deltas
+    /// are identical on every shard (same events, same graph state, same
+    /// edge ids), timings are summed, and the per-query results are
+    /// reassembled in global registration order.
+    fn merge_results(
+        &self,
+        results: Vec<Result<SessionBatchResult, MnemonicError>>,
+    ) -> Result<SessionBatchResult, MnemonicError> {
+        let mut merged = SessionBatchResult::default();
+        let mut per_query: Vec<(QueryId, BatchResult)> = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            let r = result?;
+            if i == 0 {
+                merged.snapshot_id = r.snapshot_id;
+                merged.insertions = r.insertions;
+                merged.deletions = r.deletions;
+            } else {
+                debug_assert_eq!(
+                    (merged.insertions, merged.deletions),
+                    (r.insertions, r.deletions),
+                    "shards diverged on the shared graph deltas"
+                );
+            }
+            merged.timings.accumulate(&r.timings);
+            per_query.extend(r.per_query);
+        }
+        // O(K log K): index the registration order once instead of scanning
+        // it from inside the sort key (this merge runs per broadcast batch).
+        let order: std::collections::HashMap<QueryId, usize> = self
+            .registration_order
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, pos))
+            .collect();
+        per_query.sort_by_key(|&(id, _)| (order.get(&id).copied().unwrap_or(usize::MAX), id));
+        merged.per_query = per_query;
+        Ok(merged)
+    }
+
+    /// Broadcast one snapshot to every shard and merge the outcomes. Shards
+    /// run concurrently on the shard-level pool; each applies the full
+    /// staged pipeline to its own graph.
+    ///
+    /// # Errors
+    /// See [`MnemonicSession::apply_snapshot`]. If any shard fails the
+    /// shards may have diverged and the session should be discarded.
+    pub fn apply_snapshot(
+        &mut self,
+        snapshot: &Snapshot,
+    ) -> Result<SessionBatchResult, MnemonicError> {
+        let results = self.for_each_shard(|shard| shard.apply_snapshot(snapshot));
+        self.snapshots_processed += 1;
+        self.merge_results(results)
+    }
+
+    /// Load an initial graph into every shard without reporting embeddings
+    /// (the [`MnemonicSession::bootstrap`] semantics, broadcast).
+    ///
+    /// # Errors
+    /// See [`MnemonicSession::bootstrap`].
+    pub fn bootstrap(&mut self, events: &[StreamEvent]) -> Result<(), MnemonicError> {
+        for result in self.for_each_shard(|shard| shard.bootstrap(events)) {
+            result?;
+        }
+        Ok(())
+    }
+
+    /// Ingest one edge event through the batched update path: the event
+    /// joins the pending delta batch, and once the batch reaches the
+    /// configured [`UpdateMode`] size it is broadcast to every shard.
+    /// Returns the merged batch outcome on the pushes that trigger a flush,
+    /// `Ok(None)` otherwise.
+    ///
+    /// # Errors
+    /// See [`ShardedSession::apply_snapshot`].
+    pub fn push_event(
+        &mut self,
+        event: StreamEvent,
+    ) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        if self
+            .pending
+            .push(event, self.config.update_mode.batch_size())
+        {
+            self.flush_pending()
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Flush the pending delta batch, if any. Returns `Ok(None)` when
+    /// nothing was buffered.
+    ///
+    /// # Errors
+    /// See [`ShardedSession::apply_snapshot`].
+    pub fn flush_pending(&mut self) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        match self.pending.take_snapshot(self.snapshots_processed) {
+            None => Ok(None),
+            Some(snapshot) => self.apply_snapshot(&snapshot).map(Some),
+        }
+    }
+
+    /// Drive a raw event sequence through the batched update path; a final
+    /// flush drains the last partial batch. Batch boundaries (and therefore
+    /// reported embeddings) are identical to an unsharded
+    /// [`MnemonicSession::run_events`] with the same [`UpdateMode`].
+    ///
+    /// # Errors
+    /// See [`ShardedSession::apply_snapshot`].
+    pub fn run_events(
+        &mut self,
+        events: impl IntoIterator<Item = StreamEvent>,
+    ) -> Result<Vec<SessionBatchResult>, MnemonicError> {
+        let mut results = Vec::new();
+        for event in events {
+            results.extend(self.push_event(event)?);
+        }
+        results.extend(self.flush_pending()?);
+        Ok(results)
+    }
+
+    /// Drain an [`EventSource`] through the batched update path, with batch
+    /// boundaries set by the session's [`UpdateMode`]. A final flush drains
+    /// the last partial batch.
+    ///
+    /// # Errors
+    /// See [`ShardedSession::apply_snapshot`].
+    pub fn run_source<S: EventSource>(
+        &mut self,
+        mut source: S,
+    ) -> Result<Vec<SessionBatchResult>, MnemonicError> {
+        let mut results = Vec::new();
+        for event in source.events() {
+            results.extend(self.push_event(event)?);
+        }
+        results.extend(self.flush_pending()?);
+        Ok(results)
+    }
+
+    /// Flush any pending events and consume the session, returning the
+    /// final merged batch outcome (or `Ok(None)` when nothing was
+    /// buffered). Dropping a session with
+    /// [`ShardedSession::pending_events`]` > 0` silently discards the
+    /// buffered events; `finish` is the lossless shutdown path.
+    ///
+    /// # Errors
+    /// See [`ShardedSession::apply_snapshot`].
+    pub fn finish(mut self) -> Result<Option<SessionBatchResult>, MnemonicError> {
+        self.flush_pending()
+    }
+
+    /// Periodic reset (Section VII-D), broadcast to every shard; pending
+    /// pre-reset events are discarded with the old epoch.
+    pub fn periodic_reset(&mut self) {
+        for shard in self.shards.iter_mut() {
+            shard.periodic_reset();
+        }
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::LabelEdgeMatcher;
+    use crate::variants::Isomorphism;
+    use mnemonic_query::patterns;
+
+    fn sharded(shards: usize) -> ShardedSession {
+        ShardedSession::builder()
+            .shards(shards)
+            .sequential()
+            .batch_size(4)
+            .build()
+            .expect("valid config")
+    }
+
+    fn register(s: &mut ShardedSession, q: QueryGraph) -> QueryHandle {
+        s.register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+            .expect("connected query")
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MnemonicSession>();
+        assert_send::<ShardedSession>();
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards_and_zero_batches() {
+        let err = ShardedSession::builder().shards(0).build().unwrap_err();
+        assert!(matches!(err, MnemonicError::InvalidConfig(_)));
+        let err = ShardedSession::builder()
+            .shards(2)
+            .batch_size(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MnemonicError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn plan_balances_and_reuses_freed_capacity() {
+        let mut plan = ShardPlan::new(3);
+        assert_eq!(plan.assign(QueryId(0)), 0);
+        assert_eq!(plan.assign(QueryId(1)), 1);
+        assert_eq!(plan.assign(QueryId(2)), 2);
+        assert_eq!(plan.assign(QueryId(3)), 0, "round robin when balanced");
+        assert_eq!(plan.remove(QueryId(1)), Some(1));
+        assert_eq!(plan.assign(QueryId(4)), 1, "freed shard is least loaded");
+        assert_eq!(plan.shard_of(QueryId(1)), None);
+        assert_eq!(plan.query_count(), 4);
+        assert_eq!(plan.load(0), 2);
+    }
+
+    #[test]
+    fn query_ids_are_globally_unique_across_shards() {
+        let mut s = sharded(3);
+        let handles: Vec<QueryHandle> = (0..6)
+            .map(|_| register(&mut s, patterns::path(2)))
+            .collect();
+        let mut ids: Vec<u64> = handles.iter().map(|h| h.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6, "ids must not collide across shards");
+        assert_eq!(s.query_count(), 6);
+        for shard in 0..3 {
+            assert_eq!(s.plan().load(shard), 2);
+        }
+    }
+
+    #[test]
+    fn broadcast_batch_reaches_every_shard_and_merges_in_order() {
+        let mut s = sharded(2);
+        let triangles = register(&mut s, patterns::triangle());
+        let paths = register(&mut s, patterns::path(3));
+        assert_ne!(s.shard_of(&triangles), s.shard_of(&paths));
+        let results = s
+            .run_events([
+                StreamEvent::insert(0, 1, 0),
+                StreamEvent::insert(1, 2, 0),
+                StreamEvent::insert(2, 0, 0),
+            ])
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.insertions, 3);
+        assert_eq!(r.per_query.len(), 2);
+        assert_eq!(
+            r.per_query.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![triangles.id(), paths.id()],
+            "merged results keep registration order"
+        );
+        assert_eq!(r.for_query(triangles.id()).unwrap().new_embeddings, 3);
+        assert!(r.for_query(paths.id()).unwrap().new_embeddings > 0);
+        // Every shard's graph saw every event.
+        for shard in 0..2 {
+            assert_eq!(s.shard(shard).unwrap().graph().live_edge_count(), 3);
+        }
+        assert_eq!(triangles.drain().positive.len(), 3);
+    }
+
+    #[test]
+    fn deregister_removes_from_plan_and_rejects_stale_handles() {
+        let mut s = sharded(2);
+        let h = register(&mut s, patterns::triangle());
+        assert_eq!(s.query_count(), 1);
+        s.deregister(&h).unwrap();
+        assert_eq!(s.query_count(), 0);
+        assert!(matches!(
+            s.deregister(&h),
+            Err(MnemonicError::UnknownQuery(_))
+        ));
+        // Ingest keeps working with zero live queries.
+        let r = s.run_events([StreamEvent::insert(0, 1, 0)]).unwrap();
+        assert_eq!(r[0].insertions, 1);
+        assert!(r[0].per_query.is_empty());
+    }
+
+    #[test]
+    fn parallel_shards_match_sequential_shards() {
+        let events: Vec<StreamEvent> = (0..40u32)
+            .map(|i| StreamEvent::insert(i % 9, (i * 5 + 2) % 9, 0).at(i as u64))
+            .collect();
+        let run = |mut s: ShardedSession| -> Vec<u64> {
+            let handles = [
+                register(&mut s, patterns::triangle()),
+                register(&mut s, patterns::path(3)),
+                register(&mut s, patterns::rectangle()),
+            ];
+            s.run_events(events.iter().copied()).unwrap();
+            handles.iter().map(|h| h.accepted()).collect()
+        };
+        let sequential = run(sharded(3));
+        let parallel = run(ShardedSession::builder()
+            .shards(3)
+            .threads(3)
+            .batch_size(4)
+            .build()
+            .unwrap());
+        assert_eq!(sequential, parallel);
+        assert!(sequential.iter().sum::<u64>() > 0);
+    }
+}

@@ -162,6 +162,37 @@ impl PhaseTimings {
     }
 }
 
+/// Per-query statistics bundle surfaced by
+/// [`QueryHandle::stats`](crate::session::QueryHandle::stats): the query's
+/// cumulative counters plus the wall time of the enumeration work units
+/// attributed to it by the pooled [`Enumerate`](crate::pipeline::Enumerate)
+/// stage. Because sessions pool the work units of *all* standing queries,
+/// this attribution is the only way to see which query is paying for the
+/// enumeration phase — and it lets a sharded and an unsharded run of the
+/// same stream be compared query by query, not just session by session.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QueryStats {
+    /// The query's cumulative engine counters.
+    pub counters: CounterSnapshot,
+    /// Summed wall time of the query's enumeration work units (across a
+    /// parallel pool this can exceed the batch wall-clock).
+    pub enumeration: Duration,
+}
+
+impl QueryStats {
+    /// This query's fraction of `total` enumeration time (0 when `total` is
+    /// zero). Pass the sum over every handle of the session — e.g.
+    /// [`MnemonicSession::enumeration_time`](crate::session::MnemonicSession::enumeration_time)
+    /// — to get the query's share of the pooled enumeration phase.
+    pub fn enumeration_share(&self, total: Duration) -> f64 {
+        if total.is_zero() {
+            0.0
+        } else {
+            self.enumeration.as_secs_f64() / total.as_secs_f64()
+        }
+    }
+}
+
 /// Worker utilisation samples for Figure 7: the fraction of busy worker time
 /// in consecutive wall-clock buckets.
 #[derive(Debug, Clone)]

@@ -98,6 +98,109 @@ where
     }
 }
 
+/// One consumer's end of a fan-out split of an event source: every
+/// [`Broadcast`] handle created by [`Broadcast::split`] sees the *entire*
+/// event sequence of the underlying source, in order, regardless of how the
+/// consumers interleave their pulls.
+///
+/// The underlying source is pulled lazily, at the pace of the *fastest*
+/// consumer; events a slower consumer has not read yet are buffered on its
+/// behalf (so the worst-case buffering is the full lag between the fastest
+/// and the slowest consumer). Dropping a handle retires its slot: nothing
+/// further is buffered for it and whatever it had not read is released.
+/// Handles are `Send` and lock the shared state only per pull, so the
+/// consumers can live on different threads — e.g. one shard driver per
+/// handle, or an unsharded reference session replayed next to a sharded one
+/// from a single stream.
+///
+/// ```
+/// use mnemonic_stream::source::{Broadcast, EventSource, VecSource};
+/// use mnemonic_stream::event::StreamEvent;
+///
+/// let source = VecSource::new(vec![
+///     StreamEvent::insert(0, 1, 0),
+///     StreamEvent::insert(1, 2, 0),
+/// ]);
+/// let [mut a, mut b]: [Broadcast<_>; 2] =
+///     Broadcast::split(source, 2).try_into().unwrap();
+/// assert_eq!(a.events().count(), 2); // one consumer races ahead...
+/// assert_eq!(b.events().count(), 2); // ...the other still sees everything
+/// ```
+#[derive(Debug)]
+pub struct Broadcast<S: EventSource> {
+    shared: std::sync::Arc<std::sync::Mutex<BroadcastShared<S>>>,
+    index: usize,
+}
+
+#[derive(Debug)]
+struct BroadcastShared<S: EventSource> {
+    source: S,
+    /// Per-consumer queues of events already pulled from the source by a
+    /// faster sibling; `None` once the consumer has been dropped, so nothing
+    /// accumulates on behalf of a handle that will never pull again.
+    lagging: Vec<Option<VecDeque<StreamEvent>>>,
+}
+
+impl<S: EventSource> Broadcast<S> {
+    /// Split `source` into `consumers` independent sources, each yielding
+    /// the full event sequence.
+    pub fn split(source: S, consumers: usize) -> Vec<Broadcast<S>> {
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(BroadcastShared {
+            source,
+            lagging: (0..consumers).map(|_| Some(VecDeque::new())).collect(),
+        }));
+        (0..consumers)
+            .map(|index| Broadcast {
+                shared: std::sync::Arc::clone(&shared),
+                index,
+            })
+            .collect()
+    }
+
+    /// Number of events buffered for this consumer (its lag behind the
+    /// fastest sibling).
+    pub fn lag(&self) -> usize {
+        let shared = self.shared.lock().expect("broadcast lock poisoned");
+        shared.lagging[self.index].as_ref().map_or(0, VecDeque::len)
+    }
+}
+
+impl<S: EventSource> Drop for Broadcast<S> {
+    fn drop(&mut self) {
+        // Retire this consumer's slot so faster siblings stop buffering the
+        // rest of the stream on behalf of a handle that will never pull it.
+        if let Ok(mut shared) = self.shared.lock() {
+            shared.lagging[self.index] = None;
+        }
+    }
+}
+
+impl<S: EventSource> EventSource for Broadcast<S> {
+    fn next_event(&mut self) -> Option<StreamEvent> {
+        let mut shared = self.shared.lock().expect("broadcast lock poisoned");
+        let shared = &mut *shared;
+        let own = shared.lagging[self.index]
+            .as_mut()
+            .expect("a live Broadcast handle owns its slot");
+        if let Some(event) = own.pop_front() {
+            return Some(event);
+        }
+        let event = shared.source.next_event()?;
+        for (i, queue) in shared.lagging.iter_mut().enumerate() {
+            if let (Some(queue), false) = (queue.as_mut(), i == self.index) {
+                queue.push_back(event);
+            }
+        }
+        Some(event)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        let shared = self.shared.lock().expect("broadcast lock poisoned");
+        let buffered = shared.lagging[self.index].as_ref().map_or(0, VecDeque::len);
+        shared.source.size_hint().map(|rest| rest + buffered)
+    }
+}
+
 /// A text-file event source.
 ///
 /// Each non-empty, non-comment line is `src dst label [timestamp]` with
@@ -242,6 +345,87 @@ mod tests {
         assert_eq!(e3.timestamp, Timestamp(0));
         assert!(src.next_event().is_none());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn broadcast_delivers_everything_to_every_consumer() {
+        let events: Vec<StreamEvent> = (0..5u32)
+            .map(|i| StreamEvent::insert(i, i + 1, 0))
+            .collect();
+        let mut consumers = Broadcast::split(VecSource::new(events.clone()), 3);
+        // Interleave: consumer 0 races ahead, 1 alternates, 2 drains last.
+        let mut seen: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        for _ in 0..2 {
+            seen[0].push(consumers[0].next_event().unwrap().src.0);
+        }
+        seen[1].push(consumers[1].next_event().unwrap().src.0);
+        assert_eq!(consumers[1].lag(), 1, "consumer 1 is one event behind");
+        for c in 0..3 {
+            while let Some(e) = consumers[c].next_event() {
+                seen[c].push(e.src.0);
+            }
+        }
+        let expected: Vec<u32> = events.iter().map(|e| e.src.0).collect();
+        for (c, got) in seen.iter().enumerate() {
+            assert_eq!(got, &expected, "consumer {c} missed or reordered events");
+        }
+        for c in &consumers {
+            assert_eq!(c.lag(), 0);
+        }
+    }
+
+    #[test]
+    fn broadcast_dropped_consumer_stops_buffering() {
+        let events: Vec<StreamEvent> = (0..8u32)
+            .map(|i| StreamEvent::insert(i, i + 1, 0))
+            .collect();
+        let mut consumers = Broadcast::split(VecSource::new(events), 2);
+        let survivor = &mut consumers[0];
+        survivor.next_event().unwrap();
+        let dropped = consumers.remove(1);
+        assert_eq!(dropped.lag(), 1, "the doomed consumer lags one event");
+        drop(dropped);
+        let survivor = &mut consumers[0];
+        assert_eq!(survivor.events().count(), 7, "survivor drains the stream");
+        // The dropped consumer's slot is retired: nothing was buffered for
+        // it while the survivor drained.
+        let shared = survivor.shared.lock().unwrap();
+        assert!(shared.lagging[1].is_none());
+        assert!(shared.lagging[0].as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn broadcast_size_hint_counts_buffered_lag() {
+        let events: Vec<StreamEvent> = (0..4u32)
+            .map(|i| StreamEvent::insert(i, i + 1, 0))
+            .collect();
+        let mut consumers = Broadcast::split(VecSource::new(events), 2);
+        assert_eq!(consumers[0].size_hint(), Some(4));
+        consumers[0].next_event().unwrap();
+        assert_eq!(consumers[0].size_hint(), Some(3));
+        assert_eq!(
+            consumers[1].size_hint(),
+            Some(4),
+            "the lagging consumer still has everything ahead of it"
+        );
+    }
+
+    #[test]
+    fn broadcast_consumers_work_across_threads() {
+        let events: Vec<StreamEvent> = (0..64u32)
+            .map(|i| StreamEvent::insert(i, i + 1, 0))
+            .collect();
+        let consumers = Broadcast::split(VecSource::new(events), 4);
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            consumers
+                .into_iter()
+                .map(|mut c| s.spawn(move || c.events().count()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(counts, vec![64; 4]);
     }
 
     #[test]

@@ -60,3 +60,8 @@ fn programmable_variants_runs() {
 fn multi_query_session_runs() {
     run_example("multi_query_session");
 }
+
+#[test]
+fn sharded_session_runs() {
+    run_example("sharded_session");
+}

@@ -4,7 +4,7 @@
 //! monotone cumulative counters). This is the tier-1 safety net under every
 //! future perf rewrite of the hot paths the figures measure.
 
-use mnemonic_bench::figures::{read_csv, Figures};
+use mnemonic_bench::figures::{compare_summaries, read_csv, read_summary, Figures};
 use mnemonic_bench::workloads::WorkloadScale;
 use std::path::{Path, PathBuf};
 
@@ -137,6 +137,27 @@ fn fig12_and_fig13_scalability_report_positive_speedups() {
             assert!(parse_f64(field, "fig13 speedup") > 0.0);
         }
     }
+}
+
+#[test]
+fn summary_counters_match_the_checked_in_micro_baseline() {
+    let scratch = ScratchDir::new("summary");
+    let figures = Figures::new(WorkloadScale::micro(), &scratch.0);
+    let current = read_summary(&figures.write_summary()).expect("fresh summary parses");
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("results/summary_baseline_micro.json");
+    let baseline = read_summary(&baseline_path).expect("checked-in baseline parses");
+    // Every counter is a deterministic count at fixed scale + seed, so the
+    // tolerance is nominally zero; the epsilon only absorbs float printing.
+    let violations = compare_summaries(&current, &baseline, 1e-9);
+    assert!(
+        violations.is_empty(),
+        "headline counters drifted from results/summary_baseline_micro.json:\n  {}\n\
+         If the change is intended, regenerate the baseline:\n  \
+         cargo run --release -p mnemonic-bench --bin figures -- summary --scale micro\n  \
+         cp results/summary.json results/summary_baseline_micro.json",
+        violations.join("\n  ")
+    );
 }
 
 #[test]

@@ -1,0 +1,402 @@
+//! Sharding and pipeline-stage integration tests.
+//!
+//! The central check: a [`ShardedSession`] with N ∈ {1, 2, 4} shards must be
+//! embedding-for-embedding identical — vertex *and* edge bindings, positive
+//! and negative — to an unsharded [`MnemonicSession`] over the same mixed
+//! insert/delete stream, in per-edge and batched update modes, including a
+//! mid-stream deregistration of one query on one shard. Semantically a
+//! shard broadcast changes only the schedule, never the results.
+//!
+//! The second half drives the staged update pipeline by hand: a hand-built
+//! [`DeltaBatch`] pushed through the public stages (`GraphUpdate` →
+//! `FrontierBuild` → `Filtering` → `DeletionResolve` → `Enumerate`) must
+//! produce the same outcome as the orchestrated
+//! [`MnemonicSession::apply_snapshot`] path did before the refactor.
+
+use mnemonic::core::api::LabelEdgeMatcher;
+use mnemonic::core::api::UpdateMode;
+use mnemonic::core::embedding::CompleteEmbedding;
+use mnemonic::core::engine::EngineConfig;
+use mnemonic::core::pipeline::{
+    DeletionResolve, DeltaBatch, Enumerate, Filtering, FrontierBuild, GraphUpdate,
+};
+use mnemonic::core::session::{MnemonicSession, QueryHandle};
+use mnemonic::core::shard::ShardedSession;
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::query::patterns;
+use mnemonic::query::query_graph::QueryGraph;
+use mnemonic::stream::event::StreamEvent;
+use mnemonic::stream::snapshot::Snapshot;
+use mnemonic::stream::source::{Broadcast, EventSource, VecSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic mixed insert/delete stream (same construction as
+/// `tests/session.rs`).
+fn mixed_stream(seed: u64, vertices: u32, labels: u16, events: usize) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(u32, u32, u16)> = Vec::new();
+    let mut out = Vec::with_capacity(events);
+    for ts in 0..events as u64 {
+        if !live.is_empty() && rng.gen_bool(0.25) {
+            let idx = rng.gen_range(0..live.len());
+            let (s, d, l) = live.swap_remove(idx);
+            out.push(StreamEvent::delete(s, d, l).at(ts));
+        } else {
+            let src = rng.gen_range(0..vertices);
+            let mut dst = rng.gen_range(0..vertices);
+            if dst == src {
+                dst = (dst + 1) % vertices;
+            }
+            let label = rng.gen_range(0..labels);
+            live.push((src, dst, label));
+            out.push(StreamEvent::insert(src, dst, label).at(ts));
+        }
+    }
+    out
+}
+
+fn query_set() -> Vec<QueryGraph> {
+    vec![
+        patterns::triangle(),
+        patterns::path(3),
+        patterns::rectangle(),
+        patterns::dual_triangle(),
+    ]
+}
+
+fn config_with(mode: UpdateMode) -> EngineConfig {
+    EngineConfig {
+        update_mode: mode,
+        ..EngineConfig::sequential()
+    }
+}
+
+fn sorted(mut embeddings: Vec<CompleteEmbedding>) -> Vec<CompleteEmbedding> {
+    embeddings.sort();
+    embeddings
+}
+
+fn register_all(session: &mut MnemonicSession) -> Vec<QueryHandle> {
+    query_set()
+        .into_iter()
+        .map(|q| {
+            session
+                .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        })
+        .collect()
+}
+
+fn register_all_sharded(session: &mut ShardedSession) -> Vec<QueryHandle> {
+    query_set()
+        .into_iter()
+        .map(|q| {
+            session
+                .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        })
+        .collect()
+}
+
+/// Replay the same stream through an unsharded session and through sharded
+/// sessions with 1, 2 and 4 shards; every query must report identical
+/// embedding sets. The two replays are fed from one `Broadcast` split of a
+/// single source, exercising the fan-out helper on the way.
+fn check_sharded_matches_unsharded(mode: UpdateMode) {
+    let events = mixed_stream(71, 12, 2, 140);
+
+    let mut reference = MnemonicSession::builder()
+        .config(config_with(mode))
+        .build()
+        .expect("valid session config");
+    let reference_handles = register_all(&mut reference);
+    reference
+        .run_events(events.iter().copied())
+        .expect("unsharded replay succeeds");
+    let reference_results: Vec<_> = reference_handles.iter().map(|h| h.drain()).collect();
+
+    for shards in [1usize, 2, 4] {
+        let mut sharded = ShardedSession::builder()
+            .shards(shards)
+            .config(config_with(mode))
+            .build()
+            .expect("valid sharded config");
+        let handles = register_all_sharded(&mut sharded);
+        // Feed the sharded run through a Broadcast split: the second
+        // consumer double-checks that the fan-out itself is lossless.
+        let mut consumers = Broadcast::split(VecSource::new(events.clone()), 2);
+        let audit = consumers.pop().expect("two consumers");
+        let feed = consumers.pop().expect("two consumers");
+        sharded.run_source(feed).expect("sharded replay succeeds");
+        assert_eq!(
+            audit.size_hint(),
+            Some(events.len()),
+            "the audit consumer must still see the whole stream"
+        );
+
+        for (qi, (reference_result, handle)) in reference_results.iter().zip(&handles).enumerate() {
+            let got = handle.drain();
+            assert_eq!(
+                sorted(got.positive),
+                sorted(reference_result.positive.clone()),
+                "query {qi}: positive embeddings diverged at {shards} shards (mode {mode:?})"
+            );
+            assert_eq!(
+                sorted(got.negative),
+                sorted(reference_result.negative.clone()),
+                "query {qi}: negative embeddings diverged at {shards} shards (mode {mode:?})"
+            );
+            // Per-query stats line up too: the counts both executors report
+            // through the handle's counter snapshot must agree.
+            assert_eq!(
+                handle.counters().embeddings_emitted,
+                reference_handles[qi].counters().embeddings_emitted,
+                "query {qi}: emitted-counter diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_unsharded_per_edge() {
+    check_sharded_matches_unsharded(UpdateMode::PerEdge);
+}
+
+#[test]
+fn sharded_matches_unsharded_batched() {
+    check_sharded_matches_unsharded(UpdateMode::Batched(7));
+}
+
+#[test]
+fn mid_stream_deregistration_on_a_shard_leaves_other_queries_exact() {
+    let events = mixed_stream(83, 10, 2, 120);
+    let (first, second) = events.split_at(60);
+    let mode = UpdateMode::Batched(16);
+
+    let mut sharded = ShardedSession::builder()
+        .shards(4)
+        .config(config_with(mode))
+        .build()
+        .unwrap();
+    let handles = register_all_sharded(&mut sharded);
+    sharded.run_events(first.iter().copied()).unwrap();
+    // Deregister the rectangle query from its shard, mid-stream.
+    let victim = &handles[2];
+    let victim_before = victim.accepted();
+    sharded.deregister(victim).unwrap();
+    assert_eq!(sharded.query_count(), 3);
+    sharded.run_events(second.iter().copied()).unwrap();
+    assert_eq!(
+        victim.accepted(),
+        victim_before,
+        "a deregistered query must stop receiving embeddings"
+    );
+
+    // The survivors stay exact vs an unsharded session replayed with the
+    // same flush boundaries (run_events drains its tail, so the reference
+    // splits the stream at the deregistration point too).
+    let mut reference = MnemonicSession::builder()
+        .config(config_with(mode))
+        .build()
+        .unwrap();
+    let reference_handles = register_all(&mut reference);
+    reference.run_events(first.iter().copied()).unwrap();
+    reference.deregister(&reference_handles[2]).unwrap();
+    reference.run_events(second.iter().copied()).unwrap();
+
+    for qi in [0usize, 1, 3] {
+        let got = handles[qi].drain();
+        let want = reference_handles[qi].drain();
+        assert_eq!(
+            sorted(got.positive),
+            sorted(want.positive),
+            "survivor query {qi}: positive embeddings diverged"
+        );
+        assert_eq!(
+            sorted(got.negative),
+            sorted(want.negative),
+            "survivor query {qi}: negative embeddings diverged"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline stages, driven by hand.
+// ---------------------------------------------------------------------------
+
+fn staged_session() -> (MnemonicSession, Vec<QueryHandle>) {
+    let mut session = MnemonicSession::builder()
+        .sequential()
+        .batch_size(64)
+        .build()
+        .unwrap();
+    let handles = register_all(&mut session);
+    (session, handles)
+}
+
+/// A hand-built [`DeltaBatch`] pushed through the public stages must produce
+/// exactly what the orchestrated `apply_snapshot` path produces — the same
+/// per-query embedding deltas, the same buffered embeddings, the same graph.
+#[test]
+fn hand_built_delta_batch_matches_apply_snapshot() {
+    let events = mixed_stream(97, 9, 2, 48);
+    let (bootstrap, delta) = events.split_at(32);
+    let snapshot = Snapshot::from_events(1, delta.iter().copied());
+
+    // Reference: the orchestrated path.
+    let (mut orchestrated, orchestrated_handles) = staged_session();
+    orchestrated
+        .apply_snapshot(&Snapshot::from_events(0, bootstrap.iter().copied()))
+        .unwrap();
+    let reference = orchestrated.apply_snapshot(&snapshot).unwrap();
+
+    // Same session state, but the batch is staged by hand.
+    let (mut staged, staged_handles) = staged_session();
+    staged
+        .apply_snapshot(&Snapshot::from_events(0, bootstrap.iter().copied()))
+        .unwrap();
+    let mut batch = DeltaBatch::from_snapshot(&snapshot);
+    assert!(batch.has_deletions(), "fixture must exercise both halves");
+    GraphUpdate::apply_insertions(&mut staged, &mut batch).unwrap();
+    FrontierBuild::for_insertions(&staged, &mut batch);
+    Filtering::insertions(&mut staged, &mut batch);
+    Enumerate::positive(&staged, &mut batch);
+    DeletionResolve::run(&staged, &mut batch);
+    FrontierBuild::for_deletions(&staged, &mut batch);
+    Enumerate::negative(&staged, &mut batch);
+    GraphUpdate::apply_deletions(&mut staged, &mut batch);
+    Filtering::deletions(&mut staged, &mut batch);
+
+    // The staged intermediates line up with the sealed reference outcome.
+    assert_eq!(batch.snapshot_id, reference.snapshot_id);
+    assert_eq!(batch.inserted.len(), reference.insertions);
+    assert_eq!(batch.deletions_applied, reference.deletions);
+    for (i, (id, result)) in reference.per_query.iter().enumerate() {
+        assert_eq!(
+            batch.new_embeddings[i], result.new_embeddings,
+            "query {id:?}: new-embedding delta diverged"
+        );
+        assert_eq!(
+            batch.removed_embeddings[i], result.removed_embeddings,
+            "query {id:?}: removed-embedding delta diverged"
+        );
+    }
+
+    // And the externally observable state is identical: same buffered
+    // embeddings per handle, same graph.
+    for (qi, (got, want)) in staged_handles.iter().zip(&orchestrated_handles).enumerate() {
+        let got = got.drain();
+        let want = want.drain();
+        assert_eq!(
+            sorted(got.positive),
+            sorted(want.positive),
+            "query {qi}: staged positive embeddings diverged"
+        );
+        assert_eq!(
+            sorted(got.negative),
+            sorted(want.negative),
+            "query {qi}: staged negative embeddings diverged"
+        );
+    }
+    assert_eq!(
+        staged.graph().live_edge_count(),
+        orchestrated.graph().live_edge_count()
+    );
+
+    // Both sessions keep ingesting identically after the staged batch.
+    let tail = Snapshot::from_events(2, mixed_stream(101, 9, 2, 16));
+    let a = orchestrated.apply_snapshot(&tail).unwrap();
+    let b = staged.apply_snapshot(&tail).unwrap();
+    assert_eq!(a.total_new_embeddings(), b.total_new_embeddings());
+    assert_eq!(a.total_removed_embeddings(), b.total_removed_embeddings());
+}
+
+/// The stage timing slices land where the contract says they land.
+#[test]
+fn stages_record_their_own_timing_slices() {
+    let (mut session, _handles) = staged_session();
+    let mut batch = DeltaBatch::from_snapshot(&Snapshot::from_events(
+        0,
+        [
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(2, 0, 0),
+        ],
+    ));
+    assert_eq!(batch.timings.total(), std::time::Duration::ZERO);
+    GraphUpdate::apply_insertions(&mut session, &mut batch).unwrap();
+    assert!(batch.timings.graph_update > std::time::Duration::ZERO);
+    FrontierBuild::for_insertions(&session, &mut batch);
+    assert!(batch.timings.frontier > std::time::Duration::ZERO);
+    Filtering::insertions(&mut session, &mut batch);
+    assert!(batch.timings.top_down > std::time::Duration::ZERO);
+    Enumerate::positive(&session, &mut batch);
+    assert!(batch.timings.enumeration > std::time::Duration::ZERO);
+    assert_eq!(batch.timings.bottom_up, std::time::Duration::ZERO);
+    assert_eq!(
+        batch.new_embeddings[0], 3,
+        "the triangle query reports its three rotational mappings"
+    );
+}
+
+/// Per-query stats through the handle: counters survive deregistration and
+/// the enumeration-time attribution sums to the session total, sharded and
+/// unsharded alike.
+#[test]
+fn per_query_stats_attribute_enumeration_time() {
+    let events = mixed_stream(113, 10, 2, 100);
+
+    let mut session = MnemonicSession::builder()
+        .sequential()
+        .batch_size(16)
+        .build()
+        .unwrap();
+    let handles = register_all(&mut session);
+    session.run_events(events.iter().copied()).unwrap();
+
+    let total = session.enumeration_time();
+    let per_query: Vec<_> = handles.iter().map(|h| h.stats()).collect();
+    assert_eq!(
+        total,
+        per_query.iter().map(|s| s.enumeration).sum(),
+        "the session total is exactly the sum of the per-query attributions"
+    );
+    let share_sum: f64 = per_query.iter().map(|s| s.enumeration_share(total)).sum();
+    assert!(total.is_zero() || (share_sum - 1.0).abs() < 1e-9);
+    for (h, stats) in handles.iter().zip(&per_query) {
+        assert_eq!(stats.counters.embeddings_emitted, h.accepted());
+    }
+
+    // Counters stay readable after deregistration, frozen at their final
+    // values.
+    let frozen = handles[0].counters();
+    session.deregister(&handles[0]).unwrap();
+    assert_eq!(handles[0].counters(), frozen);
+
+    // A sharded run attributes per-query work the same way: identical
+    // counter snapshots per query, and its own total equals its per-query
+    // sum across shards.
+    let mut sharded = ShardedSession::builder()
+        .shards(2)
+        .sequential()
+        .batch_size(16)
+        .build()
+        .unwrap();
+    let sharded_handles = register_all_sharded(&mut sharded);
+    sharded.run_events(events.iter().copied()).unwrap();
+    assert_eq!(
+        sharded.enumeration_time(),
+        sharded_handles
+            .iter()
+            .map(|h| h.enumeration_time())
+            .sum::<std::time::Duration>()
+    );
+    for (qi, (sh, uh)) in sharded_handles.iter().zip(&handles).enumerate() {
+        assert_eq!(
+            sh.counters().embeddings_emitted,
+            uh.counters().embeddings_emitted,
+            "query {qi}: sharded emitted-counter diverged from unsharded"
+        );
+    }
+}
