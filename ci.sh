@@ -16,6 +16,21 @@ step() {
     "$@"
 }
 
+# Perf gates print a machine-readable `gate-ratio: ...` line; gate_step
+# captures it so the end of the run can print a one-line perf summary
+# (the measured trajectory across skew / multi-query / shard / hot-path).
+gate_ratios=""
+gate_step() {
+    printf '\n==> %s\n' "$*"
+    local out
+    out=$("$@" | tee /dev/stderr) || return 1
+    local ratio
+    ratio=$(printf '%s\n' "$out" | sed -n 's/^gate-ratio: //p' | head -1)
+    if [ -n "$ratio" ]; then
+        gate_ratios="${gate_ratios:+$gate_ratios | }$ratio"
+    fi
+}
+
 step cargo fmt --all --check
 
 step cargo clippy --workspace --all-targets -- -D warnings
@@ -32,20 +47,29 @@ if [ "$quick" != "quick" ]; then
     # work-stealing pool must not regress wall-clock vs the legacy static
     # chunking policy and must balance the load >= 1.3x better (projected
     # makespan on 4 cores; see crates/bench/src/bin/skew_smoke.rs).
-    step cargo run --release -q -p mnemonic-bench --bin skew_smoke
+    gate_step cargo run --release -q -p mnemonic-bench --bin skew_smoke
     # Shared-ingest smoke check: a 4-query session must beat 4 sequential
     # independent engines in total wall-clock on the multi-query workload
     # and report identical per-query embedding counts (see
     # crates/bench/src/bin/multi_query_gate.rs).
-    step cargo run --release -q -p mnemonic-bench --bin multi_query_gate
+    gate_step cargo run --release -q -p mnemonic-bench --bin multi_query_gate
     # Query-sharding smoke check: a 4-shard / 8-query sharded session must
     # report per-query embedding counts identical to an unsharded session,
     # project a >= 1.3x better 4-core makespan, and not regress wall-clock
     # (projection only: thread speedups are unmeasurable on a 1-core CI box;
     # see crates/bench/src/bin/shard_gate.rs).
-    step cargo run --release -q -p mnemonic-bench --bin shard_gate
+    gate_step cargo run --release -q -p mnemonic-bench --bin shard_gate
+    # Hot-path smoke check: the allocation-free dense ingest path must beat
+    # the retained pre-optimisation baseline path by >= 1.2x in batched
+    # ingest wall-clock, with identical embedding counts — the one gate that
+    # measures a real single-thread wall-clock win on this box (see
+    # crates/bench/src/bin/hot_path_gate.rs).
+    gate_step cargo run --release -q -p mnemonic-bench --bin hot_path_gate
 fi
 
 step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-printf '\nci.sh: all checks passed\n'
+if [ -n "$gate_ratios" ]; then
+    printf '\nperf summary: %s\n' "$gate_ratios"
+fi
+printf 'ci.sh: all checks passed\n'

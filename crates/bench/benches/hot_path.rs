@@ -1,0 +1,113 @@
+//! The allocation-free hot path vs the retained pre-optimisation baseline:
+//!
+//! * `hot_path/ingest_*` — batched [`Mnemonic::push_event`] throughput over
+//!   the tiny NetFlow workload, dense vs baseline (the same A/B the
+//!   `hot_path_gate` CI step enforces at ≥ 1.2×);
+//! * `hot_path/frontier_*` — the frontier-construction microbenchmark in
+//!   isolation: recycled [`FrontierScratch`] bitsets vs the retained
+//!   `HashSet` build, on a prepared mid-stream batch.
+//!
+//! [`Mnemonic::push_event`]: mnemonic_core::engine::Mnemonic::push_event
+//! [`FrontierScratch`]: mnemonic_core::frontier::FrontierScratch
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemonic_bench::workloads::{scaled_netflow, WorkloadScale};
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::embedding::CountingSink;
+use mnemonic_core::engine::{EngineConfig, Mnemonic};
+use mnemonic_core::frontier::{FrontierScratch, UnifiedFrontier};
+use mnemonic_core::variants::Isomorphism;
+use mnemonic_graph::edge::{Edge, EdgeTriple};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_query::patterns;
+
+fn config(baseline: bool) -> EngineConfig {
+    EngineConfig {
+        num_threads: 1,
+        parallel: false,
+        hot_path_baseline: baseline,
+        ..EngineConfig::with_batch_size(512)
+    }
+}
+
+/// Batched ingest throughput of the whole update pipeline, dense vs the
+/// retained baseline path.
+fn ingest(c: &mut Criterion) {
+    let events = scaled_netflow(&WorkloadScale::tiny());
+    let mut group = c.benchmark_group("hot_path");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, baseline) in [("ingest_dense", false), ("ingest_baseline", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = Mnemonic::new(
+                    patterns::triangle(),
+                    Box::new(LabelEdgeMatcher),
+                    Box::new(Isomorphism),
+                    config(baseline),
+                );
+                let sink = CountingSink::new();
+                engine.run_events(events.iter().copied(), &sink);
+                sink.positive()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Frontier construction in isolation: a mid-stream graph with one 512-edge
+/// batch, rebuilt per iteration through the recycled scratch vs the retained
+/// `HashSet` path.
+fn frontier_build(c: &mut Criterion) {
+    // Materialise the tiny netflow prefix as the ambient graph, then treat
+    // the next 512 events as the delta batch.
+    let events = scaled_netflow(&WorkloadScale::tiny());
+    let (ambient, delta) = events.split_at(4_096);
+    let mut graph = StreamingGraph::new();
+    for e in ambient {
+        graph.insert_edge(EdgeTriple::with_timestamp(
+            e.src,
+            e.dst,
+            e.label,
+            e.timestamp,
+        ));
+    }
+    let batch: Vec<Edge> = delta
+        .iter()
+        .filter(|e| e.is_insert())
+        .take(512)
+        .map(|e| {
+            let id = graph.insert_edge(EdgeTriple::with_timestamp(
+                e.src,
+                e.dst,
+                e.label,
+                e.timestamp,
+            ));
+            graph.edge(id).expect("freshly inserted edge is alive")
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("hot_path");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let mut scratch = FrontierScratch::new();
+    group.bench_function("frontier_dense_scratch", |b| {
+        b.iter(|| {
+            let frontier = scratch.build_into(&graph, &batch, true);
+            let size = frontier.traversal_size();
+            scratch.recycle(frontier);
+            size
+        });
+    });
+    group.bench_function("frontier_hashset_baseline", |b| {
+        b.iter(|| {
+            UnifiedFrontier::build_hashset_baseline(&graph, batch.clone(), true).traversal_size()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ingest, frontier_build);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! CI hot-path gate: the allocation-free dense ingest path must beat the
+//! retained pre-optimisation baseline path in **wall-clock** batched-ingest
+//! throughput on this very box — the first gate in the repo that measures a
+//! real single-thread wall-clock win rather than a projected makespan
+//! (1-core CI boxes hide thread speedups, they do not hide hashing and
+//! allocator traffic).
+//!
+//! Both sides run the identical stream through the identical engine; the
+//! only difference is [`EngineConfig::hot_path_baseline`], which routes the
+//! frontier build, batch masking and enumeration kernels through the
+//! retained `HashSet`/allocating implementations
+//! (see `mnemonic_core::hot_path_baseline`). Per-query embedding counts
+//! must agree exactly — the differential sanity check that keeps the
+//! baseline honest.
+//!
+//! Exit status 0 = all gates passed; 1 = a gate failed.
+//!
+//! ```text
+//! cargo run --release -p mnemonic-bench --bin hot_path_gate
+//! ```
+//!
+//! [`EngineConfig::hot_path_baseline`]: mnemonic_core::engine::EngineConfig
+
+use mnemonic_bench::workloads::{scaled_netflow, WorkloadScale};
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::embedding::CountingSink;
+use mnemonic_core::engine::{EngineConfig, Mnemonic};
+use mnemonic_core::variants::Isomorphism;
+use mnemonic_query::patterns;
+use std::time::{Duration, Instant};
+
+/// Delta-batch size shared by both sides (the sweet spot of the
+/// `engine_batch_size` baseline in ROADMAP.md).
+const BATCH: usize = 512;
+/// Gate: the dense path must be at least this much faster than the retained
+/// baseline path in batched-ingest wall-clock.
+const MIN_SPEEDUP: f64 = 1.2;
+/// Runs per side (interleaved dense/baseline so box-load drift hits both
+/// sides equally); the medians are compared.
+const RUNS: usize = 7;
+
+fn config(baseline: bool) -> EngineConfig {
+    EngineConfig {
+        num_threads: 1,
+        parallel: false,
+        hot_path_baseline: baseline,
+        ..EngineConfig::with_batch_size(BATCH)
+    }
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// One full batched ingest of the stream. Returns (wall, embeddings).
+fn run_ingest(events: &[mnemonic_stream::event::StreamEvent], baseline: bool) -> (Duration, u64) {
+    let mut engine = Mnemonic::new(
+        patterns::triangle(),
+        Box::new(LabelEdgeMatcher),
+        Box::new(Isomorphism),
+        config(baseline),
+    );
+    let sink = CountingSink::new();
+    let t = Instant::now();
+    engine.run_events(events.iter().copied(), &sink);
+    (t.elapsed(), sink.positive())
+}
+
+fn main() {
+    let events = scaled_netflow(&WorkloadScale::tiny());
+
+    let mut dense_walls = Vec::with_capacity(RUNS);
+    let mut baseline_walls = Vec::with_capacity(RUNS);
+    let mut dense_found = 0;
+    let mut baseline_found = 0;
+    for _ in 0..RUNS {
+        let (wall, found) = run_ingest(&events, false);
+        dense_walls.push(wall);
+        dense_found = found;
+        let (wall, found) = run_ingest(&events, true);
+        baseline_walls.push(wall);
+        baseline_found = found;
+    }
+
+    assert_eq!(
+        dense_found, baseline_found,
+        "dense and baseline paths must report identical embedding counts"
+    );
+
+    let dense_wall = median(dense_walls);
+    let baseline_wall = median(baseline_walls);
+    let speedup = baseline_wall.as_secs_f64() / dense_wall.as_secs_f64().max(1e-9);
+
+    println!(
+        "hot_path_gate: {} events, triangle query, batch {BATCH}, {dense_found} embeddings",
+        events.len(),
+    );
+    println!("  median wall, retained baseline path  : {baseline_wall:>12.3?}");
+    println!("  median wall, dense hot path          : {dense_wall:>12.3?}");
+    println!(
+        "  hot-path speedup                     : {speedup:>12.2}x  (gate: >= {MIN_SPEEDUP}x)"
+    );
+    println!("gate-ratio: hot_path {speedup:.2}x (floor {MIN_SPEEDUP}x)");
+
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "GATE FAILED: dense hot path only {speedup:.2}x faster than the retained baseline (need {MIN_SPEEDUP}x)"
+        );
+        std::process::exit(1);
+    }
+    println!("hot_path_gate: all gates passed");
+}

@@ -128,6 +128,8 @@ fn main() {
         "  shared-ingest speedup                 : {speedup:>12.2}x  (gate: >= {MIN_SPEEDUP}x)"
     );
 
+    println!("gate-ratio: multi_query {speedup:.2}x (floor {MIN_SPEEDUP}x)");
+
     if speedup < MIN_SPEEDUP {
         eprintln!(
             "GATE FAILED: shared-ingest session speedup {speedup:.2}x below the {MIN_SPEEDUP}x floor"

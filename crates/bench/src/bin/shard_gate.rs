@@ -170,6 +170,10 @@ fn main() {
         "  wall ratio (sharded/unsharded)        : {wall_ratio:>12.2}  (gate: <= {MAX_WALL_REGRESSION})"
     );
 
+    println!(
+        "gate-ratio: shard {projected_speedup:.2}x (floor {MIN_PROJECTED_SPEEDUP}x), wall {wall_ratio:.2} (ceiling {MAX_WALL_REGRESSION})"
+    );
+
     let mut failed = false;
     if projected_speedup < MIN_PROJECTED_SPEEDUP {
         eprintln!(

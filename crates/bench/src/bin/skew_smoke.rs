@@ -84,6 +84,10 @@ fn main() {
         "  wall ratio (stealing/chunked)         : {wall_ratio:.2} (gate <= {MAX_WALL_REGRESSION})"
     );
 
+    println!(
+        "gate-ratio: skew {makespan_speedup:.2}x (floor {MIN_MAKESPAN_SPEEDUP}x), wall {wall_ratio:.2} (ceiling {MAX_WALL_REGRESSION})"
+    );
+
     let mut failed = false;
     if makespan_speedup < MIN_MAKESPAN_SPEEDUP {
         eprintln!(

@@ -27,8 +27,9 @@ use mnemonic_core::frontier::UnifiedFrontier;
 use mnemonic_core::stats::EngineCounters;
 use mnemonic_core::variants::Isomorphism;
 use mnemonic_core::Debi;
+use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::{Edge, EdgeTriple};
-use mnemonic_graph::ids::{EdgeId, EdgeLabel, VertexId};
+use mnemonic_graph::ids::{EdgeLabel, VertexId};
 use mnemonic_graph::multigraph::StreamingGraph;
 use mnemonic_query::masking::MaskTable;
 use mnemonic_query::matching_order::MatchingOrderSet;
@@ -37,7 +38,7 @@ use mnemonic_query::query_graph::QueryGraph;
 use mnemonic_query::query_tree::QueryTree;
 use mnemonic_query::root::{select_root, LabelFrequencies};
 use rayon::prelude::*;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -64,7 +65,7 @@ pub struct SkewFixture {
     orders: MatchingOrderSet,
     debi: Debi,
     mask: MaskTable,
-    batch: HashSet<EdgeId>,
+    batch: DenseBitSet,
     batch_edges: Vec<Edge>,
 }
 
@@ -111,7 +112,7 @@ impl SkewFixture {
 
         let mask = MaskTable::new(query.edge_count());
         let batch_edges: Vec<Edge> = graph.live_edges().collect();
-        let batch: HashSet<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
+        let batch: DenseBitSet = batch_edges.iter().map(|e| e.id.index()).collect();
         SkewFixture {
             graph,
             query,

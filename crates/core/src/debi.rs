@@ -13,6 +13,19 @@
 //! disjoint edges from multiple threads without locking; the paper makes the
 //! same observation ("both read and write are thread-safe, as two threads
 //! never process the same edge concurrently").
+//!
+//! # The dense-id invariant
+//!
+//! DEBI is correct *because* edge ids are dense and recycled in lock-step
+//! with the index: a slot has at most one live occupant at any time, so a
+//! row keyed by raw `EdgeId` can never describe two live edges, and
+//! [`Debi::clear_row`] on deletion guarantees the next occupant of a
+//! recycled slot starts from a clean row before the filtering pass rebuilds
+//! it. The same invariant is what lets the whole batch pipeline address its
+//! transient sets (frontier dedup, batch masking, deletion resolution)
+//! through [`DenseBitSet`](mnemonic_graph::bitset::DenseBitSet)s instead of
+//! hashed sets — see `crates/core/src/frontier.rs` for the batch-level
+//! argument under recycling.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -7,10 +7,21 @@
 //! backtracking state; a [`CompleteEmbedding`] is an immutable, hashable
 //! result used by result sets and by the differential tests.
 
+use crate::debi::MAX_DEBI_COLUMNS;
 use mnemonic_graph::ids::{EdgeId, QueryEdgeId, QueryVertexId, VertexId};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum number of query vertices a [`PartialEmbedding`] can hold: one
+/// root plus [`MAX_DEBI_COLUMNS`] tree children (the DEBI row width already
+/// caps the tree at 64 columns, so this is not a new restriction).
+pub const MAX_QUERY_VERTICES: usize = MAX_DEBI_COLUMNS + 1;
+
+/// Maximum number of query edges a [`PartialEmbedding`] can hold: the
+/// [`MAX_DEBI_COLUMNS`] tree edges plus as many non-tree edges again —
+/// far beyond the ≤ 12-vertex queries of the paper's evaluation.
+pub const MAX_QUERY_EDGES: usize = 2 * MAX_DEBI_COLUMNS;
 
 /// Whether an embedding was created (insertions) or destroyed (deletions) by
 /// the batch that produced it.
@@ -25,82 +36,153 @@ pub enum Sign {
 
 /// Mutable backtracking state: partial assignment of query vertices and query
 /// edges to the data graph.
+///
+/// For every query up to [`MAX_QUERY_VERTICES`] vertices /
+/// [`MAX_QUERY_EDGES`] edges — far beyond the paper's ≤ 12-vertex workloads
+/// — the bindings live in fixed-capacity inline arrays, so creating one per
+/// enumeration work unit touches no allocator: the enumeration inner loop —
+/// one `PartialEmbedding` per work unit, thousands of units per batch —
+/// stays heap-free, and every slot access compiles to a direct array index
+/// behind one always-taken compare. Larger (e.g. near-clique) queries spill
+/// the ids beyond the inline capacity into heap overflow vectors — the
+/// pre-optimisation behaviour, paid only by queries that need it.
 #[derive(Debug, Clone)]
 pub struct PartialEmbedding {
-    vertices: Vec<Option<VertexId>>,
-    edges: Vec<Option<EdgeId>>,
+    vertices: [Option<VertexId>; MAX_QUERY_VERTICES],
+    edges: [Option<EdgeId>; MAX_QUERY_EDGES],
+    /// Slots for query vertices beyond [`MAX_QUERY_VERTICES`]; empty (and
+    /// unallocated) for every realistic query.
+    vertex_overflow: Vec<Option<VertexId>>,
+    /// Slots for query edges beyond [`MAX_QUERY_EDGES`]; empty (and
+    /// unallocated) for every realistic query.
+    edge_overflow: Vec<Option<EdgeId>>,
+    vertex_count: usize,
+    edge_count: usize,
     bound_vertices: usize,
     bound_edges: usize,
 }
 
 impl PartialEmbedding {
     /// An empty embedding for a query with the given vertex and edge counts.
+    /// Allocation-free up to the inline capacity
+    /// ([`MAX_QUERY_VERTICES`] / [`MAX_QUERY_EDGES`]).
     pub fn new(vertex_count: usize, edge_count: usize) -> Self {
         PartialEmbedding {
-            vertices: vec![None; vertex_count],
-            edges: vec![None; edge_count],
+            vertices: [None; MAX_QUERY_VERTICES],
+            edges: [None; MAX_QUERY_EDGES],
+            vertex_overflow: vec![None; vertex_count.saturating_sub(MAX_QUERY_VERTICES)],
+            edge_overflow: vec![None; edge_count.saturating_sub(MAX_QUERY_EDGES)],
+            vertex_count,
+            edge_count,
             bound_vertices: 0,
             bound_edges: 0,
+        }
+    }
+
+    #[inline]
+    fn vertex_slot_mut(&mut self, i: usize) -> &mut Option<VertexId> {
+        if i < MAX_QUERY_VERTICES {
+            &mut self.vertices[i]
+        } else {
+            &mut self.vertex_overflow[i - MAX_QUERY_VERTICES]
+        }
+    }
+
+    #[inline]
+    fn edge_slot_mut(&mut self, i: usize) -> &mut Option<EdgeId> {
+        if i < MAX_QUERY_EDGES {
+            &mut self.edges[i]
+        } else {
+            &mut self.edge_overflow[i - MAX_QUERY_EDGES]
         }
     }
 
     /// Bind query vertex `u` to data vertex `v`. Re-binding to the same value
     /// is a no-op; binding to a different value panics in debug builds.
     pub fn bind_vertex(&mut self, u: QueryVertexId, v: VertexId) {
-        let slot = &mut self.vertices[u.index()];
-        match slot {
-            Some(existing) => debug_assert_eq!(*existing, v, "conflicting vertex binding"),
+        // A release-mode bounds check too: the inline array would silently
+        // absorb an index in [vertex_count, capacity), hiding a caller bug
+        // the old Vec-backed storage surfaced as an out-of-bounds panic.
+        assert!(u.index() < self.vertex_count, "query vertex out of range");
+        let slot = self.vertex_slot_mut(u.index());
+        let fresh = match slot {
+            Some(existing) => {
+                debug_assert_eq!(*existing, v, "conflicting vertex binding");
+                false
+            }
             None => {
                 *slot = Some(v);
-                self.bound_vertices += 1;
+                true
             }
-        }
+        };
+        self.bound_vertices += fresh as usize;
     }
 
     /// Remove the binding of query vertex `u`.
     pub fn unbind_vertex(&mut self, u: QueryVertexId) {
-        if self.vertices[u.index()].take().is_some() {
+        assert!(u.index() < self.vertex_count, "query vertex out of range");
+        if self.vertex_slot_mut(u.index()).take().is_some() {
             self.bound_vertices -= 1;
         }
     }
 
     /// Bind query edge `q` to data edge `e`.
     pub fn bind_edge(&mut self, q: QueryEdgeId, e: EdgeId) {
-        let slot = &mut self.edges[q.index()];
-        if slot.is_none() {
-            self.bound_edges += 1;
-        }
+        assert!(q.index() < self.edge_count, "query edge out of range");
+        let slot = self.edge_slot_mut(q.index());
+        let fresh = slot.is_none();
         *slot = Some(e);
+        self.bound_edges += fresh as usize;
     }
 
     /// Remove the binding of query edge `q`.
     pub fn unbind_edge(&mut self, q: QueryEdgeId) {
-        if self.edges[q.index()].take().is_some() {
+        assert!(q.index() < self.edge_count, "query edge out of range");
+        if self.edge_slot_mut(q.index()).take().is_some() {
             self.bound_edges -= 1;
         }
     }
 
     /// The data vertex bound to `u`, if any.
+    ///
+    /// Out-of-range ids are a caller bug; the check is debug-only here (the
+    /// getters are the single hottest accessor of the enumeration loop —
+    /// tests and CI run with debug assertions and keep the bug loud).
     #[inline]
     pub fn vertex(&self, u: QueryVertexId) -> Option<VertexId> {
-        self.vertices[u.index()]
+        let i = u.index();
+        debug_assert!(i < self.vertex_count, "query vertex out of range");
+        if i < MAX_QUERY_VERTICES {
+            self.vertices[i]
+        } else {
+            self.vertex_overflow[i - MAX_QUERY_VERTICES]
+        }
     }
 
-    /// The data edge bound to `q`, if any.
+    /// The data edge bound to `q`, if any. See [`PartialEmbedding::vertex`]
+    /// for the bounds-check policy.
     #[inline]
     pub fn edge(&self, q: QueryEdgeId) -> Option<EdgeId> {
-        self.edges[q.index()]
+        let i = q.index();
+        debug_assert!(i < self.edge_count, "query edge out of range");
+        if i < MAX_QUERY_EDGES {
+            self.edges[i]
+        } else {
+            self.edge_overflow[i - MAX_QUERY_EDGES]
+        }
     }
 
     /// Whether some query vertex is already bound to data vertex `v`
     /// (the isomorphism injectivity check of Figure 4, line 23).
     pub fn uses_data_vertex(&self, v: VertexId) -> bool {
-        self.vertices.contains(&Some(v))
+        self.vertices[..self.vertex_count.min(MAX_QUERY_VERTICES)].contains(&Some(v))
+            || self.vertex_overflow.contains(&Some(v))
     }
 
     /// Whether some query edge is already bound to data edge `e`.
     pub fn uses_data_edge(&self, e: EdgeId) -> bool {
-        self.edges.contains(&Some(e))
+        self.edges[..self.edge_count.min(MAX_QUERY_EDGES)].contains(&Some(e))
+            || self.edge_overflow.contains(&Some(e))
     }
 
     /// Number of bound query vertices.
@@ -110,7 +192,7 @@ impl PartialEmbedding {
 
     /// Whether every query vertex and every query edge is bound.
     pub fn is_complete(&self) -> bool {
-        self.bound_vertices == self.vertices.len() && self.bound_edges == self.edges.len()
+        self.bound_vertices == self.vertex_count && self.bound_edges == self.edge_count
     }
 
     /// Freeze into an immutable result.
@@ -119,14 +201,14 @@ impl PartialEmbedding {
     /// Panics if the embedding is not complete.
     pub fn freeze(&self) -> CompleteEmbedding {
         CompleteEmbedding {
-            vertices: self
-                .vertices
+            vertices: self.vertices[..self.vertex_count.min(MAX_QUERY_VERTICES)]
                 .iter()
+                .chain(self.vertex_overflow.iter())
                 .map(|b| b.expect("incomplete embedding: unbound vertex"))
                 .collect(),
-            edges: self
-                .edges
+            edges: self.edges[..self.edge_count.min(MAX_QUERY_EDGES)]
                 .iter()
+                .chain(self.edge_overflow.iter())
                 .map(|b| b.expect("incomplete embedding: unbound edge"))
                 .collect(),
         }
@@ -153,9 +235,17 @@ impl CompleteEmbedding {
         self.edges[q.index()]
     }
 
-    /// Whether the embedding uses any of the given data edges.
+    /// Whether the embedding uses any of the given data edges. A results-side
+    /// convenience for callers that already hold a `HashSet`; engine-internal
+    /// hot paths use [`CompleteEmbedding::uses_any_edge_in`] over a dense set
+    /// instead.
     pub fn uses_any_edge(&self, edges: &HashSet<EdgeId>) -> bool {
         self.edges.iter().any(|e| edges.contains(e))
+    }
+
+    /// Whether the embedding uses any data edge from the dense id set.
+    pub fn uses_any_edge_in(&self, edges: &mnemonic_graph::bitset::DenseBitSet) -> bool {
+        self.edges.iter().any(|e| edges.contains(e.index()))
     }
 }
 
@@ -287,6 +377,29 @@ mod tests {
         let mut e = PartialEmbedding::new(2, 1);
         e.bind_vertex(QueryVertexId(0), VertexId(1));
         e.freeze();
+    }
+
+    #[test]
+    fn queries_beyond_inline_capacity_fall_back_to_heap_slots() {
+        // A 20-vertex clique has 190 query edges — beyond MAX_QUERY_EDGES —
+        // and must keep working through the heap fallback.
+        let edges = 190usize;
+        assert!(edges > MAX_QUERY_EDGES);
+        let mut e = PartialEmbedding::new(20, edges);
+        for u in 0..20u16 {
+            e.bind_vertex(QueryVertexId(u), VertexId(u as u32 + 100));
+        }
+        for q in 0..edges as u16 {
+            e.bind_edge(QueryEdgeId(q), EdgeId(q as u32));
+        }
+        assert!(e.is_complete());
+        assert!(e.uses_data_vertex(VertexId(119)));
+        assert!(e.uses_data_edge(EdgeId(189)));
+        let frozen = e.freeze();
+        assert_eq!(frozen.edges.len(), edges);
+        e.unbind_edge(QueryEdgeId(150));
+        assert!(!e.is_complete());
+        assert!(!e.uses_data_edge(EdgeId(150)));
     }
 
     #[test]

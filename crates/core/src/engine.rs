@@ -49,6 +49,13 @@ pub struct EngineConfig {
     pub update_mode: UpdateMode,
     /// Optional external-memory tier (Section IV-A, Table III).
     pub spill: Option<SpillConfig>,
+    /// Route the batch pipeline through the **retained pre-optimisation hot
+    /// path** (`HashSet` frontier build + hashed masking + per-call
+    /// allocation in the enumeration kernels; see
+    /// [`crate::hot_path_baseline`]). Results are bit-identical to the
+    /// default dense path — this knob exists solely for the `hot_path_gate`
+    /// wall-clock A/B and the `hot_path` bench.
+    pub hot_path_baseline: bool,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +66,7 @@ impl Default for EngineConfig {
             recycle_edge_ids: true,
             update_mode: UpdateMode::default(),
             spill: None,
+            hot_path_baseline: false,
         }
     }
 }

@@ -14,6 +14,7 @@ use crate::debi::Debi;
 use crate::embedding::{EmbeddingSink, PartialEmbedding, Sign};
 use crate::filter::BottomUpPass;
 use crate::stats::EngineCounters;
+use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::Edge;
 use mnemonic_graph::ids::{EdgeId, QueryEdgeId};
 use mnemonic_graph::multigraph::StreamingGraph;
@@ -21,7 +22,6 @@ use mnemonic_query::masking::MaskTable;
 use mnemonic_query::matching_order::{MatchingOrder, MatchingOrderSet};
 use mnemonic_query::query_graph::QueryGraph;
 use mnemonic_query::query_tree::QueryTree;
-use std::collections::HashSet;
 
 /// One work unit: a batch data edge paired with the query edge it matches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,9 +51,10 @@ pub struct Enumerator<'a> {
     pub semantics: &'a dyn MatchSemantics,
     /// The masking table.
     pub mask: &'a MaskTable,
-    /// The ids of the edges in the current batch (for masking). Empty when
-    /// masking is disabled (e.g. from-scratch enumeration).
-    pub batch: &'a HashSet<EdgeId>,
+    /// The ids of the edges in the current batch (for masking), as a dense
+    /// bitset — every masking probe is a word index, never a hash. Empty
+    /// when masking is disabled (e.g. from-scratch enumeration).
+    pub batch: &'a DenseBitSet,
     /// Whether emitted embeddings are newly formed or removed.
     pub sign: Sign,
     /// Where completed embeddings go.
@@ -77,13 +78,25 @@ impl<'a> Enumerator<'a> {
     /// cheap tail back-fills the other workers. The order is deterministic
     /// (ties broken by edge id and start edge).
     pub fn decompose(&self, batch_edges: &[Edge]) -> Vec<WorkUnit> {
+        let mut units = Vec::new();
+        self.decompose_into(batch_edges, &mut units);
+        units
+    }
+
+    /// [`Enumerator::decompose`] into a caller-provided buffer: the new
+    /// units are appended and only that appended segment is sorted
+    /// heaviest-first (any pre-existing prefix is left untouched — callers
+    /// pooling several queries' units re-sort the pool themselves, as the
+    /// parallel enumeration stage does). Lets the per-batch pipeline recycle
+    /// its work-unit vector instead of allocating one per query per batch.
+    pub fn decompose_into(&self, batch_edges: &[Edge], units: &mut Vec<WorkUnit>) {
         let ctx = self.ctx();
         let bottom_up = BottomUpPass {
             graph: self.graph,
             tree: self.tree,
             debi: self.debi,
         };
-        let mut units = Vec::new();
+        let before = units.len();
         for &edge in batch_edges {
             for q in self.query.edge_ids() {
                 if !self.matcher.edge_matches(&ctx, q, &edge) {
@@ -107,15 +120,14 @@ impl<'a> Enumerator<'a> {
                 }
             }
         }
-        units.sort_by_cached_key(|unit| {
+        units[before..].sort_by_cached_key(|unit| {
             (
                 std::cmp::Reverse(self.unit_cost_estimate(unit)),
                 unit.edge.id,
                 unit.start,
             )
         });
-        EngineCounters::add(&self.counters.work_units, units.len() as u64);
-        units
+        EngineCounters::add(&self.counters.work_units, (units.len() - before) as u64);
     }
 
     /// Scheduling cost estimate of a work unit: the combined adjacency size
@@ -210,9 +222,13 @@ impl<'a> Enumerator<'a> {
             return;
         };
         let ctx = self.ctx();
-        let candidates = self.graph.edges_between(vs, vd);
-        EngineCounters::add(&self.counters.candidates_scanned, candidates.len() as u64);
-        for cand in candidates {
+        // The candidate scan streams straight off the adjacency list
+        // (edges_between_iter) instead of materialising a Vec per
+        // verification — this runs once per non-tree check per partial
+        // embedding, the hottest allocation site of the old path.
+        let mut scanned = 0u64;
+        for cand in self.graph.edges_between_iter(vs, vd) {
+            scanned += 1;
             if !self.matcher.edge_matches(&ctx, q, &cand) {
                 continue;
             }
@@ -232,6 +248,7 @@ impl<'a> Enumerator<'a> {
             self.verify_non_tree_list(order, embedding, pending, index + 1, next_step);
             embedding.unbind_edge(q);
         }
+        EngineCounters::add(&self.counters.candidates_scanned, scanned);
     }
 
     /// Extend the embedding with step `step_idx` of the matching order.
@@ -332,7 +349,7 @@ impl<'a> Enumerator<'a> {
         let Some(start) = order.start_edge() else {
             return false;
         };
-        self.mask.is_masked(start, q) && self.batch.contains(&edge)
+        self.mask.is_masked(start, q) && self.batch.contains(edge.index())
     }
 }
 
@@ -347,6 +364,7 @@ mod tests {
     use mnemonic_graph::builder::paper_example_graph;
     use mnemonic_graph::ids::{QueryVertexId, VertexId};
     use mnemonic_query::query_tree::paper_example_query;
+    use std::collections::HashSet;
 
     struct Fixture {
         graph: StreamingGraph,
@@ -393,7 +411,7 @@ mod tests {
         let f = fixture();
         let sink = CollectingSink::new();
         let counters = EngineCounters::new();
-        let batch = HashSet::new();
+        let batch = DenseBitSet::new();
         let enumerator = Enumerator {
             graph: &f.graph,
             query: &f.query,
@@ -437,7 +455,7 @@ mod tests {
         let counters = EngineCounters::new();
 
         let scratch_sink = CollectingSink::new();
-        let empty_batch = HashSet::new();
+        let empty_batch = DenseBitSet::new();
         Enumerator {
             graph: &f.graph,
             query: &f.query,
@@ -455,7 +473,7 @@ mod tests {
         .run_from_scratch();
 
         let batch_edges: Vec<Edge> = f.graph.live_edges().collect();
-        let batch_ids: HashSet<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
+        let batch_ids: DenseBitSet = batch_edges.iter().map(|e| e.id.index()).collect();
         let unit_sink = CollectingSink::new();
         let enumerator = Enumerator {
             graph: &f.graph,
@@ -522,7 +540,7 @@ mod tests {
         .run(&frontier, &candidacy, &debi, &counters, false);
 
         let mask = MaskTable::new(query.edge_count());
-        let batch_ids: HashSet<EdgeId> = new_edges.iter().map(|e| e.id).collect();
+        let batch_ids: DenseBitSet = new_edges.iter().map(|e| e.id.index()).collect();
         let sink = CollectingSink::new();
         let enumerator = Enumerator {
             graph: &graph,
@@ -550,7 +568,7 @@ mod tests {
         );
         // Every emitted embedding must use at least one batch edge.
         for e in &embeddings {
-            assert!(e.uses_any_edge(&batch_ids));
+            assert!(e.uses_any_edge_in(&batch_ids));
         }
     }
 }

@@ -65,6 +65,28 @@ impl VertexCandidacy {
         mask
     }
 
+    /// [`VertexCandidacy::recompute`] through the retained
+    /// per-call-allocating requirement checks (the pre-optimisation
+    /// candidacy kernel; `hot_path_gate` A/B only).
+    pub fn recompute_baseline(
+        &self,
+        graph: &StreamingGraph,
+        requirements: &QueryRequirements,
+        v: VertexId,
+    ) -> u64 {
+        let mut mask = 0u64;
+        for u in 0..requirements.len() {
+            if requirements
+                .for_vertex(QueryVertexId(u as u16))
+                .satisfied_by_baseline(graph, v)
+            {
+                mask |= 1u64 << u;
+            }
+        }
+        self.bits[v.index()].store(mask, Ordering::Relaxed);
+        mask
+    }
+
     /// The cached bitmask of `v` (0 for unknown vertices).
     #[inline]
     pub fn mask(&self, v: VertexId) -> u64 {

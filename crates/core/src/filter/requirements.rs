@@ -61,6 +61,36 @@ impl VertexRequirements {
         }
         true
     }
+
+    /// [`VertexRequirements::satisfied_by`] through the retained
+    /// per-call-allocating neighbour counts — the pre-optimisation candidacy
+    /// kernel, kept for the `hot_path_gate` wall-clock A/B.
+    pub fn satisfied_by_baseline(&self, graph: &StreamingGraph, v: VertexId) -> bool {
+        if !self.label.matches(graph.vertex_label(v)) {
+            return false;
+        }
+        for &(label, need) in &self.out_edge_labels {
+            if graph.out_label_count(v, label) < need {
+                return false;
+            }
+        }
+        for &(label, need) in &self.in_edge_labels {
+            if graph.in_label_count(v, label) < need {
+                return false;
+            }
+        }
+        for &(label, need) in &self.out_neighbor_labels {
+            if graph.out_neighbor_label_count_baseline(v, label) < need {
+                return false;
+            }
+        }
+        for &(label, need) in &self.in_neighbor_labels {
+            if graph.in_neighbor_label_count_baseline(v, label) < need {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 /// Requirements for every query vertex, indexed by query vertex id.

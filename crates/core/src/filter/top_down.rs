@@ -56,17 +56,49 @@ impl<'a> TopDownPass<'a> {
         counters: &EngineCounters,
         parallel: bool,
     ) {
+        self.run_impl(frontier, candidacy, debi, counters, parallel, false)
+    }
+
+    /// [`TopDownPass::run`] with the candidacy refresh routed through the
+    /// retained per-call-allocating kernels
+    /// ([`VertexCandidacy::recompute_baseline`]); identical results,
+    /// pre-optimisation cost profile. Selected by the session when
+    /// [`hot_path_baseline`](crate::engine::EngineConfig::hot_path_baseline)
+    /// is set.
+    pub fn run_baseline(
+        &self,
+        frontier: &UnifiedFrontier,
+        candidacy: &VertexCandidacy,
+        debi: &Debi,
+        counters: &EngineCounters,
+        parallel: bool,
+    ) {
+        self.run_impl(frontier, candidacy, debi, counters, parallel, true)
+    }
+
+    fn run_impl(
+        &self,
+        frontier: &UnifiedFrontier,
+        candidacy: &VertexCandidacy,
+        debi: &Debi,
+        counters: &EngineCounters,
+        parallel: bool,
+        baseline_candidacy: bool,
+    ) {
         let ctx = MatcherContext::new(self.graph, self.query);
 
         // Phase 1: refresh vertex candidacy (f2/f3) for affected vertices.
-        if parallel {
-            frontier.affected_vertices.par_iter().for_each(|&v| {
-                candidacy.recompute(self.graph, self.requirements, v);
-            });
-        } else {
-            for &v in &frontier.affected_vertices {
+        let refresh = |&v: &mnemonic_graph::ids::VertexId| {
+            if baseline_candidacy {
+                candidacy.recompute_baseline(self.graph, self.requirements, v);
+            } else {
                 candidacy.recompute(self.graph, self.requirements, v);
             }
+        };
+        if parallel {
+            frontier.affected_vertices.par_iter().for_each(refresh);
+        } else {
+            frontier.affected_vertices.iter().for_each(refresh);
         }
 
         // Phase 2: refresh the roots bit vector for affected vertices.

@@ -14,7 +14,30 @@
 //! * a per-tree-edge (per DEBI column) view of which batch edges match which
 //!   query edge, which seeds both the filtering order and the work units of
 //!   the enumeration phase.
+//!
+//! # Why bitsets are correct under slot recycling
+//!
+//! The dedup sets are [`DenseBitSet`]s keyed directly by the raw
+//! `EdgeId`/`VertexId` — the dense-id invariant of Section IV-A: ids are
+//! allocated contiguously from zero and a deleted edge's id (and DEBI row)
+//! is recycled for a later insertion out of the same source vertex. A bit
+//! keyed by edge id therefore never conflates two *live* edges — a slot has
+//! at most one live occupant — and it cannot conflate a live edge with a
+//! dead predecessor across batches either, because every per-batch set is
+//! rebuilt from that batch's edges (and the scratch sets are
+//! generation-cleared in O(1) before reuse). Within one batch a recycled
+//! slot also cannot alias: the deletion pipeline resolves and enumerates
+//! doomed edges *before* the graph update frees their slots, so no insertion
+//! of the same batch can reuse them.
+//!
+//! Frontier construction is on the per-batch hot path, so it is built
+//! through a reusable [`FrontierScratch`] (bitsets and vectors recycled
+//! across batches — zero steady-state allocations). The pre-optimisation
+//! `HashSet`-based construction is retained as
+//! [`UnifiedFrontier::build_hashset_baseline`] for the `hot_path_gate` A/B
+//! comparison, like `for_each_chunked` in the scheduling gate.
 
+use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::Edge;
 use mnemonic_graph::ids::{EdgeId, VertexId};
 use mnemonic_graph::multigraph::StreamingGraph;
@@ -25,8 +48,14 @@ use std::collections::HashSet;
 pub struct UnifiedFrontier {
     /// The batch edges (already materialised with their assigned ids).
     pub batch_edges: Vec<Edge>,
-    /// Ids of the batch edges, for O(1) membership tests during masking.
-    pub batch_edge_ids: HashSet<EdgeId>,
+    /// Ids of the batch edges as a dense bitset, for O(1) un-hashed
+    /// membership tests during masking.
+    pub batch_edge_ids: DenseBitSet,
+    /// The batch-edge ids as a `HashSet` — populated **only** by the
+    /// retained [`UnifiedFrontier::build_hashset_baseline`] path so the
+    /// baseline enumerator can reproduce the pre-optimisation masking
+    /// probes. `None` on the production path.
+    pub batch_edge_ids_hashed: Option<HashSet<EdgeId>>,
     /// Vertices whose candidacy must be recomputed (endpoints of batch
     /// edges), deduplicated.
     pub affected_vertices: Vec<VertexId>,
@@ -43,8 +72,33 @@ impl UnifiedFrontier {
     /// need it (their endpoints' degree profile changes); the initial bulk
     /// load can skip it because every edge of the graph is in the batch
     /// anyway.
+    ///
+    /// Convenience entry point for cold paths (tests, query registration):
+    /// allocates a throwaway [`FrontierScratch`]. The batch pipeline goes
+    /// through a session-owned scratch instead.
     pub fn build(graph: &StreamingGraph, batch_edges: Vec<Edge>, include_neighbors: bool) -> Self {
-        let batch_edge_ids: HashSet<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
+        let mut scratch = FrontierScratch::default();
+        let mut frontier = UnifiedFrontier {
+            batch_edges,
+            ..UnifiedFrontier::default()
+        };
+        scratch.fill(&mut frontier, graph, include_neighbors);
+        frontier
+    }
+
+    /// The retained pre-optimisation construction: dedup through
+    /// `std::collections::HashSet` membership tests, fresh allocations per
+    /// call, and [`UnifiedFrontier::batch_edge_ids_hashed`] populated so the
+    /// baseline enumerator masks through SipHash probes. Kept verbatim for
+    /// the `hot_path_gate` wall-clock A/B (the outputs are identical to
+    /// [`UnifiedFrontier::build`], element order included — the gate asserts
+    /// identical embedding counts on top).
+    pub fn build_hashset_baseline(
+        graph: &StreamingGraph,
+        batch_edges: Vec<Edge>,
+        include_neighbors: bool,
+    ) -> Self {
+        let batch_ids: HashSet<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
 
         let mut vertex_seen: HashSet<VertexId> = HashSet::with_capacity(batch_edges.len() * 2);
         let mut affected_vertices = Vec::new();
@@ -56,7 +110,7 @@ impl UnifiedFrontier {
             }
         }
 
-        let mut edge_seen: HashSet<EdgeId> = batch_edge_ids.clone();
+        let mut edge_seen: HashSet<EdgeId> = batch_ids.clone();
         let mut affected_edges: Vec<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
         if include_neighbors {
             for &v in &affected_vertices {
@@ -69,8 +123,9 @@ impl UnifiedFrontier {
         }
 
         UnifiedFrontier {
+            batch_edge_ids: batch_edges.iter().map(|e| e.id.index()).collect(),
             batch_edges,
-            batch_edge_ids,
+            batch_edge_ids_hashed: Some(batch_ids),
             affected_vertices,
             affected_edges,
         }
@@ -84,6 +139,109 @@ impl UnifiedFrontier {
     /// Whether the frontier carries no work.
     pub fn is_empty(&self) -> bool {
         self.batch_edges.is_empty()
+    }
+
+    /// Clear every component, retaining capacity for reuse.
+    fn reset(&mut self) {
+        self.batch_edges.clear();
+        self.batch_edge_ids.clear();
+        self.batch_edge_ids_hashed = None;
+        self.affected_vertices.clear();
+        self.affected_edges.clear();
+    }
+}
+
+/// Reusable construction state for [`UnifiedFrontier`]s: the dedup bitsets
+/// plus a pool of recycled frontier shells. One lives in every session's
+/// batch scratch; after a batch is sealed its frontiers return here, so the
+/// steady-state build touches no allocator.
+#[derive(Debug, Default)]
+pub struct FrontierScratch {
+    /// Dedup set for affected vertices (generation-cleared per build).
+    vertex_seen: DenseBitSet,
+    /// Dedup set for affected edges (generation-cleared per build).
+    edge_seen: DenseBitSet,
+    /// Recycled frontier shells with retained capacity.
+    spare: Vec<UnifiedFrontier>,
+}
+
+impl FrontierScratch {
+    /// Create an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a frontier over a *copy* of `batch_edges`, reusing a recycled
+    /// shell (the copy lands in retained capacity, so nothing allocates once
+    /// warm).
+    pub fn build_into(
+        &mut self,
+        graph: &StreamingGraph,
+        batch_edges: &[Edge],
+        include_neighbors: bool,
+    ) -> UnifiedFrontier {
+        let mut frontier = self.spare.pop().unwrap_or_default();
+        frontier.batch_edges.extend_from_slice(batch_edges);
+        self.fill(&mut frontier, graph, include_neighbors);
+        frontier
+    }
+
+    /// Return a frontier's buffers to the pool for the next batch. The pool
+    /// is capped: the steady state cycles at most two shells per batch (one
+    /// insert + one delete frontier), and frontiers built *outside* the
+    /// scratch (the retained `HashSet` baseline path allocates its own) must
+    /// not accumulate here forever.
+    pub fn recycle(&mut self, mut frontier: UnifiedFrontier) {
+        const MAX_SPARE: usize = 4;
+        if self.spare.len() < MAX_SPARE {
+            frontier.reset();
+            self.spare.push(frontier);
+        }
+    }
+
+    /// The shared construction core: dedup endpoints and affected edges of
+    /// `frontier.batch_edges` through the scratch bitsets. Produces exactly
+    /// the same element order as the retained
+    /// [`UnifiedFrontier::build_hashset_baseline`] — first-seen order over
+    /// the batch edges and their adjacency — which is what keeps every
+    /// downstream consumer deterministic.
+    fn fill(
+        &mut self,
+        frontier: &mut UnifiedFrontier,
+        graph: &StreamingGraph,
+        include_neighbors: bool,
+    ) {
+        self.vertex_seen.clear();
+        self.vertex_seen.ensure(graph.vertex_count());
+        self.edge_seen.clear();
+        self.edge_seen.ensure(graph.edge_id_bound());
+        frontier.batch_edge_ids.ensure(graph.edge_id_bound());
+
+        for edge in &frontier.batch_edges {
+            frontier.batch_edge_ids.insert(edge.id.index());
+            self.edge_seen.insert(edge.id.index());
+            frontier.affected_edges.push(edge.id);
+        }
+        for edge in &frontier.batch_edges {
+            for v in [edge.src, edge.dst] {
+                if self.vertex_seen.insert(v.index()) {
+                    frontier.affected_vertices.push(v);
+                }
+            }
+        }
+        if include_neighbors {
+            // Split borrows: the loop reads `affected_vertices` while pushing
+            // into `affected_edges`.
+            let affected_vertices = &frontier.affected_vertices;
+            let affected_edges = &mut frontier.affected_edges;
+            for &v in affected_vertices {
+                for entry in graph.outgoing(v).iter().chain(graph.incoming(v)) {
+                    if graph.is_alive(entry.edge) && self.edge_seen.insert(entry.edge.index()) {
+                        affected_edges.push(entry.edge);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -112,7 +270,8 @@ mod tests {
         let mut ids: Vec<u32> = frontier.affected_edges.iter().map(|e| e.0).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 2, 3]);
-        assert!(frontier.batch_edge_ids.contains(&EdgeId(1)));
+        assert!(frontier.batch_edge_ids.contains(EdgeId(1).index()));
+        assert!(!frontier.batch_edge_ids.contains(EdgeId(0).index()));
         assert_eq!(frontier.traversal_size(), 4);
     }
 
@@ -145,5 +304,51 @@ mod tests {
         let frontier = UnifiedFrontier::build(&graph, vec![], true);
         assert!(frontier.is_empty());
         assert_eq!(frontier.traversal_size(), 0);
+    }
+
+    #[test]
+    fn baseline_and_dense_builds_agree_exactly() {
+        let graph = chain_graph();
+        for include_neighbors in [false, true] {
+            for batch_ids in [vec![0u32], vec![1, 3], vec![0, 1, 2, 3]] {
+                let batch: Vec<Edge> = batch_ids
+                    .iter()
+                    .map(|&i| graph.edge(EdgeId(i)).unwrap())
+                    .collect();
+                let dense = UnifiedFrontier::build(&graph, batch.clone(), include_neighbors);
+                let baseline =
+                    UnifiedFrontier::build_hashset_baseline(&graph, batch, include_neighbors);
+                assert_eq!(dense.affected_vertices, baseline.affected_vertices);
+                assert_eq!(dense.affected_edges, baseline.affected_edges);
+                let hashed = baseline.batch_edge_ids_hashed.as_ref().unwrap();
+                for e in 0..graph.edge_id_bound() {
+                    assert_eq!(
+                        dense.batch_edge_ids.contains(e),
+                        hashed.contains(&EdgeId(e as u32)),
+                        "membership diverged for edge {e}"
+                    );
+                    assert_eq!(
+                        dense.batch_edge_ids.contains(e),
+                        baseline.batch_edge_ids.contains(e)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_recycling_reuses_shells_and_stays_correct() {
+        let graph = chain_graph();
+        let mut scratch = FrontierScratch::new();
+        for round in 0..3 {
+            let batch = vec![graph.edge(EdgeId(round % 4)).unwrap()];
+            let frontier = scratch.build_into(&graph, &batch, true);
+            assert_eq!(frontier.batch_edges.len(), 1);
+            assert!(frontier.batch_edge_ids.contains(batch[0].id.index()));
+            let unique: HashSet<_> = frontier.affected_edges.iter().collect();
+            assert_eq!(unique.len(), frontier.affected_edges.len());
+            scratch.recycle(frontier);
+        }
+        assert_eq!(scratch.spare.len(), 1, "one shell cycles through");
     }
 }

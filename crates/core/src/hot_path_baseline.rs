@@ -1,0 +1,348 @@
+//! The retained **pre-optimisation hot path**, kept for wall-clock A/B
+//! comparison — the `for_each_chunked` pattern applied to the allocation
+//! refactor: when an optimisation replaces a hot kernel, the old kernel is
+//! kept as a first-class, differentially-tested baseline so the win stays
+//! measurable (and honest) on every future box.
+//!
+//! [`BaselineEnumerator`] reproduces the enumeration inner loops as they
+//! were before the dense-bitset refactor:
+//!
+//! * batch masking probes a `HashSet<EdgeId>` (one SipHash per candidate)
+//!   instead of a [`DenseBitSet`](mnemonic_graph::bitset::DenseBitSet) word
+//!   test,
+//! * non-tree verification materialises a `Vec<Edge>` per check
+//!   ([`StreamingGraph::edges_between`]) instead of streaming the adjacency
+//!   entries,
+//! * the backtracking state is heap-allocated per work unit (the old
+//!   `Vec`-backed `PartialEmbedding`), boxed here since the inline-array
+//!   rewrite — deliberately *under*-counting the old path's two `Vec`
+//!   allocations per unit, so the measured baseline is conservative.
+//!
+//! Together with [`UnifiedFrontier::build_hashset_baseline`] this path is
+//! selected end-to-end by
+//! [`EngineConfig::hot_path_baseline`](crate::engine::EngineConfig); the
+//! `hot_path_gate` CI step runs the same stream through both paths, asserts
+//! identical per-query embedding counts, and gates on the dense path being
+//! ≥ 1.2× faster in batched-ingest wall-clock.
+//!
+//! [`UnifiedFrontier::build_hashset_baseline`]: crate::frontier::UnifiedFrontier::build_hashset_baseline
+
+use crate::api::{EdgeMatcher, MatchSemantics, MatcherContext};
+use crate::debi::Debi;
+use crate::embedding::{EmbeddingSink, PartialEmbedding, Sign};
+use crate::enumerate::WorkUnit;
+use crate::stats::EngineCounters;
+use mnemonic_graph::ids::{EdgeId, QueryEdgeId};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_query::masking::MaskTable;
+use mnemonic_query::matching_order::{MatchingOrder, MatchingOrderSet};
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_query::query_tree::QueryTree;
+use std::collections::HashSet;
+
+/// The pre-optimisation enumeration context: identical inputs to
+/// [`crate::enumerate::Enumerator`] except that batch masking goes through a
+/// hashed set. Work-unit decomposition is unchanged by the refactor, so the
+/// pipeline reuses the production `decompose` and only the per-unit
+/// backtracking runs through this type.
+pub struct BaselineEnumerator<'a> {
+    /// The data graph at enumeration time.
+    pub graph: &'a StreamingGraph,
+    /// The query graph.
+    pub query: &'a QueryGraph,
+    /// The query tree.
+    pub tree: &'a QueryTree,
+    /// Precomputed matching orders (one per start query edge).
+    pub orders: &'a MatchingOrderSet,
+    /// The DEBI index.
+    pub debi: &'a Debi,
+    /// The user's edge matcher.
+    pub matcher: &'a dyn EdgeMatcher,
+    /// The user's structural semantics.
+    pub semantics: &'a dyn MatchSemantics,
+    /// The masking table.
+    pub mask: &'a MaskTable,
+    /// The ids of the edges in the current batch, hashed (the retained
+    /// masking representation).
+    pub batch: &'a HashSet<EdgeId>,
+    /// Whether emitted embeddings are newly formed or removed.
+    pub sign: Sign,
+    /// Where completed embeddings go.
+    pub sink: &'a dyn EmbeddingSink,
+    /// Instrumentation counters.
+    pub counters: &'a EngineCounters,
+}
+
+impl<'a> BaselineEnumerator<'a> {
+    fn ctx(&self) -> MatcherContext<'a> {
+        MatcherContext::new(self.graph, self.query)
+    }
+
+    /// Run the backtracking search for one work unit — the pre-optimisation
+    /// kernel, heap state included.
+    pub fn run_work_unit(&self, unit: WorkUnit) {
+        let order = self.orders.for_start(unit.start);
+        let qe = self.query.edge(unit.start);
+        // The old path allocated its backtracking state per unit; box it so
+        // the retained baseline keeps paying (a conservative fraction of)
+        // that allocator toll.
+        let mut embedding = Box::new(PartialEmbedding::new(
+            self.query.vertex_count(),
+            self.query.edge_count(),
+        ));
+
+        if !self
+            .semantics
+            .edge_binding_allowed(&self.ctx(), &embedding, unit.start, &unit.edge)
+        {
+            return;
+        }
+        if !self
+            .semantics
+            .vertex_binding_allowed(&embedding, qe.src, unit.edge.src)
+        {
+            return;
+        }
+        embedding.bind_vertex(qe.src, unit.edge.src);
+        if qe.src != qe.dst {
+            if !self
+                .semantics
+                .vertex_binding_allowed(&embedding, qe.dst, unit.edge.dst)
+            {
+                return;
+            }
+            embedding.bind_vertex(qe.dst, unit.edge.dst);
+        } else if unit.edge.src != unit.edge.dst {
+            return;
+        }
+        embedding.bind_edge(unit.start, unit.edge.id);
+
+        self.verify_non_tree_list(order, &mut embedding, &order.initial_non_tree_checks, 0, 0);
+    }
+
+    fn verify_non_tree_list(
+        &self,
+        order: &MatchingOrder,
+        embedding: &mut PartialEmbedding,
+        pending: &[QueryEdgeId],
+        index: usize,
+        next_step: usize,
+    ) {
+        if index == pending.len() {
+            self.extend(order, embedding, next_step);
+            return;
+        }
+        let q = pending[index];
+        let qe = self.query.edge(q);
+        let (Some(vs), Some(vd)) = (embedding.vertex(qe.src), embedding.vertex(qe.dst)) else {
+            debug_assert!(false, "non-tree verification scheduled too early");
+            return;
+        };
+        let ctx = self.ctx();
+        // Retained: one Vec<Edge> materialised per non-tree verification.
+        let candidates = self.graph.edges_between(vs, vd);
+        EngineCounters::add(&self.counters.candidates_scanned, candidates.len() as u64);
+        for cand in candidates {
+            if !self.matcher.edge_matches(&ctx, q, &cand) {
+                continue;
+            }
+            if self.is_masked_edge(order, q, cand.id) {
+                continue;
+            }
+            if !self.semantics.allow_shared_data_edges() && embedding.uses_data_edge(cand.id) {
+                continue;
+            }
+            if !self
+                .semantics
+                .edge_binding_allowed(&ctx, embedding, q, &cand)
+            {
+                continue;
+            }
+            embedding.bind_edge(q, cand.id);
+            self.verify_non_tree_list(order, embedding, pending, index + 1, next_step);
+            embedding.unbind_edge(q);
+        }
+    }
+
+    fn extend(&self, order: &MatchingOrder, embedding: &mut PartialEmbedding, step_idx: usize) {
+        if step_idx == order.steps.len() {
+            if embedding.is_complete() {
+                self.sink.accept(embedding.freeze(), self.sign);
+                EngineCounters::add(&self.counters.embeddings_emitted, 1);
+            }
+            return;
+        }
+        let step = &order.steps[step_idx];
+        let te = step.tree_edge;
+        let column = self
+            .tree
+            .debi_column(te.child)
+            .expect("non-root child always has a column");
+        let anchor = embedding
+            .vertex(step.anchor_vertex)
+            .expect("anchor is bound by construction of the matching order");
+        let new_is_bound = embedding.vertex(step.new_vertex).is_some();
+        let ctx = self.ctx();
+
+        let anchor_is_parent = step.anchor_vertex == te.parent;
+        let scan_outgoing = anchor_is_parent == te.child_is_dst;
+        let entries = if scan_outgoing {
+            self.graph.outgoing(anchor)
+        } else {
+            self.graph.incoming(anchor)
+        };
+        EngineCounters::add(&self.counters.candidates_scanned, entries.len() as u64);
+
+        for entry in entries {
+            if !self.debi.get(entry.edge.index(), column) {
+                continue;
+            }
+            let Some(edge) = self.graph.edge(entry.edge) else {
+                continue;
+            };
+            let new_data_vertex = if step.new_vertex == te.child {
+                if te.child_is_dst {
+                    edge.dst
+                } else {
+                    edge.src
+                }
+            } else if te.child_is_dst {
+                edge.src
+            } else {
+                edge.dst
+            };
+            if new_is_bound {
+                if embedding.vertex(step.new_vertex) != Some(new_data_vertex) {
+                    continue;
+                }
+            } else if !self.semantics.vertex_binding_allowed(
+                embedding,
+                step.new_vertex,
+                new_data_vertex,
+            ) {
+                continue;
+            }
+            if self.is_masked_edge(order, te.query_edge, edge.id) {
+                continue;
+            }
+            if !self.semantics.allow_shared_data_edges() && embedding.uses_data_edge(edge.id) {
+                continue;
+            }
+            if !self
+                .semantics
+                .edge_binding_allowed(&ctx, embedding, te.query_edge, &edge)
+            {
+                continue;
+            }
+
+            let newly_bound = !new_is_bound;
+            if newly_bound {
+                embedding.bind_vertex(step.new_vertex, new_data_vertex);
+            }
+            embedding.bind_edge(te.query_edge, edge.id);
+            self.verify_non_tree_list(order, embedding, &step.verify_non_tree, 0, step_idx + 1);
+            embedding.unbind_edge(te.query_edge);
+            if newly_bound {
+                embedding.unbind_vertex(step.new_vertex);
+            }
+        }
+    }
+
+    /// The masking rule, probed through the retained hashed batch set.
+    fn is_masked_edge(&self, order: &MatchingOrder, q: QueryEdgeId, edge: EdgeId) -> bool {
+        let Some(start) = order.start_edge() else {
+            return false;
+        };
+        self.mask.is_masked(start, q) && self.batch.contains(&edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::LabelEdgeMatcher;
+    use crate::embedding::CollectingSink;
+    use crate::enumerate::Enumerator;
+    use crate::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
+    use crate::frontier::UnifiedFrontier;
+    use crate::variants::Isomorphism;
+    use mnemonic_graph::bitset::DenseBitSet;
+    use mnemonic_graph::builder::paper_example_graph;
+    use mnemonic_graph::edge::Edge;
+
+    /// The baseline kernel must emit exactly the embeddings of the
+    /// production kernel under masking (whole graph treated as one batch).
+    #[test]
+    fn baseline_and_dense_enumeration_agree() {
+        let graph = paper_example_graph();
+        let (query, tree) = mnemonic_query::query_tree::paper_example_query();
+        let orders = MatchingOrderSet::build(&query, &tree);
+        let requirements = QueryRequirements::build(&query);
+        let mut debi = Debi::new(tree.debi_width());
+        debi.ensure_rows(graph.edge_id_bound());
+        debi.ensure_roots(graph.vertex_count());
+        let mut candidacy = VertexCandidacy::new();
+        candidacy.ensure(graph.vertex_count());
+        let counters = EngineCounters::new();
+        let frontier = UnifiedFrontier::build(&graph, graph.live_edges().collect(), false);
+        TopDownPass {
+            graph: &graph,
+            query: &query,
+            tree: &tree,
+            matcher: &LabelEdgeMatcher,
+            requirements: &requirements,
+        }
+        .run(&frontier, &candidacy, &debi, &counters, false);
+        let mask = MaskTable::new(query.edge_count());
+
+        let batch_edges: Vec<Edge> = graph.live_edges().collect();
+        let dense_ids: DenseBitSet = batch_edges.iter().map(|e| e.id.index()).collect();
+        let hashed_ids: HashSet<EdgeId> = batch_edges.iter().map(|e| e.id).collect();
+
+        let dense_sink = CollectingSink::new();
+        let dense = Enumerator {
+            graph: &graph,
+            query: &query,
+            tree: &tree,
+            orders: &orders,
+            debi: &debi,
+            matcher: &LabelEdgeMatcher,
+            semantics: &Isomorphism,
+            mask: &mask,
+            batch: &dense_ids,
+            sign: Sign::Positive,
+            sink: &dense_sink,
+            counters: &counters,
+        };
+        let units = dense.decompose(&batch_edges);
+        for &unit in &units {
+            dense.run_work_unit(unit);
+        }
+
+        let baseline_sink = CollectingSink::new();
+        let baseline = BaselineEnumerator {
+            graph: &graph,
+            query: &query,
+            tree: &tree,
+            orders: &orders,
+            debi: &debi,
+            matcher: &LabelEdgeMatcher,
+            semantics: &Isomorphism,
+            mask: &mask,
+            batch: &hashed_ids,
+            sign: Sign::Positive,
+            sink: &baseline_sink,
+            counters: &counters,
+        };
+        for &unit in &units {
+            baseline.run_work_unit(unit);
+        }
+
+        let mut a = dense_sink.take_positive();
+        let mut b = baseline_sink.take_positive();
+        a.sort();
+        b.sort();
+        assert_eq!(a.len(), 2, "the paper example has two embeddings");
+        assert_eq!(a, b, "baseline and dense kernels must agree exactly");
+    }
+}

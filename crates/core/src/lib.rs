@@ -59,6 +59,7 @@ pub mod enumerate;
 pub mod error;
 pub mod filter;
 pub mod frontier;
+pub mod hot_path_baseline;
 pub mod parallel;
 pub mod pipeline;
 pub mod session;
@@ -76,7 +77,8 @@ pub use embedding::{
 pub use engine::{BatchResult, EngineConfig, Mnemonic};
 pub use enumerate::{Enumerator, WorkUnit};
 pub use error::MnemonicError;
-pub use frontier::UnifiedFrontier;
+pub use frontier::{FrontierScratch, UnifiedFrontier};
+pub use hot_path_baseline::BaselineEnumerator;
 pub use pipeline::DeltaBatch;
 pub use session::{
     MnemonicSession, QueryHandle, QueryId, ResultBatch, SessionBatchResult, SessionBuilder,

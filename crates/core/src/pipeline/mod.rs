@@ -35,12 +35,15 @@ mod stages;
 
 pub use stages::{DeletionResolve, Enumerate, Filtering, FrontierBuild, GraphUpdate};
 
-use crate::frontier::UnifiedFrontier;
+use crate::enumerate::WorkUnit;
+use crate::frontier::{FrontierScratch, UnifiedFrontier};
 use crate::stats::PhaseTimings;
+use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::Edge;
 use mnemonic_graph::ids::{EdgeId, Timestamp};
 use mnemonic_stream::event::StreamEvent;
 use mnemonic_stream::snapshot::Snapshot;
+use parking_lot::Mutex;
 
 /// One delta batch flowing through the staged update pipeline.
 ///
@@ -104,5 +107,88 @@ impl DeltaBatch {
     /// Whether the deletion half of the pipeline has anything to do.
     pub fn has_deletions(&self) -> bool {
         !self.deletions.is_empty() || self.evict_before.is_some()
+    }
+
+    /// Fill a (possibly recycled) batch from a snapshot's events: the same
+    /// construction as [`DeltaBatch::from_snapshot`] but appending into
+    /// retained capacity.
+    pub(crate) fn fill_from_snapshot(&mut self, snapshot: &Snapshot) {
+        self.snapshot_id = snapshot.id;
+        self.insertions.extend_from_slice(&snapshot.insertions);
+        self.deletions.extend_from_slice(&snapshot.deletions);
+        self.evict_before = snapshot.evict_before;
+    }
+
+    /// Clear every field while retaining buffer capacity, readying the batch
+    /// for recycling. The frontiers must already have been taken by the
+    /// caller (they recycle into the [`FrontierScratch`]).
+    pub(crate) fn reset(&mut self) {
+        debug_assert!(self.insert_frontier.is_none() && self.delete_frontier.is_none());
+        self.snapshot_id = 0;
+        self.insertions.clear();
+        self.deletions.clear();
+        self.evict_before = None;
+        self.inserted.clear();
+        self.doomed_ids.clear();
+        self.doomed_edges.clear();
+        self.deletions_applied = 0;
+        self.new_embeddings.clear();
+        self.removed_embeddings.clear();
+        self.timings = PhaseTimings::default();
+    }
+}
+
+/// Per-session reusable buffers for the batch hot path: frontier
+/// construction state, the pooled work-unit vectors of the enumeration
+/// stage, recycled [`DeltaBatch`] shells and the deletion-resolution dedup
+/// set. Allocated once per session (lazily, on the first batch) and
+/// recycled across batches, so the steady-state ingest path performs no
+/// per-batch heap allocation in these components — the invariant the
+/// `alloc_budget` tier-1 test pins down.
+///
+/// Interior mutability (cheap uncontended [`Mutex`]es, locked once per
+/// stage, never across a parallel section) keeps the public stage
+/// signatures on `&MnemonicSession` unchanged.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// Frontier dedup bitsets + recycled frontier shells.
+    pub(crate) frontier: Mutex<FrontierScratch>,
+    /// Work-unit buffers of the pooled enumeration stage.
+    pub(crate) units: Mutex<UnitScratch>,
+    /// Dedup set of [`DeletionResolve`].
+    pub(crate) resolve_seen: Mutex<DenseBitSet>,
+    /// Recycled batch shells with retained capacity.
+    spare_batches: Mutex<Vec<DeltaBatch>>,
+}
+
+/// The enumeration stage's reusable vectors.
+#[derive(Debug, Default)]
+pub(crate) struct UnitScratch {
+    /// All queries' work units, tagged with the owning query's index.
+    pub(crate) pooled: Vec<(usize, WorkUnit)>,
+    /// Per-query decomposition buffer.
+    pub(crate) per_query: Vec<WorkUnit>,
+}
+
+impl BatchScratch {
+    /// Take a recycled batch shell (or a fresh one on the cold path).
+    pub(crate) fn take_batch(&self) -> DeltaBatch {
+        self.spare_batches.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a sealed batch's buffers to the pool: its frontiers go back to
+    /// the [`FrontierScratch`], the shell to the spare list.
+    pub(crate) fn recycle_batch(&self, mut batch: DeltaBatch) {
+        {
+            let mut frontier = self.frontier.lock();
+            if let Some(f) = batch.insert_frontier.take() {
+                frontier.recycle(f);
+            }
+            if let Some(f) = batch.delete_frontier.take() {
+                frontier.recycle(f);
+            }
+        }
+        batch.reset();
+        self.spare_batches.lock().push(batch);
     }
 }

@@ -23,13 +23,13 @@ use crate::enumerate::{Enumerator, WorkUnit};
 use crate::error::MnemonicError;
 use crate::filter::TopDownPass;
 use crate::frontier::UnifiedFrontier;
+use crate::hot_path_baseline::BaselineEnumerator;
 use crate::parallel;
 use crate::session::{MnemonicSession, QueryState};
 use crate::stats::EngineCounters;
 use mnemonic_graph::edge::{Edge, EdgeTriple};
-use mnemonic_graph::ids::{EdgeId, Timestamp, WILDCARD_VERTEX_LABEL};
+use mnemonic_graph::ids::{Timestamp, WILDCARD_VERTEX_LABEL};
 use rayon::prelude::*;
-use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,8 +61,15 @@ impl GraphUpdate {
         batch: &mut DeltaBatch,
     ) -> Result<(), MnemonicError> {
         let start = Instant::now();
-        let mut inserted = Vec::with_capacity(batch.insertions.len());
-        for event in &batch.insertions {
+        // Materialise straight into the batch's (recycled) buffer.
+        let DeltaBatch {
+            insertions,
+            inserted,
+            ..
+        } = batch;
+        inserted.clear();
+        inserted.reserve(insertions.len());
+        for event in insertions.iter() {
             if event.src_label != WILDCARD_VERTEX_LABEL {
                 session.graph.set_vertex_label(event.src, event.src_label);
             }
@@ -94,7 +101,6 @@ impl GraphUpdate {
         for qs in &session.queries {
             EngineCounters::add(&qs.counters.insertions_applied, inserted.len() as u64);
         }
-        batch.inserted = inserted;
         batch.timings.graph_update += start.elapsed();
         Ok(())
     }
@@ -126,14 +132,14 @@ pub struct FrontierBuild;
 
 impl FrontierBuild {
     /// Build the insertion frontier over [`DeltaBatch::inserted`], filling
-    /// [`DeltaBatch::insert_frontier`].
+    /// [`DeltaBatch::insert_frontier`]. The production path builds through
+    /// the session's recycled [`crate::frontier::FrontierScratch`] (zero
+    /// steady-state allocations); with
+    /// [`hot_path_baseline`](crate::engine::EngineConfig::hot_path_baseline)
+    /// set it runs the retained `HashSet` construction instead.
     pub fn for_insertions(session: &MnemonicSession, batch: &mut DeltaBatch) {
         let start = Instant::now();
-        batch.insert_frontier = Some(UnifiedFrontier::build(
-            &session.graph,
-            batch.inserted.clone(),
-            true,
-        ));
+        batch.insert_frontier = Some(Self::build(session, &batch.inserted));
         batch.timings.frontier += start.elapsed();
     }
 
@@ -143,12 +149,20 @@ impl FrontierBuild {
     /// neighbourhood are still in the graph.
     pub fn for_deletions(session: &MnemonicSession, batch: &mut DeltaBatch) {
         let start = Instant::now();
-        batch.delete_frontier = Some(UnifiedFrontier::build(
-            &session.graph,
-            batch.doomed_edges.clone(),
-            true,
-        ));
+        batch.delete_frontier = Some(Self::build(session, &batch.doomed_edges));
         batch.timings.frontier += start.elapsed();
+    }
+
+    fn build(session: &MnemonicSession, batch_edges: &[Edge]) -> UnifiedFrontier {
+        if session.config.hot_path_baseline {
+            UnifiedFrontier::build_hashset_baseline(&session.graph, batch_edges.to_vec(), true)
+        } else {
+            session
+                .scratch
+                .frontier
+                .lock()
+                .build_into(&session.graph, batch_edges, true)
+        }
     }
 }
 
@@ -161,12 +175,20 @@ impl FrontierBuild {
 pub struct DeletionResolve;
 
 impl DeletionResolve {
-    /// Fill [`DeltaBatch::doomed_ids`] / [`DeltaBatch::doomed_edges`].
+    /// Fill [`DeltaBatch::doomed_ids`] / [`DeltaBatch::doomed_edges`]. The
+    /// already-chosen dedup set is a recycled [`DenseBitSet`]
+    /// (generation-cleared per batch) — resolution order and results are
+    /// identical to the historical `HashSet` version.
+    ///
+    /// [`DenseBitSet`]: mnemonic_graph::bitset::DenseBitSet
     pub fn run(session: &MnemonicSession, batch: &mut DeltaBatch) {
         let start = Instant::now();
         let graph = &session.graph;
-        let mut chosen: HashSet<EdgeId> = HashSet::new();
-        let mut out = Vec::new();
+        let mut chosen = session.scratch.resolve_seen.lock();
+        chosen.clear();
+        chosen.ensure(graph.edge_id_bound());
+        let out = &mut batch.doomed_ids;
+        out.clear();
         for event in &batch.deletions {
             // Pick the most recently inserted live instance not already
             // chosen by an earlier deletion in the same batch.
@@ -180,23 +202,25 @@ impl DeletionResolve {
                         .edge(eid)
                         .map(|e| e.label.matches(event.label))
                         .unwrap_or(false)
-                        && !chosen.contains(&eid)
+                        && !chosen.contains(eid.index())
                 })
                 .max_by_key(|&eid| (graph.edge(eid).map(|e| e.timestamp), eid));
             if let Some(eid) = candidate {
-                chosen.insert(eid);
+                chosen.insert(eid.index());
                 out.push(eid);
             }
         }
         if let Some(cutoff) = batch.evict_before {
             for eid in graph.edges_older_than(Timestamp(cutoff.0)) {
-                if chosen.insert(eid) {
+                if chosen.insert(eid.index()) {
                     out.push(eid);
                 }
             }
         }
-        batch.doomed_edges = out.iter().filter_map(|&id| graph.edge(id)).collect();
-        batch.doomed_ids = out;
+        batch.doomed_edges.clear();
+        batch
+            .doomed_edges
+            .extend(out.iter().filter_map(|&id| graph.edge(id)));
         batch.timings.frontier += start.elapsed();
     }
 }
@@ -240,6 +264,7 @@ impl Filtering {
         let graph = &session.graph;
         let pool = session.pool.as_ref();
         let parallel_enabled = session.config.parallel;
+        let baseline = session.config.hot_path_baseline;
         for qs in session.queries.iter_mut() {
             qs.ensure_capacity(graph);
             let pass = TopDownPass {
@@ -250,13 +275,23 @@ impl Filtering {
                 requirements: &qs.requirements,
             };
             parallel::install(pool, || {
-                pass.run(
-                    frontier,
-                    &qs.candidacy,
-                    &qs.debi,
-                    &qs.counters,
-                    parallel_enabled,
-                );
+                if baseline {
+                    pass.run_baseline(
+                        frontier,
+                        &qs.candidacy,
+                        &qs.debi,
+                        &qs.counters,
+                        parallel_enabled,
+                    );
+                } else {
+                    pass.run(
+                        frontier,
+                        &qs.candidacy,
+                        &qs.debi,
+                        &qs.counters,
+                        parallel_enabled,
+                    );
+                }
             });
         }
     }
@@ -301,15 +336,17 @@ impl Enumerate {
         run_enumeration_all(
             session,
             &batch.inserted,
-            &frontier.batch_edge_ids,
+            frontier,
             Sign::Positive,
             override_sink,
         );
-        batch.new_embeddings = emitted_counts(&session.queries)
-            .into_iter()
-            .zip(before)
-            .map(|(after, before)| after - before)
-            .collect();
+        batch.new_embeddings.clear();
+        batch.new_embeddings.extend(
+            emitted_counts(&session.queries)
+                .into_iter()
+                .zip(before)
+                .map(|(after, before)| after - before),
+        );
         batch.timings.enumeration += start.elapsed();
     }
 
@@ -327,15 +364,17 @@ impl Enumerate {
         run_enumeration_all(
             session,
             &batch.doomed_edges,
-            &frontier.batch_edge_ids,
+            frontier,
             Sign::Negative,
             override_sink,
         );
-        batch.removed_embeddings = emitted_counts(&session.queries)
-            .into_iter()
-            .zip(before)
-            .map(|(after, before)| after - before)
-            .collect();
+        batch.removed_embeddings.clear();
+        batch.removed_embeddings.extend(
+            emitted_counts(&session.queries)
+                .into_iter()
+                .zip(before)
+                .map(|(after, before)| after - before),
+        );
         batch.timings.enumeration += start.elapsed();
     }
 }
@@ -351,11 +390,15 @@ fn emitted_counts(queries: &[QueryState]) -> Vec<u64> {
 ///
 /// `override_sink`, when given, replaces every query's own result channel
 /// for this batch (used by the single-query [`crate::Mnemonic`] wrapper to
-/// keep its borrowed-sink API without buffering).
+/// keep its borrowed-sink API without buffering). Masking reads the
+/// frontier's dense batch-id set; with
+/// [`hot_path_baseline`](crate::engine::EngineConfig::hot_path_baseline) set
+/// the per-unit backtracking instead runs through the retained
+/// [`BaselineEnumerator`] over the frontier's hashed id set.
 fn run_enumeration_all(
     session: &MnemonicSession,
     batch_edges: &[Edge],
-    batch_ids: &HashSet<EdgeId>,
+    frontier: &UnifiedFrontier,
     sign: Sign,
     override_sink: Option<&dyn EmbeddingSink>,
 ) {
@@ -387,7 +430,7 @@ fn run_enumeration_all(
             matcher: qs.matcher.as_ref(),
             semantics: qs.semantics.as_ref(),
             mask: &qs.mask,
-            batch: batch_ids,
+            batch: &frontier.batch_edge_ids,
             sign,
             sink: override_sink.unwrap_or_else(|| {
                 attached[i]
@@ -397,6 +440,32 @@ fn run_enumeration_all(
             counters: &qs.counters,
         })
         .collect();
+    // The retained pre-optimisation kernels, constructed only in baseline
+    // mode (decomposition is shared — only per-unit backtracking differs).
+    let baseline_enumerators: Option<Vec<BaselineEnumerator<'_>>> =
+        session.config.hot_path_baseline.then(|| {
+            let hashed = frontier
+                .batch_edge_ids_hashed
+                .as_ref()
+                .expect("baseline frontier carries hashed batch ids");
+            enumerators
+                .iter()
+                .map(|e| BaselineEnumerator {
+                    graph: e.graph,
+                    query: e.query,
+                    tree: e.tree,
+                    orders: e.orders,
+                    debi: e.debi,
+                    matcher: e.matcher,
+                    semantics: e.semantics,
+                    mask: e.mask,
+                    batch: hashed,
+                    sign: e.sign,
+                    sink: e.sink,
+                    counters: e.counters,
+                })
+                .collect()
+        });
     // Embeddings routed into an attached sink bypass `QueryOutput`, so
     // account for them on the handle's lifetime counter via the emitted
     // deltas afterwards.
@@ -406,21 +475,30 @@ fn run_enumeration_all(
         None
     };
 
-    let mut pooled: Vec<(usize, WorkUnit)> = Vec::new();
+    // The pooled work-unit vectors are recycled across batches through the
+    // session scratch; the guards are dropped before the parallel section.
+    let (mut pooled, mut per_query) = {
+        let mut units = session.scratch.units.lock();
+        (
+            std::mem::take(&mut units.pooled),
+            std::mem::take(&mut units.per_query),
+        )
+    };
+    pooled.clear();
     for (qi, enumerator) in enumerators.iter().enumerate() {
-        pooled.extend(
-            enumerator
-                .decompose(batch_edges)
-                .into_iter()
-                .map(|u| (qi, u)),
-        );
+        per_query.clear();
+        enumerator.decompose_into(batch_edges, &mut per_query);
+        pooled.extend(per_query.iter().map(|&u| (qi, u)));
     }
 
     // Per-unit wall time is attributed to the owning query, so handles can
     // report their enumeration-time share of the batch.
     let run_unit = |qi: usize, unit: WorkUnit| {
         let t = Instant::now();
-        enumerators[qi].run_work_unit(unit);
+        match &baseline_enumerators {
+            Some(baseline) => baseline[qi].run_work_unit(unit),
+            None => enumerators[qi].run_work_unit(unit),
+        }
         queries[qi]
             .output
             .enumeration_nanos
@@ -444,9 +522,15 @@ fn run_enumeration_all(
             pooled.par_iter().for_each(|&(qi, unit)| run_unit(qi, unit));
         });
     } else {
-        for (qi, unit) in pooled {
+        for &(qi, unit) in &pooled {
             run_unit(qi, unit);
         }
+    }
+
+    {
+        let mut units = session.scratch.units.lock();
+        units.pooled = pooled;
+        units.per_query = per_query;
     }
 
     if let Some(before) = before {

@@ -61,9 +61,10 @@ use crate::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
 use crate::frontier::UnifiedFrontier;
 use crate::parallel;
 use crate::pipeline::{
-    DeletionResolve, DeltaBatch, Enumerate, Filtering, FrontierBuild, GraphUpdate,
+    BatchScratch, DeletionResolve, DeltaBatch, Enumerate, Filtering, FrontierBuild, GraphUpdate,
 };
 use crate::stats::{CounterSnapshot, EngineCounters, PhaseTimings, QueryStats};
+use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::Edge;
 use mnemonic_graph::multigraph::{GraphConfig, StreamingGraph};
 use mnemonic_graph::spill::{SpillConfig, SpillManager, SpillStats};
@@ -77,7 +78,6 @@ use mnemonic_stream::generator::SnapshotGenerator;
 use mnemonic_stream::snapshot::Snapshot;
 use mnemonic_stream::source::EventSource;
 use parking_lot::Mutex;
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -348,8 +348,8 @@ impl SessionBuilder {
 
 /// The buffered-ingest core shared by [`MnemonicSession`] and
 /// [`crate::shard::ShardedSession`]: events accumulate until the configured
-/// delta-batch size is reached, then drain into one [`Snapshot`] numbered by
-/// the caller's batch counter. Keeping the threshold check and the snapshot
+/// delta-batch size is reached, then drain into one [`DeltaBatch`] numbered
+/// by the caller's batch counter. Keeping the threshold check and the batch
 /// construction in one place is what guarantees the two executors produce
 /// identical batch boundaries for the same [`UpdateMode`] — the property the
 /// sharded/unsharded differential tests rely on.
@@ -378,12 +378,28 @@ impl PendingBuffer {
     }
 
     /// Drain the buffer into a snapshot with the given sequence number, or
-    /// `None` when nothing is buffered.
+    /// `None` when nothing is buffered. Used by the sharded executor, whose
+    /// broadcast genuinely needs one shareable snapshot value; the unsharded
+    /// flush path uses [`PendingBuffer::drain_into`] instead.
     pub(crate) fn take_snapshot(&mut self, id: u64) -> Option<Snapshot> {
         if self.events.is_empty() {
             None
         } else {
             Some(Snapshot::from_events(id, self.events.drain(..)))
+        }
+    }
+
+    /// Drain the buffered events straight into a (recycled) delta batch,
+    /// partitioned by kind exactly like [`Snapshot::from_events`] — the
+    /// allocation-free twin of [`PendingBuffer::take_snapshot`] used by the
+    /// `push_event` hot path.
+    pub(crate) fn drain_into(&mut self, batch: &mut DeltaBatch) {
+        for event in self.events.drain(..) {
+            if event.is_insert() {
+                batch.insertions.push(event);
+            } else {
+                batch.deletions.push(event);
+            }
         }
     }
 }
@@ -440,6 +456,10 @@ pub struct MnemonicSession {
     /// Events buffered by [`MnemonicSession::push_event`] until the delta
     /// batch fills up.
     pending: PendingBuffer,
+    /// Reusable per-batch buffers (frontier bitsets, work-unit pools,
+    /// recycled batch shells), allocated once and recycled across batches so
+    /// the steady-state ingest path stays off the allocator.
+    pub(crate) scratch: BatchScratch,
 }
 
 impl std::fmt::Debug for MnemonicSession {
@@ -495,6 +515,7 @@ impl MnemonicSession {
             snapshots_processed: 0,
             next_query_id: 0,
             pending: PendingBuffer::default(),
+            scratch: BatchScratch::default(),
         })
     }
 
@@ -792,45 +813,75 @@ impl MnemonicSession {
         snapshot: &Snapshot,
         override_sink: Option<&dyn EmbeddingSink>,
     ) -> Result<SessionBatchResult, MnemonicError> {
+        let mut batch = self.scratch.take_batch();
+        batch.fill_from_snapshot(snapshot);
+        self.apply_batch_inner(batch, override_sink)
+    }
+
+    /// Run one staged delta batch to completion, seal its outcome and
+    /// recycle its buffers. The batch typically comes out of the session
+    /// scratch with retained capacity, so the steady-state path allocates
+    /// nothing here. The buffers are recycled on the error path too, so the
+    /// warmed capacity survives an aborted batch.
+    fn apply_batch_inner(
+        &mut self,
+        mut batch: DeltaBatch,
+        override_sink: Option<&dyn EmbeddingSink>,
+    ) -> Result<SessionBatchResult, MnemonicError> {
         let before_counters: Vec<CounterSnapshot> =
             self.queries.iter().map(|q| q.counters.snapshot()).collect();
-        let mut batch = DeltaBatch::from_snapshot(snapshot);
 
+        let result = match self.run_batch_stages(&mut batch, override_sink) {
+            Ok(()) => {
+                self.snapshots_processed += 1;
+                self.total_timings.accumulate(&batch.timings);
+                Ok(self.seal_batch(&batch, &before_counters))
+            }
+            Err(e) => Err(e),
+        };
+        self.scratch.recycle_batch(batch);
+        result
+    }
+
+    /// The staged pipeline proper, shared by the success and error handling
+    /// of [`MnemonicSession::apply_batch_inner`].
+    fn run_batch_stages(
+        &mut self,
+        batch: &mut DeltaBatch,
+        override_sink: Option<&dyn EmbeddingSink>,
+    ) -> Result<(), MnemonicError> {
         // ---- batchInserts (Algorithm 2, lines 1-6), shared across queries ----
         if !batch.insertions.is_empty() {
-            GraphUpdate::apply_insertions(self, &mut batch)?;
-            FrontierBuild::for_insertions(self, &mut batch);
-            Filtering::insertions(self, &mut batch);
-            Enumerate::positive_with(self, &mut batch, override_sink);
+            GraphUpdate::apply_insertions(self, batch)?;
+            FrontierBuild::for_insertions(self, batch);
+            Filtering::insertions(self, batch);
+            Enumerate::positive_with(self, batch, override_sink);
         }
 
         // ---- batchDeletes (Algorithm 2, lines 7-12), shared resolution ----
         if batch.has_deletions() {
-            DeletionResolve::run(self, &mut batch);
+            DeletionResolve::run(self, batch);
             // The frontier is built before the graph is updated so the
             // deleted edges and their neighbourhood are captured.
-            FrontierBuild::for_deletions(self, &mut batch);
+            FrontierBuild::for_deletions(self, batch);
             if !batch.doomed_edges.is_empty() {
                 // Enumerate the disappearing embeddings against the
                 // pre-deletion state, then apply the deletions once and
                 // refresh the index (bottom-up then top-down in the paper;
                 // our single refresh pass covers the same affected region).
-                Enumerate::negative_with(self, &mut batch, override_sink);
-                GraphUpdate::apply_deletions(self, &mut batch);
-                Filtering::deletions(self, &mut batch);
+                Enumerate::negative_with(self, batch, override_sink);
+                GraphUpdate::apply_deletions(self, batch);
+                Filtering::deletions(self, batch);
             }
         }
-
-        self.snapshots_processed += 1;
-        self.total_timings.accumulate(&batch.timings);
-        Ok(self.seal_batch(batch, &before_counters))
+        Ok(())
     }
 
     /// Turn a fully staged [`DeltaBatch`] into the session's per-query
     /// outcome report.
     fn seal_batch(
         &self,
-        batch: DeltaBatch,
+        batch: &DeltaBatch,
         before_counters: &[CounterSnapshot],
     ) -> SessionBatchResult {
         let per_query = self
@@ -921,12 +972,16 @@ impl MnemonicSession {
         &mut self,
         override_sink: Option<&dyn EmbeddingSink>,
     ) -> Result<Option<SessionBatchResult>, MnemonicError> {
-        match self.pending.take_snapshot(self.snapshots_processed) {
-            None => Ok(None),
-            Some(snapshot) => self
-                .apply_snapshot_inner(&snapshot, override_sink)
-                .map(Some),
+        if self.pending.len() == 0 {
+            return Ok(None);
         }
+        // The buffered events drain straight into a recycled batch shell —
+        // no intermediate Snapshot, no per-flush allocation. Batch numbering
+        // matches the historical snapshot path exactly.
+        let mut batch = self.scratch.take_batch();
+        batch.snapshot_id = self.snapshots_processed;
+        self.pending.drain_into(&mut batch);
+        self.apply_batch_inner(batch, override_sink).map(Some)
     }
 
     /// Drive a raw event sequence through the batched update path: every
@@ -1026,7 +1081,7 @@ impl MnemonicSession {
             qs.output.sink.lock().clone()
         };
         let before = qs.counters.embeddings_emitted.load(Ordering::Relaxed);
-        let empty = HashSet::new();
+        let empty = DenseBitSet::new();
         let enumerator = Enumerator {
             graph: &self.graph,
             query: &qs.query,

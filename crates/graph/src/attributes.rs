@@ -5,7 +5,16 @@
 //! data structure indexed by their id" (Section II-A). Labels are the
 //! attributes every matcher needs, so they get dedicated dense vectors; any
 //! extra per-entity attributes (bytes transferred, port numbers, user names,
-//! ...) go into a sparse side table keyed by the same id.
+//! ...) go into a dense side table keyed by the same id.
+//!
+//! Attribute *names* are interned: each store maps every distinct name
+//! string to a dense [`AttrKey`] once, and per-entity attribute bags are
+//! small `(AttrKey, value)` lists. A matcher on the candidacy path
+//! pre-resolves its keys at query-registration time
+//! ([`VertexAttributeStore::resolve_key`] /
+//! [`EdgeAttributeStore::resolve_key`]) and then filters through
+//! [`attr_by_key`](EdgeAttributeStore::attr_by_key), which is a vector index
+//! plus a short linear scan — no string is hashed per edge.
 
 use crate::ids::{EdgeId, VertexId, VertexLabel, WILDCARD_VERTEX_LABEL};
 use serde::{Deserialize, Serialize};
@@ -51,14 +60,104 @@ impl AttrValue {
     }
 }
 
-/// A named bag of attributes attached to one vertex or edge.
-pub type AttrMap = HashMap<String, AttrValue>;
+/// Interned attribute name: a dense index into a store's name table.
+/// Resolve once at query-registration time, then look attributes up by key
+/// on the per-edge hot path without hashing the name string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrKey(pub u32);
 
-/// Dense vertex-label store plus sparse extra attributes.
+/// A named bag of attributes attached to one vertex or edge: a short
+/// association list keyed by interned [`AttrKey`]s. Entity attribute bags
+/// are tiny (a handful of fields per NetFlow/LANL event), so a linear scan
+/// beats any hashed structure and allocates nothing on lookup.
+pub type AttrMap = Vec<(AttrKey, AttrValue)>;
+
+/// The attribute-name interner shared by the entities of one store.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+struct KeyInterner {
+    /// Name of each key, indexed by the raw [`AttrKey`].
+    names: Vec<String>,
+    /// Reverse map used only by the string-keyed convenience API and by
+    /// interning itself — never on the per-edge path.
+    index: HashMap<String, u32>,
+}
+
+impl KeyInterner {
+    fn intern(&mut self, name: impl Into<String>) -> AttrKey {
+        let name = name.into();
+        if let Some(&raw) = self.index.get(&name) {
+            return AttrKey(raw);
+        }
+        let raw = self.names.len() as u32;
+        self.names.push(name.clone());
+        self.index.insert(name, raw);
+        AttrKey(raw)
+    }
+
+    fn resolve(&self, name: &str) -> Option<AttrKey> {
+        self.index.get(name).copied().map(AttrKey)
+    }
+
+    fn name(&self, key: AttrKey) -> Option<&str> {
+        self.names.get(key.0 as usize).map(String::as_str)
+    }
+}
+
+/// Dense per-entity attribute bags plus the shared name interner.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+struct AttrTable {
+    interner: KeyInterner,
+    /// One bag per entity id; empty bags cost one `Vec` header. Entity ids
+    /// are dense, so this is direct addressing, not hashing.
+    bags: Vec<AttrMap>,
+    /// Number of non-empty bags, maintained incrementally so `len()` stays
+    /// O(1) like the `HashMap`-backed store it replaced.
+    occupied: usize,
+}
+
+impl AttrTable {
+    fn set(&mut self, id: usize, key: AttrKey, value: AttrValue) {
+        if id >= self.bags.len() {
+            self.bags.resize_with(id + 1, Vec::new);
+        }
+        let bag = &mut self.bags[id];
+        self.occupied += bag.is_empty() as usize;
+        match bag.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => bag.push((key, value)),
+        }
+    }
+
+    fn get(&self, id: usize, key: AttrKey) -> Option<&AttrValue> {
+        self.bags
+            .get(id)?
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    fn clear_entity(&mut self, id: usize) {
+        if let Some(bag) = self.bags.get_mut(id) {
+            self.occupied -= (!bag.is_empty()) as usize;
+            bag.clear();
+        }
+    }
+
+    fn clear_all_bags(&mut self) {
+        self.bags.clear();
+        self.occupied = 0;
+    }
+
+    fn occupied(&self) -> usize {
+        self.occupied
+    }
+}
+
+/// Dense vertex-label store plus interned extra attributes.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct VertexAttributeStore {
     labels: Vec<VertexLabel>,
-    extra: HashMap<u32, AttrMap>,
+    extra: AttrTable,
 }
 
 impl VertexAttributeStore {
@@ -94,23 +193,49 @@ impl VertexAttributeStore {
             .unwrap_or(WILDCARD_VERTEX_LABEL)
     }
 
-    /// Attach an extra named attribute to `v`.
-    pub fn set_attr(&mut self, v: VertexId, key: impl Into<String>, value: AttrValue) {
-        self.extra.entry(v.0).or_default().insert(key.into(), value);
+    /// Intern an attribute name, returning its dense key. Idempotent; use at
+    /// query-registration time so hot-path lookups can go through
+    /// [`VertexAttributeStore::attr_by_key`].
+    pub fn intern_key(&mut self, name: impl Into<String>) -> AttrKey {
+        self.extra.interner.intern(name)
     }
 
-    /// Read an extra attribute of `v`.
+    /// Resolve an already-interned attribute name without interning it.
+    pub fn resolve_key(&self, name: &str) -> Option<AttrKey> {
+        self.extra.interner.resolve(name)
+    }
+
+    /// The name an [`AttrKey`] was interned from.
+    pub fn key_name(&self, key: AttrKey) -> Option<&str> {
+        self.extra.interner.name(key)
+    }
+
+    /// Attach an extra named attribute to `v`.
+    pub fn set_attr(&mut self, v: VertexId, key: impl Into<String>, value: AttrValue) {
+        let key = self.intern_key(key);
+        self.extra.set(v.index(), key, value);
+    }
+
+    /// Read an extra attribute of `v` by name (hashes the name once; use
+    /// [`VertexAttributeStore::attr_by_key`] on hot paths).
     pub fn attr(&self, v: VertexId, key: &str) -> Option<&AttrValue> {
-        self.extra.get(&v.0).and_then(|m| m.get(key))
+        self.extra.get(v.index(), self.resolve_key(key)?)
+    }
+
+    /// Read an extra attribute of `v` by pre-resolved key: a vector index
+    /// plus a short linear scan, no hashing.
+    #[inline]
+    pub fn attr_by_key(&self, v: VertexId, key: AttrKey) -> Option<&AttrValue> {
+        self.extra.get(v.index(), key)
     }
 }
 
-/// Sparse extra-attribute store for edges. Edge labels themselves live inside
-/// [`crate::edge::EdgeRecord`] because every matcher touches them on the hot
-/// path; this table only holds the optional long-tail attributes.
+/// Interned extra-attribute store for edges. Edge labels themselves live
+/// inside [`crate::edge::EdgeRecord`] because every matcher touches them on
+/// the hot path; this table only holds the optional long-tail attributes.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct EdgeAttributeStore {
-    extra: HashMap<u32, AttrMap>,
+    extra: AttrTable,
 }
 
 impl EdgeAttributeStore {
@@ -119,30 +244,66 @@ impl EdgeAttributeStore {
         Self::default()
     }
 
-    /// Number of edges carrying extra attributes.
+    /// Number of edges currently carrying extra attributes.
     pub fn len(&self) -> usize {
-        self.extra.len()
+        self.extra.occupied()
     }
 
-    /// Whether the store is empty.
+    /// Whether no edge carries extra attributes.
     pub fn is_empty(&self) -> bool {
-        self.extra.is_empty()
+        self.len() == 0
+    }
+
+    /// Intern an attribute name, returning its dense key. Idempotent; use at
+    /// query-registration time so hot-path lookups can go through
+    /// [`EdgeAttributeStore::attr_by_key`].
+    pub fn intern_key(&mut self, name: impl Into<String>) -> AttrKey {
+        self.extra.interner.intern(name)
+    }
+
+    /// Resolve an already-interned attribute name without interning it.
+    pub fn resolve_key(&self, name: &str) -> Option<AttrKey> {
+        self.extra.interner.resolve(name)
+    }
+
+    /// The name an [`AttrKey`] was interned from.
+    pub fn key_name(&self, key: AttrKey) -> Option<&str> {
+        self.extra.interner.name(key)
     }
 
     /// Attach an extra named attribute to edge `e`.
     pub fn set_attr(&mut self, e: EdgeId, key: impl Into<String>, value: AttrValue) {
-        self.extra.entry(e.0).or_default().insert(key.into(), value);
+        let key = self.intern_key(key);
+        self.extra.set(e.index(), key, value);
     }
 
-    /// Read an extra attribute of edge `e`.
+    /// Read an extra attribute of edge `e` by name (hashes the name once;
+    /// use [`EdgeAttributeStore::attr_by_key`] on hot paths).
     pub fn attr(&self, e: EdgeId, key: &str) -> Option<&AttrValue> {
-        self.extra.get(&e.0).and_then(|m| m.get(key))
+        self.extra.get(e.index(), self.resolve_key(key)?)
+    }
+
+    /// Read an extra attribute of edge `e` by pre-resolved key: a vector
+    /// index plus a short linear scan, no hashing — the candidacy-path
+    /// contract.
+    #[inline]
+    pub fn attr_by_key(&self, e: EdgeId, key: AttrKey) -> Option<&AttrValue> {
+        self.extra.get(e.index(), key)
     }
 
     /// Drop every extra attribute of edge `e`. Called when an edge slot is
-    /// recycled so the next occupant does not inherit stale attributes.
+    /// recycled so the next occupant does not inherit stale attributes; the
+    /// bag's capacity is retained for the recycled occupant.
     pub fn clear_edge(&mut self, e: EdgeId) {
-        self.extra.remove(&e.0);
+        self.extra.clear_entity(e.index());
+    }
+
+    /// Drop every edge's attributes while **keeping the key interner**:
+    /// [`AttrKey`]s resolved before the clear stay valid afterwards. This is
+    /// the periodic-reset path — matchers cache keys at query-registration
+    /// time, and a reset must not silently re-number them.
+    pub fn clear_all_retaining_keys(&mut self) {
+        self.extra.clear_all_bags();
     }
 }
 
@@ -192,6 +353,50 @@ mod tests {
         store.clear_edge(EdgeId(5));
         assert!(store.attr(EdgeId(5), "bytes").is_none());
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn interned_keys_resolve_without_hashing_on_lookup() {
+        let mut store = EdgeAttributeStore::new();
+        let bytes = store.intern_key("bytes");
+        assert_eq!(store.intern_key("bytes"), bytes, "interning is idempotent");
+        assert_eq!(store.resolve_key("bytes"), Some(bytes));
+        assert_eq!(store.resolve_key("port"), None);
+        assert_eq!(store.key_name(bytes), Some("bytes"));
+
+        store.set_attr(EdgeId(3), "bytes", AttrValue::Int(9));
+        assert_eq!(
+            store.attr_by_key(EdgeId(3), bytes).and_then(|a| a.as_int()),
+            Some(9)
+        );
+        assert!(store.attr_by_key(EdgeId(4), bytes).is_none());
+        // Overwriting in place keeps one entry per key.
+        store.set_attr(EdgeId(3), "bytes", AttrValue::Int(10));
+        assert_eq!(
+            store.attr_by_key(EdgeId(3), bytes).and_then(|a| a.as_int()),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn reset_clear_keeps_interned_keys_stable() {
+        let mut store = EdgeAttributeStore::new();
+        let bytes = store.intern_key("bytes");
+        let port = store.intern_key("port");
+        store.set_attr(EdgeId(0), "bytes", AttrValue::Int(1));
+        store.clear_all_retaining_keys();
+        assert!(store.is_empty());
+        assert!(store.attr_by_key(EdgeId(0), bytes).is_none());
+        // Keys resolved before the clear keep naming the same attribute:
+        // re-interning in a different order must not renumber them.
+        assert_eq!(store.intern_key("port"), port);
+        assert_eq!(store.intern_key("bytes"), bytes);
+        store.set_attr(EdgeId(3), "port", AttrValue::Int(443));
+        assert_eq!(
+            store.attr_by_key(EdgeId(3), port).and_then(|a| a.as_int()),
+            Some(443)
+        );
+        assert!(store.attr_by_key(EdgeId(3), bytes).is_none());
     }
 
     #[test]

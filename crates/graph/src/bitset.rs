@@ -1,0 +1,263 @@
+//! Dense bitsets over recycled id spaces.
+//!
+//! Every hot identifier in Mnemonic — `EdgeId`, `VertexId` — is *dense*: the
+//! substrate allocates ids contiguously from zero and recycles the slots of
+//! deleted edges (Section IV-A). That density is the whole reason DEBI can be
+//! a flat bitmap, yet the batch pipeline used to re-derive it through
+//! SipHash'd `HashSet` membership tests. [`DenseBitSet`] restores the O(1)
+//! direct-addressed contract for the transient per-batch sets (frontier
+//! dedup, batch-edge masking, deletion resolution):
+//!
+//! * `insert` / `contains` / `remove` are a word index plus a bit mask — no
+//!   hashing, no probing;
+//! * `clear` is O(1): every word carries a generation stamp, and clearing
+//!   just bumps the set's current generation, so a recycled set (or a
+//!   recycled id slot) costs nothing to reset;
+//! * iteration visits set bits in ascending id order, which keeps every
+//!   consumer deterministic — the property the differential and determinism
+//!   suites pin down.
+//!
+//! Correctness under id recycling: a recycled `EdgeId` is *the same index*
+//! as its dead predecessor, so a bitset keyed by edge id never aliases two
+//! live edges — at most one occupant of a slot is alive at a time, and the
+//! per-batch sets are rebuilt (or generation-cleared) before the next batch
+//! can observe a reused slot. See `crates/core/src/frontier.rs` for the
+//! pipeline-level argument.
+
+use serde::{Deserialize, Serialize};
+
+/// A growable bitset over dense `usize` indices with generation-stamped O(1)
+/// clearing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DenseBitSet {
+    /// Bit words; `words[i]` is only meaningful when `stamps[i] == epoch`.
+    words: Vec<u64>,
+    /// Generation stamp of each word; a stale stamp reads as an all-zero
+    /// word.
+    stamps: Vec<u32>,
+    /// Current generation. Bumped by [`DenseBitSet::clear`].
+    epoch: u32,
+    /// Number of set bits.
+    len: usize,
+}
+
+impl Default for DenseBitSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DenseBitSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        DenseBitSet {
+            words: Vec::new(),
+            stamps: Vec::new(),
+            epoch: 1,
+            len: 0,
+        }
+    }
+
+    /// Create an empty set covering indices below `bound` without further
+    /// growth.
+    pub fn with_capacity(bound: usize) -> Self {
+        let mut set = Self::new();
+        set.ensure(bound);
+        set
+    }
+
+    /// Make sure indices below `bound` are addressable without reallocation.
+    pub fn ensure(&mut self, bound: usize) {
+        let words = bound.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+            self.stamps.resize(words, 0);
+        }
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value of word `wi` under the current generation.
+    #[inline]
+    fn word(&self, wi: usize) -> u64 {
+        match self.stamps.get(wi) {
+            Some(&stamp) if stamp == self.epoch => self.words[wi],
+            _ => 0,
+        }
+    }
+
+    /// Whether `idx` is in the set.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.word(idx / 64) & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Insert `idx`, growing the set if needed. Returns `true` when the bit
+    /// was not set before (the `HashSet::insert` contract).
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        let wi = idx / 64;
+        if wi >= self.words.len() {
+            self.ensure(idx + 1);
+        }
+        if self.stamps[wi] != self.epoch {
+            self.stamps[wi] = self.epoch;
+            self.words[wi] = 0;
+        }
+        let mask = 1u64 << (idx % 64);
+        let fresh = self.words[wi] & mask == 0;
+        self.words[wi] |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Remove `idx`. Returns `true` when the bit was set.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        let wi = idx / 64;
+        if self.word(wi) & (1u64 << (idx % 64)) == 0 {
+            return false;
+        }
+        self.words[wi] &= !(1u64 << (idx % 64));
+        self.len -= 1;
+        true
+    }
+
+    /// Remove every bit in O(1) by bumping the generation; the capacity (and
+    /// therefore the zero-allocation steady state) is retained. On the rare
+    /// generation wrap-around the words are hard-cleared once.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Iterate over the set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.words.len()).flat_map(move |wi| {
+            let mut bits = self.word(wi);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for DenseBitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut set = DenseBitSet::new();
+        for idx in iter {
+            set.insert(idx);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut set = DenseBitSet::new();
+        assert!(set.is_empty());
+        assert!(!set.contains(0));
+        assert!(set.insert(5));
+        assert!(!set.insert(5), "double insert reports already-present");
+        assert!(set.insert(64));
+        assert!(set.insert(1000));
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(5) && set.contains(64) && set.contains(1000));
+        assert!(!set.contains(6) && !set.contains(63) && !set.contains(65));
+        assert!(set.remove(64));
+        assert!(!set.remove(64));
+        assert_eq!(set.len(), 2);
+        assert!(!set.contains(64));
+    }
+
+    #[test]
+    fn clear_is_generational_and_reusable() {
+        let mut set = DenseBitSet::with_capacity(256);
+        for i in [0usize, 63, 64, 200] {
+            set.insert(i);
+        }
+        set.clear();
+        assert!(set.is_empty());
+        for i in [0usize, 63, 64, 200] {
+            assert!(!set.contains(i), "bit {i} survived a clear");
+        }
+        // The cleared set is immediately reusable and stale words do not leak
+        // old bits into fresh inserts.
+        assert!(set.insert(63));
+        assert!(set.contains(63));
+        assert!(!set.contains(0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_ascending_and_generation_aware() {
+        let mut set = DenseBitSet::new();
+        for i in [300usize, 2, 150, 64, 3] {
+            set.insert(i);
+        }
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![2, 3, 64, 150, 300]);
+        set.clear();
+        assert_eq!(set.iter().count(), 0);
+        set.insert(7);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn epoch_wraparound_hard_clears() {
+        let mut set = DenseBitSet::with_capacity(64);
+        set.insert(3);
+        set.epoch = u32::MAX - 1;
+        set.stamps[0] = u32::MAX - 1; // keep bit 3 visible at the forced epoch
+        assert!(set.contains(3));
+        set.clear(); // epoch -> u32::MAX
+        set.insert(9);
+        set.clear(); // wrap: hard clear back to epoch 1
+        assert_eq!(set.epoch, 1);
+        assert!(set.is_empty());
+        assert!(!set.contains(3) && !set.contains(9));
+        set.insert(3);
+        assert!(set.contains(3));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let set: DenseBitSet = [1usize, 5, 5, 9].into_iter().collect();
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(1) && set.contains(5) && set.contains(9));
+    }
+
+    #[test]
+    fn out_of_range_queries_are_false() {
+        let set = DenseBitSet::new();
+        assert!(!set.contains(10_000));
+        let mut set = DenseBitSet::with_capacity(10);
+        set.insert(3);
+        assert!(!set.contains(9999));
+        assert!(!set.remove(9999));
+    }
+}

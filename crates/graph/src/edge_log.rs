@@ -14,7 +14,6 @@
 use crate::edge::Edge;
 use crate::ids::{EdgeId, EdgeLabel, Timestamp, VertexId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -76,16 +75,29 @@ pub struct EdgeLogStats {
 }
 
 /// Append-only edge log with a per-source-vertex offset index.
+///
+/// The offset indexes are dense vectors keyed by the raw vertex id (vertex
+/// ids are contiguous from zero), so the spill path's index maintenance
+/// never hashes on the per-edge hot path.
 #[derive(Debug)]
 pub struct EdgeLog {
     path: PathBuf,
     file: File,
-    /// Byte offsets of every record whose *source* vertex is the key.
-    by_src: HashMap<u32, Vec<u64>>,
-    /// Byte offsets of every record whose *destination* vertex is the key.
-    by_dst: HashMap<u32, Vec<u64>>,
+    /// Byte offsets of every record whose *source* vertex is the index.
+    by_src: Vec<Vec<u64>>,
+    /// Byte offsets of every record whose *destination* vertex is the index.
+    by_dst: Vec<Vec<u64>>,
     next_offset: u64,
     stats: EdgeLogStats,
+}
+
+/// Push `offset` onto the dense per-vertex offset list, growing the table to
+/// cover `v`.
+fn push_offset(table: &mut Vec<Vec<u64>>, v: VertexId, offset: u64) {
+    if v.index() >= table.len() {
+        table.resize_with(v.index() + 1, Vec::new);
+    }
+    table[v.index()].push(offset);
 }
 
 impl EdgeLog {
@@ -101,8 +113,8 @@ impl EdgeLog {
         Ok(EdgeLog {
             path,
             file,
-            by_src: HashMap::new(),
-            by_dst: HashMap::new(),
+            by_src: Vec::new(),
+            by_dst: Vec::new(),
             next_offset: 0,
             stats: EdgeLogStats::default(),
         })
@@ -153,14 +165,8 @@ impl EdgeLog {
         }
         let mut buf = BytesMut::with_capacity(records.len() * LOG_RECORD_BYTES);
         for record in records {
-            self.by_src
-                .entry(record.edge.src.0)
-                .or_default()
-                .push(self.next_offset);
-            self.by_dst
-                .entry(record.edge.dst.0)
-                .or_default()
-                .push(self.next_offset);
+            push_offset(&mut self.by_src, record.edge.src, self.next_offset);
+            push_offset(&mut self.by_dst, record.edge.dst, self.next_offset);
             record.encode(&mut buf);
             self.next_offset += LOG_RECORD_BYTES as u64;
         }
@@ -183,14 +189,14 @@ impl EdgeLog {
     /// "adjacency list in a single transaction" operation of the paper.
     pub fn fetch_outgoing(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
         self.stats.fetch_transactions += 1;
-        let offsets = self.by_src.get(&v.0).cloned().unwrap_or_default();
+        let offsets = self.by_src.get(v.index()).cloned().unwrap_or_default();
         offsets.into_iter().map(|o| self.read_at(o)).collect()
     }
 
     /// Fetch every spilled record whose destination vertex is `v`.
     pub fn fetch_incoming(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
         self.stats.fetch_transactions += 1;
-        let offsets = self.by_dst.get(&v.0).cloned().unwrap_or_default();
+        let offsets = self.by_dst.get(v.index()).cloned().unwrap_or_default();
         offsets.into_iter().map(|o| self.read_at(o)).collect()
     }
 

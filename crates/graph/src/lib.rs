@@ -10,7 +10,10 @@
 //!   [`EdgeId`], with O(1) insertion/deletion and edge-id
 //!   recycling so the placeholder count stays non-monotonic,
 //! * id-indexed [attribute stores](attributes) for vertex/edge labels and
-//!   long-tail attributes,
+//!   long-tail attributes (attribute names interned to dense
+//!   [`AttrKey`]s so hot-path lookups never hash a string),
+//! * [`DenseBitSet`] — a generation-stamped bitset over the dense id spaces,
+//!   replacing hashed membership sets on the batch hot path,
 //! * an append-only [transactional edge log](edge_log) plus a FIFO
 //!   [spill manager](spill) implementing the paper's external-memory tier,
 //! * [builders](builder) for assembling graphs in tests, examples and the
@@ -20,6 +23,7 @@
 
 pub mod adjacency;
 pub mod attributes;
+pub mod bitset;
 pub mod builder;
 pub mod edge;
 pub mod edge_log;
@@ -30,7 +34,8 @@ pub mod spill;
 pub mod stats;
 
 pub use adjacency::{AdjEntry, AdjacencyTable, VertexAdjacency};
-pub use attributes::{AttrValue, EdgeAttributeStore, VertexAttributeStore};
+pub use attributes::{AttrKey, AttrValue, EdgeAttributeStore, VertexAttributeStore};
+pub use bitset::DenseBitSet;
 pub use builder::{paper_example_graph, GraphBuilder};
 pub use edge::{Direction, Edge, EdgeRecord, EdgeTriple};
 pub use edge_log::{EdgeLog, EdgeLogStats, LogRecord};

@@ -15,12 +15,34 @@
 //!   from an empty graph.
 
 use crate::adjacency::{AdjEntry, AdjacencyTable};
-use crate::attributes::{AttrValue, EdgeAttributeStore, VertexAttributeStore};
+use crate::attributes::{AttrKey, AttrValue, EdgeAttributeStore, VertexAttributeStore};
 use crate::edge::{Edge, EdgeRecord, EdgeTriple};
 use crate::ids::{EdgeId, EdgeLabel, Timestamp, VertexId, VertexLabel};
 use crate::recycle::EdgeRecycler;
 use crate::stats::GraphStats;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable scratch for the distinct-neighbour counts below: the
+    /// candidacy refresh calls them once per affected vertex per batch, so a
+    /// heap allocation per call would dominate the filtering hot path. One
+    /// warm-up allocation per thread, zero afterwards.
+    static NEIGHBOR_SCRATCH: RefCell<Vec<VertexId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Count the distinct vertices in `neighbors` using the thread-local scratch
+/// (sort + dedup in place, allocation-free once warm).
+fn count_distinct(neighbors: impl Iterator<Item = VertexId>) -> usize {
+    NEIGHBOR_SCRATCH.with(|scratch| {
+        let mut seen = scratch.borrow_mut();
+        seen.clear();
+        seen.extend(neighbors);
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    })
+}
 
 /// Construction-time options of the streaming graph.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -143,9 +165,25 @@ impl StreamingGraph {
         self.vertex_attrs.set_attr(v, key, value);
     }
 
-    /// Read an extra attribute of a vertex.
+    /// Read an extra attribute of a vertex by name (hashes the name once;
+    /// matchers on the candidacy path should pre-resolve the key with
+    /// [`StreamingGraph::vertex_attr_key`] and use
+    /// [`StreamingGraph::vertex_attr_by_key`]).
     pub fn vertex_attr(&self, v: VertexId, key: &str) -> Option<&AttrValue> {
         self.vertex_attrs.attr(v, key)
+    }
+
+    /// Resolve a vertex-attribute name to its interned [`AttrKey`], if any
+    /// vertex ever carried it.
+    pub fn vertex_attr_key(&self, key: &str) -> Option<AttrKey> {
+        self.vertex_attrs.resolve_key(key)
+    }
+
+    /// Read an extra attribute of a vertex by pre-resolved key: no string is
+    /// hashed.
+    #[inline]
+    pub fn vertex_attr_by_key(&self, v: VertexId, key: AttrKey) -> Option<&AttrValue> {
+        self.vertex_attrs.attr_by_key(v, key)
     }
 
     /// Attach an extra attribute to an edge.
@@ -153,9 +191,26 @@ impl StreamingGraph {
         self.edge_attrs.set_attr(e, key, value);
     }
 
-    /// Read an extra attribute of an edge.
+    /// Read an extra attribute of an edge by name (hashes the name once;
+    /// matchers on the candidacy path should pre-resolve the key with
+    /// [`StreamingGraph::edge_attr_key`] and use
+    /// [`StreamingGraph::edge_attr_by_key`]).
     pub fn edge_attr(&self, e: EdgeId, key: &str) -> Option<&AttrValue> {
         self.edge_attrs.attr(e, key)
+    }
+
+    /// Resolve an edge-attribute name to its interned [`AttrKey`], if any
+    /// edge ever carried it. Resolve once at query-registration time so the
+    /// per-edge filtering path never hashes a `String`.
+    pub fn edge_attr_key(&self, key: &str) -> Option<AttrKey> {
+        self.edge_attrs.resolve_key(key)
+    }
+
+    /// Read an extra attribute of an edge by pre-resolved key: no string is
+    /// hashed.
+    #[inline]
+    pub fn edge_attr_by_key(&self, e: EdgeId, key: AttrKey) -> Option<&AttrValue> {
+        self.edge_attrs.attr_by_key(e, key)
     }
 
     /// Insert an edge described by `triple`; returns the id assigned to it.
@@ -277,14 +332,29 @@ impl StreamingGraph {
             .filter_map(move |entry| self.edge(entry.edge))
     }
 
-    /// All live edges between `src` and `dst` (parallel edges preserved).
-    pub fn edges_between(&self, src: VertexId, dst: VertexId) -> Vec<Edge> {
+    /// Iterate over all live edges between `src` and `dst` (parallel edges
+    /// preserved) without allocating. This is the non-tree verification hot
+    /// path of the enumerator — prefer it over
+    /// [`StreamingGraph::edges_between`] everywhere the result is consumed
+    /// immediately.
+    #[inline]
+    pub fn edges_between_iter(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+    ) -> impl Iterator<Item = Edge> + '_ {
         self.adjacency
             .outgoing(src)
             .iter()
-            .filter(|entry| entry.neighbor == dst)
+            .filter(move |entry| entry.neighbor == dst)
             .filter_map(|entry| self.edge(entry.edge))
-            .collect()
+    }
+
+    /// All live edges between `src` and `dst`, materialised. Convenience
+    /// wrapper over [`StreamingGraph::edges_between_iter`] for callers that
+    /// need an owned list.
+    pub fn edges_between(&self, src: VertexId, dst: VertexId) -> Vec<Edge> {
+        self.edges_between_iter(src, dst).collect()
     }
 
     /// Out-degree of `v` (live parallel edges counted individually).
@@ -308,8 +378,35 @@ impl StreamingGraph {
     }
 
     /// Count of distinct out-neighbours of `v` whose vertex label is
-    /// `neighbor_label` (rule f3).
+    /// `neighbor_label` (rule f3). Allocation-free once a thread's scratch is
+    /// warm — this runs once per affected vertex per batch.
     pub fn out_neighbor_label_count(&self, v: VertexId, neighbor_label: VertexLabel) -> usize {
+        count_distinct(
+            self.out_edges(v)
+                .map(|e| e.dst)
+                .filter(|&n| self.vertex_label(n).matches(neighbor_label)),
+        )
+    }
+
+    /// Count of distinct in-neighbours of `v` whose vertex label is
+    /// `neighbor_label` (rule f3). Allocation-free once a thread's scratch is
+    /// warm.
+    pub fn in_neighbor_label_count(&self, v: VertexId, neighbor_label: VertexLabel) -> usize {
+        count_distinct(
+            self.in_edges(v)
+                .map(|e| e.src)
+                .filter(|&n| self.vertex_label(n).matches(neighbor_label)),
+        )
+    }
+
+    /// Retained pre-optimisation implementation of
+    /// [`StreamingGraph::out_neighbor_label_count`]: allocates a fresh `Vec`
+    /// per call. Kept for the `hot_path_gate` wall-clock A/B only.
+    pub fn out_neighbor_label_count_baseline(
+        &self,
+        v: VertexId,
+        neighbor_label: VertexLabel,
+    ) -> usize {
         let mut seen: Vec<VertexId> = self
             .out_edges(v)
             .map(|e| e.dst)
@@ -320,9 +417,14 @@ impl StreamingGraph {
         seen.len()
     }
 
-    /// Count of distinct in-neighbours of `v` whose vertex label is
-    /// `neighbor_label` (rule f3).
-    pub fn in_neighbor_label_count(&self, v: VertexId, neighbor_label: VertexLabel) -> usize {
+    /// Retained pre-optimisation implementation of
+    /// [`StreamingGraph::in_neighbor_label_count`]: allocates a fresh `Vec`
+    /// per call. Kept for the `hot_path_gate` wall-clock A/B only.
+    pub fn in_neighbor_label_count_baseline(
+        &self,
+        v: VertexId,
+        neighbor_label: VertexLabel,
+    ) -> usize {
         let mut seen: Vec<VertexId> = self
             .in_edges(v)
             .map(|e| e.src)
@@ -368,7 +470,9 @@ impl StreamingGraph {
                 .ensure_vertex(VertexId(vertex_count as u32 - 1));
         }
         self.edges.clear();
-        self.edge_attrs = EdgeAttributeStore::new();
+        // Keep the attribute-name interner: matchers pre-resolve AttrKeys at
+        // query-registration time and those keys must survive a reset.
+        self.edge_attrs.clear_all_retaining_keys();
         self.recycler.clear();
         self.stats.live_edges = 0;
         self.stats.edge_placeholders = 0;

@@ -10,15 +10,19 @@
 
 use crate::ids::{EdgeId, VertexId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Free-list based edge-id recycler.
+///
+/// The free lists are indexed *densely* by source vertex id — vertex ids are
+/// contiguous from zero, so `acquire`/`release` are a bounds-checked vector
+/// index instead of a hashed probe. `insert_edge` sits on the per-event hot
+/// path, which is why this table is not a `HashMap`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EdgeRecycler {
     /// Per-source-vertex free lists of ids whose previous occupant was
-    /// deleted. LIFO so the most recently freed slot is reused first, which
-    /// keeps the touched id range compact.
-    per_vertex: HashMap<u32, Vec<EdgeId>>,
+    /// deleted, indexed by the raw vertex id. LIFO so the most recently
+    /// freed slot is reused first, which keeps the touched id range compact.
+    per_vertex: Vec<Vec<EdgeId>>,
     /// Whether recycling is enabled at all.
     enabled: bool,
     /// Number of ids currently parked on free lists.
@@ -38,7 +42,7 @@ impl EdgeRecycler {
     /// so the caller always allocates fresh slots.
     pub fn new(enabled: bool) -> Self {
         EdgeRecycler {
-            per_vertex: HashMap::new(),
+            per_vertex: Vec::new(),
             enabled,
             free_count: 0,
             reuse_count: 0,
@@ -55,7 +59,10 @@ impl EdgeRecycler {
         if !self.enabled {
             return;
         }
-        self.per_vertex.entry(src.0).or_default().push(id);
+        if src.index() >= self.per_vertex.len() {
+            self.per_vertex.resize_with(src.index() + 1, Vec::new);
+        }
+        self.per_vertex[src.index()].push(id);
         self.free_count += 1;
     }
 
@@ -66,11 +73,7 @@ impl EdgeRecycler {
         if !self.enabled {
             return None;
         }
-        let list = self.per_vertex.get_mut(&src.0)?;
-        let id = list.pop()?;
-        if list.is_empty() {
-            self.per_vertex.remove(&src.0);
-        }
+        let id = self.per_vertex.get_mut(src.index())?.pop()?;
         self.free_count -= 1;
         self.reuse_count += 1;
         Some(id)
@@ -88,8 +91,12 @@ impl EdgeRecycler {
 
     /// Drop all parked ids (used by the periodic-reset path: after a reset the
     /// edge table is rebuilt from scratch, so stale ids must not leak in).
+    /// The per-vertex list capacity is retained so post-reset ingest stays
+    /// allocation-free.
     pub fn clear(&mut self) {
-        self.per_vertex.clear();
+        for list in &mut self.per_vertex {
+            list.clear();
+        }
         self.free_count = 0;
     }
 }

@@ -1,0 +1,126 @@
+//! Property tests pinning the dense hot-path structures to their hashed
+//! reference models: [`DenseBitSet`] must be observationally equivalent to a
+//! `HashSet<usize>` under arbitrary insert/remove/clear/iterate
+//! interleavings, and the dense per-vertex [`EdgeRecycler`] must behave
+//! exactly like the `HashMap`-of-free-lists it replaced — including the
+//! full recycling round-trip through a [`StreamingGraph`].
+
+use mnemonic_graph::bitset::DenseBitSet;
+use mnemonic_graph::edge::EdgeTriple;
+use mnemonic_graph::ids::{EdgeId, EdgeLabel, VertexId};
+use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_graph::recycle::EdgeRecycler;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// One step of a bitset edit script: `op` selects insert/remove/clear/query,
+/// `idx` the target index (spanning several words plus the auto-grow range).
+fn bitset_script() -> impl Strategy<Value = Vec<(u32, usize)>> {
+    prop::collection::vec((0u32..8, 0usize..300), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `DenseBitSet` == `HashSet<usize>` under arbitrary interleavings. The
+    /// generational clear is the interesting part: a cleared-and-reused set
+    /// must not leak bits from any earlier generation.
+    #[test]
+    fn bitset_matches_hashset_model(script in bitset_script()) {
+        let mut dense = DenseBitSet::new();
+        let mut model: HashSet<usize> = HashSet::new();
+        for (op, idx) in script {
+            match op {
+                // Clear rarely (one op out of eight) so generations nest
+                // deep enough to matter.
+                0 => {
+                    dense.clear();
+                    model.clear();
+                }
+                1 | 2 => {
+                    prop_assert_eq!(dense.remove(idx), model.remove(&idx));
+                }
+                _ => {
+                    prop_assert_eq!(dense.insert(idx), model.insert(idx));
+                }
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            prop_assert_eq!(dense.contains(idx), model.contains(&idx));
+            prop_assert_eq!(dense.is_empty(), model.is_empty());
+        }
+        // Iteration yields exactly the model's members, in ascending order.
+        let mut expected: Vec<usize> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(dense.iter().collect::<Vec<_>>(), expected);
+    }
+
+    /// The dense `EdgeRecycler` == a `HashMap<vertex, Vec<EdgeId>>` model
+    /// under arbitrary release/acquire/clear interleavings (LIFO per source
+    /// vertex, strictly per-vertex ownership).
+    #[test]
+    fn recycler_matches_hashmap_model(script in prop::collection::vec((0u32..6, 0u32..12, 0u32..64), 1..100)) {
+        let mut dense = EdgeRecycler::new(true);
+        let mut model: HashMap<u32, Vec<EdgeId>> = HashMap::new();
+        let mut model_free = 0usize;
+        for (op, vertex, id) in script {
+            match op {
+                0 => {
+                    dense.clear();
+                    model.clear();
+                    model_free = 0;
+                }
+                1 | 2 => {
+                    let expected = model.get_mut(&vertex).and_then(|l| l.pop());
+                    model_free -= expected.is_some() as usize;
+                    prop_assert_eq!(dense.acquire(VertexId(vertex)), expected);
+                }
+                _ => {
+                    dense.release(VertexId(vertex), EdgeId(id));
+                    model.entry(vertex).or_default().push(EdgeId(id));
+                    model_free += 1;
+                }
+            }
+            prop_assert_eq!(dense.free_slots(), model_free);
+        }
+    }
+
+    /// Full recycling round-trip through the graph: random insert/delete
+    /// scripts never alias a live edge, every recycled id goes back to an
+    /// edge of the same source vertex, and the placeholder table stays
+    /// bounded by the insertion count.
+    #[test]
+    fn graph_recycling_roundtrip(script in prop::collection::vec((any::<bool>(), 0u32..6, 0u32..6, 0u16..2), 1..80)) {
+        let mut graph = StreamingGraph::new();
+        let mut live: Vec<EdgeId> = Vec::new();
+        let mut freed_by_src: HashMap<u32, Vec<EdgeId>> = HashMap::new();
+        for (insert, src, dst, label) in script {
+            if insert || live.is_empty() {
+                let id = graph.insert_edge(EdgeTriple::new(
+                    VertexId(src),
+                    VertexId(dst),
+                    EdgeLabel(label),
+                ));
+                prop_assert!(!live.contains(&id), "recycled id {id:?} still live");
+                // A reused id must come from this source vertex's free list,
+                // most recently freed first (the paper's LIFO contract).
+                let parked = freed_by_src.entry(src).or_default();
+                if let Some(pos) = parked.iter().position(|&e| e == id) {
+                    prop_assert_eq!(pos, parked.len() - 1, "recycling must be LIFO");
+                    parked.pop();
+                }
+                live.push(id);
+            } else {
+                let idx = (src as usize + dst as usize) % live.len();
+                let id = live.swap_remove(idx);
+                let edge = graph.edge(id).expect("live edge");
+                graph.delete_edge(id).unwrap();
+                freed_by_src.entry(edge.src.0).or_default().push(id);
+            }
+            prop_assert_eq!(graph.live_edge_count(), live.len());
+            prop_assert!(graph.placeholder_count() as u64 <= graph.stats().total_insertions);
+        }
+        for id in live {
+            prop_assert!(graph.is_alive(id));
+        }
+    }
+}

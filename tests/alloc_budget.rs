@@ -1,0 +1,162 @@
+//! Allocation-count regression test for the batch hot path.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase (graph growth, scratch-buffer sizing, thread-local warm-up) the
+//! steady-state per-batch ingest path must perform at most a fixed small
+//! number of heap allocations. This pins the PR-5 scratch-reuse work —
+//! recycled `DeltaBatch` shells, generation-cleared frontier bitsets,
+//! pooled work-unit vectors, inline backtracking state — so it cannot
+//! silently regress: reintroducing a per-edge, per-candidate or
+//! per-work-unit allocation (the pre-optimisation behaviour) costs hundreds
+//! to thousands of allocations per batch and trips the budget immediately.
+//!
+//! This file holds exactly one test so no concurrent test case can pollute
+//! the global counter.
+
+use mnemonic::core::api::LabelEdgeMatcher;
+use mnemonic::core::session::MnemonicSession;
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::query::patterns;
+use mnemonic::stream::event::StreamEvent;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting every allocation and reallocation.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Steady-state heap-allocation budget per ingested batch (64 events of
+/// insert/delete churn, two standing queries). The measured steady state is
+/// ~12 allocations — per-batch outcome reporting (`SessionBatchResult`,
+/// counter snapshots, per-query vectors) and the work-unit sort's key cache
+/// — all independent of batch size, candidate count and work-unit count.
+/// The budget leaves ~4× headroom for toolchain noise while staying far
+/// below the cost of any reintroduced per-edge or per-unit allocation.
+const PER_BATCH_BUDGET: u64 = 48;
+
+/// Insert/delete churn over a fixed 16-vertex ring: each round inserts 32
+/// ring edges and then deletes them again, so after warm-up the graph's
+/// placeholder table, adjacency capacity, DEBI rows and recycler free lists
+/// all stop growing — every later batch exercises the pure steady state.
+fn churn_events(rounds: usize) -> Vec<StreamEvent> {
+    let mut events = Vec::new();
+    for round in 0..rounds {
+        for i in 0..32u32 {
+            let (src, dst) = (i % 16, (i + 1) % 16);
+            events.push(StreamEvent::insert(src, dst, 0).at((round * 64 + i as usize) as u64));
+        }
+        for i in 0..32u32 {
+            let (src, dst) = (i % 16, (i + 1) % 16);
+            events.push(StreamEvent::delete(src, dst, 0).at((round * 64 + 32 + i as usize) as u64));
+        }
+    }
+    events
+}
+
+#[test]
+fn steady_state_batches_stay_within_allocation_budget() {
+    let mut session = MnemonicSession::builder()
+        .sequential()
+        .batch_size(64)
+        .build()
+        .expect("valid config");
+    // Two standing queries so the pooled enumeration path (per-query
+    // decomposition, unit tagging, masking, backtracking) is exercised.
+    // Both are chosen to *enumerate without completing*: the 16-ring matches
+    // the triangle's degree profile (so DEBI fills, work units spawn and
+    // backtracking runs every batch) but contains no triangle, and the
+    // labelled path uses labels absent from the stream. Completed embeddings
+    // are deliberately zero because materialising a result
+    // (`CompleteEmbedding`) allocates by design — this test pins the
+    // *pipeline's* allocations, which must not scale with batch size,
+    // candidates or work units.
+    let triangle = session
+        .register_query(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .expect("connected query");
+    let w = mnemonic::graph::ids::WILDCARD_VERTEX_LABEL.0;
+    session
+        .register_query(
+            patterns::labelled_path(&[w, w, w], &[7, 7]),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .expect("connected query");
+
+    // Warm-up: grow the graph, size every scratch buffer, warm the
+    // thread-local candidacy scratch, fill the recycler free lists.
+    for event in churn_events(8) {
+        session.push_event(event).expect("warm-up ingest succeeds");
+    }
+
+    // Steady state: every batch recycles what the warm-up allocated.
+    const MEASURED_BATCHES: usize = 16;
+    let events = churn_events(MEASURED_BATCHES);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut batches = 0u64;
+    for event in events {
+        if session
+            .push_event(event)
+            .expect("steady-state ingest succeeds")
+            .is_some()
+        {
+            batches += 1;
+        }
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(batches, MEASURED_BATCHES as u64, "one flush per 64 events");
+    let per_batch = allocations / batches;
+    assert!(
+        per_batch <= PER_BATCH_BUDGET,
+        "steady-state batch path allocated {per_batch} times per batch \
+         ({allocations} over {batches} batches); budget is {PER_BATCH_BUDGET}. \
+         A per-edge/per-candidate/per-work-unit allocation crept back into \
+         the hot path — see crates/core/src/pipeline (BatchScratch) and \
+         crates/core/src/frontier.rs (FrontierScratch)."
+    );
+
+    // The fixture must genuinely exercise the enumeration hot path — work
+    // units spawned and backtracked every round — not an idle pipeline.
+    assert!(
+        triangle.counters().work_units > 0,
+        "the ring churn must keep spawning triangle work units"
+    );
+    assert_eq!(
+        triangle.accepted(),
+        0,
+        "the fixture is constructed to complete no embeddings"
+    );
+    assert!(
+        session.snapshots_processed() >= 24,
+        "the fixture must actually ingest batches"
+    );
+}
