@@ -65,6 +65,12 @@ if [ "$quick" != "quick" ]; then
     # measures a real single-thread wall-clock win on this box (see
     # crates/bench/src/bin/hot_path_gate.rs).
     gate_step cargo run --release -q -p mnemonic-bench --bin hot_path_gate
+    # Rebalance smoke check: starting from an adversarial static placement
+    # that stacks both heavy queries on one shard, the weight-aware
+    # scheduler must auto-migrate to a placement with >= 1.25x better
+    # projected makespan while keeping per-query embedding counts identical
+    # to an unsharded oracle (see crates/bench/src/bin/rebalance_gate.rs).
+    gate_step cargo run --release -q -p mnemonic-bench --bin rebalance_gate
 fi
 
 step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

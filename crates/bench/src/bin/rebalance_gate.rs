@@ -1,0 +1,199 @@
+//! CI rebalance gate: on the *skewed* 8-query workload — both
+//! enumeration-heavy wildcard paths stacked onto shard 0 by a naive static
+//! `i % 4` placement — a 4-shard [`ShardedSession`] running under a
+//! [`RebalancePolicy`] must (a) report per-query embedding counts identical
+//! to an unsharded session (exactness survives live migration), (b) actually
+//! trigger at least one automatic rebalance, and (c) end with a placement
+//! whose projected makespan beats the static placement by at least 1.25×.
+//!
+//! Makespans are *projected* from the oracle run's measured per-query
+//! enumeration times (this box is single-core, so wall-clock speedups are
+//! unobservable — see the shard_gate rationale): a plan's makespan is the
+//! maximum over shards of the summed enumeration times of the queries it
+//! hosts. The static plan stacks the two heavies (≈ 2H on shard 0); any
+//! placement that separates them roughly halves that, so 1.25× is a
+//! conservative floor that still fails if the scheduler never moves a query
+//! or moves the wrong one.
+//!
+//! Exit status 0 = all gates passed; 1 = a gate failed.
+//!
+//! ```text
+//! cargo run --release -p mnemonic-bench --bin rebalance_gate
+//! ```
+//!
+//! [`ShardedSession`]: mnemonic_core::shard::ShardedSession
+//! [`RebalancePolicy`]: mnemonic_core::rebalance::RebalancePolicy
+
+use mnemonic_bench::workloads::{scaled_netflow, skewed_shard_query_set, WorkloadScale};
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::engine::EngineConfig;
+use mnemonic_core::rebalance::RebalancePolicy;
+use mnemonic_core::session::{MnemonicSession, QueryHandle};
+use mnemonic_core::shard::ShardedSession;
+use mnemonic_core::variants::Isomorphism;
+use mnemonic_stream::event::StreamEvent;
+use std::time::Duration;
+
+/// Number of shards under test.
+const SHARDS: usize = 4;
+/// Number of standing queries in the gate workload.
+const QUERIES: usize = 8;
+/// Delta-batch size shared by every configuration.
+const BATCH: usize = 512;
+/// Gate: the rebalanced plan's projected makespan must beat the static
+/// `i % SHARDS` plan's by at least this factor.
+const MIN_MAKESPAN_GAIN: f64 = 1.25;
+/// Runs of the oracle; median per-query enumeration times are compared.
+const RUNS: usize = 3;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        num_threads: 1,
+        parallel: false,
+        ..EngineConfig::with_batch_size(BATCH)
+    }
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Unsharded oracle run: per-query accepted counts and per-query measured
+/// enumeration times, in registration order.
+fn run_oracle(events: &[StreamEvent]) -> (Vec<u64>, Vec<Duration>) {
+    let mut session = MnemonicSession::new(config()).expect("valid gate configuration");
+    let handles: Vec<QueryHandle> = skewed_shard_query_set(QUERIES)
+        .into_iter()
+        .map(|q| {
+            session
+                .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        })
+        .collect();
+    session
+        .run_events(events.iter().copied())
+        .expect("gate replay succeeds");
+    session.finish().expect("finish succeeds");
+    (
+        handles.iter().map(|h| h.accepted()).collect(),
+        handles.iter().map(|h| h.enumeration_time()).collect(),
+    )
+}
+
+/// Sharded run starting from the adversarial static placement. Returns the
+/// per-query accepted counts, the final placement (query `i` → shard), and
+/// the number of automatic rebalances that fired.
+fn run_sharded(events: &[StreamEvent]) -> (Vec<u64>, Vec<usize>, u64) {
+    let mut session = ShardedSession::builder()
+        .shards(SHARDS)
+        .sequential()
+        .config(config())
+        .rebalance_policy(RebalancePolicy {
+            imbalance_threshold: 1.5,
+            window: 2,
+            ewma_alpha: 0.4,
+        })
+        .build()
+        .expect("valid gate configuration");
+    let handles: Vec<QueryHandle> = skewed_shard_query_set(QUERIES)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            session
+                .register_query_on_shard(
+                    q,
+                    i % SHARDS,
+                    Box::new(LabelEdgeMatcher),
+                    Box::new(Isomorphism),
+                )
+                .expect("connected query")
+        })
+        .collect();
+    session
+        .run_events(events.iter().copied())
+        .expect("gate replay succeeds");
+    let placement = handles
+        .iter()
+        .map(|h| session.shard_of(h).expect("registered query has a shard"))
+        .collect();
+    let rebalances = session.rebalance_count();
+    session.finish().expect("finish succeeds");
+    (
+        handles.iter().map(|h| h.accepted()).collect(),
+        placement,
+        rebalances,
+    )
+}
+
+/// Projected makespan of `placement` given measured per-query solo
+/// enumeration times: max over shards of the summed times of its queries.
+fn makespan(placement: &[usize], times: &[Duration]) -> Duration {
+    let mut per_shard = vec![Duration::ZERO; SHARDS];
+    for (q, &shard) in placement.iter().enumerate() {
+        per_shard[shard] += times[q];
+    }
+    per_shard.into_iter().max().unwrap_or(Duration::ZERO)
+}
+
+fn main() {
+    let events = scaled_netflow(&WorkloadScale::tiny());
+
+    let mut oracle_counts = Vec::new();
+    let mut time_runs: Vec<Vec<Duration>> = (0..QUERIES).map(|_| Vec::new()).collect();
+    for _ in 0..RUNS {
+        let (counts, times) = run_oracle(&events);
+        oracle_counts = counts;
+        for (q, t) in times.into_iter().enumerate() {
+            time_runs[q].push(t);
+        }
+    }
+    let times: Vec<Duration> = time_runs.into_iter().map(median).collect();
+
+    let (sharded_counts, final_placement, rebalances) = run_sharded(&events);
+
+    let static_placement: Vec<usize> = (0..QUERIES).map(|i| i % SHARDS).collect();
+    let static_makespan = makespan(&static_placement, &times);
+    let final_makespan = makespan(&final_placement, &times);
+    let gain = static_makespan.as_secs_f64() / final_makespan.as_secs_f64().max(1e-9);
+
+    println!(
+        "rebalance_gate: {} events, {QUERIES} skewed queries over {SHARDS} shards, batch {BATCH}, per-query embeddings {sharded_counts:?}",
+        events.len(),
+    );
+    for (q, t) in times.iter().enumerate() {
+        println!(
+            "  query {q}: solo enumeration {t:>10.3?}, static shard {}, final shard {}",
+            static_placement[q], final_placement[q]
+        );
+    }
+    println!("  automatic rebalances                 : {rebalances:>12}");
+    println!("  projected makespan, static placement : {static_makespan:>12.3?}");
+    println!("  projected makespan, final placement  : {final_makespan:>12.3?}");
+    println!(
+        "  makespan gain (static/final)         : {gain:>12.2}x  (gate: >= {MIN_MAKESPAN_GAIN}x)"
+    );
+    println!("gate-ratio: rebalance {gain:.2}x (floor {MIN_MAKESPAN_GAIN}x)");
+
+    let mut failed = false;
+    if sharded_counts != oracle_counts {
+        eprintln!(
+            "GATE FAILED: rebalanced sharded counts {sharded_counts:?} diverge from oracle {oracle_counts:?}"
+        );
+        failed = true;
+    }
+    if rebalances == 0 {
+        eprintln!("GATE FAILED: the rebalance policy never fired on a 2x-skewed shard");
+        failed = true;
+    }
+    if gain < MIN_MAKESPAN_GAIN {
+        eprintln!(
+            "GATE FAILED: rebalanced placement projects only {gain:.2}x better makespan (need {MIN_MAKESPAN_GAIN}x)"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("rebalance_gate: all gates passed");
+}

@@ -140,6 +140,7 @@ impl SkewFixture {
             semantics: &Isomorphism,
             mask: &self.mask,
             batch: &self.batch,
+            exclude: None,
             sign: Sign::Positive,
             sink,
             counters,

@@ -128,8 +128,9 @@ pub fn multi_query_set(k: usize) -> Vec<QueryGraph> {
 /// (triangle, dual triangle, rectangle) with cheap label-selective paths —
 /// the projected-makespan gate measures how well the partition balances, so
 /// the workload must not stack every heavy query onto one shard by
-/// construction. (Weight-aware placement in `ShardPlan` is the follow-up
-/// that would make the ordering irrelevant.)
+/// construction. (Weight-aware placement now seeds from static pattern
+/// cost, and [`skewed_shard_query_set`] covers the adversarial ordering the
+/// `rebalance_gate` corrects at runtime.)
 pub fn shard_query_set(k: usize) -> Vec<QueryGraph> {
     let w = mnemonic_graph::ids::WILDCARD_VERTEX_LABEL.0;
     let base = [
@@ -139,6 +140,29 @@ pub fn shard_query_set(k: usize) -> Vec<QueryGraph> {
         patterns::labelled_path(&[w, w, w, w], &[2, 3, 4]),
         patterns::labelled_path(&[w, w, w], &[5, 6]),
         patterns::rectangle(),
+        patterns::labelled_path(&[w, w, w, w], &[7, 0, 2]),
+        patterns::labelled_path(&[w, w, w], &[1, 3]),
+    ];
+    (0..k).map(|i| base[i % base.len()].clone()).collect()
+}
+
+/// A deliberately *skewed* family of standing queries for the
+/// `rebalance_gate` CI check: `k` queries cycling through 8 patterns where
+/// the two enumeration-heavy wildcard paths sit at indices 0 and 4, so the
+/// naive static placement the gate starts from (query `i` on shard
+/// `i % 4`) stacks both heavies onto shard 0. Static pattern cost also
+/// *underestimates* a wildcard path (few edges, no cycles), so only the
+/// measured-load EWMA can discover the imbalance — exactly what the gate
+/// exercises.
+pub fn skewed_shard_query_set(k: usize) -> Vec<QueryGraph> {
+    let w = mnemonic_graph::ids::WILDCARD_VERTEX_LABEL.0;
+    let base = [
+        patterns::path(3),
+        patterns::labelled_path(&[w, w, w], &[0, 1]),
+        patterns::labelled_path(&[w, w, w], &[2, 3]),
+        patterns::labelled_path(&[w, w, w, w], &[4, 5, 6]),
+        patterns::path(3),
+        patterns::labelled_path(&[w, w, w], &[5, 6]),
         patterns::labelled_path(&[w, w, w, w], &[7, 0, 2]),
         patterns::labelled_path(&[w, w, w], &[1, 3]),
     ];

@@ -56,6 +56,12 @@ pub struct EngineConfig {
     /// default dense path — this knob exists solely for the `hot_path_gate`
     /// wall-clock A/B and the `hot_path` bench.
     pub hot_path_baseline: bool,
+    /// Optional per-query, per-batch enumeration fairness budget (see
+    /// [`QueryBudget`](crate::rebalance::QueryBudget)). Applies to the
+    /// session-owned delivery paths ([`crate::session::MnemonicSession`] /
+    /// [`crate::shard::ShardedSession`]); the legacy borrowed-sink
+    /// [`Mnemonic`] wrapper and the `hot_path_baseline` A/B path ignore it.
+    pub query_budget: Option<crate::rebalance::QueryBudget>,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +73,7 @@ impl Default for EngineConfig {
             update_mode: UpdateMode::default(),
             spill: None,
             hot_path_baseline: false,
+            query_budget: None,
         }
     }
 }

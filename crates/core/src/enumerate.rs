@@ -55,6 +55,12 @@ pub struct Enumerator<'a> {
     /// bitset — every masking probe is a word index, never a hash. Empty
     /// when masking is disabled (e.g. from-scratch enumeration).
     pub batch: &'a DenseBitSet,
+    /// Edges that must not participate in any embedding, or `None` on the
+    /// normal path. Used when draining budget-deferred work units: edges
+    /// inserted *after* the unit's original batch are excluded, so the
+    /// deferred run reproduces exactly the embeddings the unit would have
+    /// produced at its own batch (later batches' units cover the rest).
+    pub exclude: Option<&'a DenseBitSet>,
     /// Whether emitted embeddings are newly formed or removed.
     pub sign: Sign,
     /// Where completed embeddings go.
@@ -229,6 +235,11 @@ impl<'a> Enumerator<'a> {
         let mut scanned = 0u64;
         for cand in self.graph.edges_between_iter(vs, vd) {
             scanned += 1;
+            if let Some(excluded) = self.exclude {
+                if excluded.contains(cand.id.index()) {
+                    continue;
+                }
+            }
             if !self.matcher.edge_matches(&ctx, q, &cand) {
                 continue;
             }
@@ -285,6 +296,11 @@ impl<'a> Enumerator<'a> {
         EngineCounters::add(&self.counters.candidates_scanned, entries.len() as u64);
 
         for entry in entries {
+            if let Some(excluded) = self.exclude {
+                if excluded.contains(entry.edge.index()) {
+                    continue;
+                }
+            }
             if !self.debi.get(entry.edge.index(), column) {
                 continue;
             }
@@ -422,6 +438,7 @@ mod tests {
             semantics: &Isomorphism,
             mask: &f.mask,
             batch: &batch,
+            exclude: None,
             sign: Sign::Positive,
             sink: &sink,
             counters: &counters,
@@ -466,6 +483,7 @@ mod tests {
             semantics: &Isomorphism,
             mask: &f.mask,
             batch: &empty_batch,
+            exclude: None,
             sign: Sign::Positive,
             sink: &scratch_sink,
             counters: &counters,
@@ -485,6 +503,7 @@ mod tests {
             semantics: &Isomorphism,
             mask: &f.mask,
             batch: &batch_ids,
+            exclude: None,
             sign: Sign::Positive,
             sink: &unit_sink,
             counters: &counters,
@@ -552,6 +571,7 @@ mod tests {
             semantics: &Isomorphism,
             mask: &mask,
             batch: &batch_ids,
+            exclude: None,
             sign: Sign::Positive,
             sink: &sink,
             counters: &counters,

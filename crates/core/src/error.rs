@@ -42,6 +42,9 @@ pub enum MnemonicError {
     /// The query handle does not belong to this session, or the query was
     /// already deregistered.
     UnknownQuery(QueryId),
+    /// A shard index passed to the sharded executor (for pinned placement or
+    /// migration) is out of range for its shard count.
+    UnknownShard(usize),
 }
 
 impl fmt::Display for MnemonicError {
@@ -59,6 +62,9 @@ impl fmt::Display for MnemonicError {
             }
             MnemonicError::UnknownQuery(id) => {
                 write!(f, "query {id:?} is not registered with this session")
+            }
+            MnemonicError::UnknownShard(index) => {
+                write!(f, "shard index {index} is out of range for this session")
             }
         }
     }
@@ -94,6 +100,8 @@ mod tests {
         assert!(e.to_string().contains("dead"));
         let e = MnemonicError::UnknownQuery(QueryId(3));
         assert!(e.to_string().contains("not registered"));
+        let e = MnemonicError::UnknownShard(9);
+        assert!(e.to_string().contains("out of range"));
     }
 
     #[test]

@@ -310,6 +310,7 @@ mod tests {
             semantics: &Isomorphism,
             mask: &mask,
             batch: &dense_ids,
+            exclude: None,
             sign: Sign::Positive,
             sink: &dense_sink,
             counters: &counters,

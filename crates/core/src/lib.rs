@@ -62,6 +62,7 @@ pub mod frontier;
 pub mod hot_path_baseline;
 pub mod parallel;
 pub mod pipeline;
+pub mod rebalance;
 pub mod session;
 pub mod shard;
 pub mod stats;
@@ -80,11 +81,17 @@ pub use error::MnemonicError;
 pub use frontier::{FrontierScratch, UnifiedFrontier};
 pub use hot_path_baseline::BaselineEnumerator;
 pub use pipeline::DeltaBatch;
+pub use rebalance::{
+    plan_moves, static_pattern_cost, LoadTracker, QueryBudget, QueryMove, RebalancePolicy,
+    RebalanceReport,
+};
 pub use session::{
     MnemonicSession, QueryHandle, QueryId, ResultBatch, SessionBatchResult, SessionBuilder,
 };
 pub use shard::{ShardPlan, ShardedSession, ShardedSessionBuilder};
-pub use stats::{CounterSnapshot, EngineCounters, PhaseTimings, QueryStats, UtilizationProfile};
+pub use stats::{
+    BudgetSnapshot, CounterSnapshot, EngineCounters, PhaseTimings, QueryStats, UtilizationProfile,
+};
 pub use variants::{
     DualSimulation, Homomorphism, Isomorphism, SimulationRelation, StrongSimulation,
     TemporalIsomorphism,

@@ -25,10 +25,13 @@ use crate::filter::TopDownPass;
 use crate::frontier::UnifiedFrontier;
 use crate::hot_path_baseline::BaselineEnumerator;
 use crate::parallel;
-use crate::session::{MnemonicSession, QueryState};
+use crate::rebalance::QueryBudget;
+use crate::session::{DeferredEpoch, MnemonicSession, QueryState};
 use crate::stats::EngineCounters;
+use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::{Edge, EdgeTriple};
 use mnemonic_graph::ids::{Timestamp, WILDCARD_VERTEX_LABEL};
+use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -377,6 +380,124 @@ impl Enumerate {
         );
         batch.timings.enumeration += start.elapsed();
     }
+
+    /// Run the budget-deferred backlog of every query, oldest epoch first,
+    /// returning the number of embeddings emitted per query (registration
+    /// order). With `force` the whole backlog drains unconditionally;
+    /// otherwise each query stops once its [`QueryBudget`] for the current
+    /// batch is exhausted and the remainder stays parked. Records into
+    /// `timings.enumeration`.
+    pub(crate) fn drain_carryover(
+        session: &MnemonicSession,
+        batch: &mut DeltaBatch,
+        force: bool,
+    ) -> Vec<u64> {
+        let start = Instant::now();
+        let budget = if force {
+            None
+        } else {
+            session.config.query_budget.filter(|b| !b.is_unlimited())
+        };
+        let deltas = (0..session.queries.len())
+            .map(|qi| drain_query_deferred(session, qi, budget))
+            .collect();
+        batch.timings.enumeration += start.elapsed();
+        deltas
+    }
+
+    /// Unconditionally drain one query's backlog (the pre-migration path —
+    /// parked units must run against the graph they were parked on).
+    pub(crate) fn force_drain_query(session: &MnemonicSession, idx: usize) {
+        drain_query_deferred(session, idx, None);
+    }
+
+    /// Unconditionally drain every query's backlog (the
+    /// [`MnemonicSession::finish`] path).
+    pub(crate) fn force_drain_all(session: &MnemonicSession) {
+        for qi in 0..session.queries.len() {
+            drain_query_deferred(session, qi, None);
+        }
+    }
+}
+
+/// The carry-over worker behind [`Enumerate::drain_carryover`]: re-runs one
+/// query's parked work units with their original batch-id mask plus the
+/// epoch's exclusion set (edges inserted after the epoch), which together
+/// reproduce the embeddings the units would have produced in their own batch
+/// — see [`DeferredEpoch`] for the argument. Returns the emitted-embedding
+/// delta.
+fn drain_query_deferred(session: &MnemonicSession, qi: usize, budget: Option<QueryBudget>) -> u64 {
+    let qs = &session.queries[qi];
+    let mut epochs = std::mem::take(&mut *qs.deferred.lock());
+    if epochs.is_empty() {
+        return 0;
+    }
+    let attached = qs.output.sink.lock().clone();
+    let sink: &dyn EmbeddingSink = attached
+        .as_deref()
+        .unwrap_or(qs.output.as_ref() as &dyn EmbeddingSink);
+    let before = qs.counters.embeddings_emitted.load(Ordering::Relaxed);
+    // Where the budget ran out: (epoch index, unit index) of the first unit
+    // that did *not* run.
+    let mut cut: Option<(usize, usize)> = None;
+    'epochs: for (ei, epoch) in epochs.iter().enumerate() {
+        let enumerator = Enumerator {
+            graph: &session.graph,
+            query: &qs.query,
+            tree: &qs.tree,
+            orders: &qs.orders,
+            debi: &qs.debi,
+            matcher: qs.matcher.as_ref(),
+            semantics: qs.semantics.as_ref(),
+            mask: &qs.mask,
+            batch: &epoch.batch_ids,
+            exclude: Some(&epoch.exclude),
+            sign: Sign::Positive,
+            sink,
+            counters: &qs.counters,
+        };
+        for (ui, &unit) in epoch.units.iter().enumerate() {
+            if let Some(b) = budget {
+                if b.exhausted(
+                    qs.output.batch_units_used.load(Ordering::Relaxed),
+                    qs.output.batch_nanos_used.load(Ordering::Relaxed),
+                ) {
+                    cut = Some((ei, ui));
+                    break 'epochs;
+                }
+            }
+            let t = Instant::now();
+            enumerator.run_work_unit(unit);
+            let nanos = t.elapsed().as_nanos() as u64;
+            qs.output
+                .enumeration_nanos
+                .fetch_add(nanos, Ordering::Relaxed);
+            qs.output
+                .completed_deferred_units
+                .fetch_add(1, Ordering::Relaxed);
+            if budget.is_some() {
+                qs.output.batch_units_used.fetch_add(1, Ordering::Relaxed);
+                qs.output
+                    .batch_nanos_used
+                    .fetch_add(nanos, Ordering::Relaxed);
+            }
+        }
+    }
+    if let Some((ei, ui)) = cut {
+        // Drop what ran, keep the tail parked (epoch order preserved).
+        epochs[ei].units.drain(..ui);
+        epochs.drain(..ei);
+        let mut slot = qs.deferred.lock();
+        debug_assert!(slot.is_empty(), "no new deferral can occur mid-drain");
+        *slot = epochs;
+    }
+    let emitted = qs.counters.embeddings_emitted.load(Ordering::Relaxed) - before;
+    if attached.is_some() && emitted > 0 {
+        // Sink-routed embeddings bypass `QueryOutput`; keep the handle's
+        // lifetime counter in step, like the pooled stage does.
+        qs.output.accepted.fetch_add(emitted, Ordering::Relaxed);
+    }
+    emitted
 }
 
 fn emitted_counts(queries: &[QueryState]) -> Vec<u64> {
@@ -431,6 +552,7 @@ fn run_enumeration_all(
             semantics: qs.semantics.as_ref(),
             mask: &qs.mask,
             batch: &frontier.batch_edge_ids,
+            exclude: None,
             sign,
             sink: override_sink.unwrap_or_else(|| {
                 attached[i]
@@ -491,18 +613,43 @@ fn run_enumeration_all(
         pooled.extend(per_query.iter().map(|&u| (qi, u)));
     }
 
+    // The fairness budget applies only to positive, session-delivered
+    // enumeration (never to negative enumeration — a deletion batch's results
+    // must land before the graph mutates — and never to the legacy wrapper's
+    // borrowed sink or the A/B baseline).
+    let budget =
+        (sign == Sign::Positive && override_sink.is_none() && !session.config.hot_path_baseline)
+            .then_some(session.config.query_budget)
+            .flatten()
+            .filter(|b| !b.is_unlimited());
+    let budget_deferred: Mutex<Vec<(usize, WorkUnit)>> = Mutex::new(Vec::new());
+
     // Per-unit wall time is attributed to the owning query, so handles can
-    // report their enumeration-time share of the batch.
+    // report their enumeration-time share of the batch. Units of a query
+    // whose budget is spent are parked instead of run.
     let run_unit = |qi: usize, unit: WorkUnit| {
+        if let Some(b) = budget {
+            let out = &queries[qi].output;
+            if b.exhausted(
+                out.batch_units_used.load(Ordering::Relaxed),
+                out.batch_nanos_used.load(Ordering::Relaxed),
+            ) {
+                budget_deferred.lock().push((qi, unit));
+                return;
+            }
+        }
         let t = Instant::now();
         match &baseline_enumerators {
             Some(baseline) => baseline[qi].run_work_unit(unit),
             None => enumerators[qi].run_work_unit(unit),
         }
-        queries[qi]
-            .output
-            .enumeration_nanos
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let nanos = t.elapsed().as_nanos() as u64;
+        let out = &queries[qi].output;
+        out.enumeration_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if budget.is_some() {
+            out.batch_units_used.fetch_add(1, Ordering::Relaxed);
+            out.batch_nanos_used.fetch_add(nanos, Ordering::Relaxed);
+        }
     };
 
     if session.config.parallel {
@@ -531,6 +678,32 @@ fn run_enumeration_all(
         let mut units = session.scratch.units.lock();
         units.pooled = pooled;
         units.per_query = per_query;
+    }
+
+    // Park each query's over-budget units as one new epoch, stamped with
+    // this batch's edge-id set so the masking rule replays exactly at drain
+    // time. The exclusion set starts empty; later batches add their inserted
+    // edges (`note_inserted_edges_for_carryover`).
+    let parked = budget_deferred.into_inner();
+    if !parked.is_empty() {
+        let mut grouped: Vec<Vec<WorkUnit>> = vec![Vec::new(); queries.len()];
+        for (qi, unit) in parked {
+            grouped[qi].push(unit);
+        }
+        for (qi, units) in grouped.into_iter().enumerate() {
+            if units.is_empty() {
+                continue;
+            }
+            let out = &queries[qi].output;
+            out.deferred_units
+                .fetch_add(units.len() as u64, Ordering::Relaxed);
+            out.deferral_batches.fetch_add(1, Ordering::Relaxed);
+            queries[qi].deferred.lock().push(DeferredEpoch {
+                units,
+                batch_ids: frontier.batch_edge_ids.clone(),
+                exclude: DenseBitSet::new(),
+            });
+        }
     }
 
     if let Some(before) = before {

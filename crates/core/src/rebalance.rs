@@ -1,0 +1,457 @@
+//! The scheduling policy layer behind the weight-aware
+//! [`ShardedSession`](crate::shard::ShardedSession) scheduler: static
+//! pattern costs for seeding a [`ShardPlan`],
+//! EWMA load tracking of measured per-query enumeration time, the greedy
+//! move planner used by live rebalancing, and the per-query fairness
+//! budget applied by the budgeted [`Enumerate`](crate::pipeline::Enumerate)
+//! stage.
+//!
+//! The layer is deliberately pure policy: nothing here touches a graph or a
+//! query index. [`static_pattern_cost`] and [`LoadTracker`] produce weights,
+//! [`plan_moves`] turns an imbalanced [`ShardPlan`]
+//! into a move list, and the sharded executor carries the moves out with its
+//! exactness-preserving migration mechanism (`take` + re-prime + `adopt`,
+//! strictly between batches). The split keeps every decision deterministic
+//! and unit-testable without streams.
+
+use crate::session::QueryId;
+use crate::shard::ShardPlan;
+use mnemonic_graph::ids::{WILDCARD_EDGE_LABEL, WILDCARD_VERTEX_LABEL};
+use mnemonic_query::query_graph::QueryGraph;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// When and how aggressively a [`ShardedSession`](crate::shard::ShardedSession)
+/// rebalances itself.
+///
+/// After every broadcast batch the session folds each query's measured
+/// enumeration time into an EWMA load estimate ([`LoadTracker`]) and computes
+/// the plan's [`imbalance`](crate::shard::ShardPlan::imbalance) (max shard
+/// load over mean shard load). When the imbalance exceeds
+/// `imbalance_threshold` for `window` **consecutive** batches, the session
+/// calls [`rebalance`](crate::shard::ShardedSession::rebalance) — queries
+/// migrate between shards strictly *between* batches, so the merged result
+/// stream stays embedding-for-embedding identical to a never-migrated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalancePolicy {
+    /// Trigger threshold on max/mean measured shard load; must be ≥ 1.0.
+    /// A perfectly balanced plan has imbalance 1.0.
+    pub imbalance_threshold: f64,
+    /// Number of consecutive over-threshold batches required before a
+    /// rebalance fires (debouncing against one-off spikes); must be ≥ 1.
+    pub window: u32,
+    /// Smoothing factor of the per-query load EWMA in `(0, 1]`: higher
+    /// values react faster to load shifts, lower values smooth harder.
+    pub ewma_alpha: f64,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            imbalance_threshold: 1.5,
+            window: 3,
+            ewma_alpha: 0.3,
+        }
+    }
+}
+
+impl RebalancePolicy {
+    /// Validate the policy's numeric ranges.
+    ///
+    /// # Errors
+    /// A human-readable reason when a field is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        // NaN fails both comparisons below, so it is rejected too.
+        if self.imbalance_threshold.is_nan() || self.imbalance_threshold < 1.0 {
+            return Err(format!(
+                "imbalance_threshold must be >= 1.0, got {}",
+                self.imbalance_threshold
+            ));
+        }
+        if self.window == 0 {
+            return Err("window must be >= 1 batch".to_string());
+        }
+        if self.ewma_alpha.is_nan() || self.ewma_alpha <= 0.0 || self.ewma_alpha > 1.0 {
+            return Err(format!(
+                "ewma_alpha must be in (0, 1], got {}",
+                self.ewma_alpha
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A per-batch enumeration budget for every standing query of a session —
+/// the fairness knob that keeps one pathological pattern from starving its
+/// co-tenants.
+///
+/// When a query exhausts its budget within one batch, its remaining
+/// enumeration work units are **deferred, never dropped**: they are parked
+/// (with enough batch context to preserve the masking rule) and re-run under
+/// the next batches' budgets, so the embedding multiset over the whole
+/// stream is identical to an unbudgeted run — only delivery timing shifts.
+/// Any batch containing deletions, and
+/// [`finish`](crate::session::MnemonicSession::finish), force-drain the
+/// backlog so correctness never depends on future budget headroom. Deferral
+/// activity is surfaced per query through
+/// [`QueryHandle::stats`](crate::session::QueryHandle::stats) as a
+/// [`BudgetSnapshot`](crate::stats::BudgetSnapshot).
+///
+/// Both limits are *soft* at unit granularity: the unit that crosses the
+/// limit completes, subsequent units defer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryBudget {
+    /// Maximum enumeration work units one query may run per batch
+    /// (`None` = unlimited).
+    pub max_units_per_batch: Option<u64>,
+    /// Maximum summed enumeration wall time (nanoseconds) one query may
+    /// spend per batch (`None` = unlimited).
+    pub max_nanos_per_batch: Option<u64>,
+}
+
+impl QueryBudget {
+    /// A budget of at most `n` enumeration work units per query per batch.
+    pub fn units(n: u64) -> Self {
+        QueryBudget {
+            max_units_per_batch: Some(n),
+            max_nanos_per_batch: None,
+        }
+    }
+
+    /// A budget of at most `d` of enumeration wall time per query per batch.
+    pub fn time(d: Duration) -> Self {
+        QueryBudget {
+            max_units_per_batch: None,
+            max_nanos_per_batch: Some(d.as_nanos() as u64),
+        }
+    }
+
+    /// Whether the budget constrains nothing (both limits `None`).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_units_per_batch.is_none() && self.max_nanos_per_batch.is_none()
+    }
+
+    /// Whether a query that already spent `units` work units and `nanos`
+    /// wall time this batch has run out of budget.
+    pub(crate) fn exhausted(&self, units: u64, nanos: u64) -> bool {
+        self.max_units_per_batch.is_some_and(|m| units >= m)
+            || self.max_nanos_per_batch.is_some_and(|m| nanos >= m)
+    }
+}
+
+/// Exponentially weighted moving average of each query's *per-batch*
+/// enumeration time, fed from the cumulative
+/// [`enumeration_time`](crate::session::QueryHandle::enumeration_time)
+/// counter after every broadcast batch. The EWMA is the measured weight the
+/// sharded scheduler re-places queries by once real load data exists,
+/// replacing the [`static_pattern_cost`] seed.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    alpha: f64,
+    entries: HashMap<QueryId, LoadEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoadEntry {
+    /// Cumulative enumeration nanos at the previous observation.
+    last_total: u64,
+    /// EWMA of the per-batch deltas, in nanos.
+    ewma: f64,
+}
+
+impl Default for LoadTracker {
+    fn default() -> Self {
+        Self::new(RebalancePolicy::default().ewma_alpha)
+    }
+}
+
+impl LoadTracker {
+    /// A tracker with the given EWMA smoothing factor.
+    pub fn new(alpha: f64) -> Self {
+        LoadTracker {
+            alpha,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Change the smoothing factor (existing estimates are kept).
+    pub fn set_alpha(&mut self, alpha: f64) {
+        self.alpha = alpha;
+    }
+
+    /// Record one query's *cumulative* enumeration nanos after a batch; the
+    /// tracker differences consecutive observations itself.
+    pub fn observe(&mut self, id: QueryId, cumulative_nanos: u64) {
+        match self.entries.get_mut(&id) {
+            Some(entry) => {
+                let delta = cumulative_nanos.saturating_sub(entry.last_total) as f64;
+                entry.last_total = cumulative_nanos;
+                entry.ewma = self.alpha * delta + (1.0 - self.alpha) * entry.ewma;
+            }
+            None => {
+                // First observation: the whole cumulative time is the best
+                // available estimate of one batch's worth of load.
+                self.entries.insert(
+                    id,
+                    LoadEntry {
+                        last_total: cumulative_nanos,
+                        ewma: cumulative_nanos as f64,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The current EWMA load estimate of one query, in nanos per batch.
+    pub fn load(&self, id: QueryId) -> Option<f64> {
+        self.entries.get(&id).map(|e| e.ewma)
+    }
+
+    /// Every tracked `(query, EWMA nanos-per-batch)` pair, in unspecified
+    /// order.
+    pub fn loads(&self) -> impl Iterator<Item = (QueryId, f64)> + '_ {
+        self.entries.iter().map(|(&id, e)| (id, e.ewma))
+    }
+
+    /// Forget a deregistered query.
+    pub fn remove(&mut self, id: QueryId) {
+        self.entries.remove(&id);
+    }
+}
+
+/// Static cost estimate of a query pattern, used to seed shard placement
+/// before any load has been measured. Dimensionless; only ratios matter.
+///
+/// The heuristic scales with edge count, punishes cycles hard (every
+/// non-tree edge multiplies the candidate cross-product the enumerator must
+/// verify) and scales with label wildness (wildcard vertices/edges match
+/// everything, so their candidate sets are the whole adjacency): cost =
+/// `E · (1 + 3·cyclomatic) · (0.25 + wildness)` where `cyclomatic = E - V + 1`
+/// for a connected pattern and `wildness` is the wildcard fraction of all
+/// labels.
+pub fn static_pattern_cost(query: &QueryGraph) -> f64 {
+    let v = query.vertex_count().max(1);
+    let e = query.edge_count();
+    if e == 0 {
+        return 0.1;
+    }
+    let cyclomatic = e.saturating_sub(v - 1);
+    let wild_vertices = query
+        .vertices()
+        .filter(|&u| query.vertex_label(u) == WILDCARD_VERTEX_LABEL)
+        .count();
+    let wild_edges = query
+        .edges()
+        .iter()
+        .filter(|qe| qe.label == WILDCARD_EDGE_LABEL)
+        .count();
+    let wildness = (wild_vertices + wild_edges) as f64 / (v + e) as f64;
+    e as f64 * (1.0 + 3.0 * cyclomatic as f64) * (0.25 + wildness)
+}
+
+/// One planned migration: move `query` from shard `from` to shard `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryMove {
+    /// The query to move.
+    pub query: QueryId,
+    /// The shard it currently runs on.
+    pub from: usize,
+    /// The shard it should run on.
+    pub to: usize,
+}
+
+/// The outcome of one [`rebalance`](crate::shard::ShardedSession::rebalance)
+/// call: the executed moves plus the plan imbalance before and after.
+#[derive(Debug, Clone, Default)]
+pub struct RebalanceReport {
+    /// Migrations executed, in order.
+    pub moves: Vec<QueryMove>,
+    /// `max/mean` shard load before the moves.
+    pub imbalance_before: f64,
+    /// `max/mean` shard load after the moves.
+    pub imbalance_after: f64,
+}
+
+/// Plan a deterministic greedy sequence of moves that lowers the plan's
+/// makespan (the heaviest shard's summed weight): repeatedly move the
+/// heaviest query off the heaviest shard onto the lightest shard, as long as
+/// the move strictly improves the pair's max. Terminates in at most one move
+/// per placed query; does not mutate the plan — the caller executes the
+/// moves through the migration mechanism.
+pub fn plan_moves(plan: &ShardPlan) -> Vec<QueryMove> {
+    let shards = plan.shard_count();
+    if shards < 2 || plan.query_count() == 0 {
+        return Vec::new();
+    }
+    let mut shard_weight: Vec<f64> = (0..shards).map(|s| plan.shard_weight(s)).collect();
+    let mut placement: Vec<(QueryId, usize, f64)> = plan
+        .assignments()
+        .iter()
+        .map(|&(id, shard)| (id, shard, plan.weight_of(id).unwrap_or(0.0)))
+        .collect();
+    let mut moves = Vec::new();
+    for _ in 0..placement.len() {
+        let hi = (0..shards)
+            .max_by(|&a, &b| {
+                shard_weight[a].total_cmp(&shard_weight[b]).then(b.cmp(&a)) // lowest index wins ties
+            })
+            .expect("at least two shards");
+        let lo = (0..shards)
+            .min_by(|&a, &b| shard_weight[a].total_cmp(&shard_weight[b]).then(a.cmp(&b)))
+            .expect("at least two shards");
+        if hi == lo || shard_weight[hi] <= 0.0 {
+            break;
+        }
+        // Heaviest movable query on `hi` whose move strictly lowers the
+        // pair's max: needs w > 0 and lo + w < hi.
+        let candidate = placement
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, shard, w))| {
+                shard == hi && w > 0.0 && shard_weight[lo] + w < shard_weight[hi] * (1.0 - 1e-9)
+            })
+            .max_by(|(_, a), (_, b)| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+        let Some((idx, &(id, _, w))) = candidate else {
+            break;
+        };
+        shard_weight[hi] -= w;
+        shard_weight[lo] += w;
+        placement[idx].1 = lo;
+        moves.push(QueryMove {
+            query: id,
+            from: hi,
+            to: lo,
+        });
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemonic_query::patterns;
+
+    #[test]
+    fn policy_default_is_valid_and_ranges_are_enforced() {
+        RebalancePolicy::default()
+            .validate()
+            .expect("default valid");
+        let bad = RebalancePolicy {
+            imbalance_threshold: 0.5,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RebalancePolicy {
+            window: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RebalancePolicy {
+            ewma_alpha: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = RebalancePolicy {
+            ewma_alpha: 1.5,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_checks_both_limits() {
+        let unlimited = QueryBudget::default();
+        assert!(unlimited.is_unlimited());
+        assert!(!unlimited.exhausted(u64::MAX, u64::MAX));
+
+        let units = QueryBudget::units(4);
+        assert!(!units.is_unlimited());
+        assert!(!units.exhausted(3, u64::MAX));
+        assert!(units.exhausted(4, 0));
+
+        let time = QueryBudget::time(Duration::from_micros(10));
+        assert!(!time.exhausted(u64::MAX, 9_999));
+        assert!(time.exhausted(0, 10_000));
+    }
+
+    #[test]
+    fn load_tracker_differences_and_smooths() {
+        let mut t = LoadTracker::new(0.5);
+        let q = QueryId(7);
+        assert_eq!(t.load(q), None);
+        t.observe(q, 100);
+        assert_eq!(t.load(q), Some(100.0), "first observation is the seed");
+        t.observe(q, 300); // delta 200 -> ewma 0.5*200 + 0.5*100 = 150
+        assert_eq!(t.load(q), Some(150.0));
+        t.observe(q, 300); // delta 0 -> ewma 75
+        assert_eq!(t.load(q), Some(75.0));
+        t.remove(q);
+        assert_eq!(t.load(q), None);
+    }
+
+    #[test]
+    fn static_cost_orders_patterns_sensibly() {
+        let path = static_pattern_cost(&patterns::path(3));
+        let triangle = static_pattern_cost(&patterns::triangle());
+        let dual = static_pattern_cost(&patterns::dual_triangle());
+        let labelled = static_pattern_cost(&patterns::labelled_path(
+            &[
+                mnemonic_graph::ids::WILDCARD_VERTEX_LABEL.0,
+                mnemonic_graph::ids::WILDCARD_VERTEX_LABEL.0,
+                mnemonic_graph::ids::WILDCARD_VERTEX_LABEL.0,
+            ],
+            &[0, 1],
+        ));
+        assert!(
+            triangle > path,
+            "a cycle must cost more than a path ({triangle} vs {path})"
+        );
+        assert!(
+            dual > triangle,
+            "two fused cycles must cost more than one ({dual} vs {triangle})"
+        );
+        assert!(
+            path > labelled,
+            "wildcard labels must cost more than concrete ones ({path} vs {labelled})"
+        );
+        assert!(static_pattern_cost(&QueryGraph::new()) > 0.0);
+    }
+
+    #[test]
+    fn plan_moves_separates_stacked_heavy_queries() {
+        let mut plan = ShardPlan::new(2);
+        plan.assign_to(QueryId(0), 0, 10.0);
+        plan.assign_to(QueryId(1), 0, 10.0);
+        plan.assign_to(QueryId(2), 1, 1.0);
+        assert!(plan.imbalance() > 1.5);
+        let moves = plan_moves(&plan);
+        assert_eq!(
+            moves,
+            vec![QueryMove {
+                query: QueryId(1),
+                from: 0,
+                to: 1,
+            }],
+            "exactly one heavy query moves to the light shard"
+        );
+    }
+
+    #[test]
+    fn plan_moves_is_empty_when_balanced_or_trivial() {
+        let mut plan = ShardPlan::new(2);
+        assert!(plan_moves(&plan).is_empty(), "no queries, no moves");
+        plan.assign_to(QueryId(0), 0, 5.0);
+        plan.assign_to(QueryId(1), 1, 5.0);
+        assert!(plan_moves(&plan).is_empty(), "balanced plan stays put");
+
+        let mut single = ShardPlan::new(1);
+        single.assign_to(QueryId(0), 0, 100.0);
+        assert!(plan_moves(&single).is_empty(), "one shard, nowhere to go");
+
+        // One giant query cannot be split, so it must not ping-pong.
+        let mut giant = ShardPlan::new(2);
+        giant.assign_to(QueryId(0), 0, 100.0);
+        giant.assign_to(QueryId(1), 1, 1.0);
+        assert!(plan_moves(&giant).is_empty());
+    }
+}

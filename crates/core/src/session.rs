@@ -55,7 +55,7 @@ use crate::api::{EdgeMatcher, MatchSemantics, UpdateMode};
 use crate::debi::{Debi, DebiStats};
 use crate::embedding::{CompleteEmbedding, EmbeddingSink, Sign};
 use crate::engine::{BatchResult, EngineConfig};
-use crate::enumerate::Enumerator;
+use crate::enumerate::{Enumerator, WorkUnit};
 use crate::error::MnemonicError;
 use crate::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
 use crate::frontier::UnifiedFrontier;
@@ -63,7 +63,8 @@ use crate::parallel;
 use crate::pipeline::{
     BatchScratch, DeletionResolve, DeltaBatch, Enumerate, Filtering, FrontierBuild, GraphUpdate,
 };
-use crate::stats::{CounterSnapshot, EngineCounters, PhaseTimings, QueryStats};
+use crate::rebalance::QueryBudget;
+use crate::stats::{BudgetSnapshot, CounterSnapshot, EngineCounters, PhaseTimings, QueryStats};
 use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::Edge;
 use mnemonic_graph::multigraph::{GraphConfig, StreamingGraph};
@@ -122,6 +123,31 @@ pub(crate) struct QueryOutput {
     /// Total wall time of this query's enumeration work units, attributed by
     /// the [`Enumerate`](crate::pipeline::Enumerate) stage.
     pub(crate) enumeration_nanos: AtomicU64,
+    /// Work units run by this query in the current batch (reset per batch;
+    /// only maintained while a [`QueryBudget`] is active).
+    pub(crate) batch_units_used: AtomicU64,
+    /// Enumeration nanos spent by this query in the current batch (reset per
+    /// batch; only maintained while a [`QueryBudget`] is active).
+    pub(crate) batch_nanos_used: AtomicU64,
+    /// Work units deferred past their batch by the budget, cumulatively.
+    pub(crate) deferred_units: AtomicU64,
+    /// Deferred work units that have since completed, cumulatively.
+    pub(crate) completed_deferred_units: AtomicU64,
+    /// Batches in which this query exhausted its budget.
+    pub(crate) deferral_batches: AtomicU64,
+}
+
+impl QueryOutput {
+    pub(crate) fn budget_snapshot(&self) -> BudgetSnapshot {
+        let deferred = self.deferred_units.load(Ordering::Relaxed);
+        let completed = self.completed_deferred_units.load(Ordering::Relaxed);
+        BudgetSnapshot {
+            deferred_units: deferred,
+            completed_deferred_units: completed,
+            backlog_units: deferred.saturating_sub(completed),
+            deferral_batches: self.deferral_batches.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl EmbeddingSink for QueryOutput {
@@ -221,13 +247,20 @@ impl QueryHandle {
         Duration::from_nanos(self.output.enumeration_nanos.load(Ordering::Relaxed))
     }
 
-    /// Bundle of this query's per-query statistics: cumulative counters plus
-    /// attributed enumeration time.
+    /// Bundle of this query's per-query statistics: cumulative counters,
+    /// attributed enumeration time and fairness-budget activity.
     pub fn stats(&self) -> QueryStats {
         QueryStats {
             counters: self.counters(),
             enumeration: self.enumeration_time(),
+            budget: self.output.budget_snapshot(),
         }
+    }
+
+    /// This query's fairness-budget activity (all zero when no
+    /// [`QueryBudget`] is configured on the session).
+    pub fn budget_stats(&self) -> BudgetSnapshot {
+        self.output.budget_snapshot()
     }
 }
 
@@ -336,6 +369,13 @@ impl SessionBuilder {
         self
     }
 
+    /// Cap each query's enumeration work per batch (see [`QueryBudget`]).
+    /// Work past the cap is deferred to later batches, never dropped.
+    pub fn query_budget(mut self, budget: QueryBudget) -> Self {
+        self.config.query_budget = Some(budget);
+        self
+    }
+
     /// Validate the configuration and construct the session.
     ///
     /// # Errors
@@ -404,6 +444,26 @@ impl PendingBuffer {
     }
 }
 
+/// A parcel of enumeration work units deferred past their batch by the
+/// fairness budget, together with the batch context needed to re-run them
+/// *exactly*: the batch-edge bitset they were masked against, and the set of
+/// edges inserted after their batch (which must not participate — those
+/// edges' embeddings are covered by the later batches' own work units).
+///
+/// Epochs are only carried across insert-only intervals: any batch with
+/// deletions (or eviction) force-drains the whole backlog before the graph
+/// mutates, so the stored bitsets can never alias a recycled edge id and
+/// DEBI only ever *gains* bits between deferral and drain (the filter stays
+/// a sound over-approximation for the parked units).
+pub(crate) struct DeferredEpoch {
+    /// The parked work units, in deferral order.
+    pub(crate) units: Vec<WorkUnit>,
+    /// Clone of the originating batch's edge-id set (for the masking rule).
+    pub(crate) batch_ids: DenseBitSet,
+    /// Ids of edges inserted after the originating batch.
+    pub(crate) exclude: DenseBitSet,
+}
+
 /// Everything one standing query owns: its tree, matching orders, DEBI
 /// index, matcher/semantics pair, counters and result channel. The data
 /// graph itself is shared by the session. The pipeline stages
@@ -421,6 +481,9 @@ pub(crate) struct QueryState {
     pub(crate) semantics: Box<dyn MatchSemantics>,
     pub(crate) counters: Arc<EngineCounters>,
     pub(crate) output: Arc<QueryOutput>,
+    /// Budget-deferred work, oldest epoch first. Behind a mutex because the
+    /// pipeline stages only hold `&MnemonicSession`.
+    pub(crate) deferred: Mutex<Vec<DeferredEpoch>>,
 }
 
 impl QueryState {
@@ -598,40 +661,94 @@ impl MnemonicSession {
             semantics,
             counters: Arc::clone(&counters),
             output: Arc::clone(&output),
+            deferred: Mutex::new(Vec::new()),
         };
 
-        // Prime the new query's index against the already-ingested graph
-        // (every live edge is in the batch, so the frontier can skip the
-        // neighbour expansion).
-        let live: Vec<Edge> = self.graph.live_edges().collect();
-        if !live.is_empty() {
-            let frontier = UnifiedFrontier::build(&self.graph, live, false);
-            state.ensure_capacity(&self.graph);
-            let pass = TopDownPass {
-                graph: &self.graph,
-                query: &state.query,
-                tree: &state.tree,
-                matcher: state.matcher.as_ref(),
-                requirements: &state.requirements,
-            };
-            let parallel_enabled = self.config.parallel;
-            parallel::install(self.pool.as_ref(), || {
-                pass.run(
-                    &frontier,
-                    &state.candidacy,
-                    &state.debi,
-                    &state.counters,
-                    parallel_enabled,
-                );
-            });
-        }
-
+        self.prime_query_state(&mut state);
         self.queries.push(state);
         Ok(QueryHandle {
             id,
             output,
             counters,
         })
+    }
+
+    /// Prime one query's index against the already-ingested graph (every
+    /// live edge is in the batch, so the frontier can skip the neighbour
+    /// expansion). Never emits embeddings; shared by late registration and
+    /// by [`MnemonicSession::adopt_query`] during live migration — the
+    /// primed index is indistinguishable from an incrementally maintained
+    /// one, which is what makes both paths exact.
+    fn prime_query_state(&self, state: &mut QueryState) {
+        let live: Vec<Edge> = self.graph.live_edges().collect();
+        if live.is_empty() {
+            return;
+        }
+        let frontier = UnifiedFrontier::build(&self.graph, live, false);
+        state.ensure_capacity(&self.graph);
+        let pass = TopDownPass {
+            graph: &self.graph,
+            query: &state.query,
+            tree: &state.tree,
+            matcher: state.matcher.as_ref(),
+            requirements: &state.requirements,
+        };
+        let parallel_enabled = self.config.parallel;
+        parallel::install(self.pool.as_ref(), || {
+            pass.run(
+                &frontier,
+                &state.candidacy,
+                &state.debi,
+                &state.counters,
+                parallel_enabled,
+            );
+        });
+    }
+
+    /// Extract one query's whole state for migration to another shard. Any
+    /// budget-deferred work units are force-drained first (against this
+    /// session's graph, which they were parked on), so nothing is lost and
+    /// nothing crosses shards half-done. The result channel and counter
+    /// [`Arc`]s travel with the state — existing [`QueryHandle`] clones keep
+    /// working, unaware of the move.
+    pub(crate) fn take_query(&mut self, id: QueryId) -> Option<QueryState> {
+        let idx = self.queries.iter().position(|q| q.id == id)?;
+        Enumerate::force_drain_query(self, idx);
+        Some(self.queries.remove(idx))
+    }
+
+    /// Adopt a query state migrated from another shard: reset its index,
+    /// re-prime it from *this* session's graph and register it. Exact as
+    /// long as both sessions saw the same broadcast stream (the sharded
+    /// executor's invariant) — re-priming then reproduces the index the
+    /// query would have had here all along.
+    pub(crate) fn adopt_query(&mut self, mut state: QueryState) {
+        state.debi.reset();
+        state.candidacy.reset();
+        self.prime_query_state(&mut state);
+        self.next_query_id = self.next_query_id.max(state.id.0 + 1);
+        self.queries.push(state);
+    }
+
+    /// Every registered query's cumulative enumeration nanos — the measured
+    /// load signal the sharded scheduler feeds its EWMA tracker from.
+    pub(crate) fn query_enumeration_nanos(&self) -> Vec<(QueryId, u64)> {
+        self.queries
+            .iter()
+            .map(|q| (q.id, q.output.enumeration_nanos.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Whether any query has budget-deferred work parked.
+    pub(crate) fn has_deferred(&self) -> bool {
+        self.queries.iter().any(|q| !q.deferred.lock().is_empty())
+    }
+
+    /// Run every parked work unit to completion, outside any batch (the
+    /// [`MnemonicSession::finish`] / pre-migration path). Embeddings are
+    /// delivered through each query's own channel.
+    pub(crate) fn force_drain_deferred(&self) {
+        Enumerate::force_drain_all(self);
     }
 
     /// Remove a standing query. Its share of the filtering and enumeration
@@ -843,16 +960,56 @@ impl MnemonicSession {
         result
     }
 
+    /// Whether the per-query fairness budget applies to this batch: only on
+    /// the session-owned delivery path (no borrowed override sink — the
+    /// legacy wrapper's results are not allowed to shift batches) and never
+    /// in the hot-path A/B baseline.
+    fn budget_enabled(&self, override_sink: Option<&dyn EmbeddingSink>) -> bool {
+        override_sink.is_none()
+            && !self.config.hot_path_baseline
+            && self.config.query_budget.is_some_and(|b| !b.is_unlimited())
+    }
+
     /// The staged pipeline proper, shared by the success and error handling
     /// of [`MnemonicSession::apply_batch_inner`].
+    ///
+    /// The fairness budget hooks in at three points, all chosen so the
+    /// lifetime embedding multiset stays identical to an unbudgeted run (see
+    /// [`DeferredEpoch`] for the exactness argument):
+    ///
+    /// 1. **Before** the graph mutates, last batch's deferred work units get
+    ///    first claim on this batch's budget (oldest epoch first), so the
+    ///    backlog drains instead of starving.
+    /// 2. After the insertions are applied — but before enumeration can park
+    ///    new work — every *surviving* epoch records the fresh edge ids in
+    ///    its exclusion set: their embeddings belong to this batch's own
+    ///    work units.
+    /// 3. A batch with deletions (or an eviction cutoff) force-drains the
+    ///    whole backlog before the deletion half runs, because the stored
+    ///    epoch bitsets must never alias a recycled edge id.
     fn run_batch_stages(
         &mut self,
         batch: &mut DeltaBatch,
         override_sink: Option<&dyn EmbeddingSink>,
     ) -> Result<(), MnemonicError> {
+        let budget_enabled = self.budget_enabled(override_sink);
+        let mut drained: Option<Vec<u64>> = None;
+        if budget_enabled {
+            for qs in &self.queries {
+                qs.output.batch_units_used.store(0, Ordering::Relaxed);
+                qs.output.batch_nanos_used.store(0, Ordering::Relaxed);
+            }
+            if self.has_deferred() {
+                drained = Some(Enumerate::drain_carryover(self, batch, false));
+            }
+        }
+
         // ---- batchInserts (Algorithm 2, lines 1-6), shared across queries ----
         if !batch.insertions.is_empty() {
             GraphUpdate::apply_insertions(self, batch)?;
+            if self.has_deferred() {
+                self.note_inserted_edges_for_carryover(batch);
+            }
             FrontierBuild::for_insertions(self, batch);
             Filtering::insertions(self, batch);
             Enumerate::positive_with(self, batch, override_sink);
@@ -860,6 +1017,17 @@ impl MnemonicSession {
 
         // ---- batchDeletes (Algorithm 2, lines 7-12), shared resolution ----
         if batch.has_deletions() {
+            if self.has_deferred() {
+                let forced = Enumerate::drain_carryover(self, batch, true);
+                match drained.as_mut() {
+                    Some(d) => {
+                        for (acc, n) in d.iter_mut().zip(forced) {
+                            *acc += n;
+                        }
+                    }
+                    None => drained = Some(forced),
+                }
+            }
             DeletionResolve::run(self, batch);
             // The frontier is built before the graph is updated so the
             // deleted edges and their neighbourhood are captured.
@@ -874,7 +1042,35 @@ impl MnemonicSession {
                 Filtering::deletions(self, batch);
             }
         }
+
+        // Embeddings completed from the carried-over backlog count toward
+        // this batch's per-query outcome, keeping `total_new_embeddings`
+        // equal to the handles' accepted deltas.
+        if let Some(d) = drained {
+            if batch.new_embeddings.is_empty() {
+                batch.new_embeddings.extend_from_slice(&d);
+            } else {
+                for (acc, n) in batch.new_embeddings.iter_mut().zip(d) {
+                    *acc += n;
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Record this batch's freshly inserted edge ids in every surviving
+    /// deferred epoch's exclusion set (stage-2 hook above). Runs after
+    /// [`GraphUpdate::apply_insertions`] resolved events to edge ids and
+    /// before [`Enumerate`] can park this batch's own work units.
+    fn note_inserted_edges_for_carryover(&self, batch: &DeltaBatch) {
+        for qs in &self.queries {
+            let mut deferred = qs.deferred.lock();
+            for epoch in deferred.iter_mut() {
+                for edge in &batch.inserted {
+                    epoch.exclude.insert(edge.id.index());
+                }
+            }
+        }
     }
 
     /// Turn a fully staged [`DeltaBatch`] into the session's per-query
@@ -1045,7 +1241,13 @@ impl MnemonicSession {
     /// # Errors
     /// See [`MnemonicSession::apply_snapshot`].
     pub fn finish(mut self) -> Result<Option<SessionBatchResult>, MnemonicError> {
-        self.flush_pending()
+        let result = self.flush_pending()?;
+        // Run any budget-deferred backlog to completion: the fairness budget
+        // defers, never drops, and `finish` is where that promise is kept.
+        // These embeddings are delivered through each query's handle but are
+        // not part of a batch outcome (there is no batch).
+        self.force_drain_deferred();
+        Ok(result)
     }
 
     // ---- maintenance --------------------------------------------------------
@@ -1092,6 +1294,7 @@ impl MnemonicSession {
             semantics: qs.semantics.as_ref(),
             mask: &qs.mask,
             batch: &empty,
+            exclude: None,
             sign: Sign::Positive,
             sink: override_sink.unwrap_or_else(|| {
                 attached
@@ -1124,6 +1327,9 @@ impl MnemonicSession {
         for qs in self.queries.iter_mut() {
             qs.debi.reset();
             qs.candidacy.reset();
+            // Deferred work units reference pre-reset edge ids; they belong
+            // to the discarded epoch, like the pending buffer below.
+            qs.deferred.lock().clear();
         }
         self.pending.clear();
     }

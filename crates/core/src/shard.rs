@@ -23,9 +23,20 @@
 //! The price is N copies of the graph and of the graph-update work; use
 //! shards for query-heavy sessions (the `shard_gate` CI check pins the
 //! trade-off at ≥ 1.3× projected 4-core makespan for 8 queries on 4
-//! shards). Queries are placed by a [`ShardPlan`] (least-loaded shard,
-//! lowest index on ties); per-shard *rebalancing* of a live session is a
-//! follow-up.
+//! shards). Empty shards drop out of the broadcast scope entirely and
+//! resync by graph clone when a query lands on them again.
+//!
+//! Placement is *weight-aware* and self-correcting: a new query lands on
+//! the shard with the lowest summed load weight, seeded from
+//! [`static_pattern_cost`] and replaced by the measured EWMA of the query's
+//! per-batch enumeration time as batches run. When measurement disagrees
+//! with placement, queries **migrate live** between shards
+//! ([`ShardedSession::migrate_query`], or automatically under a
+//! [`RebalancePolicy`]) strictly between batches — the merged result stream
+//! is embedding-for-embedding identical to a never-migrated run. A
+//! [`QueryBudget`] additionally caps each query's enumeration work per
+//! batch inside its shard, deferring (never dropping) overflow so one
+//! pathological pattern cannot starve its co-tenants.
 //!
 //! ```
 //! use mnemonic_core::api::LabelEdgeMatcher;
@@ -65,6 +76,10 @@ use crate::api::{EdgeMatcher, MatchSemantics, UpdateMode};
 use crate::engine::{BatchResult, EngineConfig};
 use crate::error::MnemonicError;
 use crate::parallel;
+use crate::rebalance::{
+    plan_moves, static_pattern_cost, LoadTracker, QueryBudget, QueryMove, RebalancePolicy,
+    RebalanceReport,
+};
 use crate::session::{MnemonicSession, PendingBuffer, QueryHandle, QueryId, SessionBatchResult};
 use crate::stats::PhaseTimings;
 use mnemonic_graph::spill::SpillConfig;
@@ -75,15 +90,23 @@ use mnemonic_stream::snapshot::Snapshot;
 use mnemonic_stream::source::EventSource;
 use std::time::Duration;
 
-/// The static placement of standing queries onto shards: least-loaded shard
-/// first, lowest shard index on ties. With churn-free round-robin
-/// registration this degenerates to `query k → shard k mod N`; under
-/// deregistration it keeps the *live* load balanced instead of the
-/// historical one.
+/// The weighted placement of standing queries onto shards.
+///
+/// Every placed query carries a load weight — seeded from
+/// [`static_pattern_cost`] at registration, replaced by the measured EWMA of
+/// the query's per-batch enumeration time ([`LoadTracker`]) once real load
+/// data exists. [`ShardPlan::assign_weighted`] places onto the shard with
+/// the lowest summed weight (fewest queries, then lowest index, on ties);
+/// the count-based [`ShardPlan::assign`] is kept for callers that want the
+/// historical least-loaded-by-count behaviour. [`ShardPlan::imbalance`] —
+/// max over mean shard weight — is the signal the live rebalancer
+/// ([`ShardedSession::rebalance`]) triggers on.
 #[derive(Debug, Clone)]
 pub struct ShardPlan {
     shards: usize,
     assignments: Vec<(QueryId, usize)>,
+    /// Load weight of each placed query, aligned with `assignments`.
+    weights: Vec<f64>,
 }
 
 impl ShardPlan {
@@ -92,6 +115,7 @@ impl ShardPlan {
         ShardPlan {
             shards: shards.max(1),
             assignments: Vec::new(),
+            weights: Vec::new(),
         }
     }
 
@@ -126,29 +150,112 @@ impl ShardPlan {
             .count()
     }
 
-    /// Place a new query: the least-loaded shard wins, lowest index on ties.
-    /// Returns the chosen shard.
+    /// Summed load weight of one shard.
+    pub fn shard_weight(&self, shard: usize) -> f64 {
+        self.assignments
+            .iter()
+            .zip(&self.weights)
+            .filter(|&(&(_, s), _)| s == shard)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// The load weight of one placed query.
+    pub fn weight_of(&self, id: QueryId) -> Option<f64> {
+        self.assignments
+            .iter()
+            .position(|&(qid, _)| qid == id)
+            .map(|idx| self.weights[idx])
+    }
+
+    /// Replace a placed query's load weight (the measured-load update path).
+    /// Returns `false` when the query is not placed.
+    pub fn set_weight(&mut self, id: QueryId, weight: f64) -> bool {
+        match self.assignments.iter().position(|&(qid, _)| qid == id) {
+            Some(idx) => {
+                self.weights[idx] = weight;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Max shard weight over mean shard weight — `1.0` is perfectly
+    /// balanced; returns `1.0` when no weight is placed at all.
+    pub fn imbalance(&self) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let max = (0..self.shards)
+            .map(|s| self.shard_weight(s))
+            .fold(0.0f64, f64::max);
+        max * self.shards as f64 / total
+    }
+
+    /// Place a new query by *query count*: the least-loaded shard wins,
+    /// lowest index on ties. The query gets weight `1.0`. Returns the chosen
+    /// shard.
     pub fn assign(&mut self, id: QueryId) -> usize {
         let shard = (0..self.shards)
             .min_by_key(|&s| self.load(s))
             .expect("a plan has at least one shard");
         self.assignments.push((id, shard));
+        self.weights.push(1.0);
         shard
+    }
+
+    /// Place a new query by *weight*: the shard with the lowest summed
+    /// weight wins (fewest queries, then lowest index, on ties). Returns the
+    /// chosen shard.
+    pub fn assign_weighted(&mut self, id: QueryId, weight: f64) -> usize {
+        let shard = (0..self.shards)
+            .min_by(|&a, &b| {
+                self.shard_weight(a)
+                    .total_cmp(&self.shard_weight(b))
+                    .then(self.load(a).cmp(&self.load(b)))
+                    .then(a.cmp(&b))
+            })
+            .expect("a plan has at least one shard");
+        self.assignments.push((id, shard));
+        self.weights.push(weight);
+        shard
+    }
+
+    /// Pin a new query to an explicit shard with the given weight (the
+    /// "experienced user" placement; the caller has validated the index).
+    pub fn assign_to(&mut self, id: QueryId, shard: usize, weight: f64) {
+        debug_assert!(shard < self.shards, "caller validates the shard index");
+        self.assignments.push((id, shard));
+        self.weights.push(weight);
+    }
+
+    /// Re-place a live query onto another shard, returning the shard it came
+    /// from (`None` when the query is not placed). Weight travels with it.
+    pub fn move_to(&mut self, id: QueryId, shard: usize) -> Option<usize> {
+        debug_assert!(shard < self.shards, "caller validates the shard index");
+        let idx = self.assignments.iter().position(|&(qid, _)| qid == id)?;
+        let from = self.assignments[idx].1;
+        self.assignments[idx].1 = shard;
+        Some(from)
     }
 
     /// Remove a query from the plan, returning the shard it was placed on.
     pub fn remove(&mut self, id: QueryId) -> Option<usize> {
         let idx = self.assignments.iter().position(|(qid, _)| *qid == id)?;
+        self.weights.remove(idx);
         Some(self.assignments.remove(idx).1)
     }
 }
 
 /// Validated constructor for [`ShardedSession`]; mirrors
-/// [`SessionBuilder`](crate::session::SessionBuilder) plus the shard count.
+/// [`SessionBuilder`](crate::session::SessionBuilder) plus the shard count,
+/// the automatic-rebalance policy and the per-query fairness budget.
 #[derive(Debug, Clone)]
 pub struct ShardedSessionBuilder {
     config: EngineConfig,
     shards: usize,
+    policy: Option<RebalancePolicy>,
 }
 
 impl Default for ShardedSessionBuilder {
@@ -156,6 +263,7 @@ impl Default for ShardedSessionBuilder {
         ShardedSessionBuilder {
             config: EngineConfig::default(),
             shards: 1,
+            policy: None,
         }
     }
 }
@@ -223,14 +331,33 @@ impl ShardedSessionBuilder {
         self
     }
 
+    /// Enable automatic load rebalancing: after every broadcast batch the
+    /// session checks measured load against the policy and live-migrates
+    /// queries between shards when the imbalance persists. Validated at
+    /// [`ShardedSessionBuilder::build`] time.
+    pub fn rebalance_policy(mut self, policy: RebalancePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Cap each query's enumeration work per batch inside its shard (see
+    /// [`QueryBudget`]). Work past the cap is deferred to later batches,
+    /// never dropped.
+    pub fn query_budget(mut self, budget: QueryBudget) -> Self {
+        self.config.query_budget = Some(budget);
+        self
+    }
+
     /// Validate the configuration and construct the sharded session.
     ///
     /// # Errors
-    /// [`MnemonicError::InvalidConfig`] for a zero delta-batch size or a
-    /// zero shard count; [`MnemonicError::Spill`] when a shard's spill tier
-    /// cannot be created.
+    /// [`MnemonicError::InvalidConfig`] for a zero delta-batch size, a zero
+    /// shard count or an out-of-range [`RebalancePolicy`];
+    /// [`MnemonicError::Spill`] when a shard's spill tier cannot be created.
     pub fn build(self) -> Result<ShardedSession, MnemonicError> {
-        ShardedSession::new(self.config, self.shards)
+        let mut session = ShardedSession::new(self.config, self.shards)?;
+        session.set_rebalance_policy(self.policy)?;
+        Ok(session)
     }
 }
 
@@ -248,6 +375,24 @@ pub struct ShardedSession {
     next_query_id: u64,
     snapshots_processed: u64,
     pending: PendingBuffer,
+    /// Automatic-rebalance policy; `None` disables the auto trigger (manual
+    /// [`ShardedSession::rebalance`] and migration stay available).
+    policy: Option<RebalancePolicy>,
+    /// EWMA of each query's measured per-batch enumeration time — the
+    /// weights the plan is re-placed by.
+    tracker: LoadTracker,
+    /// Consecutive over-threshold batches seen so far (the policy debounce).
+    overload_streak: u32,
+    /// Number of rebalance calls that executed at least one move.
+    rebalance_count: u64,
+    /// The most recent rebalance outcome.
+    last_rebalance: Option<RebalanceReport>,
+    /// Monotone counter of graph-mutating broadcasts; paired with
+    /// `shard_versions` to detect shards that skipped broadcasts while
+    /// empty.
+    graph_version: u64,
+    /// The `graph_version` each shard's graph is at.
+    shard_versions: Vec<u64>,
 }
 
 impl std::fmt::Debug for ShardedSession {
@@ -316,15 +461,24 @@ impl ShardedSession {
             next_query_id: 0,
             snapshots_processed: 0,
             pending: PendingBuffer::default(),
+            policy: None,
+            tracker: LoadTracker::default(),
+            overload_streak: 0,
+            rebalance_count: 0,
+            last_rebalance: None,
+            graph_version: 0,
+            shard_versions: vec![0; shards],
         })
     }
 
     // ---- query registration -------------------------------------------------
 
-    /// Register a standing query on the least-loaded shard, using the
-    /// default root-selection heuristic. Query ids are globally unique
-    /// across shards, so the merged per-batch results and the returned
-    /// [`QueryHandle`] behave exactly as on an unsharded session.
+    /// Register a standing query on the lightest shard by summed load
+    /// weight (seeded from [`static_pattern_cost`], replaced by measured
+    /// load as batches run), using the default root-selection heuristic.
+    /// Query ids are globally unique across shards, so the merged per-batch
+    /// results and the returned [`QueryHandle`] behave exactly as on an
+    /// unsharded session.
     ///
     /// # Errors
     /// [`MnemonicError::DisconnectedQuery`] when the query graph is not
@@ -340,7 +494,7 @@ impl ShardedSession {
     }
 
     /// Register a standing query with an explicitly chosen root query
-    /// vertex.
+    /// vertex, placed on the lightest shard by summed load weight.
     ///
     /// # Errors
     /// [`MnemonicError::DisconnectedQuery`] when the query graph is not
@@ -352,8 +506,56 @@ impl ShardedSession {
         matcher: Box<dyn EdgeMatcher>,
         semantics: Box<dyn MatchSemantics>,
     ) -> Result<QueryHandle, MnemonicError> {
+        let weight = static_pattern_cost(&query);
+        self.register_inner(query, root, matcher, semantics, None, weight)
+    }
+
+    /// Register a standing query pinned to an explicit shard (the
+    /// "experienced user" placement — e.g. a benchmark reproducing a known
+    /// bad static layout, or a caller with out-of-band load knowledge). The
+    /// query can still be moved later by [`ShardedSession::migrate_query`]
+    /// or an automatic rebalance.
+    ///
+    /// # Errors
+    /// [`MnemonicError::UnknownShard`] when `shard` is out of range;
+    /// [`MnemonicError::DisconnectedQuery`] when the query graph is not
+    /// connected.
+    pub fn register_query_on_shard(
+        &mut self,
+        query: QueryGraph,
+        shard: usize,
+        matcher: Box<dyn EdgeMatcher>,
+        semantics: Box<dyn MatchSemantics>,
+    ) -> Result<QueryHandle, MnemonicError> {
+        if shard >= self.shards.len() {
+            return Err(MnemonicError::UnknownShard(shard));
+        }
+        let root = select_root(&query, &LabelFrequencies::new());
+        let weight = static_pattern_cost(&query);
+        self.register_inner(query, root, matcher, semantics, Some(shard), weight)
+    }
+
+    /// The shared registration core: place (weighted or pinned), bring the
+    /// chosen shard's graph up to date if it sat out broadcasts while
+    /// empty, then register + prime on that shard.
+    fn register_inner(
+        &mut self,
+        query: QueryGraph,
+        root: mnemonic_graph::ids::QueryVertexId,
+        matcher: Box<dyn EdgeMatcher>,
+        semantics: Box<dyn MatchSemantics>,
+        pinned: Option<usize>,
+        weight: f64,
+    ) -> Result<QueryHandle, MnemonicError> {
         let id = QueryId(self.next_query_id);
-        let shard = self.plan.assign(id);
+        let shard = match pinned {
+            Some(s) => {
+                self.plan.assign_to(id, s, weight);
+                s
+            }
+            None => self.plan.assign_weighted(id, weight),
+        };
+        self.sync_shard(shard);
         match self.shards[shard].register_query_full(query, root, matcher, semantics, Some(id)) {
             Ok(handle) => {
                 self.next_query_id += 1;
@@ -368,7 +570,9 @@ impl ShardedSession {
     }
 
     /// Remove a standing query from its shard; the handle keeps any
-    /// buffered results and can still be drained.
+    /// buffered results and can still be drained. A shard left without
+    /// queries drops out of the broadcast scope (it stops copying the
+    /// stream) until a query is placed on it again.
     ///
     /// # Errors
     /// [`MnemonicError::UnknownQuery`] when the handle does not belong to
@@ -380,8 +584,185 @@ impl ShardedSession {
             .ok_or(MnemonicError::UnknownQuery(handle.id()))?;
         self.shards[shard].deregister(handle)?;
         self.plan.remove(handle.id());
+        self.tracker.remove(handle.id());
         self.registration_order.retain(|&id| id != handle.id());
         Ok(())
+    }
+
+    // ---- live migration and rebalancing -------------------------------------
+
+    /// Replace the automatic-rebalance policy (`None` disables the auto
+    /// trigger). The load tracker adopts the new policy's EWMA factor and
+    /// the overload streak restarts.
+    ///
+    /// # Errors
+    /// [`MnemonicError::InvalidConfig`] for an out-of-range policy.
+    pub fn set_rebalance_policy(
+        &mut self,
+        policy: Option<RebalancePolicy>,
+    ) -> Result<(), MnemonicError> {
+        if let Some(p) = &policy {
+            p.validate().map_err(MnemonicError::InvalidConfig)?;
+            self.tracker.set_alpha(p.ewma_alpha);
+        }
+        self.policy = policy;
+        self.overload_streak = 0;
+        Ok(())
+    }
+
+    /// The automatic-rebalance policy in effect, if any.
+    pub fn rebalance_policy(&self) -> Option<RebalancePolicy> {
+        self.policy
+    }
+
+    /// Number of rebalances (manual or automatic) that executed at least
+    /// one migration.
+    pub fn rebalance_count(&self) -> u64 {
+        self.rebalance_count
+    }
+
+    /// The outcome of the most recent [`ShardedSession::rebalance`] call.
+    pub fn last_rebalance(&self) -> Option<&RebalanceReport> {
+        self.last_rebalance.as_ref()
+    }
+
+    /// The measured EWMA load (nanos of enumeration time per batch) of a
+    /// live query, once at least one batch has been observed.
+    pub fn measured_load(&self, handle: &QueryHandle) -> Option<f64> {
+        self.tracker.load(handle.id())
+    }
+
+    /// Migrate one standing query to an explicit shard, strictly between
+    /// batches: its state is extracted from the source shard (any
+    /// budget-deferred work drains there first), the target shard's graph is
+    /// brought up to date if needed, and the query's index is re-primed
+    /// against it — after which the merged result stream continues exactly
+    /// as if the query had always lived on the target shard. The handle
+    /// stays valid throughout. Migrating a query to the shard it is already
+    /// on is a no-op.
+    ///
+    /// # Errors
+    /// [`MnemonicError::UnknownShard`] when `to` is out of range;
+    /// [`MnemonicError::UnknownQuery`] for a deregistered/foreign handle.
+    pub fn migrate_query(&mut self, handle: &QueryHandle, to: usize) -> Result<(), MnemonicError> {
+        if to >= self.shards.len() {
+            return Err(MnemonicError::UnknownShard(to));
+        }
+        let from = self
+            .plan
+            .shard_of(handle.id())
+            .ok_or(MnemonicError::UnknownQuery(handle.id()))?;
+        self.execute_move(handle.id(), from, to);
+        Ok(())
+    }
+
+    /// Rebalance the plan now: compute the greedy move list
+    /// ([`plan_moves`]) against the current weights and execute every move
+    /// through the exactness-preserving migration mechanism. Returns the
+    /// report (no moves when the plan is already balanced). Runs strictly
+    /// between batches — results are unaffected, only future load placement
+    /// changes.
+    pub fn rebalance(&mut self) -> RebalanceReport {
+        let imbalance_before = self.plan.imbalance();
+        let moves: Vec<QueryMove> = plan_moves(&self.plan);
+        for m in &moves {
+            self.execute_move(m.query, m.from, m.to);
+        }
+        let report = RebalanceReport {
+            moves,
+            imbalance_before,
+            imbalance_after: self.plan.imbalance(),
+        };
+        if !report.moves.is_empty() {
+            self.rebalance_count += 1;
+        }
+        self.last_rebalance = Some(report.clone());
+        report
+    }
+
+    /// Carry out one validated move: sync the target shard, extract the
+    /// query's state from the source (force-draining its deferred work
+    /// against the graph it was parked on), adopt + re-prime on the target,
+    /// and update the plan.
+    fn execute_move(&mut self, id: QueryId, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        self.sync_shard(to);
+        let Some(state) = self.shards[from].take_query(id) else {
+            debug_assert!(false, "plan and shards disagree on query placement");
+            return;
+        };
+        self.shards[to].adopt_query(state);
+        self.plan.move_to(id, to);
+    }
+
+    /// Bring one shard's graph up to date by cloning it from a shard that
+    /// has processed every broadcast. The clone is edge-id-exact (including
+    /// the recycler state), so a query placed or migrated onto the shard
+    /// sees exactly the graph it would have seen had the shard never been
+    /// skipped. Only shards that sat out broadcasts while empty can be
+    /// stale, so the clone never overwrites live query state.
+    fn sync_shard(&mut self, shard: usize) {
+        if self.shard_versions[shard] == self.graph_version {
+            return;
+        }
+        debug_assert!(
+            self.shards[shard].queries.is_empty(),
+            "only empty shards can go stale"
+        );
+        let donor = self
+            .shard_versions
+            .iter()
+            .position(|&v| v == self.graph_version)
+            .expect("the broadcast scope is never empty, so one shard is always current");
+        self.shards[shard].graph = self.shards[donor].graph.clone();
+        self.shard_versions[shard] = self.graph_version;
+    }
+
+    /// The shards that receive the next broadcast: every shard with at
+    /// least one query, or shard 0 alone when no queries are live (the
+    /// stream must keep flowing so re-registration sees the full graph —
+    /// and one current shard is what keeps [`ShardedSession::sync_shard`]'s
+    /// donor guarantee).
+    fn broadcast_scope(&self) -> Vec<usize> {
+        let scope: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| self.plan.load(s) > 0)
+            .collect();
+        if scope.is_empty() {
+            vec![0]
+        } else {
+            scope
+        }
+    }
+
+    /// Post-batch scheduling work: fold each query's measured enumeration
+    /// time into the EWMA tracker, refresh the plan's weights, and fire the
+    /// policy's auto-rebalance when the imbalance has persisted past the
+    /// debounce window.
+    fn after_batch(&mut self) {
+        for shard in &self.shards {
+            for (id, nanos) in shard.query_enumeration_nanos() {
+                self.tracker.observe(id, nanos);
+            }
+        }
+        for (id, load) in self.tracker.loads() {
+            if load > 0.0 {
+                self.plan.set_weight(id, load);
+            }
+        }
+        let Some(policy) = self.policy else {
+            return;
+        };
+        if self.plan.imbalance() > policy.imbalance_threshold {
+            self.overload_streak += 1;
+            if self.overload_streak >= policy.window {
+                self.overload_streak = 0;
+                self.rebalance();
+            }
+        } else {
+            self.overload_streak = 0;
+        }
     }
 
     // ---- accessors ----------------------------------------------------------
@@ -446,25 +827,36 @@ impl ShardedSession {
 
     // ---- broadcast ingest ---------------------------------------------------
 
-    /// Run `f` once per shard, concurrently on the shard-level pool when one
-    /// is configured.
-    fn for_each_shard<R, F>(&mut self, f: F) -> Vec<R>
+    /// Run `f` once per scope shard (ascending shard order), concurrently on
+    /// the shard-level pool when one is configured. The result vector is in
+    /// scope order.
+    fn for_each_shard_in<R, F>(&mut self, scope: &[usize], f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&mut MnemonicSession) -> R + Sync,
     {
-        let mut slots: Vec<Option<R>> = self.shards.iter().map(|_| None).collect();
+        let mut in_scope = vec![false; self.shards.len()];
+        for &s in scope {
+            in_scope[s] = true;
+        }
+        let mut slots: Vec<Option<R>> = scope.iter().map(|_| None).collect();
+        let selected = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .filter(|&(i, _)| in_scope[i])
+            .map(|(_, shard)| shard);
         match &self.pool {
             Some(pool) => {
                 let f = &f;
                 pool.scope(|s| {
-                    for (shard, slot) in self.shards.iter_mut().zip(slots.iter_mut()) {
+                    for (shard, slot) in selected.zip(slots.iter_mut()) {
                         s.spawn(move |_| *slot = Some(f(shard)));
                     }
                 });
             }
             None => {
-                for (shard, slot) in self.shards.iter_mut().zip(slots.iter_mut()) {
+                for (shard, slot) in selected.zip(slots.iter_mut()) {
                     *slot = Some(f(shard));
                 }
             }
@@ -514,9 +906,13 @@ impl ShardedSession {
         Ok(merged)
     }
 
-    /// Broadcast one snapshot to every shard and merge the outcomes. Shards
+    /// Broadcast one snapshot to every shard in scope (shards with at least
+    /// one query — empty shards skip the copy and resync by graph clone if a
+    /// query is later placed on them) and merge the outcomes. Scope shards
     /// run concurrently on the shard-level pool; each applies the full
-    /// staged pipeline to its own graph.
+    /// staged pipeline to its own graph. After the merge the session folds
+    /// the measured per-query load into its tracker and, when a
+    /// [`RebalancePolicy`] is set, fires the automatic rebalance.
     ///
     /// # Errors
     /// See [`MnemonicSession::apply_snapshot`]. If any shard fails the
@@ -525,18 +921,39 @@ impl ShardedSession {
         &mut self,
         snapshot: &Snapshot,
     ) -> Result<SessionBatchResult, MnemonicError> {
-        let results = self.for_each_shard(|shard| shard.apply_snapshot(snapshot));
+        let scope = self.broadcast_scope();
+        for &s in &scope {
+            self.sync_shard(s);
+        }
+        let results = self.for_each_shard_in(&scope, |shard| shard.apply_snapshot(snapshot));
+        self.graph_version += 1;
+        for &s in &scope {
+            self.shard_versions[s] = self.graph_version;
+        }
         self.snapshots_processed += 1;
-        self.merge_results(results)
+        let merged = self.merge_results(results)?;
+        self.after_batch();
+        Ok(merged)
     }
 
-    /// Load an initial graph into every shard without reporting embeddings
-    /// (the [`MnemonicSession::bootstrap`] semantics, broadcast).
+    /// Load an initial graph into every scope shard without reporting
+    /// embeddings (the [`MnemonicSession::bootstrap`] semantics,
+    /// broadcast). Out-of-scope shards pick the state up by graph clone
+    /// when a query is placed on them.
     ///
     /// # Errors
     /// See [`MnemonicSession::bootstrap`].
     pub fn bootstrap(&mut self, events: &[StreamEvent]) -> Result<(), MnemonicError> {
-        for result in self.for_each_shard(|shard| shard.bootstrap(events)) {
+        let scope = self.broadcast_scope();
+        for &s in &scope {
+            self.sync_shard(s);
+        }
+        let results = self.for_each_shard_in(&scope, |shard| shard.bootstrap(events));
+        self.graph_version += 1;
+        for &s in &scope {
+            self.shard_versions[s] = self.graph_version;
+        }
+        for result in results {
             result?;
         }
         Ok(())
@@ -622,16 +1039,28 @@ impl ShardedSession {
     /// # Errors
     /// See [`ShardedSession::apply_snapshot`].
     pub fn finish(mut self) -> Result<Option<SessionBatchResult>, MnemonicError> {
-        self.flush_pending()
+        let result = self.flush_pending()?;
+        // Keep the fairness budget's defer-never-drop promise: run every
+        // shard's parked backlog to completion (delivered through the
+        // handles, not a batch outcome).
+        for shard in &self.shards {
+            shard.force_drain_deferred();
+        }
+        Ok(result)
     }
 
     /// Periodic reset (Section VII-D), broadcast to every shard; pending
-    /// pre-reset events are discarded with the old epoch.
+    /// pre-reset events are discarded with the old epoch. Every shard's
+    /// graph is identically empty afterwards, so stale shards are current
+    /// again by construction.
     pub fn periodic_reset(&mut self) {
         for shard in self.shards.iter_mut() {
             shard.periodic_reset();
         }
         self.pending.clear();
+        for v in self.shard_versions.iter_mut() {
+            *v = self.graph_version;
+        }
     }
 }
 
@@ -776,5 +1205,196 @@ mod tests {
             .unwrap());
         assert_eq!(sequential, parallel);
         assert!(sequential.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn weighted_placement_and_imbalance_math() {
+        let mut plan = ShardPlan::new(2);
+        assert_eq!(plan.imbalance(), 1.0, "empty plan is perfectly balanced");
+        plan.assign_weighted(QueryId(0), 10.0);
+        plan.assign_weighted(QueryId(1), 1.0);
+        // Heavy query went first; the light one must land on the other shard.
+        assert_ne!(plan.shard_of(QueryId(0)), plan.shard_of(QueryId(1)));
+        // A second light query joins the light shard, not the heavy one.
+        let s2 = plan.assign_weighted(QueryId(2), 1.0);
+        assert_eq!(Some(s2), plan.shard_of(QueryId(1)));
+        assert_eq!(plan.weight_of(QueryId(0)), Some(10.0));
+        // imbalance = max * shards / total = 10 * 2 / 12.
+        assert!((plan.imbalance() - 20.0 / 12.0).abs() < 1e-9);
+        assert!(plan.set_weight(QueryId(0), 2.0));
+        assert!(!plan.set_weight(QueryId(9), 2.0));
+        assert!((plan.imbalance() - 1.0).abs() < 1e-9, "2 vs 2 is balanced");
+        assert_eq!(plan.move_to(QueryId(0), 1), Some(0));
+        assert_eq!(plan.shard_of(QueryId(0)), Some(1));
+        assert!((plan.shard_weight(1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_shards_leave_broadcast_scope_and_resync_on_reuse() {
+        let mut s = sharded(2);
+        let triangles = register(&mut s, patterns::triangle());
+        let paths = register(&mut s, patterns::path(3));
+        let idle = s.shard_of(&paths).unwrap();
+        let busy = s.shard_of(&triangles).unwrap();
+        s.run_events([StreamEvent::insert(0, 1, 0), StreamEvent::insert(1, 2, 0)])
+            .unwrap();
+        s.deregister(&paths).unwrap();
+        // The freed shard is out of scope: its graph stays frozen.
+        s.run_events([StreamEvent::insert(2, 0, 0), StreamEvent::insert(2, 3, 0)])
+            .unwrap();
+        assert_eq!(s.shard(idle).unwrap().graph().live_edge_count(), 2);
+        assert_eq!(s.shard(busy).unwrap().graph().live_edge_count(), 4);
+        // A new registration reuses the freed shard and resyncs its graph,
+        // so the primed index sees the edges it missed while idle.
+        let paths2 = register(&mut s, patterns::path(3));
+        assert_eq!(s.shard_of(&paths2), Some(idle));
+        assert_eq!(s.shard(idle).unwrap().graph().live_edge_count(), 4);
+        assert!(triangles.accepted() > 0);
+        s.run_events([StreamEvent::insert(3, 1, 0)]).unwrap();
+        assert_eq!(s.shard(idle).unwrap().graph().live_edge_count(), 5);
+        // The new edge combines with edges inserted while the shard was
+        // idle (e.g. 2→3→1), so the re-primed index must know them.
+        assert!(paths2.accepted() > 0, "re-primed query sees old edges");
+    }
+
+    #[test]
+    fn migrate_query_moves_state_and_rejects_bad_targets() {
+        let mut s = sharded(2);
+        let triangles = register(&mut s, patterns::triangle());
+        let paths = register(&mut s, patterns::path(3));
+        let from = s.shard_of(&triangles).unwrap();
+        let to = 1 - from;
+        let events: Vec<StreamEvent> = [
+            (0, 1),
+            (1, 2),
+            (3, 4),
+            (4, 3),
+            (2, 0),
+            (1, 3),
+            (3, 0),
+            (2, 3),
+        ]
+        .into_iter()
+        .map(|(u, v)| StreamEvent::insert(u, v, 0))
+        .collect();
+        s.run_events(events[..4].iter().copied()).unwrap();
+        let before = triangles.accepted();
+        assert!(matches!(
+            s.migrate_query(&triangles, 9),
+            Err(MnemonicError::UnknownShard(9))
+        ));
+        s.migrate_query(&triangles, to).unwrap();
+        assert_eq!(s.shard_of(&triangles), Some(to));
+        // Migrating onto the current shard is a no-op.
+        s.migrate_query(&triangles, to).unwrap();
+        s.run_events(events[4..].iter().copied()).unwrap();
+
+        // The migrated run must match a never-migrated oracle exactly.
+        let mut oracle = sharded(2);
+        let ot = register(&mut oracle, patterns::triangle());
+        let op = register(&mut oracle, patterns::path(3));
+        oracle.run_events(events.iter().copied()).unwrap();
+        assert!(triangles.accepted() > before);
+        assert_eq!(triangles.accepted(), ot.accepted());
+        assert_eq!(paths.accepted(), op.accepted());
+
+        s.deregister(&paths).unwrap();
+        assert!(matches!(
+            s.migrate_query(&paths, 0),
+            Err(MnemonicError::UnknownQuery(_))
+        ));
+    }
+
+    #[test]
+    fn rebalance_separates_stacked_heavy_queries() {
+        let mut s = sharded(2);
+        let a = s
+            .register_query_on_shard(
+                patterns::triangle(),
+                0,
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .unwrap();
+        let b = s
+            .register_query_on_shard(
+                patterns::triangle(),
+                0,
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .unwrap();
+        assert_eq!(s.plan().load(0), 2);
+        let report = s.rebalance();
+        assert_eq!(report.moves.len(), 1, "one triangle moves off the pile");
+        assert!(report.imbalance_after < report.imbalance_before);
+        assert_eq!(s.rebalance_count(), 1);
+        assert!(s.last_rebalance().is_some());
+        assert_ne!(s.shard_of(&a), s.shard_of(&b));
+        // Balanced plans have nothing to move.
+        assert!(s.rebalance().moves.is_empty());
+        let r = s
+            .run_events([
+                StreamEvent::insert(0, 1, 0),
+                StreamEvent::insert(1, 2, 0),
+                StreamEvent::insert(2, 0, 0),
+            ])
+            .unwrap();
+        assert_eq!(r[0].for_query(a.id()).unwrap().new_embeddings, 3);
+        assert_eq!(r[0].for_query(b.id()).unwrap().new_embeddings, 3);
+        assert!(s.measured_load(&a).is_some());
+    }
+
+    #[test]
+    fn auto_rebalance_fires_under_policy() {
+        let mut s = ShardedSession::builder()
+            .shards(2)
+            .sequential()
+            .batch_size(2)
+            .rebalance_policy(RebalancePolicy {
+                imbalance_threshold: 1.2,
+                window: 2,
+                ewma_alpha: 0.5,
+            })
+            .build()
+            .unwrap();
+        let a = s
+            .register_query_on_shard(
+                patterns::triangle(),
+                0,
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .unwrap();
+        let b = s
+            .register_query_on_shard(
+                patterns::triangle(),
+                0,
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .unwrap();
+        let events: Vec<StreamEvent> = (0..24u32)
+            .map(|i| StreamEvent::insert(i % 6, (i * 5 + 1) % 6, 0))
+            .collect();
+        s.run_events(events.iter().copied()).unwrap();
+        assert!(
+            s.rebalance_count() >= 1,
+            "sustained 2x-on-one-shard load must trigger a move"
+        );
+        assert_ne!(s.shard_of(&a), s.shard_of(&b));
+
+        // Results still match an unsharded oracle.
+        let mut oracle = MnemonicSession::builder().batch_size(2).build().unwrap();
+        let oa = oracle
+            .register_query(
+                patterns::triangle(),
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .unwrap();
+        oracle.run_events(events.iter().copied()).unwrap();
+        assert_eq!(a.accepted(), oa.accepted());
+        assert_eq!(b.accepted(), oa.accepted());
     }
 }

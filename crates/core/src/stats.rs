@@ -177,6 +177,9 @@ pub struct QueryStats {
     /// Summed wall time of the query's enumeration work units (across a
     /// parallel pool this can exceed the batch wall-clock).
     pub enumeration: Duration,
+    /// Fairness-budget activity (all zero when no
+    /// [`QueryBudget`](crate::rebalance::QueryBudget) is configured).
+    pub budget: BudgetSnapshot,
 }
 
 impl QueryStats {
@@ -191,6 +194,25 @@ impl QueryStats {
             self.enumeration.as_secs_f64() / total.as_secs_f64()
         }
     }
+}
+
+/// Per-query view of the fairness-budget machinery
+/// ([`QueryBudget`](crate::rebalance::QueryBudget)): how many enumeration
+/// work units were deferred past their batch, how many of those have since
+/// completed, and how many are still parked. The budget **defers, never
+/// drops** — `backlog_units` drains to zero at the latest when the session
+/// [`finish`](crate::session::MnemonicSession::finish)es, so the lifetime
+/// embedding multiset is identical to an unbudgeted run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetSnapshot {
+    /// Work units deferred past their original batch, cumulatively.
+    pub deferred_units: u64,
+    /// Deferred work units that have since been run, cumulatively.
+    pub completed_deferred_units: u64,
+    /// Work units currently parked (`deferred - completed`).
+    pub backlog_units: u64,
+    /// Number of batches in which this query exhausted its budget.
+    pub deferral_batches: u64,
 }
 
 /// Worker utilisation samples for Figure 7: the fraction of busy worker time

@@ -1,0 +1,192 @@
+//! Adversarial churn: the sharded scheduler under register/deregister
+//! storms, deletion bursts and mid-stream migrations/rebalances must stay
+//! embedding-for-embedding identical to an unsharded oracle session.
+//!
+//! Every round replays one stream segment through both executors with the
+//! same flush boundaries, then mutates the standing-query set the same way
+//! on both sides — except migrations and [`ShardedSession::rebalance`]
+//! calls, which exist only on the sharded side and must therefore be
+//! invisible in the results. Checked in per-edge and batched update modes.
+//!
+//! [`ShardedSession::rebalance`]: mnemonic::core::shard::ShardedSession::rebalance
+
+use mnemonic::core::api::{LabelEdgeMatcher, UpdateMode};
+use mnemonic::core::embedding::CompleteEmbedding;
+use mnemonic::core::engine::EngineConfig;
+use mnemonic::core::session::{MnemonicSession, QueryHandle};
+use mnemonic::core::shard::ShardedSession;
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::query::patterns;
+use mnemonic::query::query_graph::QueryGraph;
+use mnemonic::stream::event::StreamEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARDS: usize = 3;
+const ROUNDS: usize = 8;
+const EVENTS_PER_ROUND: usize = 30;
+
+/// A mixed stream whose even rounds are insert-heavy and whose odd rounds
+/// are *deletion bursts* (70% deletes while edges remain) — churn on the
+/// graph to match the churn on the query set.
+fn bursty_stream(seed: u64, vertices: u32, labels: u16) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(u32, u32, u16)> = Vec::new();
+    let mut out = Vec::with_capacity(ROUNDS * EVENTS_PER_ROUND);
+    for round in 0..ROUNDS {
+        let p_delete = if round % 2 == 0 { 0.15 } else { 0.7 };
+        for i in 0..EVENTS_PER_ROUND {
+            let ts = (round * EVENTS_PER_ROUND + i) as u64;
+            if !live.is_empty() && rng.gen_bool(p_delete) {
+                let idx = rng.gen_range(0..live.len());
+                let (s, d, l) = live.swap_remove(idx);
+                out.push(StreamEvent::delete(s, d, l).at(ts));
+            } else {
+                let src = rng.gen_range(0..vertices);
+                let mut dst = rng.gen_range(0..vertices);
+                if dst == src {
+                    dst = (dst + 1) % vertices;
+                }
+                let label = rng.gen_range(0..labels);
+                live.push((src, dst, label));
+                out.push(StreamEvent::insert(src, dst, label).at(ts));
+            }
+        }
+    }
+    out
+}
+
+fn pattern(i: usize) -> QueryGraph {
+    match i % 4 {
+        0 => patterns::triangle(),
+        1 => patterns::path(3),
+        2 => patterns::rectangle(),
+        _ => patterns::dual_triangle(),
+    }
+}
+
+fn sorted(mut embeddings: Vec<CompleteEmbedding>) -> Vec<CompleteEmbedding> {
+    embeddings.sort();
+    embeddings
+}
+
+/// One live query, registered identically on both executors.
+struct LivePair {
+    pattern_idx: usize,
+    sharded: QueryHandle,
+    oracle: QueryHandle,
+}
+
+fn check_churn(mode: UpdateMode, seed: u64) {
+    let events = bursty_stream(seed, 11, 2);
+    let config = EngineConfig {
+        update_mode: mode,
+        ..EngineConfig::sequential()
+    };
+    let mut sharded = ShardedSession::builder()
+        .shards(SHARDS)
+        .config(config.clone())
+        .build()
+        .expect("valid sharded config");
+    let mut oracle = MnemonicSession::builder()
+        .config(config)
+        .build()
+        .expect("valid session config");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+
+    let register =
+        |sharded: &mut ShardedSession, oracle: &mut MnemonicSession, i: usize| LivePair {
+            pattern_idx: i,
+            sharded: sharded
+                .register_query(
+                    pattern(i),
+                    Box::new(LabelEdgeMatcher),
+                    Box::new(Isomorphism),
+                )
+                .expect("connected query"),
+            oracle: oracle
+                .register_query(
+                    pattern(i),
+                    Box::new(LabelEdgeMatcher),
+                    Box::new(Isomorphism),
+                )
+                .expect("connected query"),
+        };
+
+    let mut live: Vec<LivePair> = (0..3)
+        .map(|i| register(&mut sharded, &mut oracle, i))
+        .collect();
+    let mut next_pattern = 3usize;
+
+    for (round, segment) in events.chunks(EVENTS_PER_ROUND).enumerate() {
+        sharded
+            .run_events(segment.iter().copied())
+            .expect("sharded replay succeeds");
+        oracle
+            .run_events(segment.iter().copied())
+            .expect("oracle replay succeeds");
+
+        for pair in &live {
+            let got = pair.sharded.drain();
+            let want = pair.oracle.drain();
+            assert_eq!(
+                sorted(got.positive),
+                sorted(want.positive),
+                "round {round}: positive embeddings diverged for pattern {} (mode {mode:?})",
+                pair.pattern_idx
+            );
+            assert_eq!(
+                sorted(got.negative),
+                sorted(want.negative),
+                "round {round}: negative embeddings diverged for pattern {} (mode {mode:?})",
+                pair.pattern_idx
+            );
+        }
+
+        // Register/deregister storm: both sides mutate identically.
+        if !live.is_empty() && rng.gen_bool(0.5) {
+            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            sharded.deregister(&victim.sharded).expect("live handle");
+            oracle.deregister(&victim.oracle).expect("live handle");
+        }
+        while rng.gen_bool(0.6) {
+            live.push(register(&mut sharded, &mut oracle, next_pattern));
+            next_pattern += 1;
+        }
+        // Scheduler churn, sharded side only: results must not notice.
+        if !live.is_empty() && rng.gen_bool(0.5) {
+            let pair = &live[rng.gen_range(0..live.len())];
+            let to = rng.gen_range(0..SHARDS);
+            sharded
+                .migrate_query(&pair.sharded, to)
+                .expect("live query");
+            assert_eq!(sharded.shard_of(&pair.sharded), Some(to));
+        }
+        if rng.gen_bool(0.3) {
+            sharded.rebalance();
+        }
+    }
+
+    assert!(
+        !live.is_empty(),
+        "churn schedule must leave some query standing"
+    );
+    for pair in &live {
+        assert_eq!(
+            pair.sharded.accepted(),
+            pair.oracle.accepted(),
+            "final accepted count diverged for pattern {}",
+            pair.pattern_idx
+        );
+    }
+}
+
+#[test]
+fn churn_storm_matches_oracle_per_edge() {
+    check_churn(UpdateMode::PerEdge, 2024);
+}
+
+#[test]
+fn churn_storm_matches_oracle_batched() {
+    check_churn(UpdateMode::Batched(5), 4077);
+}

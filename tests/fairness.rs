@@ -1,0 +1,197 @@
+//! Fairness under per-query budgets: one enumeration-heavy wildcard cycle
+//! sharing a session with three cheap label-selective paths, run under a
+//! tight [`QueryBudget`]. The budget must (a) actually bite on the heavy
+//! query (deferrals recorded), (b) never touch the cheap queries, and
+//! (c) lose nothing — after [`MnemonicSession::finish`] the embedding
+//! multiset of every query equals an unbudgeted run and the deferred
+//! backlog reads zero.
+//!
+//! [`QueryBudget`]: mnemonic::core::rebalance::QueryBudget
+//! [`MnemonicSession::finish`]: mnemonic::core::session::MnemonicSession::finish
+
+use mnemonic::core::api::LabelEdgeMatcher;
+use mnemonic::core::embedding::CompleteEmbedding;
+use mnemonic::core::rebalance::QueryBudget;
+use mnemonic::core::session::{MnemonicSession, QueryHandle, SessionBuilder};
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::query::patterns;
+use mnemonic::query::query_graph::QueryGraph;
+use mnemonic::stream::event::StreamEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One wildcard 4-cycle (enumeration-heavy: every edge matches all four
+/// query edges, so a full batch can spawn `4 × batch` work units) and three
+/// cheap paths whose two edge labels are *distinct*, so each batch edge
+/// matches at most one query edge — at most `batch` work units per batch,
+/// which a budget of one batch's worth never parks.
+fn query_set() -> Vec<QueryGraph> {
+    let w = mnemonic::graph::ids::WILDCARD_VERTEX_LABEL.0;
+    vec![
+        patterns::cycle(4),
+        patterns::labelled_path(&[w, w, w], &[0, 1]),
+        patterns::labelled_path(&[w, w, w], &[1, 2]),
+        patterns::labelled_path(&[w, w, w], &[2, 0]),
+    ]
+}
+
+fn insert_stream(seed: u64, vertices: u32, events: usize) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..events as u64)
+        .map(|ts| {
+            let src = rng.gen_range(0..vertices);
+            let mut dst = rng.gen_range(0..vertices);
+            if dst == src {
+                dst = (dst + 1) % vertices;
+            }
+            StreamEvent::insert(src, dst, rng.gen_range(0..3)).at(ts)
+        })
+        .collect()
+}
+
+fn mixed_stream(seed: u64, vertices: u32, events: usize) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(u32, u32, u16)> = Vec::new();
+    let mut out = Vec::with_capacity(events);
+    for ts in 0..events as u64 {
+        if !live.is_empty() && rng.gen_bool(0.25) {
+            let idx = rng.gen_range(0..live.len());
+            let (s, d, l) = live.swap_remove(idx);
+            out.push(StreamEvent::delete(s, d, l).at(ts));
+        } else {
+            let src = rng.gen_range(0..vertices);
+            let mut dst = rng.gen_range(0..vertices);
+            if dst == src {
+                dst = (dst + 1) % vertices;
+            }
+            let label = rng.gen_range(0..3);
+            live.push((src, dst, label));
+            out.push(StreamEvent::insert(src, dst, label).at(ts));
+        }
+    }
+    out
+}
+
+fn sorted(mut embeddings: Vec<CompleteEmbedding>) -> Vec<CompleteEmbedding> {
+    embeddings.sort();
+    embeddings
+}
+
+fn builder() -> SessionBuilder {
+    MnemonicSession::builder().sequential().batch_size(8)
+}
+
+/// Run the stream to completion (including the finish() drain) and return
+/// per-query (positive, negative) results plus the handles for stats.
+fn run_to_end(
+    mut session: MnemonicSession,
+    events: &[StreamEvent],
+) -> Vec<(QueryHandle, Vec<CompleteEmbedding>, Vec<CompleteEmbedding>)> {
+    let handles: Vec<QueryHandle> = query_set()
+        .into_iter()
+        .map(|q| {
+            session
+                .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        })
+        .collect();
+    session
+        .run_events(events.iter().copied())
+        .expect("replay succeeds");
+    session.finish().expect("finish drains the backlog");
+    handles
+        .into_iter()
+        .map(|h| {
+            let r = h.drain();
+            (h, r.positive, r.negative)
+        })
+        .collect()
+}
+
+#[test]
+fn tight_budget_defers_the_heavy_query_without_starving_the_cheap_ones() {
+    let events = insert_stream(7, 9, 160);
+
+    let unbudgeted = run_to_end(builder().build().unwrap(), &events);
+    let budgeted = run_to_end(
+        builder()
+            .query_budget(QueryBudget::units(8))
+            .build()
+            .unwrap(),
+        &events,
+    );
+
+    // The budget bit on the heavy wildcard cycle...
+    let heavy = budgeted[0].0.budget_stats();
+    assert!(heavy.deferred_units > 0, "heavy query must hit the budget");
+    assert!(heavy.deferral_batches > 0);
+    // ...but nothing was lost: backlog drained and results are identical.
+    for (q, ((bh, bp, bn), (_, up, un))) in budgeted.iter().zip(&unbudgeted).enumerate() {
+        let stats = bh.budget_stats();
+        assert_eq!(
+            stats.backlog_units, 0,
+            "query {q}: finish() must drain every deferred unit"
+        );
+        assert_eq!(stats.completed_deferred_units, stats.deferred_units);
+        assert_eq!(
+            sorted(bp.clone()),
+            sorted(up.clone()),
+            "query {q}: budget changed the positive embedding multiset"
+        );
+        assert_eq!(
+            sorted(bn.clone()),
+            sorted(un.clone()),
+            "query {q}: budget changed the negative embedding multiset"
+        );
+    }
+
+    // The cheap label-selective paths fit comfortably in the budget: they
+    // must never be deferred — the whole point of per-query (rather than
+    // per-batch) budgets is that one pathological query cannot starve its
+    // co-tenants.
+    for (q, (handle, _, _)) in budgeted.iter().enumerate().skip(1) {
+        let stats = handle.budget_stats();
+        assert_eq!(
+            stats.deferred_units, 0,
+            "cheap query {q} was deferred by the heavy query's overflow"
+        );
+        assert!(handle.accepted() > 0, "cheap query {q} found nothing");
+    }
+}
+
+/// Deletion batches force-drain the deferred backlog first (stored frontier
+/// bitsets must not see recycled edge ids), so a budgeted run over a mixed
+/// insert/delete stream is the sharper exactness check.
+#[test]
+fn budget_stays_exact_under_deletions() {
+    let events = mixed_stream(23, 9, 200);
+
+    let unbudgeted = run_to_end(builder().build().unwrap(), &events);
+    let budgeted = run_to_end(
+        builder()
+            .query_budget(QueryBudget::units(8))
+            .build()
+            .unwrap(),
+        &events,
+    );
+
+    assert!(
+        budgeted
+            .iter()
+            .any(|(h, _, _)| h.budget_stats().deferred_units > 0),
+        "fixture must actually exercise deferral"
+    );
+    for (q, ((bh, bp, bn), (_, up, un))) in budgeted.iter().zip(&unbudgeted).enumerate() {
+        assert_eq!(bh.budget_stats().backlog_units, 0);
+        assert_eq!(
+            sorted(bp.clone()),
+            sorted(up.clone()),
+            "query {q}: positive embeddings diverged under budget + deletions"
+        );
+        assert_eq!(
+            sorted(bn.clone()),
+            sorted(un.clone()),
+            "query {q}: negative embeddings diverged under budget + deletions"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Migration exactness, property-based: for *random* migration schedules —
+//! (segment boundary, query, destination shard) triples applied while a
+//! mixed insert/delete stream replays — the merged result stream of a
+//! sharded session must be identical, embedding for embedding, to the same
+//! session that never migrates. This includes results of the segment during
+//! which a migration happens: migrations execute strictly between delta
+//! batches, so no batch is ever split across two shards.
+
+use mnemonic::core::api::{LabelEdgeMatcher, UpdateMode};
+use mnemonic::core::embedding::CompleteEmbedding;
+use mnemonic::core::engine::EngineConfig;
+use mnemonic::core::session::QueryHandle;
+use mnemonic::core::shard::ShardedSession;
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::query::patterns;
+use mnemonic::query::query_graph::QueryGraph;
+use mnemonic::stream::event::StreamEvent;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARDS: usize = 3;
+const QUERIES: usize = 4;
+const SEGMENTS: usize = 6;
+const EVENTS_PER_SEGMENT: usize = 25;
+
+/// Same deterministic mixed stream construction as `tests/sharding.rs`.
+fn mixed_stream(seed: u64, vertices: u32, labels: u16, events: usize) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(u32, u32, u16)> = Vec::new();
+    let mut out = Vec::with_capacity(events);
+    for ts in 0..events as u64 {
+        if !live.is_empty() && rng.gen_bool(0.25) {
+            let idx = rng.gen_range(0..live.len());
+            let (s, d, l) = live.swap_remove(idx);
+            out.push(StreamEvent::delete(s, d, l).at(ts));
+        } else {
+            let src = rng.gen_range(0..vertices);
+            let mut dst = rng.gen_range(0..vertices);
+            if dst == src {
+                dst = (dst + 1) % vertices;
+            }
+            let label = rng.gen_range(0..labels);
+            live.push((src, dst, label));
+            out.push(StreamEvent::insert(src, dst, label).at(ts));
+        }
+    }
+    out
+}
+
+fn query_set() -> Vec<QueryGraph> {
+    vec![
+        patterns::triangle(),
+        patterns::path(3),
+        patterns::rectangle(),
+        patterns::dual_triangle(),
+    ]
+}
+
+fn sorted(mut embeddings: Vec<(usize, CompleteEmbedding)>) -> Vec<(usize, CompleteEmbedding)> {
+    embeddings.sort();
+    embeddings
+}
+
+/// Replay the stream in `SEGMENTS` chunks, executing the scheduled
+/// migrations at their segment boundaries, and return each query's total
+/// drained results.
+/// Results are tagged with the segment index they were delivered in, so the
+/// comparison also pins *when* each embedding surfaced — a migration must
+/// not shift delivery across a segment boundary.
+type Tagged = Vec<(usize, CompleteEmbedding)>;
+
+fn replay(
+    events: &[StreamEvent],
+    schedule: &[(usize, usize, usize)],
+    batch: usize,
+) -> Vec<(Tagged, Tagged)> {
+    let mut session = ShardedSession::builder()
+        .shards(SHARDS)
+        .config(EngineConfig {
+            update_mode: UpdateMode::from_batch_size(batch),
+            ..EngineConfig::sequential()
+        })
+        .build()
+        .expect("valid sharded config");
+    let handles: Vec<QueryHandle> = query_set()
+        .into_iter()
+        .map(|q| {
+            session
+                .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        })
+        .collect();
+    let mut out = vec![(Vec::new(), Vec::new()); handles.len()];
+    for (segment_idx, segment) in events.chunks(EVENTS_PER_SEGMENT).enumerate() {
+        for &(at, query, to) in schedule {
+            if at == segment_idx {
+                session
+                    .migrate_query(&handles[query], to)
+                    .expect("live query and valid shard");
+                assert_eq!(session.shard_of(&handles[query]), Some(to));
+            }
+        }
+        session
+            .run_events(segment.iter().copied())
+            .expect("replay succeeds");
+        for (q, handle) in handles.iter().enumerate() {
+            let batch = handle.drain();
+            out[q]
+                .0
+                .extend(batch.positive.into_iter().map(|e| (segment_idx, e)));
+            out[q]
+                .1
+                .extend(batch.negative.into_iter().map(|e| (segment_idx, e)));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any migration schedule yields exactly the never-migrated results.
+    #[test]
+    fn random_migration_schedules_preserve_exactness(
+        schedule in prop::collection::vec(
+            (0usize..SEGMENTS, 0usize..QUERIES, 0usize..SHARDS),
+            1..5,
+        ),
+        seed in 0u64..1_000,
+        batch_choice in 0usize..3,
+    ) {
+        let batch = [1usize, 7, 64][batch_choice];
+        let events = mixed_stream(seed, 10, 2, SEGMENTS * EVENTS_PER_SEGMENT);
+        let migrated = replay(&events, &schedule, batch);
+        let baseline = replay(&events, &[], batch);
+        for (q, (got, want)) in migrated.into_iter().zip(baseline).enumerate() {
+            prop_assert_eq!(
+                sorted(got.0),
+                sorted(want.0),
+                "query {}: positive embeddings diverged under schedule {:?}",
+                q,
+                schedule
+            );
+            prop_assert_eq!(
+                sorted(got.1),
+                sorted(want.1),
+                "query {}: negative embeddings diverged under schedule {:?}",
+                q,
+                schedule
+            );
+        }
+    }
+}

@@ -400,3 +400,125 @@ fn per_query_stats_attribute_enumeration_time() {
         );
     }
 }
+
+/// Deregistering the last query of a shard must drop that shard out of the
+/// broadcast scope: its graph freezes while it idles (no wasted update
+/// work, no broadcasts into a query-less shard), and the next registration
+/// that lands there resyncs the graph before priming — so results stay
+/// exact across the idle gap.
+#[test]
+fn empty_shards_skip_broadcasts_and_stay_exact_after_resync() {
+    let events = mixed_stream(59, 10, 2, 150);
+    let (first, second, third) = {
+        let (a, rest) = events.split_at(50);
+        let (b, c) = rest.split_at(50);
+        (a, b, c)
+    };
+    let mode = UpdateMode::Batched(8);
+
+    let mut sharded = ShardedSession::builder()
+        .shards(2)
+        .config(config_with(mode))
+        .build()
+        .unwrap();
+    let triangles = sharded
+        .register_query(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+    let paths = sharded
+        .register_query(
+            patterns::path(3),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+    let idle = sharded.shard_of(&paths).expect("registered");
+    let busy = sharded.shard_of(&triangles).expect("registered");
+    assert_ne!(idle, busy);
+
+    sharded.run_events(first.iter().copied()).unwrap();
+    sharded.deregister(&paths).unwrap();
+
+    // While the shard idles, broadcasts skip it entirely: its graph pins.
+    let frozen_edges = sharded.shard(idle).unwrap().graph().live_edge_count();
+    sharded.run_events(second.iter().copied()).unwrap();
+    assert_eq!(
+        sharded.shard(idle).unwrap().graph().live_edge_count(),
+        frozen_edges,
+        "an empty shard must not receive broadcasts"
+    );
+    assert_ne!(
+        sharded.shard(busy).unwrap().graph().live_edge_count(),
+        frozen_edges,
+        "the active shard keeps ingesting (fixture sanity)"
+    );
+
+    // Re-registering onto the freed shard resyncs it and stays exact.
+    let rects = sharded
+        .register_query(
+            patterns::rectangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+    assert_eq!(sharded.shard_of(&rects), Some(idle));
+    assert_eq!(
+        sharded.shard(idle).unwrap().graph().live_edge_count(),
+        sharded.shard(busy).unwrap().graph().live_edge_count(),
+        "registration must resync the idle shard's graph"
+    );
+    sharded.run_events(third.iter().copied()).unwrap();
+
+    // Oracle: unsharded session with the same registration schedule and the
+    // same flush boundaries.
+    let mut oracle = MnemonicSession::builder()
+        .config(config_with(mode))
+        .build()
+        .unwrap();
+    let o_triangles = oracle
+        .register_query(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+    let o_paths = oracle
+        .register_query(
+            patterns::path(3),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+    oracle.run_events(first.iter().copied()).unwrap();
+    oracle.deregister(&o_paths).unwrap();
+    oracle.run_events(second.iter().copied()).unwrap();
+    let o_rects = oracle
+        .register_query(
+            patterns::rectangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+    oracle.run_events(third.iter().copied()).unwrap();
+
+    for (name, got, want) in [
+        ("triangle", &triangles, &o_triangles),
+        ("rectangle", &rects, &o_rects),
+    ] {
+        let g = got.drain();
+        let w = want.drain();
+        assert_eq!(
+            sorted(g.positive),
+            sorted(w.positive),
+            "{name}: positive embeddings diverged across the idle gap"
+        );
+        assert_eq!(
+            sorted(g.negative),
+            sorted(w.negative),
+            "{name}: negative embeddings diverged across the idle gap"
+        );
+    }
+}
