@@ -71,6 +71,13 @@ if [ "$quick" != "quick" ]; then
     # projected makespan while keeping per-query embedding counts identical
     # to an unsharded oracle (see crates/bench/src/bin/rebalance_gate.rs).
     gate_step cargo run --release -q -p mnemonic-bench --bin rebalance_gate
+    # Serve smoke check: the pipelined ingest schedule (lanes stream through
+    # the shared batch log with no per-batch barrier) must project a
+    # >= 1.15x better makespan than the synchronous broadcast on a
+    # label-phased skewed workload, with per-query embedding counts
+    # identical to an unsharded oracle and identical batch boundaries (see
+    # crates/bench/src/bin/serve_gate.rs).
+    gate_step cargo run --release -q -p mnemonic-bench --bin serve_gate
 fi
 
 step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -1,0 +1,199 @@
+//! CI serve gate: on a label-phased skewed workload — each delta batch is a
+//! burst of one edge label, so exactly one of the four per-label standing
+//! queries (pinned one-per-shard) is enumeration-heavy per batch, and the
+//! heavy lane rotates batch by batch — the pipelined broadcast schedule of
+//! [`ShardedSession::run_pipelined`] must (a) report per-query embedding
+//! counts identical to an unsharded synchronous oracle, (b) produce exactly
+//! the synchronous batch boundaries, and (c) project a makespan at least
+//! 1.15× better than the synchronous barrier schedule.
+//!
+//! Makespans are *projected* from the same per-lane per-batch wall times the
+//! pipelined run records (this box is single-core, so thread overlap is not
+//! directly observable — the same convention as shard_gate/rebalance_gate):
+//! the synchronous schedule bars every batch on its slowest lane
+//! (Σ over batches of the max lane time), while the pipelined schedule lets
+//! every lane stream at its own pace (max over lanes of its summed time).
+//! With the heavy lane rotating, the barrier pays every burst in full while
+//! the pipeline amortises them across lanes — roughly `SHARDS`× apart in the
+//! ideal, so the 1.15× floor is conservative but still fails if the
+//! schedule degenerates to lock-step or the lane timings are bogus.
+//!
+//! Exit status 0 = all gates passed; 1 = a gate failed.
+//!
+//! ```text
+//! cargo run --release -p mnemonic-bench --bin serve_gate
+//! ```
+//!
+//! [`ShardedSession::run_pipelined`]: mnemonic_core::shard::ShardedSession::run_pipelined
+
+use mnemonic_core::api::LabelEdgeMatcher;
+use mnemonic_core::engine::EngineConfig;
+use mnemonic_core::session::{MnemonicSession, QueryHandle};
+use mnemonic_core::shard::ShardedSession;
+use mnemonic_core::variants::Isomorphism;
+use mnemonic_graph::ids::WILDCARD_VERTEX_LABEL;
+use mnemonic_query::patterns;
+use mnemonic_query::query_graph::QueryGraph;
+use mnemonic_stream::event::StreamEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Number of shards = number of per-label lanes.
+const SHARDS: usize = 4;
+/// Delta-batch size; each batch is one single-label burst.
+const BATCH: usize = 512;
+/// Label-rotation rounds (each round is one burst per label).
+const ROUNDS: usize = 3;
+/// Vertices in the burst pool — small, so 2-paths pile up quadratically.
+const VERTICES: u32 = 32;
+/// Gate: pipelined projected makespan must beat synchronous by this factor.
+const MIN_MAKESPAN_GAIN: f64 = 1.15;
+/// Runs; the median ratio is gated (single-core timing is noisy).
+const RUNS: usize = 3;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        num_threads: 1,
+        parallel: false,
+        ..EngineConfig::with_batch_size(BATCH)
+    }
+}
+
+/// One wildcard 2-path query per label: query `l` only matches label-`l`
+/// edges, so a label-`l` burst is enumeration-heavy for exactly one query.
+fn per_label_queries() -> Vec<QueryGraph> {
+    let w = WILDCARD_VERTEX_LABEL.0;
+    (0..SHARDS as u16)
+        .map(|l| patterns::labelled_path(&[w, w, w], &[l, l]))
+        .collect()
+}
+
+/// The label-phased stream: `ROUNDS` × `SHARDS` bursts of exactly `BATCH`
+/// edges, burst `k` entirely of label `k % SHARDS`, drawn from a small
+/// vertex pool so each burst's 2-path count grows superlinearly.
+fn label_phased_stream() -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut out = Vec::with_capacity(ROUNDS * SHARDS * BATCH);
+    for k in 0..ROUNDS * SHARDS {
+        let label = (k % SHARDS) as u16;
+        for _ in 0..BATCH {
+            let src = rng.gen_range(0..VERTICES);
+            let mut dst = rng.gen_range(0..VERTICES);
+            if dst == src {
+                dst = (dst + 1) % VERTICES;
+            }
+            out.push(StreamEvent::insert(src, dst, label).at(k as u64));
+        }
+    }
+    out
+}
+
+/// Unsharded synchronous oracle: per-query accepted counts.
+fn run_oracle(events: &[StreamEvent]) -> (Vec<u64>, usize) {
+    let mut session = MnemonicSession::new(config()).expect("valid gate configuration");
+    let handles: Vec<QueryHandle> = per_label_queries()
+        .into_iter()
+        .map(|q| {
+            session
+                .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        })
+        .collect();
+    let batches = session
+        .run_events(events.iter().copied())
+        .expect("oracle replay succeeds");
+    (
+        handles.iter().map(|h| h.accepted()).collect(),
+        batches.len(),
+    )
+}
+
+/// One pipelined run: per-query accepted counts, batch count, and the two
+/// projected makespans.
+fn run_pipelined(events: &[StreamEvent]) -> (Vec<u64>, usize, Duration, Duration) {
+    let mut session = ShardedSession::builder()
+        .shards(SHARDS)
+        .config(config())
+        .build()
+        .expect("valid gate configuration");
+    let handles: Vec<QueryHandle> = per_label_queries()
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            session
+                .register_query_on_shard(q, i, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query, valid shard")
+        })
+        .collect();
+    let run = session
+        .run_pipelined(events.iter().copied())
+        .expect("pipelined replay succeeds");
+    (
+        handles.iter().map(|h| h.accepted()).collect(),
+        run.batch_count(),
+        run.projected_synchronous_makespan(),
+        run.projected_pipelined_makespan(),
+    )
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let events = label_phased_stream();
+    let (oracle_counts, oracle_batches) = run_oracle(&events);
+
+    let mut failed = false;
+    let mut ratios = Vec::with_capacity(RUNS);
+    let mut last = (Duration::ZERO, Duration::ZERO);
+    for run in 0..RUNS {
+        let (counts, batches, sync_proj, piped_proj) = run_pipelined(&events);
+        if counts != oracle_counts {
+            println!("FAIL run {run}: pipelined counts {counts:?} != oracle {oracle_counts:?}");
+            failed = true;
+        }
+        if batches != oracle_batches {
+            println!(
+                "FAIL run {run}: pipelined produced {batches} batches, oracle {oracle_batches}"
+            );
+            failed = true;
+        }
+        ratios.push(sync_proj.as_secs_f64() / piped_proj.as_secs_f64().max(1e-12));
+        last = (sync_proj, piped_proj);
+    }
+    let gain = median(ratios.clone());
+
+    println!("serve gate: pipelined vs synchronous broadcast schedule");
+    println!(
+        "  workload            : {} bursts x {BATCH} single-label events, {SHARDS} per-label queries pinned 1/shard",
+        ROUNDS * SHARDS
+    );
+    println!("  oracle              : {oracle_batches} batches, counts {oracle_counts:?}");
+    println!(
+        "  projected makespan  : synchronous {:.2} ms -> pipelined {:.2} ms (last run)",
+        last.0.as_secs_f64() * 1e3,
+        last.1.as_secs_f64() * 1e3
+    );
+    println!(
+        "  makespan gain       : median {gain:.2}x over {RUNS} runs (all: {:?})",
+        ratios
+            .iter()
+            .map(|r| (r * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!("  exactness           : per-query counts identical to the unsharded oracle");
+    if gain < MIN_MAKESPAN_GAIN {
+        println!(
+            "FAIL: pipelined schedule projects only {gain:.2}x over synchronous \
+             (floor {MIN_MAKESPAN_GAIN}x)"
+        );
+        failed = true;
+    }
+    println!("gate-ratio: serve {gain:.2}x (floor {MIN_MAKESPAN_GAIN}x)");
+    if failed {
+        std::process::exit(1);
+    }
+}

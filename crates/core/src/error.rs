@@ -45,6 +45,17 @@ pub enum MnemonicError {
     /// A shard index passed to the sharded executor (for pinned placement or
     /// migration) is out of range for its shard count.
     UnknownShard(usize),
+    /// A shard's batch task panicked (for example inside a user-provided
+    /// [`EdgeMatcher`](crate::api::EdgeMatcher)). The panic is caught at the
+    /// shard boundary so a serve loop can drop the poisoned session instead
+    /// of aborting the process; the shards may have diverged, so the session
+    /// should be discarded.
+    ShardPanicked(usize),
+    /// A stale shard could not be resynchronised because no shard holds the
+    /// current graph version. The broadcast-scope invariant (at least one
+    /// shard processes every broadcast) was violated — previously a panic —
+    /// and the session should be discarded.
+    ShardDesynced(usize),
 }
 
 impl fmt::Display for MnemonicError {
@@ -65,6 +76,20 @@ impl fmt::Display for MnemonicError {
             }
             MnemonicError::UnknownShard(index) => {
                 write!(f, "shard index {index} is out of range for this session")
+            }
+            MnemonicError::ShardPanicked(index) => {
+                write!(
+                    f,
+                    "shard {index} panicked while applying a batch; the session \
+                     may have diverged and should be discarded"
+                )
+            }
+            MnemonicError::ShardDesynced(index) => {
+                write!(
+                    f,
+                    "shard {index} cannot be resynchronised: no shard holds the \
+                     current graph version"
+                )
             }
         }
     }
@@ -102,6 +127,10 @@ mod tests {
         assert!(e.to_string().contains("not registered"));
         let e = MnemonicError::UnknownShard(9);
         assert!(e.to_string().contains("out of range"));
+        let e = MnemonicError::ShardPanicked(2);
+        assert!(e.to_string().contains("panicked"));
+        let e = MnemonicError::ShardDesynced(1);
+        assert!(e.to_string().contains("resynchronised"));
     }
 
     #[test]

@@ -1,0 +1,1148 @@
+//! The async pipelined ingest front-end: a bounded lock-free MPSC event
+//! queue with explicit back-pressure, and a pipelined broadcast schedule
+//! that overlaps the graph-update work of batch *N+1* with the enumeration
+//! of batch *N* across shard lanes.
+//!
+//! # The admission path
+//!
+//! [`IngestQueue::bounded`] splits into a cloneable [`IngestProducer`] and a
+//! single [`IngestConsumer`]. The queue is a fixed-capacity inline-array
+//! ring (one atomic sequence word per slot, Vyukov-style): producers claim
+//! slots by compare-and-swap and never allocate, block, or take a lock on
+//! the fast path; memory is bounded by the capacity chosen at construction.
+//!
+//! **Back-pressure is explicit.** [`IngestProducer::try_push`] never waits:
+//! a full ring returns [`QueueFull`] carrying the rejected event back to
+//! the caller, who decides whether to retry, shed, or spill. The blocking
+//! [`IngestProducer::push`] applies the queue's [`BackpressurePolicy`]:
+//! [`Block`](BackpressurePolicy::Block) parks the producer until a slot
+//! frees (the default for lossless ingest),
+//! [`BlockTimeout`](BackpressurePolicy::BlockTimeout) bounds the wait, and
+//! [`Reject`](BackpressurePolicy::Reject) degrades `push` to `try_push`.
+//! Dropping the last producer closes the stream; dropping the consumer
+//! makes every subsequent blocking push fail fast with
+//! [`PushError::Disconnected`] so producers never hang on a dead server.
+//!
+//! # The pipelined schedule
+//!
+//! The synchronous broadcast ([`ShardedSession::run_events`]) bars every
+//! batch: shard lane *B* cannot start the graph update of batch *N+1* until
+//! lane *A* finishes enumerating batch *N*. The pipelined driver
+//! ([`ShardedSession::serve`] / [`ShardedSession::run_pipelined`]) removes
+//! that barrier. Batches are appended to a shared in-order batch log and
+//! every scope shard consumes the log at its own pace on its own lane — so
+//! while the slow lane is still in the Enumerate stage of batch *N*, the
+//! other lanes are already running GraphUpdate/FrontierBuild of batch
+//! *N+1* (and beyond, up to a bounded in-flight window that also bounds
+//! log memory). Admission overlaps too: producers keep filling the queue
+//! while every lane crunches.
+//!
+//! **Exactness.** Each lane applies exactly the same snapshots, in exactly
+//! the same order, to its own private graph as the synchronous broadcast
+//! would — batch boundaries come from the same `PendingBuffer` rule, and
+//! a lane's per-batch computation never depends on the other lanes. The
+//! merged per-batch results are therefore embedding-for-embedding identical
+//! to the synchronous path (differentially pinned by `tests/serve.rs`).
+//! Within one lane the stage order of [`crate::pipeline`] is preserved —
+//! the overlap is *between* lanes, which share nothing.
+//!
+//! Per-batch latency (admission to last lane completion) and per-lane
+//! processing times are reported through [`PipelinedRun`], whose
+//! [`projected_synchronous_makespan`](PipelinedRun::projected_synchronous_makespan)
+//! / [`projected_pipelined_makespan`](PipelinedRun::projected_pipelined_makespan)
+//! pair quantifies what removing the barrier buys (the `serve_gate` CI
+//! check enforces ≥ 1.15×).
+//!
+//! ```
+//! use mnemonic_core::api::LabelEdgeMatcher;
+//! use mnemonic_core::ingest::{BackpressurePolicy, IngestQueue};
+//! use mnemonic_core::shard::ShardedSession;
+//! use mnemonic_core::variants::Isomorphism;
+//! use mnemonic_query::patterns;
+//! use mnemonic_stream::event::StreamEvent;
+//!
+//! # fn main() -> Result<(), mnemonic_core::MnemonicError> {
+//! let mut session = ShardedSession::builder()
+//!     .shards(2)
+//!     .sequential()
+//!     .batch_size(2)
+//!     .build()?;
+//! let triangles = session.register_query(
+//!     patterns::triangle(),
+//!     Box::new(LabelEdgeMatcher),
+//!     Box::new(Isomorphism),
+//! )?;
+//! let (producer, consumer) = IngestQueue::bounded(64, BackpressurePolicy::Block);
+//! let feeder = std::thread::spawn(move || {
+//!     for event in [
+//!         StreamEvent::insert(0, 1, 0),
+//!         StreamEvent::insert(1, 2, 0),
+//!         StreamEvent::insert(2, 0, 0),
+//!     ] {
+//!         producer.push(event).expect("consumer is alive");
+//!     }
+//!     // dropping the producer closes the stream
+//! });
+//! let run = session.serve(consumer)?;
+//! feeder.join().unwrap();
+//! assert_eq!(run.total_new_embeddings(), 3);
+//! assert_eq!(triangles.drain().positive.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::MnemonicError;
+use crate::session::{MnemonicSession, SessionBatchResult};
+use crate::shard::ShardedSession;
+use mnemonic_stream::event::StreamEvent;
+use mnemonic_stream::snapshot::Snapshot;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ---- the bounded MPSC ring queue -------------------------------------------
+
+/// What a blocking [`IngestProducer::push`] does when the ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Park the producer until a slot frees (lossless ingest; the stream
+    /// source absorbs the back-pressure).
+    Block,
+    /// Park at most this long, then fail with [`PushError::Timeout`].
+    BlockTimeout(Duration),
+    /// Never park: `push` behaves exactly like
+    /// [`IngestProducer::try_push`] and a full ring fails immediately with
+    /// [`PushError::Full`].
+    Reject,
+}
+
+/// The ring was full and the event was **not** enqueued; it is handed back
+/// so the producer can retry, shed, or spill it. Returned by
+/// [`IngestProducer::try_push`] — the non-blocking half of the
+/// back-pressure contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueFull(pub StreamEvent);
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ingest queue is full; the event was not enqueued")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Why a blocking [`IngestProducer::push`] failed. Every variant hands the
+/// un-enqueued event back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PushError {
+    /// The ring is full and the queue's policy is
+    /// [`BackpressurePolicy::Reject`].
+    Full(StreamEvent),
+    /// The ring stayed full past a [`BackpressurePolicy::BlockTimeout`]
+    /// deadline.
+    Timeout(StreamEvent),
+    /// The consumer was dropped; nothing will ever drain the ring again.
+    Disconnected(StreamEvent),
+}
+
+impl PushError {
+    /// The event that was not enqueued.
+    pub fn event(&self) -> StreamEvent {
+        match *self {
+            PushError::Full(e) | PushError::Timeout(e) | PushError::Disconnected(e) => e,
+        }
+    }
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full(_) => write!(f, "ingest queue is full"),
+            PushError::Timeout(_) => write!(f, "ingest queue stayed full past the push deadline"),
+            PushError::Disconnected(_) => write!(f, "ingest consumer was dropped"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// Counters of one queue's lifetime, shared by both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Events successfully enqueued.
+    pub pushed: u64,
+    /// `try_push` attempts rejected because the ring was full (includes the
+    /// full-ring probes of a blocking `push` before it parked).
+    pub rejected: u64,
+    /// Ring capacity in events (the memory bound).
+    pub capacity: usize,
+}
+
+/// One slot of the ring: a sequence word that encodes whether the slot is
+/// free for the enqueue at position `pos` (`seq == pos`), holds the value of
+/// that enqueue (`seq == pos + 1`), or has been recycled for the next lap
+/// (`seq == pos + capacity`).
+struct Slot {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<StreamEvent>>,
+}
+
+struct RingShared {
+    slots: Box<[Slot]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    policy: BackpressurePolicy,
+    /// Live producer handles; the stream is closed when this reaches zero.
+    producers: AtomicUsize,
+    consumer_live: AtomicBool,
+    pushed: AtomicU64,
+    rejected: AtomicU64,
+    /// Parking lot for the *slow* paths only. The gate protects no data —
+    /// the ring itself is lock-free — it only sequences the waiter
+    /// bookkeeping so wakeups cannot be missed; waits additionally carry a
+    /// coarse timeout as belt-and-braces, so a lost race costs
+    /// milliseconds, never a hang.
+    gate: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    waiting_consumers: AtomicUsize,
+    waiting_producers: AtomicUsize,
+}
+
+// SAFETY: slots are only written by the producer that won the CAS on
+// `enqueue_pos` for that position and only read by the single consumer after
+// the slot's release-store made the write visible; `StreamEvent` is `Copy`,
+// so slots never need dropping.
+unsafe impl Send for RingShared {}
+unsafe impl Sync for RingShared {}
+
+/// The coarse re-check interval of parked producers/consumers: correctness
+/// never depends on a notify arriving, so a lost wakeup costs at most this.
+const PARK_RECHECK: Duration = Duration::from_millis(5);
+
+impl RingShared {
+    fn new(capacity: usize, policy: BackpressurePolicy) -> Arc<Self> {
+        // A sequence-counter ring needs >= 2 slots: with a single slot the
+        // "occupied" state (`seq == pos + 1`) is indistinguishable from
+        // "free for the next lap", and a second push would overwrite.
+        let capacity = capacity.max(2).next_power_of_two();
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Arc::new(RingShared {
+            slots,
+            mask: capacity - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            policy,
+            producers: AtomicUsize::new(1),
+            consumer_live: AtomicBool::new(true),
+            pushed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            gate: Mutex::new(()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            waiting_consumers: AtomicUsize::new(0),
+            waiting_producers: AtomicUsize::new(0),
+        })
+    }
+
+    /// Lock-free multi-producer enqueue; `Err` hands the event back when the
+    /// ring is full.
+    fn try_push(&self, event: StreamEvent) -> Result<(), StreamEvent> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS gives this producer
+                        // exclusive ownership of the slot until the
+                        // release-store below publishes it.
+                        unsafe { (*slot.value.get()).write(event) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        self.pushed.fetch_add(1, Ordering::Relaxed);
+                        if self.waiting_consumers.load(Ordering::SeqCst) > 0 {
+                            drop(self.gate.lock());
+                            self.not_empty.notify_all();
+                        }
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(event);
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Single-consumer dequeue (`&self`, but only ever called through the
+    /// unique [`IngestConsumer`]).
+    fn try_pop(&self) -> Option<StreamEvent> {
+        let pos = self.dequeue_pos.load(Ordering::Relaxed);
+        let slot = &self.slots[pos & self.mask];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if (seq as isize) - (pos.wrapping_add(1) as isize) < 0 {
+            return None; // empty (or the winning producer has not published yet)
+        }
+        self.dequeue_pos
+            .store(pos.wrapping_add(1), Ordering::Relaxed);
+        // SAFETY: `seq == pos + 1` means the producer's release-store
+        // published this slot; the single consumer now owns it.
+        let event = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.seq.store(
+            pos.wrapping_add(self.mask).wrapping_add(1),
+            Ordering::Release,
+        );
+        if self.waiting_producers.load(Ordering::SeqCst) > 0 {
+            drop(self.gate.lock());
+            self.not_full.notify_all();
+        }
+        Some(event)
+    }
+
+    fn closed(&self) -> bool {
+        self.producers.load(Ordering::Acquire) == 0
+    }
+
+    fn len(&self) -> usize {
+        let head = self.dequeue_pos.load(Ordering::Relaxed);
+        let tail = self.enqueue_pos.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.pushed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            capacity: self.slots.len(),
+        }
+    }
+}
+
+/// `Debug` for the two queue handles: print the observable queue state, not
+/// the raw ring (whose slots are unsafe to peek concurrently).
+macro_rules! fmt_queue_handle {
+    ($name:literal) => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct($name)
+                .field("len", &self.shared.len())
+                .field("capacity", &self.shared.slots.len())
+                .field("closed", &self.shared.closed())
+                .finish()
+        }
+    };
+}
+
+/// Namespace for constructing the ingest queue.
+#[derive(Debug)]
+pub struct IngestQueue;
+
+impl IngestQueue {
+    /// Create a bounded MPSC event queue: a cloneable producer handle and
+    /// the single consumer end. `capacity` (rounded up to the next power of
+    /// two, at least 2) is the hard memory bound in events; `policy` governs
+    /// what the blocking [`IngestProducer::push`] does on a full ring.
+    pub fn bounded(
+        capacity: usize,
+        policy: BackpressurePolicy,
+    ) -> (IngestProducer, IngestConsumer) {
+        let shared = RingShared::new(capacity, policy);
+        (
+            IngestProducer {
+                shared: Arc::clone(&shared),
+            },
+            IngestConsumer { shared },
+        )
+    }
+}
+
+/// A producer handle of an [`IngestQueue`]. Clone it freely — every clone
+/// is an independent concurrent producer; the stream closes when the last
+/// handle is dropped.
+pub struct IngestProducer {
+    shared: Arc<RingShared>,
+}
+
+impl std::fmt::Debug for IngestProducer {
+    fmt_queue_handle!("IngestProducer");
+}
+
+impl Clone for IngestProducer {
+    fn clone(&self) -> Self {
+        self.shared.producers.fetch_add(1, Ordering::AcqRel);
+        IngestProducer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for IngestProducer {
+    fn drop(&mut self) {
+        if self.shared.producers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last producer gone: wake the consumer so it can observe the
+            // close instead of parking until its recheck timeout.
+            drop(self.shared.gate.lock());
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl IngestProducer {
+    /// Enqueue without waiting. On a full ring the event is handed back in
+    /// [`QueueFull`] — the caller keeps ownership of the data and decides
+    /// the shedding policy. This is the lock-free fast path: no allocation,
+    /// no mutex, one CAS.
+    pub fn try_push(&self, event: StreamEvent) -> Result<(), QueueFull> {
+        self.shared.try_push(event).map_err(QueueFull)
+    }
+
+    /// Enqueue under the queue's [`BackpressurePolicy`]: park on a full
+    /// ring ([`Block`](BackpressurePolicy::Block) /
+    /// [`BlockTimeout`](BackpressurePolicy::BlockTimeout)) or fail fast
+    /// ([`Reject`](BackpressurePolicy::Reject)). Fails with
+    /// [`PushError::Disconnected`] once the consumer is gone, so producers
+    /// never park on a dead server.
+    pub fn push(&self, event: StreamEvent) -> Result<(), PushError> {
+        let deadline = match self.shared.policy {
+            BackpressurePolicy::Reject => {
+                return self
+                    .try_push(event)
+                    .map_err(|QueueFull(e)| PushError::Full(e));
+            }
+            BackpressurePolicy::BlockTimeout(d) => Some(Instant::now() + d),
+            BackpressurePolicy::Block => None,
+        };
+        let mut event = event;
+        loop {
+            if !self.shared.consumer_live.load(Ordering::Acquire) {
+                return Err(PushError::Disconnected(event));
+            }
+            match self.shared.try_push(event) {
+                Ok(()) => return Ok(()),
+                Err(e) => event = e,
+            }
+            // Park until the consumer frees a slot (or the deadline hits).
+            self.shared.waiting_producers.fetch_add(1, Ordering::SeqCst);
+            let guard = self.shared.gate.lock().expect("ingest gate poisoned");
+            let wait = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        drop(guard);
+                        self.shared.waiting_producers.fetch_sub(1, Ordering::SeqCst);
+                        return Err(PushError::Timeout(event));
+                    }
+                    (d - now).min(PARK_RECHECK)
+                }
+                None => PARK_RECHECK,
+            };
+            let (guard, _) = self
+                .shared
+                .not_full
+                .wait_timeout(guard, wait)
+                .expect("ingest gate poisoned");
+            drop(guard);
+            self.shared.waiting_producers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Lifetime counters of the queue (shared with the consumer end).
+    pub fn stats(&self) -> QueueStats {
+        self.shared.stats()
+    }
+}
+
+/// The single consumer end of an [`IngestQueue`] — hand it to
+/// [`ShardedSession::serve`] (or drain it manually). Dropping it fails all
+/// future blocking pushes with [`PushError::Disconnected`].
+pub struct IngestConsumer {
+    shared: Arc<RingShared>,
+}
+
+impl std::fmt::Debug for IngestConsumer {
+    fmt_queue_handle!("IngestConsumer");
+}
+
+impl Drop for IngestConsumer {
+    fn drop(&mut self) {
+        self.shared.consumer_live.store(false, Ordering::Release);
+        drop(self.shared.gate.lock());
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl IngestConsumer {
+    /// Dequeue without waiting; `None` when the ring is currently empty
+    /// (the stream may still be open).
+    pub fn try_pop(&mut self) -> Option<StreamEvent> {
+        self.shared.try_pop()
+    }
+
+    /// Dequeue, parking until an event arrives; `None` once every producer
+    /// has been dropped **and** the ring is drained — the end of the
+    /// stream.
+    pub fn recv(&mut self) -> Option<StreamEvent> {
+        loop {
+            if let Some(event) = self.shared.try_pop() {
+                return Some(event);
+            }
+            if self.shared.closed() {
+                // One final poll: a producer may have pushed between the
+                // failed pop above and its last handle dropping.
+                return self.shared.try_pop();
+            }
+            self.shared.waiting_consumers.fetch_add(1, Ordering::SeqCst);
+            let guard = self.shared.gate.lock().expect("ingest gate poisoned");
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(guard, PARK_RECHECK)
+                .expect("ingest gate poisoned");
+            drop(guard);
+            self.shared.waiting_consumers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Events currently buffered in the ring.
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the ring is currently empty (the stream may still be open).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether every producer handle has been dropped.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed()
+    }
+
+    /// Lifetime counters of the queue (shared with the producer end).
+    pub fn stats(&self) -> QueueStats {
+        self.shared.stats()
+    }
+}
+
+// ---- the pipelined batch log -----------------------------------------------
+
+/// Bound on broadcast batches in flight across the lanes (appended but not
+/// yet applied by the slowest lane). This is what keeps the batch log's
+/// memory bounded during a serve run: the feeder parks once the slowest
+/// lane falls this far behind, which also caps how far the fast lanes can
+/// run ahead.
+const MAX_INFLIGHT_BATCHES: usize = 64;
+
+struct LogInner {
+    /// The in-flight window of the batch sequence; `entries[0]` is batch
+    /// `base`. Batches every lane has applied are pruned from the front.
+    entries: VecDeque<Arc<Snapshot>>,
+    base: usize,
+    appended: usize,
+    /// Admission instant of every batch (by batch index; the latency
+    /// numerator keeps the full run, it is O(batches) of `Instant`s only).
+    admitted: Vec<Instant>,
+    /// Per-lane next batch index.
+    positions: Vec<usize>,
+    closed: bool,
+    failed: bool,
+}
+
+/// The ordered shared log the feeder appends broadcast batches to and every
+/// shard lane consumes at its own pace — the data structure that replaces
+/// the synchronous per-batch barrier.
+struct BatchLog {
+    inner: Mutex<LogInner>,
+    /// Signals lanes: a new entry was appended or the log closed.
+    data: Condvar,
+    /// Signals the feeder: the slowest lane advanced (in-flight room freed).
+    space: Condvar,
+    max_inflight: usize,
+}
+
+impl BatchLog {
+    fn new(lanes: usize, max_inflight: usize) -> Self {
+        BatchLog {
+            inner: Mutex::new(LogInner {
+                entries: VecDeque::new(),
+                base: 0,
+                appended: 0,
+                admitted: Vec::new(),
+                positions: vec![0; lanes],
+                closed: false,
+                failed: false,
+            }),
+            data: Condvar::new(),
+            space: Condvar::new(),
+            max_inflight,
+        }
+    }
+
+    /// Append one batch, parking while the in-flight window is full; `false`
+    /// when a lane failed (the feeder should stop).
+    fn append(&self, snapshot: Snapshot) -> bool {
+        let mut inner = self.inner.lock().expect("batch log poisoned");
+        loop {
+            if inner.failed {
+                return false;
+            }
+            let min_pos = inner.positions.iter().copied().min().unwrap_or(0);
+            while inner.base < min_pos {
+                inner.entries.pop_front();
+                inner.base += 1;
+            }
+            if inner.appended - min_pos < self.max_inflight {
+                inner.entries.push_back(Arc::new(snapshot));
+                inner.appended += 1;
+                inner.admitted.push(Instant::now());
+                self.data.notify_all();
+                return true;
+            }
+            inner = self.space.wait(inner).expect("batch log poisoned");
+        }
+    }
+
+    /// Block until the lane's next batch exists (returning it) or the log is
+    /// closed with nothing left for this lane (`None`).
+    fn wait_for(&self, lane: usize) -> Option<Arc<Snapshot>> {
+        let mut inner = self.inner.lock().expect("batch log poisoned");
+        loop {
+            let i = inner.positions[lane];
+            if i < inner.appended {
+                return Some(Arc::clone(&inner.entries[i - inner.base]));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.data.wait(inner).expect("batch log poisoned");
+        }
+    }
+
+    /// Mark the lane's current batch applied, freeing in-flight room.
+    fn advance(&self, lane: usize) {
+        let mut inner = self.inner.lock().expect("batch log poisoned");
+        inner.positions[lane] += 1;
+        self.space.notify_all();
+    }
+
+    /// A lane failed: stop the feeder and release everyone.
+    fn fail(&self) {
+        let mut inner = self.inner.lock().expect("batch log poisoned");
+        inner.failed = true;
+        inner.closed = true;
+        self.data.notify_all();
+        self.space.notify_all();
+    }
+
+    /// No more batches will be appended.
+    fn close(&self) {
+        let mut inner = self.inner.lock().expect("batch log poisoned");
+        inner.closed = true;
+        self.data.notify_all();
+    }
+
+    fn into_admitted(self) -> Vec<Instant> {
+        self.inner
+            .into_inner()
+            .expect("batch log poisoned")
+            .admitted
+    }
+}
+
+/// Per-lane run record: one entry per batch the lane applied.
+#[derive(Default)]
+struct LaneRecord {
+    outcomes: Vec<Result<SessionBatchResult, MnemonicError>>,
+    wall: Vec<Duration>,
+    done_at: Vec<Instant>,
+}
+
+/// One lane's loop: apply the log's batches in order to this lane's shard
+/// session, recording wall time per batch. A panic inside the shard is
+/// caught and recorded as [`MnemonicError::ShardPanicked`]; the lane then
+/// stops and fails the log so the feeder stops appending.
+fn lane_loop(
+    shard: &mut MnemonicSession,
+    log: &BatchLog,
+    lane: usize,
+    shard_index: usize,
+    rec: &mut LaneRecord,
+) {
+    while let Some(snapshot) = log.wait_for(lane) {
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| shard.apply_snapshot(&snapshot)));
+        rec.wall.push(t0.elapsed());
+        rec.done_at.push(Instant::now());
+        let outcome = match outcome {
+            Ok(result) => result,
+            Err(_) => Err(MnemonicError::ShardPanicked(shard_index)),
+        };
+        let failed = outcome.is_err();
+        rec.outcomes.push(outcome);
+        log.advance(lane);
+        if failed {
+            log.fail();
+            break;
+        }
+    }
+}
+
+// ---- the pipelined run report ----------------------------------------------
+
+/// One broadcast batch of a pipelined run.
+#[derive(Debug, Clone)]
+pub struct PipelinedBatch {
+    /// The merged per-batch outcome — identical to what the synchronous
+    /// broadcast would have produced for the same batch.
+    pub result: SessionBatchResult,
+    /// Admission-to-done latency: from the instant the batch entered the
+    /// batch log to the instant the *last* lane finished applying it.
+    pub latency: Duration,
+    /// Wall time each lane spent applying this batch, in
+    /// [`PipelinedRun::lanes`] order — the raw material of the makespan
+    /// projections.
+    pub lane_times: Vec<Duration>,
+}
+
+/// The outcome of one pipelined ingest run ([`ShardedSession::serve`] /
+/// [`ShardedSession::run_pipelined`]): every merged batch result plus the
+/// latency/timing observations the serve front-end reports.
+#[derive(Debug, Clone)]
+pub struct PipelinedRun {
+    batches: Vec<PipelinedBatch>,
+    lanes: Vec<usize>,
+    wall: Duration,
+}
+
+impl PipelinedRun {
+    /// Number of broadcast batches the run processed.
+    pub fn batch_count(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The per-batch outcomes, in stream order.
+    pub fn batches(&self) -> &[PipelinedBatch] {
+        &self.batches
+    }
+
+    /// The shard indexes that served as pipeline lanes (the broadcast scope
+    /// of the run), aligned with [`PipelinedBatch::lane_times`].
+    pub fn lanes(&self) -> &[usize] {
+        &self.lanes
+    }
+
+    /// Total wall time of the run, admission of the first event to the last
+    /// lane draining.
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// Newly formed embeddings summed over every batch and query.
+    pub fn total_new_embeddings(&self) -> u64 {
+        self.batches
+            .iter()
+            .map(|b| b.result.total_new_embeddings())
+            .sum()
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`) of the per-batch
+    /// admission-to-done latency; `None` when the run had no batches.
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        if self.batches.is_empty() {
+            return None;
+        }
+        let mut latencies: Vec<Duration> = self.batches.iter().map(|b| b.latency).collect();
+        latencies.sort_unstable();
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * latencies.len() as f64).ceil() as usize;
+        Some(latencies[rank.saturating_sub(1).min(latencies.len() - 1)])
+    }
+
+    /// Projected makespan of the *synchronous* broadcast schedule on these
+    /// measurements: every batch bars on its slowest lane, so the projection
+    /// is Σ over batches of the max lane time. (Projection, not a re-run:
+    /// on a single-core box the thread overlap is only visible this way —
+    /// the same convention as the other CI gates.)
+    pub fn projected_synchronous_makespan(&self) -> Duration {
+        self.batches
+            .iter()
+            .map(|b| b.lane_times.iter().copied().max().unwrap_or(Duration::ZERO))
+            .sum()
+    }
+
+    /// Projected makespan of the *pipelined* schedule: each lane streams
+    /// through every batch without cross-lane barriers, so the projection is
+    /// the max over lanes of that lane's summed batch times.
+    pub fn projected_pipelined_makespan(&self) -> Duration {
+        (0..self.lanes.len())
+            .map(|lane| {
+                self.batches
+                    .iter()
+                    .map(|b| b.lane_times[lane])
+                    .sum::<Duration>()
+            })
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+// ---- the pipelined driver ---------------------------------------------------
+
+impl ShardedSession {
+    /// Serve an [`IngestQueue`]: drain the consumer end until every
+    /// producer is dropped, batching events by the session's
+    /// [`UpdateMode`](crate::api::UpdateMode) and broadcasting the batches
+    /// through the pipelined schedule (see the [module
+    /// documentation](crate::ingest)). A final partial batch is flushed, so
+    /// the run is lossless. The consumer is consumed: once `serve` returns
+    /// (normally or with an error) it is dropped, and any producer still
+    /// blocking on a full ring fails fast with
+    /// [`PushError::Disconnected`].
+    ///
+    /// # Errors
+    /// See [`ShardedSession::run_pipelined`].
+    pub fn serve(&mut self, consumer: IngestConsumer) -> Result<PipelinedRun, MnemonicError> {
+        let mut consumer = consumer;
+        self.pipelined_drive(move || consumer.recv())
+    }
+
+    /// Drive an in-memory event sequence through the pipelined schedule —
+    /// the deterministic twin of [`ShardedSession::serve`] (identical batch
+    /// boundaries and results to [`ShardedSession::run_events`]; only the
+    /// schedule differs).
+    ///
+    /// # Errors
+    /// [`MnemonicError::ShardPanicked`] when a lane panicked mid-batch, or
+    /// any per-shard ingest error; either way the lanes may have diverged
+    /// and the session should be discarded. Errors surface after every lane
+    /// has stopped, so no lane is left running.
+    pub fn run_pipelined(
+        &mut self,
+        events: impl IntoIterator<Item = StreamEvent>,
+    ) -> Result<PipelinedRun, MnemonicError> {
+        let mut iter = events.into_iter();
+        self.pipelined_drive(move || iter.next())
+    }
+
+    /// The shared pipelined driver: pull events from `next_event`, cut them
+    /// into broadcast batches with the session's normal batching rule, and
+    /// stream the batches through per-lane appliers over the shared batch
+    /// log.
+    ///
+    /// With a parallel configuration each scope shard gets a dedicated lane
+    /// thread (the lanes *park* while waiting for log entries, so they get
+    /// OS threads rather than pool workers — parking a work-stealing worker
+    /// would stall unrelated pool work and, under a narrow pool, deadlock
+    /// the bounded feeder against its own slowest lane). A sequential
+    /// configuration degenerates to feed-then-apply lane by lane: same
+    /// results, same per-lane timing observations, no overlap — and no
+    /// in-flight bound, since nothing drains the log concurrently.
+    fn pipelined_drive(
+        &mut self,
+        mut next_event: impl FnMut() -> Option<StreamEvent>,
+    ) -> Result<PipelinedRun, MnemonicError> {
+        let scope = self.broadcast_scope();
+        for &s in &scope {
+            self.sync_shard(s)?;
+        }
+        let batch_size = self.config.update_mode.batch_size();
+        let base_id = self.snapshots_processed;
+        let parallel_lanes = self.config.parallel && scope.len() > 1;
+        let max_inflight = if parallel_lanes {
+            MAX_INFLIGHT_BATCHES
+        } else {
+            usize::MAX
+        };
+        let log = BatchLog::new(scope.len(), max_inflight);
+        let mut records: Vec<LaneRecord> = scope.iter().map(|_| LaneRecord::default()).collect();
+        let t_start = Instant::now();
+
+        // Split-borrow the lanes away from the pending buffer: the feeder
+        // owns `pending`, the lane threads own one shard session each.
+        let mut in_scope = vec![false; self.shards.len()];
+        for &s in &scope {
+            in_scope[s] = true;
+        }
+        let pending = &mut self.pending;
+        let lanes: Vec<&mut MnemonicSession> = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .filter(|&(i, _)| in_scope[i])
+            .map(|(_, shard)| shard)
+            .collect();
+
+        // The feeder: form batches exactly like the synchronous path
+        // (identical `PendingBuffer` thresholds → identical batch
+        // boundaries) and append them to the log.
+        let feed = |pending: &mut crate::session::PendingBuffer,
+                    next_event: &mut dyn FnMut() -> Option<StreamEvent>| {
+            let mut appended = 0u64;
+            while let Some(event) = next_event() {
+                if pending.push(event, batch_size) {
+                    if let Some(snapshot) = pending.take_snapshot(base_id + appended) {
+                        if !log.append(snapshot) {
+                            return; // a lane failed; stop admitting
+                        }
+                        appended += 1;
+                    }
+                }
+            }
+            if let Some(snapshot) = pending.take_snapshot(base_id + appended) {
+                log.append(snapshot);
+            }
+        };
+
+        if parallel_lanes {
+            std::thread::scope(|ts| {
+                for ((lane, shard), rec) in lanes.into_iter().enumerate().zip(records.iter_mut()) {
+                    let log = &log;
+                    let shard_index = scope[lane];
+                    ts.spawn(move || lane_loop(shard, log, lane, shard_index, rec));
+                }
+                feed(pending, &mut next_event);
+                log.close();
+                // the scope joins every lane before returning
+            });
+        } else {
+            feed(pending, &mut next_event);
+            log.close();
+            for ((lane, shard), rec) in lanes.into_iter().enumerate().zip(records.iter_mut()) {
+                lane_loop(shard, &log, lane, scope[lane], rec);
+            }
+        }
+        let wall = t_start.elapsed();
+        let admitted = log.into_admitted();
+        let appended = admitted.len();
+
+        // A lane that stopped short of the appended count failed (its last
+        // outcome is the error) — surface the earliest failure.
+        let mut first_error: Option<(usize, MnemonicError)> = None;
+        for rec in records.iter_mut() {
+            if let Some(pos) = rec.outcomes.iter().position(|o| o.is_err()) {
+                let err = rec.outcomes.remove(pos).unwrap_err();
+                if first_error.as_ref().map_or(true, |(p, _)| pos < *p) {
+                    first_error = Some((pos, err));
+                }
+            }
+        }
+        if let Some((_, err)) = first_error {
+            return Err(err);
+        }
+        debug_assert!(
+            records.iter().all(|r| r.outcomes.len() == appended),
+            "every lane applies every appended batch on the success path"
+        );
+
+        // Transpose the per-lane records into per-batch merged results.
+        let mut outcome_iters: Vec<_> = Vec::with_capacity(records.len());
+        let mut wall_times: Vec<Vec<Duration>> = Vec::with_capacity(records.len());
+        let mut done_ats: Vec<Vec<Instant>> = Vec::with_capacity(records.len());
+        for rec in records {
+            outcome_iters.push(rec.outcomes.into_iter());
+            wall_times.push(rec.wall);
+            done_ats.push(rec.done_at);
+        }
+        let mut batches = Vec::with_capacity(appended);
+        for k in 0..appended {
+            let per_lane: Vec<Result<SessionBatchResult, MnemonicError>> = outcome_iters
+                .iter_mut()
+                .map(|it| it.next().expect("lane lengths checked above"))
+                .collect();
+            let result = self.merge_results(per_lane)?;
+            let done = done_ats
+                .iter()
+                .map(|d| d[k])
+                .max()
+                .expect("at least one lane");
+            batches.push(PipelinedBatch {
+                result,
+                latency: done.saturating_duration_since(admitted[k]),
+                lane_times: wall_times.iter().map(|w| w[k]).collect(),
+            });
+        }
+
+        // Scheduler bookkeeping, once for the whole run: the lanes advanced
+        // their private sessions batch by batch; the sharded-level version
+        // counters and the load tracker fold the run in here, strictly
+        // after every lane has stopped (migration stays between batches).
+        let appended = appended as u64;
+        self.snapshots_processed += appended;
+        if appended > 0 {
+            self.graph_version += appended;
+            for &s in &scope {
+                self.shard_versions[s] = self.graph_version;
+            }
+            self.after_batch()?;
+        }
+        Ok(PipelinedRun {
+            batches,
+            lanes: scope,
+            wall,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u32) -> StreamEvent {
+        StreamEvent::insert(i, i + 1, 0)
+    }
+
+    #[test]
+    fn ring_is_fifo_and_bounded() {
+        let (tx, mut rx) = IngestQueue::bounded(4, BackpressurePolicy::Reject);
+        for i in 0..4 {
+            tx.try_push(ev(i)).unwrap();
+        }
+        let rejected = tx.try_push(ev(99)).unwrap_err();
+        assert_eq!(rejected.0.src.0, 99, "QueueFull hands the event back");
+        assert_eq!(tx.stats().rejected, 1);
+        for i in 0..4 {
+            assert_eq!(rx.try_pop().unwrap().src.0, i);
+        }
+        assert!(rx.try_pop().is_none());
+        // Freed capacity is reusable (the ring wraps).
+        for lap in 0..3 {
+            for i in 0..4 {
+                tx.try_push(ev(lap * 10 + i)).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(rx.try_pop().unwrap().src.0, lap * 10 + i);
+            }
+        }
+        assert_eq!(tx.stats().pushed, 16);
+        assert_eq!(tx.stats().capacity, 4);
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_is_at_least_two() {
+        // A 1-slot sequence ring cannot distinguish "occupied" from "free
+        // for the next lap", so the floor is 2.
+        let (tx, _rx) = IngestQueue::bounded(0, BackpressurePolicy::Reject);
+        assert_eq!(tx.stats().capacity, 2);
+        let (tx, _rx) = IngestQueue::bounded(1, BackpressurePolicy::Reject);
+        assert_eq!(tx.stats().capacity, 2);
+        let (tx, _rx) = IngestQueue::bounded(5, BackpressurePolicy::Reject);
+        assert_eq!(tx.stats().capacity, 8);
+    }
+
+    #[test]
+    fn reject_policy_fails_fast_and_blocking_push_times_out() {
+        let (tx, _rx) = IngestQueue::bounded(2, BackpressurePolicy::Reject);
+        tx.push(ev(0)).unwrap();
+        tx.push(ev(1)).unwrap();
+        assert!(matches!(tx.push(ev(2)), Err(PushError::Full(e)) if e.src.0 == 2));
+
+        let (tx, _rx) = IngestQueue::bounded(
+            2,
+            BackpressurePolicy::BlockTimeout(Duration::from_millis(10)),
+        );
+        tx.push(ev(0)).unwrap();
+        tx.push(ev(1)).unwrap();
+        let t0 = Instant::now();
+        let err = tx.push(ev(2)).unwrap_err();
+        assert!(matches!(err, PushError::Timeout(e) if e.src.0 == 2));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(err.event().src.0, 2);
+    }
+
+    #[test]
+    fn dropping_producers_closes_and_dropping_consumer_disconnects() {
+        let (tx, mut rx) = IngestQueue::bounded(8, BackpressurePolicy::Block);
+        let tx2 = tx.clone();
+        tx.try_push(ev(0)).unwrap();
+        drop(tx);
+        assert!(!rx.is_closed(), "a clone still holds the stream open");
+        tx2.try_push(ev(1)).unwrap();
+        drop(tx2);
+        assert!(rx.is_closed());
+        // recv drains the ring, then reports end-of-stream.
+        assert_eq!(rx.recv().unwrap().src.0, 0);
+        assert_eq!(rx.recv().unwrap().src.0, 1);
+        assert!(rx.recv().is_none());
+
+        let (tx, rx) = IngestQueue::bounded(2, BackpressurePolicy::Block);
+        tx.push(ev(0)).unwrap();
+        tx.push(ev(1)).unwrap();
+        drop(rx);
+        // The ring is full and nothing will ever drain it: Block must fail
+        // fast instead of hanging the producer forever.
+        assert!(matches!(tx.push(ev(2)), Err(PushError::Disconnected(_))));
+    }
+
+    #[test]
+    fn percentiles_and_projections() {
+        let ms = Duration::from_millis;
+        let batch = |latency: u64, lanes: [u64; 2]| PipelinedBatch {
+            result: SessionBatchResult::default(),
+            latency: ms(latency),
+            lane_times: lanes.iter().map(|&l| ms(l)).collect(),
+        };
+        let run = PipelinedRun {
+            batches: vec![
+                batch(10, [8, 2]),
+                batch(20, [2, 8]),
+                batch(30, [8, 2]),
+                batch(40, [2, 8]),
+            ],
+            lanes: vec![0, 1],
+            wall: ms(100),
+        };
+        assert_eq!(run.latency_percentile(50.0), Some(ms(20)));
+        assert_eq!(run.latency_percentile(99.0), Some(ms(40)));
+        assert_eq!(run.latency_percentile(0.0), Some(ms(10)));
+        // Synchronous: every batch bars on its slowest lane → 4 × 8 ms.
+        assert_eq!(run.projected_synchronous_makespan(), ms(32));
+        // Pipelined: each lane sums to 20 ms and they overlap.
+        assert_eq!(run.projected_pipelined_makespan(), ms(20));
+        let empty = PipelinedRun {
+            batches: Vec::new(),
+            lanes: vec![0],
+            wall: Duration::ZERO,
+        };
+        assert_eq!(empty.latency_percentile(50.0), None);
+        assert_eq!(empty.projected_pipelined_makespan(), Duration::ZERO);
+    }
+
+    #[test]
+    fn batch_log_prunes_applied_entries() {
+        let log = BatchLog::new(2, 4);
+        for i in 0..3 {
+            assert!(log.append(Snapshot::from_events(i, [ev(i as u32)])));
+        }
+        // Both lanes apply the first batch; the window must shrink.
+        assert_eq!(log.wait_for(0).unwrap().id, 0);
+        log.advance(0);
+        assert_eq!(log.wait_for(1).unwrap().id, 0);
+        log.advance(1);
+        assert!(log.append(Snapshot::from_events(3, [ev(3)])));
+        {
+            let inner = log.inner.lock().unwrap();
+            assert_eq!(inner.base, 1, "applied batches are pruned");
+            assert_eq!(inner.entries.len(), 3);
+        }
+        log.close();
+        assert_eq!(log.wait_for(0).unwrap().id, 1);
+    }
+}

@@ -60,6 +60,7 @@ pub mod error;
 pub mod filter;
 pub mod frontier;
 pub mod hot_path_baseline;
+pub mod ingest;
 pub mod parallel;
 pub mod pipeline;
 pub mod rebalance;
@@ -80,6 +81,10 @@ pub use enumerate::{Enumerator, WorkUnit};
 pub use error::MnemonicError;
 pub use frontier::{FrontierScratch, UnifiedFrontier};
 pub use hot_path_baseline::BaselineEnumerator;
+pub use ingest::{
+    BackpressurePolicy, IngestConsumer, IngestProducer, IngestQueue, PipelinedBatch, PipelinedRun,
+    PushError, QueueFull, QueueStats,
+};
 pub use pipeline::DeltaBatch;
 pub use rebalance::{
     plan_moves, static_pattern_cost, LoadTracker, QueryBudget, QueryMove, RebalancePolicy,

@@ -181,23 +181,36 @@ impl LoadTracker {
 
     /// Record one query's *cumulative* enumeration nanos after a batch; the
     /// tracker differences consecutive observations itself.
+    ///
+    /// A zero delta is **not** a measurement: on coarse 1-core timers a batch
+    /// that did real enumeration work can still report zero elapsed nanos,
+    /// and folding those into the EWMA collapses a heavy query's weight back
+    /// towards zero — which makes the rebalancer see phantom balance shifts
+    /// and migrate the query back and forth. Zero deltas (and zero first
+    /// observations) are skipped; the estimate only moves on evidence.
     pub fn observe(&mut self, id: QueryId, cumulative_nanos: u64) {
         match self.entries.get_mut(&id) {
             Some(entry) => {
                 let delta = cumulative_nanos.saturating_sub(entry.last_total) as f64;
                 entry.last_total = cumulative_nanos;
-                entry.ewma = self.alpha * delta + (1.0 - self.alpha) * entry.ewma;
+                if delta > 0.0 {
+                    entry.ewma = self.alpha * delta + (1.0 - self.alpha) * entry.ewma;
+                }
             }
             None => {
                 // First observation: the whole cumulative time is the best
-                // available estimate of one batch's worth of load.
-                self.entries.insert(
-                    id,
-                    LoadEntry {
-                        last_total: cumulative_nanos,
-                        ewma: cumulative_nanos as f64,
-                    },
-                );
+                // available estimate of one batch's worth of load — unless
+                // the timer reported nothing, in which case there is no
+                // evidence yet and the query stays untracked.
+                if cumulative_nanos > 0 {
+                    self.entries.insert(
+                        id,
+                        LoadEntry {
+                            last_total: cumulative_nanos,
+                            ewma: cumulative_nanos as f64,
+                        },
+                    );
+                }
             }
         }
     }
@@ -383,10 +396,33 @@ mod tests {
         assert_eq!(t.load(q), Some(100.0), "first observation is the seed");
         t.observe(q, 300); // delta 200 -> ewma 0.5*200 + 0.5*100 = 150
         assert_eq!(t.load(q), Some(150.0));
-        t.observe(q, 300); // delta 0 -> ewma 75
-        assert_eq!(t.load(q), Some(75.0));
         t.remove(q);
         assert_eq!(t.load(q), None);
+    }
+
+    #[test]
+    fn load_tracker_skips_zero_duration_samples() {
+        let mut t = LoadTracker::new(0.5);
+        let q = QueryId(7);
+        // A zero first observation carries no evidence: nothing is tracked.
+        t.observe(q, 0);
+        assert_eq!(t.load(q), None);
+        t.observe(q, 100);
+        assert_eq!(t.load(q), Some(100.0));
+        t.observe(q, 300); // delta 200 -> ewma 150
+        assert_eq!(t.load(q), Some(150.0));
+        // A batch whose coarse timer reads zero elapsed nanos must not pull
+        // the heavy query's estimate towards zero (oscillation bug).
+        t.observe(q, 300);
+        assert_eq!(
+            t.load(q),
+            Some(150.0),
+            "zero-duration samples are timer artefacts, not load"
+        );
+        // The cumulative baseline still advanced past the skipped sample, so
+        // the next real delta is measured from the latest observation.
+        t.observe(q, 400); // delta 100 -> ewma 0.5*100 + 0.5*150 = 125
+        assert_eq!(t.load(q), Some(125.0));
     }
 
     #[test]

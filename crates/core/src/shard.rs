@@ -182,24 +182,30 @@ impl ShardPlan {
 
     /// Max shard weight over mean shard weight — `1.0` is perfectly
     /// balanced; returns `1.0` when no weight is placed at all.
+    ///
+    /// The mean is floored before dividing: when every query is idle the
+    /// summed weight is ~zero and `max / mean` would read as a huge (or
+    /// non-finite) imbalance, spuriously firing auto-rebalance on a session
+    /// that has no load to move. An idle plan reports perfect balance.
     pub fn imbalance(&self) -> f64 {
         let total: f64 = self.weights.iter().sum();
-        if total <= 0.0 {
+        let mean = total / self.shards as f64;
+        if !mean.is_finite() || mean <= f64::EPSILON {
             return 1.0;
         }
         let max = (0..self.shards)
             .map(|s| self.shard_weight(s))
             .fold(0.0f64, f64::max);
-        max * self.shards as f64 / total
+        max / mean
     }
 
     /// Place a new query by *query count*: the least-loaded shard wins,
     /// lowest index on ties. The query gets weight `1.0`. Returns the chosen
     /// shard.
     pub fn assign(&mut self, id: QueryId) -> usize {
-        let shard = (0..self.shards)
-            .min_by_key(|&s| self.load(s))
-            .expect("a plan has at least one shard");
+        // `shards` is clamped >= 1 at construction, so the min always
+        // exists; fall back to shard 0 rather than panicking a serve loop.
+        let shard = (0..self.shards).min_by_key(|&s| self.load(s)).unwrap_or(0);
         self.assignments.push((id, shard));
         self.weights.push(1.0);
         shard
@@ -216,7 +222,7 @@ impl ShardPlan {
                     .then(self.load(a).cmp(&self.load(b)))
                     .then(a.cmp(&b))
             })
-            .expect("a plan has at least one shard");
+            .unwrap_or(0);
         self.assignments.push((id, shard));
         self.weights.push(weight);
         shard
@@ -364,17 +370,20 @@ impl ShardedSessionBuilder {
 /// A query-sharded multi-session executor: see the [module
 /// documentation](crate::shard) for the execution model.
 pub struct ShardedSession {
-    shards: Vec<MnemonicSession>,
+    // Crate-visible so the pipelined ingest driver (`crate::ingest`) can
+    // split-borrow the shard lanes away from the pending buffer while a run
+    // is in flight; outside the crate the fields stay encapsulated.
+    pub(crate) shards: Vec<MnemonicSession>,
     plan: ShardPlan,
     /// Shard-level pool: `None` when the configuration is sequential.
     pool: Option<rayon::ThreadPool>,
-    config: EngineConfig,
+    pub(crate) config: EngineConfig,
     /// Registration order of live queries, the merge order of
     /// [`SessionBatchResult::per_query`].
     registration_order: Vec<QueryId>,
     next_query_id: u64,
-    snapshots_processed: u64,
-    pending: PendingBuffer,
+    pub(crate) snapshots_processed: u64,
+    pub(crate) pending: PendingBuffer,
     /// Automatic-rebalance policy; `None` disables the auto trigger (manual
     /// [`ShardedSession::rebalance`] and migration stay available).
     policy: Option<RebalancePolicy>,
@@ -390,9 +399,9 @@ pub struct ShardedSession {
     /// Monotone counter of graph-mutating broadcasts; paired with
     /// `shard_versions` to detect shards that skipped broadcasts while
     /// empty.
-    graph_version: u64,
+    pub(crate) graph_version: u64,
     /// The `graph_version` each shard's graph is at.
-    shard_versions: Vec<u64>,
+    pub(crate) shard_versions: Vec<u64>,
 }
 
 impl std::fmt::Debug for ShardedSession {
@@ -555,7 +564,10 @@ impl ShardedSession {
             }
             None => self.plan.assign_weighted(id, weight),
         };
-        self.sync_shard(shard);
+        if let Err(e) = self.sync_shard(shard) {
+            self.plan.remove(id);
+            return Err(e);
+        }
         match self.shards[shard].register_query_full(query, root, matcher, semantics, Some(id)) {
             Ok(handle) => {
                 self.next_query_id += 1;
@@ -643,7 +655,9 @@ impl ShardedSession {
     ///
     /// # Errors
     /// [`MnemonicError::UnknownShard`] when `to` is out of range;
-    /// [`MnemonicError::UnknownQuery`] for a deregistered/foreign handle.
+    /// [`MnemonicError::UnknownQuery`] for a deregistered/foreign handle;
+    /// [`MnemonicError::ShardDesynced`] when the target shard cannot be
+    /// brought up to date.
     pub fn migrate_query(&mut self, handle: &QueryHandle, to: usize) -> Result<(), MnemonicError> {
         if to >= self.shards.len() {
             return Err(MnemonicError::UnknownShard(to));
@@ -652,8 +666,7 @@ impl ShardedSession {
             .plan
             .shard_of(handle.id())
             .ok_or(MnemonicError::UnknownQuery(handle.id()))?;
-        self.execute_move(handle.id(), from, to);
-        Ok(())
+        self.execute_move(handle.id(), from, to)
     }
 
     /// Rebalance the plan now: compute the greedy move list
@@ -662,11 +675,17 @@ impl ShardedSession {
     /// report (no moves when the plan is already balanced). Runs strictly
     /// between batches — results are unaffected, only future load placement
     /// changes.
-    pub fn rebalance(&mut self) -> RebalanceReport {
+    ///
+    /// # Errors
+    /// [`MnemonicError::ShardDesynced`] when a move's target shard cannot be
+    /// brought up to date, [`MnemonicError::UnknownQuery`] when the plan and
+    /// the shards disagree on a query's placement. Either means scheduler
+    /// state has diverged; the session should be discarded.
+    pub fn rebalance(&mut self) -> Result<RebalanceReport, MnemonicError> {
         let imbalance_before = self.plan.imbalance();
         let moves: Vec<QueryMove> = plan_moves(&self.plan);
         for m in &moves {
-            self.execute_move(m.query, m.from, m.to);
+            self.execute_move(m.query, m.from, m.to)?;
         }
         let report = RebalanceReport {
             moves,
@@ -677,24 +696,32 @@ impl ShardedSession {
             self.rebalance_count += 1;
         }
         self.last_rebalance = Some(report.clone());
-        report
+        Ok(report)
     }
 
     /// Carry out one validated move: sync the target shard, extract the
     /// query's state from the source (force-draining its deferred work
     /// against the graph it was parked on), adopt + re-prime on the target,
     /// and update the plan.
-    fn execute_move(&mut self, id: QueryId, from: usize, to: usize) {
+    fn execute_move(&mut self, id: QueryId, from: usize, to: usize) -> Result<(), MnemonicError> {
         if from == to {
-            return;
+            return Ok(());
         }
-        self.sync_shard(to);
+        self.sync_shard(to)?;
         let Some(state) = self.shards[from].take_query(id) else {
-            debug_assert!(false, "plan and shards disagree on query placement");
-            return;
+            // The plan and the shards disagree on where the query lives —
+            // scheduler state has diverged (previously a debug_assert).
+            return Err(MnemonicError::UnknownQuery(id));
         };
         self.shards[to].adopt_query(state);
         self.plan.move_to(id, to);
+        // A completed migration invalidates whatever imbalance history the
+        // policy debounce had accumulated: the plan it measured no longer
+        // exists. Restart the window so the next trigger needs `window`
+        // fresh over-threshold batches against the *new* placement instead
+        // of instantly re-firing (and oscillating) off stale evidence.
+        self.overload_streak = 0;
+        Ok(())
     }
 
     /// Bring one shard's graph up to date by cloning it from a shard that
@@ -703,9 +730,14 @@ impl ShardedSession {
     /// sees exactly the graph it would have seen had the shard never been
     /// skipped. Only shards that sat out broadcasts while empty can be
     /// stale, so the clone never overwrites live query state.
-    fn sync_shard(&mut self, shard: usize) {
+    ///
+    /// # Errors
+    /// [`MnemonicError::ShardDesynced`] when no shard holds the current
+    /// graph version (a violated broadcast-scope invariant; previously a
+    /// panic that would abort a serve loop).
+    pub(crate) fn sync_shard(&mut self, shard: usize) -> Result<(), MnemonicError> {
         if self.shard_versions[shard] == self.graph_version {
-            return;
+            return Ok(());
         }
         debug_assert!(
             self.shards[shard].queries.is_empty(),
@@ -715,9 +747,10 @@ impl ShardedSession {
             .shard_versions
             .iter()
             .position(|&v| v == self.graph_version)
-            .expect("the broadcast scope is never empty, so one shard is always current");
+            .ok_or(MnemonicError::ShardDesynced(shard))?;
         self.shards[shard].graph = self.shards[donor].graph.clone();
         self.shard_versions[shard] = self.graph_version;
+        Ok(())
     }
 
     /// The shards that receive the next broadcast: every shard with at
@@ -725,7 +758,7 @@ impl ShardedSession {
     /// stream must keep flowing so re-registration sees the full graph —
     /// and one current shard is what keeps [`ShardedSession::sync_shard`]'s
     /// donor guarantee).
-    fn broadcast_scope(&self) -> Vec<usize> {
+    pub(crate) fn broadcast_scope(&self) -> Vec<usize> {
         let scope: Vec<usize> = (0..self.shards.len())
             .filter(|&s| self.plan.load(s) > 0)
             .collect();
@@ -740,7 +773,10 @@ impl ShardedSession {
     /// time into the EWMA tracker, refresh the plan's weights, and fire the
     /// policy's auto-rebalance when the imbalance has persisted past the
     /// debounce window.
-    fn after_batch(&mut self) {
+    ///
+    /// # Errors
+    /// See [`ShardedSession::rebalance`] (only the auto-trigger can fail).
+    pub(crate) fn after_batch(&mut self) -> Result<(), MnemonicError> {
         for shard in &self.shards {
             for (id, nanos) in shard.query_enumeration_nanos() {
                 self.tracker.observe(id, nanos);
@@ -752,17 +788,18 @@ impl ShardedSession {
             }
         }
         let Some(policy) = self.policy else {
-            return;
+            return Ok(());
         };
         if self.plan.imbalance() > policy.imbalance_threshold {
             self.overload_streak += 1;
             if self.overload_streak >= policy.window {
                 self.overload_streak = 0;
-                self.rebalance();
+                self.rebalance()?;
             }
         } else {
             self.overload_streak = 0;
         }
+        Ok(())
     }
 
     // ---- accessors ----------------------------------------------------------
@@ -830,16 +867,28 @@ impl ShardedSession {
     /// Run `f` once per scope shard (ascending shard order), concurrently on
     /// the shard-level pool when one is configured. The result vector is in
     /// scope order.
-    fn for_each_shard_in<R, F>(&mut self, scope: &[usize], f: F) -> Vec<R>
+    ///
+    /// Each shard task runs under [`std::panic::catch_unwind`], so a panic
+    /// inside one shard (for example a user-provided matcher) surfaces as
+    /// [`MnemonicError::ShardPanicked`] instead of unwinding through the
+    /// pool and aborting the serve loop. The remaining shards still run to
+    /// completion — but the panicked shard's state is unknown, so the
+    /// session should be discarded after this error.
+    ///
+    /// # Errors
+    /// [`MnemonicError::ShardPanicked`] carrying the first panicked shard's
+    /// index.
+    fn for_each_shard_in<R, F>(&mut self, scope: &[usize], f: F) -> Result<Vec<R>, MnemonicError>
     where
         R: Send,
         F: Fn(&mut MnemonicSession) -> R + Sync,
     {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         let mut in_scope = vec![false; self.shards.len()];
         for &s in scope {
             in_scope[s] = true;
         }
-        let mut slots: Vec<Option<R>> = scope.iter().map(|_| None).collect();
+        let mut slots: Vec<Option<std::thread::Result<R>>> = scope.iter().map(|_| None).collect();
         let selected = self
             .shards
             .iter_mut()
@@ -851,19 +900,26 @@ impl ShardedSession {
                 let f = &f;
                 pool.scope(|s| {
                     for (shard, slot) in selected.zip(slots.iter_mut()) {
-                        s.spawn(move |_| *slot = Some(f(shard)));
+                        s.spawn(move |_| *slot = Some(catch_unwind(AssertUnwindSafe(|| f(shard)))));
                     }
                 });
             }
             None => {
                 for (shard, slot) in selected.zip(slots.iter_mut()) {
-                    *slot = Some(f(shard));
+                    *slot = Some(catch_unwind(AssertUnwindSafe(|| f(shard))));
                 }
             }
         }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every shard task ran to completion"))
+            .zip(scope)
+            .map(|(slot, &shard)| match slot {
+                Some(Ok(r)) => Ok(r),
+                // Err: the task panicked and the payload was caught here.
+                // None: the pool lost the task entirely — treat it the same
+                // way, the shard did not run to completion.
+                Some(Err(_)) | None => Err(MnemonicError::ShardPanicked(shard)),
+            })
             .collect()
     }
 
@@ -871,7 +927,7 @@ impl ShardedSession {
     /// are identical on every shard (same events, same graph state, same
     /// edge ids), timings are summed, and the per-query results are
     /// reassembled in global registration order.
-    fn merge_results(
+    pub(crate) fn merge_results(
         &self,
         results: Vec<Result<SessionBatchResult, MnemonicError>>,
     ) -> Result<SessionBatchResult, MnemonicError> {
@@ -915,24 +971,26 @@ impl ShardedSession {
     /// [`RebalancePolicy`] is set, fires the automatic rebalance.
     ///
     /// # Errors
-    /// See [`MnemonicSession::apply_snapshot`]. If any shard fails the
-    /// shards may have diverged and the session should be discarded.
+    /// See [`MnemonicSession::apply_snapshot`];
+    /// [`MnemonicError::ShardPanicked`] when a shard task panicked mid-batch.
+    /// If any shard fails the shards may have diverged and the session
+    /// should be discarded.
     pub fn apply_snapshot(
         &mut self,
         snapshot: &Snapshot,
     ) -> Result<SessionBatchResult, MnemonicError> {
         let scope = self.broadcast_scope();
         for &s in &scope {
-            self.sync_shard(s);
+            self.sync_shard(s)?;
         }
-        let results = self.for_each_shard_in(&scope, |shard| shard.apply_snapshot(snapshot));
+        let results = self.for_each_shard_in(&scope, |shard| shard.apply_snapshot(snapshot))?;
         self.graph_version += 1;
         for &s in &scope {
             self.shard_versions[s] = self.graph_version;
         }
         self.snapshots_processed += 1;
         let merged = self.merge_results(results)?;
-        self.after_batch();
+        self.after_batch()?;
         Ok(merged)
     }
 
@@ -946,9 +1004,9 @@ impl ShardedSession {
     pub fn bootstrap(&mut self, events: &[StreamEvent]) -> Result<(), MnemonicError> {
         let scope = self.broadcast_scope();
         for &s in &scope {
-            self.sync_shard(s);
+            self.sync_shard(s)?;
         }
-        let results = self.for_each_shard_in(&scope, |shard| shard.bootstrap(events));
+        let results = self.for_each_shard_in(&scope, |shard| shard.bootstrap(events))?;
         self.graph_version += 1;
         for &s in &scope {
             self.shard_versions[s] = self.graph_version;
@@ -1325,14 +1383,14 @@ mod tests {
             )
             .unwrap();
         assert_eq!(s.plan().load(0), 2);
-        let report = s.rebalance();
+        let report = s.rebalance().unwrap();
         assert_eq!(report.moves.len(), 1, "one triangle moves off the pile");
         assert!(report.imbalance_after < report.imbalance_before);
         assert_eq!(s.rebalance_count(), 1);
         assert!(s.last_rebalance().is_some());
         assert_ne!(s.shard_of(&a), s.shard_of(&b));
         // Balanced plans have nothing to move.
-        assert!(s.rebalance().moves.is_empty());
+        assert!(s.rebalance().unwrap().moves.is_empty());
         let r = s
             .run_events([
                 StreamEvent::insert(0, 1, 0),
@@ -1396,5 +1454,129 @@ mod tests {
         oracle.run_events(events.iter().copied()).unwrap();
         assert_eq!(a.accepted(), oa.accepted());
         assert_eq!(b.accepted(), oa.accepted());
+    }
+
+    #[test]
+    fn idle_plan_reports_perfect_balance() {
+        // All queries idle: every weight is ~zero. max/mean would blow up;
+        // the guard must report 1.0 so auto-rebalance cannot spuriously fire.
+        let mut plan = ShardPlan::new(4);
+        plan.assign_to(QueryId(0), 0, 0.0);
+        plan.assign_to(QueryId(1), 0, 0.0);
+        plan.assign_to(QueryId(2), 1, 0.0);
+        assert_eq!(plan.imbalance(), 1.0, "zero mean load is balanced");
+        // Sub-epsilon residues (denormal-ish EWMA tails) count as idle too.
+        plan.set_weight(QueryId(0), 1e-18);
+        assert_eq!(plan.imbalance(), 1.0, "epsilon mean load is balanced");
+        // Real load brings the real signal back.
+        plan.set_weight(QueryId(0), 8.0);
+        assert!(plan.imbalance() > 1.0);
+    }
+
+    #[test]
+    fn migration_resets_the_policy_debounce_window() {
+        let mut s = ShardedSession::builder()
+            .shards(2)
+            .sequential()
+            .batch_size(2)
+            .rebalance_policy(RebalancePolicy {
+                imbalance_threshold: 1.2,
+                window: 3,
+                ewma_alpha: 0.5,
+            })
+            .build()
+            .unwrap();
+        let a = s
+            .register_query_on_shard(
+                patterns::triangle(),
+                0,
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .unwrap();
+        s.overload_streak = 2; // one batch short of the trigger
+        let from = s.shard_of(&a).unwrap();
+        s.migrate_query(&a, 1 - from).unwrap();
+        assert_eq!(
+            s.overload_streak, 0,
+            "a completed migration invalidates the accumulated imbalance \
+             history, so the debounce window must restart"
+        );
+        // A no-op migration (same shard) leaves the streak alone.
+        s.overload_streak = 2;
+        s.migrate_query(&a, 1 - from).unwrap();
+        assert_eq!(s.overload_streak, 2, "no move, no reset");
+    }
+
+    #[test]
+    fn shard_panic_is_caught_and_typed() {
+        use crate::api::FnEdgeMatcher;
+        // A matcher that panics once the graph holds a few edges, placed on
+        // one shard of a two-shard session; the healthy query lives on the
+        // other shard.
+        for parallel_pool in [false, true] {
+            let mut builder = ShardedSession::builder().shards(2).batch_size(2);
+            builder = if parallel_pool {
+                builder.threads(2)
+            } else {
+                builder.sequential()
+            };
+            let mut s = builder.build().unwrap();
+            let poisoned = s
+                .register_query_on_shard(
+                    patterns::path(2),
+                    0,
+                    Box::new(FnEdgeMatcher(
+                        |_ctx: &crate::api::MatcherContext<'_>,
+                         _q,
+                         e: &mnemonic_graph::edge::Edge| {
+                            assert!(e.src.0 != 3, "poisoned matcher");
+                            true
+                        },
+                    )),
+                    Box::new(Isomorphism),
+                )
+                .unwrap();
+            let _healthy = s
+                .register_query_on_shard(
+                    patterns::path(2),
+                    1,
+                    Box::new(LabelEdgeMatcher),
+                    Box::new(Isomorphism),
+                )
+                .unwrap();
+            s.run_events([StreamEvent::insert(0, 1, 0), StreamEvent::insert(1, 2, 0)])
+                .unwrap();
+            let err = s
+                .run_events([StreamEvent::insert(3, 4, 0), StreamEvent::insert(4, 5, 0)])
+                .unwrap_err();
+            assert!(
+                matches!(err, MnemonicError::ShardPanicked(0)),
+                "expected ShardPanicked(0), got {err:?} (pool: {parallel_pool})"
+            );
+            drop(poisoned); // the documented response: discard the session
+        }
+    }
+
+    #[test]
+    fn desynced_shard_is_a_typed_error_not_a_panic() {
+        let mut s = sharded(2);
+        // Corrupt the version bookkeeping so *no* shard matches the current
+        // graph version: the donor lookup used to `expect` here.
+        s.graph_version = 7;
+        let err = s.sync_shard(0).unwrap_err();
+        assert!(matches!(err, MnemonicError::ShardDesynced(0)));
+        // The typed error propagates through registration instead of
+        // poisoning the plan: the failed query is rolled back.
+        let err = s
+            .register_query(
+                patterns::triangle(),
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .unwrap_err();
+        assert!(matches!(err, MnemonicError::ShardDesynced(_)));
+        assert_eq!(s.query_count(), 0);
+        assert_eq!(s.plan().query_count(), 0, "failed registration rolls back");
     }
 }

@@ -201,6 +201,116 @@ impl<S: EventSource> EventSource for Broadcast<S> {
     }
 }
 
+/// One consumer's end of a round-robin split of an event source: the mirror
+/// image of [`Broadcast`]. Where every `Broadcast` handle sees the *whole*
+/// stream, the [`Partition`] handles created by [`Partition::split`] divide
+/// it — each event of the underlying source is delivered to **exactly one**
+/// handle, dealt round-robin in stream order, so `M` handles turn one
+/// stream into `M` disjoint producer feeds (e.g. one per concurrent
+/// `IngestProducer` thread of the core crate's serve front-end).
+///
+/// Each handle preserves the relative order of *its own* events; the
+/// interleaving across handles is up to how their consumers schedule.
+/// The source is pulled lazily and handles lock the shared state only per
+/// pull, so they can live on different threads. Dropping a handle retires
+/// its slot: subsequent events are dealt only to the surviving handles, so
+/// nothing is lost (if every handle is dropped, the rest of the stream is
+/// simply never pulled).
+///
+/// ```
+/// use mnemonic_stream::source::{EventSource, Partition, VecSource};
+/// use mnemonic_stream::event::StreamEvent;
+///
+/// let source = VecSource::new(
+///     (0..4).map(|i| StreamEvent::insert(i, i + 1, 0)).collect(),
+/// );
+/// let [mut a, mut b]: [Partition<_>; 2] =
+///     Partition::split(source, 2).try_into().unwrap();
+/// let firsts: Vec<u32> = a.events().map(|e| e.src.0).collect();
+/// let seconds: Vec<u32> = b.events().map(|e| e.src.0).collect();
+/// assert_eq!(firsts, vec![0, 2]); // every event lands in exactly one half
+/// assert_eq!(seconds, vec![1, 3]);
+/// ```
+#[derive(Debug)]
+pub struct Partition<S: EventSource> {
+    shared: std::sync::Arc<std::sync::Mutex<PartitionShared<S>>>,
+    index: usize,
+}
+
+#[derive(Debug)]
+struct PartitionShared<S: EventSource> {
+    source: S,
+    /// Events already dealt to a handle that has not pulled them yet;
+    /// `None` once the handle has been dropped (its slot is skipped when
+    /// dealing).
+    dealt: Vec<Option<VecDeque<StreamEvent>>>,
+    /// The slot the next event from the source is dealt to.
+    next: usize,
+}
+
+impl<S: EventSource> Partition<S> {
+    /// Split `source` into `consumers` disjoint sources that jointly yield
+    /// every event exactly once, dealt round-robin in stream order.
+    pub fn split(source: S, consumers: usize) -> Vec<Partition<S>> {
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(PartitionShared {
+            source,
+            dealt: (0..consumers).map(|_| Some(VecDeque::new())).collect(),
+            next: 0,
+        }));
+        (0..consumers)
+            .map(|index| Partition {
+                shared: std::sync::Arc::clone(&shared),
+                index,
+            })
+            .collect()
+    }
+}
+
+impl<S: EventSource> Drop for Partition<S> {
+    fn drop(&mut self) {
+        // Retire this handle's slot; future events are dealt only to the
+        // survivors so every event still reaches exactly one handle.
+        if let Ok(mut shared) = self.shared.lock() {
+            shared.dealt[self.index] = None;
+        }
+    }
+}
+
+impl<S: EventSource> EventSource for Partition<S> {
+    fn next_event(&mut self) -> Option<StreamEvent> {
+        let mut shared = self.shared.lock().expect("partition lock poisoned");
+        let shared = &mut *shared;
+        loop {
+            if let Some(event) = shared.dealt[self.index]
+                .as_mut()
+                .expect("a live Partition handle owns its slot")
+                .pop_front()
+            {
+                return Some(event);
+            }
+            let event = shared.source.next_event()?;
+            // Deal to the next live slot (there is at least one: ours).
+            while shared.dealt[shared.next].is_none() {
+                shared.next = (shared.next + 1) % shared.dealt.len();
+            }
+            let slot = shared.next;
+            shared.next = (shared.next + 1) % shared.dealt.len();
+            shared.dealt[slot]
+                .as_mut()
+                .expect("slot liveness checked above")
+                .push_back(event);
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        let shared = self.shared.lock().expect("partition lock poisoned");
+        let buffered = shared.dealt[self.index].as_ref().map_or(0, VecDeque::len);
+        // Upper bound: the rest of the stream could in principle all be
+        // dealt here (if every sibling is dropped).
+        shared.source.size_hint().map(|rest| rest + buffered)
+    }
+}
+
 /// A text-file event source.
 ///
 /// Each non-empty, non-comment line is `src dst label [timestamp]` with
@@ -426,6 +536,63 @@ mod tests {
                 .collect()
         });
         assert_eq!(counts, vec![64; 4]);
+    }
+
+    #[test]
+    fn partition_deals_every_event_exactly_once() {
+        let events: Vec<StreamEvent> = (0..10u32)
+            .map(|i| StreamEvent::insert(i, i + 1, 0))
+            .collect();
+        let mut parts = Partition::split(VecSource::new(events), 3);
+        // Interleave pulls badly on purpose; each handle must still see its
+        // own residue class, in order.
+        let mut seen: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        seen[2].push(parts[2].next_event().unwrap().src.0);
+        seen[0].push(parts[0].next_event().unwrap().src.0);
+        for c in 0..3 {
+            while let Some(e) = parts[c].next_event() {
+                seen[c].push(e.src.0);
+            }
+        }
+        assert_eq!(seen[0], vec![0, 3, 6, 9]);
+        assert_eq!(seen[1], vec![1, 4, 7]);
+        assert_eq!(seen[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn partition_dropped_handle_yields_its_share_to_survivors() {
+        let events: Vec<StreamEvent> = (0..6u32)
+            .map(|i| StreamEvent::insert(i, i + 1, 0))
+            .collect();
+        let mut parts = Partition::split(VecSource::new(events), 2);
+        assert_eq!(parts[0].next_event().unwrap().src.0, 0);
+        drop(parts.remove(1));
+        // Events 1.. are all dealt to the lone survivor; nothing is lost.
+        let rest: Vec<u32> = parts[0].events().map(|e| e.src.0).collect();
+        assert_eq!(rest, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn partition_handles_work_across_threads() {
+        let events: Vec<StreamEvent> = (0..64u32)
+            .map(|i| StreamEvent::insert(i, i + 1, 0))
+            .collect();
+        let parts = Partition::split(VecSource::new(events), 4);
+        let seen: Vec<Vec<u32>> = std::thread::scope(|s| {
+            parts
+                .into_iter()
+                .map(|mut p| s.spawn(move || p.events().map(|e| e.src.0).collect()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all: Vec<u32> = seen.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>(), "exactly-once overall");
+        for part in &seen {
+            assert!(part.windows(2).all(|w| w[0] < w[1]), "per-handle order");
+        }
     }
 
     #[test]

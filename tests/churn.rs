@@ -163,7 +163,7 @@ fn check_churn(mode: UpdateMode, seed: u64) {
             assert_eq!(sharded.shard_of(&pair.sharded), Some(to));
         }
         if rng.gen_bool(0.3) {
-            sharded.rebalance();
+            sharded.rebalance().expect("rebalance during churn");
         }
     }
 

@@ -65,3 +65,8 @@ fn multi_query_session_runs() {
 fn sharded_session_runs() {
     run_example("sharded_session");
 }
+
+#[test]
+fn mnemonic_serve_runs() {
+    run_example("mnemonic_serve");
+}

@@ -1,0 +1,327 @@
+//! The pipelined ingest front-end, differentially and property-based.
+//!
+//! 1. The pipelined (overlapped) broadcast schedule must be
+//!    embedding-for-embedding identical to the synchronous path — per-edge
+//!    and batched modes, deletion batches included, trailing-partial-batch
+//!    drain included.
+//! 2. The bounded MPSC ring must deliver every event exactly once and in
+//!    per-producer order under concurrent producers, including under
+//!    back-pressure (capacity far below the event count).
+//! 3. The end-to-end serve path (concurrent producers → ring → pipelined
+//!    broadcast) must reach the same final embeddings as a synchronous
+//!    oracle.
+
+use mnemonic::core::api::{LabelEdgeMatcher, UpdateMode};
+use mnemonic::core::embedding::CompleteEmbedding;
+use mnemonic::core::engine::EngineConfig;
+use mnemonic::core::ingest::{BackpressurePolicy, IngestQueue};
+use mnemonic::core::session::QueryHandle;
+use mnemonic::core::shard::ShardedSession;
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::core::MnemonicError;
+use mnemonic::query::patterns;
+use mnemonic::query::query_graph::QueryGraph;
+use mnemonic::stream::event::StreamEvent;
+use mnemonic::stream::source::{EventSource, Partition, VecSource};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARDS: usize = 3;
+
+/// Same deterministic mixed insert/delete stream as `tests/sharding.rs`.
+fn mixed_stream(seed: u64, vertices: u32, labels: u16, events: usize) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(u32, u32, u16)> = Vec::new();
+    let mut out = Vec::with_capacity(events);
+    for ts in 0..events as u64 {
+        if !live.is_empty() && rng.gen_bool(0.25) {
+            let idx = rng.gen_range(0..live.len());
+            let (s, d, l) = live.swap_remove(idx);
+            out.push(StreamEvent::delete(s, d, l).at(ts));
+        } else {
+            let src = rng.gen_range(0..vertices);
+            let mut dst = rng.gen_range(0..vertices);
+            if dst == src {
+                dst = (dst + 1) % vertices;
+            }
+            let label = rng.gen_range(0..labels);
+            live.push((src, dst, label));
+            out.push(StreamEvent::insert(src, dst, label).at(ts));
+        }
+    }
+    out
+}
+
+fn query_set() -> Vec<QueryGraph> {
+    vec![
+        patterns::triangle(),
+        patterns::path(3),
+        patterns::rectangle(),
+        patterns::dual_triangle(),
+    ]
+}
+
+fn build_session(batch: usize, parallel: bool) -> (ShardedSession, Vec<QueryHandle>) {
+    let base = if parallel {
+        EngineConfig::default()
+    } else {
+        EngineConfig::sequential()
+    };
+    let mut session = ShardedSession::builder()
+        .shards(SHARDS)
+        .config(EngineConfig {
+            update_mode: UpdateMode::from_batch_size(batch),
+            ..base
+        })
+        .build()
+        .expect("valid sharded config");
+    let handles: Vec<QueryHandle> = query_set()
+        .into_iter()
+        .map(|q| {
+            session
+                .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        })
+        .collect();
+    (session, handles)
+}
+
+type Drained = Vec<(Vec<CompleteEmbedding>, Vec<CompleteEmbedding>)>;
+
+fn drain_sorted(handles: &[QueryHandle]) -> Drained {
+    handles
+        .iter()
+        .map(|h| {
+            let batch = h.drain();
+            let mut pos = batch.positive;
+            let mut neg = batch.negative;
+            pos.sort();
+            neg.sort();
+            (pos, neg)
+        })
+        .collect()
+}
+
+/// Pipelined vs synchronous on one configuration: identical per-batch
+/// delta counts and identical drained embeddings, positive and negative.
+fn assert_pipelined_matches_sync(events: &[StreamEvent], batch: usize, parallel: bool) {
+    let (mut sync_session, sync_handles) = build_session(batch, parallel);
+    let sync_batches = sync_session
+        .run_events(events.iter().copied())
+        .expect("synchronous replay succeeds");
+    let want = drain_sorted(&sync_handles);
+
+    let (mut piped_session, piped_handles) = build_session(batch, parallel);
+    let run = piped_session
+        .run_pipelined(events.iter().copied())
+        .expect("pipelined replay succeeds");
+    let got = drain_sorted(&piped_handles);
+
+    assert_eq!(run.batch_count(), sync_batches.len(), "batch boundaries");
+    for (k, (p, s)) in run.batches().iter().zip(&sync_batches).enumerate() {
+        assert_eq!(p.result.insertions, s.insertions, "insertions, batch {k}");
+        assert_eq!(p.result.deletions, s.deletions, "deletions, batch {k}");
+        assert_eq!(
+            p.result.total_new_embeddings(),
+            s.total_new_embeddings(),
+            "new embeddings, batch {k}"
+        );
+        assert_eq!(
+            p.result.total_removed_embeddings(),
+            s.total_removed_embeddings(),
+            "removed embeddings, batch {k}"
+        );
+    }
+    assert_eq!(got, want, "drained embeddings (batch {batch})");
+}
+
+#[test]
+fn pipelined_schedule_is_embedding_exact_per_edge_and_batched() {
+    // Deletion-heavy stream whose length is deliberately not a multiple of
+    // any batch size, so the trailing-partial drain is exercised too.
+    let events = mixed_stream(42, 10, 2, 157);
+    for parallel in [false, true] {
+        for batch in [1usize, 7, 64] {
+            assert_pipelined_matches_sync(&events, batch, parallel);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random streams, batch sizes, and schedules: the overlapped schedule
+    /// never changes a single embedding.
+    #[test]
+    fn pipelined_schedule_is_exact_on_random_streams(
+        seed in 0u64..1_000,
+        batch_choice in 0usize..3,
+        parallel in any::<bool>(),
+        len in 40usize..160,
+    ) {
+        let batch = [1usize, 5, 32][batch_choice];
+        let events = mixed_stream(seed, 8, 2, len);
+        assert_pipelined_matches_sync(&events, batch, parallel);
+    }
+
+    /// Exactly-once, in-order delivery through the bounded ring under
+    /// concurrent producers and real back-pressure (the ring is much
+    /// smaller than the event count, so producers must park and resume).
+    #[test]
+    fn ring_delivers_exactly_once_in_order_under_concurrency(
+        producers in 2usize..5,
+        per_producer in 10usize..120,
+        capacity_choice in 0usize..3,
+    ) {
+        let capacity = [2usize, 8, 64][capacity_choice];
+        let (tx, mut rx) = IngestQueue::bounded(capacity, BackpressurePolicy::Block);
+        let received: Vec<(u32, u32)> = std::thread::scope(|s| {
+            for p in 0..producers {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        // Encode (producer, sequence) in the edge endpoints.
+                        tx.push(StreamEvent::insert(p as u32, i as u32, 0))
+                            .expect("consumer stays alive");
+                    }
+                });
+            }
+            drop(tx); // producers close the stream when the last clone drops
+            let mut got = Vec::with_capacity(producers * per_producer);
+            while let Some(e) = rx.recv() {
+                got.push((e.src.0, e.dst.0));
+            }
+            got
+        });
+        prop_assert_eq!(received.len(), producers * per_producer, "exactly once");
+        let mut next = vec![0u32; producers];
+        for (p, seq) in received {
+            prop_assert_eq!(seq, next[p as usize], "per-producer order");
+            next[p as usize] += 1;
+        }
+        prop_assert!(rx.stats().capacity <= 64, "memory stayed bounded");
+    }
+}
+
+/// End-to-end: four producer threads partition one insert-only stream,
+/// push it through a small bounded ring, and the pipelined serve loop must
+/// land on exactly the synchronous oracle's embeddings. (Insert-only makes
+/// the final embedding set independent of the producers' interleaving.)
+#[test]
+fn serve_from_concurrent_producers_matches_oracle() {
+    const PRODUCERS: usize = 4;
+    let events: Vec<StreamEvent> = mixed_stream(7, 9, 2, 180)
+        .into_iter()
+        .filter(|e| e.is_insert())
+        .collect();
+
+    // Edge IDs are assigned in arrival order, which the producer
+    // interleaving scrambles — so the oracle comparison is on the vertex
+    // mappings (the paper's notion of an embedding), as a multiset.
+    let vertex_multisets = |drained: Drained| -> Vec<Vec<Vec<u32>>> {
+        drained
+            .into_iter()
+            .map(|(pos, _)| {
+                let mut v: Vec<Vec<u32>> = pos
+                    .into_iter()
+                    .map(|e| e.vertices.iter().map(|v| v.0).collect())
+                    .collect();
+                v.sort();
+                v
+            })
+            .collect()
+    };
+
+    let (mut oracle_session, oracle_handles) = build_session(8, false);
+    oracle_session
+        .run_events(events.iter().copied())
+        .expect("oracle replay succeeds");
+    let want = vertex_multisets(drain_sorted(&oracle_handles));
+
+    let (mut session, handles) = build_session(8, true);
+    let (tx, rx) = IngestQueue::bounded(32, BackpressurePolicy::Block);
+    let feeds = Partition::split(VecSource::new(events.clone()), PRODUCERS);
+    let run = std::thread::scope(|s| {
+        for mut feed in feeds {
+            let tx = tx.clone();
+            s.spawn(move || {
+                for event in feed.events() {
+                    tx.push(event).expect("server stays up");
+                }
+            });
+        }
+        drop(tx);
+        session.serve(rx).expect("serve succeeds")
+    });
+
+    let total: u64 = run
+        .batches()
+        .iter()
+        .map(|b| b.result.insertions as u64)
+        .sum();
+    assert_eq!(total, events.len() as u64, "every event exactly once");
+    assert_eq!(
+        vertex_multisets(drain_sorted(&handles)),
+        want,
+        "final embeddings match oracle"
+    );
+    assert!(run.latency_percentile(50.0).unwrap() <= run.latency_percentile(99.0).unwrap());
+}
+
+/// A panic inside one lane (a poisoned user matcher) must surface as a
+/// typed error from the pipelined driver — feeder stopped, every lane
+/// joined, no hang and no abort — exactly like the synchronous path.
+#[test]
+fn pipelined_lane_panic_is_typed_and_does_not_hang() {
+    use mnemonic::core::api::{FnEdgeMatcher, MatcherContext};
+    use mnemonic::graph::edge::Edge;
+    use mnemonic::graph::ids::QueryEdgeId;
+
+    for parallel in [false, true] {
+        let base = if parallel {
+            EngineConfig::default()
+        } else {
+            EngineConfig::sequential()
+        };
+        let mut session = ShardedSession::builder()
+            .shards(2)
+            .config(EngineConfig {
+                update_mode: UpdateMode::from_batch_size(2),
+                ..base
+            })
+            .build()
+            .expect("valid sharded config");
+        session
+            .register_query(
+                patterns::path(2),
+                Box::new(FnEdgeMatcher(
+                    |_ctx: &MatcherContext<'_>, _q: QueryEdgeId, e: &Edge| {
+                        assert!(e.src.0 != 3, "poisoned matcher");
+                        true
+                    },
+                )),
+                Box::new(Isomorphism),
+            )
+            .expect("connected query");
+        session
+            .register_query(
+                patterns::path(2),
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .expect("connected query");
+
+        let events = vec![
+            StreamEvent::insert(0, 1, 0),
+            StreamEvent::insert(1, 2, 0),
+            StreamEvent::insert(3, 4, 0), // src 3 trips the poisoned matcher
+            StreamEvent::insert(4, 5, 0),
+        ];
+        let err = session.run_pipelined(events).unwrap_err();
+        assert!(
+            matches!(err, MnemonicError::ShardPanicked(_)),
+            "expected ShardPanicked, got {err:?} (parallel={parallel})"
+        );
+    }
+}
