@@ -78,6 +78,12 @@ if [ "$quick" != "quick" ]; then
     # identical to an unsharded oracle and identical batch boundaries (see
     # crates/bench/src/bin/serve_gate.rs).
     gate_step cargo run --release -q -p mnemonic-bench --bin serve_gate
+    # Paging smoke check: a sliding-window replay whose compressed spill
+    # footprint is >= 10x the page-cache budget must stay embedding-exact
+    # vs an in-memory session, keep resident pages within the configured
+    # budget, absorb zero I/O errors, and compress >= 1.3x over the flat
+    # record encoding (see crates/bench/src/bin/paging_gate.rs).
+    gate_step cargo run --release -q -p mnemonic-bench --bin paging_gate
 fi
 
 step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

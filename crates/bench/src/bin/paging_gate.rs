@@ -1,0 +1,178 @@
+//! CI paging gate: a sliding-window replay over a stream whose spilled,
+//! *compressed* footprint is at least 10x the page-cache budget must
+//!
+//! 1. stay embedding-for-embedding exact — the paged session's positive and
+//!    negative counts equal an identical in-memory session's,
+//! 2. keep the resident page count within the configured cache budget (the
+//!    whole point of the paged tier: bounded memory, unbounded history),
+//! 3. absorb zero I/O errors, and
+//! 4. beat the flat fixed-width record encoding by a real margin — the
+//!    delta-varint pages are what make a 10x-over-budget replay cheap.
+//!
+//! The compression ratio is the reported `gate-ratio:` figure.
+//!
+//! Exit status 0 = all gates passed; 1 = a gate failed.
+//!
+//! ```text
+//! cargo run --release -p mnemonic-bench --bin paging_gate
+//! ```
+
+use mnemonic_core::api::{LabelEdgeMatcher, UpdateMode};
+use mnemonic_core::session::MnemonicSession;
+use mnemonic_core::variants::Isomorphism;
+use mnemonic_graph::spill::SpillConfig;
+use mnemonic_graph::storage::StorageConfig;
+use mnemonic_query::patterns;
+use mnemonic_stream::event::StreamEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Page size of the paged backend under test.
+const PAGE_SIZE: usize = 4096;
+/// Cache budget in pages; `PAGE_SIZE * CACHE_PAGES` is the resident-byte
+/// budget the replay must exceed 10x in compressed footprint.
+const CACHE_PAGES: usize = 4;
+/// The replay must spill at least this multiple of the cache budget.
+const MIN_BUDGET_MULTIPLE: f64 = 10.0;
+/// Gate: compressed pages must beat the flat encoding by this factor.
+const MIN_COMPRESSION: f64 = 1.3;
+/// Sliding window: edges older than this many insertions are deleted.
+const WINDOW: usize = 512;
+/// Insertions in the replay (deletions ride on top, one per expiring edge).
+const INSERTIONS: usize = 30_000;
+const BATCH: usize = 256;
+
+/// A sliding-window stream: every insertion past the window expires the
+/// oldest live edge, so the engine sees insert+delete churn while the spill
+/// tier sees a long eviction history.
+fn sliding_window_stream() -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(4096);
+    let mut window: VecDeque<(u32, u32, u16)> = VecDeque::new();
+    let mut events = Vec::with_capacity(2 * INSERTIONS);
+    let mut ts = 0u64;
+    for _ in 0..INSERTIONS {
+        let src = rng.gen_range(0..2_000u32);
+        let mut dst = rng.gen_range(0..2_000u32);
+        if dst == src {
+            dst = (dst + 1) % 2_000;
+        }
+        ts += 1;
+        events.push(StreamEvent::insert(src, dst, 0).at(ts));
+        window.push_back((src, dst, 0));
+        if window.len() > WINDOW {
+            let (s, d, l) = window.pop_front().expect("window is non-empty");
+            ts += 1;
+            events.push(StreamEvent::delete(s, d, l).at(ts));
+        }
+    }
+    events
+}
+
+/// Replay the stream through one session; `storage` = None is the
+/// in-memory oracle. Returns (positives, negatives, spill snapshot).
+fn replay(
+    events: &[StreamEvent],
+    storage: Option<StorageConfig>,
+) -> (u64, u64, mnemonic_core::stats::SpillSnapshot) {
+    let mut builder = MnemonicSession::builder()
+        .sequential()
+        .update_mode(UpdateMode::Batched(BATCH));
+    if let Some(storage) = storage {
+        builder = builder.storage(storage).spill(SpillConfig {
+            in_memory_window: 64,
+            buffer_capacity: 32,
+        });
+    }
+    let mut session = builder.build().expect("session builds");
+    let handle = session
+        .register_query(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .expect("query registers");
+    session
+        .run_events(events.iter().copied())
+        .expect("replay applies");
+    let drained = handle.drain();
+    (
+        drained.positive.len() as u64,
+        drained.negative.len() as u64,
+        handle.spill_stats(),
+    )
+}
+
+fn main() {
+    let events = sliding_window_stream();
+    let budget_bytes = (PAGE_SIZE * CACHE_PAGES) as f64;
+
+    let (pos_mem, neg_mem, _) = replay(&events, None);
+    let paged_config = StorageConfig::paged()
+        .page_size(PAGE_SIZE)
+        .cache_pages(CACHE_PAGES);
+    let (pos_paged, neg_paged, spill) = replay(&events, Some(paged_config));
+
+    let mut failed = false;
+    println!(
+        "paging_gate: {} events ({INSERTIONS} inserts, window {WINDOW}), triangle query, batch {BATCH}",
+        events.len()
+    );
+    println!(
+        "  embeddings (in-memory)    : +{pos_mem} / -{neg_mem}; (paged) +{pos_paged} / -{neg_paged}"
+    );
+    if (pos_mem, neg_mem) != (pos_paged, neg_paged) {
+        eprintln!("GATE FAILED: paged replay diverged from the in-memory oracle");
+        failed = true;
+    }
+
+    let multiple = spill.compressed_bytes as f64 / budget_bytes;
+    println!(
+        "  spilled footprint         : {} edges, {} compressed bytes = {multiple:.1}x the {}-byte cache budget (need >= {MIN_BUDGET_MULTIPLE}x)",
+        spill.edges_on_disk, spill.compressed_bytes, budget_bytes as u64
+    );
+    if multiple < MIN_BUDGET_MULTIPLE {
+        eprintln!(
+            "GATE FAILED: replay covered only {multiple:.1}x the cache budget (need {MIN_BUDGET_MULTIPLE}x) — not a real out-of-core test"
+        );
+        failed = true;
+    }
+
+    println!(
+        "  resident pages            : {} (budget {CACHE_PAGES}); cache {} hits / {} misses / {} evictions / {} write-backs",
+        spill.resident_pages, spill.cache.hits, spill.cache.misses, spill.cache.evictions, spill.cache.write_backs
+    );
+    if spill.resident_pages as usize > CACHE_PAGES {
+        eprintln!(
+            "GATE FAILED: {} resident pages exceed the {CACHE_PAGES}-page budget",
+            spill.resident_pages
+        );
+        failed = true;
+    }
+    if spill.cache.evictions == 0 {
+        eprintln!("GATE FAILED: the cache never evicted — the replay did not stress the budget");
+        failed = true;
+    }
+    if spill.io_errors != 0 {
+        eprintln!("GATE FAILED: {} spill I/O errors absorbed", spill.io_errors);
+        failed = true;
+    }
+
+    let compression = spill.compression_ratio();
+    println!(
+        "  compression               : {:>12.2}x  (raw {} -> compressed {} bytes; gate: >= {MIN_COMPRESSION}x)",
+        compression, spill.raw_bytes, spill.compressed_bytes
+    );
+    println!("gate-ratio: paging {compression:.2}x compression (floor {MIN_COMPRESSION}x)");
+    if compression < MIN_COMPRESSION {
+        eprintln!(
+            "GATE FAILED: delta-varint pages only {compression:.2}x smaller than the flat encoding (need {MIN_COMPRESSION}x)"
+        );
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("paging_gate: all gates passed");
+}

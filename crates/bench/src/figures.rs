@@ -19,6 +19,7 @@ use mnemonic_datagen::SECONDS_PER_DAY;
 use mnemonic_graph::edge::EdgeTriple;
 use mnemonic_graph::multigraph::StreamingGraph;
 use mnemonic_graph::spill::SpillConfig;
+use mnemonic_graph::storage::StorageConfig;
 use mnemonic_query::patterns;
 use mnemonic_query::query_graph::QueryGraph;
 use mnemonic_stream::config::StreamConfig;
@@ -878,6 +879,46 @@ impl Figures {
         };
         replay("netflow", &netflow);
         replay("lsbench", &lsbench);
+
+        // The paged spill tier over the deletion-heavy LSBench stream: the
+        // footprint counters (edges spilled, compressed/raw bytes, resident
+        // pages, I/O errors) are deterministic for a fixed scale + seed, so
+        // the baseline comparison catches both correctness regressions
+        // (embedding drift) and format regressions (compression drift).
+        {
+            let mut session = MnemonicSession::builder()
+                .sequential()
+                .batch_size(512)
+                .storage(StorageConfig::paged().page_size(4096).cache_pages(4))
+                .spill(SpillConfig {
+                    in_memory_window: 64,
+                    buffer_capacity: 32,
+                })
+                .build()
+                .expect("valid paged summary configuration");
+            let handle = session
+                .register_query(
+                    patterns::triangle(),
+                    Box::new(LabelEdgeMatcher),
+                    Box::new(Isomorphism),
+                )
+                .expect("connected query");
+            session
+                .run_events(lsbench.iter().copied())
+                .expect("paged summary replay succeeds");
+            let drained = handle.drain();
+            let spill = handle.spill_stats();
+            out.push(("paging_positive".into(), drained.positive.len() as f64));
+            out.push(("paging_negative".into(), drained.negative.len() as f64));
+            out.push(("paging_edges_on_disk".into(), spill.edges_on_disk as f64));
+            out.push(("paging_raw_bytes".into(), spill.raw_bytes as f64));
+            out.push((
+                "paging_compressed_bytes".into(),
+                spill.compressed_bytes as f64,
+            ));
+            out.push(("paging_resident_pages".into(), spill.resident_pages as f64));
+            out.push(("paging_io_errors".into(), spill.io_errors as f64));
+        }
         out
     }
 

@@ -23,6 +23,7 @@ use crate::session::{MnemonicSession, QueryHandle, SessionBatchResult};
 use crate::stats::{CounterSnapshot, PhaseTimings};
 use mnemonic_graph::multigraph::StreamingGraph;
 use mnemonic_graph::spill::{SpillConfig, SpillStats};
+use mnemonic_graph::storage::StorageConfig;
 use mnemonic_query::query_graph::QueryGraph;
 use mnemonic_query::query_tree::QueryTree;
 use mnemonic_stream::event::StreamEvent;
@@ -49,6 +50,12 @@ pub struct EngineConfig {
     pub update_mode: UpdateMode,
     /// Optional external-memory tier (Section IV-A, Table III).
     pub spill: Option<SpillConfig>,
+    /// Backend of the spill tier's disk log (PR 8). The default keeps the
+    /// flat fixed-width log fully in line with the seed; a paged
+    /// configuration ([`StorageConfig::paged`]) routes window spills
+    /// through the delta-varint page cache — and *implies* a spill tier
+    /// with [`SpillConfig::default`] when `spill` is `None`.
+    pub storage: StorageConfig,
     /// Route the batch pipeline through the **retained pre-optimisation hot
     /// path** (`HashSet` frontier build + hashed masking + per-call
     /// allocation in the enumeration kernels; see
@@ -72,6 +79,7 @@ impl Default for EngineConfig {
             recycle_edge_ids: true,
             update_mode: UpdateMode::default(),
             spill: None,
+            storage: StorageConfig::default(),
             hot_path_baseline: false,
             query_budget: None,
         }

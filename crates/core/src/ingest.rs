@@ -188,7 +188,10 @@ pub struct QueueStats {
 /// (`seq == pos + capacity`).
 struct Slot {
     seq: AtomicUsize,
-    value: UnsafeCell<MaybeUninit<StreamEvent>>,
+    /// The event plus its admission instant, stamped by the producer that
+    /// won the slot — the start of the queue-wait clock reported through
+    /// [`PipelinedRun::queue_wait_percentile`].
+    value: UnsafeCell<MaybeUninit<(StreamEvent, Instant)>>,
 }
 
 struct RingShared {
@@ -216,8 +219,8 @@ struct RingShared {
 
 // SAFETY: slots are only written by the producer that won the CAS on
 // `enqueue_pos` for that position and only read by the single consumer after
-// the slot's release-store made the write visible; `StreamEvent` is `Copy`,
-// so slots never need dropping.
+// the slot's release-store made the write visible; `(StreamEvent, Instant)`
+// is `Copy`, so slots never need dropping.
 unsafe impl Send for RingShared {}
 unsafe impl Sync for RingShared {}
 
@@ -273,8 +276,10 @@ impl RingShared {
                     Ok(_) => {
                         // SAFETY: winning the CAS gives this producer
                         // exclusive ownership of the slot until the
-                        // release-store below publishes it.
-                        unsafe { (*slot.value.get()).write(event) };
+                        // release-store below publishes it. The admission
+                        // stamp is taken here, per producer, so the
+                        // queue-wait clock starts at the successful push.
+                        unsafe { (*slot.value.get()).write((event, Instant::now())) };
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                         self.pushed.fetch_add(1, Ordering::Relaxed);
                         if self.waiting_consumers.load(Ordering::SeqCst) > 0 {
@@ -295,8 +300,9 @@ impl RingShared {
     }
 
     /// Single-consumer dequeue (`&self`, but only ever called through the
-    /// unique [`IngestConsumer`]).
-    fn try_pop(&self) -> Option<StreamEvent> {
+    /// unique [`IngestConsumer`]), returning the event with its admission
+    /// stamp.
+    fn try_pop(&self) -> Option<(StreamEvent, Instant)> {
         let pos = self.dequeue_pos.load(Ordering::Relaxed);
         let slot = &self.slots[pos & self.mask];
         let seq = slot.seq.load(Ordering::Acquire);
@@ -307,7 +313,7 @@ impl RingShared {
             .store(pos.wrapping_add(1), Ordering::Relaxed);
         // SAFETY: `seq == pos + 1` means the producer's release-store
         // published this slot; the single consumer now owns it.
-        let event = unsafe { (*slot.value.get()).assume_init_read() };
+        let stamped = unsafe { (*slot.value.get()).assume_init_read() };
         slot.seq.store(
             pos.wrapping_add(self.mask).wrapping_add(1),
             Ordering::Release,
@@ -316,7 +322,7 @@ impl RingShared {
             drop(self.gate.lock());
             self.not_full.notify_all();
         }
-        Some(event)
+        Some(stamped)
     }
 
     fn closed(&self) -> bool {
@@ -494,6 +500,13 @@ impl IngestConsumer {
     /// Dequeue without waiting; `None` when the ring is currently empty
     /// (the stream may still be open).
     pub fn try_pop(&mut self) -> Option<StreamEvent> {
+        self.shared.try_pop().map(|(event, _)| event)
+    }
+
+    /// [`IngestConsumer::try_pop`], but the event comes with its admission
+    /// stamp: the [`Instant`] at which the producer's successful push
+    /// claimed a ring slot. `now - stamp` is the event's queue wait.
+    pub fn try_pop_stamped(&mut self) -> Option<(StreamEvent, Instant)> {
         self.shared.try_pop()
     }
 
@@ -501,9 +514,17 @@ impl IngestConsumer {
     /// has been dropped **and** the ring is drained — the end of the
     /// stream.
     pub fn recv(&mut self) -> Option<StreamEvent> {
+        self.recv_stamped().map(|(event, _)| event)
+    }
+
+    /// [`IngestConsumer::recv`], but the event comes with its admission
+    /// stamp (see [`IngestConsumer::try_pop_stamped`]). The serve driver
+    /// uses the stamps to fold per-batch queue wait into the latency report
+    /// ([`PipelinedRun::queue_wait_percentile`]).
+    pub fn recv_stamped(&mut self) -> Option<(StreamEvent, Instant)> {
         loop {
-            if let Some(event) = self.shared.try_pop() {
-                return Some(event);
+            if let Some(stamped) = self.shared.try_pop() {
+                return Some(stamped);
             }
             if self.shared.closed() {
                 // One final poll: a producer may have pushed between the
@@ -558,9 +579,12 @@ struct LogInner {
     entries: VecDeque<Arc<Snapshot>>,
     base: usize,
     appended: usize,
-    /// Admission instant of every batch (by batch index; the latency
+    /// Log-entry instant of every batch (by batch index; the latency
     /// numerator keeps the full run, it is O(batches) of `Instant`s only).
     admitted: Vec<Instant>,
+    /// Queue wait of every batch: from the ring admission of the batch's
+    /// earliest event to the batch entering the log.
+    queue_waits: Vec<Duration>,
     /// Per-lane next batch index.
     positions: Vec<usize>,
     closed: bool,
@@ -587,6 +611,7 @@ impl BatchLog {
                 base: 0,
                 appended: 0,
                 admitted: Vec::new(),
+                queue_waits: Vec::new(),
                 positions: vec![0; lanes],
                 closed: false,
                 failed: false,
@@ -598,8 +623,11 @@ impl BatchLog {
     }
 
     /// Append one batch, parking while the in-flight window is full; `false`
-    /// when a lane failed (the feeder should stop).
-    fn append(&self, snapshot: Snapshot) -> bool {
+    /// when a lane failed (the feeder should stop). `first_admitted` is the
+    /// ring-admission instant of the batch's earliest event; everything
+    /// between it and the actual append is queue wait (including any park
+    /// inside this call — a full in-flight window is back-pressure too).
+    fn append(&self, snapshot: Snapshot, first_admitted: Instant) -> bool {
         let mut inner = self.inner.lock().expect("batch log poisoned");
         loop {
             if inner.failed {
@@ -611,9 +639,13 @@ impl BatchLog {
                 inner.base += 1;
             }
             if inner.appended - min_pos < self.max_inflight {
+                let now = Instant::now();
                 inner.entries.push_back(Arc::new(snapshot));
                 inner.appended += 1;
-                inner.admitted.push(Instant::now());
+                inner.admitted.push(now);
+                inner
+                    .queue_waits
+                    .push(now.saturating_duration_since(first_admitted));
                 self.data.notify_all();
                 return true;
             }
@@ -660,11 +692,9 @@ impl BatchLog {
         self.data.notify_all();
     }
 
-    fn into_admitted(self) -> Vec<Instant> {
-        self.inner
-            .into_inner()
-            .expect("batch log poisoned")
-            .admitted
+    fn into_admission(self) -> (Vec<Instant>, Vec<Duration>) {
+        let inner = self.inner.into_inner().expect("batch log poisoned");
+        (inner.admitted, inner.queue_waits)
     }
 }
 
@@ -717,6 +747,12 @@ pub struct PipelinedBatch {
     /// Admission-to-done latency: from the instant the batch entered the
     /// batch log to the instant the *last* lane finished applying it.
     pub latency: Duration,
+    /// Queue wait: from the ring admission of the batch's earliest event
+    /// (stamped by the producer's successful push) to the batch entering
+    /// the log. Zero for in-memory drives ([`ShardedSession::run_pipelined`])
+    /// which have no admission queue. `queue_wait + latency` is the full
+    /// producer-to-done latency of the batch.
+    pub queue_wait: Duration,
     /// Wall time each lane spent applying this batch, in
     /// [`PipelinedRun::lanes`] order — the raw material of the makespan
     /// projections.
@@ -767,13 +803,26 @@ impl PipelinedRun {
     /// Nearest-rank percentile (`p` in `[0, 100]`) of the per-batch
     /// admission-to-done latency; `None` when the run had no batches.
     pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
-        if self.batches.is_empty() {
+        Self::percentile(self.batches.iter().map(|b| b.latency), p)
+    }
+
+    /// Nearest-rank percentile of the per-batch queue wait
+    /// ([`PipelinedBatch::queue_wait`]); `None` when the run had no
+    /// batches. Read next to [`PipelinedRun::latency_percentile`]: the
+    /// pair splits the producer-to-done latency into admission-queue time
+    /// and pipeline time.
+    pub fn queue_wait_percentile(&self, p: f64) -> Option<Duration> {
+        Self::percentile(self.batches.iter().map(|b| b.queue_wait), p)
+    }
+
+    fn percentile(values: impl Iterator<Item = Duration>, p: f64) -> Option<Duration> {
+        let mut values: Vec<Duration> = values.collect();
+        if values.is_empty() {
             return None;
         }
-        let mut latencies: Vec<Duration> = self.batches.iter().map(|b| b.latency).collect();
-        latencies.sort_unstable();
-        let rank = ((p.clamp(0.0, 100.0) / 100.0) * latencies.len() as f64).ceil() as usize;
-        Some(latencies[rank.saturating_sub(1).min(latencies.len() - 1)])
+        values.sort_unstable();
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * values.len() as f64).ceil() as usize;
+        Some(values[rank.saturating_sub(1).min(values.len() - 1)])
     }
 
     /// Projected makespan of the *synchronous* broadcast schedule on these
@@ -821,7 +870,7 @@ impl ShardedSession {
     /// See [`ShardedSession::run_pipelined`].
     pub fn serve(&mut self, consumer: IngestConsumer) -> Result<PipelinedRun, MnemonicError> {
         let mut consumer = consumer;
-        self.pipelined_drive(move || consumer.recv())
+        self.pipelined_drive(move || consumer.recv_stamped())
     }
 
     /// Drive an in-memory event sequence through the pipelined schedule —
@@ -839,7 +888,9 @@ impl ShardedSession {
         events: impl IntoIterator<Item = StreamEvent>,
     ) -> Result<PipelinedRun, MnemonicError> {
         let mut iter = events.into_iter();
-        self.pipelined_drive(move || iter.next())
+        // In-memory events are "admitted" the instant they are pulled, so
+        // the reported queue wait is zero — there is no queue.
+        self.pipelined_drive(move || iter.next().map(|e| (e, Instant::now())))
     }
 
     /// The shared pipelined driver: pull events from `next_event`, cut them
@@ -857,7 +908,7 @@ impl ShardedSession {
     /// in-flight bound, since nothing drains the log concurrently.
     fn pipelined_drive(
         &mut self,
-        mut next_event: impl FnMut() -> Option<StreamEvent>,
+        mut next_event: impl FnMut() -> Option<(StreamEvent, Instant)>,
     ) -> Result<PipelinedRun, MnemonicError> {
         let scope = self.broadcast_scope();
         for &s in &scope {
@@ -893,23 +944,30 @@ impl ShardedSession {
         // The feeder: form batches exactly like the synchronous path
         // (identical `PendingBuffer` thresholds → identical batch
         // boundaries) and append them to the log.
-        let feed = |pending: &mut crate::session::PendingBuffer,
-                    next_event: &mut dyn FnMut() -> Option<StreamEvent>| {
-            let mut appended = 0u64;
-            while let Some(event) = next_event() {
-                if pending.push(event, batch_size) {
-                    if let Some(snapshot) = pending.take_snapshot(base_id + appended) {
-                        if !log.append(snapshot) {
-                            return; // a lane failed; stop admitting
+        let feed =
+            |pending: &mut crate::session::PendingBuffer,
+             next_event: &mut dyn FnMut() -> Option<(StreamEvent, Instant)>| {
+                let mut appended = 0u64;
+                // Ring-admission instant of the forming batch's earliest event;
+                // events arrive in admission order, so the first stamp wins.
+                let mut first_admitted: Option<Instant> = None;
+                while let Some((event, admitted)) = next_event() {
+                    first_admitted.get_or_insert(admitted);
+                    if pending.push(event, batch_size) {
+                        if let Some(snapshot) = pending.take_snapshot(base_id + appended) {
+                            let admitted = first_admitted.take().unwrap_or_else(Instant::now);
+                            if !log.append(snapshot, admitted) {
+                                return; // a lane failed; stop admitting
+                            }
+                            appended += 1;
                         }
-                        appended += 1;
                     }
                 }
-            }
-            if let Some(snapshot) = pending.take_snapshot(base_id + appended) {
-                log.append(snapshot);
-            }
-        };
+                if let Some(snapshot) = pending.take_snapshot(base_id + appended) {
+                    let admitted = first_admitted.take().unwrap_or_else(Instant::now);
+                    log.append(snapshot, admitted);
+                }
+            };
 
         if parallel_lanes {
             std::thread::scope(|ts| {
@@ -930,7 +988,7 @@ impl ShardedSession {
             }
         }
         let wall = t_start.elapsed();
-        let admitted = log.into_admitted();
+        let (admitted, queue_waits) = log.into_admission();
         let appended = admitted.len();
 
         // A lane that stopped short of the appended count failed (its last
@@ -976,6 +1034,7 @@ impl ShardedSession {
             batches.push(PipelinedBatch {
                 result,
                 latency: done.saturating_duration_since(admitted[k]),
+                queue_wait: queue_waits[k],
                 lane_times: wall_times.iter().map(|w| w[k]).collect(),
             });
         }
@@ -1097,6 +1156,7 @@ mod tests {
         let batch = |latency: u64, lanes: [u64; 2]| PipelinedBatch {
             result: SessionBatchResult::default(),
             latency: ms(latency),
+            queue_wait: ms(latency / 10),
             lane_times: lanes.iter().map(|&l| ms(l)).collect(),
         };
         let run = PipelinedRun {
@@ -1112,6 +1172,8 @@ mod tests {
         assert_eq!(run.latency_percentile(50.0), Some(ms(20)));
         assert_eq!(run.latency_percentile(99.0), Some(ms(40)));
         assert_eq!(run.latency_percentile(0.0), Some(ms(10)));
+        assert_eq!(run.queue_wait_percentile(50.0), Some(ms(2)));
+        assert_eq!(run.queue_wait_percentile(99.0), Some(ms(4)));
         // Synchronous: every batch bars on its slowest lane → 4 × 8 ms.
         assert_eq!(run.projected_synchronous_makespan(), ms(32));
         // Pipelined: each lane sums to 20 ms and they overlap.
@@ -1122,6 +1184,7 @@ mod tests {
             wall: Duration::ZERO,
         };
         assert_eq!(empty.latency_percentile(50.0), None);
+        assert_eq!(empty.queue_wait_percentile(50.0), None);
         assert_eq!(empty.projected_pipelined_makespan(), Duration::ZERO);
     }
 
@@ -1129,14 +1192,14 @@ mod tests {
     fn batch_log_prunes_applied_entries() {
         let log = BatchLog::new(2, 4);
         for i in 0..3 {
-            assert!(log.append(Snapshot::from_events(i, [ev(i as u32)])));
+            assert!(log.append(Snapshot::from_events(i, [ev(i as u32)]), Instant::now()));
         }
         // Both lanes apply the first batch; the window must shrink.
         assert_eq!(log.wait_for(0).unwrap().id, 0);
         log.advance(0);
         assert_eq!(log.wait_for(1).unwrap().id, 0);
         log.advance(1);
-        assert!(log.append(Snapshot::from_events(3, [ev(3)])));
+        assert!(log.append(Snapshot::from_events(3, [ev(3)]), Instant::now()));
         {
             let inner = log.inner.lock().unwrap();
             assert_eq!(inner.base, 1, "applied batches are pruned");

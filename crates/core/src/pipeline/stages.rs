@@ -30,7 +30,8 @@ use crate::session::{DeferredEpoch, MnemonicSession, QueryState};
 use crate::stats::EngineCounters;
 use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::{Edge, EdgeTriple};
-use mnemonic_graph::ids::{Timestamp, WILDCARD_VERTEX_LABEL};
+use mnemonic_graph::edge_log::LogRecord;
+use mnemonic_graph::ids::{Timestamp, VertexId, WILDCARD_EDGE_LABEL, WILDCARD_VERTEX_LABEL};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;
@@ -87,12 +88,25 @@ impl GraphUpdate {
             ));
             let edge = session.graph.edge(id).ok_or(MnemonicError::DeadEdge(id))?;
             if let Some(spill) = session.spill.as_mut() {
-                // The spill record keeps one DEBI row for overhead
-                // accounting; with several standing queries the first
-                // query's index is the representative one.
+                // One DEBI row rides along for overhead accounting; with
+                // several standing queries the first query's index is the
+                // representative one. Spill eviction is accounting, not
+                // deletion, so an evicted edge is still live in the graph
+                // and its full record — endpoints, label, timestamp — goes
+                // to the disk tier, where the paged backend indexes it by
+                // adjacency.
                 let debi = session.queries.first().map(|q| &q.debi);
-                let outcome = spill.on_insert(edge, |eid| {
-                    debi.map(|d| d.row(eid.index())).unwrap_or_default()
+                let graph = &session.graph;
+                let outcome = spill.on_insert_with(edge, |old_id, old_ts| {
+                    let debi_row = debi.map(|d| d.row(old_id.index())).unwrap_or_default();
+                    let edge = graph.edge(old_id).unwrap_or(Edge {
+                        id: old_id,
+                        src: VertexId(0),
+                        dst: VertexId(0),
+                        label: WILDCARD_EDGE_LABEL,
+                        timestamp: old_ts,
+                    });
+                    LogRecord { edge, debi_row }
                 });
                 if let Err(e) = outcome {
                     session.spill_io_errors += 1;

@@ -64,11 +64,16 @@ use crate::pipeline::{
     BatchScratch, DeletionResolve, DeltaBatch, Enumerate, Filtering, FrontierBuild, GraphUpdate,
 };
 use crate::rebalance::QueryBudget;
-use crate::stats::{BudgetSnapshot, CounterSnapshot, EngineCounters, PhaseTimings, QueryStats};
+use crate::stats::{
+    BudgetSnapshot, CounterSnapshot, EngineCounters, PhaseTimings, QueryStats, SpillSnapshot,
+    SpillTelemetry,
+};
 use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::Edge;
 use mnemonic_graph::multigraph::{GraphConfig, StreamingGraph};
 use mnemonic_graph::spill::{SpillConfig, SpillManager, SpillStats};
+use mnemonic_graph::stats::GraphStats;
+use mnemonic_graph::storage::StorageConfig;
 use mnemonic_query::masking::MaskTable;
 use mnemonic_query::matching_order::MatchingOrderSet;
 use mnemonic_query::query_graph::QueryGraph;
@@ -177,6 +182,9 @@ pub struct QueryHandle {
     id: QueryId,
     output: Arc<QueryOutput>,
     counters: Arc<EngineCounters>,
+    /// Session-published spill telemetry, shared by every handle of the
+    /// session (see [`QueryHandle::spill_stats`]).
+    spill: Arc<SpillTelemetry>,
 }
 
 impl std::fmt::Debug for QueryHandle {
@@ -248,13 +256,24 @@ impl QueryHandle {
     }
 
     /// Bundle of this query's per-query statistics: cumulative counters,
-    /// attributed enumeration time and fairness-budget activity.
+    /// attributed enumeration time, fairness-budget activity and the
+    /// session's spill-tier health.
     pub fn stats(&self) -> QueryStats {
         QueryStats {
             counters: self.counters(),
             enumeration: self.enumeration_time(),
             budget: self.output.budget_snapshot(),
+            spill: self.spill.snapshot(),
         }
+    }
+
+    /// The owning session's spill-tier telemetry as of the last sealed
+    /// batch: disk occupancy, absorbed I/O errors and (for the paged
+    /// backend) page-cache counters. Shared by every handle of the session
+    /// and readable lock-free, even after deregistration. All zero when the
+    /// session has no spill tier.
+    pub fn spill_stats(&self) -> SpillSnapshot {
+        self.spill.snapshot()
     }
 
     /// This query's fairness-budget activity (all zero when no
@@ -366,6 +385,16 @@ impl SessionBuilder {
     /// Enable the external-memory spill tier.
     pub fn spill(mut self, spill: SpillConfig) -> Self {
         self.config.spill = Some(spill);
+        self
+    }
+
+    /// Choose the storage backend for the spill tier (see
+    /// [`StorageConfig`]). A paged configuration implies a spill tier with
+    /// [`SpillConfig::default`] when none was set through
+    /// [`SessionBuilder::spill`], so `.storage(StorageConfig::paged())`
+    /// alone is enough to opt in.
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.config.storage = storage;
         self
     }
 
@@ -509,6 +538,9 @@ pub struct MnemonicSession {
     pub(crate) config: EngineConfig,
     pub(crate) pool: Option<rayon::ThreadPool>,
     pub(crate) spill: Option<SpillManager>,
+    /// The spill telemetry bundle shared with every [`QueryHandle`]; the
+    /// session publishes into it after each sealed batch.
+    spill_telemetry: Arc<SpillTelemetry>,
     /// Spill-tier I/O failures absorbed during ingest (see
     /// [`MnemonicSession::spill_io_errors`]).
     pub(crate) spill_io_errors: u64,
@@ -557,12 +589,29 @@ impl MnemonicSession {
         } else {
             None
         };
-        let spill = match config.spill {
-            Some(cfg) => {
-                Some(SpillManager::new_temp(cfg, "session").map_err(MnemonicError::Spill)?)
-            }
-            None => None,
+        // A paged storage configuration implies the spill tier even when no
+        // explicit SpillConfig was given: the page cache only ever sees
+        // traffic through window spills.
+        let spill = match (config.spill, config.storage.is_paged()) {
+            (Some(cfg), _) => Some(
+                SpillManager::new_temp_with_storage(cfg, config.storage, "session")
+                    .map_err(MnemonicError::Spill)?,
+            ),
+            (None, true) => Some(
+                SpillManager::new_temp_with_storage(
+                    SpillConfig::default(),
+                    config.storage,
+                    "session",
+                )
+                .map_err(MnemonicError::Spill)?,
+            ),
+            (None, false) => None,
         };
+        let spill_telemetry = Arc::new(SpillTelemetry::default());
+        if let Some(s) = spill.as_ref() {
+            spill_telemetry.mark_enabled(s.is_paged());
+            spill_telemetry.publish(&s.stats(), 0, s.resident_pages());
+        }
         let graph = StreamingGraph::with_config(GraphConfig {
             recycle_edge_ids: config.recycle_edge_ids,
         });
@@ -572,6 +621,7 @@ impl MnemonicSession {
             config,
             pool,
             spill,
+            spill_telemetry,
             spill_io_errors: 0,
             last_spill_error: None,
             total_timings: PhaseTimings::default(),
@@ -670,6 +720,7 @@ impl MnemonicSession {
             id,
             output,
             counters,
+            spill: Arc::clone(&self.spill_telemetry),
         })
     }
 
@@ -822,6 +873,30 @@ impl MnemonicSession {
         self.spill.as_ref().map(|s| s.stats())
     }
 
+    /// Graph-level statistics with the paged spill tier's page-cache
+    /// counters merged in ([`GraphStats::page_cache`] stays zero for the
+    /// in-memory and flat-log backends).
+    pub fn graph_stats(&self) -> GraphStats {
+        let mut stats = self.graph.stats();
+        if let Some(paged) = self.spill.as_ref().and_then(|s| s.stats().paged) {
+            stats.page_cache = paged.cache;
+        }
+        stats
+    }
+
+    /// Push the current spill-tier statistics into the telemetry bundle
+    /// shared with every [`QueryHandle`]. Called once per sealed batch so
+    /// handle reads never race a half-updated spill pass.
+    fn publish_spill_telemetry(&self) {
+        if let Some(spill) = self.spill.as_ref() {
+            self.spill_telemetry.publish(
+                &spill.stats(),
+                self.spill_io_errors,
+                spill.resident_pages(),
+            );
+        }
+    }
+
     /// Number of spill-tier I/O failures absorbed during ingest. Such
     /// failures degrade only the spill tier's overhead accounting — the
     /// graph, every query's index and all results stay exact — so ingest
@@ -894,6 +969,7 @@ impl MnemonicSession {
         GraphUpdate::apply_insertions(self, &mut batch)?;
         FrontierBuild::for_insertions(self, &mut batch);
         Filtering::insertions(self, &mut batch);
+        self.publish_spill_telemetry();
         Ok(())
     }
 
@@ -952,6 +1028,7 @@ impl MnemonicSession {
             Ok(()) => {
                 self.snapshots_processed += 1;
                 self.total_timings.accumulate(&batch.timings);
+                self.publish_spill_telemetry();
                 Ok(self.seal_batch(&batch, &before_counters))
             }
             Err(e) => Err(e),

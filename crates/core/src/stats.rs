@@ -5,6 +5,8 @@
 //! (edges traversed per update for different batch sizes) and the phase
 //! breakdowns reported in EXPERIMENTS.md.
 
+use mnemonic_graph::spill::SpillStats;
+use mnemonic_graph::storage::PageCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -180,6 +182,11 @@ pub struct QueryStats {
     /// Fairness-budget activity (all zero when no
     /// [`QueryBudget`](crate::rebalance::QueryBudget) is configured).
     pub budget: BudgetSnapshot,
+    /// Spill-tier occupancy and I/O health of the owning session (shared by
+    /// every query of the session; all zero when no spill tier is
+    /// configured). Readable through the handle even after
+    /// [`deregister`](crate::session::MnemonicSession::deregister).
+    pub spill: SpillSnapshot,
 }
 
 impl QueryStats {
@@ -192,6 +199,119 @@ impl QueryStats {
             0.0
         } else {
             self.enumeration.as_secs_f64() / total.as_secs_f64()
+        }
+    }
+}
+
+/// Session-level spill-tier view carried on [`QueryStats`]: disk occupancy,
+/// absorbed I/O failures and — for the paged backend — the page-cache
+/// counters and compression. Published by the session after every batch from
+/// a shared atomic bundle, so handles read it lock-free and without a
+/// session borrow.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpillSnapshot {
+    /// Whether the session runs a spill tier at all.
+    pub enabled: bool,
+    /// Whether the spill tier writes the paged compressed log.
+    pub paged: bool,
+    /// Spill-tier I/O failures absorbed during ingest (results stay exact;
+    /// only the overhead accounting degrades — see
+    /// [`spill_io_errors`](crate::session::MnemonicSession::spill_io_errors)).
+    pub io_errors: u64,
+    /// Edges written to the disk tier so far.
+    pub edges_on_disk: u64,
+    /// Flush transactions performed.
+    pub flushes: u64,
+    /// Pages currently resident in the page cache (0 for the flat log).
+    pub resident_pages: u64,
+    /// What the spilled records would occupy in the flat fixed-width
+    /// encoding (0 for the flat log, which stores exactly that).
+    pub raw_bytes: u64,
+    /// What they actually occupy in compressed pages (0 for the flat log).
+    pub compressed_bytes: u64,
+    /// Page-cache hit/miss/eviction/write-back counters (all zero for the
+    /// flat log).
+    pub cache: PageCacheStats,
+}
+
+impl SpillSnapshot {
+    /// Raw-over-compressed ratio of the paged backend (1.0 when not paged
+    /// or empty).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// The shared atomic bundle behind [`SpillSnapshot`]: the session publishes
+/// into it after every batch, every [`QueryHandle`](crate::session::QueryHandle)
+/// holds a clone of the `Arc` and reads it lock-free.
+#[derive(Debug, Default)]
+pub(crate) struct SpillTelemetry {
+    enabled: AtomicU64,
+    paged: AtomicU64,
+    io_errors: AtomicU64,
+    edges_on_disk: AtomicU64,
+    flushes: AtomicU64,
+    resident_pages: AtomicU64,
+    raw_bytes: AtomicU64,
+    compressed_bytes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_write_backs: AtomicU64,
+}
+
+impl SpillTelemetry {
+    /// Mark the tier as present (done once at session construction so
+    /// handles can distinguish "no tier" from "no activity yet").
+    pub(crate) fn mark_enabled(&self, paged: bool) {
+        self.enabled.store(1, Ordering::Relaxed);
+        self.paged.store(u64::from(paged), Ordering::Relaxed);
+    }
+
+    /// Publish the spill tier's current statistics.
+    pub(crate) fn publish(&self, stats: &SpillStats, io_errors: u64, resident_pages: usize) {
+        self.io_errors.store(io_errors, Ordering::Relaxed);
+        self.edges_on_disk
+            .store(stats.edges_on_disk, Ordering::Relaxed);
+        self.flushes.store(stats.flushes, Ordering::Relaxed);
+        self.resident_pages
+            .store(resident_pages as u64, Ordering::Relaxed);
+        if let Some(paged) = stats.paged {
+            self.raw_bytes.store(paged.raw_bytes, Ordering::Relaxed);
+            self.compressed_bytes
+                .store(paged.compressed_bytes, Ordering::Relaxed);
+            self.cache_hits.store(paged.cache.hits, Ordering::Relaxed);
+            self.cache_misses
+                .store(paged.cache.misses, Ordering::Relaxed);
+            self.cache_evictions
+                .store(paged.cache.evictions, Ordering::Relaxed);
+            self.cache_write_backs
+                .store(paged.cache.write_backs, Ordering::Relaxed);
+        }
+    }
+
+    /// Plain-data view of the published statistics.
+    pub(crate) fn snapshot(&self) -> SpillSnapshot {
+        SpillSnapshot {
+            enabled: self.enabled.load(Ordering::Relaxed) != 0,
+            paged: self.paged.load(Ordering::Relaxed) != 0,
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            edges_on_disk: self.edges_on_disk.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            resident_pages: self.resident_pages.load(Ordering::Relaxed),
+            raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
+            compressed_bytes: self.compressed_bytes.load(Ordering::Relaxed),
+            cache: PageCacheStats {
+                hits: self.cache_hits.load(Ordering::Relaxed),
+                misses: self.cache_misses.load(Ordering::Relaxed),
+                evictions: self.cache_evictions.load(Ordering::Relaxed),
+                write_backs: self.cache_write_backs.load(Ordering::Relaxed),
+            },
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::edge::Edge;
 use crate::ids::{EdgeId, EdgeLabel, Timestamp, VertexId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BytesMut};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -177,41 +177,60 @@ impl EdgeLog {
         Ok(records.len())
     }
 
-    fn read_at(&mut self, offset: u64) -> std::io::Result<LogRecord> {
-        let mut raw = vec![0u8; LOG_RECORD_BYTES];
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.read_exact(&mut raw)?;
-        self.stats.records_read += 1;
-        Ok(LogRecord::decode(&raw))
-    }
-
-    /// Fetch every spilled record whose source vertex is `v` — the
-    /// "adjacency list in a single transaction" operation of the paper.
-    pub fn fetch_outgoing(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
+    /// Stream every spilled record whose source vertex is `v` — the
+    /// "adjacency list in a single transaction" operation of the paper —
+    /// without materialising the `Vec` of records.
+    pub fn fetch_outgoing_iter(&mut self, v: VertexId) -> LogFetchIter<'_> {
         self.stats.fetch_transactions += 1;
-        let offsets = self.by_src.get(v.index()).cloned().unwrap_or_default();
-        offsets.into_iter().map(|o| self.read_at(o)).collect()
-    }
-
-    /// Fetch every spilled record whose destination vertex is `v`.
-    pub fn fetch_incoming(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
-        self.stats.fetch_transactions += 1;
-        let offsets = self.by_dst.get(v.index()).cloned().unwrap_or_default();
-        offsets.into_iter().map(|o| self.read_at(o)).collect()
-    }
-
-    /// Read back the whole log in append order.
-    pub fn scan_all(&mut self) -> std::io::Result<Vec<LogRecord>> {
-        self.file.seek(SeekFrom::Start(0))?;
-        let mut raw = Vec::new();
-        self.file.read_to_end(&mut raw)?;
-        let bytes = Bytes::from(raw);
-        let mut out = Vec::with_capacity(bytes.len() / LOG_RECORD_BYTES);
-        for chunk in bytes.chunks_exact(LOG_RECORD_BYTES) {
-            out.push(LogRecord::decode(chunk));
+        let offsets = self.by_src.get(v.index()).map(Vec::as_slice).unwrap_or(&[]);
+        LogFetchIter {
+            file: &mut self.file,
+            stats: &mut self.stats,
+            offsets: offsets.iter(),
         }
-        self.stats.records_read += out.len() as u64;
-        Ok(out)
+    }
+
+    /// Stream every spilled record whose destination vertex is `v`.
+    pub fn fetch_incoming_iter(&mut self, v: VertexId) -> LogFetchIter<'_> {
+        self.stats.fetch_transactions += 1;
+        let offsets = self.by_dst.get(v.index()).map(Vec::as_slice).unwrap_or(&[]);
+        LogFetchIter {
+            file: &mut self.file,
+            stats: &mut self.stats,
+            offsets: offsets.iter(),
+        }
+    }
+
+    /// Fetch every spilled record whose source vertex is `v`, collected.
+    /// Prefer [`EdgeLog::fetch_outgoing_iter`] on paths that only walk the
+    /// records once.
+    pub fn fetch_outgoing(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
+        self.fetch_outgoing_iter(v).collect()
+    }
+
+    /// Fetch every spilled record whose destination vertex is `v`, collected.
+    pub fn fetch_incoming(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
+        self.fetch_incoming_iter(v).collect()
+    }
+
+    /// Stream the whole log in append order with a bounded read buffer —
+    /// one sequential pass, no whole-file `read_to_end`.
+    pub fn scan_iter(&mut self) -> LogScanIter<'_> {
+        let pending_err = self.file.seek(SeekFrom::Start(0)).err();
+        LogScanIter {
+            file: &mut self.file,
+            stats: &mut self.stats,
+            remaining: self.next_offset / LOG_RECORD_BYTES as u64,
+            buf: Vec::new(),
+            pos: 0,
+            pending_err,
+        }
+    }
+
+    /// Read back the whole log in append order, collected. Prefer
+    /// [`EdgeLog::scan_iter`] on paths that only walk the records once.
+    pub fn scan_all(&mut self) -> std::io::Result<Vec<LogRecord>> {
+        self.scan_iter().collect()
     }
 
     /// Delete the backing file. The log must not be used afterwards.
@@ -219,6 +238,87 @@ impl EdgeLog {
         let path = self.path.clone();
         drop(self);
         std::fs::remove_file(path)
+    }
+}
+
+/// Positioned single-record read, shared by the streaming iterators.
+fn read_record_at(file: &mut File, offset: u64) -> std::io::Result<LogRecord> {
+    let mut raw = [0u8; LOG_RECORD_BYTES];
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(&mut raw)?;
+    Ok(LogRecord::decode(&raw))
+}
+
+/// Streaming per-vertex fetch over an [`EdgeLog`]: yields one record per
+/// indexed offset, reading them one at a time instead of collecting a
+/// `Vec<LogRecord>` up front. Created by [`EdgeLog::fetch_outgoing_iter`] /
+/// [`EdgeLog::fetch_incoming_iter`].
+#[derive(Debug)]
+pub struct LogFetchIter<'a> {
+    file: &'a mut File,
+    stats: &'a mut EdgeLogStats,
+    offsets: std::slice::Iter<'a, u64>,
+}
+
+impl Iterator for LogFetchIter<'_> {
+    type Item = std::io::Result<LogRecord>;
+
+    fn next(&mut self) -> Option<std::io::Result<LogRecord>> {
+        let &offset = self.offsets.next()?;
+        Some(read_record_at(self.file, offset).inspect(|_| {
+            self.stats.records_read += 1;
+        }))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.offsets.size_hint()
+    }
+}
+
+/// Streaming whole-log scan in append order with a bounded (256-record) read
+/// buffer. Created by [`EdgeLog::scan_iter`].
+#[derive(Debug)]
+pub struct LogScanIter<'a> {
+    file: &'a mut File,
+    stats: &'a mut EdgeLogStats,
+    remaining: u64,
+    buf: Vec<u8>,
+    pos: usize,
+    pending_err: Option<std::io::Error>,
+}
+
+/// Records fetched per refill of the scan buffer.
+const SCAN_CHUNK_RECORDS: usize = 256;
+
+impl Iterator for LogScanIter<'_> {
+    type Item = std::io::Result<LogRecord>;
+
+    fn next(&mut self) -> Option<std::io::Result<LogRecord>> {
+        if let Some(err) = self.pending_err.take() {
+            self.remaining = 0;
+            return Some(Err(err));
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.pos + LOG_RECORD_BYTES > self.buf.len() {
+            let want = (self.remaining as usize).min(SCAN_CHUNK_RECORDS) * LOG_RECORD_BYTES;
+            self.buf.resize(want, 0);
+            if let Err(err) = self.file.read_exact(&mut self.buf) {
+                self.remaining = 0;
+                return Some(Err(err));
+            }
+            self.pos = 0;
+        }
+        let record = LogRecord::decode(&self.buf[self.pos..self.pos + LOG_RECORD_BYTES]);
+        self.pos += LOG_RECORD_BYTES;
+        self.remaining -= 1;
+        self.stats.records_read += 1;
+        Some(Ok(record))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
     }
 }
 

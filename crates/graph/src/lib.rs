@@ -16,6 +16,9 @@
 //!   replacing hashed membership sets on the batch hot path,
 //! * an append-only [transactional edge log](edge_log) plus a FIFO
 //!   [spill manager](spill) implementing the paper's external-memory tier,
+//! * a paged, cache-bounded [storage] tier — fixed-size checksummed pages,
+//!   a second-chance [`PageCache`] with pin/unpin and write-back, and the
+//!   delta-varint-compressed [`PagedEdgeLog`] spill backend,
 //! * [builders](builder) for assembling graphs in tests, examples and the
 //!   synthetic dataset generators.
 
@@ -32,13 +35,14 @@ pub mod multigraph;
 pub mod recycle;
 pub mod spill;
 pub mod stats;
+pub mod storage;
 
 pub use adjacency::{AdjEntry, AdjacencyTable, VertexAdjacency};
 pub use attributes::{AttrKey, AttrValue, EdgeAttributeStore, VertexAttributeStore};
 pub use bitset::DenseBitSet;
 pub use builder::{paper_example_graph, GraphBuilder};
 pub use edge::{Direction, Edge, EdgeRecord, EdgeTriple};
-pub use edge_log::{EdgeLog, EdgeLogStats, LogRecord};
+pub use edge_log::{EdgeLog, EdgeLogStats, LogFetchIter, LogRecord, LogScanIter};
 pub use ids::{
     EdgeId, EdgeLabel, QueryEdgeId, QueryVertexId, Timestamp, VertexId, VertexLabel,
     WILDCARD_EDGE_LABEL, WILDCARD_VERTEX_LABEL,
@@ -47,3 +51,7 @@ pub use multigraph::{GraphConfig, GraphError, StreamingGraph};
 pub use recycle::EdgeRecycler;
 pub use spill::{SpillConfig, SpillManager, SpillStats};
 pub use stats::GraphStats;
+pub use storage::{
+    PageCache, PageCacheStats, PageManager, PagedEdgeLog, PagedLogStats, StorageBackend,
+    StorageConfig,
+};

@@ -5,11 +5,15 @@
 //! user-controlled *in-memory window* into a buffer; once the buffer fills up
 //! it is flushed to the transactional edge log. Vertex information always
 //! stays in memory. The [`SpillManager`] implements exactly that policy on
-//! top of [`crate::edge_log::EdgeLog`].
+//! top of one of two backends: the flat fixed-width
+//! [`crate::edge_log::EdgeLog`] (seed behaviour) or, when a paged
+//! [`StorageConfig`] is supplied, the delta-varint-compressed
+//! [`PagedEdgeLog`] whose resident memory is bounded by the page cache.
 
 use crate::edge::Edge;
 use crate::edge_log::{EdgeLog, EdgeLogStats, LogRecord};
 use crate::ids::{EdgeId, Timestamp, VertexId};
+use crate::storage::{PagedEdgeLog, PagedLogStats, StorageConfig};
 use std::collections::VecDeque;
 
 /// Configuration of the spill policy.
@@ -43,12 +47,82 @@ pub struct SpillStats {
     pub edges_on_disk: u64,
     /// Number of flush transactions performed.
     pub flushes: u64,
-    /// Underlying edge-log statistics.
+    /// Underlying edge-log statistics. For the paged backend these are
+    /// synthesised from [`PagedLogStats`] so flat-log consumers keep
+    /// working unchanged.
     pub log: EdgeLogStats,
+    /// Paged-backend statistics (compression, page cache); `None` when the
+    /// spill tier writes the flat log.
+    pub paged: Option<PagedLogStats>,
 }
 
-/// Tracks the FIFO in-memory window and spills overflowing edges to an
-/// [`EdgeLog`].
+/// The disk tier behind a [`SpillManager`]: flat fixed-width log or the
+/// paged compressed log.
+#[derive(Debug)]
+enum SpillBackend {
+    /// Fixed-width append-only log (seed behaviour, default).
+    Flat(EdgeLog),
+    /// Delta-varint-compressed pages behind the page cache. Boxed: the
+    /// paged log (cache frames + scratch buffers) dwarfs the flat variant.
+    Paged(Box<PagedEdgeLog>),
+}
+
+impl SpillBackend {
+    fn append_batch(&mut self, records: &[LogRecord]) -> std::io::Result<usize> {
+        match self {
+            SpillBackend::Flat(log) => log.append_batch(records),
+            SpillBackend::Paged(log) => log.append_batch(records),
+        }
+    }
+
+    fn fetch_outgoing(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
+        match self {
+            SpillBackend::Flat(log) => log.fetch_outgoing(v),
+            SpillBackend::Paged(log) => log.fetch_outgoing(v),
+        }
+    }
+
+    fn fetch_incoming(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
+        match self {
+            SpillBackend::Flat(log) => log.fetch_incoming(v),
+            SpillBackend::Paged(log) => log.fetch_incoming(v),
+        }
+    }
+
+    /// Flat-log-shaped statistics, synthesised for the paged backend so
+    /// existing consumers of [`SpillStats::log`] keep working.
+    fn log_stats(&self) -> EdgeLogStats {
+        match self {
+            SpillBackend::Flat(log) => log.stats(),
+            SpillBackend::Paged(log) => {
+                let s = log.stats();
+                EdgeLogStats {
+                    records_written: s.records_written,
+                    records_read: s.records_read,
+                    bytes_on_disk: s.bytes_on_disk,
+                    fetch_transactions: s.fetch_transactions,
+                }
+            }
+        }
+    }
+
+    fn paged_stats(&self) -> Option<PagedLogStats> {
+        match self {
+            SpillBackend::Flat(_) => None,
+            SpillBackend::Paged(log) => Some(log.stats()),
+        }
+    }
+
+    fn destroy(self) -> std::io::Result<()> {
+        match self {
+            SpillBackend::Flat(log) => log.destroy(),
+            SpillBackend::Paged(log) => log.destroy(),
+        }
+    }
+}
+
+/// Tracks the FIFO in-memory window and spills overflowing edges to the
+/// configured disk backend.
 #[derive(Debug)]
 pub struct SpillManager {
     config: SpillConfig,
@@ -56,31 +130,68 @@ pub struct SpillManager {
     window: VecDeque<(EdgeId, Timestamp)>,
     /// Records waiting to be flushed.
     buffer: Vec<LogRecord>,
-    log: EdgeLog,
+    log: SpillBackend,
     flushes: u64,
     spilled: u64,
 }
 
 impl SpillManager {
-    /// Create a spill manager writing to a fresh temporary log file.
+    /// Create a spill manager writing to a fresh temporary flat log file.
     pub fn new_temp(config: SpillConfig, tag: &str) -> std::io::Result<Self> {
-        Ok(SpillManager {
-            config,
-            window: VecDeque::new(),
-            buffer: Vec::new(),
-            log: EdgeLog::create_temp(tag)?,
-            flushes: 0,
-            spilled: 0,
-        })
+        Self::from_backend(config, SpillBackend::Flat(EdgeLog::create_temp(tag)?))
     }
 
-    /// Create a spill manager writing to `path`.
+    /// Create a spill manager writing a flat log to `path`.
     pub fn new(config: SpillConfig, path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Self::from_backend(config, SpillBackend::Flat(EdgeLog::create(path)?))
+    }
+
+    /// Create a spill manager whose backend is picked by `storage`, writing
+    /// to a fresh temporary file: the flat log for
+    /// [`crate::storage::StorageBackend::InMemory`], the paged compressed
+    /// log for [`crate::storage::StorageBackend::Paged`].
+    pub fn new_temp_with_storage(
+        config: SpillConfig,
+        storage: StorageConfig,
+        tag: &str,
+    ) -> std::io::Result<Self> {
+        let backend = if storage.is_paged() {
+            SpillBackend::Paged(Box::new(PagedEdgeLog::create_temp(
+                storage.page_size,
+                storage.cache_pages,
+                tag,
+            )?))
+        } else {
+            SpillBackend::Flat(EdgeLog::create_temp(tag)?)
+        };
+        Self::from_backend(config, backend)
+    }
+
+    /// Create a spill manager whose backend is picked by `storage`, writing
+    /// to `path`.
+    pub fn with_storage(
+        config: SpillConfig,
+        storage: StorageConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let backend = if storage.is_paged() {
+            SpillBackend::Paged(Box::new(PagedEdgeLog::create(
+                path,
+                storage.page_size,
+                storage.cache_pages,
+            )?))
+        } else {
+            SpillBackend::Flat(EdgeLog::create(path)?)
+        };
+        Self::from_backend(config, backend)
+    }
+
+    fn from_backend(config: SpillConfig, log: SpillBackend) -> std::io::Result<Self> {
         Ok(SpillManager {
             config,
             window: VecDeque::new(),
             buffer: Vec::new(),
-            log: EdgeLog::create(path)?,
+            log,
             flushes: 0,
             spilled: 0,
         })
@@ -91,32 +202,68 @@ impl SpillManager {
         self.config
     }
 
+    /// Whether the disk tier is the paged compressed log.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.log, SpillBackend::Paged(_))
+    }
+
+    /// Resident pages held by the paged backend's cache (0 for the flat
+    /// log, which has no resident-page budget).
+    pub fn resident_pages(&self) -> usize {
+        match &self.log {
+            SpillBackend::Flat(_) => 0,
+            SpillBackend::Paged(log) => log.resident_pages(),
+        }
+    }
+
+    /// The paged backend's resident-page budget (`None` for the flat log).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        match &self.log {
+            SpillBackend::Flat(_) => None,
+            SpillBackend::Paged(log) => Some(log.cache_capacity()),
+        }
+    }
+
     /// Record a newly inserted edge together with its current DEBI row.
     /// Returns ids of edges that were pushed out of the in-memory window by
     /// this insertion (they are now buffered or on disk).
+    ///
+    /// The spilled record only carries id/timestamp plus the DEBI row (the
+    /// endpoints are stubbed) — enough for the overhead accounting. Callers
+    /// that can still resolve the full edge should use
+    /// [`SpillManager::on_insert_with`], which gives the disk tier usable
+    /// adjacency information.
     pub fn on_insert(
         &mut self,
         edge: Edge,
         debi_row_of: impl Fn(EdgeId) -> u64,
+    ) -> std::io::Result<Vec<EdgeId>> {
+        self.on_insert_with(edge, |old_id, old_ts| LogRecord {
+            edge: Edge {
+                id: old_id,
+                src: VertexId(0),
+                dst: VertexId(0),
+                label: crate::ids::WILDCARD_EDGE_LABEL,
+                timestamp: old_ts,
+            },
+            debi_row: debi_row_of(old_id),
+        })
+    }
+
+    /// Like [`SpillManager::on_insert`], but the caller supplies the
+    /// complete [`LogRecord`] of every edge evicted from the in-memory
+    /// window, so the spilled adjacency can actually be fetched back.
+    pub fn on_insert_with(
+        &mut self,
+        edge: Edge,
+        mut record_of: impl FnMut(EdgeId, Timestamp) -> LogRecord,
     ) -> std::io::Result<Vec<EdgeId>> {
         self.window.push_back((edge.id, edge.timestamp));
         let mut evicted = Vec::new();
         while self.window.len() > self.config.in_memory_window {
             if let Some((old_id, old_ts)) = self.window.pop_front() {
                 evicted.push(old_id);
-                self.buffer.push(LogRecord {
-                    edge: Edge {
-                        id: old_id,
-                        // The caller re-supplies full records at flush time in
-                        // richer integrations; here we only need id/timestamp
-                        // plus the DEBI row for the overhead accounting.
-                        src: VertexId(0),
-                        dst: VertexId(0),
-                        label: crate::ids::WILDCARD_EDGE_LABEL,
-                        timestamp: old_ts,
-                    },
-                    debi_row: debi_row_of(old_id),
-                });
+                self.buffer.push(record_of(old_id, old_ts));
             }
         }
         if self.buffer.len() >= self.config.buffer_capacity {
@@ -165,7 +312,8 @@ impl SpillManager {
             edges_buffered: self.buffer.len(),
             edges_on_disk: self.spilled,
             flushes: self.flushes,
-            log: self.log.stats(),
+            log: self.log.log_stats(),
+            paged: self.log.paged_stats(),
         }
     }
 
@@ -251,6 +399,52 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].edge.id, EdgeId(9));
         assert_eq!(got[0].debi_row, 0b101);
+        mgr.destroy().unwrap();
+    }
+
+    #[test]
+    fn paged_backend_spills_full_records_and_reports_cache_stats() {
+        let storage = StorageConfig::paged().page_size(4 * 1024).cache_pages(2);
+        let mut mgr = SpillManager::new_temp_with_storage(
+            SpillConfig {
+                in_memory_window: 4,
+                buffer_capacity: 8,
+            },
+            storage,
+            "paged",
+        )
+        .unwrap();
+        assert!(mgr.is_paged());
+        assert_eq!(mgr.cache_capacity(), Some(2));
+        // Evict plenty of edges with full records so the disk tier holds
+        // usable adjacency.
+        for i in 0..2_000u32 {
+            let e = edge(i, i as u64);
+            mgr.on_insert_with(e, |old_id, old_ts| LogRecord {
+                edge: Edge {
+                    id: old_id,
+                    src: VertexId(old_id.0),
+                    dst: VertexId(old_id.0 + 1),
+                    label: EdgeLabel(0),
+                    timestamp: old_ts,
+                },
+                debi_row: u64::from(old_id.0 % 8),
+            })
+            .unwrap();
+        }
+        mgr.flush().unwrap();
+        let got = mgr.fetch_outgoing(VertexId(100)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].edge.dst, VertexId(101));
+        let stats = mgr.stats();
+        assert_eq!(stats.edges_on_disk, 2_000 - 4);
+        let paged = stats.paged.expect("paged backend reports paged stats");
+        assert!(
+            paged.compression_ratio() > 1.5,
+            "{}",
+            paged.compression_ratio()
+        );
+        assert!(mgr.resident_pages() <= 2);
         mgr.destroy().unwrap();
     }
 }

@@ -1,6 +1,7 @@
 //! Graph-level statistics used by the memory-consumption experiments
 //! (Figure 17) and by general instrumentation.
 
+use crate::storage::PageCacheStats;
 use serde::{Deserialize, Serialize};
 
 /// Counters describing the life of a [`crate::multigraph::StreamingGraph`].
@@ -21,6 +22,10 @@ pub struct GraphStats {
     pub recycled_insertions: u64,
     /// Number of vertices ever touched.
     pub vertices: u64,
+    /// Page-cache counters of the paged storage tier. All zero when the
+    /// engine runs fully in memory (the default); populated by sessions
+    /// configured with a paged [`crate::storage::StorageConfig`].
+    pub page_cache: PageCacheStats,
 }
 
 impl GraphStats {
@@ -60,6 +65,7 @@ mod tests {
             total_deletions: 20,
             recycled_insertions: 18,
             vertices: 5,
+            page_cache: PageCacheStats::default(),
         };
         assert_eq!(stats.placeholders_without_reclaiming(), 30);
         assert!((stats.recycle_ratio() - 0.6).abs() < 1e-9);

@@ -1,0 +1,325 @@
+//! The RAM page cache: a fixed budget of resident pages in front of the
+//! [`PageManager`], with second-chance (clock) eviction, pin/unpin, and
+//! dirty-page write-back.
+//!
+//! The cache is what bounds the paged tier's memory: no matter how large
+//! the backing file grows, at most `capacity` pages are resident. Readers
+//! [`pin`](PageCache::pin) a page to keep it resident while they stream its
+//! records and [`unpin`](PageCache::unpin) it when done; writers install
+//! freshly sealed pages with [`put_dirty`](PageCache::put_dirty) and the
+//! cache writes them back when they are evicted (or on
+//! [`flush`](PageCache::flush)). Pinned pages are never evicted; a cache
+//! whose every frame is pinned reports an error rather than exceeding its
+//! budget.
+
+use crate::storage::page::Page;
+use crate::storage::pager::PageManager;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+
+/// Hit/miss/eviction counters of one [`PageCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageCacheStats {
+    /// Pins served from a resident page.
+    pub hits: u64,
+    /// Pins that had to read the page from disk.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back to disk (on eviction or flush).
+    pub write_backs: u64,
+}
+
+impl PageCacheStats {
+    /// Hit fraction of all pins (0 when the cache was never used).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    pins: u32,
+    referenced: bool,
+    dirty: bool,
+}
+
+/// Second-chance page cache over a [`PageManager`]. See the [module
+/// documentation](self) for the pin/write-back contract.
+#[derive(Debug)]
+pub struct PageCache {
+    frames: Vec<Option<Frame>>,
+    /// page id → frame index of every resident page.
+    map: HashMap<u32, usize>,
+    hand: usize,
+    stats: PageCacheStats,
+}
+
+impl PageCache {
+    /// A cache holding at most `capacity` resident pages (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        PageCache {
+            frames: (0..capacity).map(|_| None).collect(),
+            map: HashMap::new(),
+            hand: 0,
+            stats: PageCacheStats::default(),
+        }
+    }
+
+    /// The resident-page budget.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pages currently resident (always `<= capacity`).
+    pub fn resident_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PageCacheStats {
+        self.stats
+    }
+
+    /// Whether page `id` is resident (no pin, no stats change).
+    pub fn contains(&self, id: u32) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Pin page `id`, reading it through `pager` on a miss. Returns the
+    /// frame index for [`PageCache::page`] / [`PageCache::unpin`]. The page
+    /// cannot be evicted until every pin is released.
+    pub fn pin(&mut self, pager: &mut PageManager, id: u32) -> io::Result<usize> {
+        if let Some(&idx) = self.map.get(&id) {
+            self.stats.hits += 1;
+            let frame = self.frames[idx].as_mut().expect("mapped frame is filled");
+            frame.pins += 1;
+            frame.referenced = true;
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+        let page = pager.read_page(id)?;
+        let idx = self.install(pager, page, false)?;
+        let frame = self.frames[idx].as_mut().expect("just installed");
+        frame.pins = 1;
+        frame.referenced = true;
+        Ok(idx)
+    }
+
+    /// Release one pin of `frame`.
+    ///
+    /// # Panics
+    /// Panics when the frame is not pinned — an unpin without a matching
+    /// pin is a caller logic error.
+    pub fn unpin(&mut self, frame: usize) {
+        let f = self.frames[frame].as_mut().expect("unpin of empty frame");
+        assert!(f.pins > 0, "unpin without a matching pin");
+        f.pins -= 1;
+    }
+
+    /// The page in `frame` (valid between pin and unpin).
+    pub fn page(&self, frame: usize) -> &Page {
+        &self.frames[frame].as_ref().expect("pinned frame").page
+    }
+
+    /// Mutable access to the page in `frame`; marks it dirty so it will be
+    /// written back before eviction.
+    pub fn page_mut(&mut self, frame: usize) -> &mut Page {
+        let f = self.frames[frame].as_mut().expect("pinned frame");
+        f.dirty = true;
+        &mut f.page
+    }
+
+    /// Install a freshly built page as resident and dirty **without**
+    /// touching disk now; it is written back when evicted or flushed. This
+    /// is the write path of the paged edge log: sealed tail pages enter the
+    /// cache here, so a sliding-window workload that reads them back soon
+    /// after sees hits instead of a disk round-trip.
+    pub fn put_dirty(&mut self, pager: &mut PageManager, page: Page) -> io::Result<()> {
+        if let Some(&idx) = self.map.get(&page.id()) {
+            let frame = self.frames[idx].as_mut().expect("mapped frame is filled");
+            frame.page = page;
+            frame.dirty = true;
+            frame.referenced = true;
+            return Ok(());
+        }
+        let idx = self.install(pager, page, true)?;
+        self.frames[idx]
+            .as_mut()
+            .expect("just installed")
+            .referenced = true;
+        Ok(())
+    }
+
+    /// Write back every dirty resident page (they stay resident and clean).
+    pub fn flush(&mut self, pager: &mut PageManager) -> io::Result<()> {
+        for frame in self.frames.iter_mut().flatten() {
+            if frame.dirty {
+                pager.write_page(&mut frame.page)?;
+                frame.dirty = false;
+                self.stats.write_backs += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop page `id` from the cache if resident (writing it back when
+    /// dirty). Used when a page's slot is released.
+    pub fn forget(&mut self, pager: &mut PageManager, id: u32) -> io::Result<()> {
+        if let Some(idx) = self.map.remove(&id) {
+            let frame = self.frames[idx].take().expect("mapped frame is filled");
+            debug_assert_eq!(frame.pins, 0, "forgetting a pinned page");
+            if frame.dirty {
+                let mut page = frame.page;
+                pager.write_page(&mut page)?;
+                self.stats.write_backs += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Put `page` into a free frame, evicting a victim if needed.
+    fn install(&mut self, pager: &mut PageManager, page: Page, dirty: bool) -> io::Result<usize> {
+        let idx = self.victim_frame(pager)?;
+        self.map.insert(page.id(), idx);
+        self.frames[idx] = Some(Frame {
+            page,
+            pins: 0,
+            referenced: false,
+            dirty,
+        });
+        Ok(idx)
+    }
+
+    /// Second-chance scan: free frames first, then the first unpinned frame
+    /// whose reference bit is already clear (clearing bits as the hand
+    /// passes). Two full laps guarantee termination: the first lap clears
+    /// every unpinned frame's bit, the second takes one.
+    fn victim_frame(&mut self, pager: &mut PageManager) -> io::Result<usize> {
+        if let Some(idx) = self.frames.iter().position(|f| f.is_none()) {
+            return Ok(idx);
+        }
+        let n = self.frames.len();
+        for _ in 0..2 * n {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % n;
+            let frame = self.frames[idx].as_mut().expect("full cache has no holes");
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            let frame = self.frames[idx].take().expect("checked above");
+            self.map.remove(&frame.page.id());
+            self.stats.evictions += 1;
+            if frame.dirty {
+                let mut page = frame.page;
+                pager.write_page(&mut page)?;
+                self.stats.write_backs += 1;
+            }
+            return Ok(idx);
+        }
+        Err(io::Error::other(format!(
+            "page cache exhausted: all {n} frames are pinned"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::page::MIN_PAGE_SIZE;
+
+    fn pager_with_pages(n: u32, tag: &str) -> PageManager {
+        let mut pager = PageManager::create_temp(MIN_PAGE_SIZE, tag).unwrap();
+        for i in 0..n {
+            let id = pager.alloc();
+            assert_eq!(id, i);
+            let mut page = Page::new(MIN_PAGE_SIZE, id);
+            page.push_record(format!("page {i}").as_bytes());
+            pager.write_page(&mut page).unwrap();
+        }
+        pager
+    }
+
+    #[test]
+    fn hits_misses_and_budget() {
+        let mut pager = pager_with_pages(5, "budget");
+        let mut cache = PageCache::new(2);
+        for id in 0..5 {
+            let f = cache.pin(&mut pager, id).unwrap();
+            assert_eq!(
+                cache.page(f).records().next().unwrap(),
+                format!("page {id}").as_bytes()
+            );
+            cache.unpin(f);
+            assert!(cache.resident_pages() <= 2);
+        }
+        assert_eq!(cache.stats().misses, 5);
+        assert_eq!(cache.stats().evictions, 3);
+        // Page 4 is resident: re-pinning it is a hit.
+        let f = cache.pin(&mut pager, 4).unwrap();
+        cache.unpin(f);
+        assert_eq!(cache.stats().hits, 1);
+        pager.destroy().unwrap();
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let mut pager = pager_with_pages(4, "pinned");
+        let mut cache = PageCache::new(2);
+        let f0 = cache.pin(&mut pager, 0).unwrap();
+        // Stream other pages through the second frame; page 0 must stay.
+        for id in 1..4 {
+            let f = cache.pin(&mut pager, id).unwrap();
+            cache.unpin(f);
+        }
+        assert!(cache.contains(0));
+        assert_eq!(cache.page(f0).records().next().unwrap(), b"page 0");
+        cache.unpin(f0);
+        // Fully pinned cache reports exhaustion instead of going over
+        // budget: pin two distinct pages, then miss on a third.
+        let f0 = cache.pin(&mut pager, 0).unwrap();
+        let f1 = cache.pin(&mut pager, 1).unwrap();
+        assert!(cache.pin(&mut pager, 2).is_err());
+        cache.unpin(f0);
+        cache.unpin(f1);
+        pager.destroy().unwrap();
+    }
+
+    #[test]
+    fn dirty_pages_write_back_on_eviction_and_flush() {
+        let mut pager = pager_with_pages(3, "dirty");
+        let mut cache = PageCache::new(1);
+        // Mutate page 0 through the cache.
+        let f = cache.pin(&mut pager, 0).unwrap();
+        cache.page_mut(f).push_record(b"appended via cache");
+        cache.unpin(f);
+        // Evict it by pinning another page: the dirty copy must be written.
+        let f = cache.pin(&mut pager, 1).unwrap();
+        cache.unpin(f);
+        assert_eq!(cache.stats().write_backs, 1);
+        let back = pager.read_page(0).unwrap();
+        let records: Vec<&[u8]> = back.records().collect();
+        assert_eq!(records, vec![&b"page 0"[..], &b"appended via cache"[..]]);
+        // put_dirty + flush also writes back.
+        let mut fresh = Page::new(MIN_PAGE_SIZE, 2);
+        fresh.push_record(b"replaced");
+        cache.put_dirty(&mut pager, fresh).unwrap();
+        cache.flush(&mut pager).unwrap();
+        assert_eq!(cache.stats().write_backs, 2);
+        let back = pager.read_page(2).unwrap();
+        assert_eq!(back.records().next().unwrap(), b"replaced");
+        pager.destroy().unwrap();
+    }
+}

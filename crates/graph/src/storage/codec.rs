@@ -1,0 +1,353 @@
+//! Hand-rolled binary codec for the paged storage tier.
+//!
+//! The workspace's offline serde shim has no-op derives, so every byte that
+//! reaches a page is written and read by the primitives in this module:
+//!
+//! * **LEB128 varints** for `u32`/`u64` — dense edge/vertex ids (PR 5) make
+//!   most values small, so they usually take 1–2 bytes instead of 4–8,
+//! * **zigzag** mapping for signed deltas, so consecutive ids/timestamps
+//!   encode as tiny varints regardless of direction,
+//! * **length-prefixed records** — a varint byte length followed by the
+//!   payload, which lets an iterator skip or bound-check a record without
+//!   understanding its interior,
+//! * **delta-varint posting lists** — strictly increasing `u64` sequences
+//!   (record ordinals, neighbour ids) stored as first value + gaps,
+//! * a **FNV-1a checksum** used by the page format to detect torn writes.
+//!
+//! Every decode primitive is bounds-checked and returns `None`/`Err` instead
+//! of panicking: the input may be a torn or corrupted page.
+
+/// Append `v` as an LEB128 varint (1–10 bytes).
+#[inline]
+pub fn write_varint_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append `v` as an LEB128 varint (1–5 bytes).
+#[inline]
+pub fn write_varint_u32(buf: &mut Vec<u8>, v: u32) {
+    write_varint_u64(buf, v as u64);
+}
+
+/// Decode an LEB128 varint starting at `*pos`, advancing `*pos` past it.
+/// Returns `None` on truncated input or a varint longer than 10 bytes.
+#[inline]
+pub fn read_varint_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflows u64: corrupt input
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Decode a varint that must fit in a `u32`.
+#[inline]
+pub fn read_varint_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let v = read_varint_u64(buf, pos)?;
+    u32::try_from(v).ok()
+}
+
+/// Map a signed value onto an unsigned one with small absolute values
+/// staying small: `0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Append a zigzag-varint-encoded signed delta.
+#[inline]
+pub fn write_delta(buf: &mut Vec<u8>, delta: i64) {
+    write_varint_u64(buf, zigzag(delta));
+}
+
+/// Decode a zigzag-varint-encoded signed delta.
+#[inline]
+pub fn read_delta(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    read_varint_u64(buf, pos).map(unzigzag)
+}
+
+/// Append `payload` as a length-prefixed record: varint byte length, then
+/// the bytes. Returns the total number of bytes appended.
+pub fn write_record(buf: &mut Vec<u8>, payload: &[u8]) -> usize {
+    let before = buf.len();
+    write_varint_u64(buf, payload.len() as u64);
+    buf.extend_from_slice(payload);
+    buf.len() - before
+}
+
+/// Decode the record starting at `*pos`: returns its payload slice and
+/// advances `*pos` past it. `None` when the length prefix is truncated or
+/// points past the end of `buf` (a torn record).
+pub fn read_record<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let len = read_varint_u64(buf, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    if end > buf.len() {
+        return None;
+    }
+    let payload = &buf[*pos..end];
+    *pos = end;
+    Some(payload)
+}
+
+/// 64-bit FNV-1a over `bytes` — the torn-write detector of the page format.
+/// Not cryptographic; it only needs to make a partially persisted page
+/// overwhelmingly unlikely to verify.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---- delta-varint posting lists ---------------------------------------------
+
+/// A delta-varint-compressed, strictly increasing `u64` sequence — the
+/// posting-list representation of the paged tier (record ordinals per
+/// vertex, in the inverted-index sense). Values are stored as gaps from the
+/// previous value, so dense id spaces compress to ~1 byte per entry.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PostingList {
+    bytes: Vec<u8>,
+    last: u64,
+    len: usize,
+}
+
+impl PostingList {
+    /// An empty posting list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed size in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The most recently appended value (`None` when empty).
+    pub fn last(&self) -> Option<u64> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.last)
+        }
+    }
+
+    /// Append `value`, which must be strictly greater than every value
+    /// appended before it (posting lists are sorted by construction).
+    ///
+    /// # Panics
+    /// Panics when `value` does not increase — that is a logic error of the
+    /// caller, not a data-corruption condition.
+    pub fn push(&mut self, value: u64) {
+        if self.len == 0 {
+            write_varint_u64(&mut self.bytes, value);
+        } else {
+            assert!(
+                value > self.last,
+                "posting lists are strictly increasing: {} after {}",
+                value,
+                self.last
+            );
+            write_varint_u64(&mut self.bytes, value - self.last);
+        }
+        self.last = value;
+        self.len += 1;
+    }
+
+    /// Streaming decoder over the postings (no intermediate `Vec`).
+    pub fn iter(&self) -> PostingCursor<'_> {
+        PostingCursor {
+            bytes: &self.bytes,
+            pos: 0,
+            prev: 0,
+            first: true,
+            remaining: self.len,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PostingList {
+    type Item = u64;
+    type IntoIter = PostingCursor<'a>;
+    fn into_iter(self) -> PostingCursor<'a> {
+        self.iter()
+    }
+}
+
+/// Streaming decoder of a [`PostingList`].
+#[derive(Debug, Clone)]
+pub struct PostingCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    prev: u64,
+    first: bool,
+    remaining: usize,
+}
+
+impl Iterator for PostingCursor<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let gap = read_varint_u64(self.bytes, &mut self.pos)
+            .expect("posting bytes are produced by PostingList::push and always decode");
+        let value = if self.first {
+            self.first = false;
+            gap
+        } else {
+            self.prev + gap
+        };
+        self.prev = value;
+        self.remaining -= 1;
+        Some(value)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PostingCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        write_varint_u64(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_varint_u64(&buf[..buf.len() - 1], &mut pos), None);
+        // 11 continuation bytes can never be a valid u64.
+        let overlong = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint_u64(&overlong, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123_456, 123_456] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn length_prefixed_records_roundtrip_and_detect_tears() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"alpha");
+        write_record(&mut buf, b"");
+        write_record(&mut buf, b"gamma-gamma");
+        let mut pos = 0;
+        assert_eq!(read_record(&buf, &mut pos), Some(&b"alpha"[..]));
+        assert_eq!(read_record(&buf, &mut pos), Some(&b""[..]));
+        assert_eq!(read_record(&buf, &mut pos), Some(&b"gamma-gamma"[..]));
+        assert_eq!(pos, buf.len());
+        // Truncating the last record's payload is detected, not mis-read.
+        let torn = &buf[..buf.len() - 3];
+        let mut pos = 0;
+        assert!(read_record(torn, &mut pos).is_some());
+        assert!(read_record(torn, &mut pos).is_some());
+        assert_eq!(read_record(torn, &mut pos), None);
+    }
+
+    #[test]
+    fn checksum_differs_on_any_flip() {
+        let base = checksum(b"mnemonic page payload");
+        let mut copy = b"mnemonic page payload".to_vec();
+        copy[3] ^= 1;
+        assert_ne!(base, checksum(&copy));
+        assert_eq!(base, checksum(b"mnemonic page payload"));
+    }
+
+    #[test]
+    fn posting_list_roundtrips_and_compresses_dense_runs() {
+        let mut list = PostingList::new();
+        let values: Vec<u64> = (0..1000).map(|i| 10 + i).collect();
+        for &v in &values {
+            list.push(v);
+        }
+        assert_eq!(list.iter().collect::<Vec<_>>(), values);
+        assert_eq!(list.len(), 1000);
+        assert_eq!(list.last(), Some(1009));
+        // A dense run is ~1 byte per gap vs 8 bytes raw.
+        assert!(
+            list.compressed_bytes() < 1100,
+            "{}",
+            list.compressed_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn posting_list_rejects_non_increasing() {
+        let mut list = PostingList::new();
+        list.push(5);
+        list.push(5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Paged, cache-bounded storage tier (PR 8).
+//!
+//! This subsystem gives the spill path (Section IV-A, "External memory
+//! support") a real block layout instead of the fixed-width append file:
+//!
+//! * [`codec`] — hand-rolled varint/zigzag/length-prefix primitives and
+//!   delta-compressed [`PostingList`]s (the serde shim has no-op derives, so
+//!   every persisted byte goes through here),
+//! * [`page`] — the fixed-size page format with magic, generation stamp and
+//!   FNV-1a checksum for torn-write detection,
+//! * [`pager`] — the [`PageManager`] that owns the page file and performs
+//!   page-granular positioned I/O,
+//! * [`cache`] — the second-chance [`PageCache`] with pin/unpin and
+//!   dirty-page write-back, which bounds resident memory to a fixed page
+//!   budget,
+//! * [`paged_log`] — the [`PagedEdgeLog`]: delta-varint-compressed records
+//!   in pages, per-vertex posting lists, and streaming fetch/scan iterators
+//!   that never materialise intermediate `Vec`s.
+//!
+//! The tier is **opt-in**: [`StorageConfig::default`] keeps everything
+//! in memory exactly as before, [`StorageConfig::paged`] routes window
+//! spills through the page cache.
+
+pub mod cache;
+pub mod codec;
+pub mod page;
+pub mod paged_log;
+pub mod pager;
+
+pub use cache::{PageCache, PageCacheStats};
+pub use codec::{PostingCursor, PostingList};
+pub use page::{BlockIter, Page, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_BYTES, PAGE_MAGIC};
+pub use paged_log::{PagedEdgeLog, PagedFetchIter, PagedLogStats, PagedScanIter};
+pub use pager::{PageManager, PagerStats};
+
+/// Which backend the spill tier writes to.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// The fixed-width append-only [`crate::edge_log::EdgeLog`] (seed
+    /// behaviour).
+    #[default]
+    InMemory,
+    /// The paged, delta-varint-compressed [`PagedEdgeLog`] behind the
+    /// [`PageCache`].
+    Paged,
+}
+
+/// Configuration of the storage tier.
+///
+/// The default keeps the seed's in-memory/flat-log behaviour; call
+/// [`StorageConfig::paged`] to bound resident memory with the page cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// Backend the spill tier writes to.
+    pub backend: StorageBackend,
+    /// Page size in bytes: a power of two in `4 KiB ..= 64 KiB`.
+    pub page_size: usize,
+    /// Resident-page budget of the cache (minimum 1).
+    pub cache_pages: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            backend: StorageBackend::InMemory,
+            page_size: 16 * 1024,
+            cache_pages: 64,
+        }
+    }
+}
+
+impl StorageConfig {
+    /// Paged storage with the default 16 KiB pages and a 64-page cache.
+    pub fn paged() -> Self {
+        StorageConfig {
+            backend: StorageBackend::Paged,
+            ..StorageConfig::default()
+        }
+    }
+
+    /// Override the page size (bytes; validated when the page file opens).
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Override the resident-page budget.
+    pub fn cache_pages(mut self, pages: usize) -> Self {
+        self.cache_pages = pages;
+        self
+    }
+
+    /// Whether this configuration uses the paged backend.
+    pub fn is_paged(&self) -> bool {
+        self.backend == StorageBackend::Paged
+    }
+
+    /// The cache budget in bytes (`page_size * cache_pages`).
+    pub fn cache_budget_bytes(&self) -> usize {
+        self.page_size * self.cache_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_in_memory() {
+        let cfg = StorageConfig::default();
+        assert!(!cfg.is_paged());
+        assert_eq!(cfg.backend, StorageBackend::InMemory);
+    }
+
+    #[test]
+    fn paged_builder_chains() {
+        let cfg = StorageConfig::paged().page_size(4 * 1024).cache_pages(8);
+        assert!(cfg.is_paged());
+        assert_eq!(cfg.page_size, 4 * 1024);
+        assert_eq!(cfg.cache_pages, 8);
+        assert_eq!(cfg.cache_budget_bytes(), 32 * 1024);
+    }
+}

@@ -1,0 +1,308 @@
+//! The on-disk page format of the paged storage tier.
+//!
+//! # Page-format invariants
+//!
+//! Every page is exactly `page_size` bytes on disk and starts with a
+//! 32-byte header, little-endian:
+//!
+//! | offset | bytes | field |
+//! |-------:|------:|-------|
+//! | 0      | 4     | magic `0x4D4E5047` (`"GPNM"` read LE → `"MNPG"`) |
+//! | 4      | 4     | page id — must equal the id implied by the file offset |
+//! | 8      | 8     | generation stamp — monotonically increasing per write; a reread page must never carry a *newer* generation than the manager has issued |
+//! | 16     | 4     | `used` — payload bytes in use (`used ≤ page_size - 32`) |
+//! | 20     | 4     | record count |
+//! | 24     | 8     | FNV-1a checksum over header fields 0–23 and `payload[..used]` |
+//!
+//! The payload is a sequence of [length-prefixed
+//! records](crate::storage::codec::write_record). A page is **valid** iff
+//! the magic matches, the id matches its slot, `used` is in bounds, and the
+//! checksum verifies; anything else is reported as a torn write
+//! ([`std::io::ErrorKind::InvalidData`]) — a crash mid-write leaves either
+//! the old page (old generation, valid) or a tear (invalid), never a
+//! silently wrong read.
+
+use crate::storage::codec;
+use std::io;
+
+/// Magic number at offset 0 of every page.
+pub const PAGE_MAGIC: u32 = 0x4D4E_5047;
+
+/// Size of the fixed page header in bytes.
+pub const PAGE_HEADER_BYTES: usize = 32;
+
+/// Smallest supported page size (4 KiB).
+pub const MIN_PAGE_SIZE: usize = 4 * 1024;
+
+/// Largest supported page size (64 KiB).
+pub const MAX_PAGE_SIZE: usize = 64 * 1024;
+
+/// One fixed-size page: a header plus a payload of length-prefixed records.
+/// In memory only the used payload is held; [`Page::to_bytes`] pads to the
+/// full page size for disk I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    page_size: usize,
+    id: u32,
+    generation: u64,
+    record_count: u32,
+    payload: Vec<u8>,
+}
+
+impl Page {
+    /// An empty page with the given id. `page_size` must already be
+    /// validated by the page manager.
+    pub fn new(page_size: usize, id: u32) -> Self {
+        Page {
+            page_size,
+            id,
+            generation: 0,
+            record_count: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The page's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The generation stamp of the last write (0 for a never-written page).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of records in the payload.
+    pub fn record_count(&self) -> u32 {
+        self.record_count
+    }
+
+    /// Payload bytes in use.
+    pub fn used(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// The used payload bytes (the record area, header excluded).
+    pub fn payload_slice(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Payload capacity of a page of this size.
+    pub fn capacity(&self) -> usize {
+        self.page_size - PAGE_HEADER_BYTES
+    }
+
+    /// Whether a record payload of `len` bytes still fits (including its
+    /// length prefix, conservatively sized at 10 bytes max).
+    pub fn fits(&self, len: usize) -> bool {
+        // The varint length prefix takes at most 10 bytes; being exact here
+        // buys nothing, being conservative can never overflow a page.
+        self.payload.len() + len + 10 <= self.capacity()
+    }
+
+    /// Append one length-prefixed record. Returns `false` (leaving the page
+    /// untouched) when the record does not fit.
+    pub fn push_record(&mut self, record: &[u8]) -> bool {
+        if !self.fits(record.len()) {
+            return false;
+        }
+        codec::write_record(&mut self.payload, record);
+        self.record_count += 1;
+        true
+    }
+
+    /// Reset to an empty page with a (possibly new) id.
+    pub fn reset(&mut self, id: u32) {
+        self.id = id;
+        self.generation = 0;
+        self.record_count = 0;
+        self.payload.clear();
+    }
+
+    /// Stamp the page with a write generation (done by the page manager on
+    /// every write-out).
+    pub fn stamp(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// The block iterator: stream the page's records as payload slices
+    /// without materialising a `Vec` of them.
+    pub fn records(&self) -> BlockIter<'_> {
+        BlockIter {
+            payload: &self.payload,
+            pos: 0,
+            remaining: self.record_count,
+        }
+    }
+
+    /// Serialise into a full `page_size` byte image (header + payload +
+    /// zero padding) ready for positioned disk I/O.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.page_size);
+        buf.extend_from_slice(&PAGE_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&self.id.to_le_bytes());
+        buf.extend_from_slice(&self.generation.to_le_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.record_count.to_le_bytes());
+        let sum = Self::checksum_of(&buf[..24], &self.payload);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf.resize(self.page_size, 0);
+        buf
+    }
+
+    /// Parse and verify a full page image read from slot `expect_id`.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidData`] when the image fails any page-format
+    /// invariant (bad magic, id mismatch, out-of-bounds `used`, checksum
+    /// mismatch) — the torn-write detection path.
+    pub fn from_bytes(bytes: &[u8], page_size: usize, expect_id: u32) -> io::Result<Page> {
+        let corrupt = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("torn or corrupt page {expect_id}: {what}"),
+            )
+        };
+        if bytes.len() != page_size {
+            return Err(corrupt("short read"));
+        }
+        let word32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let word64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        if word32(0) != PAGE_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let id = word32(4);
+        if id != expect_id {
+            return Err(corrupt("page id does not match its slot"));
+        }
+        let generation = word64(8);
+        let used = word32(16) as usize;
+        let record_count = word32(20);
+        if used > page_size - PAGE_HEADER_BYTES {
+            return Err(corrupt("used length out of bounds"));
+        }
+        let payload = &bytes[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + used];
+        if word64(24) != Self::checksum_of(&bytes[..24], payload) {
+            return Err(corrupt("checksum mismatch"));
+        }
+        // The records themselves must tile the payload exactly.
+        let mut pos = 0;
+        for _ in 0..record_count {
+            if codec::read_record(payload, &mut pos).is_none() {
+                return Err(corrupt("record overruns payload"));
+            }
+        }
+        if pos != used {
+            return Err(corrupt("payload trailing garbage"));
+        }
+        Ok(Page {
+            page_size,
+            id,
+            generation,
+            record_count,
+            payload: payload.to_vec(),
+        })
+    }
+
+    fn checksum_of(header_prefix: &[u8], payload: &[u8]) -> u64 {
+        // One pass over header-then-payload, equivalent to hashing their
+        // concatenation: FNV-1a is a running fold, so seed the payload hash
+        // with the header hash.
+        let mut bytes = Vec::with_capacity(header_prefix.len() + payload.len());
+        bytes.extend_from_slice(header_prefix);
+        bytes.extend_from_slice(payload);
+        codec::checksum(&bytes)
+    }
+}
+
+/// Streaming iterator over the length-prefixed records of one page — the
+/// perlin-core-style *block iterator*: records are yielded as borrowed
+/// slices, no `Vec` of records is ever built.
+#[derive(Debug, Clone)]
+pub struct BlockIter<'a> {
+    payload: &'a [u8],
+    pos: usize,
+    remaining: u32,
+}
+
+impl<'a> Iterator for BlockIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // A validated page always decodes (from_bytes walked every record);
+        // an in-memory page was built by push_record. Either way this is
+        // unreachable on the success path.
+        codec::read_record(self.payload, &mut self.pos)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_roundtrips_through_bytes() {
+        let mut page = Page::new(MIN_PAGE_SIZE, 7);
+        assert!(page.push_record(b"one"));
+        assert!(page.push_record(b"two-two"));
+        assert!(page.push_record(b""));
+        page.stamp(42);
+        let bytes = page.to_bytes();
+        assert_eq!(bytes.len(), MIN_PAGE_SIZE);
+        let back = Page::from_bytes(&bytes, MIN_PAGE_SIZE, 7).unwrap();
+        assert_eq!(back, page);
+        let records: Vec<&[u8]> = back.records().collect();
+        assert_eq!(records, vec![&b"one"[..], &b"two-two"[..], &b""[..]]);
+    }
+
+    #[test]
+    fn page_rejects_overflow() {
+        let mut page = Page::new(MIN_PAGE_SIZE, 0);
+        let big = vec![0xabu8; page.capacity() + 1];
+        assert!(!page.push_record(&big));
+        assert_eq!(page.record_count(), 0);
+        // Fill with records until one no longer fits; the page stays valid.
+        let chunk = vec![1u8; 100];
+        let mut pushed = 0;
+        while page.push_record(&chunk) {
+            pushed += 1;
+        }
+        assert!(pushed > 0);
+        assert_eq!(page.record_count() as usize, pushed);
+        assert!(page.used() <= page.capacity());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut page = Page::new(MIN_PAGE_SIZE, 3);
+        page.push_record(b"payload payload payload");
+        page.stamp(1);
+        let good = page.to_bytes();
+        assert!(Page::from_bytes(&good, MIN_PAGE_SIZE, 3).is_ok());
+
+        // Wrong slot.
+        assert!(Page::from_bytes(&good, MIN_PAGE_SIZE, 4).is_err());
+        // Flipped payload byte.
+        let mut bad = good.clone();
+        bad[PAGE_HEADER_BYTES + 2] ^= 0x40;
+        assert!(Page::from_bytes(&bad, MIN_PAGE_SIZE, 3).is_err());
+        // Flipped header byte (generation).
+        let mut bad = good.clone();
+        bad[9] ^= 0x01;
+        assert!(Page::from_bytes(&bad, MIN_PAGE_SIZE, 3).is_err());
+        // Short read.
+        assert!(Page::from_bytes(&good[..MIN_PAGE_SIZE - 1], MIN_PAGE_SIZE, 3).is_err());
+        // Zeroed page (never written).
+        let zero = vec![0u8; MIN_PAGE_SIZE];
+        assert!(Page::from_bytes(&zero, MIN_PAGE_SIZE, 3).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! The page manager: fixed-size pages in one backing file.
+//!
+//! [`PageManager`] owns the file, hands out page ids (recycling freed ones),
+//! and performs the positioned page-granular I/O. Pages are stamped with a
+//! monotonically increasing **generation** on every write-out, so a reread
+//! page can be sanity-checked against the manager's issued-generation bound
+//! — a page "from the future" means the file is not the one this manager
+//! wrote. All integrity checks of the page image itself live in
+//! [`Page::from_bytes`].
+
+use crate::storage::page::{Page, MAX_PAGE_SIZE, MIN_PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// I/O statistics of one page manager.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Pages written out (each a full `page_size` positioned write).
+    pub pages_written: u64,
+    /// Pages read back in.
+    pub pages_read: u64,
+    /// Pages currently allocated (live slots, free-listed ones excluded).
+    pub pages_allocated: u64,
+}
+
+/// Fixed-size-page file store with id recycling and generation stamping.
+#[derive(Debug)]
+pub struct PageManager {
+    path: PathBuf,
+    file: File,
+    page_size: usize,
+    next_page: u32,
+    free: Vec<u32>,
+    generation: u64,
+    stats: PagerStats,
+}
+
+impl PageManager {
+    /// Create (or truncate) a page file at `path`.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidInput`] when `page_size` is not a power of
+    /// two in `4 KiB ..= 64 KiB`; otherwise any file-creation error.
+    pub fn create(path: impl AsRef<Path>, page_size: usize) -> io::Result<Self> {
+        if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) || !page_size.is_power_of_two() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "page size must be a power of two in {MIN_PAGE_SIZE}..={MAX_PAGE_SIZE}, got {page_size}"
+                ),
+            ));
+        }
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(PageManager {
+            path,
+            file,
+            page_size,
+            next_page: 0,
+            free: Vec::new(),
+            generation: 0,
+            stats: PagerStats::default(),
+        })
+    }
+
+    /// Create a page file in a fresh temporary location.
+    pub fn create_temp(page_size: usize, tag: &str) -> io::Result<Self> {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "mnemonic-pages-{}-{}-{}.bin",
+            tag,
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        Self::create(path, page_size)
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The fixed page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Current I/O statistics.
+    pub fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    /// Bytes the backing file occupies for the currently allocated id range.
+    pub fn bytes_on_disk(&self) -> u64 {
+        u64::from(self.next_page) * self.page_size as u64
+    }
+
+    /// Allocate a page id, reusing freed slots first.
+    pub fn alloc(&mut self) -> u32 {
+        self.stats.pages_allocated += 1;
+        if let Some(id) = self.free.pop() {
+            id
+        } else {
+            let id = self.next_page;
+            self.next_page += 1;
+            id
+        }
+    }
+
+    /// Return a page id to the free list for reuse. The on-disk bytes keep
+    /// their stale (old-generation) content until the slot is rewritten.
+    pub fn release(&mut self, id: u32) {
+        debug_assert!(
+            id < self.next_page,
+            "released page {id} was never allocated"
+        );
+        self.stats.pages_allocated = self.stats.pages_allocated.saturating_sub(1);
+        self.free.push(id);
+    }
+
+    /// Write `page` to its slot, stamping it with the next generation.
+    pub fn write_page(&mut self, page: &mut Page) -> io::Result<()> {
+        self.generation += 1;
+        page.stamp(self.generation);
+        let bytes = page.to_bytes();
+        self.file.seek(SeekFrom::Start(
+            u64::from(page.id()) * self.page_size as u64,
+        ))?;
+        self.file.write_all(&bytes)?;
+        self.stats.pages_written += 1;
+        Ok(())
+    }
+
+    /// Read and verify the page in slot `id`.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidData`] on any page-format violation (torn
+    /// write, wrong slot, generation from the future); other kinds for plain
+    /// I/O failures.
+    pub fn read_page(&mut self, id: u32) -> io::Result<Page> {
+        let mut raw = vec![0u8; self.page_size];
+        self.file
+            .seek(SeekFrom::Start(u64::from(id) * self.page_size as u64))?;
+        self.file.read_exact(&mut raw)?;
+        let page = Page::from_bytes(&raw, self.page_size, id)?;
+        if page.generation() > self.generation {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "page {id} carries generation {} but only {} were issued",
+                    page.generation(),
+                    self.generation
+                ),
+            ));
+        }
+        self.stats.pages_read += 1;
+        Ok(page)
+    }
+
+    /// Delete the backing file. The manager must not be used afterwards.
+    pub fn destroy(self) -> io::Result<()> {
+        let path = self.path.clone();
+        drop(self);
+        std::fs::remove_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let mut pager = PageManager::create_temp(MIN_PAGE_SIZE, "roundtrip").unwrap();
+        let a = pager.alloc();
+        let b = pager.alloc();
+        assert_ne!(a, b);
+        let mut page_a = Page::new(MIN_PAGE_SIZE, a);
+        page_a.push_record(b"first page");
+        let mut page_b = Page::new(MIN_PAGE_SIZE, b);
+        page_b.push_record(b"second page");
+        pager.write_page(&mut page_a).unwrap();
+        pager.write_page(&mut page_b).unwrap();
+        assert_eq!(page_a.generation(), 1);
+        assert_eq!(page_b.generation(), 2);
+        assert_eq!(pager.read_page(a).unwrap(), page_a);
+        assert_eq!(pager.read_page(b).unwrap(), page_b);
+        assert_eq!(pager.stats().pages_written, 2);
+        assert_eq!(pager.stats().pages_read, 2);
+        pager.destroy().unwrap();
+    }
+
+    #[test]
+    fn freed_ids_are_recycled() {
+        let mut pager = PageManager::create_temp(MIN_PAGE_SIZE, "recycle").unwrap();
+        let a = pager.alloc();
+        let _b = pager.alloc();
+        pager.release(a);
+        assert_eq!(pager.alloc(), a);
+        assert_eq!(pager.stats().pages_allocated, 2);
+        pager.destroy().unwrap();
+    }
+
+    #[test]
+    fn invalid_page_sizes_are_rejected() {
+        for bad in [
+            0usize,
+            512,
+            MIN_PAGE_SIZE - 1,
+            MIN_PAGE_SIZE + 1,
+            MAX_PAGE_SIZE * 2,
+        ] {
+            assert!(PageManager::create_temp(bad, "bad").is_err(), "{bad}");
+        }
+        for good in [MIN_PAGE_SIZE, 8 * 1024, 16 * 1024, MAX_PAGE_SIZE] {
+            PageManager::create_temp(good, "good")
+                .unwrap()
+                .destroy()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn reading_a_never_written_page_is_a_torn_write() {
+        let mut pager = PageManager::create_temp(MIN_PAGE_SIZE, "torn").unwrap();
+        let a = pager.alloc();
+        let b = pager.alloc();
+        let mut page_b = Page::new(MIN_PAGE_SIZE, b);
+        page_b.push_record(b"only b was written");
+        pager.write_page(&mut page_b).unwrap();
+        // Slot `a` exists in the file (zero padding from writing b at a
+        // higher offset? no — a is the lower slot and was never written, so
+        // the read either fails short or parses zeroes; both are errors).
+        let err = pager.read_page(a).unwrap_err();
+        assert!(
+            err.kind() == io::ErrorKind::InvalidData || err.kind() == io::ErrorKind::UnexpectedEof,
+            "{err}"
+        );
+        pager.destroy().unwrap();
+    }
+}

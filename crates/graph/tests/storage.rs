@@ -1,0 +1,319 @@
+//! Property tests for the paged storage tier.
+//!
+//! Four surfaces, each checked against a plain in-memory model:
+//!
+//! * the varint/zigzag codec and record framing — random values round-trip,
+//!   truncated buffers are rejected instead of mis-decoded,
+//! * delta-compressed posting lists — random strictly increasing sequences
+//!   round-trip through the compressed form,
+//! * the [`PagedEdgeLog`] — random record streams appended in random batch
+//!   splits survive page-boundary crossings and read back exactly, through
+//!   a cache small enough to force evictions mid-scan,
+//! * the [`PageCache`] — a random pin/unpin script against a model: the
+//!   resident set never exceeds the budget and pinned frames never move,
+//!
+//! plus torn-write detection: a page image that was truncated or flipped on
+//! disk must fail the checksum instead of decoding garbage.
+
+use mnemonic_graph::edge::Edge;
+use mnemonic_graph::edge_log::LogRecord;
+use mnemonic_graph::ids::{EdgeId, EdgeLabel, Timestamp, VertexId};
+use mnemonic_graph::storage::codec;
+use mnemonic_graph::storage::codec::PostingList;
+use mnemonic_graph::storage::page::Page;
+use mnemonic_graph::storage::{PageCache, PageManager, PagedEdgeLog};
+use proptest::prelude::*;
+
+// ---- codec round-trips ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// LEB128 varints round-trip for arbitrary u64 values packed
+    /// back-to-back in one buffer.
+    #[test]
+    fn varint_u64_round_trips(values in prop::collection::vec(any::<u64>(), 1..64)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            codec::write_varint_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(codec::read_varint_u64(&buf, &mut pos), Some(v));
+        }
+        prop_assert_eq!(pos, buf.len());
+        // One byte short of any boundary must reject, not mis-decode.
+        let mut pos = 0;
+        let mut decoded = 0;
+        while codec::read_varint_u64(&buf[..buf.len() - 1], &mut pos).is_some() {
+            decoded += 1;
+        }
+        prop_assert!(decoded < values.len());
+    }
+
+    /// Zigzag is a bijection on i64 (checked through the u64 bit pattern).
+    #[test]
+    fn zigzag_round_trips(bits in prop::collection::vec(any::<u64>(), 1..64)) {
+        for &b in &bits {
+            let v = b as i64;
+            prop_assert_eq!(codec::unzigzag(codec::zigzag(v)), v);
+            // Small magnitudes must stay small: that is the whole point of
+            // zigzag for delta encoding.
+            let small = (b % 64) as i64 - 32;
+            prop_assert!(codec::zigzag(small) < 128);
+        }
+    }
+
+    /// Signed deltas round-trip through the zigzag-varint composition.
+    #[test]
+    fn delta_round_trips(bits in prop::collection::vec(any::<u64>(), 1..64)) {
+        let mut buf = Vec::new();
+        for &b in &bits {
+            codec::write_delta(&mut buf, b as i64);
+        }
+        let mut pos = 0;
+        for &b in &bits {
+            prop_assert_eq!(codec::read_delta(&buf, &mut pos), Some(b as i64));
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    /// Length-prefixed records round-trip, and a truncated tail (a torn
+    /// write mid-record) is detected as end-of-input, never a bogus slice.
+    #[test]
+    fn record_framing_round_trips_and_detects_truncation(
+        payloads in prop::collection::vec(
+            prop::collection::vec(0u32..256, 0..40),
+            1..20,
+        ),
+        cut in any::<usize>(),
+    ) {
+        let payloads: Vec<Vec<u8>> = payloads
+            .into_iter()
+            .map(|p| p.into_iter().map(|b| b as u8).collect())
+            .collect();
+        let mut buf = Vec::new();
+        for p in &payloads {
+            codec::write_record(&mut buf, p);
+        }
+        let mut pos = 0;
+        for p in &payloads {
+            prop_assert_eq!(codec::read_record(&buf, &mut pos), Some(p.as_slice()));
+        }
+        prop_assert_eq!(codec::read_record(&buf, &mut pos), None);
+
+        // Cut the buffer anywhere strictly inside: every record either
+        // decodes to exactly its original payload or reads as None.
+        let cut = 1 + cut % buf.len().max(1);
+        if cut < buf.len() {
+            let torn = &buf[..cut];
+            let mut pos = 0;
+            let mut intact = 0;
+            while let Some(rec) = codec::read_record(torn, &mut pos) {
+                prop_assert_eq!(rec, payloads[intact].as_slice());
+                intact += 1;
+            }
+            prop_assert!(intact < payloads.len());
+        }
+    }
+
+    /// Posting lists reproduce arbitrary strictly increasing sequences.
+    #[test]
+    fn posting_list_round_trips(gaps in prop::collection::vec(1u64..5_000, 1..200)) {
+        let mut list = PostingList::new();
+        let mut model = Vec::with_capacity(gaps.len());
+        let mut v = 0u64;
+        for &g in &gaps {
+            v += g;
+            list.push(v);
+            model.push(v);
+        }
+        prop_assert_eq!(list.len(), model.len());
+        prop_assert_eq!(list.last(), model.last().copied());
+        let decoded: Vec<u64> = list.iter().collect();
+        prop_assert_eq!(decoded, model);
+    }
+}
+
+// ---- paged log: page-boundary splits ---------------------------------------
+
+fn record_from(seed: (u32, u32, u32, u64, u64)) -> LogRecord {
+    let (id, src, dst, ts, debi_row) = seed;
+    LogRecord {
+        edge: Edge {
+            id: EdgeId(id % 100_000),
+            src: VertexId(src % 48),
+            dst: VertexId(dst % 48),
+            label: EdgeLabel((id % 7) as u16),
+            timestamp: Timestamp(ts % (1 << 40)),
+        },
+        debi_row,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random record streams appended in random batch splits read back
+    /// exactly — across page boundaries, through a 2-page cache (so scans
+    /// and fetches evict mid-flight), in both scan and per-vertex order.
+    #[test]
+    fn paged_log_round_trips_across_page_boundaries(
+        seeds in prop::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()),
+            1..600,
+        ),
+        splits in prop::collection::vec(1usize..64, 1..32),
+    ) {
+        let records: Vec<LogRecord> = seeds.into_iter().map(record_from).collect();
+        let mut log = PagedEdgeLog::create_temp(4096, 2, "prop-split").unwrap();
+        let mut fed = 0;
+        let mut split_iter = splits.iter().cycle();
+        while fed < records.len() {
+            let take = (*split_iter.next().unwrap()).min(records.len() - fed);
+            log.append_batch(&records[fed..fed + take]).unwrap();
+            fed += take;
+        }
+        prop_assert_eq!(log.len(), records.len() as u64);
+
+        let scanned = log.scan_all().unwrap();
+        prop_assert_eq!(&scanned, &records);
+
+        for v in 0..48u32 {
+            let vid = VertexId(v);
+            let expect: Vec<LogRecord> = records
+                .iter()
+                .copied()
+                .filter(|r| r.edge.src == vid)
+                .collect();
+            prop_assert_eq!(log.fetch_outgoing(vid).unwrap(), expect);
+            let expect: Vec<LogRecord> = records
+                .iter()
+                .copied()
+                .filter(|r| r.edge.dst == vid)
+                .collect();
+            prop_assert_eq!(log.fetch_incoming(vid).unwrap(), expect);
+        }
+
+        // The cache budget held throughout.
+        prop_assert!(log.resident_pages() <= log.cache_capacity());
+        log.destroy().unwrap();
+    }
+}
+
+// ---- page cache: eviction/pin model ----------------------------------------
+
+const MODEL_PAGES: u32 = 12;
+const MODEL_CAPACITY: usize = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A random pin/read/unpin script against a model: every pinned frame
+    /// keeps showing its page, the resident set never exceeds the budget,
+    /// and the budget can always serve one more pin as long as fewer than
+    /// `capacity` frames are pinned.
+    #[test]
+    fn page_cache_respects_pins_and_budget(
+        script in prop::collection::vec((0u32..MODEL_PAGES, 0u32..3), 1..120),
+    ) {
+        let mut pager = PageManager::create_temp(4096, "prop-cache").unwrap();
+        for i in 0..MODEL_PAGES {
+            let id = pager.alloc();
+            let mut page = Page::new(4096, id);
+            assert!(page.push_record(&[i as u8, (i * 3) as u8]));
+            pager.write_page(&mut page).unwrap();
+        }
+        let mut cache = PageCache::new(MODEL_CAPACITY);
+        // Held pins: (page id, frame). Bounded below capacity so a fresh
+        // pin always has an evictable frame.
+        let mut held: Vec<(u32, usize)> = Vec::new();
+        let mut pins = 0u64;
+        for (page_id, action) in script {
+            match action {
+                // Pin, verify, hold (dropping the oldest hold if needed).
+                0 => {
+                    if held.len() >= MODEL_CAPACITY - 1 {
+                        let (_, frame) = held.remove(0);
+                        cache.unpin(frame);
+                    }
+                    let frame = cache.pin(&mut pager, page_id).unwrap();
+                    pins += 1;
+                    held.push((page_id, frame));
+                }
+                // Pin transiently and release straight away.
+                1 => {
+                    let frame = cache.pin(&mut pager, page_id).unwrap();
+                    pins += 1;
+                    cache.unpin(frame);
+                }
+                // Release the oldest hold.
+                _ => {
+                    if !held.is_empty() {
+                        let (_, frame) = held.remove(0);
+                        cache.unpin(frame);
+                    }
+                }
+            }
+            // Invariants after every step: budget respected, pinned frames
+            // still show their page with its payload intact.
+            prop_assert!(cache.resident_pages() <= MODEL_CAPACITY);
+            for &(id, frame) in &held {
+                let page = cache.page(frame);
+                prop_assert_eq!(page.id(), id);
+                let rec = page.records().next().unwrap();
+                prop_assert_eq!(rec, &[id as u8, (id * 3) as u8]);
+            }
+        }
+        for (_, frame) in held.drain(..) {
+            cache.unpin(frame);
+        }
+        cache.flush(&mut pager).unwrap();
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, pins);
+        pager.destroy().unwrap();
+    }
+}
+
+// ---- torn writes on disk ----------------------------------------------------
+
+/// A page image corrupted on disk — truncated short or bit-flipped — must
+/// fail verification on read instead of decoding garbage.
+#[test]
+fn torn_or_flipped_pages_are_rejected() {
+    use std::io::{Seek, SeekFrom, Write};
+
+    let mut pager = PageManager::create_temp(4096, "torn").unwrap();
+    let id = pager.alloc();
+    let mut page = Page::new(4096, id);
+    assert!(page.push_record(b"payload-under-test"));
+    pager.write_page(&mut page).unwrap();
+    assert!(pager.read_page(id).is_ok(), "intact page reads back");
+    let path = pager.path().to_path_buf();
+
+    // Flip one payload byte behind the pager's back.
+    {
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(40)).unwrap();
+        f.write_all(&[0xFF]).unwrap();
+    }
+    let err = pager.read_page(id).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("torn or corrupt page"),
+        "diagnostic names the page: {err}"
+    );
+
+    // Rewrite intact, then tear the page in half: the short read must
+    // surface as an error, not a partial page.
+    pager.write_page(&mut page).unwrap();
+    assert!(pager.read_page(id).is_ok());
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(2048)
+        .unwrap();
+    assert!(pager.read_page(id).is_err(), "torn page must not decode");
+    pager.destroy().unwrap();
+}

@@ -1,0 +1,232 @@
+//! Differential tests for the paged storage tier: a session whose spill
+//! tier runs through the page cache must be embedding-for-embedding
+//! identical to the default in-memory session on the same stream — per-edge
+//! and batched modes, with deletions, with the in-memory window small
+//! enough that most of the stream is evicted through the spill path.
+//!
+//! The paged backend sits entirely on the overhead-accounting side of the
+//! engine (the matcher reads the in-memory graph), so these tests pin the
+//! invariant that turning it on changes *nothing* about results while its
+//! cache actually churns (asserted via the published telemetry).
+
+use mnemonic::core::api::{LabelEdgeMatcher, UpdateMode};
+use mnemonic::core::embedding::CompleteEmbedding;
+use mnemonic::core::session::MnemonicSession;
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::graph::spill::SpillConfig;
+use mnemonic::graph::storage::StorageConfig;
+use mnemonic::query::patterns;
+use mnemonic::query::query_graph::QueryGraph;
+use mnemonic::stream::event::StreamEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn key(e: &CompleteEmbedding) -> (Vec<u32>, Vec<u32>) {
+    (
+        e.vertices.iter().map(|v| v.0).collect(),
+        e.edges.iter().map(|x| x.0).collect(),
+    )
+}
+
+fn random_stream(
+    rng: &mut StdRng,
+    vertices: u32,
+    events: usize,
+    delete_prob: f64,
+) -> Vec<StreamEvent> {
+    let mut live: Vec<(u32, u32, u16)> = Vec::new();
+    let mut out = Vec::with_capacity(events);
+    for ts in 0..events as u64 {
+        if !live.is_empty() && rng.gen_bool(delete_prob) {
+            let idx = rng.gen_range(0..live.len());
+            let (s, d, l) = live.swap_remove(idx);
+            out.push(StreamEvent::delete(s, d, l).at(ts));
+        } else {
+            let src = rng.gen_range(0..vertices);
+            let mut dst = rng.gen_range(0..vertices);
+            if dst == src {
+                dst = (dst + 1) % vertices;
+            }
+            live.push((src, dst, 0));
+            out.push(StreamEvent::insert(src, dst, 0).at(ts));
+        }
+    }
+    out
+}
+
+/// An embedding key: sorted vertex ids + matched edge ids, order-stable
+/// across runs (see `key`).
+type EmbeddingKey = (Vec<u32>, Vec<u32>);
+
+/// Run `events` through one session with the given update mode and storage
+/// configuration, returning the signed embedding stream of one standing
+/// query (positives and negatives, in drain order).
+fn run_session(
+    query: QueryGraph,
+    events: &[StreamEvent],
+    mode: UpdateMode,
+    storage: Option<StorageConfig>,
+) -> (
+    Vec<EmbeddingKey>,
+    Vec<EmbeddingKey>,
+    mnemonic::core::stats::SpillSnapshot,
+) {
+    let mut builder = MnemonicSession::builder().sequential().update_mode(mode);
+    if let Some(storage) = storage {
+        builder = builder.storage(storage).spill(SpillConfig {
+            // A window far smaller than the stream: almost every edge takes
+            // the spill path, and with a tiny buffer it reaches the pages.
+            in_memory_window: 16,
+            buffer_capacity: 8,
+        });
+    }
+    let mut session = builder.build().expect("session builds");
+    let handle = session
+        .register_query(query, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+        .expect("query registers");
+    session
+        .run_events(events.iter().copied())
+        .expect("stream applies");
+    let drained = handle.drain();
+    (
+        drained.positive.iter().map(key).collect(),
+        drained.negative.iter().map(key).collect(),
+        handle.spill_stats(),
+    )
+}
+
+/// The core differential: identical signed embedding streams (order
+/// included — both sessions are sequential and share the batching rule)
+/// between the in-memory default and the paged spill tier.
+fn assert_paged_matches_in_memory(query: QueryGraph, events: &[StreamEvent], mode: UpdateMode) {
+    let (pos_mem, neg_mem, spill_mem) = run_session(query.clone(), events, mode, None);
+    let paged = StorageConfig::paged().page_size(4096).cache_pages(2);
+    let (pos_paged, neg_paged, spill_paged) = run_session(query, events, mode, Some(paged));
+
+    assert_eq!(
+        pos_mem, pos_paged,
+        "paged session diverged on positive embeddings"
+    );
+    assert_eq!(
+        neg_mem, neg_paged,
+        "paged session diverged on negative embeddings"
+    );
+    assert!(
+        !spill_mem.enabled,
+        "the in-memory reference must not run a spill tier"
+    );
+    assert!(spill_paged.enabled && spill_paged.paged);
+    assert_eq!(spill_paged.io_errors, 0, "paged I/O must be clean");
+    assert!(
+        spill_paged.edges_on_disk > 0,
+        "the window must actually evict through the paged path"
+    );
+    assert!(
+        spill_paged.resident_pages <= 2,
+        "resident pages exceeded the configured cache budget"
+    );
+    assert!(
+        spill_paged.compression_ratio() > 1.0,
+        "delta-varint pages should beat the flat encoding"
+    );
+}
+
+#[test]
+fn paged_triangle_per_edge_with_deletions_matches_in_memory() {
+    let mut rng = StdRng::seed_from_u64(81);
+    let events = random_stream(&mut rng, 12, 400, 0.25);
+    assert_paged_matches_in_memory(patterns::triangle(), &events, UpdateMode::PerEdge);
+}
+
+#[test]
+fn paged_triangle_batched_with_deletions_matches_in_memory() {
+    let mut rng = StdRng::seed_from_u64(82);
+    let events = random_stream(&mut rng, 12, 400, 0.25);
+    assert_paged_matches_in_memory(patterns::triangle(), &events, UpdateMode::Batched(16));
+}
+
+#[test]
+fn paged_path_query_batched_matches_in_memory() {
+    let mut rng = StdRng::seed_from_u64(83);
+    let events = random_stream(&mut rng, 10, 300, 0.2);
+    assert_paged_matches_in_memory(patterns::path(3), &events, UpdateMode::Batched(8));
+}
+
+#[test]
+fn paged_insert_only_stream_matches_in_memory() {
+    let mut rng = StdRng::seed_from_u64(84);
+    let events = random_stream(&mut rng, 14, 500, 0.0);
+    assert_paged_matches_in_memory(patterns::rectangle(), &events, UpdateMode::Batched(32));
+}
+
+/// A paged storage config with no explicit spill config must imply the
+/// spill tier (SpillConfig::default) instead of silently running without
+/// one.
+#[test]
+fn paged_storage_alone_implies_spill_tier() {
+    let mut session = MnemonicSession::builder()
+        .sequential()
+        .storage(StorageConfig::paged())
+        .build()
+        .expect("session builds");
+    let handle = session
+        .register_query(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .expect("query registers");
+    session
+        .run_events((0..32).map(|i| StreamEvent::insert(i, i + 1, 0).at(i as u64)))
+        .expect("stream applies");
+    let spill = handle.spill_stats();
+    assert!(spill.enabled && spill.paged);
+    assert!(session.spill_stats().is_some());
+    // The default window (1M edges) never evicts on 32 events, so the disk
+    // side stays empty — but the tier exists and reports.
+    assert_eq!(spill.io_errors, 0);
+}
+
+/// Window eviction bounds the page-cache footprint even when the stream is
+/// much larger than the cache: replay ~10x the cache budget in compressed
+/// bytes and check residency never exceeded the configured page count.
+#[test]
+fn paged_window_eviction_stays_within_cache_budget() {
+    let paged = StorageConfig::paged().page_size(4096).cache_pages(2);
+    let mut session = MnemonicSession::builder()
+        .sequential()
+        .update_mode(UpdateMode::Batched(64))
+        .storage(paged)
+        .spill(SpillConfig {
+            in_memory_window: 8,
+            buffer_capacity: 4,
+        })
+        .build()
+        .expect("session builds");
+    let handle = session
+        .register_query(
+            patterns::triangle(),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .expect("query registers");
+    let mut rng = StdRng::seed_from_u64(85);
+    let events = random_stream(&mut rng, 512, 16_000, 0.1);
+    session
+        .run_events(events.iter().copied())
+        .expect("stream applies");
+    let spill = handle.spill_stats();
+    assert!(
+        spill.edges_on_disk as usize > 12_000,
+        "stream mostly spilled"
+    );
+    assert!(
+        spill.compressed_bytes > 10 * 2 * 4096,
+        "the replay must cover ~10x the cache budget (got {} compressed bytes)",
+        spill.compressed_bytes
+    );
+    assert!(spill.resident_pages <= 2);
+    assert!(spill.cache.evictions > 0, "the cache must have churned");
+    // The page-cache counters surface through graph_stats too.
+    assert_eq!(session.graph_stats().page_cache, spill.cache);
+}
