@@ -60,7 +60,7 @@ if [ "$quick" != "quick" ]; then
     # see crates/bench/src/bin/shard_gate.rs).
     gate_step cargo run --release -q -p mnemonic-bench --bin shard_gate
     # Hot-path smoke check: the allocation-free dense ingest path must beat
-    # the retained pre-optimisation baseline path by >= 1.2x in batched
+    # the retained pre-optimisation baseline path by >= 1.4x in batched
     # ingest wall-clock, with identical embedding counts — the one gate that
     # measures a real single-thread wall-clock win on this box (see
     # crates/bench/src/bin/hot_path_gate.rs).

@@ -1,0 +1,127 @@
+//! Micro-benchmarks for the word-parallel kernel layer: `DenseBitSet` set
+//! algebra at several universe sizes, the batched DEBI row recompute, and
+//! the fused neighbour-label counting sweep that backs the filtering stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnemonic_core::debi::Debi;
+use mnemonic_graph::bitset::DenseBitSet;
+use mnemonic_graph::builder::GraphBuilder;
+use mnemonic_graph::ids::VertexId;
+use mnemonic_graph::profile::NeighborhoodProfile;
+use std::hint::black_box;
+
+/// A bitset with every `stride`-th bit of `bits` set.
+fn strided(bits: usize, stride: usize, offset: usize) -> DenseBitSet {
+    let mut set = DenseBitSet::new();
+    let mut i = offset;
+    while i < bits {
+        set.insert(i);
+        i += stride;
+    }
+    set
+}
+
+fn bitset_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_kernels");
+    for &bits in &[1_000usize, 64_000, 1_000_000] {
+        let a = strided(bits, 3, 0);
+        let b = strided(bits, 5, 1);
+        let mut out = DenseBitSet::new();
+
+        group.bench_function(BenchmarkId::new("intersect_into", bits), |bench| {
+            bench.iter(|| {
+                black_box(&a).intersect_into(black_box(&b), &mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("union_into", bits), |bench| {
+            bench.iter(|| {
+                black_box(&a).union_into(black_box(&b), &mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("difference_into", bits), |bench| {
+            bench.iter(|| {
+                black_box(&a).difference_into(black_box(&b), &mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("and_not_count", bits), |bench| {
+            bench.iter(|| black_box(black_box(&a).and_not_count(black_box(&b))))
+        });
+        group.bench_function(BenchmarkId::new("iter_and_sum", bits), |bench| {
+            bench.iter(|| black_box(black_box(&a).iter_and(black_box(&b)).sum::<usize>()))
+        });
+        group.bench_function(BenchmarkId::new("iter_sparse_sum", bits), |bench| {
+            // One bit per ~16 words: the bit-scan iterator's zero-word skip.
+            let sparse = strided(bits, 1024, 7);
+            bench.iter(|| black_box(black_box(&sparse).iter().sum::<usize>()))
+        });
+    }
+    group.finish();
+}
+
+fn debi_row_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("debi_row_recompute");
+    let edges = 100_000usize;
+    let mut debi = Debi::new(8);
+    debi.ensure_rows(edges);
+    // A frontier of every 7th edge, in the sorted order the top-down pass
+    // hands to the kernel.
+    let frontier: Vec<usize> = (0..edges).step_by(7).collect();
+
+    group.bench_function("batched_rows", |b| {
+        b.iter(|| {
+            debi.recompute_rows(black_box(&frontier), |edge| {
+                (edge as u64).wrapping_mul(0x9e37)
+            });
+        })
+    });
+    group.bench_function("per_column_sets", |b| {
+        b.iter(|| {
+            for &edge in black_box(&frontier) {
+                let row = (edge as u64).wrapping_mul(0x9e37);
+                for col in 0..8u16 {
+                    debi.set(edge, col, row & (1 << col) != 0);
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+fn label_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_counting");
+    // A hub vertex with 4096 neighbours across 16 edge labels (and repeat
+    // visits so the word-parallel dedup actually dedups).
+    let mut builder = GraphBuilder::new();
+    for i in 0..4_096u32 {
+        builder = builder
+            .vertex(i + 1, (i % 8) as u16)
+            .edge(0, i + 1, (i % 16) as u16)
+            .edge(0, (i % 512) + 1, ((i + 3) % 16) as u16);
+    }
+    let graph = builder.build();
+    let hub = VertexId(0);
+
+    group.bench_function("fused_profile_sweep", |b| {
+        let mut profile = NeighborhoodProfile::default();
+        b.iter(|| {
+            profile.collect(black_box(&graph), hub);
+            black_box(profile.out_edge_count(mnemonic_graph::ids::EdgeLabel(3)))
+        })
+    });
+    group.bench_function("per_label_rescans", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for l in 0..16u16 {
+                total += graph.out_label_count(hub, mnemonic_graph::ids::EdgeLabel(l));
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bitset_kernels, debi_row_recompute, label_counting);
+criterion_main!(benches);

@@ -33,8 +33,11 @@ use std::time::{Duration, Instant};
 /// `engine_batch_size` baseline in ROADMAP.md).
 const BATCH: usize = 512;
 /// Gate: the dense path must be at least this much faster than the retained
-/// baseline path in batched-ingest wall-clock.
-const MIN_SPEEDUP: f64 = 1.2;
+/// baseline path in batched-ingest wall-clock. Raised from 1.2x after the
+/// word-parallel kernel pass (fused candidacy profiles, batched DEBI row
+/// recompute, pooled embedding shells, hoisted enumeration invariants):
+/// measured 1.42-1.50x on the CI box, floored at 1.4x to absorb load drift.
+const MIN_SPEEDUP: f64 = 1.4;
 /// Runs per side (interleaved dense/baseline so box-load drift hits both
 /// sides equally); the medians are compared.
 const RUNS: usize = 7;

@@ -34,6 +34,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// headroom while keeping a row a single machine word.
 pub const MAX_DEBI_COLUMNS: usize = 64;
 
+/// Cache-blocking run length for [`Debi::recompute_rows`]: 256 rows of 8
+/// bytes each is two pages of row storage per run, small enough that a run's
+/// rows stay resident in L1 while its columns are fused, large enough to
+/// amortise the loop overhead. Parallel callers should hand whole
+/// `ROW_BLOCK`-sized chunks of a *sorted* edge-id list to worker threads so
+/// each thread touches a contiguous span of the row array.
+pub const ROW_BLOCK: usize = 256;
+
 /// Occupancy statistics of the index, used by the memory experiments.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DebiStats {
@@ -186,6 +194,50 @@ impl Debi {
             .unwrap_or(false)
     }
 
+    /// Recompute a batch of whole rows: for every edge id in `edges`, store
+    /// `row_of(edge)` (masked to the valid columns) with a single write —
+    /// the word-parallel replacement for per-`(edge, column)` [`Debi::set`]
+    /// round trips, which cost one atomic read-modify-write *per column*.
+    ///
+    /// `row_of` returns the full candidacy bitmap of the edge; returning `0`
+    /// clears the row, so dead edges need no separate [`Debi::clear_row`]
+    /// pass. Rows are processed in [`ROW_BLOCK`]-sized runs; callers that
+    /// sort `edges` ascending get contiguous row-array spans per run (the
+    /// cache-blocked layout the constant's docs describe). Every row must
+    /// exist (see [`Debi::ensure_rows`]).
+    ///
+    /// Thread safety follows the paper's argument: rows are atomics and two
+    /// threads never process the same edge, so disjoint `edges` slices can
+    /// be recomputed concurrently.
+    pub fn recompute_rows<F: Fn(usize) -> u64>(&self, edges: &[usize], row_of: F) {
+        let mask = self.column_mask();
+        for run in edges.chunks(ROW_BLOCK) {
+            for &edge in run {
+                self.rows[edge].store(row_of(edge) & mask, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Iterate over the vertex ids currently marked as root candidates
+    /// without materialising them: words of the roots bitmap are scanned
+    /// once, zero words skipped in one comparison, and set bits decoded with
+    /// `trailing_zeros`. Prefer this over [`Debi::root_candidates`] when the
+    /// candidates are consumed immediately (the from-scratch enumeration
+    /// path).
+    pub fn root_candidates_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.roots.iter().enumerate().flat_map(|(wi, word)| {
+            let mut bits = word.load(Ordering::Relaxed);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+        })
+    }
+
     /// Iterate over the vertex ids currently marked as root candidates.
     pub fn root_candidates(&self) -> Vec<usize> {
         let mut out = Vec::new();
@@ -327,6 +379,49 @@ mod tests {
         debi.ensure_rows(1);
         debi.write_row(0, u64::MAX);
         assert_eq!(debi.row(0), 0b1111);
+    }
+
+    #[test]
+    fn recompute_rows_matches_per_column_sets_and_clears_dead_rows() {
+        let mut debi = Debi::new(5);
+        debi.ensure_rows(600);
+        // Pre-dirty a row that the batch will overwrite with 0 (dead edge).
+        debi.set(3, 4, true);
+        let rows: Vec<usize> = (0..600).step_by(3).collect();
+        debi.recompute_rows(&rows, |e| if e == 3 { 0 } else { e as u64 });
+        let mut scalar = Debi::new(5);
+        scalar.ensure_rows(600);
+        for &e in &rows {
+            for c in 0..5u16 {
+                scalar.set(e, c, e != 3 && (e as u64) & (1 << c) != 0);
+            }
+        }
+        for e in 0..600 {
+            assert_eq!(debi.row(e), scalar.row(e), "row {e}");
+        }
+        assert_eq!(debi.row(3), 0, "dead row cleared by recompute_rows");
+    }
+
+    #[test]
+    fn recompute_rows_masks_invalid_columns() {
+        let mut debi = Debi::new(4);
+        debi.ensure_rows(2);
+        debi.recompute_rows(&[0, 1], |_| u64::MAX);
+        assert_eq!(debi.row(0), 0b1111);
+        assert_eq!(debi.row(1), 0b1111);
+    }
+
+    #[test]
+    fn root_candidates_iter_matches_materialised() {
+        let mut debi = Debi::new(3);
+        debi.ensure_roots(1000);
+        for v in [0usize, 63, 64, 130, 999] {
+            debi.set_root(v, true);
+        }
+        assert_eq!(
+            debi.root_candidates_iter().collect::<Vec<_>>(),
+            debi.root_candidates()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::debi::MAX_DEBI_COLUMNS;
 use mnemonic_graph::ids::{EdgeId, QueryEdgeId, QueryVertexId, VertexId};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -77,6 +78,33 @@ impl PartialEmbedding {
             bound_vertices: 0,
             bound_edges: 0,
         }
+    }
+
+    /// Ready a recycled embedding for a (possibly different) query shape.
+    ///
+    /// Clearing is bounded by the *old* query's counts, not the inline
+    /// capacity: every `Some` slot was bound under the old counts (the bind
+    /// methods range-check against them), so wiping that prefix restores the
+    /// all-`None` invariant without re-zeroing the full ~1.5 KiB of inline
+    /// arrays the way `PartialEmbedding::new` does. That memset — once per
+    /// work unit — was the last per-unit cost of the enumeration hot loop.
+    pub fn reset_for(&mut self, vertex_count: usize, edge_count: usize) {
+        for slot in &mut self.vertices[..self.vertex_count.min(MAX_QUERY_VERTICES)] {
+            *slot = None;
+        }
+        for slot in &mut self.edges[..self.edge_count.min(MAX_QUERY_EDGES)] {
+            *slot = None;
+        }
+        self.vertex_overflow.clear();
+        self.edge_overflow.clear();
+        self.vertex_overflow
+            .resize(vertex_count.saturating_sub(MAX_QUERY_VERTICES), None);
+        self.edge_overflow
+            .resize(edge_count.saturating_sub(MAX_QUERY_EDGES), None);
+        self.vertex_count = vertex_count;
+        self.edge_count = edge_count;
+        self.bound_vertices = 0;
+        self.bound_edges = 0;
     }
 
     #[inline]
@@ -200,18 +228,83 @@ impl PartialEmbedding {
     /// # Panics
     /// Panics if the embedding is not complete.
     pub fn freeze(&self) -> CompleteEmbedding {
-        CompleteEmbedding {
-            vertices: self.vertices[..self.vertex_count.min(MAX_QUERY_VERTICES)]
+        let mut out = CompleteEmbedding {
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        };
+        self.freeze_into(&mut out);
+        out
+    }
+
+    /// [`PartialEmbedding::freeze`] into a caller-provided shell: `out` is
+    /// cleared and refilled, so a recycled shell (see [`EmbeddingPool`])
+    /// makes the emit path allocation-free once its buffers are warm.
+    ///
+    /// # Panics
+    /// Panics if the embedding is not complete.
+    pub fn freeze_into(&self, out: &mut CompleteEmbedding) {
+        out.vertices.clear();
+        out.vertices.extend(
+            self.vertices[..self.vertex_count.min(MAX_QUERY_VERTICES)]
                 .iter()
                 .chain(self.vertex_overflow.iter())
-                .map(|b| b.expect("incomplete embedding: unbound vertex"))
-                .collect(),
-            edges: self.edges[..self.edge_count.min(MAX_QUERY_EDGES)]
+                .map(|b| b.expect("incomplete embedding: unbound vertex")),
+        );
+        out.edges.clear();
+        out.edges.extend(
+            self.edges[..self.edge_count.min(MAX_QUERY_EDGES)]
                 .iter()
                 .chain(self.edge_overflow.iter())
-                .map(|b| b.expect("incomplete embedding: unbound edge"))
-                .collect(),
-        }
+                .map(|b| b.expect("incomplete embedding: unbound edge")),
+        );
+    }
+}
+
+thread_local! {
+    static EMBEDDING_POOL: RefCell<Vec<CompleteEmbedding>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Thread-local recycling pool of [`CompleteEmbedding`] shells.
+///
+/// The enumeration emit path used to allocate two `Vec`s per embedding —
+/// even when the sink only counts the result and drops it. The pool closes
+/// that loop without any locking: the enumerator
+/// [acquires](EmbeddingPool::acquire) a shell (retained capacity, cleared
+/// contents), fills it with
+/// [`freeze_into`](PartialEmbedding::freeze_into), and a drop-only sink
+/// [releases](EmbeddingPool::release) it back to the emitting thread's pool.
+/// Sinks that keep the embedding (e.g. [`CollectingSink`]) simply never
+/// release, and the pool refills itself from fresh allocations.
+pub struct EmbeddingPool;
+
+impl EmbeddingPool {
+    /// Upper bound on retained shells per thread; beyond this, released
+    /// shells are dropped so a burst of in-flight embeddings cannot pin
+    /// memory forever.
+    const MAX_POOLED: usize = 256;
+
+    /// Take a cleared shell from this thread's pool, or a fresh empty one if
+    /// the pool is dry.
+    pub fn acquire() -> CompleteEmbedding {
+        EMBEDDING_POOL
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or(CompleteEmbedding {
+                vertices: Vec::new(),
+                edges: Vec::new(),
+            })
+    }
+
+    /// Return a shell to this thread's pool (contents cleared, capacity
+    /// kept). Call this from sinks that do not retain the embedding.
+    pub fn release(mut embedding: CompleteEmbedding) {
+        EMBEDDING_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < Self::MAX_POOLED {
+                embedding.vertices.clear();
+                embedding.edges.clear();
+                pool.push(embedding);
+            }
+        });
     }
 }
 
@@ -286,11 +379,13 @@ impl CountingSink {
 }
 
 impl EmbeddingSink for CountingSink {
-    fn accept(&self, _embedding: CompleteEmbedding, sign: Sign) {
+    fn accept(&self, embedding: CompleteEmbedding, sign: Sign) {
         match sign {
             Sign::Positive => self.positive.fetch_add(1, Ordering::Relaxed),
             Sign::Negative => self.negative.fetch_add(1, Ordering::Relaxed),
         };
+        // Counting sinks never retain the embedding — recycle its buffers.
+        EmbeddingPool::release(embedding);
     }
 
     fn count(&self) -> u64 {
@@ -400,6 +495,75 @@ mod tests {
         e.unbind_edge(QueryEdgeId(150));
         assert!(!e.is_complete());
         assert!(!e.uses_data_edge(EdgeId(150)));
+    }
+
+    #[test]
+    fn freeze_into_recycles_shell_capacity() {
+        let mut e = PartialEmbedding::new(3, 2);
+        for u in 0..3u16 {
+            e.bind_vertex(QueryVertexId(u), VertexId(u as u32 + 10));
+        }
+        e.bind_edge(QueryEdgeId(0), EdgeId(7));
+        e.bind_edge(QueryEdgeId(1), EdgeId(8));
+
+        let mut shell = CompleteEmbedding {
+            // Stale contents and pre-sized capacity: freeze_into must
+            // replace the former and reuse the latter.
+            vertices: vec![VertexId(99); 8],
+            edges: vec![EdgeId(99); 8],
+        };
+        let vertex_cap = shell.vertices.capacity();
+        e.freeze_into(&mut shell);
+        assert_eq!(shell, e.freeze());
+        assert_eq!(shell.vertices.capacity(), vertex_cap);
+    }
+
+    #[test]
+    fn embedding_pool_round_trips_shells() {
+        // Drain anything a previous test on this thread may have pooled.
+        while {
+            let shell = EmbeddingPool::acquire();
+            let fresh = shell.vertices.capacity() == 0 && shell.edges.capacity() == 0;
+            !fresh
+        } {}
+        let mut shell = EmbeddingPool::acquire();
+        shell.vertices.extend([VertexId(1), VertexId(2)]);
+        shell.edges.push(EdgeId(5));
+        let vertex_cap = shell.vertices.capacity();
+        EmbeddingPool::release(shell);
+        let recycled = EmbeddingPool::acquire();
+        assert!(recycled.vertices.is_empty() && recycled.edges.is_empty());
+        assert_eq!(
+            recycled.vertices.capacity(),
+            vertex_cap,
+            "released shell keeps its buffers"
+        );
+    }
+
+    #[test]
+    fn counting_sink_releases_into_pool() {
+        let sink = CountingSink::new();
+        let mut emb = CompleteEmbedding {
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        };
+        emb.vertices.reserve(32);
+        let cap = emb.vertices.capacity();
+        sink.accept(emb, Sign::Positive);
+        assert_eq!(sink.positive(), 1);
+        // The shell the sink consumed is available again on this thread.
+        let mut found = false;
+        for _ in 0..EmbeddingPool::MAX_POOLED {
+            let shell = EmbeddingPool::acquire();
+            if shell.vertices.capacity() == cap {
+                found = true;
+                break;
+            }
+            if shell.vertices.capacity() == 0 {
+                break;
+            }
+        }
+        assert!(found, "counted embedding's shell was recycled");
     }
 
     #[test]

@@ -11,17 +11,30 @@
 
 use crate::api::{EdgeMatcher, MatchSemantics, MatcherContext};
 use crate::debi::Debi;
-use crate::embedding::{EmbeddingSink, PartialEmbedding, Sign};
+use crate::embedding::{EmbeddingPool, EmbeddingSink, PartialEmbedding, Sign};
 use crate::filter::BottomUpPass;
 use crate::stats::EngineCounters;
 use mnemonic_graph::bitset::DenseBitSet;
 use mnemonic_graph::edge::Edge;
-use mnemonic_graph::ids::{EdgeId, QueryEdgeId};
+use mnemonic_graph::ids::QueryEdgeId;
 use mnemonic_graph::multigraph::StreamingGraph;
 use mnemonic_query::masking::MaskTable;
 use mnemonic_query::matching_order::{MatchingOrder, MatchingOrderSet};
 use mnemonic_query::query_graph::QueryGraph;
 use mnemonic_query::query_tree::QueryTree;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread recycled [`PartialEmbedding`] shell. A work unit's search
+    /// binds and unbinds in place, so the only per-unit cost of a fresh
+    /// embedding is `PartialEmbedding::new` zeroing its inline arrays
+    /// (~1.5 KiB) — at tens of thousands of units per batch that memset was
+    /// the largest remaining constant of the enumeration phase. The scratch
+    /// shell is instead re-readied with the count-bounded
+    /// [`PartialEmbedding::reset_for`].
+    static EMBEDDING_SCRATCH: RefCell<PartialEmbedding> =
+        RefCell::new(PartialEmbedding::new(0, 0));
+}
 
 /// One work unit: a batch data edge paired with the query edge it matches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,21 +160,31 @@ impl<'a> Enumerator<'a> {
 
     /// Run the backtracking search for one work unit.
     pub fn run_work_unit(&self, unit: WorkUnit) {
+        EMBEDDING_SCRATCH.with(|cell| {
+            let mut embedding = cell.borrow_mut();
+            embedding.reset_for(self.query.vertex_count(), self.query.edge_count());
+            self.run_work_unit_in(unit, &mut embedding);
+        });
+    }
+
+    /// [`Enumerator::run_work_unit`] against a caller-provided (recycled)
+    /// embedding, which must be freshly [`PartialEmbedding::reset_for`] this
+    /// query's shape. Bindings made here are *not* unwound on the early-exit
+    /// paths; the next `reset_for` clears them in O(query size).
+    fn run_work_unit_in(&self, unit: WorkUnit, embedding: &mut PartialEmbedding) {
         let order = self.orders.for_start(unit.start);
         let qe = self.query.edge(unit.start);
-        let mut embedding =
-            PartialEmbedding::new(self.query.vertex_count(), self.query.edge_count());
 
         // Bind the start edge and its endpoints, honouring the semantics.
         if !self
             .semantics
-            .edge_binding_allowed(&self.ctx(), &embedding, unit.start, &unit.edge)
+            .edge_binding_allowed(&self.ctx(), embedding, unit.start, &unit.edge)
         {
             return;
         }
         if !self
             .semantics
-            .vertex_binding_allowed(&embedding, qe.src, unit.edge.src)
+            .vertex_binding_allowed(embedding, qe.src, unit.edge.src)
         {
             return;
         }
@@ -169,7 +192,7 @@ impl<'a> Enumerator<'a> {
         if qe.src != qe.dst {
             if !self
                 .semantics
-                .vertex_binding_allowed(&embedding, qe.dst, unit.edge.dst)
+                .vertex_binding_allowed(embedding, qe.dst, unit.edge.dst)
             {
                 return;
             }
@@ -182,7 +205,7 @@ impl<'a> Enumerator<'a> {
 
         // Verify the non-tree edges already fully bound by the start, then
         // recurse over the steps.
-        self.verify_non_tree_list(order, &mut embedding, &order.initial_non_tree_checks, 0, 0);
+        self.verify_non_tree_list(order, embedding, &order.initial_non_tree_checks, 0, 0);
     }
 
     /// From-scratch enumeration: bind every root candidate in turn and follow
@@ -191,19 +214,27 @@ impl<'a> Enumerator<'a> {
     /// empty).
     pub fn run_from_scratch(&self) {
         let order = self.orders.full();
-        for v in self.debi.root_candidates() {
-            let v = mnemonic_graph::ids::VertexId(v as u32);
-            let mut embedding =
-                PartialEmbedding::new(self.query.vertex_count(), self.query.edge_count());
-            if !self
-                .semantics
-                .vertex_binding_allowed(&embedding, self.tree.root(), v)
-            {
-                continue;
+        EMBEDDING_SCRATCH.with(|cell| {
+            let mut embedding = cell.borrow_mut();
+            for v in self.debi.root_candidates_iter() {
+                let v = mnemonic_graph::ids::VertexId(v as u32);
+                embedding.reset_for(self.query.vertex_count(), self.query.edge_count());
+                if !self
+                    .semantics
+                    .vertex_binding_allowed(&embedding, self.tree.root(), v)
+                {
+                    continue;
+                }
+                embedding.bind_vertex(self.tree.root(), v);
+                self.verify_non_tree_list(
+                    order,
+                    &mut embedding,
+                    &order.initial_non_tree_checks,
+                    0,
+                    0,
+                );
             }
-            embedding.bind_vertex(self.tree.root(), v);
-            self.verify_non_tree_list(order, &mut embedding, &order.initial_non_tree_checks, 0, 0);
-        }
+        });
     }
 
     /// Verify the `pending` non-tree edges starting at `index`; once the list
@@ -228,12 +259,20 @@ impl<'a> Enumerator<'a> {
             return;
         };
         let ctx = self.ctx();
+        // The masking rule of Section VI is loop-invariant: whether query
+        // edge `q` is masked depends only on the order's start edge, so the
+        // per-candidate test reduces to one batch-bitset word probe.
+        let batch_masked = order
+            .start_edge()
+            .is_some_and(|start| self.mask.is_masked(start, q));
+        let shared_edges_ok = self.semantics.allow_shared_data_edges();
         // The candidate scan streams straight off the adjacency list
-        // (edges_between_iter) instead of materialising a Vec per
+        // (edges_between_iter_balanced, which picks the shorter of the two
+        // endpoint adjacencies) instead of materialising a Vec per
         // verification — this runs once per non-tree check per partial
         // embedding, the hottest allocation site of the old path.
         let mut scanned = 0u64;
-        for cand in self.graph.edges_between_iter(vs, vd) {
+        for cand in self.graph.edges_between_iter_balanced(vs, vd) {
             scanned += 1;
             if let Some(excluded) = self.exclude {
                 if excluded.contains(cand.id.index()) {
@@ -243,10 +282,10 @@ impl<'a> Enumerator<'a> {
             if !self.matcher.edge_matches(&ctx, q, &cand) {
                 continue;
             }
-            if self.is_masked_edge(order, q, cand.id) {
+            if batch_masked && self.batch.contains(cand.id.index()) {
                 continue;
             }
-            if !self.semantics.allow_shared_data_edges() && embedding.uses_data_edge(cand.id) {
+            if !shared_edges_ok && embedding.uses_data_edge(cand.id) {
                 continue;
             }
             if !self
@@ -266,7 +305,13 @@ impl<'a> Enumerator<'a> {
     fn extend(&self, order: &MatchingOrder, embedding: &mut PartialEmbedding, step_idx: usize) {
         if step_idx == order.steps.len() {
             if embedding.is_complete() {
-                self.sink.accept(embedding.freeze(), self.sign);
+                // Pooled emit: freeze into a recycled shell so counting-only
+                // sinks round-trip the buffers instead of allocating two
+                // Vecs per embedding (retaining sinks keep the shell and the
+                // pool backfills lazily).
+                let mut shell = EmbeddingPool::acquire();
+                embedding.freeze_into(&mut shell);
+                self.sink.accept(shell, self.sign);
                 EngineCounters::add(&self.counters.embeddings_emitted, 1);
             }
             return;
@@ -286,6 +331,14 @@ impl<'a> Enumerator<'a> {
         // getCandidates: scan the adjacency of the anchor in the direction
         // dictated by the tree edge and keep the edges whose DEBI bit for the
         // child column is set.
+        // Hoisted loop invariants: the Section VI masking verdict for this
+        // step's query edge (per candidate only the batch-bitset word probe
+        // remains) and the semantics' shared-edge policy (a virtual call).
+        let batch_masked = order
+            .start_edge()
+            .is_some_and(|start| self.mask.is_masked(start, te.query_edge));
+        let shared_edges_ok = self.semantics.allow_shared_data_edges();
+
         let anchor_is_parent = step.anchor_vertex == te.parent;
         let scan_outgoing = anchor_is_parent == te.child_is_dst;
         let entries = if scan_outgoing {
@@ -304,20 +357,19 @@ impl<'a> Enumerator<'a> {
             if !self.debi.get(entry.edge.index(), column) {
                 continue;
             }
-            let Some(edge) = self.graph.edge(entry.edge) else {
-                continue;
-            };
             // The data vertex that would be bound to the step's new vertex.
-            let new_data_vertex = if step.new_vertex == te.child {
-                if te.child_is_dst {
-                    edge.dst
-                } else {
-                    edge.src
-                }
-            } else if te.child_is_dst {
-                edge.src
+            // The adjacency entry already names both endpoints (the anchor
+            // and `entry.neighbor`), so the edge-store lookup is deferred to
+            // the candidates that survive the vertex-level checks.
+            let (data_src, data_dst) = if scan_outgoing {
+                (anchor, entry.neighbor)
             } else {
-                edge.dst
+                (entry.neighbor, anchor)
+            };
+            let new_data_vertex = if (step.new_vertex == te.child) == te.child_is_dst {
+                data_dst
+            } else {
+                data_src
             };
             if new_is_bound {
                 // Degenerate step: both endpoints already bound, the edge
@@ -332,12 +384,15 @@ impl<'a> Enumerator<'a> {
             ) {
                 continue;
             }
-            if self.is_masked_edge(order, te.query_edge, edge.id) {
+            if batch_masked && self.batch.contains(entry.edge.index()) {
                 continue;
             }
-            if !self.semantics.allow_shared_data_edges() && embedding.uses_data_edge(edge.id) {
+            if !shared_edges_ok && embedding.uses_data_edge(entry.edge) {
                 continue;
             }
+            let Some(edge) = self.graph.edge(entry.edge) else {
+                continue;
+            };
             if !self
                 .semantics
                 .edge_binding_allowed(&ctx, embedding, te.query_edge, &edge)
@@ -356,16 +411,6 @@ impl<'a> Enumerator<'a> {
                 embedding.unbind_vertex(step.new_vertex);
             }
         }
-    }
-
-    /// The masking rule of Section VI: during an enumeration started at query
-    /// edge `start`, query edges with a smaller canonical index must not be
-    /// matched to edges of the current batch.
-    fn is_masked_edge(&self, order: &MatchingOrder, q: QueryEdgeId, edge: EdgeId) -> bool {
-        let Some(start) = order.start_edge() else {
-            return false;
-        };
-        self.mask.is_masked(start, q) && self.batch.contains(edge.index())
     }
 }
 

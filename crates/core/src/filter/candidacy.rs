@@ -46,21 +46,34 @@ impl VertexCandidacy {
 
     /// Recompute the bitmask of data vertex `v` from the current graph state
     /// and store it. Returns the new mask. The cache must already cover `v`.
+    ///
+    /// This is the fused filtering kernel: one neighbourhood-profile sweep
+    /// per direction (collected into this thread's recycled scratch) answers
+    /// the f2/f3 counts for *every* query vertex at once, instead of
+    /// re-walking `v`'s adjacency run per `(query vertex, required label)`
+    /// pair as [`VertexRequirements::satisfied_by`] does.
+    ///
+    /// [`VertexRequirements::satisfied_by`]:
+    /// crate::filter::requirements::VertexRequirements::satisfied_by
     pub fn recompute(
         &self,
         graph: &StreamingGraph,
         requirements: &QueryRequirements,
         v: VertexId,
     ) -> u64 {
-        let mut mask = 0u64;
-        for u in 0..requirements.len() {
-            if requirements
-                .for_vertex(QueryVertexId(u as u16))
-                .satisfied_by(graph, v)
-            {
-                mask |= 1u64 << u;
+        let vertex_label = graph.vertex_label(v);
+        let mask = graph.with_neighborhood_profile(v, |profile| {
+            let mut mask = 0u64;
+            for u in 0..requirements.len() {
+                if requirements
+                    .for_vertex(QueryVertexId(u as u16))
+                    .satisfied_by_profile(vertex_label, profile)
+                {
+                    mask |= 1u64 << u;
+                }
             }
-        }
+            mask
+        });
         self.bits[v.index()].store(mask, Ordering::Relaxed);
         mask
     }
@@ -142,6 +155,42 @@ mod tests {
         assert!(!cand.is_candidate(VertexId(0), b)); // wrong vertex label
         cand.recompute(&graph, &reqs, VertexId(1));
         assert!(cand.is_candidate(VertexId(1), b));
+    }
+
+    #[test]
+    fn fused_recompute_agrees_with_baseline() {
+        // Mixed labels, wildcard edges, parallel edges and a self-loop: the
+        // fused profile kernel and the retained allocating baseline must
+        // produce identical masks for every vertex.
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VertexLabel(1));
+        let b = q.add_wildcard_vertex();
+        let c = q.add_vertex(VertexLabel(2));
+        q.add_edge(a, b, EdgeLabel(5));
+        q.add_edge(a, b, EdgeLabel(5));
+        q.add_edge(b, c, mnemonic_graph::ids::WILDCARD_EDGE_LABEL);
+        q.add_edge(c, a, EdgeLabel(7));
+        let reqs = QueryRequirements::build(&q);
+
+        let graph = GraphBuilder::new()
+            .vertex(0, 1)
+            .vertex(1, 2)
+            .vertex(2, u16::MAX)
+            .edge(0, 1, 5)
+            .edge(0, 1, 5)
+            .edge(0, 3, u16::MAX)
+            .edge(1, 2, 9)
+            .edge(2, 0, 7)
+            .edge(3, 3, 5)
+            .build();
+        let mut cand = VertexCandidacy::new();
+        cand.ensure(4);
+        for raw in 0u32..4 {
+            let v = VertexId(raw);
+            let fused = cand.recompute(&graph, &reqs, v);
+            let baseline = cand.recompute_baseline(&graph, &reqs, v);
+            assert_eq!(fused, baseline, "mask mismatch at v{raw}");
+        }
     }
 
     #[test]

@@ -14,9 +14,9 @@
 
 use mnemonic_graph::ids::{EdgeLabel, QueryVertexId, VertexLabel};
 use mnemonic_graph::multigraph::StreamingGraph;
+use mnemonic_graph::profile::NeighborhoodProfile;
 use mnemonic_graph::VertexId;
 use mnemonic_query::query_graph::QueryGraph;
-use std::collections::HashMap;
 
 /// Requirements of one query vertex.
 #[derive(Debug, Clone)]
@@ -56,6 +56,45 @@ impl VertexRequirements {
         }
         for &(label, need) in &self.in_neighbor_labels {
             if graph.in_neighbor_label_count(v, label) < need {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether a data vertex labelled `vertex_label` whose neighbourhood
+    /// statistics are `profile` satisfies every requirement. This is the
+    /// fused candidacy path: the profile is collected in one adjacency sweep
+    /// per direction
+    /// ([`StreamingGraph::with_neighborhood_profile`]), after which each
+    /// query vertex is checked in O(requirements) with no further graph
+    /// traffic — where [`VertexRequirements::satisfied_by`] re-walks the
+    /// adjacency run once per required label.
+    pub fn satisfied_by_profile(
+        &self,
+        vertex_label: VertexLabel,
+        profile: &NeighborhoodProfile,
+    ) -> bool {
+        if !self.label.matches(vertex_label) {
+            return false;
+        }
+        for &(label, need) in &self.out_edge_labels {
+            if profile.out_edge_count(label) < need {
+                return false;
+            }
+        }
+        for &(label, need) in &self.in_edge_labels {
+            if profile.in_edge_count(label) < need {
+                return false;
+            }
+        }
+        for &(label, need) in &self.out_neighbor_labels {
+            if profile.out_neighbor_count(label) < need {
+                return false;
+            }
+        }
+        for &(label, need) in &self.in_neighbor_labels {
+            if profile.in_neighbor_count(label) < need {
                 return false;
             }
         }
@@ -110,24 +149,46 @@ impl QueryRequirements {
     }
 
     fn build_vertex(query: &QueryGraph, u: QueryVertexId) -> VertexRequirements {
-        let mut out_edge_labels: HashMap<u16, usize> = HashMap::new();
-        let mut in_edge_labels: HashMap<u16, usize> = HashMap::new();
-        let mut out_neighbor_labels: HashMap<u16, usize> = HashMap::new();
-        let mut in_neighbor_labels: HashMap<u16, usize> = HashMap::new();
+        // Dense label-keyed accumulators instead of hashed maps: a query
+        // vertex has a handful of incident labels, so a linear probe of a
+        // small Vec beats SipHash even here on the cold path — and sorting
+        // by raw label makes the requirement order (and therefore the
+        // short-circuit order of `satisfied_by*`) deterministic.
+        fn bump(counts: &mut Vec<(u16, usize)>, label: u16) {
+            match counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((label, 1)),
+            }
+        }
+
+        let mut out_edge_labels: Vec<(u16, usize)> = Vec::new();
+        let mut in_edge_labels: Vec<(u16, usize)> = Vec::new();
+        let mut out_neighbor_labels: Vec<(u16, usize)> = Vec::new();
+        let mut in_neighbor_labels: Vec<(u16, usize)> = Vec::new();
 
         for entry in query.outgoing(u) {
             let e = query.edge(entry.edge);
-            *out_edge_labels.entry(e.label.0).or_insert(0) += 1;
-            *out_neighbor_labels
-                .entry(query.vertex_label(entry.neighbor).0)
-                .or_insert(0) += 1;
+            bump(&mut out_edge_labels, e.label.0);
+            bump(
+                &mut out_neighbor_labels,
+                query.vertex_label(entry.neighbor).0,
+            );
         }
         for entry in query.incoming(u) {
             let e = query.edge(entry.edge);
-            *in_edge_labels.entry(e.label.0).or_insert(0) += 1;
-            *in_neighbor_labels
-                .entry(query.vertex_label(entry.neighbor).0)
-                .or_insert(0) += 1;
+            bump(&mut in_edge_labels, e.label.0);
+            bump(
+                &mut in_neighbor_labels,
+                query.vertex_label(entry.neighbor).0,
+            );
+        }
+        for counts in [
+            &mut out_edge_labels,
+            &mut in_edge_labels,
+            &mut out_neighbor_labels,
+            &mut in_neighbor_labels,
+        ] {
+            counts.sort_unstable_by_key(|&(l, _)| l);
         }
 
         VertexRequirements {
@@ -221,6 +282,64 @@ mod tests {
         assert!(!reqs.for_vertex(a).satisfied_by(&graph, VertexId(1)));
         // v1 satisfies u1 (label 2, needs one incoming label-5 edge from a label-1 vertex).
         assert!(reqs.for_vertex(b).satisfied_by(&graph, VertexId(1)));
+    }
+
+    #[test]
+    fn requirement_lists_are_sorted_by_label() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VertexLabel(1));
+        let b = q.add_vertex(VertexLabel(9));
+        let c = q.add_vertex(VertexLabel(2));
+        q.add_edge(a, b, EdgeLabel(8));
+        q.add_edge(a, c, EdgeLabel(3));
+        q.add_edge(a, b, EdgeLabel(8));
+        let reqs = QueryRequirements::build(&q);
+        let ra = reqs.for_vertex(a);
+        assert_eq!(
+            ra.out_edge_labels,
+            vec![(EdgeLabel(3), 1), (EdgeLabel(8), 2)]
+        );
+        assert_eq!(
+            ra.out_neighbor_labels,
+            vec![(VertexLabel(2), 1), (VertexLabel(9), 2)]
+        );
+    }
+
+    #[test]
+    fn satisfied_by_profile_agrees_with_graph_scans() {
+        let mut q = QueryGraph::new();
+        let a = q.add_vertex(VertexLabel(1));
+        let b = q.add_vertex(VertexLabel(2));
+        let c = q.add_wildcard_vertex();
+        q.add_edge(a, b, EdgeLabel(5));
+        q.add_edge(a, c, WILDCARD_EDGE_LABEL);
+        q.add_edge(b, a, EdgeLabel(6));
+        let reqs = QueryRequirements::build(&q);
+
+        let graph = GraphBuilder::new()
+            .vertex(0, 1)
+            .vertex(1, 2)
+            .vertex(3, 1)
+            .edge(0, 1, 5)
+            .edge(0, 2, 7)
+            .edge(1, 0, 6)
+            .edge(3, 1, 5)
+            .build();
+
+        let mut profile = NeighborhoodProfile::default();
+        for raw in 0u32..4 {
+            let v = VertexId(raw);
+            profile.collect(&graph, v);
+            let vlabel = graph.vertex_label(v);
+            for u in [a, b, c] {
+                let r = reqs.for_vertex(u);
+                assert_eq!(
+                    r.satisfied_by_profile(vlabel, &profile),
+                    r.satisfied_by(&graph, v),
+                    "v={raw} u={u:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,15 +17,52 @@
 //! bottom-up pruning of the enumeration work units.
 
 use crate::api::{EdgeMatcher, MatcherContext};
-use crate::debi::Debi;
+use crate::debi::{Debi, MAX_DEBI_COLUMNS, ROW_BLOCK};
 use crate::filter::candidacy::VertexCandidacy;
 use crate::filter::requirements::QueryRequirements;
 use crate::frontier::UnifiedFrontier;
 use crate::stats::EngineCounters;
+use mnemonic_graph::ids::{EdgeId, QueryEdgeId};
 use mnemonic_graph::multigraph::StreamingGraph;
 use mnemonic_query::query_graph::QueryGraph;
 use mnemonic_query::query_tree::QueryTree;
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Recycled sorted edge-id list for the batched row recompute; sorting
+    /// the frontier's affected edges makes each [`ROW_BLOCK`] run a
+    /// contiguous span of the DEBI row array.
+    static ROW_ORDER_SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One query-tree edge, pre-resolved to plain bitmasks so the row kernel
+/// tests candidacy with two AND operations per column instead of re-deriving
+/// the DEBI column and re-loading both endpoint masks per `(edge, column)`
+/// pair.
+#[derive(Clone, Copy)]
+struct ColumnPlan {
+    /// Bit of this tree edge's DEBI column.
+    row_bit: u64,
+    /// Candidacy-mask bit of the parent query vertex.
+    parent_bit: u64,
+    /// Candidacy-mask bit of the child query vertex.
+    child_bit: u64,
+    /// Whether the child maps to the data edge's destination endpoint.
+    child_is_dst: bool,
+    /// The query edge the matcher is consulted about.
+    query_edge: QueryEdgeId,
+}
+
+impl ColumnPlan {
+    const EMPTY: ColumnPlan = ColumnPlan {
+        row_bit: 0,
+        parent_bit: 0,
+        child_bit: 0,
+        child_is_dst: false,
+        query_edge: QueryEdgeId(0),
+    };
+}
 
 /// Immutable inputs of the top-down pass.
 pub struct TopDownPass<'a> {
@@ -109,37 +146,99 @@ impl<'a> TopDownPass<'a> {
 
         // Phase 3: recompute DEBI rows of affected edges in BFS column order.
         let tree_edges = self.tree.tree_edges();
-        let recompute_row = |edge_id: &mnemonic_graph::ids::EdgeId| {
-            let Some(edge) = self.graph.edge(*edge_id) else {
-                // The edge died earlier in this batch; clear its row.
-                debi.clear_row(edge_id.index());
-                return;
+        if baseline_candidacy {
+            // Retained pre-optimisation row kernel (`hot_path_gate` A/B):
+            // per tree edge, re-derive the DEBI column and probe candidacy
+            // bit-at-a-time through `is_candidate`.
+            let recompute_row = |edge_id: &EdgeId| {
+                let Some(edge) = self.graph.edge(*edge_id) else {
+                    // The edge died earlier in this batch; clear its row.
+                    debi.clear_row(edge_id.index());
+                    return;
+                };
+                let mut row = 0u64;
+                for te in tree_edges {
+                    let column = self
+                        .tree
+                        .debi_column(te.child)
+                        .expect("non-root child always has a column");
+                    let (vp, vc) = if te.child_is_dst {
+                        (edge.src, edge.dst)
+                    } else {
+                        (edge.dst, edge.src)
+                    };
+                    let bit = self.matcher.edge_matches(&ctx, te.query_edge, &edge)
+                        && candidacy.is_candidate(vp, te.parent)
+                        && candidacy.is_candidate(vc, te.child);
+                    if bit {
+                        row |= 1u64 << column;
+                    }
+                }
+                debi.write_row(edge_id.index(), row);
             };
-            let mut row = 0u64;
-            for te in tree_edges {
+            if parallel {
+                frontier.affected_edges.par_iter().for_each(recompute_row);
+            } else {
+                frontier.affected_edges.iter().for_each(recompute_row);
+            }
+        } else {
+            // Batched row kernel: hoist the per-column constants (DEBI
+            // column bit, endpoint candidacy bits, query edge) out of the
+            // edge loop once per pass, then recompute whole rows in sorted
+            // cache-blocked runs — one candidacy-mask load per endpoint per
+            // edge and one row store per edge, with the two mask ANDs
+            // short-circuiting ahead of the dynamic matcher call.
+            let mut plans = [ColumnPlan::EMPTY; MAX_DEBI_COLUMNS];
+            for (plan, te) in plans.iter_mut().zip(tree_edges) {
                 let column = self
                     .tree
                     .debi_column(te.child)
                     .expect("non-root child always has a column");
-                let (vp, vc) = if te.child_is_dst {
-                    (edge.src, edge.dst)
-                } else {
-                    (edge.dst, edge.src)
+                *plan = ColumnPlan {
+                    row_bit: 1u64 << column,
+                    parent_bit: 1u64 << te.parent.index(),
+                    child_bit: 1u64 << te.child.index(),
+                    child_is_dst: te.child_is_dst,
+                    query_edge: te.query_edge,
                 };
-                let bit = self.matcher.edge_matches(&ctx, te.query_edge, &edge)
-                    && candidacy.is_candidate(vp, te.parent)
-                    && candidacy.is_candidate(vc, te.child);
-                if bit {
-                    row |= 1u64 << column;
-                }
             }
-            debi.write_row(edge_id.index(), row);
-        };
-
-        if parallel {
-            frontier.affected_edges.par_iter().for_each(recompute_row);
-        } else {
-            frontier.affected_edges.iter().for_each(recompute_row);
+            let plans = &plans[..tree_edges.len()];
+            let row_of = |edge_idx: usize| -> u64 {
+                let Some(edge) = self.graph.edge(EdgeId(edge_idx as u32)) else {
+                    // Dead edge: a zero row clears the recycled slot.
+                    return 0;
+                };
+                let src_mask = candidacy.mask(edge.src);
+                let dst_mask = candidacy.mask(edge.dst);
+                let mut row = 0u64;
+                for plan in plans {
+                    let (parent_mask, child_mask) = if plan.child_is_dst {
+                        (src_mask, dst_mask)
+                    } else {
+                        (dst_mask, src_mask)
+                    };
+                    if parent_mask & plan.parent_bit != 0
+                        && child_mask & plan.child_bit != 0
+                        && self.matcher.edge_matches(&ctx, plan.query_edge, &edge)
+                    {
+                        row |= plan.row_bit;
+                    }
+                }
+                row
+            };
+            ROW_ORDER_SCRATCH.with(|cell| {
+                let mut order = cell.borrow_mut();
+                order.clear();
+                order.extend(frontier.affected_edges.iter().map(|e| e.index()));
+                order.sort_unstable();
+                if parallel {
+                    order
+                        .par_chunks(ROW_BLOCK)
+                        .for_each(|run| debi.recompute_rows(run, row_of));
+                } else {
+                    debi.recompute_rows(&order, row_of);
+                }
+            });
         }
 
         EngineCounters::add(

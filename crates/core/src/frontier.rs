@@ -219,9 +219,11 @@ impl FrontierScratch {
 
         for edge in &frontier.batch_edges {
             frontier.batch_edge_ids.insert(edge.id.index());
-            self.edge_seen.insert(edge.id.index());
             frontier.affected_edges.push(edge.id);
         }
+        // Seed the dedup set from the batch mask in one word-parallel merge
+        // instead of re-inserting the batch edge ids bit by bit.
+        self.edge_seen.union_with(&frontier.batch_edge_ids);
         for edge in &frontier.batch_edges {
             for v in [edge.src, edge.dst] {
                 if self.vertex_seen.insert(v.index()) {

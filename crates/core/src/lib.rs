@@ -74,7 +74,8 @@ pub use api::{
 };
 pub use debi::{Debi, DebiStats};
 pub use embedding::{
-    CollectingSink, CompleteEmbedding, CountingSink, EmbeddingSink, PartialEmbedding, Sign,
+    CollectingSink, CompleteEmbedding, CountingSink, EmbeddingPool, EmbeddingSink,
+    PartialEmbedding, Sign,
 };
 pub use engine::{BatchResult, EngineConfig, Mnemonic};
 pub use enumerate::{Enumerator, WorkUnit};

@@ -157,6 +157,10 @@ pub(crate) struct BatchScratch {
     pub(crate) units: Mutex<UnitScratch>,
     /// Dedup set of [`DeletionResolve`].
     pub(crate) resolve_seen: Mutex<DenseBitSet>,
+    /// Batch-insertion id set reused by the deferred-epoch carryover: built
+    /// once per batch, then merged into every parked epoch's exclusion set
+    /// word-at-a-time (`union_with`).
+    pub(crate) carryover_ids: Mutex<DenseBitSet>,
     /// Recycled batch shells with retained capacity.
     spare_batches: Mutex<Vec<DeltaBatch>>,
 }

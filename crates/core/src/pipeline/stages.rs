@@ -455,6 +455,14 @@ fn drain_query_deferred(session: &MnemonicSession, qi: usize, budget: Option<Que
     // that did *not* run.
     let mut cut: Option<(usize, usize)> = None;
     'epochs: for (ei, epoch) in epochs.iter().enumerate() {
+        // Carry-over invariant: the exclusion set only holds edges inserted
+        // *after* the epoch's own batch, so it is disjoint from the batch
+        // mask — checked here with a word-parallel popcount.
+        debug_assert_eq!(
+            epoch.batch_ids.and_not_count(&epoch.exclude),
+            epoch.batch_ids.len(),
+            "deferred epoch's exclusion set overlaps its batch mask"
+        );
         let enumerator = Enumerator {
             graph: &session.graph,
             query: &qs.query,

@@ -1140,12 +1140,18 @@ impl MnemonicSession {
     /// [`GraphUpdate::apply_insertions`] resolved events to edge ids and
     /// before [`Enumerate`] can park this batch's own work units.
     fn note_inserted_edges_for_carryover(&self, batch: &DeltaBatch) {
+        // Build the batch's inserted-id set once, then fold it into every
+        // parked epoch's exclusion set with one word-parallel merge per
+        // epoch instead of |inserted| bit probes per epoch.
+        let mut ids = self.scratch.carryover_ids.lock();
+        ids.clear();
+        for edge in &batch.inserted {
+            ids.insert(edge.id.index());
+        }
         for qs in &self.queries {
             let mut deferred = qs.deferred.lock();
             for epoch in deferred.iter_mut() {
-                for edge in &batch.inserted {
-                    epoch.exclude.insert(edge.id.index());
-                }
+                epoch.exclude.union_with(&ids);
             }
         }
     }

@@ -1,4 +1,5 @@
-//! Dense bitsets over recycled id spaces.
+//! Dense bitsets over recycled id spaces, plus the word-parallel kernel
+//! layer used by the hot path.
 //!
 //! Every hot identifier in Mnemonic — `EdgeId`, `VertexId` — is *dense*: the
 //! substrate allocates ids contiguously from zero and recycles the slots of
@@ -16,6 +17,37 @@
 //! * iteration visits set bits in ascending id order, which keeps every
 //!   consumer deterministic — the property the differential and determinism
 //!   suites pin down.
+//!
+//! # Word layout invariants
+//!
+//! The kernels below depend on three invariants that every mutating method
+//! preserves:
+//!
+//! 1. **64 indices per word.** Index `i` lives at bit `i % 64` of word
+//!    `i / 64`; set algebra over two sets is therefore plain `u64` bitwise
+//!    algebra over their word arrays, 64 memberships per instruction.
+//! 2. **Stale words read as zero.** `words[wi]` is only meaningful when
+//!    `stamps[wi] == epoch`; every kernel normalises through the
+//!    stamp-checked private `word` accessor, so a
+//!    generation-cleared set participates in word algebra exactly as an
+//!    all-zero set would.
+//! 3. **`len` is the popcount.** Kernels that write words maintain `len`
+//!    with `count_ones` on the words they touch, never by per-bit probing.
+//!
+//! Decoding a word back to indices uses `trailing_zeros` plus the
+//! `bits &= bits - 1` clear-lowest-set-bit step, so sparse words cost one
+//! iteration per *set bit*, not per index.
+//!
+//! # When `iter_and` beats materialising
+//!
+//! [`DenseBitSet::intersect_into`] writes the intersection into a third set;
+//! [`DenseBitSet::iter_and`] streams the same bits without writing anything.
+//! Materialise when the result is consumed more than once (or must outlive
+//! the inputs); stream with `iter_and` when the intersection is consumed
+//! exactly once in ascending order — it touches each input word once and
+//! never allocates or dirties an output cache line. Counting-only consumers
+//! should prefer [`DenseBitSet::and_not_count`]-style popcount kernels,
+//! which skip the bit decode entirely.
 //!
 //! Correctness under id recycling: a recycled `EdgeId` is *the same index*
 //! as its dead predecessor, so a bitset keyed by edge id never aliases two
@@ -147,18 +179,183 @@ impl DenseBitSet {
     }
 
     /// Iterate over the set indices in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.words.len()).flat_map(move |wi| {
-            let mut bits = self.word(wi);
-            std::iter::from_fn(move || {
-                if bits == 0 {
-                    return None;
-                }
-                let tz = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                Some(wi * 64 + tz)
-            })
-        })
+    ///
+    /// The iterator walks words, not indices: zero and generation-stale
+    /// words are skipped in one comparison each, and set bits are decoded
+    /// with `trailing_zeros`, so a sparse set over a large capacity costs
+    /// O(words + set bits) rather than O(capacity).
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits {
+            set: self,
+            wi: 0,
+            bits: self.word(0),
+        }
+    }
+
+    /// Write `self & other` into `out` (word-at-a-time; `out` is cleared
+    /// first, capacity retained).
+    pub fn intersect_into(&self, other: &DenseBitSet, out: &mut DenseBitSet) {
+        out.clear();
+        let n = self.words.len().min(other.words.len());
+        out.ensure(n * 64);
+        let mut len = 0usize;
+        for wi in 0..n {
+            let w = self.word(wi) & other.word(wi);
+            if w != 0 {
+                out.words[wi] = w;
+                out.stamps[wi] = out.epoch;
+                len += w.count_ones() as usize;
+            }
+        }
+        out.len = len;
+    }
+
+    /// Write `self | other` into `out` (word-at-a-time; `out` is cleared
+    /// first, capacity retained).
+    pub fn union_into(&self, other: &DenseBitSet, out: &mut DenseBitSet) {
+        out.clear();
+        let n = self.words.len().max(other.words.len());
+        out.ensure(n * 64);
+        let mut len = 0usize;
+        for wi in 0..n {
+            let w = self.word(wi) | other.word(wi);
+            if w != 0 {
+                out.words[wi] = w;
+                out.stamps[wi] = out.epoch;
+                len += w.count_ones() as usize;
+            }
+        }
+        out.len = len;
+    }
+
+    /// Write `self & !other` into `out` (word-at-a-time; `out` is cleared
+    /// first, capacity retained).
+    pub fn difference_into(&self, other: &DenseBitSet, out: &mut DenseBitSet) {
+        out.clear();
+        let n = self.words.len();
+        out.ensure(n * 64);
+        let mut len = 0usize;
+        for wi in 0..n {
+            let w = self.word(wi) & !other.word(wi);
+            if w != 0 {
+                out.words[wi] = w;
+                out.stamps[wi] = out.epoch;
+                len += w.count_ones() as usize;
+            }
+        }
+        out.len = len;
+    }
+
+    /// `|self & !other|` — the number of bits of `self` missing from
+    /// `other`, by pure word popcount (no bit decode, no allocation).
+    ///
+    /// `and_not_count(other) == 0` is the word-parallel subset test.
+    pub fn and_not_count(&self, other: &DenseBitSet) -> usize {
+        let mut count = 0usize;
+        for wi in 0..self.words.len() {
+            let w = self.word(wi) & !other.word(wi);
+            count += w.count_ones() as usize;
+        }
+        count
+    }
+
+    /// Iterate `self & other` in ascending order without materialising the
+    /// intersection (see the module docs for when this beats
+    /// [`DenseBitSet::intersect_into`]).
+    pub fn iter_and<'a>(&'a self, other: &'a DenseBitSet) -> AndBits<'a> {
+        let n = self.words.len().min(other.words.len());
+        AndBits {
+            a: self,
+            b: other,
+            n,
+            wi: 0,
+            bits: if n == 0 {
+                0
+            } else {
+                self.word(0) & other.word(0)
+            },
+        }
+    }
+
+    /// Merge `other` into `self` in place (`self |= other`), one `u64` word
+    /// at a time. Grows `self` as needed; `len` is maintained by popcount of
+    /// the newly set bits, and zero words of `other` are skipped without
+    /// touching `self`'s words at all.
+    pub fn union_with(&mut self, other: &DenseBitSet) {
+        let n = other.words.len();
+        if n > self.words.len() {
+            self.ensure(n * 64);
+        }
+        for wi in 0..n {
+            let ow = other.word(wi);
+            if ow == 0 {
+                continue;
+            }
+            let cur = if self.stamps[wi] == self.epoch {
+                self.words[wi]
+            } else {
+                0
+            };
+            self.len += (ow & !cur).count_ones() as usize;
+            self.words[wi] = cur | ow;
+            self.stamps[wi] = self.epoch;
+        }
+    }
+}
+
+/// Ascending iterator over the set bits of a [`DenseBitSet`], skipping zero
+/// and generation-stale words via bit-scan (`trailing_zeros`).
+pub struct SetBits<'a> {
+    set: &'a DenseBitSet,
+    wi: usize,
+    bits: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.bits == 0 {
+            self.wi += 1;
+            if self.wi >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.word(self.wi);
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.wi * 64 + tz)
+    }
+}
+
+/// Ascending iterator over the intersection of two [`DenseBitSet`]s,
+/// produced by [`DenseBitSet::iter_and`]. ANDs one word pair at a time and
+/// bit-scans only non-zero products; nothing is materialised.
+pub struct AndBits<'a> {
+    a: &'a DenseBitSet,
+    b: &'a DenseBitSet,
+    /// Number of word pairs to visit (`min` of the two word counts).
+    n: usize,
+    wi: usize,
+    bits: u64,
+}
+
+impl Iterator for AndBits<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.bits == 0 {
+            self.wi += 1;
+            if self.wi >= self.n {
+                return None;
+            }
+            self.bits = self.a.word(self.wi) & self.b.word(self.wi);
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.wi * 64 + tz)
     }
 }
 
@@ -227,6 +424,14 @@ mod tests {
     }
 
     #[test]
+    fn iter_skips_zero_word_runs() {
+        let mut set = DenseBitSet::with_capacity(1 << 20);
+        set.insert(0);
+        set.insert(999_999);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 999_999]);
+    }
+
+    #[test]
     fn epoch_wraparound_hard_clears() {
         let mut set = DenseBitSet::with_capacity(64);
         set.insert(3);
@@ -259,5 +464,91 @@ mod tests {
         set.insert(3);
         assert!(!set.contains(9999));
         assert!(!set.remove(9999));
+    }
+
+    fn from_indices(indices: &[usize]) -> DenseBitSet {
+        indices.iter().copied().collect()
+    }
+
+    #[test]
+    fn intersect_into_matches_scalar_and_recycles_out() {
+        let a = from_indices(&[1, 64, 65, 200, 1000]);
+        let b = from_indices(&[0, 64, 200, 999]);
+        let mut out = DenseBitSet::new();
+        // Pre-dirty `out` to prove intersect_into clears it first.
+        out.insert(7);
+        a.intersect_into(&b, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![64, 200]);
+        assert_eq!(out.len(), 2);
+        assert!(!out.contains(7));
+    }
+
+    #[test]
+    fn union_into_covers_unequal_capacities() {
+        let a = from_indices(&[1, 63]);
+        let b = from_indices(&[64, 1000]);
+        let mut out = DenseBitSet::new();
+        a.union_into(&b, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![1, 63, 64, 1000]);
+        assert_eq!(out.len(), 4);
+        // Symmetric: the larger set on the left.
+        b.union_into(&a, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![1, 63, 64, 1000]);
+    }
+
+    #[test]
+    fn difference_into_and_and_not_count_agree() {
+        let a = from_indices(&[1, 64, 65, 200]);
+        let b = from_indices(&[64, 200, 999]);
+        let mut out = DenseBitSet::new();
+        a.difference_into(&b, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![1, 65]);
+        assert_eq!(a.and_not_count(&b), 2);
+        assert_eq!(b.and_not_count(&a), 1);
+        // Subset test via and_not_count.
+        let sub = from_indices(&[64, 200]);
+        assert_eq!(sub.and_not_count(&a), 0);
+    }
+
+    #[test]
+    fn iter_and_streams_the_intersection() {
+        let a = from_indices(&[1, 64, 65, 200, 1000]);
+        let b = from_indices(&[0, 64, 200, 999, 1000]);
+        assert_eq!(a.iter_and(&b).collect::<Vec<_>>(), vec![64, 200, 1000]);
+        assert_eq!(b.iter_and(&a).collect::<Vec<_>>(), vec![64, 200, 1000]);
+        let empty = DenseBitSet::new();
+        assert_eq!(a.iter_and(&empty).count(), 0);
+        assert_eq!(empty.iter_and(&a).count(), 0);
+    }
+
+    #[test]
+    fn union_with_merges_in_place_and_tracks_len() {
+        let mut a = from_indices(&[1, 64]);
+        let b = from_indices(&[64, 65, 1000]);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 64, 65, 1000]);
+        assert_eq!(a.len(), 4);
+        // Merging again is idempotent.
+        a.union_with(&b);
+        assert_eq!(a.len(), 4);
+        // Merging into a generation-cleared set works off the fresh epoch.
+        a.clear();
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![64, 65, 1000]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn kernels_respect_generation_clears_on_inputs() {
+        let mut a = from_indices(&[3, 70]);
+        let b = from_indices(&[3, 70, 100]);
+        a.clear();
+        a.insert(100);
+        let mut out = DenseBitSet::new();
+        a.intersect_into(&b, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![100]);
+        assert_eq!(a.and_not_count(&b), 0);
+        a.union_into(&b, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![3, 70, 100]);
     }
 }

@@ -32,6 +32,7 @@ pub mod edge;
 pub mod edge_log;
 pub mod ids;
 pub mod multigraph;
+pub mod profile;
 pub mod recycle;
 pub mod spill;
 pub mod stats;
@@ -39,7 +40,7 @@ pub mod storage;
 
 pub use adjacency::{AdjEntry, AdjacencyTable, VertexAdjacency};
 pub use attributes::{AttrKey, AttrValue, EdgeAttributeStore, VertexAttributeStore};
-pub use bitset::DenseBitSet;
+pub use bitset::{AndBits, DenseBitSet, SetBits};
 pub use builder::{paper_example_graph, GraphBuilder};
 pub use edge::{Direction, Edge, EdgeRecord, EdgeTriple};
 pub use edge_log::{EdgeLog, EdgeLogStats, LogFetchIter, LogRecord, LogScanIter};
@@ -48,6 +49,7 @@ pub use ids::{
     WILDCARD_EDGE_LABEL, WILDCARD_VERTEX_LABEL,
 };
 pub use multigraph::{GraphConfig, GraphError, StreamingGraph};
+pub use profile::{LabelCounter, NeighborhoodProfile};
 pub use recycle::EdgeRecycler;
 pub use spill::{SpillConfig, SpillManager, SpillStats};
 pub use stats::GraphStats;

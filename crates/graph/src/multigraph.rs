@@ -350,6 +350,30 @@ impl StreamingGraph {
             .filter_map(|entry| self.edge(entry.edge))
     }
 
+    /// Like [`StreamingGraph::edges_between_iter`], but scans whichever
+    /// adjacency side is smaller — `outgoing(src)` or `incoming(dst)` — so a
+    /// hub endpoint on one side does not force a long scan when the other
+    /// endpoint has few edges. Yields the same edge set; the order follows
+    /// the chosen side's adjacency order (callers that need the fixed
+    /// outgoing order keep using `edges_between_iter`).
+    pub fn edges_between_iter_balanced(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+    ) -> impl Iterator<Item = Edge> + '_ {
+        let out = self.adjacency.outgoing(src);
+        let inc = self.adjacency.incoming(dst);
+        let (entries, other) = if out.len() <= inc.len() {
+            (out, dst)
+        } else {
+            (inc, src)
+        };
+        entries
+            .iter()
+            .filter(move |entry| entry.neighbor == other)
+            .filter_map(|entry| self.edge(entry.edge))
+    }
+
     /// All live edges between `src` and `dst`, materialised. Convenience
     /// wrapper over [`StreamingGraph::edges_between_iter`] for callers that
     /// need an owned list.

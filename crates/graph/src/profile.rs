@@ -1,0 +1,333 @@
+//! Fused neighbourhood-label counting for the filtering stage.
+//!
+//! The candidacy refresh (filtering rules f1–f3) needs, for one data vertex
+//! `v`, the per-label counts of its incident live edges and of its
+//! *distinct* neighbours, in both directions. The scalar formulation asks
+//! the graph one question per `(query vertex, required label)` pair —
+//! [`StreamingGraph::out_label_count`] and friends — and each question
+//! re-walks the packed adjacency run of `v`. With `q` query vertices that is
+//! `O(q · degree)` adjacency traffic for information that a single pass can
+//! collect.
+//!
+//! [`NeighborhoodProfile`] is that single pass: one sweep per direction over
+//! the packed [`AdjEntry`](crate::AdjEntry) run accumulates *all* per-label
+//! edge counts and (deduplicated through a word-addressed
+//! [`DenseBitSet`]) all per-label distinct-neighbour counts. Candidacy for
+//! every query vertex is then answered from the profile in O(requirements)
+//! with zero further graph traffic.
+//!
+//! # Wildcard semantics
+//!
+//! Label matching in Mnemonic is symmetric-wildcard: `a.matches(b)` iff
+//! either side is the wildcard (`u16::MAX`) or they are equal — and
+//! unlabelled data vertices read as wildcard, so wildcard *data* labels are
+//! the common case, not a corner. [`LabelCounter`] therefore keeps a
+//! dedicated wildcard slot next to the exact-label table and a running
+//! total, which makes the filtered count a closed formula
+//! ([`LabelCounter::count_matching`]):
+//!
+//! * required label = wildcard → every element matches → `total`;
+//! * required label = `L` → elements labelled `L` plus wildcard-labelled
+//!   elements → `exact(L) + wildcard`.
+//!
+//! For distinct-neighbour counts this decomposition is exact because each
+//! vertex carries exactly one label: the label classes partition the
+//! deduplicated neighbour set, so per-class distinct counts add up.
+//!
+//! The counter is generation-stamped like [`DenseBitSet`]: `clear` is O(1)
+//! and the exact-label table is grown lazily to the largest label actually
+//! seen, so recycled per-thread profiles are allocation-free in the steady
+//! state.
+
+use std::cell::RefCell;
+
+use crate::bitset::DenseBitSet;
+use crate::ids::{EdgeLabel, VertexId, VertexLabel};
+use crate::multigraph::StreamingGraph;
+
+/// Generation-stamped dense `u16 label -> count` accumulator with a
+/// dedicated wildcard slot and a running total (see the module docs for the
+/// wildcard decomposition it enables).
+#[derive(Debug, Default)]
+pub struct LabelCounter {
+    /// `counts[l]` is meaningful only when `stamps[l] == epoch`.
+    counts: Vec<u32>,
+    stamps: Vec<u32>,
+    epoch: u32,
+    /// Count of wildcard-labelled (`u16::MAX`) elements.
+    wildcard: u32,
+    /// Count of all elements regardless of label.
+    total: u32,
+}
+
+impl LabelCounter {
+    /// Create an empty counter.
+    pub fn new() -> Self {
+        Self {
+            counts: Vec::new(),
+            stamps: Vec::new(),
+            epoch: 1,
+            wildcard: 0,
+            total: 0,
+        }
+    }
+
+    /// Reset every count in O(1) (generation bump; hard-clear on wrap).
+    pub fn clear(&mut self) {
+        self.wildcard = 0;
+        self.total = 0;
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Count one element labelled `label`.
+    #[inline]
+    pub fn add(&mut self, label: u16) {
+        self.total += 1;
+        if label == u16::MAX {
+            self.wildcard += 1;
+            return;
+        }
+        let i = label as usize;
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+            self.stamps.resize(i + 1, 0);
+        }
+        if self.stamps[i] != self.epoch {
+            self.stamps[i] = self.epoch;
+            self.counts[i] = 0;
+        }
+        self.counts[i] += 1;
+    }
+
+    /// Elements labelled exactly `label` (the wildcard label returns the
+    /// wildcard slot).
+    #[inline]
+    pub fn exact(&self, label: u16) -> usize {
+        if label == u16::MAX {
+            return self.wildcard as usize;
+        }
+        let i = label as usize;
+        match self.stamps.get(i) {
+            Some(&stamp) if stamp == self.epoch => self.counts[i] as usize,
+            _ => 0,
+        }
+    }
+
+    /// Elements whose label `matches` the required `label` under the
+    /// symmetric-wildcard rule: `total` for a wildcard requirement,
+    /// `exact(label) + wildcard` otherwise.
+    #[inline]
+    pub fn count_matching(&self, label: u16) -> usize {
+        if label == u16::MAX {
+            self.total as usize
+        } else {
+            self.exact(label) + self.wildcard as usize
+        }
+    }
+
+    /// All elements counted since the last clear.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total as usize
+    }
+}
+
+/// One data vertex's complete per-label neighbourhood statistics, collected
+/// in a single pass per direction (see the module docs).
+#[derive(Debug, Default)]
+pub struct NeighborhoodProfile {
+    out_edges: LabelCounter,
+    in_edges: LabelCounter,
+    out_neighbors: LabelCounter,
+    in_neighbors: LabelCounter,
+    /// Distinct-neighbour dedup set, word-addressed by vertex id.
+    seen: DenseBitSet,
+}
+
+impl NeighborhoodProfile {
+    /// Recollect the profile of `v` from `graph`, replacing the previous
+    /// contents. Allocation-free once the counters are warm.
+    pub fn collect(&mut self, graph: &StreamingGraph, v: VertexId) {
+        self.out_edges.clear();
+        self.in_edges.clear();
+        self.out_neighbors.clear();
+        self.in_neighbors.clear();
+
+        self.seen.clear();
+        for entry in graph.outgoing(v) {
+            let Some(edge) = graph.edge(entry.edge) else {
+                continue;
+            };
+            self.out_edges.add(edge.label.0);
+            if self.seen.insert(entry.neighbor.index()) {
+                self.out_neighbors.add(graph.vertex_label(entry.neighbor).0);
+            }
+        }
+
+        self.seen.clear();
+        for entry in graph.incoming(v) {
+            let Some(edge) = graph.edge(entry.edge) else {
+                continue;
+            };
+            self.in_edges.add(edge.label.0);
+            if self.seen.insert(entry.neighbor.index()) {
+                self.in_neighbors.add(graph.vertex_label(entry.neighbor).0);
+            }
+        }
+    }
+
+    /// Live outgoing edges whose label matches `label` — equal to
+    /// [`StreamingGraph::out_label_count`].
+    #[inline]
+    pub fn out_edge_count(&self, label: EdgeLabel) -> usize {
+        self.out_edges.count_matching(label.0)
+    }
+
+    /// Live incoming edges whose label matches `label` — equal to
+    /// [`StreamingGraph::in_label_count`].
+    #[inline]
+    pub fn in_edge_count(&self, label: EdgeLabel) -> usize {
+        self.in_edges.count_matching(label.0)
+    }
+
+    /// Distinct out-neighbours whose vertex label matches `label` — equal to
+    /// [`StreamingGraph::out_neighbor_label_count`].
+    #[inline]
+    pub fn out_neighbor_count(&self, label: VertexLabel) -> usize {
+        self.out_neighbors.count_matching(label.0)
+    }
+
+    /// Distinct in-neighbours whose vertex label matches `label` — equal to
+    /// [`StreamingGraph::in_neighbor_label_count`].
+    #[inline]
+    pub fn in_neighbor_count(&self, label: VertexLabel) -> usize {
+        self.in_neighbors.count_matching(label.0)
+    }
+}
+
+thread_local! {
+    static PROFILE_SCRATCH: RefCell<NeighborhoodProfile> =
+        RefCell::new(NeighborhoodProfile::default());
+}
+
+impl StreamingGraph {
+    /// Collect the neighbourhood profile of `v` into this thread's recycled
+    /// scratch profile and hand it to `f`. One adjacency sweep per direction
+    /// answers every per-label count the filtering rules need; the scratch
+    /// keeps its capacity across calls, so the steady state allocates
+    /// nothing.
+    ///
+    /// `f` must not call back into `with_neighborhood_profile` on the same
+    /// thread (single scratch per thread).
+    pub fn with_neighborhood_profile<R>(
+        &self,
+        v: VertexId,
+        f: impl FnOnce(&NeighborhoodProfile) -> R,
+    ) -> R {
+        PROFILE_SCRATCH.with(|cell| {
+            let mut profile = cell.borrow_mut();
+            profile.collect(self, v);
+            f(&profile)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn label_counter_matches_scalar_semantics() {
+        let mut counter = LabelCounter::new();
+        for label in [3u16, 3, 5, u16::MAX, u16::MAX, 9] {
+            counter.add(label);
+        }
+        assert_eq!(counter.total(), 6);
+        assert_eq!(counter.exact(3), 2);
+        assert_eq!(counter.exact(5), 1);
+        assert_eq!(counter.exact(u16::MAX), 2);
+        assert_eq!(counter.exact(7), 0);
+        // matches(): wildcard requirement sees everything; a concrete
+        // requirement sees its exact matches plus wildcard-labelled data.
+        assert_eq!(counter.count_matching(u16::MAX), 6);
+        assert_eq!(counter.count_matching(3), 4);
+        assert_eq!(counter.count_matching(7), 2);
+        counter.clear();
+        assert_eq!(counter.total(), 0);
+        assert_eq!(counter.count_matching(3), 0);
+        counter.add(3);
+        assert_eq!(counter.count_matching(3), 1);
+    }
+
+    #[test]
+    fn profile_agrees_with_per_label_graph_scans() {
+        // Vertices: 0 (label 1), 1 (label 2), 2 (wildcard/unlabelled),
+        // 3 (label 1). Parallel edges and self-loops included.
+        let graph = GraphBuilder::new()
+            .vertex(0, 1)
+            .vertex(1, 2)
+            .vertex(3, 1)
+            .edge(0, 1, 5)
+            .edge(0, 1, 5)
+            .edge(0, 2, u16::MAX)
+            .edge(0, 3, 7)
+            .edge(0, 0, 5)
+            .edge(1, 0, 7)
+            .edge(2, 0, 5)
+            .edge(3, 0, u16::MAX)
+            .build();
+
+        let mut profile = NeighborhoodProfile::default();
+        for raw in 0u32..4 {
+            let v = VertexId(raw);
+            profile.collect(&graph, v);
+            for l in [0u16, 1, 2, 5, 7, u16::MAX] {
+                let el = EdgeLabel(l);
+                let vl = VertexLabel(l);
+                assert_eq!(
+                    profile.out_edge_count(el),
+                    graph.out_label_count(v, el),
+                    "out edges v={raw} l={l}"
+                );
+                assert_eq!(
+                    profile.in_edge_count(el),
+                    graph.in_label_count(v, el),
+                    "in edges v={raw} l={l}"
+                );
+                assert_eq!(
+                    profile.out_neighbor_count(vl),
+                    graph.out_neighbor_label_count(v, vl),
+                    "out neighbors v={raw} l={l}"
+                );
+                assert_eq!(
+                    profile.in_neighbor_count(vl),
+                    graph.in_neighbor_label_count(v, vl),
+                    "in neighbors v={raw} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_neighborhood_profile_recycles_scratch() {
+        let graph = GraphBuilder::new().edge(0, 1, 3).edge(0, 2, 3).build();
+        let first =
+            graph.with_neighborhood_profile(VertexId(0), |p| p.out_edge_count(EdgeLabel(3)));
+        assert_eq!(first, 2);
+        // Second call on the same thread reuses the scratch and must not
+        // leak counts from the first collection.
+        let second = graph.with_neighborhood_profile(VertexId(1), |p| {
+            (
+                p.out_edge_count(EdgeLabel(3)),
+                p.in_edge_count(EdgeLabel(3)),
+            )
+        });
+        assert_eq!(second, (0, 1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the word-parallel DEBI / filtering kernels: the
+//! batched row recompute must agree with the scalar per-column writes it
+//! fused, and the fused-profile top-down pass (one adjacency sweep per
+//! vertex) must leave candidacy, DEBI rows and root bits bit-identical to
+//! the retained per-label-rescan baseline on arbitrary graphs.
+
+use mnemonic::core::api::LabelEdgeMatcher;
+use mnemonic::core::debi::Debi;
+use mnemonic::core::filter::{QueryRequirements, TopDownPass, VertexCandidacy};
+use mnemonic::core::frontier::UnifiedFrontier;
+use mnemonic::core::stats::EngineCounters;
+use mnemonic::graph::edge::EdgeTriple;
+use mnemonic::graph::ids::{EdgeLabel, VertexId};
+use mnemonic::graph::multigraph::StreamingGraph;
+use mnemonic::query::patterns;
+use mnemonic::query::query_tree::QueryTree;
+use mnemonic::query::root::select_root_by_degree;
+use proptest::prelude::*;
+
+/// Replay an insert/delete script into a fresh multigraph.
+fn build_graph(script: &[(bool, u32, u32, u16)]) -> StreamingGraph {
+    let mut graph = StreamingGraph::new();
+    let mut live = Vec::new();
+    for &(insert, src, dst, label) in script {
+        if insert || live.is_empty() {
+            live.push(graph.insert_edge(EdgeTriple::new(
+                VertexId(src),
+                VertexId(dst),
+                EdgeLabel(label),
+            )));
+        } else {
+            let idx = (src as usize + dst as usize) % live.len();
+            graph.delete_edge(live.swap_remove(idx)).unwrap();
+        }
+    }
+    graph
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Debi::recompute_rows` == a scalar column-by-column `set` loop, for
+    /// arbitrary row payloads over a pre-dirtied index: the fused write must
+    /// both set and clear, and must mask columns beyond the query's width.
+    #[test]
+    fn recompute_rows_matches_scalar_column_writes(
+        width in 1u16..6,
+        rows in prop::collection::vec(any::<u64>(), 1..40),
+        dirty in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let mut fused = Debi::new(width as usize);
+        let mut scalar = Debi::new(width as usize);
+        let bound = rows.len().max(dirty.len());
+        fused.ensure_rows(bound);
+        scalar.ensure_rows(bound);
+
+        // Dirty both indexes identically so stale bits must be overwritten.
+        for (edge, &bits) in dirty.iter().enumerate() {
+            for col in 0..width {
+                fused.set(edge, col, bits & (1 << col) != 0);
+                scalar.set(edge, col, bits & (1 << col) != 0);
+            }
+        }
+
+        let edges: Vec<usize> = (0..rows.len()).collect();
+        fused.recompute_rows(&edges, |edge| rows[edge]);
+        for (edge, &bits) in rows.iter().enumerate() {
+            for col in 0..width {
+                scalar.set(edge, col, bits & (1 << col) != 0);
+            }
+        }
+
+        for edge in 0..bound {
+            for col in 0..width {
+                prop_assert_eq!(fused.get(edge, col), scalar.get(edge, col));
+            }
+        }
+    }
+
+    /// The fused-profile top-down pass == the retained baseline pass:
+    /// identical candidacy masks, DEBI bits and root candidates on random
+    /// multigraphs (parallel edges, self-loops, churn, wildcard labels).
+    #[test]
+    fn fused_top_down_agrees_with_baseline(
+        script in prop::collection::vec((any::<bool>(), 0u32..7, 0u32..7, 0u16..3), 1..80),
+    ) {
+        // Raw label 2 maps to the wildcard to keep unlabelled edges common.
+        let script: Vec<_> = script
+            .into_iter()
+            .map(|(i, s, d, l)| (i, s, d, if l == 2 { u16::MAX } else { l }))
+            .collect();
+        let graph = build_graph(&script);
+        let query = patterns::triangle();
+        let tree = QueryTree::build(&query, select_root_by_degree(&query));
+        let requirements = QueryRequirements::build(&query);
+        let frontier = UnifiedFrontier::build(&graph, graph.live_edges().collect(), false);
+
+        let run_pass = |baseline: bool| {
+            let mut candidacy = VertexCandidacy::new();
+            candidacy.ensure(graph.vertex_count());
+            let mut debi = Debi::new(tree.debi_width());
+            debi.ensure_rows(graph.edge_id_bound());
+            debi.ensure_roots(graph.vertex_count());
+            let counters = EngineCounters::new();
+            let pass = TopDownPass {
+                graph: &graph,
+                query: &query,
+                tree: &tree,
+                matcher: &LabelEdgeMatcher,
+                requirements: &requirements,
+            };
+            if baseline {
+                pass.run_baseline(&frontier, &candidacy, &debi, &counters, false);
+            } else {
+                pass.run(&frontier, &candidacy, &debi, &counters, false);
+            }
+            let masks: Vec<u64> = (0..graph.vertex_count())
+                .map(|v| candidacy.mask(VertexId(v as u32)))
+                .collect();
+            let bits: Vec<bool> = (0..graph.edge_id_bound())
+                .flat_map(|e| (0..tree.debi_width() as u16).map(move |c| (e, c)))
+                .map(|(e, c)| debi.get(e, c))
+                .collect();
+            (masks, bits, debi.root_candidates())
+        };
+
+        let dense = run_pass(false);
+        let baseline = run_pass(true);
+        prop_assert_eq!(dense, baseline);
+    }
+}

@@ -668,6 +668,56 @@ pub mod iter {
         }
     }
 
+    /// A pending parallel iteration over fixed-size chunks of a slice.
+    pub struct ChunksPar<'a, T> {
+        slice: &'a [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Sync> ChunksPar<'a, T> {
+        /// Apply `op` to every chunk. Chunk boundaries are identical to
+        /// `slice.chunks(chunk_size)`; chunks are fed to the installed pool
+        /// as steal-able tasks.
+        pub fn for_each<F>(self, op: F)
+        where
+            F: Fn(&'a [T]) + Sync + Send,
+        {
+            let chunk_size = self.chunk_size.max(1);
+            let count = self.slice.len().div_ceil(chunk_size);
+            let width = super::current_num_threads().clamp(1, count.max(1));
+            if width <= 1 || count <= 1 {
+                self.slice.chunks(chunk_size).for_each(op);
+                return;
+            }
+            let registry = super::current_registry().unwrap_or_else(global_registry);
+            let slice = self.slice;
+            parallel_chunks(&registry, count, width.min(registry.width), |start, end| {
+                for ci in start..end {
+                    let lo = ci * chunk_size;
+                    let hi = (lo + chunk_size).min(slice.len());
+                    op(&slice[lo..hi]);
+                }
+            });
+        }
+    }
+
+    /// `.par_chunks()` on slices (the subset of rayon's `ParallelSlice` the
+    /// workspace uses).
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over `chunk_size`-sized chunks (last chunk may
+        /// be shorter), matching `slice::chunks` boundaries.
+        fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T> {
+            ChunksPar {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
     /// A pending parallel iteration over an integer range.
     pub struct RangePar<I> {
         range: std::ops::Range<I>,
@@ -720,7 +770,7 @@ pub mod iter {
 
 /// Glob-import surface mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
 }
 
 #[cfg(test)]
@@ -759,6 +809,25 @@ mod tests {
         pool.install(|| {
             data.par_iter().for_each_chunked(|&i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential_chunk_boundaries() {
+        let data: Vec<usize> = (0..1003).collect();
+        let hits: Vec<AtomicUsize> = (0..1003).map(|_| AtomicUsize::new(0)).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            data.par_chunks(64).for_each(|chunk| {
+                // Every chunk except possibly the last is exactly 64 long
+                // and starts on a 64-aligned element.
+                assert!(chunk.len() == 64 || chunk[0] + chunk.len() == 1003);
+                assert_eq!(chunk[0] % 64, 0);
+                for &i in chunk {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
             });
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
