@@ -84,6 +84,13 @@ if [ "$quick" != "quick" ]; then
     # budget, absorb zero I/O errors, and compress >= 1.3x over the flat
     # record encoding (see crates/bench/src/bin/paging_gate.rs).
     gate_step cargo run --release -q -p mnemonic-bench --bin paging_gate
+    # Recovery smoke check: a seeded torn-write crash must recover an exact
+    # reported prefix of the oracle record stream, a forced mid-batch lane
+    # panic under a DegradePolicy must finish the pipelined run with counts
+    # identical to an unfaulted oracle, and BlockTimeout overflow must land
+    # in the shed tier only (zero under the lossless Block policy; see
+    # crates/bench/src/bin/recovery_gate.rs).
+    gate_step cargo run --release -q -p mnemonic-bench --bin recovery_gate
 fi
 
 step env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -1,0 +1,334 @@
+//! CI recovery gate: the fault-tolerance claims, held end to end.
+//!
+//! 1. **Torn-write crash recovery** — a seeded [`FaultPlan`] tears a page
+//!    write mid-replay; `PagedEdgeLog::recover` must scan back an *exact
+//!    prefix* of the oracle record stream with every lost byte itemised in
+//!    the `RecoveryReport` (zero silent loss).
+//! 2. **Degraded serve** — a forced mid-batch lane panic under a
+//!    [`DegradePolicy`] must not fail the pipelined run: the dead shard is
+//!    quarantined, its query migrates, and the drained embedding counts
+//!    equal an unfaulted oracle run exactly.
+//! 3. **Shed tier** — `BlockTimeout` overflow counts in `QueueStats::shed`
+//!    and reaches the serve report; the lossless `Block` policy sheds
+//!    nothing.
+//!
+//! Exit status 0 = all gates passed; 1 = a gate failed.
+//!
+//! ```text
+//! cargo run --release -p mnemonic-bench --bin recovery_gate
+//! ```
+
+use mnemonic_core::api::{FnEdgeMatcher, LabelEdgeMatcher, MatcherContext, UpdateMode};
+use mnemonic_core::engine::EngineConfig;
+use mnemonic_core::ingest::{BackpressurePolicy, IngestQueue, PushError};
+use mnemonic_core::rebalance::DegradePolicy;
+use mnemonic_core::shard::ShardedSession;
+use mnemonic_core::variants::Isomorphism;
+use mnemonic_graph::edge::Edge;
+use mnemonic_graph::edge_log::LogRecord;
+use mnemonic_graph::ids::{EdgeId, EdgeLabel, QueryEdgeId, Timestamp, VertexId};
+use mnemonic_graph::storage::{FaultPlan, PagedEdgeLog, MIN_PAGE_SIZE};
+use mnemonic_query::patterns;
+use mnemonic_stream::event::StreamEvent;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Records appended before the seeded torn write cuts the log short.
+const RECORDS: usize = 4_000;
+/// The 1-based page-write ordinal the fault plan tears.
+const TORN_WRITE: u64 = 5;
+/// Events of the degraded-serve workload.
+const EVENTS: usize = 240;
+const BATCH: usize = 8;
+
+fn oracle_records() -> Vec<LogRecord> {
+    (0..RECORDS as u32)
+        .map(|i| LogRecord {
+            edge: Edge {
+                id: EdgeId(i),
+                src: VertexId(i % 97),
+                dst: VertexId((i + 1 + i % 13) % 97),
+                label: EdgeLabel((i % 3) as u16),
+                timestamp: Timestamp(u64::from(i)),
+            },
+            debi_row: u64::from(i % 16),
+        })
+        .collect()
+}
+
+/// Part 1: seeded torn write -> recover -> exact reported prefix.
+/// Returns (records recovered, records written) on success.
+fn torn_write_recovery(failed: &mut bool) -> (u64, u64) {
+    let all = oracle_records();
+    let plan = FaultPlan {
+        seed: 42,
+        torn_write: TORN_WRITE,
+        ..FaultPlan::default()
+    };
+    let mut log = PagedEdgeLog::create_temp_with(MIN_PAGE_SIZE, 2, "recovery-gate", plan)
+        .expect("paged log creates");
+    log.append_batch(&all)
+        .expect("append succeeds (the tear is silent)");
+    log.flush().expect("flush succeeds");
+    let path = log.path().to_path_buf();
+    drop(log); // crash
+
+    let (mut recovered, report) =
+        PagedEdgeLog::recover(&path, MIN_PAGE_SIZE, 2).expect("recovery scan runs");
+    let survivors = recovered.scan_all().expect("recovered log scans");
+    println!(
+        "  torn-write recovery       : {} of {} records back; {} bytes truncated at page {:?}",
+        survivors.len(),
+        all.len(),
+        report.bytes_truncated,
+        report.first_torn_page
+    );
+    if survivors.as_slice() != &all[..survivors.len()] {
+        eprintln!("GATE FAILED: recovered records are not an exact prefix of the oracle");
+        *failed = true;
+    }
+    if survivors.len() == all.len() {
+        eprintln!("GATE FAILED: the seeded torn write never cut the log — no crash was tested");
+        *failed = true;
+    }
+    if report.first_torn_page != Some(TORN_WRITE as u32 - 1) {
+        eprintln!(
+            "GATE FAILED: torn page {:?} does not match the seeded write ordinal {TORN_WRITE}",
+            report.first_torn_page
+        );
+        *failed = true;
+    }
+    if report.bytes_truncated == 0 || report.records_recovered != survivors.len() as u64 {
+        eprintln!("GATE FAILED: the recovery report does not account the loss");
+        *failed = true;
+    }
+    recovered.destroy().expect("cleanup");
+    (report.records_recovered, all.len() as u64)
+}
+
+/// Trips exactly once, process-wide: the injected lane fault of part 2.
+static TRIPPED: AtomicBool = AtomicBool::new(false);
+
+fn panic_once_matcher(_ctx: &MatcherContext<'_>, _q: QueryEdgeId, e: &Edge) -> bool {
+    if e.src.0 == 5 && !TRIPPED.swap(true, Ordering::SeqCst) {
+        panic!("injected shard fault");
+    }
+    true
+}
+
+fn degrade_workload() -> Vec<StreamEvent> {
+    (0..EVENTS as u32)
+        .map(|i| {
+            let s = i % 17;
+            StreamEvent::insert(s, (s + 1 + i % 5) % 17, 0).at(u64::from(i))
+        })
+        .collect()
+}
+
+fn build_degrade_session(poisoned: bool) -> (ShardedSession, [mnemonic_core::QueryHandle; 3]) {
+    let mut session = ShardedSession::builder()
+        .shards(3)
+        .config(EngineConfig {
+            update_mode: UpdateMode::from_batch_size(BATCH),
+            ..EngineConfig::sequential()
+        })
+        .degrade_policy(DegradePolicy {
+            max_restarts: 2,
+            backoff: Duration::from_millis(1),
+        })
+        .build()
+        .expect("valid config");
+    // Shard 0 hosts the query that will fault; with sequential lanes the
+    // poisoned lane must not be last, so shards 1 and 2 are still gated at
+    // the failed batch and can adopt the orphaned query.
+    let matcher: Box<dyn mnemonic_core::api::EdgeMatcher> = if poisoned {
+        Box::new(FnEdgeMatcher(panic_once_matcher))
+    } else {
+        Box::new(FnEdgeMatcher(
+            |_ctx: &MatcherContext<'_>, _q: QueryEdgeId, _e: &Edge| true,
+        ))
+    };
+    // The poisoned query is a path: the workload's stride structure forms
+    // plenty of paths, so the migrated query's exactness check is carried
+    // by a non-trivial embedding count.
+    let h0 = session
+        .register_query_on_shard(patterns::path(3), 0, matcher, Box::new(Isomorphism))
+        .expect("connected query");
+    let h1 = session
+        .register_query_on_shard(
+            patterns::triangle(),
+            1,
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .expect("connected query");
+    let h2 = session
+        .register_query_on_shard(
+            patterns::rectangle(),
+            2,
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .expect("connected query");
+    (session, [h0, h1, h2])
+}
+
+fn drain_counts(handles: &[mnemonic_core::QueryHandle; 3]) -> [u64; 3] {
+    let counts: Vec<u64> = handles
+        .iter()
+        .map(|h| h.drain().positive.len() as u64)
+        .collect();
+    [counts[0], counts[1], counts[2]]
+}
+
+/// Part 2: forced mid-batch lane panic under a degrade policy. Returns the
+/// (degraded, oracle) total embedding counts on success.
+fn degraded_serve(failed: &mut bool) -> (u64, u64) {
+    let events = degrade_workload();
+    assert!(events.iter().any(|e| e.src.0 == 5), "the fault must fire");
+
+    let (mut oracle, oracle_handles) = build_degrade_session(false);
+    oracle
+        .run_pipelined(events.iter().copied())
+        .expect("unfaulted run succeeds");
+    let want = drain_counts(&oracle_handles);
+
+    TRIPPED.store(false, Ordering::SeqCst);
+    let (mut faulted, handles) = build_degrade_session(true);
+    // The injected panic is the point of this gate: keep its backtrace out
+    // of the CI log (the lane boundary catches it either way).
+    std::panic::set_hook(Box::new(|_| {}));
+    let run = match faulted.run_pipelined(events.iter().copied()) {
+        Ok(run) => run,
+        Err(err) => {
+            let _ = std::panic::take_hook();
+            eprintln!("GATE FAILED: the lane panic surfaced instead of degrading: {err}");
+            *failed = true;
+            return (0, want.iter().sum());
+        }
+    };
+    let _ = std::panic::take_hook();
+    if !TRIPPED.load(Ordering::SeqCst) {
+        eprintln!("GATE FAILED: the injected fault never fired — nothing was tested");
+        *failed = true;
+    }
+    let got = drain_counts(&handles);
+    let report = run.degrade().copied().unwrap_or_default();
+    println!(
+        "  degraded serve            : {} restarts, {} quarantined, {} migrated, {} batches replayed",
+        report.restarts,
+        report.quarantined_shards,
+        report.queries_migrated,
+        report.batches_replayed
+    );
+    println!(
+        "  embeddings (degraded)     : {got:?}; (oracle) {want:?} over {} batches",
+        run.batch_count()
+    );
+    if report.restarts == 0 || report.queries_migrated == 0 {
+        eprintln!("GATE FAILED: no recovery was recorded for the injected fault");
+        *failed = true;
+    }
+    if got != want {
+        eprintln!("GATE FAILED: degraded counts diverged from the unfaulted oracle");
+        *failed = true;
+    }
+    if got[0] == 0 {
+        eprintln!("GATE FAILED: the migrated query found nothing — its exactness check is vacuous");
+        *failed = true;
+    }
+    if run.batch_count() != events.len().div_ceil(BATCH) {
+        eprintln!("GATE FAILED: batches went missing during recovery");
+        *failed = true;
+    }
+    (got.iter().sum(), want.iter().sum())
+}
+
+/// Part 3: the shed tier. `BlockTimeout` overflow sheds (and the serve
+/// report says so); the lossless `Block` policy sheds nothing.
+fn shed_tier(failed: &mut bool) {
+    let serve_queue = |policy: BackpressurePolicy, overfill: usize| {
+        let (tx, rx) = IngestQueue::bounded(2, policy);
+        let mut timeouts = 0u64;
+        for i in 0..(2 + overfill) as u32 {
+            match tx.push(StreamEvent::insert(i, i + 1, 0)) {
+                Ok(()) => {}
+                Err(PushError::Timeout(_)) => timeouts += 1,
+                Err(err) => panic!("unexpected push failure: {err}"),
+            }
+        }
+        drop(tx);
+        let mut session = ShardedSession::builder()
+            .shards(1)
+            .config(EngineConfig {
+                update_mode: UpdateMode::from_batch_size(2),
+                ..EngineConfig::sequential()
+            })
+            .build()
+            .expect("valid config");
+        session
+            .register_query(
+                patterns::triangle(),
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .expect("connected query");
+        let run = session.serve(rx).expect("serve drains the ring");
+        (
+            timeouts,
+            *run.queue_stats().expect("serve reports queue stats"),
+        )
+    };
+
+    // No consumer drains while pushing, so every push past capacity 2 must
+    // park its full 2 ms deadline and come back shed.
+    let (timeouts, stats) = serve_queue(
+        BackpressurePolicy::BlockTimeout(Duration::from_millis(2)),
+        3,
+    );
+    println!(
+        "  shed tier (BlockTimeout)  : {} pushed, {} shed, {} rejected, {} stranded",
+        stats.pushed, stats.shed, stats.rejected, stats.queued_at_disconnect
+    );
+    if timeouts != 3 || stats.shed != 3 {
+        eprintln!(
+            "GATE FAILED: expected 3 shed events under BlockTimeout, saw {} (report {})",
+            timeouts, stats.shed
+        );
+        *failed = true;
+    }
+    if stats.rejected != 0 {
+        eprintln!("GATE FAILED: shed events leaked into the fail-fast rejected count");
+        *failed = true;
+    }
+
+    // The lossless policy on the same drain path sheds nothing.
+    let (_, stats) = serve_queue(BackpressurePolicy::Block, 0);
+    println!(
+        "  shed tier (Block)         : {} pushed, {} shed (lossless policy)",
+        stats.pushed, stats.shed
+    );
+    if stats.shed != 0 || stats.pushed != 2 {
+        eprintln!("GATE FAILED: the lossless Block policy shed events");
+        *failed = true;
+    }
+}
+
+fn main() {
+    let mut failed = false;
+    println!(
+        "recovery_gate: torn write at page-write {TORN_WRITE} over {RECORDS} records; \
+         lane panic over {EVENTS} events x {BATCH}-batches on 3 shards"
+    );
+    let (recovered, written) = torn_write_recovery(&mut failed);
+    let (degraded, oracle) = degraded_serve(&mut failed);
+    shed_tier(&mut failed);
+
+    println!(
+        "gate-ratio: recovery {recovered}/{written} records prefix-exact, degraded serve {degraded}/{oracle} embeddings exact"
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    println!("recovery_gate: all gates passed");
+}

@@ -49,12 +49,19 @@ pub enum MnemonicError {
     /// [`EdgeMatcher`](crate::api::EdgeMatcher)). The panic is caught at the
     /// shard boundary so a serve loop can drop the poisoned session instead
     /// of aborting the process; the shards may have diverged, so the session
-    /// should be discarded.
+    /// should be discarded. Pipelined runs under a
+    /// [`DegradePolicy`](crate::rebalance::DegradePolicy) absorb this error
+    /// instead: the dead shard is quarantined and its queries migrate to a
+    /// surviving shard, so the error only surfaces once the restart budget
+    /// is exhausted (or no valid adoption host remains).
     ShardPanicked(usize),
     /// A stale shard could not be resynchronised because no shard holds the
     /// current graph version. The broadcast-scope invariant (at least one
     /// shard processes every broadcast) was violated — previously a panic —
-    /// and the session should be discarded.
+    /// and the session should be discarded. Like
+    /// [`ShardPanicked`](Self::ShardPanicked), this is recoverable in
+    /// pipelined runs under a
+    /// [`DegradePolicy`](crate::rebalance::DegradePolicy).
     ShardDesynced(usize),
 }
 

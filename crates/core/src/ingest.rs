@@ -92,6 +92,7 @@
 //! ```
 
 use crate::error::MnemonicError;
+use crate::rebalance::DegradeReport;
 use crate::session::{MnemonicSession, SessionBatchResult};
 use crate::shard::ShardedSession;
 use mnemonic_stream::event::StreamEvent;
@@ -143,9 +144,12 @@ pub enum PushError {
     /// [`BackpressurePolicy::Reject`].
     Full(StreamEvent),
     /// The ring stayed full past a [`BackpressurePolicy::BlockTimeout`]
-    /// deadline.
+    /// deadline. The event was **shed**: it is handed back here and counted
+    /// in [`QueueStats::shed`].
     Timeout(StreamEvent),
     /// The consumer was dropped; nothing will ever drain the ring again.
+    /// Events already enqueued at the disconnect are stranded in the ring —
+    /// their count is surfaced as [`QueueStats::queued_at_disconnect`].
     Disconnected(StreamEvent),
 }
 
@@ -175,9 +179,22 @@ impl std::error::Error for PushError {}
 pub struct QueueStats {
     /// Events successfully enqueued.
     pub pushed: u64,
-    /// `try_push` attempts rejected because the ring was full (includes the
-    /// full-ring probes of a blocking `push` before it parked).
+    /// Fail-fast rejections: [`IngestProducer::try_push`] calls (and
+    /// [`BackpressurePolicy::Reject`] pushes) that found the ring full and
+    /// handed the event back immediately. The full-ring probes of a
+    /// blocking `push` are *not* counted — a park-and-retry is neither a
+    /// rejection nor a shed until its deadline expires.
     pub rejected: u64,
+    /// Events shed by the [`BackpressurePolicy::BlockTimeout`] tier: the
+    /// blocking push parked the full deadline and gave the event back with
+    /// [`PushError::Timeout`]. Zero under `Block` (lossless) and `Reject`
+    /// (immediate-reject) policies.
+    pub shed: u64,
+    /// Events still enqueued at the instant the consumer was dropped
+    /// (0 while the consumer lives). These events were admitted but never
+    /// served — the lossy tail of a mid-stream disconnect, surfaced so a
+    /// shutdown is never silently lossy.
+    pub queued_at_disconnect: u64,
     /// Ring capacity in events (the memory bound).
     pub capacity: usize,
 }
@@ -205,6 +222,8 @@ struct RingShared {
     consumer_live: AtomicBool,
     pushed: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    queued_at_disconnect: AtomicU64,
     /// Parking lot for the *slow* paths only. The gate protects no data —
     /// the ring itself is lock-free — it only sequences the waiter
     /// bookkeeping so wakeups cannot be missed; waits additionally carry a
@@ -250,6 +269,8 @@ impl RingShared {
             consumer_live: AtomicBool::new(true),
             pushed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queued_at_disconnect: AtomicU64::new(0),
             gate: Mutex::new(()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -291,7 +312,6 @@ impl RingShared {
                     Err(current) => pos = current,
                 }
             } else if dif < 0 {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(event);
             } else {
                 pos = self.enqueue_pos.load(Ordering::Relaxed);
@@ -339,6 +359,8 @@ impl RingShared {
         QueueStats {
             pushed: self.pushed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queued_at_disconnect: self.queued_at_disconnect.load(Ordering::Relaxed),
             capacity: self.slots.len(),
         }
     }
@@ -418,7 +440,10 @@ impl IngestProducer {
     /// the shedding policy. This is the lock-free fast path: no allocation,
     /// no mutex, one CAS.
     pub fn try_push(&self, event: StreamEvent) -> Result<(), QueueFull> {
-        self.shared.try_push(event).map_err(QueueFull)
+        self.shared.try_push(event).map_err(|e| {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            QueueFull(e)
+        })
     }
 
     /// Enqueue under the queue's [`BackpressurePolicy`]: park on a full
@@ -455,6 +480,7 @@ impl IngestProducer {
                     if now >= d {
                         drop(guard);
                         self.shared.waiting_producers.fetch_sub(1, Ordering::SeqCst);
+                        self.shared.shed.fetch_add(1, Ordering::Relaxed);
                         return Err(PushError::Timeout(event));
                     }
                     (d - now).min(PARK_RECHECK)
@@ -490,6 +516,12 @@ impl std::fmt::Debug for IngestConsumer {
 
 impl Drop for IngestConsumer {
     fn drop(&mut self) {
+        // Record what a mid-stream disconnect strands: events admitted into
+        // the ring that will now never be served. A clean shutdown (serve
+        // drained the ring to empty) records zero.
+        self.shared
+            .queued_at_disconnect
+            .store(self.shared.len() as u64, Ordering::Relaxed);
         self.shared.consumer_live.store(false, Ordering::Release);
         drop(self.shared.gate.lock());
         self.shared.not_full.notify_all();
@@ -588,7 +620,11 @@ struct LogInner {
     /// Per-lane next batch index.
     positions: Vec<usize>,
     closed: bool,
-    failed: bool,
+    /// Batch index of the earliest lane failure, when one happened. Lanes
+    /// stop *at* this index (a lane mid-batch finishes its batch — outcomes
+    /// stay contiguous), which is what lets the degraded driver pick a
+    /// replay host with a well-defined position.
+    failed_at: Option<usize>,
 }
 
 /// The ordered shared log the feeder appends broadcast batches to and every
@@ -614,7 +650,7 @@ impl BatchLog {
                 queue_waits: Vec::new(),
                 positions: vec![0; lanes],
                 closed: false,
-                failed: false,
+                failed_at: None,
             }),
             data: Condvar::new(),
             space: Condvar::new(),
@@ -622,16 +658,17 @@ impl BatchLog {
         }
     }
 
-    /// Append one batch, parking while the in-flight window is full; `false`
-    /// when a lane failed (the feeder should stop). `first_admitted` is the
-    /// ring-admission instant of the batch's earliest event; everything
-    /// between it and the actual append is queue wait (including any park
-    /// inside this call — a full in-flight window is back-pressure too).
-    fn append(&self, snapshot: Snapshot, first_admitted: Instant) -> bool {
+    /// Append one batch, parking while the in-flight window is full; when a
+    /// lane failed the snapshot is handed back (`Err`) so the feeder can
+    /// stop without losing the batch. `first_admitted` is the ring-admission
+    /// instant of the batch's earliest event; everything between it and the
+    /// actual append is queue wait (including any park inside this call — a
+    /// full in-flight window is back-pressure too).
+    fn append(&self, snapshot: Snapshot, first_admitted: Instant) -> Result<(), Snapshot> {
         let mut inner = self.inner.lock().expect("batch log poisoned");
         loop {
-            if inner.failed {
-                return false;
+            if inner.failed_at.is_some() {
+                return Err(snapshot);
             }
             let min_pos = inner.positions.iter().copied().min().unwrap_or(0);
             while inner.base < min_pos {
@@ -647,18 +684,25 @@ impl BatchLog {
                     .queue_waits
                     .push(now.saturating_duration_since(first_admitted));
                 self.data.notify_all();
-                return true;
+                return Ok(());
             }
             inner = self.space.wait(inner).expect("batch log poisoned");
         }
     }
 
     /// Block until the lane's next batch exists (returning it) or the log is
-    /// closed with nothing left for this lane (`None`).
+    /// closed with nothing left for this lane (`None`). After a failure the
+    /// gate also stops lanes *at* the failed index: batches at or beyond it
+    /// are withheld so every surviving lane halts at a position ≤ the
+    /// failure point or wherever it already was — a prerequisite for the
+    /// degraded replay to pick a host that has not run past the gap.
     fn wait_for(&self, lane: usize) -> Option<Arc<Snapshot>> {
         let mut inner = self.inner.lock().expect("batch log poisoned");
         loop {
             let i = inner.positions[lane];
+            if inner.failed_at.is_some_and(|f| i >= f) {
+                return None;
+            }
             if i < inner.appended {
                 return Some(Arc::clone(&inner.entries[i - inner.base]));
             }
@@ -676,10 +720,11 @@ impl BatchLog {
         self.space.notify_all();
     }
 
-    /// A lane failed: stop the feeder and release everyone.
-    fn fail(&self) {
+    /// A lane failed at batch `idx`: stop the feeder, gate the other lanes
+    /// at the earliest failure, and release everyone.
+    fn fail_at(&self, idx: usize) {
         let mut inner = self.inner.lock().expect("batch log poisoned");
-        inner.failed = true;
+        inner.failed_at = Some(inner.failed_at.map_or(idx, |f| f.min(idx)));
         inner.closed = true;
         self.data.notify_all();
         self.space.notify_all();
@@ -692,9 +737,17 @@ impl BatchLog {
         self.data.notify_all();
     }
 
-    fn into_admission(self) -> (Vec<Instant>, Vec<Duration>) {
+    /// Decompose the finished log: per-batch admission instants and queue
+    /// waits, plus the surviving entry window (`base` is the batch index of
+    /// `entries[0]`) — the degraded driver replays gap batches from it.
+    fn into_parts(self) -> (Vec<Instant>, Vec<Duration>, usize, Vec<Arc<Snapshot>>) {
         let inner = self.inner.into_inner().expect("batch log poisoned");
-        (inner.admitted, inner.queue_waits)
+        (
+            inner.admitted,
+            inner.queue_waits,
+            inner.base,
+            inner.entries.into(),
+        )
     }
 }
 
@@ -717,6 +770,7 @@ fn lane_loop(
     shard_index: usize,
     rec: &mut LaneRecord,
 ) {
+    let mut idx = 0usize;
     while let Some(snapshot) = log.wait_for(lane) {
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| shard.apply_snapshot(&snapshot)));
@@ -730,9 +784,10 @@ fn lane_loop(
         rec.outcomes.push(outcome);
         log.advance(lane);
         if failed {
-            log.fail();
+            log.fail_at(idx);
             break;
         }
+        idx += 1;
     }
 }
 
@@ -767,6 +822,8 @@ pub struct PipelinedRun {
     batches: Vec<PipelinedBatch>,
     lanes: Vec<usize>,
     wall: Duration,
+    degrade: Option<DegradeReport>,
+    queue: Option<QueueStats>,
 }
 
 impl PipelinedRun {
@@ -790,6 +847,23 @@ impl PipelinedRun {
     /// lane draining.
     pub fn wall_time(&self) -> Duration {
         self.wall
+    }
+
+    /// What graceful degradation did during the run, when it engaged:
+    /// `Some` iff at least one lane failure was absorbed under the session's
+    /// [`DegradePolicy`](crate::rebalance::DegradePolicy). `None` means the
+    /// run was clean (or the session has no policy — a failure would then
+    /// have surfaced as an `Err` instead).
+    pub fn degrade(&self) -> Option<&DegradeReport> {
+        self.degrade.as_ref()
+    }
+
+    /// Final admission-queue statistics of a [`ShardedSession::serve`] run
+    /// (shed/reject/disconnect counters included), read after the consumer
+    /// drained. `None` for in-memory drives
+    /// ([`ShardedSession::run_pipelined`]), which have no queue.
+    pub fn queue_stats(&self) -> Option<&QueueStats> {
+        self.queue.as_ref()
     }
 
     /// Newly formed embeddings summed over every batch and query.
@@ -869,8 +943,14 @@ impl ShardedSession {
     /// # Errors
     /// See [`ShardedSession::run_pipelined`].
     pub fn serve(&mut self, consumer: IngestConsumer) -> Result<PipelinedRun, MnemonicError> {
+        let shared = Arc::clone(&consumer.shared);
         let mut consumer = consumer;
-        self.pipelined_drive(move || consumer.recv_stamped())
+        let mut run = self.pipelined_drive(move || consumer.recv_stamped())?;
+        // The drive consumed (and dropped) the consumer, so the counters are
+        // final: shed/reject totals plus whatever a mid-stream disconnect
+        // left stranded in the ring.
+        run.queue = Some(shared.stats());
+        Ok(run)
     }
 
     /// Drive an in-memory event sequence through the pipelined schedule —
@@ -916,126 +996,274 @@ impl ShardedSession {
         }
         let batch_size = self.config.update_mode.batch_size();
         let base_id = self.snapshots_processed;
-        let parallel_lanes = self.config.parallel && scope.len() > 1;
-        let max_inflight = if parallel_lanes {
-            MAX_INFLIGHT_BATCHES
-        } else {
-            usize::MAX
-        };
-        let log = BatchLog::new(scope.len(), max_inflight);
-        let mut records: Vec<LaneRecord> = scope.iter().map(|_| LaneRecord::default()).collect();
+        let parallel = self.config.parallel;
         let t_start = Instant::now();
 
-        // Split-borrow the lanes away from the pending buffer: the feeder
-        // owns `pending`, the lane threads own one shard session each.
-        let mut in_scope = vec![false; self.shards.len()];
-        for &s in &scope {
-            in_scope[s] = true;
-        }
-        let pending = &mut self.pending;
-        let lanes: Vec<&mut MnemonicSession> = self
-            .shards
-            .iter_mut()
-            .enumerate()
-            .filter(|&(i, _)| in_scope[i])
-            .map(|(_, shard)| shard)
-            .collect();
+        // Pass-persistent run state. Without a lane failure the loop below
+        // runs exactly one pass and this is plain bookkeeping; after an
+        // absorbed failure the survivors re-enter with a fresh log.
+        let mut total_appended = 0usize;
+        let mut admitted_all: Vec<Instant> = Vec::new();
+        let mut queue_waits_all: Vec<Duration> = Vec::new();
+        // runs[sp][k]: scope position `sp`'s outcome for global batch `k`
+        // (`None` where the lane was quarantined before reaching it).
+        let mut runs: Vec<Vec<Option<(SessionBatchResult, Duration, Instant)>>> =
+            scope.iter().map(|_| Vec::new()).collect();
+        let mut active = vec![true; scope.len()];
+        // A batch handed back by a failed append — re-fed first next pass so
+        // no admitted event is ever lost to a lane failure.
+        let mut carry: Option<(Snapshot, Instant)> = None;
+        let mut report = DegradeReport::default();
 
-        // The feeder: form batches exactly like the synchronous path
-        // (identical `PendingBuffer` thresholds → identical batch
-        // boundaries) and append them to the log.
-        let feed =
-            |pending: &mut crate::session::PendingBuffer,
-             next_event: &mut dyn FnMut() -> Option<(StreamEvent, Instant)>| {
-                let mut appended = 0u64;
-                // Ring-admission instant of the forming batch's earliest event;
-                // events arrive in admission order, so the first stamp wins.
-                let mut first_admitted: Option<Instant> = None;
-                while let Some((event, admitted)) = next_event() {
-                    first_admitted.get_or_insert(admitted);
-                    if pending.push(event, batch_size) {
-                        if let Some(snapshot) = pending.take_snapshot(base_id + appended) {
-                            let admitted = first_admitted.take().unwrap_or_else(Instant::now);
-                            if !log.append(snapshot, admitted) {
-                                return; // a lane failed; stop admitting
+        loop {
+            // The lanes of this pass: every still-active scope position, in
+            // ascending shard order (matching the `iter_mut` filter below).
+            let lanes_idx: Vec<usize> = (0..scope.len()).filter(|&sp| active[sp]).collect();
+            let parallel_pass = parallel && lanes_idx.len() > 1;
+            let max_inflight = if parallel_pass {
+                MAX_INFLIGHT_BATCHES
+            } else {
+                usize::MAX
+            };
+            let log = BatchLog::new(lanes_idx.len(), max_inflight);
+            let mut records: Vec<LaneRecord> =
+                lanes_idx.iter().map(|_| LaneRecord::default()).collect();
+            let pass_base = base_id + total_appended as u64;
+
+            {
+                // Split-borrow the lanes away from the pending buffer: the
+                // feeder owns `pending`, the lane threads own one shard
+                // session each.
+                let mut in_lane = vec![false; self.shards.len()];
+                for &sp in &lanes_idx {
+                    in_lane[scope[sp]] = true;
+                }
+                let pending = &mut self.pending;
+                let lanes: Vec<&mut MnemonicSession> = self
+                    .shards
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|&(i, _)| in_lane[i])
+                    .map(|(_, shard)| shard)
+                    .collect();
+
+                // The feeder: form batches exactly like the synchronous path
+                // (identical `PendingBuffer` thresholds → identical batch
+                // boundaries) and append them to the log. Returns the batch
+                // a failed append handed back, if any.
+                let feed = |pending: &mut crate::session::PendingBuffer,
+                            next_event: &mut dyn FnMut() -> Option<(StreamEvent, Instant)>,
+                            carry_in: Option<(Snapshot, Instant)>|
+                 -> Option<(Snapshot, Instant)> {
+                    let mut appended = 0u64;
+                    if let Some((snapshot, admitted)) = carry_in {
+                        if let Err(snapshot) = log.append(snapshot, admitted) {
+                            return Some((snapshot, admitted));
+                        }
+                        appended += 1;
+                    }
+                    // Ring-admission instant of the forming batch's earliest
+                    // event; events arrive in admission order, so the first
+                    // stamp wins.
+                    let mut first_admitted: Option<Instant> = None;
+                    while let Some((event, admitted)) = next_event() {
+                        first_admitted.get_or_insert(admitted);
+                        if pending.push(event, batch_size) {
+                            if let Some(snapshot) = pending.take_snapshot(pass_base + appended) {
+                                let admitted = first_admitted.take().unwrap_or_else(Instant::now);
+                                if let Err(snapshot) = log.append(snapshot, admitted) {
+                                    return Some((snapshot, admitted));
+                                }
+                                appended += 1;
                             }
-                            appended += 1;
                         }
                     }
-                }
-                if let Some(snapshot) = pending.take_snapshot(base_id + appended) {
-                    let admitted = first_admitted.take().unwrap_or_else(Instant::now);
-                    log.append(snapshot, admitted);
-                }
-            };
+                    if let Some(snapshot) = pending.take_snapshot(pass_base + appended) {
+                        let admitted = first_admitted.take().unwrap_or_else(Instant::now);
+                        if let Err(snapshot) = log.append(snapshot, admitted) {
+                            return Some((snapshot, admitted));
+                        }
+                    }
+                    None
+                };
 
-        if parallel_lanes {
-            std::thread::scope(|ts| {
-                for ((lane, shard), rec) in lanes.into_iter().enumerate().zip(records.iter_mut()) {
-                    let log = &log;
-                    let shard_index = scope[lane];
-                    ts.spawn(move || lane_loop(shard, log, lane, shard_index, rec));
+                let carry_in = carry.take();
+                if parallel_pass {
+                    std::thread::scope(|ts| {
+                        for ((lane, shard), rec) in
+                            lanes.into_iter().enumerate().zip(records.iter_mut())
+                        {
+                            let log = &log;
+                            let shard_index = scope[lanes_idx[lane]];
+                            ts.spawn(move || lane_loop(shard, log, lane, shard_index, rec));
+                        }
+                        carry = feed(pending, &mut next_event, carry_in);
+                        log.close();
+                        // the scope joins every lane before returning
+                    });
+                } else {
+                    carry = feed(pending, &mut next_event, carry_in);
+                    log.close();
+                    for ((lane, shard), rec) in
+                        lanes.into_iter().enumerate().zip(records.iter_mut())
+                    {
+                        lane_loop(shard, &log, lane, scope[lanes_idx[lane]], rec);
+                    }
                 }
-                feed(pending, &mut next_event);
-                log.close();
-                // the scope joins every lane before returning
-            });
-        } else {
-            feed(pending, &mut next_event);
-            log.close();
-            for ((lane, shard), rec) in lanes.into_iter().enumerate().zip(records.iter_mut()) {
-                lane_loop(shard, &log, lane, scope[lane], rec);
+            }
+
+            let (admitted, queue_waits, entries_base, entries) = log.into_parts();
+            let appended_local = admitted.len();
+            admitted_all.extend(admitted);
+            queue_waits_all.extend(queue_waits);
+            for run in runs.iter_mut() {
+                run.resize_with(total_appended + appended_local, || None);
+            }
+
+            // Fold the lane records into the global run table. Outcomes are
+            // contiguous Oks with at most one trailing Err (`lane_loop`
+            // stops at the first failure), so `pos[sp]` — the pass-local
+            // index the lane reached — is just its Ok count.
+            let mut pos = vec![0usize; scope.len()];
+            let mut failures: Vec<(usize, usize, MnemonicError)> = Vec::new();
+            for (lane, rec) in records.into_iter().enumerate() {
+                let sp = lanes_idx[lane];
+                let LaneRecord {
+                    outcomes,
+                    wall,
+                    done_at,
+                } = rec;
+                let mut applied = 0usize;
+                for (j, outcome) in outcomes.into_iter().enumerate() {
+                    match outcome {
+                        Ok(r) => {
+                            runs[sp][total_appended + j] = Some((r, wall[j], done_at[j]));
+                            applied = j + 1;
+                        }
+                        Err(e) => failures.push((sp, j, e)),
+                    }
+                }
+                pos[sp] = applied;
+            }
+            failures.sort_by_key(|&(sp, j, _)| (j, sp));
+            let had_failures = !failures.is_empty();
+
+            // Graceful degradation: under a `DegradePolicy`, quarantine each
+            // failed shard, migrate its standing queries to the least-ahead
+            // surviving lane, and replay the gap batches from the log.
+            for (sp, f, err) in failures {
+                let Some(policy) = self.degrade else {
+                    return Err(err);
+                };
+                if !matches!(
+                    err,
+                    MnemonicError::ShardPanicked(_) | MnemonicError::ShardDesynced(_)
+                ) {
+                    return Err(err);
+                }
+                if report.restarts >= policy.max_restarts {
+                    return Err(err);
+                }
+                let pause = policy
+                    .backoff
+                    .saturating_mul(1u32 << report.restarts.min(16));
+                if pause > Duration::ZERO {
+                    std::thread::sleep(pause);
+                }
+                report.restarts += 1;
+                let failed_shard = scope[sp];
+                let (states, dropped, truncated) = self.shards[failed_shard].quarantine_queries();
+                report.deferred_units_dropped += dropped;
+                report.partial_results_truncated += truncated;
+                active[sp] = false;
+                report.quarantined_shards += 1;
+                // The host must not have run past the failure point, or the
+                // adopted queries would miss batch `f`. The log gates lanes
+                // at the earliest failure, so with sequential lanes a host
+                // always exists; parallel lanes can race past an f that only
+                // became the minimum later — then the run is unrecoverable.
+                let host = (0..scope.len())
+                    .filter(|&h| active[h] && pos[h] <= f)
+                    .min_by_key(|&h| pos[h]);
+                let Some(host) = host else {
+                    return Err(err);
+                };
+                let host_shard = scope[host];
+                // Bring the host level with the failure point *before*
+                // adoption, so re-priming sees the graph as of batch `f`.
+                report.batches_replayed += replay_batches(
+                    &mut self.shards[host_shard],
+                    host_shard,
+                    &entries,
+                    entries_base,
+                    pos[host],
+                    f,
+                    &mut runs[host],
+                    total_appended,
+                )?;
+                pos[host] = f;
+                for state in states {
+                    let id = state.id;
+                    self.shards[host_shard].adopt_query(state);
+                    self.note_adopted(id, host_shard);
+                    report.queries_migrated += 1;
+                }
+            }
+
+            // Equalize: every surviving lane replays to the end of what this
+            // pass appended, so the next pass starts from a common version.
+            if had_failures {
+                for sp in 0..scope.len() {
+                    if !active[sp] || pos[sp] >= appended_local {
+                        continue;
+                    }
+                    let shard_index = scope[sp];
+                    report.batches_replayed += replay_batches(
+                        &mut self.shards[shard_index],
+                        shard_index,
+                        &entries,
+                        entries_base,
+                        pos[sp],
+                        appended_local,
+                        &mut runs[sp],
+                        total_appended,
+                    )?;
+                }
+            }
+
+            total_appended += appended_local;
+            if !had_failures {
+                break;
             }
         }
         let wall = t_start.elapsed();
-        let (admitted, queue_waits) = log.into_admission();
-        let appended = admitted.len();
 
-        // A lane that stopped short of the appended count failed (its last
-        // outcome is the error) — surface the earliest failure.
-        let mut first_error: Option<(usize, MnemonicError)> = None;
-        for rec in records.iter_mut() {
-            if let Some(pos) = rec.outcomes.iter().position(|o| o.is_err()) {
-                let err = rec.outcomes.remove(pos).unwrap_err();
-                if first_error.as_ref().map_or(true, |(p, _)| pos < *p) {
-                    first_error = Some((pos, err));
+        // Merge the run table into per-batch results. Every batch was
+        // applied by at least one lane (quarantined lanes' pre-failure
+        // outcomes are kept; their queries contribute through the host from
+        // the failure point on), so the merged sequence is complete.
+        let mut batches = Vec::with_capacity(total_appended);
+        for k in 0..total_appended {
+            let mut per_lane: Vec<Result<SessionBatchResult, MnemonicError>> = Vec::new();
+            let mut lane_times = Vec::with_capacity(scope.len());
+            let mut done: Option<Instant> = None;
+            for run in runs.iter_mut() {
+                match run[k].take() {
+                    Some((r, w, d)) => {
+                        per_lane.push(Ok(r));
+                        lane_times.push(w);
+                        done = Some(done.map_or(d, |cur| cur.max(d)));
+                    }
+                    None => lane_times.push(Duration::ZERO),
                 }
             }
-        }
-        if let Some((_, err)) = first_error {
-            return Err(err);
-        }
-        debug_assert!(
-            records.iter().all(|r| r.outcomes.len() == appended),
-            "every lane applies every appended batch on the success path"
-        );
-
-        // Transpose the per-lane records into per-batch merged results.
-        let mut outcome_iters: Vec<_> = Vec::with_capacity(records.len());
-        let mut wall_times: Vec<Vec<Duration>> = Vec::with_capacity(records.len());
-        let mut done_ats: Vec<Vec<Instant>> = Vec::with_capacity(records.len());
-        for rec in records {
-            outcome_iters.push(rec.outcomes.into_iter());
-            wall_times.push(rec.wall);
-            done_ats.push(rec.done_at);
-        }
-        let mut batches = Vec::with_capacity(appended);
-        for k in 0..appended {
-            let per_lane: Vec<Result<SessionBatchResult, MnemonicError>> = outcome_iters
-                .iter_mut()
-                .map(|it| it.next().expect("lane lengths checked above"))
-                .collect();
             let result = self.merge_results(per_lane)?;
-            let done = done_ats
-                .iter()
-                .map(|d| d[k])
-                .max()
-                .expect("at least one lane");
+            let done = done.expect("every batch was applied by at least one lane");
             batches.push(PipelinedBatch {
                 result,
-                latency: done.saturating_duration_since(admitted[k]),
-                queue_wait: queue_waits[k],
-                lane_times: wall_times.iter().map(|w| w[k]).collect(),
+                latency: done.saturating_duration_since(admitted_all[k]),
+                queue_wait: queue_waits_all[k],
+                lane_times,
             });
         }
 
@@ -1043,12 +1271,17 @@ impl ShardedSession {
         // their private sessions batch by batch; the sharded-level version
         // counters and the load tracker fold the run in here, strictly
         // after every lane has stopped (migration stays between batches).
-        let appended = appended as u64;
-        self.snapshots_processed += appended;
-        if appended > 0 {
-            self.graph_version += appended;
-            for &s in &scope {
-                self.shard_versions[s] = self.graph_version;
+        // Quarantined shards keep their stale version: they are empty of
+        // queries, so a later placement re-clones their graph wholesale
+        // through `sync_shard`, discarding whatever the failure left behind.
+        let total = total_appended as u64;
+        self.snapshots_processed += total;
+        if total > 0 {
+            self.graph_version += total;
+            for sp in 0..scope.len() {
+                if active[sp] {
+                    self.shard_versions[scope[sp]] = self.graph_version;
+                }
             }
             self.after_batch()?;
         }
@@ -1056,8 +1289,44 @@ impl ShardedSession {
             batches,
             lanes: scope,
             wall,
+            degrade: (report.restarts > 0).then_some(report),
+            queue: None,
         })
     }
+}
+
+/// Re-apply log batches `[from, to)` (pass-local indices) to one shard,
+/// recording outcomes into the global run table at `global_offset + j` —
+/// the degraded driver's catch-up path for replay hosts and survivors.
+/// Failures during replay are not themselves recoverable: they surface as
+/// the typed error directly (nested recovery would have no healthy baseline
+/// to replay from).
+#[allow(clippy::too_many_arguments)]
+fn replay_batches(
+    shard: &mut MnemonicSession,
+    shard_index: usize,
+    entries: &[Arc<Snapshot>],
+    entries_base: usize,
+    from: usize,
+    to: usize,
+    run: &mut [Option<(SessionBatchResult, Duration, Instant)>],
+    global_offset: usize,
+) -> Result<u64, MnemonicError> {
+    let mut replayed = 0u64;
+    for j in from..to {
+        let snapshot = &entries[j - entries_base];
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| shard.apply_snapshot(snapshot)));
+        match outcome {
+            Ok(Ok(r)) => {
+                run[global_offset + j] = Some((r, t0.elapsed(), Instant::now()));
+                replayed += 1;
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(_) => return Err(MnemonicError::ShardPanicked(shard_index)),
+        }
+    }
+    Ok(replayed)
 }
 
 #[cfg(test)]
@@ -1168,6 +1437,8 @@ mod tests {
             ],
             lanes: vec![0, 1],
             wall: ms(100),
+            degrade: None,
+            queue: None,
         };
         assert_eq!(run.latency_percentile(50.0), Some(ms(20)));
         assert_eq!(run.latency_percentile(99.0), Some(ms(40)));
@@ -1182,6 +1453,8 @@ mod tests {
             batches: Vec::new(),
             lanes: vec![0],
             wall: Duration::ZERO,
+            degrade: None,
+            queue: None,
         };
         assert_eq!(empty.latency_percentile(50.0), None);
         assert_eq!(empty.queue_wait_percentile(50.0), None);
@@ -1192,14 +1465,18 @@ mod tests {
     fn batch_log_prunes_applied_entries() {
         let log = BatchLog::new(2, 4);
         for i in 0..3 {
-            assert!(log.append(Snapshot::from_events(i, [ev(i as u32)]), Instant::now()));
+            assert!(log
+                .append(Snapshot::from_events(i, [ev(i as u32)]), Instant::now())
+                .is_ok());
         }
         // Both lanes apply the first batch; the window must shrink.
         assert_eq!(log.wait_for(0).unwrap().id, 0);
         log.advance(0);
         assert_eq!(log.wait_for(1).unwrap().id, 0);
         log.advance(1);
-        assert!(log.append(Snapshot::from_events(3, [ev(3)]), Instant::now()));
+        assert!(log
+            .append(Snapshot::from_events(3, [ev(3)]), Instant::now())
+            .is_ok());
         {
             let inner = log.inner.lock().unwrap();
             assert_eq!(inner.base, 1, "applied batches are pruned");

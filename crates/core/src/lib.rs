@@ -88,8 +88,8 @@ pub use ingest::{
 };
 pub use pipeline::DeltaBatch;
 pub use rebalance::{
-    plan_moves, static_pattern_cost, LoadTracker, QueryBudget, QueryMove, RebalancePolicy,
-    RebalanceReport,
+    plan_moves, static_pattern_cost, DegradePolicy, DegradeReport, LoadTracker, QueryBudget,
+    QueryMove, RebalancePolicy, RebalanceReport,
 };
 pub use session::{
     MnemonicSession, QueryHandle, QueryId, ResultBatch, SessionBatchResult, SessionBuilder,

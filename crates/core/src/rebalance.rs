@@ -81,6 +81,98 @@ impl RebalancePolicy {
     }
 }
 
+/// How a [`ShardedSession`](crate::shard::ShardedSession) running the
+/// pipelined path degrades when a shard lane dies mid-stream, instead of
+/// failing the whole session.
+///
+/// Without a policy (the default), a lane panic or desync surfaces as
+/// [`ShardPanicked`](crate::error::MnemonicError::ShardPanicked) /
+/// [`ShardDesynced`](crate::error::MnemonicError::ShardDesynced) exactly as
+/// before. With a policy installed via
+/// [`degrade_policy`](crate::shard::ShardedSessionBuilder::degrade_policy),
+/// the session instead **quarantines** the dead shard, migrates its standing
+/// queries onto a surviving shard with the existing exactness-preserving
+/// mechanism (take → re-prime → adopt), replays the batches the dead lane
+/// never finished from the shared batch log, and keeps serving.
+///
+/// # Exactness contract
+///
+/// Recovery is *embedding-exact*: the merged result stream after a recovered
+/// failure is embedding-for-embedding identical to an unfaulted run.
+/// Partially emitted output from the failed batch is truncated back to the
+/// last sealed batch watermark before migration (counted in
+/// [`DegradeReport::partial_results_truncated`]), and the adopting shard
+/// replays every batch the dead lane missed before new input is admitted.
+/// The one case that cannot be recovered exactly — every surviving lane had
+/// already advanced *past* the failed batch, so no valid adoption host
+/// exists — surfaces the original typed error rather than degrading
+/// silently. With sequential lanes, lanes are driven in scope order, so the
+/// lanes *before* the failed one have already completed the pass (no valid
+/// host) while the lanes *after* it are still gated at the failed batch
+/// (valid hosts): recovery succeeds exactly when a lane later in scope
+/// order survives.
+///
+/// # Determinism contract
+///
+/// Given the same input stream, the same failure point and the same policy,
+/// recovery makes identical decisions: host selection is by minimal lane
+/// position (ties broken by lowest shard index), replay order is batch-log
+/// order, and backoff affects only wall time, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Maximum number of lane recoveries per run; must be ≥ 1. When the
+    /// budget is exhausted the next failure surfaces its typed error.
+    pub max_restarts: u32,
+    /// Pause before each recovery attempt, doubling per successive restart
+    /// (gives transient causes — e.g. a fault-injection window — time to
+    /// pass). Affects timing only, never results.
+    pub backoff: Duration,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            max_restarts: 2,
+            backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// Validate the policy's ranges.
+    ///
+    /// # Errors
+    /// A human-readable reason when a field is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_restarts == 0 {
+            return Err("max_restarts must be >= 1 (use no policy to disable)".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// What a degraded [`run_pipelined`](crate::shard::ShardedSession::run_pipelined)
+/// run did to survive: populated on
+/// [`PipelinedRun::degrade`](crate::ingest::PipelinedRun::degrade) whenever
+/// at least one lane was recovered.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeReport {
+    /// Lane recoveries performed.
+    pub restarts: u32,
+    /// Shards quarantined (dead and no longer serving queries).
+    pub quarantined_shards: u32,
+    /// Standing queries migrated off dead shards.
+    pub queries_migrated: u64,
+    /// Batches replayed from the shared batch log during recovery.
+    pub batches_replayed: u64,
+    /// Parked deferred work units dropped with their dead shard (these were
+    /// re-created by the replay, so exactness is unaffected).
+    pub deferred_units_dropped: u64,
+    /// Partially emitted embeddings truncated back to the last sealed batch
+    /// watermark before migration (re-emitted by the replay).
+    pub partial_results_truncated: u64,
+}
+
 /// A per-batch enumeration budget for every standing query of a session —
 /// the fairness knob that keeps one pathological pattern from starving its
 /// co-tenants.

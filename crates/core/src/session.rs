@@ -140,6 +140,12 @@ pub(crate) struct QueryOutput {
     pub(crate) completed_deferred_units: AtomicU64,
     /// Batches in which this query exhausted its budget.
     pub(crate) deferral_batches: AtomicU64,
+    /// Buffered-embedding watermarks as of the last *sealed* batch. A batch
+    /// that dies mid-enumeration (shard panic) leaves partial output above
+    /// these marks; [`MnemonicSession::quarantine_queries`] truncates back
+    /// to them so the replay can re-emit the batch exactly once.
+    pub(crate) sealed_positive: AtomicU64,
+    pub(crate) sealed_negative: AtomicU64,
 }
 
 impl QueryOutput {
@@ -220,10 +226,11 @@ impl QueryHandle {
 
     /// Drain every buffered embedding accumulated since the last drain.
     pub fn drain(&self) -> ResultBatch {
-        ResultBatch {
-            positive: std::mem::take(&mut *self.output.positive.lock()),
-            negative: std::mem::take(&mut *self.output.negative.lock()),
-        }
+        let positive = std::mem::take(&mut *self.output.positive.lock());
+        let negative = std::mem::take(&mut *self.output.negative.lock());
+        self.output.sealed_positive.store(0, Ordering::Relaxed);
+        self.output.sealed_negative.store(0, Ordering::Relaxed);
+        ResultBatch { positive, negative }
     }
 
     /// Number of embeddings currently buffered (not yet drained).
@@ -765,7 +772,78 @@ impl MnemonicSession {
     pub(crate) fn take_query(&mut self, id: QueryId) -> Option<QueryState> {
         let idx = self.queries.iter().position(|q| q.id == id)?;
         Enumerate::force_drain_query(self, idx);
+        Self::seal_query_watermark(&self.queries[idx].output);
         Some(self.queries.remove(idx))
+    }
+
+    /// Advance one query's sealed-output watermark to everything currently
+    /// buffered (the embeddings below the mark are final and survive a
+    /// mid-batch failure).
+    fn seal_query_watermark(output: &QueryOutput) {
+        let positive = output.positive.lock().len() as u64;
+        let negative = output.negative.lock().len() as u64;
+        output.sealed_positive.store(positive, Ordering::Relaxed);
+        output.sealed_negative.store(negative, Ordering::Relaxed);
+    }
+
+    /// Advance every query's sealed-output watermark (batch-seal /
+    /// post-force-drain bookkeeping).
+    fn seal_output_watermarks(&self) {
+        for qs in &self.queries {
+            Self::seal_query_watermark(&qs.output);
+        }
+    }
+
+    /// Pull **every** standing query out of a dying session for adoption by
+    /// a surviving shard, without running any enumeration on the way out
+    /// (the session may be mid-panic-unwind state; its graph is not touched).
+    ///
+    /// Parked budget-deferred work units are dropped — they belong to batches
+    /// the adopting shard will replay in full, which re-creates (and this
+    /// time completes) them. Output buffered *above* the last sealed batch
+    /// watermark is partial emission from the failed batch; it is truncated
+    /// (and subtracted from the `accepted` lifetime counter) so the replay
+    /// re-emits the batch exactly once.
+    ///
+    /// Returns the salvaged states plus the dropped-deferred-unit and
+    /// truncated-embedding counts for the
+    /// [`DegradeReport`](crate::rebalance::DegradeReport).
+    pub(crate) fn quarantine_queries(&mut self) -> (Vec<QueryState>, u64, u64) {
+        let mut dropped_deferred = 0u64;
+        let mut truncated_total = 0u64;
+        let states: Vec<QueryState> = self.queries.drain(..).collect();
+        for qs in &states {
+            let mut deferred = qs.deferred.lock();
+            dropped_deferred += deferred
+                .iter()
+                .map(|epoch| epoch.units.len() as u64)
+                .sum::<u64>();
+            deferred.clear();
+            drop(deferred);
+
+            let mut truncated = 0u64;
+            {
+                let mut positive = qs.output.positive.lock();
+                let sealed = qs.output.sealed_positive.load(Ordering::Relaxed) as usize;
+                if positive.len() > sealed {
+                    truncated += (positive.len() - sealed) as u64;
+                    positive.truncate(sealed);
+                }
+            }
+            {
+                let mut negative = qs.output.negative.lock();
+                let sealed = qs.output.sealed_negative.load(Ordering::Relaxed) as usize;
+                if negative.len() > sealed {
+                    truncated += (negative.len() - sealed) as u64;
+                    negative.truncate(sealed);
+                }
+            }
+            if truncated > 0 {
+                qs.output.accepted.fetch_sub(truncated, Ordering::Relaxed);
+                truncated_total += truncated;
+            }
+        }
+        (states, dropped_deferred, truncated_total)
     }
 
     /// Adopt a query state migrated from another shard: reset its index,
@@ -800,6 +878,7 @@ impl MnemonicSession {
     /// delivered through each query's own channel.
     pub(crate) fn force_drain_deferred(&self) {
         Enumerate::force_drain_all(self);
+        self.seal_output_watermarks();
     }
 
     /// Remove a standing query. Its share of the filtering and enumeration
@@ -1029,6 +1108,7 @@ impl MnemonicSession {
                 self.snapshots_processed += 1;
                 self.total_timings.accumulate(&batch.timings);
                 self.publish_spill_telemetry();
+                self.seal_output_watermarks();
                 Ok(self.seal_batch(&batch, &before_counters))
             }
             Err(e) => Err(e),

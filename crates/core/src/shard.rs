@@ -77,8 +77,8 @@ use crate::engine::{BatchResult, EngineConfig};
 use crate::error::MnemonicError;
 use crate::parallel;
 use crate::rebalance::{
-    plan_moves, static_pattern_cost, LoadTracker, QueryBudget, QueryMove, RebalancePolicy,
-    RebalanceReport,
+    plan_moves, static_pattern_cost, DegradePolicy, LoadTracker, QueryBudget, QueryMove,
+    RebalancePolicy, RebalanceReport,
 };
 use crate::session::{MnemonicSession, PendingBuffer, QueryHandle, QueryId, SessionBatchResult};
 use crate::stats::PhaseTimings;
@@ -262,6 +262,7 @@ pub struct ShardedSessionBuilder {
     config: EngineConfig,
     shards: usize,
     policy: Option<RebalancePolicy>,
+    degrade: Option<DegradePolicy>,
 }
 
 impl Default for ShardedSessionBuilder {
@@ -270,6 +271,7 @@ impl Default for ShardedSessionBuilder {
             config: EngineConfig::default(),
             shards: 1,
             policy: None,
+            degrade: None,
         }
     }
 }
@@ -354,6 +356,18 @@ impl ShardedSessionBuilder {
         self
     }
 
+    /// Opt in to graceful shard degradation for the pipelined drivers
+    /// ([`ShardedSession::serve`] / [`ShardedSession::run_pipelined`]): a
+    /// lane failing with [`MnemonicError::ShardPanicked`] or
+    /// [`MnemonicError::ShardDesynced`] is quarantined and its queries
+    /// migrate to a surviving shard instead of failing the run. See
+    /// [`DegradePolicy`] for the exactness and determinism contracts.
+    /// Validated at [`ShardedSessionBuilder::build`] time.
+    pub fn degrade_policy(mut self, policy: DegradePolicy) -> Self {
+        self.degrade = Some(policy);
+        self
+    }
+
     /// Validate the configuration and construct the sharded session.
     ///
     /// # Errors
@@ -363,6 +377,10 @@ impl ShardedSessionBuilder {
     pub fn build(self) -> Result<ShardedSession, MnemonicError> {
         let mut session = ShardedSession::new(self.config, self.shards)?;
         session.set_rebalance_policy(self.policy)?;
+        if let Some(degrade) = self.degrade {
+            degrade.validate().map_err(MnemonicError::InvalidConfig)?;
+            session.degrade = Some(degrade);
+        }
         Ok(session)
     }
 }
@@ -387,6 +405,9 @@ pub struct ShardedSession {
     /// Automatic-rebalance policy; `None` disables the auto trigger (manual
     /// [`ShardedSession::rebalance`] and migration stay available).
     policy: Option<RebalancePolicy>,
+    /// Graceful-degradation policy for the pipelined drivers; `None` (the
+    /// default) surfaces lane failures as errors, exactly as before.
+    pub(crate) degrade: Option<DegradePolicy>,
     /// EWMA of each query's measured per-batch enumeration time — the
     /// weights the plan is re-placed by.
     tracker: LoadTracker,
@@ -471,6 +492,7 @@ impl ShardedSession {
             snapshots_processed: 0,
             pending: PendingBuffer::default(),
             policy: None,
+            degrade: None,
             tracker: LoadTracker::default(),
             overload_streak: 0,
             rebalance_count: 0,
@@ -722,6 +744,20 @@ impl ShardedSession {
         // of instantly re-firing (and oscillating) off stale evidence.
         self.overload_streak = 0;
         Ok(())
+    }
+
+    /// The configured graceful-degradation policy, if any (see
+    /// [`ShardedSessionBuilder::degrade_policy`]).
+    pub fn degrade_policy(&self) -> Option<DegradePolicy> {
+        self.degrade
+    }
+
+    /// Record that a query's state was adopted by `to` (the degraded
+    /// driver's quarantine migration, which moves states directly between
+    /// shard sessions): keep the placement plan in step so routing, load
+    /// accounting and the broadcast scope see the new home.
+    pub(crate) fn note_adopted(&mut self, id: QueryId, to: usize) {
+        self.plan.move_to(id, to);
     }
 
     /// Bring one shard's graph up to date by cloning it from a shard that

@@ -217,7 +217,15 @@ pub struct SpillSnapshot {
     /// Spill-tier I/O failures absorbed during ingest (results stay exact;
     /// only the overhead accounting degrades — see
     /// [`spill_io_errors`](crate::session::MnemonicSession::spill_io_errors)).
+    /// Each failed spill operation counts **exactly once** here, no matter
+    /// how many retry attempts it burned first.
     pub io_errors: u64,
+    /// Transient spill I/O attempts that failed but were retried and
+    /// ultimately succeeded (paged backend only; see
+    /// [`IO_RETRY_ATTEMPTS`](mnemonic_graph::storage::IO_RETRY_ATTEMPTS)).
+    /// Disjoint from [`io_errors`](Self::io_errors): a retried-then-successful
+    /// operation shows up here and *not* there.
+    pub io_retries: u64,
     /// Edges written to the disk tier so far.
     pub edges_on_disk: u64,
     /// Flush transactions performed.
@@ -254,6 +262,7 @@ pub(crate) struct SpillTelemetry {
     enabled: AtomicU64,
     paged: AtomicU64,
     io_errors: AtomicU64,
+    io_retries: AtomicU64,
     edges_on_disk: AtomicU64,
     flushes: AtomicU64,
     resident_pages: AtomicU64,
@@ -282,6 +291,7 @@ impl SpillTelemetry {
         self.resident_pages
             .store(resident_pages as u64, Ordering::Relaxed);
         if let Some(paged) = stats.paged {
+            self.io_retries.store(paged.io_retries, Ordering::Relaxed);
             self.raw_bytes.store(paged.raw_bytes, Ordering::Relaxed);
             self.compressed_bytes
                 .store(paged.compressed_bytes, Ordering::Relaxed);
@@ -301,6 +311,7 @@ impl SpillTelemetry {
             enabled: self.enabled.load(Ordering::Relaxed) != 0,
             paged: self.paged.load(Ordering::Relaxed) != 0,
             io_errors: self.io_errors.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
             edges_on_disk: self.edges_on_disk.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             resident_pages: self.resident_pages.load(Ordering::Relaxed),

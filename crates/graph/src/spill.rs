@@ -13,7 +13,7 @@
 use crate::edge::Edge;
 use crate::edge_log::{EdgeLog, EdgeLogStats, LogRecord};
 use crate::ids::{EdgeId, Timestamp, VertexId};
-use crate::storage::{PagedEdgeLog, PagedLogStats, StorageConfig};
+use crate::storage::{PagedEdgeLog, PagedLogStats, RecoveryReport, StorageConfig};
 use std::collections::VecDeque;
 
 /// Configuration of the spill policy.
@@ -89,6 +89,13 @@ impl SpillBackend {
         }
     }
 
+    fn scan_all(&mut self) -> std::io::Result<Vec<LogRecord>> {
+        match self {
+            SpillBackend::Flat(log) => log.scan_all(),
+            SpillBackend::Paged(log) => log.scan_all(),
+        }
+    }
+
     /// Flat-log-shaped statistics, synthesised for the paged backend so
     /// existing consumers of [`SpillStats::log`] keep working.
     fn log_stats(&self) -> EdgeLogStats {
@@ -133,6 +140,10 @@ pub struct SpillManager {
     log: SpillBackend,
     flushes: u64,
     spilled: u64,
+    /// Auto-checkpoint cadence in newly sealed pages (0 = manual only).
+    checkpoint_pages: usize,
+    /// `pages_sealed` reading at the last checkpoint.
+    pages_at_last_checkpoint: u64,
 }
 
 impl SpillManager {
@@ -156,15 +167,18 @@ impl SpillManager {
         tag: &str,
     ) -> std::io::Result<Self> {
         let backend = if storage.is_paged() {
-            SpillBackend::Paged(Box::new(PagedEdgeLog::create_temp(
+            SpillBackend::Paged(Box::new(PagedEdgeLog::create_temp_with(
                 storage.page_size,
                 storage.cache_pages,
                 tag,
+                storage.fault,
             )?))
         } else {
             SpillBackend::Flat(EdgeLog::create_temp(tag)?)
         };
-        Self::from_backend(config, backend)
+        let mut mgr = Self::from_backend(config, backend)?;
+        mgr.checkpoint_pages = storage.checkpoint_pages;
+        Ok(mgr)
     }
 
     /// Create a spill manager whose backend is picked by `storage`, writing
@@ -175,15 +189,48 @@ impl SpillManager {
         path: impl AsRef<std::path::Path>,
     ) -> std::io::Result<Self> {
         let backend = if storage.is_paged() {
-            SpillBackend::Paged(Box::new(PagedEdgeLog::create(
+            SpillBackend::Paged(Box::new(PagedEdgeLog::create_with(
                 path,
                 storage.page_size,
                 storage.cache_pages,
+                storage.fault,
             )?))
         } else {
             SpillBackend::Flat(EdgeLog::create(path)?)
         };
-        Self::from_backend(config, backend)
+        let mut mgr = Self::from_backend(config, backend)?;
+        mgr.checkpoint_pages = storage.checkpoint_pages;
+        Ok(mgr)
+    }
+
+    /// Recover a spill manager from the paged log a crashed session left at
+    /// `path` (see [`PagedEdgeLog::recover`]): the log is scanned, the
+    /// surviving prefix re-indexed (from the last checkpoint when one
+    /// exists), and every truncated byte accounted in the returned
+    /// [`RecoveryReport`]. The in-memory window restarts empty — the
+    /// recovered records are the disk tier's content.
+    ///
+    /// # Errors
+    /// [`std::io::ErrorKind::InvalidInput`] when `storage` is not paged
+    /// (the flat log has no recovery scan); otherwise any
+    /// [`PagedEdgeLog::recover`] error.
+    pub fn recover(
+        config: SpillConfig,
+        storage: StorageConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        if !storage.is_paged() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "crash recovery requires the paged storage backend",
+            ));
+        }
+        let (log, report) = PagedEdgeLog::recover(path, storage.page_size, storage.cache_pages)?;
+        let mut mgr = Self::from_backend(config, SpillBackend::Paged(Box::new(log)))?;
+        mgr.checkpoint_pages = storage.checkpoint_pages;
+        mgr.spilled = report.records_recovered;
+        mgr.pages_at_last_checkpoint = report.pages_recovered;
+        Ok((mgr, report))
     }
 
     fn from_backend(config: SpillConfig, log: SpillBackend) -> std::io::Result<Self> {
@@ -194,6 +241,8 @@ impl SpillManager {
             log,
             flushes: 0,
             spilled: 0,
+            checkpoint_pages: 0,
+            pages_at_last_checkpoint: 0,
         })
     }
 
@@ -283,16 +332,57 @@ impl SpillManager {
         Ok(())
     }
 
-    /// Force the buffered records onto disk.
+    /// Force the buffered records onto disk. When an automatic checkpoint
+    /// cadence is configured ([`StorageConfig::checkpoint_every`]) and
+    /// enough new pages have been sealed since the last checkpoint, a
+    /// snapshot checkpoint is written as part of the flush.
     pub fn flush(&mut self) -> std::io::Result<usize> {
         if self.buffer.is_empty() {
+            self.maybe_checkpoint()?;
             return Ok(0);
         }
         let n = self.log.append_batch(&self.buffer)?;
         self.spilled += n as u64;
         self.buffer.clear();
         self.flushes += 1;
+        self.maybe_checkpoint()?;
         Ok(n)
+    }
+
+    fn maybe_checkpoint(&mut self) -> std::io::Result<()> {
+        if self.checkpoint_pages == 0 {
+            return Ok(());
+        }
+        if let SpillBackend::Paged(log) = &mut self.log {
+            let sealed = log.stats().pages_sealed;
+            if sealed.saturating_sub(self.pages_at_last_checkpoint) >= self.checkpoint_pages as u64
+            {
+                log.checkpoint()?;
+                self.pages_at_last_checkpoint = log.stats().pages_sealed;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write a snapshot checkpoint of the paged backend now (buffered
+    /// records are flushed first). Returns the checkpointed record
+    /// watermark, or `None` for the flat backend, which has no checkpoint
+    /// format.
+    pub fn checkpoint(&mut self) -> std::io::Result<Option<u64>> {
+        if !self.buffer.is_empty() {
+            let n = self.log.append_batch(&self.buffer)?;
+            self.spilled += n as u64;
+            self.buffer.clear();
+            self.flushes += 1;
+        }
+        match &mut self.log {
+            SpillBackend::Flat(_) => Ok(None),
+            SpillBackend::Paged(log) => {
+                let watermark = log.checkpoint()?;
+                self.pages_at_last_checkpoint = log.stats().pages_sealed;
+                Ok(Some(watermark))
+            }
+        }
     }
 
     /// Fetch the spilled outgoing records of a vertex from disk.
@@ -303,6 +393,12 @@ impl SpillManager {
     /// Fetch the spilled incoming records of a vertex from disk.
     pub fn fetch_incoming(&mut self, v: VertexId) -> std::io::Result<Vec<LogRecord>> {
         self.log.fetch_incoming(v)
+    }
+
+    /// Every record on the disk tier, in append order — what a recovered
+    /// session replays to re-prime its standing queries.
+    pub fn scan_records(&mut self) -> std::io::Result<Vec<LogRecord>> {
+        self.log.scan_all()
     }
 
     /// Current occupancy statistics.

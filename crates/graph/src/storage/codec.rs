@@ -192,6 +192,49 @@ impl PostingList {
         self.len += 1;
     }
 
+    /// Append this list's persistent image to `out`: varint count, varint
+    /// last value, varint byte length, then the delta bytes verbatim. Used
+    /// by the checkpoint sidecar of the paged log.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        write_varint_u64(out, self.len as u64);
+        write_varint_u64(out, self.last);
+        write_varint_u64(out, self.bytes.len() as u64);
+        out.extend_from_slice(&self.bytes);
+    }
+
+    /// Decode a list serialized by [`PostingList::serialize_into`] starting
+    /// at `*pos`, advancing `*pos` past it. `None` on truncated input or on
+    /// delta bytes that do not decode to exactly `len` postings.
+    pub fn deserialize(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let len = read_varint_u64(buf, pos)? as usize;
+        let last = read_varint_u64(buf, pos)?;
+        let byte_len = read_varint_u64(buf, pos)? as usize;
+        let end = pos.checked_add(byte_len)?;
+        if end > buf.len() {
+            return None;
+        }
+        let bytes = buf[*pos..end].to_vec();
+        *pos = end;
+        // Validate the delta stream: it must decode to exactly `len`
+        // strictly increasing values ending at `last`.
+        let mut decoded_last = 0u64;
+        let mut inner = 0usize;
+        for i in 0..len {
+            let gap = read_varint_u64(&bytes, &mut inner)?;
+            decoded_last = if i == 0 {
+                gap
+            } else if gap == 0 {
+                return None; // zero gap breaks strict monotonicity
+            } else {
+                decoded_last.checked_add(gap)?
+            };
+        }
+        if inner != bytes.len() || (len > 0 && decoded_last != last) {
+            return None;
+        }
+        Some(PostingList { bytes, last, len })
+    }
+
     /// Streaming decoder over the postings (no intermediate `Vec`).
     pub fn iter(&self) -> PostingCursor<'_> {
         PostingCursor {
@@ -341,6 +384,36 @@ mod tests {
             "{}",
             list.compressed_bytes()
         );
+    }
+
+    #[test]
+    fn posting_list_serialization_roundtrips_and_rejects_corruption() {
+        let mut list = PostingList::new();
+        for v in [3u64, 9, 10, 400, 100_000] {
+            list.push(v);
+        }
+        let mut buf = Vec::new();
+        list.serialize_into(&mut buf);
+        PostingList::new().serialize_into(&mut buf); // empty list too
+        let mut pos = 0;
+        assert_eq!(PostingList::deserialize(&buf, &mut pos), Some(list));
+        assert_eq!(
+            PostingList::deserialize(&buf, &mut pos),
+            Some(PostingList::new())
+        );
+        assert_eq!(pos, buf.len());
+        // Truncation is detected, not mis-read.
+        let mut pos = 0;
+        assert_eq!(PostingList::deserialize(&buf[..4], &mut pos), None);
+        // A corrupted gap that breaks monotonicity is rejected.
+        let mut list = PostingList::new();
+        list.push(7);
+        list.push(8);
+        let mut buf = Vec::new();
+        list.serialize_into(&mut buf);
+        *buf.last_mut().unwrap() = 0; // gap 1 -> gap 0
+        let mut pos = 0;
+        assert_eq!(PostingList::deserialize(&buf, &mut pos), None);
     }
 
     #[test]

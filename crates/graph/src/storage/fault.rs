@@ -1,0 +1,218 @@
+//! Deterministic fault injection for the page I/O path.
+//!
+//! A [`FaultPlan`] is a small, seeded schedule of I/O faults that the
+//! [`PageManager`](crate::storage::pager::PageManager) consults on every
+//! page read and write. It exists so the crash-recovery and degradation
+//! machinery can be *proved* against reproducible disk failures instead of
+//! hoping for real ones: the same plan against the same write sequence
+//! injects the same faults at the same byte offsets, every run.
+//!
+//! # Determinism contract
+//!
+//! Fault sites are selected by **operation ordinal**, not by time: writes
+//! are numbered 1, 2, 3, … in issue order, and reads/writes together form a
+//! second ordinal sequence for transient faults. All randomness (torn-write
+//! prefix length, bit-flip position) comes from a xorshift generator seeded
+//! with [`FaultPlan::seed`]. Two runs that issue the same page operations in
+//! the same order observe byte-identical corruption.
+//!
+//! # Fault model
+//!
+//! * **Permanent write failure** ([`FaultPlan::fail_write`]): the Nth page
+//!   write returns an error that survives retries. Nothing reaches disk.
+//! * **Torn write** ([`FaultPlan::torn_write`]): the Nth page write persists
+//!   only a seeded prefix of the page image and then reports *success* —
+//!   the crash model, where the kernel acknowledged a write that never
+//!   fully hit the platter. Detected later by the page checksum.
+//! * **Bit flip** ([`FaultPlan::bit_flip_write`]): the Nth page write
+//!   persists with one seeded bit inverted and reports success — silent
+//!   media corruption, again caught by the checksum on read-back.
+//! * **Transient error** ([`FaultPlan::transient_every`]): every Nth I/O
+//!   operation fails once with [`std::io::ErrorKind::Interrupted`]; the
+//!   retry succeeds. Exercises the bounded-retry path without data loss.
+//!
+//! The plan is carried on [`StorageConfig`](crate::storage::StorageConfig)
+//! and is **off by default**: a default `FaultPlan` injects nothing and
+//! adds only a counter increment per operation.
+
+/// A seeded, deterministic schedule of injected page-I/O faults.
+///
+/// All ordinals are 1-based; `0` disables that fault. See the
+/// [module docs](self) for the exact fault model and the determinism
+/// contract.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the xorshift generator that picks torn-write prefix lengths
+    /// and bit-flip positions. Equal seeds (with equal operation sequences)
+    /// reproduce byte-identical corruption.
+    pub seed: u64,
+    /// 1-based ordinal of the page write that fails permanently (retries
+    /// included); `0` = never.
+    pub fail_write: u64,
+    /// 1-based ordinal of the page write that persists only a seeded prefix
+    /// of the page and reports success (crash/torn-write model); `0` =
+    /// never.
+    pub torn_write: u64,
+    /// 1-based ordinal of the page write that persists with one seeded bit
+    /// flipped and reports success (silent corruption); `0` = never.
+    pub bit_flip_write: u64,
+    /// Inject one transient [`std::io::ErrorKind::Interrupted`] failure on
+    /// every Nth I/O operation (reads and writes share the ordinal
+    /// sequence); the retry succeeds. `0` = never.
+    pub transient_every: u64,
+}
+
+impl FaultPlan {
+    /// Whether this plan injects nothing (the default).
+    pub fn is_noop(&self) -> bool {
+        self.fail_write == 0
+            && self.torn_write == 0
+            && self.bit_flip_write == 0
+            && self.transient_every == 0
+    }
+}
+
+/// What the fault layer decided for one page write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteFault {
+    /// Write the full page image.
+    None,
+    /// Return a permanent error; persist nothing.
+    FailPermanent,
+    /// Persist only the first `prefix` bytes, then report success.
+    Torn { prefix: usize },
+    /// Flip bit `bit` of the page image, persist it all, report success.
+    BitFlip { bit: usize },
+}
+
+/// Mutable per-manager fault state: the plan plus operation counters and
+/// the seeded generator. Lives inside the `PageManager`.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    writes: u64,
+    ops: u64,
+    rng: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            writes: 0,
+            ops: 0,
+            // Never let xorshift start at 0 (its fixed point); fold in an
+            // odd constant so seed 0 still produces a usable stream.
+            rng: plan.seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Decide the fate of the next page write of `page_size` bytes.
+    pub(crate) fn next_write(&mut self, page_size: usize) -> WriteFault {
+        if self.plan.is_noop() {
+            return WriteFault::None;
+        }
+        self.writes += 1;
+        if self.plan.fail_write == self.writes {
+            WriteFault::FailPermanent
+        } else if self.plan.torn_write == self.writes {
+            // A strict prefix: at least 1 byte short, possibly almost all.
+            let prefix = (self.next_u64() as usize) % page_size;
+            WriteFault::Torn { prefix }
+        } else if self.plan.bit_flip_write == self.writes {
+            let bit = (self.next_u64() as usize) % (page_size * 8);
+            WriteFault::BitFlip { bit }
+        } else {
+            WriteFault::None
+        }
+    }
+
+    /// Whether the next I/O operation should fail once transiently.
+    pub(crate) fn next_op_transient(&mut self) -> bool {
+        if self.plan.transient_every == 0 {
+            return false;
+        }
+        self.ops += 1;
+        self.ops % self.plan.transient_every == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop_and_decides_nothing() {
+        let mut state = FaultState::new(FaultPlan::default());
+        for _ in 0..100 {
+            assert_eq!(state.next_write(4096), WriteFault::None);
+            assert!(!state.next_op_transient());
+        }
+    }
+
+    #[test]
+    fn write_faults_fire_at_their_ordinal_exactly_once() {
+        let plan = FaultPlan {
+            seed: 42,
+            fail_write: 2,
+            torn_write: 4,
+            bit_flip_write: 5,
+            transient_every: 0,
+        };
+        let mut state = FaultState::new(plan);
+        assert_eq!(state.next_write(4096), WriteFault::None);
+        assert_eq!(state.next_write(4096), WriteFault::FailPermanent);
+        assert_eq!(state.next_write(4096), WriteFault::None);
+        let torn = state.next_write(4096);
+        match torn {
+            WriteFault::Torn { prefix } => assert!(prefix < 4096),
+            other => panic!("expected a torn write, got {other:?}"),
+        }
+        let flip = state.next_write(4096);
+        match flip {
+            WriteFault::BitFlip { bit } => assert!(bit < 4096 * 8),
+            other => panic!("expected a bit flip, got {other:?}"),
+        }
+        for _ in 0..32 {
+            assert_eq!(state.next_write(4096), WriteFault::None);
+        }
+    }
+
+    #[test]
+    fn equal_seeds_reproduce_identical_decisions() {
+        let plan = FaultPlan {
+            seed: 7,
+            torn_write: 1,
+            bit_flip_write: 2,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultState::new(plan);
+        let mut b = FaultState::new(plan);
+        for _ in 0..4 {
+            assert_eq!(a.next_write(8192), b.next_write(8192));
+        }
+    }
+
+    #[test]
+    fn transient_faults_fire_every_nth_op() {
+        let plan = FaultPlan {
+            transient_every: 3,
+            ..FaultPlan::default()
+        };
+        let mut state = FaultState::new(plan);
+        let fired: Vec<bool> = (0..9).map(|_| state.next_op_transient()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+}

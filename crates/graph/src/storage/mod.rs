@@ -14,8 +14,12 @@
 //!   dirty-page write-back, which bounds resident memory to a fixed page
 //!   budget,
 //! * [`paged_log`] — the [`PagedEdgeLog`]: delta-varint-compressed records
-//!   in pages, per-vertex posting lists, and streaming fetch/scan iterators
-//!   that never materialise intermediate `Vec`s.
+//!   in pages, per-vertex posting lists, streaming fetch/scan iterators
+//!   that never materialise intermediate `Vec`s, and — since PR 10 — the
+//!   [`PagedEdgeLog::recover`] crash-recovery scan plus snapshot
+//!   checkpoints,
+//! * [`fault`] — the seeded, deterministic [`FaultPlan`] fault-injection
+//!   hook threaded through the pager's I/O for recovery testing.
 //!
 //! The tier is **opt-in**: [`StorageConfig::default`] keeps everything
 //! in memory exactly as before, [`StorageConfig::paged`] routes window
@@ -23,15 +27,17 @@
 
 pub mod cache;
 pub mod codec;
+pub mod fault;
 pub mod page;
 pub mod paged_log;
 pub mod pager;
 
 pub use cache::{PageCache, PageCacheStats};
 pub use codec::{PostingCursor, PostingList};
+pub use fault::FaultPlan;
 pub use page::{BlockIter, Page, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_BYTES, PAGE_MAGIC};
-pub use paged_log::{PagedEdgeLog, PagedFetchIter, PagedLogStats, PagedScanIter};
-pub use pager::{PageManager, PagerStats};
+pub use paged_log::{PagedEdgeLog, PagedFetchIter, PagedLogStats, PagedScanIter, RecoveryReport};
+pub use pager::{PageManager, PagerStats, IO_RETRY_ATTEMPTS};
 
 /// Which backend the spill tier writes to.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +63,13 @@ pub struct StorageConfig {
     pub page_size: usize,
     /// Resident-page budget of the cache (minimum 1).
     pub cache_pages: usize,
+    /// Write a snapshot checkpoint (see [`PagedEdgeLog::checkpoint`]) every
+    /// time this many *new* pages have been sealed since the last
+    /// checkpoint; `0` disables automatic checkpoints. Paged backend only.
+    pub checkpoint_pages: usize,
+    /// Deterministic fault-injection plan installed on the page I/O path;
+    /// the default injects nothing. See [`fault`].
+    pub fault: FaultPlan,
 }
 
 impl Default for StorageConfig {
@@ -65,6 +78,8 @@ impl Default for StorageConfig {
             backend: StorageBackend::InMemory,
             page_size: 16 * 1024,
             cache_pages: 64,
+            checkpoint_pages: 0,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -87,6 +102,20 @@ impl StorageConfig {
     /// Override the resident-page budget.
     pub fn cache_pages(mut self, pages: usize) -> Self {
         self.cache_pages = pages;
+        self
+    }
+
+    /// Checkpoint automatically every `pages` newly sealed pages
+    /// (`0` disables; see [`PagedEdgeLog::checkpoint`]).
+    pub fn checkpoint_every(mut self, pages: usize) -> Self {
+        self.checkpoint_pages = pages;
+        self
+    }
+
+    /// Install a deterministic fault-injection plan on the page I/O path
+    /// (see [`fault`]). Test/benchmark use; the default injects nothing.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
         self
     }
 

@@ -7,11 +7,39 @@
 //! — a page "from the future" means the file is not the one this manager
 //! wrote. All integrity checks of the page image itself live in
 //! [`Page::from_bytes`].
+//!
+//! # Fault handling
+//!
+//! Every read and write runs under a bounded retry loop: transient error
+//! kinds ([`io::ErrorKind::Interrupted`], `WouldBlock`, `TimedOut`) are
+//! retried up to [`IO_RETRY_ATTEMPTS`] times with exponential backoff, and
+//! counted in [`PagerStats::io_retries`] — once per retried attempt, never
+//! per logical operation twice. A failure that exhausts the retries, or any
+//! non-transient kind, increments [`PagerStats::io_errors`] **exactly once**
+//! and surfaces to the caller. A seeded [`FaultPlan`] can inject
+//! deterministic faults into this path for recovery testing; see
+//! [`crate::storage::fault`].
 
+use crate::storage::fault::{FaultPlan, FaultState, WriteFault};
 use crate::storage::page::{Page, MAX_PAGE_SIZE, MIN_PAGE_SIZE};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Maximum attempts per logical page operation (first try + retries).
+pub const IO_RETRY_ATTEMPTS: u32 = 3;
+
+/// Backoff before the first retry; doubles per subsequent retry.
+const IO_RETRY_BACKOFF: Duration = Duration::from_micros(50);
+
+/// Whether an I/O error kind is worth retrying.
+fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
 
 /// I/O statistics of one page manager.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +50,13 @@ pub struct PagerStats {
     pub pages_read: u64,
     /// Pages currently allocated (live slots, free-listed ones excluded).
     pub pages_allocated: u64,
+    /// Transient I/O failures that were retried (and eventually succeeded
+    /// or gave up); one increment per failed *attempt*.
+    pub io_retries: u64,
+    /// I/O operations that failed permanently and surfaced to the caller;
+    /// exactly one increment per failed logical operation, regardless of
+    /// how many retries it burned.
+    pub io_errors: u64,
 }
 
 /// Fixed-size-page file store with id recycling and generation stamping.
@@ -34,6 +69,19 @@ pub struct PageManager {
     free: Vec<u32>,
     generation: u64,
     stats: PagerStats,
+    fault: FaultState,
+}
+
+fn validate_page_size(page_size: usize) -> io::Result<()> {
+    if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) || !page_size.is_power_of_two() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "page size must be a power of two in {MIN_PAGE_SIZE}..={MAX_PAGE_SIZE}, got {page_size}"
+            ),
+        ));
+    }
+    Ok(())
 }
 
 impl PageManager {
@@ -43,14 +91,7 @@ impl PageManager {
     /// [`io::ErrorKind::InvalidInput`] when `page_size` is not a power of
     /// two in `4 KiB ..= 64 KiB`; otherwise any file-creation error.
     pub fn create(path: impl AsRef<Path>, page_size: usize) -> io::Result<Self> {
-        if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) || !page_size.is_power_of_two() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "page size must be a power of two in {MIN_PAGE_SIZE}..={MAX_PAGE_SIZE}, got {page_size}"
-                ),
-            ));
-        }
+        validate_page_size(page_size)?;
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
             .create(true)
@@ -66,6 +107,7 @@ impl PageManager {
             free: Vec::new(),
             generation: 0,
             stats: PagerStats::default(),
+            fault: FaultState::new(FaultPlan::default()),
         })
     }
 
@@ -84,6 +126,50 @@ impl PageManager {
         Self::create(path, page_size)
     }
 
+    /// Open an **existing** page file for recovery, without truncating it.
+    ///
+    /// The manager starts with generation 0 (the recovery scan learns the
+    /// real bound from surviving pages via `assume_generation`) and
+    /// addresses `ceil(file_len / page_size)` slots, so a torn final slot
+    /// is readable — and fails validation — rather than silently out of
+    /// range.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidInput`] for a bad `page_size`; otherwise any
+    /// file-open error (notably [`io::ErrorKind::NotFound`]).
+    pub fn open(path: impl AsRef<Path>, page_size: usize) -> io::Result<Self> {
+        validate_page_size(page_size)?;
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        let slots = len.div_ceil(page_size as u64);
+        let next_page = u32::try_from(slots).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("page file holds {slots} slots, beyond the u32 id space"),
+            )
+        })?;
+        Ok(PageManager {
+            path,
+            file,
+            page_size,
+            next_page,
+            free: Vec::new(),
+            generation: 0,
+            stats: PagerStats {
+                pages_allocated: u64::from(next_page),
+                ..PagerStats::default()
+            },
+            fault: FaultState::new(FaultPlan::default()),
+        })
+    }
+
+    /// Install a deterministic fault-injection plan (see
+    /// [`crate::storage::fault`]). Resets the plan's operation counters.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = FaultState::new(plan);
+    }
+
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
@@ -99,9 +185,28 @@ impl PageManager {
         self.stats
     }
 
+    /// Highest generation this manager has issued (or assumed during
+    /// recovery); every validly written page carries a generation at or
+    /// below this bound.
+    pub fn issued_generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Bytes the backing file occupies for the currently allocated id range.
     pub fn bytes_on_disk(&self) -> u64 {
         u64::from(self.next_page) * self.page_size as u64
+    }
+
+    /// Actual length of the backing file in bytes (what a crashed writer
+    /// really left behind; can disagree with [`PageManager::bytes_on_disk`]
+    /// after a torn final write).
+    pub fn file_len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// Number of addressable page slots.
+    pub fn slot_count(&self) -> u32 {
+        self.next_page
     }
 
     /// Allocate a page id, reusing freed slots first.
@@ -127,15 +232,75 @@ impl PageManager {
         self.free.push(id);
     }
 
+    /// Run one logical I/O operation under the bounded transient-retry
+    /// loop. `transient_fault` injects one seeded transient failure on the
+    /// first attempt. Counts retries and the final verdict exactly once.
+    fn with_retry<T>(
+        stats: &mut PagerStats,
+        transient_fault: bool,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut backoff = IO_RETRY_BACKOFF;
+        for attempt in 0..IO_RETRY_ATTEMPTS {
+            let result = if transient_fault && attempt == 0 {
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected transient I/O fault",
+                ))
+            } else {
+                op()
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(e.kind()) && attempt + 1 < IO_RETRY_ATTEMPTS => {
+                    stats.io_retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+                Err(e) => {
+                    stats.io_errors += 1;
+                    return Err(e);
+                }
+            }
+        }
+        unreachable!("the retry loop always returns")
+    }
+
     /// Write `page` to its slot, stamping it with the next generation.
+    ///
+    /// # Errors
+    /// A transient failure that survives [`IO_RETRY_ATTEMPTS`] attempts, or
+    /// any permanent I/O failure (counted once in
+    /// [`PagerStats::io_errors`]).
     pub fn write_page(&mut self, page: &mut Page) -> io::Result<()> {
         self.generation += 1;
         page.stamp(self.generation);
-        let bytes = page.to_bytes();
-        self.file.seek(SeekFrom::Start(
-            u64::from(page.id()) * self.page_size as u64,
-        ))?;
-        self.file.write_all(&bytes)?;
+        let mut bytes = page.to_bytes();
+        let decision = self.fault.next_write(self.page_size);
+        let transient = self.fault.next_op_transient();
+        // Decide the persisted image once, outside the retry loop, so a
+        // retried attempt rewrites the same (possibly corrupted) bytes.
+        let persist_len = match decision {
+            WriteFault::FailPermanent => {
+                self.stats.io_errors += 1;
+                return Err(io::Error::other(format!(
+                    "injected permanent write failure on page {}",
+                    page.id()
+                )));
+            }
+            WriteFault::Torn { prefix } => prefix,
+            WriteFault::BitFlip { bit } => {
+                bytes[bit / 8] ^= 1 << (bit % 8);
+                bytes.len()
+            }
+            WriteFault::None => bytes.len(),
+        };
+        let offset = u64::from(page.id()) * self.page_size as u64;
+        let file = &mut self.file;
+        Self::with_retry(&mut self.stats, transient, || {
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(&bytes[..persist_len])
+        })?;
         self.stats.pages_written += 1;
         Ok(())
     }
@@ -145,14 +310,11 @@ impl PageManager {
     /// # Errors
     /// [`io::ErrorKind::InvalidData`] on any page-format violation (torn
     /// write, wrong slot, generation from the future); other kinds for plain
-    /// I/O failures.
+    /// I/O failures (counted once in [`PagerStats::io_errors`]).
     pub fn read_page(&mut self, id: u32) -> io::Result<Page> {
-        let mut raw = vec![0u8; self.page_size];
-        self.file
-            .seek(SeekFrom::Start(u64::from(id) * self.page_size as u64))?;
-        self.file.read_exact(&mut raw)?;
-        let page = Page::from_bytes(&raw, self.page_size, id)?;
+        let page = self.read_page_unbounded(id)?;
         if page.generation() > self.generation {
+            self.stats.io_errors += 1;
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
@@ -162,8 +324,52 @@ impl PageManager {
                 ),
             ));
         }
+        Ok(page)
+    }
+
+    /// Read and verify slot `id` **without** the issued-generation bound.
+    ///
+    /// Recovery opens a file whose writer is gone, so no generation bound
+    /// exists yet; the page image itself is still fully validated (magic,
+    /// slot id, checksum, record tiling).
+    pub(crate) fn read_page_for_recovery(&mut self, id: u32) -> io::Result<Page> {
+        self.read_page_unbounded(id)
+    }
+
+    fn read_page_unbounded(&mut self, id: u32) -> io::Result<Page> {
+        let transient = self.fault.next_op_transient();
+        let offset = u64::from(id) * self.page_size as u64;
+        let page_size = self.page_size;
+        let file = &mut self.file;
+        let mut raw = vec![0u8; page_size];
+        Self::with_retry(&mut self.stats, transient, || {
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut raw)
+        })?;
+        // A page that transfers but fails validation is a failed read too:
+        // count it once, like any other surfaced failure.
+        let page = Page::from_bytes(&raw, page_size, id).inspect_err(|_| {
+            self.stats.io_errors += 1;
+        })?;
         self.stats.pages_read += 1;
         Ok(page)
+    }
+
+    /// Raise the issued-generation bound to at least `generation` (recovery
+    /// learned it from a surviving page or a checkpoint).
+    pub(crate) fn assume_generation(&mut self, generation: u64) {
+        self.generation = self.generation.max(generation);
+    }
+
+    /// Physically truncate the file to its first `pages` slots, dropping
+    /// everything behind the recovered prefix.
+    pub(crate) fn truncate_to(&mut self, pages: u32) -> io::Result<()> {
+        self.file
+            .set_len(u64::from(pages) * self.page_size as u64)?;
+        self.next_page = pages;
+        self.free.retain(|&id| id < pages);
+        self.stats.pages_allocated = u64::from(pages).saturating_sub(self.free.len() as u64);
+        Ok(())
     }
 
     /// Delete the backing file. The manager must not be used afterwards.
@@ -196,6 +402,8 @@ mod tests {
         assert_eq!(pager.read_page(b).unwrap(), page_b);
         assert_eq!(pager.stats().pages_written, 2);
         assert_eq!(pager.stats().pages_read, 2);
+        assert_eq!(pager.stats().io_retries, 0);
+        assert_eq!(pager.stats().io_errors, 0);
         pager.destroy().unwrap();
     }
 
@@ -245,6 +453,118 @@ mod tests {
             err.kind() == io::ErrorKind::InvalidData || err.kind() == io::ErrorKind::UnexpectedEof,
             "{err}"
         );
+        pager.destroy().unwrap();
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_counted_once_per_attempt() {
+        let mut pager = PageManager::create_temp(MIN_PAGE_SIZE, "transient").unwrap();
+        pager.set_fault_plan(FaultPlan {
+            transient_every: 1, // every operation fails once, retry succeeds
+            ..FaultPlan::default()
+        });
+        let a = pager.alloc();
+        let mut page = Page::new(MIN_PAGE_SIZE, a);
+        page.push_record(b"survives a transient fault");
+        pager.write_page(&mut page).unwrap();
+        assert_eq!(pager.read_page(a).unwrap(), page);
+        let stats = pager.stats();
+        assert_eq!(stats.io_retries, 2, "one retried attempt per operation");
+        assert_eq!(stats.io_errors, 0, "retried transients are not errors");
+        assert_eq!(stats.pages_written, 1);
+        assert_eq!(stats.pages_read, 1);
+        pager.destroy().unwrap();
+    }
+
+    #[test]
+    fn permanent_write_failure_is_counted_exactly_once() {
+        let mut pager = PageManager::create_temp(MIN_PAGE_SIZE, "permfail").unwrap();
+        pager.set_fault_plan(FaultPlan {
+            fail_write: 1,
+            ..FaultPlan::default()
+        });
+        let a = pager.alloc();
+        let mut page = Page::new(MIN_PAGE_SIZE, a);
+        page.push_record(b"never lands");
+        let err = pager.write_page(&mut page).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(pager.stats().io_errors, 1);
+        assert_eq!(pager.stats().io_retries, 0, "permanent errors skip retry");
+        assert_eq!(pager.stats().pages_written, 0);
+        // The next write succeeds: the fault fired at its ordinal only.
+        pager.write_page(&mut page).unwrap();
+        assert_eq!(pager.stats().io_errors, 1);
+        pager.destroy().unwrap();
+    }
+
+    #[test]
+    fn torn_write_reports_success_but_fails_validation_on_readback() {
+        let mut pager = PageManager::create_temp(MIN_PAGE_SIZE, "tornwrite").unwrap();
+        pager.set_fault_plan(FaultPlan {
+            seed: 99,
+            torn_write: 1,
+            ..FaultPlan::default()
+        });
+        let a = pager.alloc();
+        let mut page = Page::new(MIN_PAGE_SIZE, a);
+        page.push_record(b"torn on the way down");
+        pager.write_page(&mut page).unwrap(); // the tear is silent
+        let err = pager.read_page(a).unwrap_err();
+        assert!(
+            err.kind() == io::ErrorKind::InvalidData || err.kind() == io::ErrorKind::UnexpectedEof,
+            "{err}"
+        );
+        pager.destroy().unwrap();
+    }
+
+    #[test]
+    fn bit_flip_reports_success_but_fails_checksum_on_readback() {
+        let mut pager = PageManager::create_temp(MIN_PAGE_SIZE, "bitflip").unwrap();
+        pager.set_fault_plan(FaultPlan {
+            seed: 7,
+            bit_flip_write: 1,
+            ..FaultPlan::default()
+        });
+        let a = pager.alloc();
+        let mut page = Page::new(MIN_PAGE_SIZE, a);
+        page.push_record(b"one bit will lie");
+        pager.write_page(&mut page).unwrap(); // the flip is silent
+        match pager.read_page(a) {
+            // Overwhelmingly likely: the checksum catches the flip.
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}"),
+            // A flip in the dead padding beyond `used` is checksum-invisible
+            // by design; the record bytes themselves must then be intact.
+            Ok(read_back) => assert_eq!(read_back.records().count(), 1),
+        }
+        pager.destroy().unwrap();
+    }
+
+    #[test]
+    fn open_addresses_partial_trailing_slots() {
+        let mut pager = PageManager::create_temp(MIN_PAGE_SIZE, "reopen").unwrap();
+        let a = pager.alloc();
+        let mut page = Page::new(MIN_PAGE_SIZE, a);
+        page.push_record(b"persisted before the crash");
+        pager.write_page(&mut page).unwrap();
+        let path = pager.path().to_path_buf();
+        // Simulate a crash mid-write of a second page: append half a page.
+        drop(pager);
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&vec![0xAB; MIN_PAGE_SIZE / 2]).unwrap();
+        }
+        let mut pager = PageManager::open(&path, MIN_PAGE_SIZE).unwrap();
+        assert_eq!(pager.slot_count(), 2, "the torn half-slot is addressable");
+        pager.assume_generation(1);
+        assert_eq!(pager.read_page(0).unwrap(), page);
+        assert!(
+            pager.read_page(1).is_err(),
+            "the torn slot fails validation"
+        );
+        pager.truncate_to(1).unwrap();
+        assert_eq!(pager.file_len().unwrap(), MIN_PAGE_SIZE as u64);
+        assert_eq!(pager.slot_count(), 1);
         pager.destroy().unwrap();
     }
 }

@@ -132,9 +132,25 @@ fn main() -> Result<(), mnemonic::core::MnemonicError> {
         "  producers          : {PRODUCERS} concurrent (round-robin partition of {total_events} events)"
     );
     println!(
-        "  queue              : {}-event ring (bounded memory), policy Block, {} pushed / {} full-ring rejections absorbed",
+        "  queue              : {}-event ring (bounded memory), policy Block, {} pushed / {} fail-fast rejections",
         stats.capacity, stats.pushed, stats.rejected
     );
+    // The serve-side view of the same ring: the shed tier (BlockTimeout
+    // deadline expiries — zero under the lossless Block policy) and the
+    // events a mid-stream disconnect would have stranded (zero on a clean
+    // drain like this one).
+    let queue = run.queue_stats().expect("serve captures queue stats");
+    println!(
+        "  admission tiers    : {} shed (BlockTimeout expiry) | {} stranded at disconnect",
+        queue.shed, queue.queued_at_disconnect
+    );
+    match run.degrade() {
+        None => println!("  degradation        : none (no lane faults this run)"),
+        Some(d) => println!(
+            "  degradation        : {} restart(s), {} shard(s) quarantined, {} query(ies) migrated, {} batch(es) replayed",
+            d.restarts, d.quarantined_shards, d.queries_migrated, d.batches_replayed
+        ),
+    }
     println!(
         "  broadcast          : {} batches x {BATCH} events to {SHARDS} shard lanes (pipelined)",
         run.batch_count()

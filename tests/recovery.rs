@@ -1,0 +1,503 @@
+//! Fault tolerance, end to end.
+//!
+//! 1. Crash recovery is differential: for any corruption point in the paged
+//!    spill log, `recover()` yields an *exact prefix* of what was written —
+//!    embedding-identical to a clean replay of the surviving records,
+//!    deletions included — and every lost byte shows up in the
+//!    [`RecoveryReport`]; nothing disappears silently.
+//! 2. Checkpoint restarts: a recovered manager re-primes from the sidecar,
+//!    keeps appending, checkpoints again, and survives a second crash.
+//! 3. Graceful shard degradation: a lane panicking mid-batch under a
+//!    `DegradePolicy` no longer fails the serve run — the shard is
+//!    quarantined, its queries migrate, and the post-recovery results are
+//!    embedding-exact against an unfaulted oracle.
+//! 4. The shed tier and disconnect accounting of the admission queue.
+
+use mnemonic::core::api::{FnEdgeMatcher, LabelEdgeMatcher, MatcherContext, UpdateMode};
+use mnemonic::core::embedding::CompleteEmbedding;
+use mnemonic::core::engine::EngineConfig;
+use mnemonic::core::ingest::{BackpressurePolicy, IngestQueue, PushError};
+use mnemonic::core::rebalance::DegradePolicy;
+use mnemonic::core::session::QueryHandle;
+use mnemonic::core::shard::ShardedSession;
+use mnemonic::core::variants::Isomorphism;
+use mnemonic::graph::edge::Edge;
+use mnemonic::graph::edge_log::LogRecord;
+use mnemonic::graph::ids::{EdgeId, EdgeLabel, QueryEdgeId, Timestamp, VertexId};
+use mnemonic::graph::spill::{SpillConfig, SpillManager};
+use mnemonic::graph::storage::{FaultPlan, PagedEdgeLog, StorageConfig, MIN_PAGE_SIZE};
+use mnemonic::query::patterns;
+use mnemonic::stream::event::StreamEvent;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+// ---- crash-recovery differential -------------------------------------------
+
+/// Deterministic record stream: small vertex ids so replays form plenty of
+/// embeddings, strictly increasing edge ids and timestamps as the spill
+/// path produces them.
+fn records(n: usize) -> Vec<LogRecord> {
+    (0..n as u32)
+        .map(|i| LogRecord {
+            edge: Edge {
+                id: EdgeId(i),
+                src: VertexId(i % 23),
+                dst: VertexId((i + 1 + i % 7) % 23),
+                label: EdgeLabel((i % 2) as u16),
+                timestamp: Timestamp(u64::from(i)),
+            },
+            debi_row: u64::from(i % 16),
+        })
+        .collect()
+}
+
+/// Replay a record prefix into a fresh session as an insert/delete stream
+/// (every 7th record deletes the edge three before it) and drain the
+/// triangle + path embeddings. The stream depends only on the records, so
+/// two equal prefixes must produce byte-equal embeddings. Capped to the
+/// first 300 records: the full recovered prefix is compared record-for-
+/// record separately; the replay checks the *session-level* consequence
+/// without enumerating millions of path embeddings in a debug build.
+fn replay_embeddings(
+    prefix: &[LogRecord],
+) -> Vec<(Vec<CompleteEmbedding>, Vec<CompleteEmbedding>)> {
+    let prefix = &prefix[..prefix.len().min(300)];
+    let mut session = ShardedSession::builder()
+        .shards(2)
+        .sequential()
+        .batch_size(4)
+        .build()
+        .expect("valid config");
+    let handles: Vec<QueryHandle> = [patterns::triangle(), patterns::path(3)]
+        .into_iter()
+        .map(|q| {
+            session
+                .register_query(q, Box::new(LabelEdgeMatcher), Box::new(Isomorphism))
+                .expect("connected query")
+        })
+        .collect();
+    let mut events = Vec::new();
+    for (i, r) in prefix.iter().enumerate() {
+        events.push(
+            StreamEvent::insert(r.edge.src.0, r.edge.dst.0, r.edge.label.0).at(r.edge.timestamp.0),
+        );
+        if i % 7 == 6 {
+            let d = &prefix[i - 3].edge;
+            events.push(StreamEvent::delete(d.src.0, d.dst.0, d.label.0).at(r.edge.timestamp.0));
+        }
+    }
+    session.run_events(events).expect("clean replay succeeds");
+    handles
+        .iter()
+        .map(|h| {
+            let batch = h.drain();
+            let (mut pos, mut neg) = (batch.positive, batch.negative);
+            pos.sort();
+            neg.sort();
+            (pos, neg)
+        })
+        .collect()
+}
+
+/// Corrupt one byte, recover, and check the differential: the recovered log
+/// is an exact prefix of the written records, the report accounts any loss,
+/// and replaying the recovered records (deletions included) lands on
+/// exactly the embeddings of a clean replay of that same prefix.
+#[test]
+fn recovered_prefix_is_embedding_identical_to_clean_replay() {
+    let all = records(6_000);
+    // A spread of corruption offsets: early, page-interior, late. Each case
+    // writes its own log so the corruption sites are independent.
+    for (case, frac) in [(0usize, 0.02f64), (1, 0.37), (2, 0.71), (3, 0.96)] {
+        let mut log = PagedEdgeLog::create_temp(MIN_PAGE_SIZE, 2, &format!("diff-{case}")).unwrap();
+        log.append_batch(&all).unwrap();
+        log.flush().unwrap();
+        let path = log.path().to_path_buf();
+        drop(log); // crash: no destroy, no clean shutdown bookkeeping
+
+        let len = std::fs::metadata(&path).unwrap().len();
+        let offset = ((len as f64 * frac) as u64).min(len - 1);
+        {
+            use std::io::{Read, Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            let mut byte = [0u8; 1];
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            f.read_exact(&mut byte).unwrap();
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            f.write_all(&[byte[0] ^ 0x5A]).unwrap();
+        }
+
+        let (mut recovered, report) = PagedEdgeLog::recover(&path, MIN_PAGE_SIZE, 2).unwrap();
+        let survivors = recovered.scan_all().unwrap();
+        assert_eq!(survivors.len() as u64, report.records_recovered);
+        assert_eq!(
+            survivors.as_slice(),
+            &all[..survivors.len()],
+            "recovery yields an exact prefix (case {case})"
+        );
+        if survivors.len() < all.len() {
+            // Loss is never silent: the report names the torn page and the
+            // truncated bytes.
+            let torn = report.first_torn_page.expect("loss must be reported");
+            assert_eq!(
+                u64::from(torn),
+                offset / MIN_PAGE_SIZE as u64,
+                "the scan stops exactly at the corrupted page (case {case})"
+            );
+            assert!(report.bytes_truncated > 0, "truncation accounted");
+        } else {
+            // The flipped byte landed in checksum-invisible padding; full
+            // recovery with nothing truncated is the correct outcome.
+            assert_eq!(report.bytes_truncated, 0);
+            assert_eq!(report.first_torn_page, None);
+        }
+        assert_eq!(
+            replay_embeddings(&survivors),
+            replay_embeddings(&all[..survivors.len()]),
+            "recovered records replay to identical embeddings (case {case})"
+        );
+        recovered.destroy().unwrap();
+    }
+}
+
+/// Deterministic fault injection, end to end: a seeded torn write planted
+/// through [`FaultPlan`] produces exactly the crash the recovery scan is
+/// built for, and a `transient_every` plan exercises the bounded-retry path
+/// with zero data loss while `io_retries` counts each retried attempt.
+#[test]
+fn fault_plans_are_deterministic_and_retries_are_counted() {
+    let all = records(2_000);
+
+    // Torn write at a seeded ordinal: the write reports success, so the
+    // crash is only discovered by recovery — which truncates at exactly the
+    // torn page and keeps the full prefix before it.
+    let plan = FaultPlan {
+        seed: 7,
+        torn_write: 3,
+        ..FaultPlan::default()
+    };
+    let torn_replays: Vec<Vec<LogRecord>> = (0..2)
+        .map(|run| {
+            let mut log =
+                PagedEdgeLog::create_temp_with(MIN_PAGE_SIZE, 2, &format!("torn-{run}"), plan)
+                    .unwrap();
+            log.append_batch(&all).unwrap();
+            log.flush().unwrap();
+            let path = log.path().to_path_buf();
+            drop(log);
+            let (mut recovered, report) = PagedEdgeLog::recover(&path, MIN_PAGE_SIZE, 2).unwrap();
+            assert_eq!(report.first_torn_page, Some(2), "3rd write = page slot 2");
+            assert!(report.bytes_truncated > 0, "torn tail is accounted");
+            let survivors = recovered.scan_all().unwrap();
+            assert_eq!(survivors.as_slice(), &all[..survivors.len()]);
+            recovered.destroy().unwrap();
+            survivors
+        })
+        .collect();
+    assert_eq!(
+        torn_replays[0], torn_replays[1],
+        "equal seeds tear identically — the fault schedule is deterministic"
+    );
+
+    // Transient faults: every 5th I/O op fails once with Interrupted; the
+    // bounded retry succeeds, so nothing is lost and nothing is an error.
+    let plan = FaultPlan {
+        seed: 7,
+        transient_every: 5,
+        ..FaultPlan::default()
+    };
+    let mut log = PagedEdgeLog::create_temp_with(MIN_PAGE_SIZE, 2, "transient", plan).unwrap();
+    log.append_batch(&all).unwrap();
+    log.flush().unwrap();
+    assert_eq!(
+        log.scan_all().unwrap(),
+        all,
+        "retried transients lose nothing"
+    );
+    let stats = log.stats();
+    assert!(stats.io_retries > 0, "each retried attempt is counted");
+    assert_eq!(stats.io_errors, 0, "a retried transient is not an error");
+    log.destroy().unwrap();
+}
+
+/// Checkpoint restarts across *two* crashes: recovery re-primes from the
+/// sidecar, the recovered manager keeps appending and checkpointing, and a
+/// second recovery still scans back every record in order.
+#[test]
+fn checkpoint_restart_survives_repeated_crashes() {
+    let storage = StorageConfig::paged()
+        .page_size(MIN_PAGE_SIZE)
+        .cache_pages(4)
+        .checkpoint_every(2);
+    let spill = SpillConfig {
+        in_memory_window: 0,
+        buffer_capacity: 64,
+    };
+    let dir = std::env::temp_dir().join(format!("mnemonic-ckpt-restart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spill.pages");
+
+    let all = records(5_000);
+    let mut mgr = SpillManager::with_storage(spill, storage, &path).unwrap();
+    for r in &all[..3_000] {
+        mgr.spill_record(*r).unwrap();
+    }
+    let watermark = mgr.checkpoint().unwrap().expect("paged backend");
+    assert_eq!(watermark, 3_000);
+    drop(mgr); // first crash
+
+    let (mut mgr, report) = SpillManager::recover(spill, storage, &path).unwrap();
+    assert_eq!(report.records_recovered, 3_000);
+    assert!(
+        report.records_from_checkpoint > 0,
+        "recovery re-primes from the sidecar, not a full rescan"
+    );
+    assert_eq!(report.bytes_truncated, 0, "clean shutdown loses nothing");
+    for r in &all[3_000..] {
+        mgr.spill_record(*r).unwrap();
+    }
+    mgr.checkpoint().unwrap();
+    drop(mgr); // second crash
+
+    let (mut mgr, report) = SpillManager::recover(spill, storage, &path).unwrap();
+    assert_eq!(report.records_recovered, 5_000);
+    assert_eq!(mgr.scan_records().unwrap(), all, "append order intact");
+    mgr.destroy().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- graceful shard degradation ---------------------------------------------
+
+/// Trips exactly once, process-wide, on the first edge with `src == 3`:
+/// models a shard that crashes once and whose work is then replayed on a
+/// healthy host without re-tripping.
+static TRIPPED: AtomicBool = AtomicBool::new(false);
+
+fn panic_once_matcher(_ctx: &MatcherContext<'_>, _q: QueryEdgeId, e: &Edge) -> bool {
+    if e.src.0 == 3 && !TRIPPED.swap(true, Ordering::SeqCst) {
+        panic!("injected shard fault");
+    }
+    true
+}
+
+/// A forced mid-batch lane panic under a `DegradePolicy` must not fail the
+/// run: the poisoned shard is quarantined, its query migrates, and the
+/// final embeddings are exact against an unfaulted oracle.
+#[test]
+fn degraded_serve_absorbs_a_lane_panic_and_stays_embedding_exact() {
+    let events: Vec<StreamEvent> = (0..60u32)
+        .map(|i| {
+            let s = i % 11;
+            StreamEvent::insert(s, (s + 1 + i % 4) % 11, 0).at(u64::from(i))
+        })
+        .collect();
+    // One event trips the poisoned matcher (vertex 3 shows up as a source
+    // several times; only the first sighting panics).
+    assert!(events.iter().any(|e| e.src.0 == 3));
+
+    let build = |poisoned: bool| {
+        let mut session = ShardedSession::builder()
+            .shards(3)
+            .config(EngineConfig {
+                update_mode: UpdateMode::from_batch_size(4),
+                ..EngineConfig::sequential()
+            })
+            .degrade_policy(DegradePolicy {
+                max_restarts: 2,
+                backoff: Duration::from_millis(1),
+            })
+            .build()
+            .expect("valid config");
+        // Shard 0 hosts the query that will fault; shards 1 and 2 hold
+        // healthy queries, so surviving lanes exist to adopt the orphans.
+        let matcher: Box<dyn mnemonic::core::api::EdgeMatcher> = if poisoned {
+            Box::new(FnEdgeMatcher(panic_once_matcher))
+        } else {
+            Box::new(FnEdgeMatcher(
+                |_ctx: &MatcherContext<'_>, _q: QueryEdgeId, _e: &Edge| true,
+            ))
+        };
+        let h0 = session
+            .register_query_on_shard(patterns::triangle(), 0, matcher, Box::new(Isomorphism))
+            .expect("connected query");
+        let h1 = session
+            .register_query_on_shard(
+                patterns::path(3),
+                1,
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .expect("connected query");
+        let h2 = session
+            .register_query_on_shard(
+                patterns::rectangle(),
+                2,
+                Box::new(LabelEdgeMatcher),
+                Box::new(Isomorphism),
+            )
+            .expect("connected query");
+        (session, [h0, h1, h2])
+    };
+
+    let drained = |handles: &[QueryHandle; 3]| -> Vec<Vec<CompleteEmbedding>> {
+        handles
+            .iter()
+            .map(|h| {
+                let mut pos = h.drain().positive;
+                pos.sort();
+                pos
+            })
+            .collect()
+    };
+
+    let (mut oracle, oracle_handles) = build(false);
+    oracle
+        .run_pipelined(events.iter().copied())
+        .expect("unfaulted run succeeds");
+    let want = drained(&oracle_handles);
+
+    TRIPPED.store(false, Ordering::SeqCst);
+    let (mut faulted, handles) = build(true);
+    let run = faulted
+        .run_pipelined(events.iter().copied())
+        .expect("the lane panic is absorbed, not surfaced");
+    assert!(TRIPPED.load(Ordering::SeqCst), "the fault actually fired");
+
+    let report = *run.degrade().expect("degradation engaged");
+    assert_eq!(report.restarts, 1, "one absorbed failure");
+    assert_eq!(report.quarantined_shards, 1);
+    assert_eq!(
+        report.queries_migrated, 1,
+        "the poisoned shard's query moved"
+    );
+    assert!(report.batches_replayed > 0, "the gap was replayed");
+    assert_eq!(
+        run.batch_count(),
+        events.len().div_ceil(4),
+        "every batch accounted despite the fault"
+    );
+    assert_eq!(drained(&handles), want, "post-recovery results are exact");
+
+    // The same fault without a policy still surfaces as the typed error.
+    TRIPPED.store(false, Ordering::SeqCst);
+    let mut bare = ShardedSession::builder()
+        .shards(3)
+        .config(EngineConfig {
+            update_mode: UpdateMode::from_batch_size(4),
+            ..EngineConfig::sequential()
+        })
+        .build()
+        .unwrap();
+    bare.register_query_on_shard(
+        patterns::triangle(),
+        0,
+        Box::new(FnEdgeMatcher(panic_once_matcher)),
+        Box::new(Isomorphism),
+    )
+    .unwrap();
+    let err = bare.run_pipelined(events.iter().copied()).unwrap_err();
+    assert!(matches!(
+        err,
+        mnemonic::core::MnemonicError::ShardPanicked(0)
+    ));
+}
+
+/// The degrade budget is a hard cap: more lane failures than
+/// `max_restarts` surfaces the typed error instead of looping forever.
+#[test]
+fn degrade_policy_validates_and_caps_restarts() {
+    let err = ShardedSession::builder()
+        .shards(2)
+        .degrade_policy(DegradePolicy {
+            max_restarts: 0,
+            backoff: Duration::ZERO,
+        })
+        .build()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        mnemonic::core::MnemonicError::InvalidConfig(_)
+    ));
+}
+
+// ---- shed tier and disconnect accounting ------------------------------------
+
+/// `BlockTimeout` overflow is *shed*, counted separately from `Reject`'s
+/// fail-fast count, and reaches the serve report; the lossless `Block`
+/// policy never sheds.
+#[test]
+fn shed_tier_counts_blocktimeout_overflow_in_the_serve_report() {
+    // Fill a tiny ring with no consumer draining: the pushes past capacity
+    // must time out and count as shed.
+    let (tx, rx) = IngestQueue::bounded(
+        2,
+        BackpressurePolicy::BlockTimeout(Duration::from_millis(2)),
+    );
+    tx.push(StreamEvent::insert(0, 1, 0)).unwrap();
+    tx.push(StreamEvent::insert(1, 2, 0)).unwrap();
+    for i in 0..3u32 {
+        let err = tx.push(StreamEvent::insert(2 + i, 3 + i, 0)).unwrap_err();
+        assert!(matches!(err, PushError::Timeout(_)));
+    }
+    assert_eq!(tx.stats().shed, 3);
+    assert_eq!(tx.stats().rejected, 0, "shed is its own tier");
+    drop(tx);
+
+    let mut session = ShardedSession::builder()
+        .shards(2)
+        .sequential()
+        .batch_size(2)
+        .build()
+        .unwrap();
+    session
+        .register_query(
+            patterns::path(2),
+            Box::new(LabelEdgeMatcher),
+            Box::new(Isomorphism),
+        )
+        .unwrap();
+    let run = session.serve(rx).unwrap();
+    let queue = run.queue_stats().expect("serve reports queue stats");
+    assert_eq!(queue.shed, 3, "shed counters join the serve report");
+    assert_eq!(queue.pushed, 2, "admitted events were served");
+    assert_eq!(queue.queued_at_disconnect, 0, "clean drain strands nothing");
+
+    // The lossless policy never sheds.
+    let (tx, rx) = IngestQueue::bounded(8, BackpressurePolicy::Block);
+    for i in 0..5u32 {
+        tx.push(StreamEvent::insert(i, i + 1, 0)).unwrap();
+    }
+    drop(tx);
+    let mut session = ShardedSession::builder()
+        .shards(2)
+        .sequential()
+        .batch_size(2)
+        .build()
+        .unwrap();
+    let run = session.serve(rx).unwrap();
+    assert_eq!(run.queue_stats().unwrap().shed, 0);
+}
+
+/// Dropping the consumer mid-stream strands the queued events: producers
+/// fail fast with `Disconnected` and the stranded count is visible in
+/// `QueueStats`, so a dying server can never lose events silently.
+#[test]
+fn consumer_drop_mid_stream_reports_stranded_events() {
+    let (tx, rx) = IngestQueue::bounded(8, BackpressurePolicy::Block);
+    for i in 0..3u32 {
+        tx.push(StreamEvent::insert(i, i + 1, 0)).unwrap();
+    }
+    drop(rx); // the server dies with three events still queued
+    let err = tx.push(StreamEvent::insert(9, 10, 0)).unwrap_err();
+    assert!(matches!(err, PushError::Disconnected(_)));
+    let stats = tx.stats();
+    assert_eq!(
+        stats.queued_at_disconnect, 3,
+        "events stranded at disconnect are accounted"
+    );
+    assert_eq!(stats.pushed, 3);
+}
